@@ -1,0 +1,66 @@
+//! Fig. 7 bench: real threaded execution of representative one-liners,
+//! sequential vs. parallel width 4 (correctness-bearing path), plus
+//! one simulator evaluation (the figure's data generator).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::suites::oneliners;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_sim::{simulate_compiled, CostModel, SimConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    for name in ["Sort", "Wf"] {
+        let bench = oneliners::by_name(name).expect("known benchmark");
+        let fs = Arc::new(MemFs::new());
+        oneliners::setup_fs(&bench, 150_000, &fs);
+        for width in [1usize, 4] {
+            g.bench_function(format!("exec_{name}_w{width}"), |b| {
+                let cfg = Fig7Config::ParBSplit.pash_config(width);
+                b.iter(|| {
+                    black_box(
+                        run_script(
+                            &bench.script,
+                            &cfg,
+                            &reg,
+                            fs.clone(),
+                            Vec::new(),
+                            &ExecConfig::default(),
+                        )
+                        .expect("run"),
+                    )
+                })
+            });
+        }
+    }
+    // One simulator datapoint (what the fig7 harness sweeps).
+    let bench = oneliners::by_name("Sort").expect("known benchmark");
+    let sizes = oneliners::sim_sizes(&bench, 8e6);
+    g.bench_function("sim_Sort_w16", |b| {
+        let cfg = Fig7Config::Parallel.pash_config(16);
+        b.iter(|| {
+            black_box(
+                simulate_compiled(
+                    &bench.script,
+                    &cfg,
+                    &sizes,
+                    &CostModel::default(),
+                    &SimConfig::default(),
+                )
+                .expect("sim"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

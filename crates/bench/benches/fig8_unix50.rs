@@ -1,0 +1,48 @@
+//! Fig. 8 bench: real threaded execution of representative Unix50
+//! pipelines at sequential and 16× widths.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::suites::unix50;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    let fs = Arc::new(MemFs::new());
+    unix50::setup_fs(120_000, &fs);
+    let suite = unix50::all();
+    // One from each outcome group: accelerated, blocked, head-bound.
+    for idx in [1usize, 25, 19] {
+        let p = &suite[idx];
+        for width in [1usize, 16] {
+            g.bench_function(format!("pipeline{:02}_w{width}", p.idx), |b| {
+                let cfg = Fig7Config::ParBSplit.pash_config(width);
+                b.iter(|| {
+                    black_box(
+                        run_script(
+                            p.script,
+                            &cfg,
+                            &reg,
+                            fs.clone(),
+                            Vec::new(),
+                            &ExecConfig::default(),
+                        )
+                        .map(|o| o.stdout.len()),
+                    )
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! §6.5 GNU-parallel bench: sequential pipeline vs. naive block
+//! parallelism vs. PaSh, executed for real.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::baseline::{naive_parallel, run_pipeline_seq};
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::{Fs, MemFs};
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_workloads::text_corpus;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_parallel");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    let input = text_corpus(37, 150_000);
+    let stages: Vec<Vec<&str>> = vec![
+        vec!["tr", "A-Z", "a-z"],
+        vec!["sort"],
+        vec!["uniq", "-c"],
+        vec!["sort", "-rn"],
+    ];
+    let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(run_pipeline_seq(&stages, &input, &reg, fs.clone()).expect("run"))
+        })
+    });
+    g.bench_function("naive_parallel_4", |b| {
+        b.iter(|| {
+            black_box(naive_parallel(&stages, &input, 4, &reg, fs.clone()).expect("run"))
+        })
+    });
+    g.bench_function("pash_w4", |b| {
+        let mfs = Arc::new(MemFs::new());
+        mfs.add("in.txt", input.clone());
+        let cfg = Fig7Config::ParBSplit.pash_config(4);
+        let script = "cat in.txt | tr A-Z a-z | sort | uniq -c | sort -rn > out.txt";
+        b.iter(|| {
+            black_box(
+                run_script(
+                    script,
+                    &cfg,
+                    &reg,
+                    mfs.clone(),
+                    Vec::new(),
+                    &ExecConfig::default(),
+                )
+                .expect("run"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §6.5 parallel-sort bench: sequential sort vs. the internal
+//! threaded sort (`--parallel`) vs. PaSh-parallelized sort, executed
+//! for real on a small corpus.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::{run_command, Registry};
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_workloads::text_corpus;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_sort");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    let corpus = text_corpus(31, 200_000);
+    g.bench_function("sort_sequential", |b| {
+        let fs = Arc::new(MemFs::new());
+        b.iter(|| {
+            black_box(run_command(&reg, fs.clone(), &["sort"], &corpus).expect("run"))
+        })
+    });
+    g.bench_function("sort_parallel_flag", |b| {
+        let fs = Arc::new(MemFs::new());
+        b.iter(|| {
+            black_box(
+                run_command(&reg, fs.clone(), &["sort", "--parallel=4"], &corpus)
+                    .expect("run"),
+            )
+        })
+    });
+    g.bench_function("sort_pash_w4", |b| {
+        let fs = Arc::new(MemFs::new());
+        fs.add("in.txt", corpus.clone());
+        let cfg = Fig7Config::Parallel.pash_config(4);
+        b.iter(|| {
+            black_box(
+                run_script(
+                    "sort in.txt > out.txt",
+                    &cfg,
+                    &reg,
+                    fs.clone(),
+                    Vec::new(),
+                    &ExecConfig::default(),
+                )
+                .expect("run"),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! §6.3 bench: real threaded execution of the NOAA pipeline over a
+//! small generated mirror, sequential vs. parallel.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::suites::usecases;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_workloads::NoaaSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noaa");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    let fs = Arc::new(MemFs::new());
+    let spec = NoaaSpec {
+        years: 2015..=2016,
+        files_per_year: 3,
+        records_per_file: 150,
+        seed: 42,
+    };
+    usecases::setup_noaa(&fs, &spec);
+    let script = usecases::noaa_script(2015..=2016);
+    for width in [1usize, 4] {
+        g.bench_function(format!("pipeline_w{width}"), |b| {
+            let cfg = Fig7Config::ParBSplit.pash_config(width);
+            b.iter(|| {
+                black_box(
+                    run_script(
+                        &script,
+                        &cfg,
+                        &reg,
+                        fs.clone(),
+                        Vec::new(),
+                        &ExecConfig::default(),
+                    )
+                    .expect("run"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Tab. 1 bench: classification throughput of the annotation library
+//! (the per-command work PaSh's front-end does for every node).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_core::annot::stdlib::AnnotationLibrary;
+
+fn bench(c: &mut Criterion) {
+    let lib = AnnotationLibrary::standard();
+    let invocations: Vec<Vec<String>> = [
+        vec!["grep", "-iv", "999"],
+        vec!["sort", "-rn"],
+        vec!["comm", "-13", "dict.txt", "-"],
+        vec!["xargs", "-n", "1", "fetch"],
+        vec!["sed", "s;^;prefix;"],
+        vec!["uniq", "-c"],
+    ]
+    .iter()
+    .map(|v| v.iter().map(|s| s.to_string()).collect())
+    .collect();
+    let mut g = c.benchmark_group("tab1");
+    g.bench_function("classify_6_invocations", |b| {
+        b.iter(|| {
+            for argv in &invocations {
+                black_box(lib.classify(black_box(argv)));
+            }
+        })
+    });
+    g.bench_function("render_table1", |b| {
+        b.iter(|| black_box(pash_core::study::render_table1()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

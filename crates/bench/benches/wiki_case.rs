@@ -1,0 +1,52 @@
+//! §6.4 bench: real threaded execution of the web-indexing pipeline
+//! over a small generated mirror.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pash_bench::suites::usecases;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_workloads::WikiSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wiki");
+    g.sample_size(10);
+    let reg = Registry::standard();
+    let fs = Arc::new(MemFs::new());
+    usecases::setup_wiki(
+        &fs,
+        &WikiSpec {
+            pages: 12,
+            bytes_per_page: 2000,
+            seed: 7,
+        },
+    );
+    let script = usecases::wiki_script();
+    for width in [1usize, 4] {
+        g.bench_function(format!("index_w{width}"), |b| {
+            let cfg = Fig7Config::ParBSplit.pash_config(width);
+            b.iter(|| {
+                black_box(
+                    run_script(
+                        &script,
+                        &cfg,
+                        &reg,
+                        fs.clone(),
+                        Vec::new(),
+                        &ExecConfig::default(),
+                    )
+                    .expect("run"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

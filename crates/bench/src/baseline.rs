@@ -1,0 +1,127 @@
+//! Baselines for §6.5: a GNU-`parallel`-style naive block
+//! parallelizer, and helpers to compare its output against the
+//! sequential reference.
+//!
+//! `naive_parallel` reproduces the "sprinkle `parallel` across the
+//! entire program" strategy: split the input into contiguous blocks,
+//! run the *whole* pipeline on each block independently, concatenate.
+//! No aggregators, no command awareness — which is exactly why it
+//! corrupts `sort`/`uniq -c`-style stages (92% wrong output in the
+//! paper's bio pipeline).
+
+use std::io;
+use std::sync::Arc;
+
+use pash_coreutils::fs::Fs;
+use pash_coreutils::{run_command, Registry};
+
+/// Runs a pipeline of commands sequentially over `input`.
+pub fn run_pipeline_seq(
+    stages: &[Vec<&str>],
+    input: &[u8],
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+) -> io::Result<Vec<u8>> {
+    let mut data = input.to_vec();
+    for argv in stages {
+        let out = run_command(registry, fs.clone(), argv, &data)?;
+        data = out.stdout;
+    }
+    Ok(data)
+}
+
+/// The naive GNU-`parallel` strategy: contiguous line blocks, whole
+/// pipeline per block, concatenation of block outputs.
+pub fn naive_parallel(
+    stages: &[Vec<&str>],
+    input: &[u8],
+    blocks: usize,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+) -> io::Result<Vec<u8>> {
+    let lines: Vec<&[u8]> = input.split_inclusive(|&b| b == b'\n').collect();
+    let k = blocks.max(1);
+    let per = lines.len().div_ceil(k);
+    let mut out = Vec::new();
+    for chunk in lines.chunks(per.max(1)) {
+        let block: Vec<u8> = chunk.concat();
+        out.extend(run_pipeline_seq(stages, &block, registry, fs.clone())?);
+    }
+    Ok(out)
+}
+
+/// Fraction of output lines that differ between two outputs
+/// (symmetric difference over positions, as a percentage).
+pub fn diff_fraction(a: &[u8], b: &[u8]) -> f64 {
+    let la: Vec<&[u8]> = a.split(|&x| x == b'\n').collect();
+    let lb: Vec<&[u8]> = b.split(|&x| x == b'\n').collect();
+    let n = la.len().max(lb.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let differing = (0..n)
+        .filter(|&i| la.get(i).copied() != lb.get(i).copied())
+        .count();
+    differing as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_coreutils::fs::MemFs;
+
+    fn stages() -> Vec<Vec<&'static str>> {
+        vec![
+            vec!["tr", "A-Z", "a-z"],
+            vec!["sort"],
+            vec!["uniq", "-c"],
+            vec!["sort", "-rn"],
+        ]
+    }
+
+    #[test]
+    fn sequential_pipeline_works() {
+        let reg = Registry::standard();
+        let out = run_pipeline_seq(
+            &stages(),
+            b"b\na\nB\na\n",
+            &reg,
+            Arc::new(MemFs::new()),
+        )
+        .expect("run");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.starts_with("      2 a\n") || s.starts_with("      2 b\n"));
+    }
+
+    #[test]
+    fn naive_parallel_single_block_matches_sequential() {
+        let reg = Registry::standard();
+        let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+        let input = b"b\na\nB\na\nc\nC\n";
+        let seq = run_pipeline_seq(&stages(), input, &reg, fs.clone()).expect("seq");
+        let par = naive_parallel(&stages(), input, 1, &reg, fs).expect("par");
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn naive_parallel_corrupts_aggregating_stages() {
+        // The §6.5 result: block-parallel `sort | uniq -c` double-
+        // counts words that span blocks.
+        let reg = Registry::standard();
+        let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+        let input: Vec<u8> = std::iter::repeat_n(b"same\n".to_vec(), 40)
+            .flatten()
+            .collect();
+        let seq = run_pipeline_seq(&stages(), &input, &reg, fs.clone()).expect("seq");
+        let par = naive_parallel(&stages(), &input, 4, &reg, fs).expect("par");
+        assert_ne!(seq, par, "naive parallelism must corrupt the counts");
+        assert!(diff_fraction(&seq, &par) > 0.5);
+    }
+
+    #[test]
+    fn diff_fraction_bounds() {
+        assert_eq!(diff_fraction(b"a\nb\n", b"a\nb\n"), 0.0);
+        assert!(diff_fraction(b"a\n", b"b\n") > 0.0);
+        assert_eq!(diff_fraction(b"", b""), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Regenerates Fig. 7: speedup as a function of parallelism (2–64×)
+//! for the one-liner suite under the five runtime configurations,
+//! plus the average-speedup series and the COST metric.
+
+use pash_bench::suites::oneliners;
+use pash_bench::Fig7Config;
+use pash_sim::{simulate_compiled, CostModel, SimConfig};
+
+fn main() {
+    let sim_mb: f64 = std::env::var("PASH_BENCH_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64.0);
+    let widths = [2usize, 4, 8, 16, 32, 64];
+    let cm = CostModel::default();
+    let sim_cfg = SimConfig::default();
+    println!("Fig. 7: speedup vs parallelism (simulated, input {sim_mb} MB)\n");
+
+    let mut best_at_width: Vec<Vec<f64>> = vec![Vec::new(); widths.len()];
+    let mut cost_per_script: Vec<(String, Option<usize>)> = Vec::new();
+
+    for b in oneliners::all() {
+        if b.name == "Grep-light" {
+            // Shown in Tab. 2, not in Fig. 7 (kept in tab2/EXPERIMENTS).
+            continue;
+        }
+        let sizes = oneliners::sim_sizes(&b, sim_mb * 1e6);
+        let seq = simulate_compiled(
+            &b.script,
+            &Fig7Config::Parallel.pash_config(1),
+            &sizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("sequential sim")
+        .seconds;
+        println!("{} (seq {:.1}s):", b.name, seq);
+        println!(
+            "  {:<16} {}",
+            "config",
+            widths.map(|w| format!("{w:>6}x")).join(" ")
+        );
+        let mut best_per_width = vec![0.0f64; widths.len()];
+        for config in Fig7Config::all() {
+            // Only relevant configurations are shown (figure caption).
+            if !b.split_relevant
+                && matches!(config, Fig7Config::ParSplit | Fig7Config::ParBSplit)
+            {
+                continue;
+            }
+            let mut row = String::new();
+            for (wi, &w) in widths.iter().enumerate() {
+                let par = simulate_compiled(&b.script, &config.pash_config(w), &sizes, &cm, &sim_cfg)
+                    .expect("parallel sim")
+                    .seconds;
+                let speedup = seq / par;
+                best_per_width[wi] = best_per_width[wi].max(speedup);
+                row.push_str(&format!(" {speedup:6.2}"));
+            }
+            println!("  {:<16}{row}", config.label());
+        }
+        for (wi, s) in best_per_width.iter().enumerate() {
+            best_at_width[wi].push(*s);
+        }
+        let cost = widths
+            .iter()
+            .zip(&best_per_width)
+            .find(|(_, &s)| s > 1.0)
+            .map(|(&w, _)| w);
+        cost_per_script.push((b.name.to_string(), cost));
+        println!();
+    }
+
+    println!("Average speedup of the best configuration per width:");
+    print!("  paper: 1.97, 3.50, 5.78, 8.83, 10.96, 13.47\n  ours: ");
+    for (wi, w) in widths.iter().enumerate() {
+        let avg: f64 = best_at_width[wi].iter().sum::<f64>() / best_at_width[wi].len() as f64;
+        print!(" {avg:.2} ({w}x)");
+    }
+    println!("\n\nCOST (min parallelism beating sequential; paper: 2 for all):");
+    for (name, cost) in cost_per_script {
+        println!(
+            "  {:<18} {}",
+            name,
+            cost.map(|c| c.to_string()).unwrap_or_else(|| ">64".into())
+        );
+    }
+}

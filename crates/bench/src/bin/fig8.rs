@@ -1,0 +1,78 @@
+//! Regenerates Fig. 8: Unix50 speedups at 16× parallelism, with the
+//! sequential time series, plus the summary statistics of §6.2.
+
+use pash_bench::suites::unix50;
+use pash_bench::Fig7Config;
+use pash_sim::{simulate_compiled, CostModel, SimConfig};
+
+fn main() {
+    let sim_mb: f64 = std::env::var("PASH_BENCH_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64.0);
+    let cm = CostModel::default();
+    let sim_cfg = SimConfig::default();
+    let sizes = unix50::sim_sizes(sim_mb * 1e6);
+    println!("Fig. 8: Unix50 at 16x parallelism (simulated, input {sim_mb} MB)\n");
+    println!(
+        "{:>4} {:>9} {:>9} {:>8}  note",
+        "idx", "seq(s)", "pash(s)", "speedup"
+    );
+    let mut speedups: Vec<f64> = Vec::new();
+    let mut seq_times: Vec<f64> = Vec::new();
+    for p in unix50::all() {
+        let seq = simulate_compiled(
+            p.script,
+            &Fig7Config::Parallel.pash_config(1),
+            &sizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("seq sim")
+        .seconds;
+        let par = simulate_compiled(
+            p.script,
+            &Fig7Config::ParBSplit.pash_config(16),
+            &sizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("par sim")
+        .seconds;
+        let s = seq / par;
+        println!("{:>4} {seq:>9.2} {par:>9.2} {s:>8.2}  {}", p.idx, p.note);
+        speedups.push(s);
+        seq_times.push(seq);
+    }
+    let n = speedups.len() as f64;
+    let avg = speedups.iter().sum::<f64>() / n;
+    let mut sorted = speedups.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = sorted[sorted.len() / 2];
+    let weighted = speedups
+        .iter()
+        .zip(&seq_times)
+        .map(|(s, t)| s * t)
+        .sum::<f64>()
+        / seq_times.iter().sum::<f64>();
+    println!("\nSummary (paper: avg 5.49, median 6.07, weighted 5.75):");
+    println!("  avg {avg:.2}   median {median:.2}   weighted {weighted:.2}");
+    println!(
+        "  no-speedup group (<=1.1x): {:?}",
+        speedups
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s <= 1.1)
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "  slowdown group (<1.0x):    {:?}",
+        speedups
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s < 1.0)
+            .map(|(i, _)| i)
+            .collect::<Vec<_>>()
+    );
+}

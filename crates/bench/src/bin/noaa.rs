@@ -1,0 +1,109 @@
+//! Regenerates §6.3 (NOAA weather analysis): end-to-end speedups at
+//! 2×/10× plus a real-execution correctness check against the
+//! generator's ground truth.
+
+use std::sync::Arc;
+
+use pash_bench::suites::usecases;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_sim::{simulate_compiled, SimConfig};
+use pash_workloads::NoaaSpec;
+
+fn main() {
+    // --- Correctness: real threaded execution vs ground truth ------
+    let fs = Arc::new(MemFs::new());
+    let spec = NoaaSpec {
+        years: 2015..=2020,
+        files_per_year: 4,
+        records_per_file: 400,
+        seed: 42,
+    };
+    let truths = usecases::setup_noaa(&fs, &spec);
+    let script = usecases::noaa_script(2015..=2020);
+    let reg = Registry::standard();
+    println!("§6.3 NOAA weather analysis\n");
+    println!("correctness (threaded executor, real data):");
+    for width in [1usize, 2, 10] {
+        let out = run_script(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        let text = String::from_utf8(out.stdout).expect("utf8");
+        let ok = truths.iter().all(|(year, max)| {
+            text.contains(&format!(
+                "Maximum temperature for {year} is: {max:04}"
+            ))
+        });
+        println!(
+            "  width {width:>2}: {} ({} lines)",
+            if ok { "matches ground truth" } else { "MISMATCH" },
+            text.lines().count()
+        );
+        if !ok {
+            println!("--- output ---\n{text}");
+        }
+    }
+
+    // --- Performance shape (simulated) ------------------------------
+    let cm = usecases::noaa_cost_model();
+    let sim_cfg = SimConfig::default();
+    let sizes = usecases::noaa_sim_sizes(&spec);
+    let seq = simulate_compiled(
+        &script,
+        &Fig7Config::Parallel.pash_config(1),
+        &sizes,
+        &cm,
+        &sim_cfg,
+    )
+    .expect("sim")
+    .seconds;
+    println!("\nperformance shape (simulated; paper: 1.86x @2x, 2.44x @10x):");
+    println!("  sequential: {seq:.1}s");
+    for width in [2usize, 10] {
+        let par = simulate_compiled(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            &sizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("sim")
+        .seconds;
+        println!("  width {width:>2}: {par:.1}s  speedup {:.2}x", seq / par);
+    }
+    // Per-phase split: the compute phase alone (paper: 2.30x/10.79x).
+    let compute = usecases::noaa_compute_script(2015);
+    let mut csizes = pash_sim::InputSizes::new();
+    // One year of raw records (paper scale).
+    csizes.insert("noaa-2015.flat".to_string(), 13.5e9);
+    let cseq = simulate_compiled(
+        &compute,
+        &Fig7Config::Parallel.pash_config(1),
+        &csizes,
+        &cm,
+        &sim_cfg,
+    )
+    .expect("sim")
+    .seconds;
+    println!("\ncompute phase only (paper: 2.30x @2x, 10.79x @10x):");
+    for width in [2usize, 10] {
+        let cpar = simulate_compiled(
+            &compute,
+            &Fig7Config::ParBSplit.pash_config(width),
+            &csizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("sim")
+        .seconds;
+        println!("  width {width:>2}: speedup {:.2}x", cseq / cpar);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Tab. 1: the parallelizability study of POSIX and GNU
+//! Coreutils.
+
+fn main() {
+    println!("Tab. 1: Parallelizability classes (paper: S 28/22, P 9/8, N 13/13, E 105/57)\n");
+    print!("{}", pash_core::study::render_table1());
+    println!();
+    println!(
+        "Annotation stdlib: {} command records",
+        pash_core::annot::stdlib::AnnotationLibrary::standard().len()
+    );
+}

@@ -1,0 +1,95 @@
+//! Regenerates §6.4 (Wikipedia web indexing): correctness of the
+//! annotated non-POSIX pipeline plus simulated speedups at 2×/16×.
+
+use std::sync::Arc;
+
+use pash_bench::suites::usecases;
+use pash_bench::Fig7Config;
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_script, ExecConfig};
+use pash_sim::{simulate_compiled, CostModel, SimConfig};
+use pash_workloads::WikiSpec;
+
+fn main() {
+    println!("§6.4 Wikipedia web indexing\n");
+    // --- Correctness: parallel output must equal sequential ---------
+    let fs = Arc::new(MemFs::new());
+    let spec = WikiSpec {
+        pages: 40,
+        bytes_per_page: 3000,
+        seed: 7,
+    };
+    usecases::setup_wiki(&fs, &spec);
+    let script = usecases::wiki_script();
+    let reg = Registry::standard();
+    let seq_out = run_script(
+        &script,
+        &Fig7Config::Parallel.pash_config(1),
+        &reg,
+        fs.clone(),
+        Vec::new(),
+        &ExecConfig::default(),
+    )
+    .expect("seq run");
+    let seq_index = fs.read("index.txt").expect("index");
+    println!("correctness (threaded executor, {} pages):", spec.pages);
+    for width in [2usize, 16] {
+        let out = run_script(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("par run");
+        let par_index = fs.read("index.txt").expect("index");
+        println!(
+            "  width {width:>2}: {}",
+            if par_index == seq_index {
+                "byte-identical to sequential"
+            } else {
+                "MISMATCH"
+            }
+        );
+        let _ = (out, &seq_out);
+    }
+    let top = String::from_utf8_lossy(&seq_index)
+        .lines()
+        .take(3)
+        .map(|l| l.trim().to_string())
+        .collect::<Vec<_>>()
+        .join("; ");
+    println!("  top index terms: {top}");
+
+    // --- Performance shape (simulated) ------------------------------
+    let cm = CostModel::default();
+    let sim_cfg = SimConfig::default();
+    let mut sizes = usecases::wiki_sim_sizes(&spec);
+    // Paper scale: 1% of Wikipedia = 1.3 GB of pages; urls ≈ 45 B/page.
+    sizes.insert("wiki/urls.txt".to_string(), 1.3e9 / 200.0);
+    let seq = simulate_compiled(
+        &script,
+        &Fig7Config::Parallel.pash_config(1),
+        &sizes,
+        &cm,
+        &sim_cfg,
+    )
+    .expect("sim")
+    .seconds;
+    println!("\nperformance shape (simulated; paper: 1.97x @2x, 12.7x @16x, 191min seq):");
+    println!("  sequential: {:.0}s", seq);
+    for width in [2usize, 16] {
+        let par = simulate_compiled(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            &sizes,
+            &cm,
+            &sim_cfg,
+        )
+        .expect("sim")
+        .seconds;
+        println!("  width {width:>2}: {par:.0}s  speedup {:.2}x", seq / par);
+    }
+}

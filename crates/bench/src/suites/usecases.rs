@@ -1,0 +1,120 @@
+//! The two large use cases: NOAA weather analysis (§6.3, Fig. 1) and
+//! Wikipedia web indexing (§6.4).
+
+use pash_coreutils::fs::MemFs;
+use pash_parser::expand::StaticEnv;
+use pash_sim::InputSizes;
+use pash_workloads::{generate_noaa, generate_wiki, NoaaSpec, WikiSpec};
+
+/// The Fig. 1 pipeline over the local mirror (substitutions: `fetch`
+/// for `curl`, `unrle` for `gunzip`; see DESIGN.md §2).
+pub fn noaa_script(years: std::ops::RangeInclusive<u32>) -> String {
+    format!(
+        "base=noaa\nfor y in {{{}..{}}}; do\n  cat $base/$y/index.txt | grep rec | tr -s ' ' | cut -d ' ' -f 9 | sed \"s;^;$base/$y/;\" | xargs -n 1 fetch | unrle | cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 | sed \"s/^/Maximum temperature for $y is: /\"\ndone",
+        years.start(),
+        years.end()
+    )
+}
+
+/// Only the max-temperature phase (the book's Hadoop part), for the
+/// per-phase speedup numbers of §6.3.
+pub fn noaa_compute_script(year: u32) -> String {
+    format!(
+        "cat noaa-{year}.flat | cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 > out.txt"
+    )
+}
+
+/// Sets up the NOAA mirror; returns `(ground truths, spec)`.
+pub fn setup_noaa(fs: &MemFs, spec: &NoaaSpec) -> Vec<(u32, u32)> {
+    generate_noaa(fs, "noaa", spec)
+}
+
+/// Simulator sizes for the NOAA run, at the paper's scale: 82 GB of
+/// raw records over six years. Index files are small; the bulk is the
+/// fetched record data, modelled through `fetch`'s expansion factor
+/// (see [`noaa_cost_model`]).
+pub fn noaa_sim_sizes(spec: &NoaaSpec) -> InputSizes {
+    let mut m = InputSizes::new();
+    for y in spec.years.clone() {
+        m.insert(format!("noaa/{y}/index.txt"), NOAA_INDEX_BYTES);
+    }
+    m
+}
+
+/// Paper-scale index size per year (≈1000 station files, ls-style).
+pub const NOAA_INDEX_BYTES: f64 = 80e3;
+
+/// The cost model calibrated for the paper-scale NOAA run: the URL
+/// stream per year is ≈9 KB after grep/cut/sed; each year fetches
+/// ≈4.5 GB of compressed records, which `unrle` expands 3× to the
+/// paper's ≈13.7 GB/year of raw data.
+pub fn noaa_cost_model() -> pash_sim::CostModel {
+    pash_sim::CostModel {
+        fetch_expansion: 5.1e5,
+        unrle_expansion: 3.0,
+    }
+}
+
+/// An empty static environment (the NOAA script sets `base` itself).
+pub fn noaa_env() -> StaticEnv {
+    StaticEnv::new()
+}
+
+/// The §6.4 web-indexing pipeline: fetch pages, extract text, apply
+/// NLP-ish stages, index by stemmed term frequency. `html-to-text` and
+/// `word-stem` stand in for the original's JavaScript and Python
+/// stages; each needed one annotation record.
+pub fn wiki_script() -> String {
+    "cat wiki/urls.txt | xargs -n 1 fetch | html-to-text | tr -cs A-Za-z '\\n' | tr A-Z a-z | word-stem | sort | uniq -c | sort -rn > index.txt"
+        .to_string()
+}
+
+/// Sets up the wiki mirror.
+pub fn setup_wiki(fs: &MemFs, spec: &WikiSpec) {
+    generate_wiki(fs, "wiki", spec)
+}
+
+/// Simulator sizes for the wiki run.
+pub fn wiki_sim_sizes(spec: &WikiSpec) -> InputSizes {
+    let mut m = InputSizes::new();
+    m.insert("wiki/urls.txt".to_string(), spec.pages as f64 * 45.0);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_core::compile::{compile, PashConfig};
+
+    #[test]
+    fn noaa_script_compiles_and_unrolls() {
+        let src = noaa_script(2015..=2017);
+        let out = compile(
+            &src,
+            &PashConfig {
+                width: 4,
+                unroll_for: true,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        // One region per unrolled year.
+        assert_eq!(out.stats.regions, 3);
+    }
+
+    #[test]
+    fn wiki_script_compiles() {
+        let out = compile(
+            &wiki_script(),
+            &PashConfig {
+                width: 4,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert_eq!(out.stats.regions, 1);
+        // The annotated non-POSIX stages parallelize: expect many
+        // command copies.
+        assert!(out.stats.nodes.commands > 10);
+    }
+}

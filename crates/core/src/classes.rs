@@ -1,0 +1,120 @@
+//! Parallelizability classes (§3.1, Tab. 1).
+//!
+//! A class captures the synchronization commands running in parallel
+//! copies require. The classes form a hierarchy ordered by ascending
+//! difficulty of parallelization; a command under a set of flags is
+//! classified by its *least parallelizable* interpretation.
+
+/// The four parallelizability classes of §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ParClass {
+    /// S — stateless: a pure per-line map/filter. Parallel copies need
+    /// no synchronization; outputs concatenate.
+    Stateless,
+    /// P — parallelizable pure: functionally pure with internal state;
+    /// parallelizable as map + associative aggregate.
+    Pure,
+    /// N — non-parallelizable pure: pure, but state depends on all
+    /// prior input non-trivially (e.g. `sha1sum`).
+    NonParallelizable,
+    /// E — side-effectful: interacts with the system beyond its
+    /// streams; never touched by PaSh.
+    SideEffectful,
+}
+
+impl ParClass {
+    /// Returns the least parallelizable (maximum) of two classes.
+    ///
+    /// Used to combine the contributions of individual flags: "a
+    /// command is classified by the class of its least parallelizable
+    /// flag" (§3.2).
+    pub fn join(self, other: ParClass) -> ParClass {
+        self.max(other)
+    }
+
+    /// True when PaSh may divide this command's input stream.
+    pub fn is_data_parallel(self) -> bool {
+        matches!(self, ParClass::Stateless | ParClass::Pure)
+    }
+
+    /// One-letter tag as used in the paper's tables.
+    pub fn letter(self) -> char {
+        match self {
+            ParClass::Stateless => 'S',
+            ParClass::Pure => 'P',
+            ParClass::NonParallelizable => 'N',
+            ParClass::SideEffectful => 'E',
+        }
+    }
+
+    /// Parses the DSL's category keywords.
+    pub fn from_keyword(s: &str) -> Option<ParClass> {
+        match s {
+            "stateless" | "S" => Some(ParClass::Stateless),
+            "pure" | "P" => Some(ParClass::Pure),
+            "non-parallelizable" | "N" => Some(ParClass::NonParallelizable),
+            "side-effectful" | "E" => Some(ParClass::SideEffectful),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ParClass::Stateless => "stateless",
+            ParClass::Pure => "parallelizable pure",
+            ParClass::NonParallelizable => "non-parallelizable pure",
+            ParClass::SideEffectful => "side-effectful",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_order() {
+        assert!(ParClass::Stateless < ParClass::Pure);
+        assert!(ParClass::Pure < ParClass::NonParallelizable);
+        assert!(ParClass::NonParallelizable < ParClass::SideEffectful);
+    }
+
+    #[test]
+    fn join_takes_least_parallelizable() {
+        // The trace-sort example from §3.2: P flags + one E flag ⇒ E.
+        assert_eq!(
+            ParClass::Pure.join(ParClass::SideEffectful),
+            ParClass::SideEffectful
+        );
+        assert_eq!(
+            ParClass::Stateless.join(ParClass::Stateless),
+            ParClass::Stateless
+        );
+    }
+
+    #[test]
+    fn data_parallel_subset() {
+        assert!(ParClass::Stateless.is_data_parallel());
+        assert!(ParClass::Pure.is_data_parallel());
+        assert!(!ParClass::NonParallelizable.is_data_parallel());
+        assert!(!ParClass::SideEffectful.is_data_parallel());
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for c in [
+            ParClass::Stateless,
+            ParClass::Pure,
+            ParClass::NonParallelizable,
+            ParClass::SideEffectful,
+        ] {
+            let kw = c.letter().to_string();
+            assert_eq!(ParClass::from_keyword(&kw), Some(c));
+        }
+        assert_eq!(ParClass::from_keyword("stateless"), Some(ParClass::Stateless));
+        assert_eq!(ParClass::from_keyword("bogus"), None);
+    }
+}

@@ -1,0 +1,199 @@
+//! Top-level compiler API: script in, parallel script + regions out.
+
+use std::time::{Duration, Instant};
+
+use pash_parser::expand::StaticEnv;
+
+use crate::annot::stdlib::AnnotationLibrary;
+use crate::backend::{emit_program, EmitConfig};
+use crate::dfg::transform::{parallelize, AggTreeShape, EagerPolicy, SplitPolicy, TransformConfig};
+use crate::dfg::DfgStats;
+use crate::frontend::{translate, FrontendOptions, TranslatedProgram};
+use crate::Error;
+
+/// Compiler configuration (one per PaSh invocation).
+#[derive(Debug, Clone)]
+pub struct PashConfig {
+    /// Parallelism width (the paper sweeps 2–64).
+    pub width: usize,
+    /// Split-node policy (Fig. 7's `Split` / `B.Split` axis).
+    pub split: SplitPolicy,
+    /// Eager-relay policy (Fig. 7's `Eager` axis).
+    pub eager: EagerPolicy,
+    /// Aggregation-tree shape (binary matches the paper's counts).
+    pub agg_tree: AggTreeShape,
+    /// Unroll static `for` loops (per-iteration compilation).
+    pub unroll_for: bool,
+    /// Compile-time-known variables.
+    pub env: StaticEnv,
+}
+
+impl Default for PashConfig {
+    fn default() -> Self {
+        PashConfig {
+            width: 2,
+            split: SplitPolicy::Off,
+            eager: EagerPolicy::Full,
+            agg_tree: AggTreeShape::Binary,
+            unroll_for: true,
+            env: StaticEnv::new(),
+        }
+    }
+}
+
+impl PashConfig {
+    /// The paper's best configuration at a given width: eager on,
+    /// input-aware split on.
+    pub fn best(width: usize) -> Self {
+        PashConfig {
+            width,
+            split: SplitPolicy::Sized,
+            ..Default::default()
+        }
+    }
+}
+
+/// Compilation statistics (Tab. 2's `#Nodes` and `Compile time`).
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Number of DFG regions.
+    pub regions: usize,
+    /// Aggregate node counts over all regions (after transformation).
+    pub nodes: DfgStats,
+    /// Wall-clock compilation time.
+    pub compile_time: Duration,
+}
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The translated program with transformed regions.
+    pub program: TranslatedProgram,
+    /// The emitted POSIX script.
+    pub script: String,
+    /// Statistics.
+    pub stats: CompileStats,
+}
+
+/// Compiles a script with the standard annotation library.
+pub fn compile(src: &str, cfg: &PashConfig) -> Result<Compiled, Error> {
+    compile_with_library(src, cfg, AnnotationLibrary::standard())
+}
+
+/// Compiles a script with a custom annotation library.
+pub fn compile_with_library(
+    src: &str,
+    cfg: &PashConfig,
+    lib: &AnnotationLibrary,
+) -> Result<Compiled, Error> {
+    let start = Instant::now();
+    let prog = pash_parser::parse(src)?;
+    let mut tp = translate(
+        &prog,
+        lib,
+        &FrontendOptions {
+            env: cfg.env.clone(),
+            unroll_for: cfg.unroll_for,
+        },
+    )?;
+    let tcfg = TransformConfig {
+        width: cfg.width,
+        split: cfg.split,
+        eager: cfg.eager,
+        agg_tree: cfg.agg_tree,
+    };
+    let mut nodes = DfgStats::default();
+    let mut regions = 0;
+    for g in tp.regions_mut() {
+        parallelize(g, &tcfg);
+        g.validate()?;
+        let s = g.stats();
+        nodes.commands += s.commands;
+        nodes.cats += s.cats;
+        nodes.splits += s.splits;
+        nodes.relays += s.relays;
+        nodes.aggregates += s.aggregates;
+        regions += 1;
+    }
+    let script = emit_program(&tp, &EmitConfig::default());
+    Ok(Compiled {
+        program: tp,
+        script,
+        stats: CompileStats {
+            regions,
+            nodes,
+            compile_time: start.elapsed(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let out = compile(
+            "cat in.txt | tr A-Z a-z | sort > out.txt",
+            &PashConfig {
+                width: 16,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert_eq!(out.stats.regions, 1);
+        // Tab. 2's Sort row shape at 16×: 77 nodes.
+        assert_eq!(out.stats.nodes.total(), 16 + 16 + 15 + 30);
+        assert!(out.script.contains("mkfifo"));
+        assert!(out.stats.compile_time.as_secs() < 5);
+    }
+
+    #[test]
+    fn default_config_is_conservative() {
+        let cfg = PashConfig::default();
+        assert_eq!(cfg.width, 2);
+        assert!(matches!(cfg.split, SplitPolicy::Off));
+        assert!(matches!(cfg.eager, EagerPolicy::Full));
+    }
+
+    #[test]
+    fn best_config_enables_split() {
+        let cfg = PashConfig::best(16);
+        assert!(matches!(cfg.split, SplitPolicy::Sized));
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(compile("cat |", &PashConfig::default()).is_err());
+    }
+
+    #[test]
+    fn width_one_still_compiles() {
+        let out = compile(
+            "grep x in.txt > out.txt",
+            &PashConfig {
+                width: 1,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert_eq!(out.stats.nodes.commands, 1);
+    }
+
+    #[test]
+    fn env_parameterizes_compilation() {
+        let mut env = StaticEnv::new();
+        env.set("f", "data.txt");
+        let out = compile(
+            "grep x $f > out.txt",
+            &PashConfig {
+                width: 2,
+                env,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert_eq!(out.stats.regions, 1);
+        assert!(out.script.contains("data.txt"));
+    }
+}

@@ -1,0 +1,783 @@
+//! Graph transformations (§4.2): the parallelization transformation
+//! `T` for stateless and parallelizable-pure nodes, plus the auxiliary
+//! transformations `t1` (cat-insertion), `t2` (split+cat insertion),
+//! and `t3` (eager relay insertion).
+//!
+//! All transformations preserve the graph's observable behaviour: `T`
+//! is justified by the stateless law `f(x·x') = f(x)·f(x')` and the
+//! map/aggregate law `f(x·x') = agg(m(x)·m(x'))` (both property-tested
+//! against the real command implementations in the runtime crate).
+
+use crate::dfg::graph::{
+    Dfg, Edge, EdgeId, NodeId, Node, NodeKind, EagerKind, SplitKind, StreamSpec,
+};
+
+/// Split insertion policy (the Fig. 7 `Split` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitPolicy {
+    /// No split nodes; only whole files at the graph boundary are
+    /// divided (via byte-range segments, which need no process).
+    #[default]
+    Off,
+    /// Insert general (count-then-scatter) splits on pipe inputs.
+    General,
+    /// Like `General`, but inputs of known size use the streaming
+    /// input-aware splitter (`B.Split`).
+    Sized,
+}
+
+/// Eager-relay insertion policy (the Fig. 7 `Eager` axis, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EagerPolicy {
+    /// No relays: raw FIFOs with their laziness problems.
+    Off,
+    /// Bounded-buffer relays.
+    Blocking,
+    /// Unbounded eager relays (the paper's default).
+    #[default]
+    Full,
+}
+
+/// Shape of the aggregation network for class-P nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggTreeShape {
+    /// A balanced binary tree of 2-input aggregators (the paper's
+    /// `sort` at 8× spawns 7 aggregators; Tab. 2's node counts).
+    #[default]
+    Binary,
+    /// One flat n-input aggregator.
+    Flat,
+}
+
+/// Transformation configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformConfig {
+    /// Parallelism width (paper: 2–64).
+    pub width: usize,
+    /// Split policy.
+    pub split: SplitPolicy,
+    /// Eager policy.
+    pub eager: EagerPolicy,
+    /// Aggregation-tree shape.
+    pub agg_tree: AggTreeShape,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            width: 2,
+            split: SplitPolicy::Off,
+            eager: EagerPolicy::Full,
+            agg_tree: AggTreeShape::Binary,
+        }
+    }
+}
+
+/// Applies all transformations to the graph.
+///
+/// Walks the original nodes in topological order, applying `t1`/`t2`
+/// to expose a concatenation in front of each parallelizable node and
+/// then commuting it through (`T`). Finishes with the `t3` eager pass.
+pub fn parallelize(g: &mut Dfg, cfg: &TransformConfig) {
+    if cfg.width >= 2 {
+        let order = g.topo_order();
+        for id in order {
+            if g.node(id).map(|n| n.is_parallelizable()).unwrap_or(false) {
+                try_parallelize_node(g, id, cfg);
+            }
+        }
+    }
+    insert_eager_relays(g, cfg.eager);
+    debug_assert!(g.validate().is_ok(), "transformations broke the DFG");
+}
+
+/// The parallelization transformation `T` on one node.
+fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
+    // t1: multiple inputs are first concatenated.
+    if g.node(id).expect("live node").inputs.len() > 1 {
+        insert_cat_before(g, id);
+    }
+    let input_edge = g.node(id).expect("live node").inputs[0];
+    // Find (or create) the parallel sources feeding this node.
+    let sources: Vec<EdgeId> = match g.edge(input_edge).from {
+        // A preceding cat: commute with it (consume its inputs).
+        Some(p) if matches!(g.node(p).expect("live node").kind, NodeKind::Cat) => {
+            let srcs = g.node(p).expect("live node").inputs.clone();
+            g.remove_node(p);
+            // Retire the cat→node edge; the copies consume the cat's
+            // inputs directly.
+            g.edge_mut(input_edge).from = None;
+            g.edge_mut(input_edge).to = None;
+            if srcs.len() == 1 {
+                // Single-input cat is the identity: bypass it and try
+                // again against whatever feeds it.
+                g.edge_mut(srcs[0]).to = Some(id);
+                g.node_mut(id).expect("live node").inputs = vec![srcs[0]];
+                return try_parallelize_node(g, id, cfg);
+            }
+            srcs
+        }
+        // A whole file at the graph boundary: divide into segments.
+        None => match g.edge(input_edge).spec.clone() {
+            StreamSpec::File(path) => segment_file_edge(g, input_edge, &path, cfg.width),
+            _ => match split_sources(g, id, input_edge, cfg) {
+                Some(s) => s,
+                None => return,
+            },
+        },
+        // A pipe from a non-cat producer: needs a split node (t2).
+        Some(_) => match split_sources(g, id, input_edge, cfg) {
+            Some(s) => s,
+            None => return,
+        },
+    };
+    if sources.len() < 2 {
+        return;
+    }
+    let n = sources.len();
+    let node = g.node(id).expect("live node").clone();
+    let output_edge = node.outputs[0];
+    // Each copy reads one source on stdin; stream markers (positions
+    // of further streamed args) disappear with the concatenation.
+    let copy_kind = sanitize_copy_kind(&node.kind);
+    // Spawn n copies, one per source.
+    let mut copy_outputs = Vec::with_capacity(n);
+    for src in sources {
+        let copy_id = g.add_node(Node {
+            kind: copy_kind.clone(),
+            inputs: vec![src],
+            outputs: vec![],
+        });
+        g.edge_mut(src).to = Some(copy_id);
+        let out = g.add_edge(Edge {
+            spec: StreamSpec::Pipe,
+            from: Some(copy_id),
+            to: None,
+        });
+        g.node_mut(copy_id).expect("just added").outputs.push(out);
+        copy_outputs.push(out);
+    }
+    // Combine copy outputs: cat for S, aggregation network for P.
+    let agg = match &node.kind {
+        NodeKind::Command { agg, class, .. } if *class == crate::classes::ParClass::Pure => {
+            agg.clone()
+        }
+        _ => None,
+    };
+    let combined = match agg {
+        None => {
+            let cat_id = g.add_node(Node {
+                kind: NodeKind::Cat,
+                inputs: copy_outputs.clone(),
+                outputs: vec![],
+            });
+            for &e in &copy_outputs {
+                g.edge_mut(e).to = Some(cat_id);
+            }
+            cat_id
+        }
+        Some(agg_argv) => {
+            // The paper's aggregators are k-ary ("they work with more
+            // than two inputs", §5.2); a binary tree is an equivalent
+            // network only when the aggregator is associative — its
+            // output must be in the same format as its inputs. The
+            // bigram aggregator projects marked chunks to clean pairs,
+            // so it must see all chunks at once.
+            let shape = if aggregator_associative(&agg_argv) {
+                cfg.agg_tree
+            } else {
+                AggTreeShape::Flat
+            };
+            build_agg_network(g, &copy_outputs, &agg_argv, shape)
+        }
+    };
+    // Rewire the original output edge to the combiner and retire the
+    // original node. The binary aggregation network created its own
+    // final edge; retire it first.
+    let old_outs = g.node(combined).expect("combiner").outputs.clone();
+    for e in old_outs {
+        g.edge_mut(e).from = None;
+        g.edge_mut(e).to = None;
+    }
+    g.edge_mut(output_edge).from = Some(combined);
+    g.node_mut(combined).expect("combiner").outputs = vec![output_edge];
+    g.remove_node(id);
+}
+
+/// True when an aggregator's output format equals its input format,
+/// making binary reduction trees equivalent to one k-ary application.
+fn aggregator_associative(argv: &[String]) -> bool {
+    // The bigram aggregator consumes *marked* map output but produces
+    // clean pairs — a projection, not a monoid operation.
+    argv.first().map(|s| s != "pash-agg-bigram").unwrap_or(true)
+}
+
+/// Builds the argv parallel copies execute: the declared map command
+/// when one exists, else the original argv with stream markers
+/// removed (each copy reads its single source on stdin).
+fn sanitize_copy_kind(kind: &NodeKind) -> NodeKind {
+    match kind {
+        NodeKind::Command {
+            argv,
+            class,
+            static_files,
+            agg,
+            map,
+        } => NodeKind::Command {
+            argv: match map {
+                Some(m) => m.clone(),
+                None => argv
+                    .iter()
+                    .filter(|a| crate::annot::parse_stream_marker(a).is_none())
+                    .cloned()
+                    .collect(),
+            },
+            class: *class,
+            static_files: static_files.clone(),
+            agg: agg.clone(),
+            map: None,
+        },
+        other => other.clone(),
+    }
+}
+
+/// t1: inserts a cat node in front of a multi-input node.
+fn insert_cat_before(g: &mut Dfg, id: NodeId) {
+    let inputs = g.node(id).expect("live node").inputs.clone();
+    let cat_out = g.add_edge(Edge {
+        spec: StreamSpec::Pipe,
+        from: None,
+        to: Some(id),
+    });
+    let cat_id = g.add_node(Node {
+        kind: NodeKind::Cat,
+        inputs: inputs.clone(),
+        outputs: vec![cat_out],
+    });
+    g.edge_mut(cat_out).from = Some(cat_id);
+    for e in inputs {
+        g.edge_mut(e).to = Some(cat_id);
+    }
+    g.node_mut(id).expect("live node").inputs = vec![cat_out];
+}
+
+/// Divides a boundary file edge into `width` line-aligned segments.
+fn segment_file_edge(g: &mut Dfg, edge: EdgeId, path: &str, width: usize) -> Vec<EdgeId> {
+    let consumer = g.edge(edge).to;
+    let mut out = Vec::with_capacity(width);
+    for part in 0..width {
+        let e = g.add_edge(Edge {
+            spec: StreamSpec::FileSegment {
+                path: path.to_string(),
+                part,
+                of: width,
+            },
+            from: None,
+            to: consumer,
+        });
+        out.push(e);
+    }
+    // Retire the original edge (it keeps its slot but loses its
+    // consumer so it is no longer an input edge).
+    g.edge_mut(edge).to = None;
+    if let Some(c) = consumer {
+        let node = g.node_mut(c).expect("consumer");
+        node.inputs.retain(|&e| e != edge);
+        node.inputs.extend(&out);
+    }
+    out
+}
+
+/// t2: inserts a split node feeding `width` streams.
+fn split_sources(
+    g: &mut Dfg,
+    consumer: NodeId,
+    input_edge: EdgeId,
+    cfg: &TransformConfig,
+) -> Option<Vec<EdgeId>> {
+    let kind = match (cfg.split, &g.edge(input_edge).spec) {
+        (SplitPolicy::Off, _) => return None,
+        (SplitPolicy::Sized, StreamSpec::File(_) | StreamSpec::FileSegment { .. }) => {
+            SplitKind::Sized
+        }
+        (SplitPolicy::Sized, _) | (SplitPolicy::General, _) => SplitKind::General,
+    };
+    let split_id = g.add_node(Node {
+        kind: NodeKind::Split(kind),
+        inputs: vec![input_edge],
+        outputs: vec![],
+    });
+    g.edge_mut(input_edge).to = Some(split_id);
+    let mut out = Vec::with_capacity(cfg.width);
+    for _ in 0..cfg.width {
+        let e = g.add_edge(Edge {
+            spec: StreamSpec::Pipe,
+            from: Some(split_id),
+            to: None,
+        });
+        g.node_mut(split_id).expect("split").outputs.push(e);
+        out.push(e);
+    }
+    // The consumer no longer reads the original edge directly.
+    g.node_mut(consumer)
+        .expect("consumer")
+        .inputs
+        .retain(|&e| e != input_edge);
+    Some(out)
+}
+
+/// Builds the aggregation network over ordered partial outputs.
+fn build_agg_network(
+    g: &mut Dfg,
+    parts: &[EdgeId],
+    agg_argv: &[String],
+    shape: AggTreeShape,
+) -> NodeId {
+    match shape {
+        AggTreeShape::Flat => {
+            let id = g.add_node(Node {
+                kind: NodeKind::Aggregate {
+                    argv: agg_argv.to_vec(),
+                },
+                inputs: parts.to_vec(),
+                outputs: vec![],
+            });
+            for &e in parts {
+                g.edge_mut(e).to = Some(id);
+            }
+            id
+        }
+        AggTreeShape::Binary => {
+            // Reduce pairwise, preserving stream order, until one
+            // producer remains. For n parts this creates n-1 nodes
+            // (the paper's 7 aggregators for sort at 8×).
+            let mut layer: Vec<EdgeId> = parts.to_vec();
+            loop {
+                if layer.len() == 1 {
+                    let only = layer[0];
+                    return g.edge(only).from.expect("aggregated edge has producer");
+                }
+                let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                let mut i = 0;
+                while i < layer.len() {
+                    if i + 1 == layer.len() {
+                        // Odd stream passes through to the next level.
+                        next.push(layer[i]);
+                        i += 1;
+                        continue;
+                    }
+                    let (a, b) = (layer[i], layer[i + 1]);
+                    let id = g.add_node(Node {
+                        kind: NodeKind::Aggregate {
+                            argv: agg_argv.to_vec(),
+                        },
+                        inputs: vec![a, b],
+                        outputs: vec![],
+                    });
+                    g.edge_mut(a).to = Some(id);
+                    g.edge_mut(b).to = Some(id);
+                    let out = g.add_edge(Edge {
+                        spec: StreamSpec::Pipe,
+                        from: Some(id),
+                        to: None,
+                    });
+                    g.node_mut(id).expect("agg").outputs.push(out);
+                    next.push(out);
+                    i += 2;
+                }
+                layer = next;
+            }
+        }
+    }
+}
+
+/// t3: inserts relay nodes per the eager policy.
+///
+/// Relays go on every aggregator input, on every split output except
+/// the last, and on every cat-merge input except the first (§5.2) —
+/// the points where the shell's lazy evaluation stalls producers. The
+/// cat case is Fig. 6 verbatim: `cat t1 t2` leaves `t2`'s producer
+/// blocked on a full FIFO until `t1` is drained.
+fn insert_eager_relays(g: &mut Dfg, policy: EagerPolicy) {
+    let kind = match policy {
+        EagerPolicy::Off => return,
+        EagerPolicy::Blocking => EagerKind::Blocking,
+        EagerPolicy::Full => EagerKind::Full,
+    };
+    let ids: Vec<NodeId> = g.node_ids().collect();
+    for id in ids {
+        let node = g.node(id).expect("live id").clone();
+        match node.kind {
+            NodeKind::Aggregate { .. } => {
+                for &e in &node.inputs {
+                    insert_relay_on_edge(g, e, kind);
+                }
+            }
+            NodeKind::Split(_) => {
+                for &e in &node.outputs[..node.outputs.len().saturating_sub(1)] {
+                    insert_relay_on_edge(g, e, kind);
+                }
+            }
+            NodeKind::Cat if node.inputs.len() > 1 => {
+                for &e in &node.inputs[1..] {
+                    // Only pipes stall; files are seekable.
+                    if matches!(g.edge(e).spec, StreamSpec::Pipe) {
+                        insert_relay_on_edge(g, e, kind);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Splices `producer -> e -> consumer` into
+/// `producer -> e -> relay -> e' -> consumer`.
+fn insert_relay_on_edge(g: &mut Dfg, e: EdgeId, kind: EagerKind) {
+    let consumer = match g.edge(e).to {
+        Some(c) => c,
+        None => return,
+    };
+    let out = g.add_edge(Edge {
+        spec: StreamSpec::Pipe,
+        from: None,
+        to: Some(consumer),
+    });
+    let relay = g.add_node(Node {
+        kind: NodeKind::Relay(kind),
+        inputs: vec![e],
+        outputs: vec![out],
+    });
+    g.edge_mut(out).from = Some(relay);
+    g.edge_mut(e).to = Some(relay);
+    let cnode = g.node_mut(consumer).expect("consumer");
+    for slot in cnode.inputs.iter_mut() {
+        if *slot == e {
+            *slot = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::ParClass;
+    use crate::dfg::graph::{command_node, linear_pipeline, DfgStats};
+
+    fn grep_pipeline() -> Dfg {
+        linear_pipeline(
+            vec![
+                command_node(&["tr", "A-Z", "a-z"], ParClass::Stateless, None),
+                command_node(&["grep", "x"], ParClass::Stateless, None),
+                command_node(&["tr", "-d", "q"], ParClass::Stateless, None),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::File("out.txt".into()),
+        )
+    }
+
+    fn sort_pipeline() -> Dfg {
+        linear_pipeline(
+            vec![
+                command_node(&["tr", "A-Z", "a-z"], ParClass::Stateless, None),
+                command_node(
+                    &["sort"],
+                    ParClass::Pure,
+                    Some(vec!["pash-agg-sort".to_string()]),
+                ),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::File("out.txt".into()),
+        )
+    }
+
+    fn stats_after(mut g: Dfg, cfg: &TransformConfig) -> DfgStats {
+        parallelize(&mut g, cfg);
+        g.validate().expect("valid after transform");
+        g.stats()
+    }
+
+    #[test]
+    fn width_one_is_identity() {
+        let g0 = grep_pipeline();
+        let mut g = g0.clone();
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g.stats().total(), g0.stats().total());
+    }
+
+    #[test]
+    fn stateless_pipeline_matches_tab2_grep_counts() {
+        // Tab. 2: Grep (3×S) has 49 nodes at 16× and 193 at 64× — the
+        // paper's count excludes relays on the final merge; we match
+        // it exactly with eager disabled.
+        for (width, expected) in [(16, 49), (64, 193)] {
+            let s = stats_after(
+                grep_pipeline(),
+                &TransformConfig {
+                    width,
+                    eager: EagerPolicy::Off,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(s.commands, 3 * width);
+            assert_eq!(s.cats, 1);
+            assert_eq!(s.total(), expected, "width {width}");
+        }
+        // With eager on, the cat-merge inputs gain width-1 relays
+        // (the Fig. 6 fix).
+        let s = stats_after(
+            grep_pipeline(),
+            &TransformConfig {
+                width: 16,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.relays, 15);
+        assert_eq!(s.total(), 64);
+    }
+
+    #[test]
+    fn sort_pipeline_matches_tab2_sort_counts() {
+        // Tab. 2: Sort (S,P) has 77 nodes at 16× and 317 at 64×:
+        // width×tr + width×sort + (width-1) aggs + 2(width-1) eagers.
+        for (width, expected) in [(16, 77), (64, 317)] {
+            let s = stats_after(
+                sort_pipeline(),
+                &TransformConfig {
+                    width,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(s.commands, 2 * width);
+            assert_eq!(s.aggregates, width - 1);
+            assert_eq!(s.relays, 2 * (width - 1));
+            assert_eq!(s.total(), expected, "width {width}");
+        }
+    }
+
+    #[test]
+    fn sort_at_8x_matches_paper_discussion() {
+        // §6.1: "Sort in 8× spawns 37 nodes: 8 tr, 8 sort, 7
+        // aggregation nodes, and 14 relay nodes."
+        let s = stats_after(
+            sort_pipeline(),
+            &TransformConfig {
+                width: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.commands, 16);
+        assert_eq!(s.aggregates, 7);
+        assert_eq!(s.relays, 14);
+    }
+
+    #[test]
+    fn flat_agg_tree_single_aggregator() {
+        let s = stats_after(
+            sort_pipeline(),
+            &TransformConfig {
+                width: 8,
+                agg_tree: AggTreeShape::Flat,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.aggregates, 1);
+        assert_eq!(s.relays, 8);
+    }
+
+    #[test]
+    fn no_eager_policy_inserts_no_relays() {
+        let s = stats_after(
+            sort_pipeline(),
+            &TransformConfig {
+                width: 8,
+                eager: EagerPolicy::Off,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.relays, 0);
+    }
+
+    #[test]
+    fn pure_without_aggregator_stays_sequential() {
+        let g = linear_pipeline(
+            vec![command_node(&["paste", "-"], ParClass::Pure, None)],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        let s = stats_after(
+            g,
+            &TransformConfig {
+                width: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.commands, 1);
+    }
+
+    #[test]
+    fn non_parallelizable_class_untouched() {
+        let g = linear_pipeline(
+            vec![command_node(&["sha1sum"], ParClass::NonParallelizable, None)],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        let s = stats_after(
+            g,
+            &TransformConfig {
+                width: 8,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.commands, 1);
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn stage_after_aggregation_needs_split() {
+        // sort | grep: grep's input comes from the aggregator; without
+        // split it stays sequential, with split it parallelizes.
+        let pipeline = || {
+            linear_pipeline(
+                vec![
+                    command_node(
+                        &["sort"],
+                        ParClass::Pure,
+                        Some(vec!["pash-agg-sort".to_string()]),
+                    ),
+                    command_node(&["grep", "x"], ParClass::Stateless, None),
+                ],
+                StreamSpec::File("in.txt".into()),
+                StreamSpec::Pipe,
+            )
+        };
+        let without = stats_after(
+            pipeline(),
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::Off,
+                ..Default::default()
+            },
+        );
+        // 4 sorts + 1 grep.
+        assert_eq!(without.commands, 5);
+        assert_eq!(without.splits, 0);
+        let with = stats_after(
+            pipeline(),
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::General,
+                ..Default::default()
+            },
+        );
+        // 4 sorts + 4 greps + a split.
+        assert_eq!(with.commands, 8);
+        assert_eq!(with.splits, 1);
+    }
+
+    #[test]
+    fn split_outputs_get_relays_except_last() {
+        let g = linear_pipeline(
+            vec![
+                command_node(
+                    &["sort"],
+                    ParClass::Pure,
+                    Some(vec!["pash-agg-sort".to_string()]),
+                ),
+                command_node(&["grep", "x"], ParClass::Stateless, None),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        let s = stats_after(
+            g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::General,
+                ..Default::default()
+            },
+        );
+        // 2×(width-1) on agg inputs + (width-1) on split outputs +
+        // (width-1) on the final cat-merge inputs.
+        assert_eq!(s.relays, 4 * 3);
+    }
+
+    #[test]
+    fn deep_stateless_chain_commutes_single_final_cat() {
+        // A chain of k stateless stages ends with exactly one cat.
+        let g = grep_pipeline();
+        let mut g2 = g;
+        parallelize(
+            &mut g2,
+            &TransformConfig {
+                width: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(g2.stats().cats, 1);
+        // All graph inputs are segments of the original file.
+        for e in g2.input_edges() {
+            assert!(matches!(
+                g2.edge(e).spec,
+                StreamSpec::FileSegment { of: 4, .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn pipe_input_without_split_stays_sequential() {
+        let g = linear_pipeline(
+            vec![command_node(&["grep", "x"], ParClass::Stateless, None)],
+            StreamSpec::Pipe,
+            StreamSpec::Pipe,
+        );
+        let s = stats_after(
+            g,
+            &TransformConfig {
+                width: 8,
+                split: SplitPolicy::Off,
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn sized_split_used_for_file_inputs_only() {
+        let g = linear_pipeline(
+            vec![
+                command_node(
+                    &["sort"],
+                    ParClass::Pure,
+                    Some(vec!["pash-agg-sort".to_string()]),
+                ),
+                command_node(&["grep", "x"], ParClass::Stateless, None),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        let mut g2 = g;
+        parallelize(
+            &mut g2,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::Sized,
+                ..Default::default()
+            },
+        );
+        // The split after the aggregator reads a pipe ⇒ General.
+        let has_general = g2.node_ids().any(|id| {
+            matches!(
+                g2.node(id).expect("live").kind,
+                NodeKind::Split(SplitKind::General)
+            )
+        });
+        assert!(has_general);
+    }
+}

@@ -1,0 +1,234 @@
+//! The parallelizability study of POSIX and GNU Coreutils (§3.1,
+//! Tab. 1).
+//!
+//! The catalog assigns each command its *default* class (flags refine
+//! the class through annotations, §3.2). Counts match the paper's
+//! Tab. 1: Coreutils S/P/N/E = 22/8/13/57, POSIX = 28/9/13/105.
+//!
+//! The assignments follow the class definitions: stateless commands
+//! are per-line maps/filters; parallelizable-pure commands keep
+//! aggregate state with a divide-and-conquer decomposition;
+//! non-parallelizable-pure commands have order-dependent state
+//! (hashes, global analyses); everything that touches the filesystem,
+//! environment, or kernel interfaces — or has no data path at all —
+//! is side-effectful.
+
+use crate::classes::ParClass;
+
+/// Which standard library a command belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The POSIX.1-2017 utilities.
+    Posix,
+    /// GNU Coreutils.
+    Coreutils,
+}
+
+/// GNU Coreutils commands in class S (stateless).
+pub const COREUTILS_STATELESS: &[&str] = &[
+    "base32", "base64", "basename", "cat", "cut", "dirname", "echo", "expand", "factor", "fmt",
+    "fold", "join", "numfmt", "paste", "pathchk", "printf", "ptx", "seq", "tr", "unexpand", "yes",
+    "pr",
+];
+
+/// GNU Coreutils commands in class P (parallelizable pure).
+pub const COREUTILS_PURE: &[&str] = &[
+    "sort", "uniq", "wc", "comm", "tac", "head", "tail", "nl",
+];
+
+/// GNU Coreutils commands in class N (non-parallelizable pure).
+pub const COREUTILS_NONPAR: &[&str] = &[
+    "b2sum", "cksum", "md5sum", "sha1sum", "sha224sum", "sha256sum", "sha384sum", "sha512sum",
+    "sum", "tsort", "shuf", "od", "csplit",
+];
+
+/// GNU Coreutils commands in class E (side-effectful).
+pub const COREUTILS_SIDE_EFFECTFUL: &[&str] = &[
+    "arch", "chcon", "chgrp", "chmod", "chown", "chroot", "cp", "date", "dd", "df", "dircolors",
+    "du", "env", "false", "groups", "hostid", "hostname", "id", "install", "kill", "link", "ln",
+    "logname", "ls", "mkdir", "mkfifo", "mknod", "mktemp", "mv", "nice", "nohup", "nproc",
+    "printenv", "pwd", "readlink", "realpath", "rm", "rmdir", "runcon", "shred", "sleep", "split",
+    "stat", "stdbuf", "stty", "sync", "tee", "test", "timeout", "touch", "truncate", "tty",
+    "uname", "unlink", "who", "whoami", "true",
+];
+
+/// POSIX utilities in class S (stateless).
+pub const POSIX_STATELESS: &[&str] = &[
+    "asa", "basename", "cat", "compress", "cut", "dd", "dirname", "echo", "egrep", "expand",
+    "fgrep", "fold", "grep", "iconv", "join", "paste", "pathchk", "printf", "sed", "strings",
+    "tr", "uncompress", "unexpand", "uudecode", "uuencode", "zcat", "what", "col",
+];
+
+/// POSIX utilities in class P (parallelizable pure).
+pub const POSIX_PURE: &[&str] = &[
+    "comm", "head", "nl", "pr", "sort", "tail", "uniq", "wc", "xargs",
+];
+
+/// POSIX utilities in class N (non-parallelizable pure).
+pub const POSIX_NONPAR: &[&str] = &[
+    "awk", "bc", "cksum", "cmp", "diff", "m4", "od", "patch", "tsort", "ctags", "cflow", "cxref",
+    "nm",
+];
+
+/// POSIX utilities in class E (side-effectful).
+pub const POSIX_SIDE_EFFECTFUL: &[&str] = &[
+    "admin", "alias", "ar", "at", "batch", "bg", "cal", "cd", "chgrp", "chmod", "chown",
+    "command", "cp", "crontab", "csplit", "date", "df", "du", "ed", "env", "ex", "expr", "false",
+    "fc", "fg", "file", "find", "fuser", "gencat", "get", "getconf", "getopts", "hash", "id",
+    "ipcrm", "ipcs", "jobs", "kill", "lex", "link", "ln", "locale", "localedef", "logger",
+    "logname", "lp", "ls", "mailx", "make", "man", "mesg", "mkdir", "mkfifo", "more", "mv",
+    "newgrp", "nice", "nohup", "pax", "ps", "pwd", "qalter", "qdel", "qhold", "qmove", "qmsg",
+    "qrerun", "qrls", "qselect", "qsig", "qstat", "qsub", "read", "renice", "rm", "rmdel",
+    "rmdir", "sact", "sccs", "sh", "sleep", "split", "strip", "stty", "tabs", "talk", "tee",
+    "test", "time", "touch", "tput", "true", "tty", "type", "ulimit", "umask", "unalias",
+    "uname", "unget", "unlink", "uucp", "uustat", "uux", "val", "vi",
+];
+
+/// Returns `(class, members)` rows for one suite, in Tab. 1 order.
+pub fn suite_rows(suite: Suite) -> [(ParClass, &'static [&'static str]); 4] {
+    match suite {
+        Suite::Coreutils => [
+            (ParClass::Stateless, COREUTILS_STATELESS),
+            (ParClass::Pure, COREUTILS_PURE),
+            (ParClass::NonParallelizable, COREUTILS_NONPAR),
+            (ParClass::SideEffectful, COREUTILS_SIDE_EFFECTFUL),
+        ],
+        Suite::Posix => [
+            (ParClass::Stateless, POSIX_STATELESS),
+            (ParClass::Pure, POSIX_PURE),
+            (ParClass::NonParallelizable, POSIX_NONPAR),
+            (ParClass::SideEffectful, POSIX_SIDE_EFFECTFUL),
+        ],
+    }
+}
+
+/// Total command count of a suite.
+pub fn suite_total(suite: Suite) -> usize {
+    suite_rows(suite).iter().map(|(_, m)| m.len()).sum()
+}
+
+/// Looks up the default class of a command in a suite.
+pub fn default_class(suite: Suite, name: &str) -> Option<ParClass> {
+    for (class, members) in suite_rows(suite) {
+        if members.contains(&name) {
+            return Some(class);
+        }
+    }
+    None
+}
+
+/// Renders Tab. 1 as text (the `tab1` harness prints this).
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    out.push_str("Class                      Key  Examples              Coreutils      POSIX\n");
+    let examples = [
+        ("Stateless", "S", "tr, cat, grep"),
+        ("Parallelizable Pure", "P", "sort, wc, uniq"),
+        ("Non-parallelizable Pure", "N", "sha1sum"),
+        ("Side-effectful", "E", "env, cp, whoami"),
+    ];
+    let core = suite_rows(Suite::Coreutils);
+    let posix = suite_rows(Suite::Posix);
+    let core_total = suite_total(Suite::Coreutils) as f64;
+    let posix_total = suite_total(Suite::Posix) as f64;
+    for (i, (name, key, ex)) in examples.iter().enumerate() {
+        let c = core[i].1.len();
+        let p = posix[i].1.len();
+        out.push_str(&format!(
+            "{name:<26} {key}    {ex:<20} {c:>3} ({:>4.1}%)  {p:>3} ({:>4.1}%)\n",
+            c as f64 / core_total * 100.0,
+            p as f64 / posix_total * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "{:<26}      {:<20} {:>3}          {:>3}\n",
+        "Total", "", core_total as usize, posix_total as usize
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_table1() {
+        assert_eq!(COREUTILS_STATELESS.len(), 22);
+        assert_eq!(COREUTILS_PURE.len(), 8);
+        assert_eq!(COREUTILS_NONPAR.len(), 13);
+        assert_eq!(COREUTILS_SIDE_EFFECTFUL.len(), 57);
+        assert_eq!(POSIX_STATELESS.len(), 28);
+        assert_eq!(POSIX_PURE.len(), 9);
+        assert_eq!(POSIX_NONPAR.len(), 13);
+        assert_eq!(POSIX_SIDE_EFFECTFUL.len(), 105);
+    }
+
+    #[test]
+    fn totals_match_table1() {
+        assert_eq!(suite_total(Suite::Coreutils), 100);
+        assert_eq!(suite_total(Suite::Posix), 155);
+    }
+
+    #[test]
+    fn no_duplicates_within_suite() {
+        for suite in [Suite::Coreutils, Suite::Posix] {
+            let mut all: Vec<&str> = Vec::new();
+            for (_, members) in suite_rows(suite) {
+                all.extend(members);
+            }
+            let n = all.len();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), n, "duplicate command in {suite:?} catalog");
+        }
+    }
+
+    #[test]
+    fn paper_examples_classified() {
+        // Tab. 1's example column.
+        assert_eq!(
+            default_class(Suite::Coreutils, "tr"),
+            Some(ParClass::Stateless)
+        );
+        assert_eq!(
+            default_class(Suite::Coreutils, "cat"),
+            Some(ParClass::Stateless)
+        );
+        assert_eq!(default_class(Suite::Coreutils, "sort"), Some(ParClass::Pure));
+        assert_eq!(default_class(Suite::Coreutils, "wc"), Some(ParClass::Pure));
+        assert_eq!(default_class(Suite::Coreutils, "uniq"), Some(ParClass::Pure));
+        assert_eq!(
+            default_class(Suite::Coreutils, "sha1sum"),
+            Some(ParClass::NonParallelizable)
+        );
+        assert_eq!(
+            default_class(Suite::Coreutils, "env"),
+            Some(ParClass::SideEffectful)
+        );
+        assert_eq!(
+            default_class(Suite::Coreutils, "whoami"),
+            Some(ParClass::SideEffectful)
+        );
+        assert_eq!(
+            default_class(Suite::Posix, "grep"),
+            Some(ParClass::Stateless)
+        );
+        assert_eq!(
+            default_class(Suite::Posix, "awk"),
+            Some(ParClass::NonParallelizable)
+        );
+    }
+
+    #[test]
+    fn unknown_command_has_no_class() {
+        assert_eq!(default_class(Suite::Posix, "kubectl"), None);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let t = render_table1();
+        assert!(t.contains("22"));
+        assert!(t.contains("105"));
+        assert!(t.contains("sha1sum"));
+    }
+}

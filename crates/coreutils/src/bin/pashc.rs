@@ -1,0 +1,58 @@
+//! `pashc` — a multi-call binary exposing every command in the crate
+//! (like busybox), so that PaSh-compiled scripts run hermetically under
+//! any POSIX `/bin/sh`:
+//!
+//! ```text
+//! pashc grep -c foo < input
+//! ```
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use pash_coreutils::fs::RealFs;
+use pash_coreutils::{CmdIo, Registry};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&args) {
+        Ok(c) => c,
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => pash_coreutils::SIGPIPE_STATUS,
+        Err(e) => {
+            eprintln!("pashc: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(args: &[String]) -> io::Result<i32> {
+    let (name, rest) = match args.split_first() {
+        Some(x) => x,
+        None => {
+            eprintln!("usage: pashc COMMAND [ARGS…]");
+            eprintln!("commands: {}", Registry::standard().names().join(" "));
+            return Ok(2);
+        }
+    };
+    let registry = Registry::standard();
+    let cmd = registry.get(name).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::NotFound, format!("{name}: not found"))
+    })?;
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let stderr = io::stderr();
+    let mut in_lock: Box<dyn BufRead> = Box::new(stdin.lock());
+    let mut out_lock: Box<dyn Write> = Box::new(io::BufWriter::new(stdout.lock()));
+    let mut err_lock: Box<dyn Write> = Box::new(stderr.lock());
+    let cwd = std::env::current_dir()?;
+    let mut cio = CmdIo {
+        stdin: &mut in_lock,
+        stdout: &mut out_lock,
+        stderr: &mut err_lock,
+        fs: Arc::new(RealFs::new(cwd)),
+        registry: &registry,
+    };
+    let status = cmd.run(&rest.to_vec(), &mut cio)?;
+    cio.stdout.flush()?;
+    Ok(status)
+}

@@ -1,0 +1,172 @@
+//! `cut` — select fields or character columns from each line.
+
+use std::io;
+
+use crate::lines::{for_each_line, in_ranges, parse_ranges, write_line};
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// `cut -f LIST [-d DELIM] [-s]` and `cut -c LIST`.
+///
+/// Stateless (class S): each line maps to at most one output line.
+/// The paper's Fig. 1 calls it twice with different flag sets — the
+/// annotation record resolves both to S.
+pub struct Cut;
+
+impl Command for Cut {
+    fn name(&self) -> &'static str {
+        "cut"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut fields: Option<String> = None;
+        let mut chars: Option<String> = None;
+        let mut delim = b'\t';
+        let mut suppress = false;
+        let mut files: Vec<String> = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-f" => fields = it.next().cloned(),
+                "-c" => chars = it.next().cloned(),
+                "-d" => {
+                    let d = it
+                        .next()
+                        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "-d needs arg"))?;
+                    delim = *d.as_bytes().first().unwrap_or(&b'\t');
+                }
+                "-s" => suppress = true,
+                _ if a.starts_with("-f") => fields = Some(a[2..].to_string()),
+                _ if a.starts_with("-c") => chars = Some(a[2..].to_string()),
+                _ if a.starts_with("-d") => delim = *a.as_bytes().get(2).unwrap_or(&b'\t'),
+                _ => files.push(a.clone()),
+            }
+        }
+        let (ranges, by_fields) = match (&fields, &chars) {
+            (Some(f), None) => (parse_ranges(f), true),
+            (None, Some(c)) => (parse_ranges(c), false),
+            _ => return crate::usage_error(io, "cut", "specify exactly one of -f or -c"),
+        };
+        let ranges = match ranges {
+            Some(r) => r,
+            None => return crate::usage_error(io, "cut", "invalid list"),
+        };
+        if files.is_empty() {
+            files.push("-".to_string());
+        }
+        for f in &files {
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            for_each_line(&mut r, |line| {
+                if by_fields {
+                    if !line.contains(&delim) {
+                        if !suppress {
+                            write_line(io.stdout, line)?;
+                        }
+                        return Ok(true);
+                    }
+                    let parts: Vec<&[u8]> = line.split(|&b| b == delim).collect();
+                    let mut out: Vec<u8> = Vec::new();
+                    let mut first = true;
+                    for (i, p) in parts.iter().enumerate() {
+                        if in_ranges(&ranges, i + 1) {
+                            if !first {
+                                out.push(delim);
+                            }
+                            out.extend_from_slice(p);
+                            first = false;
+                        }
+                    }
+                    write_line(io.stdout, &out)?;
+                } else {
+                    let out: Vec<u8> = line
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| in_ranges(&ranges, i + 1))
+                        .map(|(_, &b)| b)
+                        .collect();
+                    write_line(io.stdout, &out)?;
+                }
+                Ok(true)
+            })?;
+        }
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn cut(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["cut"];
+        argv.extend(args);
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &argv,
+            input.as_bytes(),
+        )
+        .expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn fields_tab_default() {
+        assert_eq!(cut(&["-f", "2"], "a\tb\tc\n"), "b\n");
+    }
+
+    #[test]
+    fn fields_custom_delim() {
+        assert_eq!(cut(&["-d", " ", "-f", "9"], "1 2 3 4 5 6 7 8 nine ten\n"), "nine\n");
+    }
+
+    #[test]
+    fn field_ranges() {
+        assert_eq!(cut(&["-d", ",", "-f", "1,3-4"], "a,b,c,d,e\n"), "a,c,d\n");
+    }
+
+    #[test]
+    fn open_range() {
+        assert_eq!(cut(&["-d", ",", "-f", "2-"], "a,b,c\n"), "b,c\n");
+    }
+
+    #[test]
+    fn line_without_delimiter_passes_through() {
+        assert_eq!(cut(&["-d", ",", "-f", "2"], "nodelim\n"), "nodelim\n");
+    }
+
+    #[test]
+    fn suppress_lines_without_delimiter() {
+        assert_eq!(cut(&["-d", ",", "-f", "2", "-s"], "nodelim\na,b\n"), "b\n");
+    }
+
+    #[test]
+    fn characters() {
+        // The NOAA temperature extraction shape: cut -c 89-92.
+        assert_eq!(cut(&["-c", "2-4"], "abcdef\n"), "bcd\n");
+        assert_eq!(cut(&["-c", "1,3"], "abc\n"), "ac\n");
+    }
+
+    #[test]
+    fn characters_past_end() {
+        assert_eq!(cut(&["-c", "5-9"], "abc\n"), "\n");
+    }
+
+    #[test]
+    fn attached_flag_forms() {
+        assert_eq!(cut(&["-d,", "-f2"], "a,b,c\n"), "b\n");
+    }
+
+    #[test]
+    fn invalid_list_is_usage_error() {
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &["cut", "-f", "0"],
+            b"",
+        )
+        .expect("run");
+        assert_eq!(out.status, 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! `grep` — print lines matching a pattern.
+
+use std::io;
+
+use pash_regex::{Regex, Syntax};
+
+use crate::lines::{for_each_line, write_line};
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// `grep [-EFivcnwm] PATTERN [file…]`.
+///
+/// Stateless per line in its filter form; `-c` moves it to class P
+/// (counts from parallel parts must be summed by an aggregator).
+pub struct Grep;
+
+struct Opts {
+    ere: bool,
+    fixed: bool,
+    ignore_case: bool,
+    invert: bool,
+    count: bool,
+    line_numbers: bool,
+    word: bool,
+    max: Option<u64>,
+}
+
+impl Command for Grep {
+    fn name(&self) -> &'static str {
+        "grep"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut o = Opts {
+            ere: false,
+            fixed: false,
+            ignore_case: false,
+            invert: false,
+            count: false,
+            line_numbers: false,
+            word: false,
+            max: None,
+        };
+        let mut pattern: Option<String> = None;
+        let mut files: Vec<String> = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-E" => o.ere = true,
+                "-F" => o.fixed = true,
+                "-i" => o.ignore_case = true,
+                "-v" => o.invert = true,
+                "-c" => o.count = true,
+                "-n" => o.line_numbers = true,
+                "-w" => o.word = true,
+                "-m" => {
+                    o.max = it.next().and_then(|s| s.parse().ok());
+                }
+                "-e" => pattern = it.next().cloned(),
+                s if s.starts_with('-')
+                    && s.len() > 1
+                    && s[1..].chars().all(|c| "EFivcnw".contains(c)) =>
+                {
+                    for c in s[1..].chars() {
+                        match c {
+                            'E' => o.ere = true,
+                            'F' => o.fixed = true,
+                            'i' => o.ignore_case = true,
+                            'v' => o.invert = true,
+                            'c' => o.count = true,
+                            'n' => o.line_numbers = true,
+                            'w' => o.word = true,
+                            _ => unreachable!("guard checked flag set"),
+                        }
+                    }
+                }
+                other => {
+                    if pattern.is_none() {
+                        pattern = Some(other.to_string());
+                    } else {
+                        files.push(other.to_string());
+                    }
+                }
+            }
+        }
+        let pattern = match pattern {
+            Some(p) => p,
+            None => return crate::usage_error(io, "grep", "missing pattern"),
+        };
+        let re = build_regex(&pattern, &o)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        if files.is_empty() {
+            files.push("-".to_string());
+        }
+        let mut any = false;
+        let mut count: u64 = 0;
+        let mut emitted: u64 = 0;
+        'files: for f in &files {
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            let mut line_no: u64 = 0;
+            let mut stop = false;
+            for_each_line(&mut r, |line| {
+                line_no += 1;
+                let matched = re.is_match(line) != o.invert;
+                if matched {
+                    any = true;
+                    count += 1;
+                    if !o.count {
+                        if o.line_numbers {
+                            write!(io.stdout, "{line_no}:")?;
+                        }
+                        write_line(io.stdout, line)?;
+                    }
+                    emitted += 1;
+                    if let Some(m) = o.max {
+                        if emitted >= m {
+                            stop = true;
+                            return Ok(false);
+                        }
+                    }
+                }
+                Ok(true)
+            })?;
+            if stop {
+                break 'files;
+            }
+        }
+        if o.count {
+            writeln!(io.stdout, "{count}")?;
+        }
+        Ok(if any { 0 } else { 1 })
+    }
+}
+
+fn build_regex(pattern: &str, o: &Opts) -> Result<Regex, pash_regex::Error> {
+    let base = if o.fixed {
+        escape_fixed(pattern)
+    } else {
+        pattern.to_string()
+    };
+    let syntax = if o.ere || o.fixed {
+        Syntax::Ere
+    } else {
+        Syntax::Bre
+    };
+    let wrapped = if o.word {
+        // \b is supported by the engine in both syntaxes.
+        format!(r"\b({base})\b")
+    } else {
+        base
+    };
+    let wrapped = if o.word && syntax == Syntax::Bre {
+        // BRE grouping uses escaped parens.
+        format!(r"\b\({pattern}\)\b")
+    } else {
+        wrapped
+    };
+    Regex::with_flags(&wrapped, syntax, o.ignore_case)
+}
+
+/// Escapes ERE metacharacters for `-F` fixed-string matching.
+fn escape_fixed(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() * 2);
+    for c in s.chars() {
+        if "\\^$.[]|()*+?{}".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Captured, Registry};
+    use std::sync::Arc;
+
+    fn grep(args: &[&str], input: &str) -> Captured {
+        let mut argv = vec!["grep"];
+        argv.extend(args);
+        let fs = Arc::new(MemFs::new());
+        fs.add("f1", b"apple\nbanana\n".to_vec());
+        fs.add("f2", b"cherry\napricot\n".to_vec());
+        run_command(&Registry::standard(), fs, &argv, input.as_bytes()).expect("run")
+    }
+
+    fn out(args: &[&str], input: &str) -> String {
+        String::from_utf8(grep(args, input).stdout).expect("utf8")
+    }
+
+    #[test]
+    fn basic_filter() {
+        assert_eq!(out(&["gz"], "a.gz\nb.txt\nc.gz\n"), "a.gz\nc.gz\n");
+    }
+
+    #[test]
+    fn invert() {
+        assert_eq!(out(&["-v", "gz"], "a.gz\nb.txt\n"), "b.txt\n");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        // The NOAA filter: grep -iv 999.
+        assert_eq!(out(&["-iv", "999"], "0123\n0999\nAbCd\n"), "0123\nAbCd\n");
+        assert_eq!(out(&["-i", "abc"], "xABCy\n"), "xABCy\n");
+    }
+
+    #[test]
+    fn count() {
+        assert_eq!(out(&["-c", "a"], "a\nb\nca\n"), "2\n");
+    }
+
+    #[test]
+    fn count_with_no_matches() {
+        let c = grep(&["-c", "zzz"], "a\nb\n");
+        assert_eq!(String::from_utf8(c.stdout).expect("utf8"), "0\n");
+        assert_eq!(c.status, 1);
+    }
+
+    #[test]
+    fn exit_status_reflects_match() {
+        assert_eq!(grep(&["a"], "abc\n").status, 0);
+        assert_eq!(grep(&["z"], "abc\n").status, 1);
+    }
+
+    #[test]
+    fn ere_alternation() {
+        assert_eq!(out(&["-E", "a|c"], "a\nb\nc\n"), "a\nc\n");
+    }
+
+    #[test]
+    fn bre_default_plus_literal() {
+        assert_eq!(out(&["a+"], "a+\naa\n"), "a+\n");
+    }
+
+    #[test]
+    fn fixed_strings() {
+        assert_eq!(out(&["-F", "a.b"], "a.b\naxb\n"), "a.b\n");
+    }
+
+    #[test]
+    fn line_numbers() {
+        assert_eq!(out(&["-n", "b"], "a\nb\nc\nb\n"), "2:b\n4:b\n");
+    }
+
+    #[test]
+    fn word_match() {
+        assert_eq!(out(&["-w", "cat"], "cat\nconcat\ncat!\n"), "cat\ncat!\n");
+    }
+
+    #[test]
+    fn files_in_order() {
+        assert_eq!(out(&["ap", "f1", "f2"], ""), "apple\napricot\n");
+    }
+
+    #[test]
+    fn max_count_stops_early() {
+        assert_eq!(out(&["-m", "2", "a"], "a1\na2\na3\n"), "a1\na2\n");
+    }
+
+    #[test]
+    fn explicit_e_pattern() {
+        assert_eq!(out(&["-e", "-x"], "-x\nyy\n"), "-x\n");
+    }
+}

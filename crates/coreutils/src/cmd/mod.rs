@@ -1,0 +1,57 @@
+//! Command implementations and the standard registry.
+
+pub mod cat;
+pub mod comm;
+pub mod custom;
+pub mod cut;
+pub mod diff;
+pub mod grep;
+pub mod hash;
+pub mod headtail;
+pub mod misc;
+pub mod sed;
+pub mod sort;
+pub mod tr;
+pub mod uniq;
+pub mod wc;
+pub mod xargs;
+
+use std::sync::Arc;
+
+use crate::Command;
+
+/// All commands shipped by this crate.
+pub fn all_commands() -> Vec<Arc<dyn Command>> {
+    vec![
+        Arc::new(cat::Cat),
+        Arc::new(cat::Tac),
+        Arc::new(tr::Tr),
+        Arc::new(cut::Cut),
+        Arc::new(grep::Grep),
+        Arc::new(sed::Sed),
+        Arc::new(sort::Sort),
+        Arc::new(uniq::Uniq),
+        Arc::new(wc::Wc),
+        Arc::new(headtail::Head),
+        Arc::new(headtail::Tail),
+        Arc::new(comm::Comm),
+        Arc::new(misc::Rev),
+        Arc::new(misc::Seq),
+        Arc::new(misc::Echo),
+        Arc::new(misc::Paste),
+        Arc::new(misc::Fold),
+        Arc::new(misc::Tee),
+        Arc::new(misc::Nl),
+        Arc::new(misc::True),
+        Arc::new(misc::False),
+        Arc::new(xargs::Xargs),
+        Arc::new(hash::Sha1Sum),
+        Arc::new(diff::Diff),
+        Arc::new(custom::Fetch),
+        Arc::new(custom::Unrle),
+        Arc::new(custom::HtmlToText),
+        Arc::new(custom::WordStem),
+        Arc::new(custom::BigramsAux),
+        Arc::new(custom::AwkReorder),
+    ]
+}

@@ -1,0 +1,561 @@
+//! `sed` — a stream-editor subset.
+//!
+//! Supported script forms (enough for every script in the paper's
+//! evaluation):
+//! * `s/RE/REPL/[g]` with an arbitrary delimiter (`s;^;prefix;` as in
+//!   Fig. 1) and `\1…\9`/`&` in the replacement;
+//! * `y/SET1/SET2/` transliteration;
+//! * `[addr]d` deletion and `[addr]p` printing (with `-n`);
+//! * `q` quit;
+//! * addresses: line numbers, `$`, and `/RE/`.
+//!
+//! Flags: `-n` (suppress auto-print), `-e SCRIPT` (multiple), `-E`
+//! (ERE).
+
+use std::io;
+
+use pash_regex::{Regex, Syntax};
+
+use crate::lines::{for_each_line, write_line};
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// The `sed` command.
+///
+/// `s///` without addresses is stateless; line-number addresses and
+/// `q` make invocations order-sensitive, which the annotation stdlib
+/// classifies conservatively (class N).
+pub struct Sed;
+
+#[derive(Debug, Clone)]
+enum Address {
+    Line(u64),
+    /// `N,M` inclusive line range.
+    Range(u64, u64),
+    Last,
+    Pattern(String),
+}
+
+#[derive(Debug, Clone)]
+enum Instruction {
+    Subst {
+        addr: Option<Address>,
+        re: String,
+        repl: String,
+        global: bool,
+        print: bool,
+    },
+    Translit {
+        from: Vec<u8>,
+        to: Vec<u8>,
+    },
+    Delete(Option<Address>),
+    Print(Option<Address>),
+    Quit(Option<Address>),
+}
+
+impl Command for Sed {
+    fn name(&self) -> &'static str {
+        "sed"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut quiet = false;
+        let mut ere = false;
+        let mut scripts: Vec<String> = Vec::new();
+        let mut files: Vec<String> = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-n" => quiet = true,
+                "-E" | "-r" => ere = true,
+                "-e" => {
+                    if let Some(s) = it.next() {
+                        scripts.push(s.clone());
+                    }
+                }
+                other => {
+                    if scripts.is_empty() {
+                        scripts.push(other.to_string());
+                    } else {
+                        files.push(other.to_string());
+                    }
+                }
+            }
+        }
+        if scripts.is_empty() {
+            return crate::usage_error(io, "sed", "missing script");
+        }
+        let syntax = if ere { Syntax::Ere } else { Syntax::Bre };
+        let mut instructions = Vec::new();
+        for s in &scripts {
+            for part in split_script(s) {
+                instructions.push(
+                    parse_instruction(&part)
+                        .ok_or_else(|| invalid(format!("invalid sed script `{part}`")))?,
+                );
+            }
+        }
+        // Pre-compile regexes.
+        let mut compiled: Vec<Option<Regex>> = Vec::new();
+        let mut addr_res: Vec<Option<Regex>> = Vec::new();
+        for inst in &instructions {
+            let (re, addr) = match inst {
+                Instruction::Subst { re, addr, .. } => (Some(re.as_str()), addr.as_ref()),
+                Instruction::Delete(a) | Instruction::Print(a) | Instruction::Quit(a) => {
+                    (None, a.as_ref())
+                }
+                Instruction::Translit { .. } => (None, None),
+            };
+            compiled.push(match re {
+                Some(r) => Some(compile(r, syntax)?),
+                None => None,
+            });
+            addr_res.push(match addr {
+                Some(Address::Pattern(p)) => Some(compile(p, syntax)?),
+                _ => None,
+            });
+        }
+        if files.is_empty() {
+            files.push("-".to_string());
+        }
+
+        let mut line_no: u64 = 0;
+        let mut quit = false;
+        for f in &files {
+            if quit {
+                break;
+            }
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            for_each_line(&mut r, |line| {
+                line_no += 1;
+                let mut pattern_space = line.to_vec();
+                let mut deleted = false;
+                let mut extra_prints = 0usize;
+                for (i, inst) in instructions.iter().enumerate() {
+                    let addr_hit = |addr: &Option<Address>| -> bool {
+                        match addr {
+                            None => true,
+                            Some(Address::Line(n)) => line_no == *n,
+                            Some(Address::Range(a, b)) => line_no >= *a && line_no <= *b,
+                            Some(Address::Last) => false, // `$` unsupported w/o lookahead; see note.
+                            Some(Address::Pattern(_)) => addr_res[i]
+                                .as_ref()
+                                .map(|re| re.is_match(&pattern_space))
+                                .unwrap_or(false),
+                        }
+                    };
+                    match inst {
+                        Instruction::Subst {
+                            addr,
+                            repl,
+                            global,
+                            print,
+                            ..
+                        } => {
+                            if addr_hit(addr) {
+                                let re = compiled[i].as_ref().expect("subst has regex");
+                                let (new, n) = substitute(re, &pattern_space, repl, *global);
+                                if n > 0 {
+                                    pattern_space = new;
+                                    if *print {
+                                        extra_prints += 1;
+                                    }
+                                }
+                            }
+                        }
+                        Instruction::Translit { from, to } => {
+                            for b in pattern_space.iter_mut() {
+                                if let Some(pos) = from.iter().position(|x| x == b) {
+                                    *b = *to.get(pos).copied().as_ref().unwrap_or(b);
+                                }
+                            }
+                        }
+                        Instruction::Delete(addr) => {
+                            if addr_hit(addr) {
+                                deleted = true;
+                                break;
+                            }
+                        }
+                        Instruction::Print(addr) => {
+                            if addr_hit(addr) {
+                                extra_prints += 1;
+                            }
+                        }
+                        Instruction::Quit(addr) => {
+                            if addr_hit(addr) {
+                                quit = true;
+                            }
+                        }
+                    }
+                }
+                if !deleted {
+                    for _ in 0..extra_prints {
+                        write_line(io.stdout, &pattern_space)?;
+                    }
+                    if !quiet {
+                        write_line(io.stdout, &pattern_space)?;
+                    }
+                }
+                Ok(!quit)
+            })?;
+        }
+        Ok(0)
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, msg)
+}
+
+fn compile(re: &str, syntax: Syntax) -> io::Result<Regex> {
+    Regex::new(re, syntax).map_err(|e| invalid(e.to_string()))
+}
+
+/// Splits a script on `;` at top level (not inside s/// bodies).
+fn split_script(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut cur = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if (c == 's' || c == 'y') && i + 1 < bytes.len() && cur.trim().is_empty() {
+            // Consume the whole s/// or y/// with its delimiter.
+            let delim = bytes[i + 1];
+            let mut sections = 0;
+            let mut j = i + 2;
+            cur.push(c);
+            cur.push(delim as char);
+            while j < bytes.len() && sections < 2 {
+                if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                    cur.push('\\');
+                    cur.push(bytes[j + 1] as char);
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == delim {
+                    sections += 1;
+                }
+                cur.push(bytes[j] as char);
+                j += 1;
+            }
+            // Trailing flags.
+            while j < bytes.len() && bytes[j] != b';' {
+                cur.push(bytes[j] as char);
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        if c == ';' {
+            if !cur.trim().is_empty() {
+                out.push(cur.trim().to_string());
+            }
+            cur.clear();
+        } else {
+            cur.push(c);
+        }
+        i += 1;
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_address(s: &str) -> (Option<Address>, &str) {
+    let bytes = s.as_bytes();
+    if bytes.is_empty() {
+        return (None, s);
+    }
+    if bytes[0] == b'$' {
+        return (Some(Address::Last), &s[1..]);
+    }
+    if bytes[0].is_ascii_digit() {
+        let end = s
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(s.len());
+        let n: u64 = s[..end].parse().unwrap_or(0);
+        // Range form `N,M`.
+        if s[end..].starts_with(',') {
+            let rest = &s[end + 1..];
+            let end2 = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            if end2 > 0 {
+                let m: u64 = rest[..end2].parse().unwrap_or(n);
+                return (Some(Address::Range(n, m)), &rest[end2..]);
+            }
+        }
+        return (Some(Address::Line(n)), &s[end..]);
+    }
+    if bytes[0] == b'/' {
+        if let Some(close) = s[1..].find('/') {
+            return (
+                Some(Address::Pattern(s[1..1 + close].to_string())),
+                &s[close + 2..],
+            );
+        }
+    }
+    (None, s)
+}
+
+fn parse_instruction(s: &str) -> Option<Instruction> {
+    let (addr, rest) = parse_address(s);
+    let bytes = rest.as_bytes();
+    match bytes.first()? {
+        b's' => {
+            let delim = *bytes.get(1)?;
+            let mut parts = vec![String::new()];
+            let mut i = 2;
+            while i < bytes.len() && parts.len() <= 2 {
+                if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                    if bytes[i + 1] == delim {
+                        parts.last_mut()?.push(delim as char);
+                    } else {
+                        parts.last_mut()?.push('\\');
+                        parts.last_mut()?.push(bytes[i + 1] as char);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == delim {
+                    parts.push(String::new());
+                } else {
+                    parts.last_mut()?.push(bytes[i] as char);
+                }
+                i += 1;
+            }
+            if parts.len() != 3 {
+                return None;
+            }
+            // Everything after the closing delimiter is flags.
+            if i < bytes.len() {
+                let tail: String = rest[i..].to_string();
+                parts[2].push_str(&tail);
+            }
+            let flags = &parts[2];
+            Some(Instruction::Subst {
+                addr,
+                re: parts[0].clone(),
+                repl: parts[1].clone(),
+                global: flags.contains('g'),
+                print: flags.contains('p'),
+            })
+        }
+        b'y' => {
+            let delim = *bytes.get(1)? as char;
+            let body: Vec<&str> = rest[2..].split(delim).collect();
+            if body.len() < 2 {
+                return None;
+            }
+            let from = crate::cmd::tr::expand_set(body[0]);
+            let to = crate::cmd::tr::expand_set(body[1]);
+            if from.len() != to.len() {
+                return None;
+            }
+            Some(Instruction::Translit { from, to })
+        }
+        b'd' if rest.len() == 1 => Some(Instruction::Delete(addr)),
+        b'p' if rest.len() == 1 => Some(Instruction::Print(addr)),
+        b'q' if rest.len() == 1 => Some(Instruction::Quit(addr)),
+        _ => None,
+    }
+}
+
+/// Applies a substitution; returns the new line and match count.
+fn substitute(re: &Regex, line: &[u8], repl: &str, global: bool) -> (Vec<u8>, usize) {
+    let mut out = Vec::with_capacity(line.len());
+    let mut at = 0usize;
+    let mut n = 0usize;
+    while at <= line.len() {
+        let caps = match re.captures_at(line, at) {
+            Some(c) => c,
+            None => break,
+        };
+        let (s, e) = caps[0].expect("group 0 present");
+        out.extend_from_slice(&line[at..s]);
+        apply_replacement(repl, line, &caps, &mut out);
+        n += 1;
+        if e == s {
+            // Empty match: copy one byte to make progress.
+            if s < line.len() {
+                out.push(line[s]);
+            }
+            at = s + 1;
+        } else {
+            at = e;
+        }
+        if !global {
+            break;
+        }
+    }
+    if at <= line.len() {
+        out.extend_from_slice(&line[at.min(line.len())..]);
+    }
+    if n == 0 {
+        (line.to_vec(), 0)
+    } else {
+        (out, n)
+    }
+}
+
+fn apply_replacement(
+    repl: &str,
+    line: &[u8],
+    caps: &[Option<(usize, usize)>],
+    out: &mut Vec<u8>,
+) {
+    let bytes = repl.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                let c = bytes[i + 1];
+                if c.is_ascii_digit() {
+                    let g = (c - b'0') as usize;
+                    if let Some(Some((s, e))) = caps.get(g) {
+                        out.extend_from_slice(&line[*s..*e]);
+                    }
+                } else if c == b'n' {
+                    out.push(b'\n');
+                } else {
+                    out.push(c);
+                }
+                i += 2;
+            }
+            b'&' => {
+                if let Some(Some((s, e))) = caps.first() {
+                    out.extend_from_slice(&line[*s..*e]);
+                }
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn sed(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["sed"];
+        argv.extend(args);
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &argv,
+            input.as_bytes(),
+        )
+        .expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn substitute_first() {
+        assert_eq!(sed(&["s/a/X/"], "banana\n"), "bXnana\n");
+    }
+
+    #[test]
+    fn substitute_global() {
+        assert_eq!(sed(&["s/a/X/g"], "banana\n"), "bXnXnX\n");
+    }
+
+    #[test]
+    fn alternate_delimiter_prefix_insert() {
+        // The Fig. 1 idiom: sed "s;^;URL/;".
+        assert_eq!(
+            sed(&["s;^;ftp://host/2015/;"], "file1.gz\n"),
+            "ftp://host/2015/file1.gz\n"
+        );
+    }
+
+    #[test]
+    fn prefix_text_insert() {
+        assert_eq!(
+            sed(&["s/^/Maximum temperature for 2015 is: /"], "0450\n"),
+            "Maximum temperature for 2015 is: 0450\n"
+        );
+    }
+
+    #[test]
+    fn ampersand_in_replacement() {
+        assert_eq!(sed(&["s/b/[&]/"], "abc\n"), "a[b]c\n");
+    }
+
+    #[test]
+    fn backreference_in_replacement() {
+        assert_eq!(sed(&[r"s/\(a*\)b/<\1>/"], "aaab\n"), "<aaa>\n");
+    }
+
+    #[test]
+    fn delete_by_pattern() {
+        assert_eq!(sed(&["/^#/d"], "#c\nkeep\n#d\n"), "keep\n");
+    }
+
+    #[test]
+    fn delete_by_line_number() {
+        assert_eq!(sed(&["2d"], "a\nb\nc\n"), "a\nc\n");
+    }
+
+    #[test]
+    fn quiet_print() {
+        assert_eq!(sed(&["-n", "/b/p"], "a\nb\nc\n"), "b\n");
+    }
+
+    #[test]
+    fn print_duplicates_without_quiet() {
+        assert_eq!(sed(&["/b/p"], "a\nb\n"), "a\nb\nb\n");
+    }
+
+    #[test]
+    fn range_address_print() {
+        assert_eq!(sed(&["-n", "1,2p"], "a\nb\nc\n"), "a\nb\n");
+    }
+
+    #[test]
+    fn range_address_delete() {
+        assert_eq!(sed(&["2,3d"], "a\nb\nc\nd\n"), "a\nd\n");
+    }
+
+    #[test]
+    fn quit_by_line() {
+        assert_eq!(sed(&["2q"], "a\nb\nc\n"), "a\nb\n");
+    }
+
+    #[test]
+    fn transliterate() {
+        assert_eq!(sed(&["y/abc/xyz/"], "aabbcc\n"), "xxyyzz\n");
+    }
+
+    #[test]
+    fn multiple_expressions() {
+        assert_eq!(sed(&["-e", "s/a/1/", "-e", "s/b/2/"], "ab\n"), "12\n");
+    }
+
+    #[test]
+    fn semicolon_separated_script() {
+        assert_eq!(sed(&["s/a/1/;s/b/2/"], "ab\n"), "12\n");
+    }
+
+    #[test]
+    fn ere_mode() {
+        assert_eq!(sed(&["-E", "s/(a|b)+/X/"], "aababc\n"), "Xc\n");
+    }
+
+    #[test]
+    fn addressed_substitution() {
+        assert_eq!(sed(&["2s/a/X/"], "a\na\n"), "a\nX\n");
+    }
+
+    #[test]
+    fn no_match_leaves_line() {
+        assert_eq!(sed(&["s/zzz/x/"], "abc\n"), "abc\n");
+    }
+}

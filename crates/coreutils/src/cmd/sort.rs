@@ -1,0 +1,311 @@
+//! `sort` — sort or merge lines.
+//!
+//! Supports `-n`, `-r`, `-u`, `-k POS1[,POS2]`, `-t SEP`, `-m`
+//! (merge pre-sorted inputs — the aggregation phase PaSh uses, spelled
+//! `sort -m` on GNU systems, §5.2), and `--parallel=N` (an internal
+//! threaded sort used as the §6.5 baseline).
+
+use std::io;
+
+use crate::lines::{read_all_lines, write_line};
+use crate::sortkeys::SortSpec;
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// The `sort` command (class P: map = sort, aggregate = merge).
+pub struct Sort;
+
+/// Parsed invocation.
+pub struct SortArgs {
+    /// Ordering specification.
+    pub spec: SortSpec,
+    /// `-m`: inputs are pre-sorted, merge only.
+    pub merge: bool,
+    /// `--parallel=N` thread count (1 = sequential).
+    pub parallel: usize,
+    /// Input files (empty = stdin).
+    pub files: Vec<String>,
+}
+
+/// Parses sort arguments (shared with the runtime merge aggregator).
+pub fn parse_args(args: &[String]) -> Result<SortArgs, String> {
+    let mut out = SortArgs {
+        spec: SortSpec::default(),
+        merge: false,
+        parallel: 1,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-n" => out.spec.numeric = true,
+            "-r" => out.spec.reverse = true,
+            "-u" => out.spec.unique = true,
+            "-m" => out.merge = true,
+            "-k" => {
+                let k = it.next().ok_or("missing -k argument")?;
+                out.spec
+                    .keys
+                    .push(SortSpec::parse_key(k).ok_or_else(|| format!("bad key `{k}`"))?);
+            }
+            "-t" => {
+                let t = it.next().ok_or("missing -t argument")?;
+                out.spec.separator = t.as_bytes().first().copied();
+            }
+            s if s.starts_with("--parallel=") => {
+                out.parallel = s["--parallel=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad --parallel in `{s}`"))?;
+            }
+            s if s.starts_with("-k") && s.len() > 2 => {
+                out.spec.keys.push(
+                    SortSpec::parse_key(&s[2..]).ok_or_else(|| format!("bad key `{s}`"))?,
+                );
+            }
+            s if s.starts_with("-t") && s.len() > 2 => {
+                out.spec.separator = s.as_bytes().get(2).copied();
+            }
+            s if s.starts_with('-')
+                && s.len() > 1
+                && s[1..].chars().all(|c| "nrum".contains(c)) =>
+            {
+                for c in s[1..].chars() {
+                    match c {
+                        'n' => out.spec.numeric = true,
+                        'r' => out.spec.reverse = true,
+                        'u' => out.spec.unique = true,
+                        'm' => out.merge = true,
+                        _ => unreachable!("guard checked flag set"),
+                    }
+                }
+            }
+            other => out.files.push(other.to_string()),
+        }
+    }
+    Ok(out)
+}
+
+impl Command for Sort {
+    fn name(&self) -> &'static str {
+        "sort"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let parsed = match parse_args(args) {
+            Ok(p) => p,
+            Err(e) => return crate::usage_error(io, "sort", &e),
+        };
+        let mut files = parsed.files.clone();
+        if files.is_empty() {
+            files.push("-".to_string());
+        }
+        if parsed.merge {
+            // K-way merge of pre-sorted inputs.
+            let mut readers = Vec::new();
+            for f in &files {
+                let mut r = open_input(&io.fs, f, io.stdin)?;
+                readers.push(read_all_lines(&mut r)?);
+            }
+            let merged = merge_sorted(&parsed.spec, readers);
+            write_out(io, &parsed.spec, merged)?;
+            return Ok(0);
+        }
+        let mut lines = Vec::new();
+        for f in &files {
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            lines.extend(read_all_lines(&mut r)?);
+        }
+        let sorted = if parsed.parallel > 1 {
+            parallel_sort(&parsed.spec, lines, parsed.parallel)
+        } else {
+            let spec = parsed.spec.clone();
+            let mut l = lines;
+            l.sort_by(|a, b| spec.compare(a, b));
+            l
+        };
+        write_out(io, &parsed.spec, sorted)?;
+        Ok(0)
+    }
+}
+
+fn write_out(io: &mut CmdIo<'_>, spec: &SortSpec, lines: Vec<Vec<u8>>) -> io::Result<()> {
+    let mut last: Option<&Vec<u8>> = None;
+    for line in &lines {
+        if spec.unique {
+            if let Some(prev) = last {
+                if spec.key_equal(prev, line) {
+                    continue;
+                }
+            }
+        }
+        write_line(io.stdout, line)?;
+        last = Some(line);
+    }
+    Ok(())
+}
+
+/// Stable k-way merge of pre-sorted runs (the `sort -m` aggregator).
+pub fn merge_sorted(spec: &SortSpec, mut runs: Vec<Vec<Vec<u8>>>) -> Vec<Vec<u8>> {
+    // Positions into each run; pick the smallest head each step
+    // (ties resolved by run index for stability).
+    let mut pos = vec![0usize; runs.len()];
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, run) in runs.iter().enumerate() {
+            if pos[i] >= run.len() {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if spec.compare(&run[pos[i]], &runs[b][pos[b]]) == std::cmp::Ordering::Less {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        match best {
+            None => break,
+            Some(b) => {
+                out.push(std::mem::take(&mut runs[b][pos[b]]));
+                pos[b] += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Internal threaded sort: chunk, sort chunks in parallel, merge.
+///
+/// This models GNU `sort --parallel` for the §6.5 microbenchmark.
+fn parallel_sort(spec: &SortSpec, lines: Vec<Vec<u8>>, threads: usize) -> Vec<Vec<u8>> {
+    let threads = threads.max(1).min(lines.len().max(1));
+    let chunk = lines.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut rest = lines;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk.min(rest.len()));
+        chunks.push(rest);
+        rest = tail;
+    }
+    let sorted: Vec<Vec<Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|mut c| {
+                scope.spawn(move || {
+                    c.sort_by(|a, b| spec.compare(a, b));
+                    c
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sort worker panicked"))
+            .collect()
+    });
+    merge_sorted(spec, sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn sort(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["sort"];
+        argv.extend(args);
+        let fs = Arc::new(MemFs::new());
+        fs.add("s1", b"a\nc\ne\n".to_vec());
+        fs.add("s2", b"b\nd\nf\n".to_vec());
+        let out = run_command(&Registry::standard(), fs, &argv, input.as_bytes()).expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn lexicographic() {
+        assert_eq!(sort(&[], "b\na\nc\n"), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn numeric() {
+        assert_eq!(sort(&["-n"], "10\n9\n-2\n"), "-2\n9\n10\n");
+    }
+
+    #[test]
+    fn reverse_numeric() {
+        // The NOAA max-temperature idiom: sort -rn | head -n 1.
+        assert_eq!(sort(&["-rn"], "0450\n0300\n0500\n"), "0500\n0450\n0300\n");
+    }
+
+    #[test]
+    fn unique() {
+        assert_eq!(sort(&["-u"], "b\na\nb\na\n"), "a\nb\n");
+    }
+
+    #[test]
+    fn key_sort() {
+        assert_eq!(
+            sort(&["-k", "2", "-n"], "x 10\ny 2\nz 33\n"),
+            "y 2\nx 10\nz 33\n"
+        );
+    }
+
+    #[test]
+    fn key_sort_with_separator() {
+        assert_eq!(sort(&["-t", ":", "-k", "2"], "a:z\nb:y\n"), "b:y\na:z\n");
+    }
+
+    #[test]
+    fn merge_presorted_files() {
+        assert_eq!(sort(&["-m", "s1", "s2"], ""), "a\nb\nc\nd\ne\nf\n");
+    }
+
+    #[test]
+    fn merge_is_stable_for_equal_keys() {
+        let fs = Arc::new(MemFs::new());
+        fs.add("m1", b"1 first\n".to_vec());
+        fs.add("m2", b"1 second\n".to_vec());
+        let out = run_command(
+            &Registry::standard(),
+            fs,
+            &["sort", "-m", "-n", "-k", "1", "m1", "m2"],
+            b"",
+        )
+        .expect("run");
+        // With equal numeric keys, last-resort comparison orders
+        // "1 first" < "1 second".
+        assert_eq!(out.stdout, b"1 first\n1 second\n");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let input: String = (0..500).map(|i| format!("{}\n", (i * 37) % 101)).collect();
+        let seq = sort(&["-n"], &input);
+        let par = sort(&["-n", "--parallel=4"], &input);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sort_empty_input() {
+        assert_eq!(sort(&[], ""), "");
+    }
+
+    #[test]
+    fn sort_stability_equal_lines() {
+        assert_eq!(sort(&[], "same\nsame\n"), "same\nsame\n");
+    }
+
+    #[test]
+    fn bad_key_is_usage_error() {
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &["sort", "-k", "x"],
+            b"",
+        )
+        .expect("run");
+        assert_eq!(out.status, 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! `tr` — translate, squeeze, or delete characters.
+//!
+//! Supports `tr SET1 SET2`, `-d SET1`, `-s SET1 [SET2]`, `-c`
+//! (complement), and combinations such as the classic word-splitting
+//! idiom `tr -cs A-Za-z '\n'`.
+
+use std::io::{self};
+
+use crate::{CmdIo, Command, ExitStatus};
+
+/// The `tr` command. Stateless even *within* lines (§3.1 notes ~1/3 of
+/// class S commands share this property).
+pub struct Tr;
+
+impl Command for Tr {
+    fn name(&self) -> &'static str {
+        "tr"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut complement = false;
+        let mut delete = false;
+        let mut squeeze = false;
+        let mut sets: Vec<&str> = Vec::new();
+        for a in args {
+            if let Some(flags) = a.strip_prefix('-') {
+                if a == "-" || flags.chars().any(|c| !"cds".contains(c)) {
+                    sets.push(a);
+                    continue;
+                }
+                for c in flags.chars() {
+                    match c {
+                        'c' => complement = true,
+                        'd' => delete = true,
+                        's' => squeeze = true,
+                        _ => unreachable!("filtered above"),
+                    }
+                }
+            } else {
+                sets.push(a);
+            }
+        }
+        let set1 = match sets.first() {
+            Some(s) => expand_set(s),
+            None => return crate::usage_error(io, "tr", "missing operand"),
+        };
+        let mut member = [false; 256];
+        for &b in &set1 {
+            member[b as usize] = true;
+        }
+        if complement {
+            for m in member.iter_mut() {
+                *m = !*m;
+            }
+        }
+
+        // Build the translation table when two sets are given.
+        let mut table: [u8; 256] = std::array::from_fn(|i| i as u8);
+        let translating = !delete && sets.len() >= 2;
+        if translating {
+            let set2 = expand_set(sets[1]);
+            if set2.is_empty() {
+                return crate::usage_error(io, "tr", "empty SET2");
+            }
+            if complement {
+                // Complemented translation: map every member byte to
+                // the last byte of SET2 (GNU behaviour for -c).
+                let last = *set2.last().expect("non-empty set2");
+                for (i, m) in member.iter().enumerate() {
+                    if *m {
+                        table[i] = last;
+                    }
+                }
+            } else {
+                for (i, &from) in set1.iter().enumerate() {
+                    let to = *set2.get(i).or(set2.last()).expect("non-empty set2");
+                    table[from as usize] = to;
+                }
+            }
+        }
+        // The squeeze set: after translation, squeeze runs of bytes in
+        // SET2 (or SET1 when deleting/squeezing only).
+        let mut squeeze_member = [false; 256];
+        if squeeze {
+            if translating {
+                for &b in &expand_set(sets[1]) {
+                    squeeze_member[b as usize] = true;
+                }
+            } else {
+                let src = if delete {
+                    // `-ds SET1 SET2`: squeeze SET2 after deleting SET1.
+                    sets.get(1).map(|s| expand_set(s)).unwrap_or_default()
+                } else {
+                    set1.clone()
+                };
+                for &b in &src {
+                    squeeze_member[b as usize] = true;
+                }
+                if !delete && complement {
+                    // `tr -cs A-Za-z '\n'` style: squeeze translated
+                    // output (single-set complement squeeze).
+                    squeeze_member = member;
+                }
+            }
+        }
+
+        let mut buf = [0u8; 64 * 1024];
+        let mut out = Vec::with_capacity(64 * 1024);
+        let mut last_squeezed: Option<u8> = None;
+        loop {
+            let n = io.stdin.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            out.clear();
+            for &b in &buf[..n] {
+                let mut b = b;
+                if delete && member[b as usize] {
+                    continue;
+                }
+                if translating {
+                    // The table is identity for non-members.
+                    b = table[b as usize];
+                }
+                if squeeze && squeeze_member[b as usize] {
+                    if last_squeezed == Some(b) {
+                        continue;
+                    }
+                    last_squeezed = Some(b);
+                } else {
+                    last_squeezed = None;
+                }
+                out.push(b);
+            }
+            io.stdout.write_all(&out)?;
+        }
+        Ok(0)
+    }
+}
+
+/// Expands a `tr` set: escapes, ranges (`a-z`), classes (`[:upper:]`).
+pub fn expand_set(spec: &str) -> Vec<u8> {
+    let bytes = spec.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // POSIX class.
+        if bytes[i] == b'[' && i + 1 < bytes.len() && bytes[i + 1] == b':' {
+            if let Some(end) = spec[i..].find(":]") {
+                let name = &spec[i + 2..i + end];
+                out.extend(class_bytes(name));
+                i += end + 2;
+                continue;
+            }
+        }
+        let (c, used) = unescape_at(bytes, i);
+        // Range?
+        if i + used < bytes.len() && bytes[i + used] == b'-' && i + used + 1 < bytes.len() {
+            let (hi, used2) = unescape_at(bytes, i + used + 1);
+            if hi >= c {
+                for b in c..=hi {
+                    out.push(b);
+                }
+                i += used + 1 + used2;
+                continue;
+            }
+        }
+        out.push(c);
+        i += used;
+    }
+    out
+}
+
+/// Decodes one byte at `i`, handling `\n`-style escapes.
+fn unescape_at(bytes: &[u8], i: usize) -> (u8, usize) {
+    if bytes[i] == b'\\' && i + 1 < bytes.len() {
+        let c = match bytes[i + 1] {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            other => other,
+        };
+        (c, 2)
+    } else {
+        (bytes[i], 1)
+    }
+}
+
+fn class_bytes(name: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    match name {
+        "upper" => out.extend(b'A'..=b'Z'),
+        "lower" => out.extend(b'a'..=b'z'),
+        "digit" => out.extend(b'0'..=b'9'),
+        "alpha" => {
+            out.extend(b'A'..=b'Z');
+            out.extend(b'a'..=b'z');
+        }
+        "alnum" => {
+            out.extend(b'0'..=b'9');
+            out.extend(b'A'..=b'Z');
+            out.extend(b'a'..=b'z');
+        }
+        "space" => out.extend([b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C]),
+        "blank" => out.extend([b' ', b'\t']),
+        "punct" => {
+            out.extend(b'!'..=b'/');
+            out.extend(b':'..=b'@');
+            out.extend(b'['..=b'`');
+            out.extend(b'{'..=b'~');
+        }
+        _ => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::expand_set;
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn tr(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["tr"];
+        argv.extend(args);
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &argv,
+            input.as_bytes(),
+        )
+        .expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn simple_translate() {
+        assert_eq!(tr(&["abc", "xyz"], "aabbcc"), "xxyyzz");
+    }
+
+    #[test]
+    fn range_translate_case() {
+        assert_eq!(tr(&["a-z", "A-Z"], "Hello, World!"), "HELLO, WORLD!");
+    }
+
+    #[test]
+    fn uneven_sets_pad_with_last() {
+        assert_eq!(tr(&["abc", "x"], "cab"), "xxx");
+    }
+
+    #[test]
+    fn delete() {
+        assert_eq!(tr(&["-d", "aeiou"], "education"), "dctn");
+    }
+
+    #[test]
+    fn squeeze_single_set() {
+        assert_eq!(tr(&["-s", " "], "a   b  c"), "a b c");
+    }
+
+    #[test]
+    fn squeeze_after_translate() {
+        assert_eq!(tr(&["-s", "ab", "xy"], "aabb"), "xy");
+    }
+
+    #[test]
+    fn complement_squeeze_word_split() {
+        // The classic word-splitting idiom from Wf / Top-n.
+        assert_eq!(tr(&["-cs", "A-Za-z", "\\n"], "one, two!!three"), "one\ntwo\nthree");
+    }
+
+    #[test]
+    fn complement_delete() {
+        assert_eq!(tr(&["-cd", "0-9"], "a1b2c3"), "123");
+    }
+
+    #[test]
+    fn escapes_in_sets() {
+        assert_eq!(tr(&["\\n", " "], "a\nb\n"), "a b ");
+        assert_eq!(tr(&["\\t", " "], "a\tb"), "a b");
+    }
+
+    #[test]
+    fn posix_classes() {
+        assert_eq!(tr(&["[:upper:]", "[:lower:]"], "ABCdef"), "abcdef");
+        assert_eq!(tr(&["-d", "[:digit:]"], "a1b2"), "ab");
+    }
+
+    #[test]
+    fn expand_set_ranges() {
+        assert_eq!(expand_set("a-e"), b"abcde".to_vec());
+        assert_eq!(expand_set("A-Za-z").len(), 52);
+        assert_eq!(expand_set("abc"), b"abc".to_vec());
+    }
+
+    #[test]
+    fn squeeze_resets_between_runs() {
+        assert_eq!(tr(&["-s", "a"], "aabaa"), "aba");
+    }
+
+    #[test]
+    fn delete_then_squeeze() {
+        assert_eq!(tr(&["-ds", "x", "a"], "xaxaxaax"), "a");
+    }
+}

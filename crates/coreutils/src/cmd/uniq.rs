@@ -1,0 +1,138 @@
+//! `uniq` — filter adjacent duplicate lines.
+
+use std::io;
+
+use crate::lines::{for_each_line, write_line};
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// `uniq [-c] [-d] [-u] [-i] [file]`.
+///
+/// Class P: parallel parts need an aggregator that re-examines the
+/// boundary between adjacent parts (§5.2's `uniq` combiner).
+pub struct Uniq;
+
+impl Command for Uniq {
+    fn name(&self) -> &'static str {
+        "uniq"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut count = false;
+        let mut only_dup = false;
+        let mut only_uniq = false;
+        let mut ignore_case = false;
+        let mut files: Vec<&str> = Vec::new();
+        for a in args {
+            match a.as_str() {
+                "-c" => count = true,
+                "-d" => only_dup = true,
+                "-u" => only_uniq = true,
+                "-i" => ignore_case = true,
+                "-ci" | "-ic" => {
+                    count = true;
+                    ignore_case = true;
+                }
+                other => files.push(other),
+            }
+        }
+        if files.is_empty() {
+            files.push("-");
+        }
+        let eq = |a: &[u8], b: &[u8]| {
+            if ignore_case {
+                a.eq_ignore_ascii_case(b)
+            } else {
+                a == b
+            }
+        };
+        let mut current: Option<(Vec<u8>, u64)> = None;
+        let flush = |io: &mut CmdIo<'_>, group: &Option<(Vec<u8>, u64)>| -> io::Result<()> {
+            if let Some((line, n)) = group {
+                let selected = if only_dup {
+                    *n > 1
+                } else if only_uniq {
+                    *n == 1
+                } else {
+                    true
+                };
+                if selected {
+                    if count {
+                        write!(io.stdout, "{n:7} ")?;
+                    }
+                    write_line(io.stdout, line)?;
+                }
+            }
+            Ok(())
+        };
+        for f in files {
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            for_each_line(&mut r, |line| {
+                match &mut current {
+                    Some((prev, n)) if eq(prev, line) => *n += 1,
+                    _ => {
+                        flush(io, &current)?;
+                        current = Some((line.to_vec(), 1));
+                    }
+                }
+                Ok(true)
+            })?;
+        }
+        flush(io, &current)?;
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn uniq(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["uniq"];
+        argv.extend(args);
+        let out = run_command(
+            &Registry::standard(),
+            Arc::new(MemFs::new()),
+            &argv,
+            input.as_bytes(),
+        )
+        .expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn adjacent_dedup() {
+        assert_eq!(uniq(&[], "a\na\nb\na\n"), "a\nb\na\n");
+    }
+
+    #[test]
+    fn count() {
+        assert_eq!(uniq(&["-c"], "a\na\nb\n"), "      2 a\n      1 b\n");
+    }
+
+    #[test]
+    fn only_duplicates() {
+        assert_eq!(uniq(&["-d"], "a\na\nb\nc\nc\n"), "a\nc\n");
+    }
+
+    #[test]
+    fn only_uniques() {
+        assert_eq!(uniq(&["-u"], "a\na\nb\nc\nc\n"), "b\n");
+    }
+
+    #[test]
+    fn ignore_case() {
+        assert_eq!(uniq(&["-i"], "A\na\nb\n"), "A\nb\n");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(uniq(&[], ""), "");
+    }
+
+    #[test]
+    fn single_line() {
+        assert_eq!(uniq(&["-c"], "only\n"), "      1 only\n");
+    }
+}

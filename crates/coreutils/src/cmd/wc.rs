@@ -1,0 +1,208 @@
+//! `wc` — count lines, words, bytes.
+
+use std::io;
+
+use crate::{open_input, CmdIo, Command, ExitStatus};
+
+/// `wc [-lwcm] [file…]`.
+///
+/// The paper's example of a *trivially* parallelizable-pure command:
+/// the aggregator adds per-part count vectors, whatever flag subset is
+/// active (`wc -lw`, `wc -lwc`, … — §5.2).
+pub struct Wc;
+
+/// One file's counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counts {
+    /// Newline count.
+    pub lines: u64,
+    /// Word count.
+    pub words: u64,
+    /// Byte count.
+    pub bytes: u64,
+}
+
+/// Counts a byte stream (shared with the runtime `wc` aggregator).
+pub fn count_stream<R: io::BufRead + ?Sized>(r: &mut R) -> io::Result<Counts> {
+    let mut c = Counts::default();
+    let mut in_word = false;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = io::Read::read(r, &mut buf)?;
+        if n == 0 {
+            break;
+        }
+        c.bytes += n as u64;
+        for &b in &buf[..n] {
+            if b == b'\n' {
+                c.lines += 1;
+            }
+            if b.is_ascii_whitespace() {
+                in_word = false;
+            } else if !in_word {
+                in_word = true;
+                c.words += 1;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Which columns to print, in canonical order (lines, words, bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Selection {
+    /// `-l`
+    pub lines: bool,
+    /// `-w`
+    pub words: bool,
+    /// `-c` / `-m` (byte/char counts coincide for our byte streams).
+    pub bytes: bool,
+}
+
+impl Selection {
+    /// Formats one counts row under this selection.
+    pub fn format(&self, c: &Counts, label: Option<&str>) -> String {
+        let mut cols: Vec<String> = Vec::new();
+        if self.lines {
+            cols.push(format!("{:7}", c.lines));
+        }
+        if self.words {
+            cols.push(format!("{:7}", c.words));
+        }
+        if self.bytes {
+            cols.push(format!("{:7}", c.bytes));
+        }
+        let mut row = cols.join(" ");
+        if let Some(l) = label {
+            row.push(' ');
+            row.push_str(l);
+        }
+        row
+    }
+}
+
+/// Parses wc flags into a selection (shared with the aggregator).
+pub fn parse_selection(args: &[String]) -> (Selection, Vec<String>) {
+    let mut sel = Selection {
+        lines: false,
+        words: false,
+        bytes: false,
+    };
+    let mut any = false;
+    let mut files = Vec::new();
+    for a in args {
+        if a.starts_with('-') && a.len() > 1 && a[1..].chars().all(|c| "lwcm".contains(c)) {
+            for c in a[1..].chars() {
+                any = true;
+                match c {
+                    'l' => sel.lines = true,
+                    'w' => sel.words = true,
+                    'c' | 'm' => sel.bytes = true,
+                    _ => unreachable!("guard checked flag set"),
+                }
+            }
+        } else {
+            files.push(a.clone());
+        }
+    }
+    if !any {
+        sel = Selection {
+            lines: true,
+            words: true,
+            bytes: true,
+        };
+    }
+    (sel, files)
+}
+
+impl Command for Wc {
+    fn name(&self) -> &'static str {
+        "wc"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let (sel, mut files) = parse_selection(args);
+        let from_stdin = files.is_empty();
+        if from_stdin {
+            files.push("-".to_string());
+        }
+        let mut total = Counts::default();
+        let many = files.len() > 1;
+        for f in &files {
+            let mut r = open_input(&io.fs, f, io.stdin)?;
+            let c = count_stream(&mut *r)?;
+            total.lines += c.lines;
+            total.words += c.words;
+            total.bytes += c.bytes;
+            let label = if from_stdin { None } else { Some(f.as_str()) };
+            writeln!(io.stdout, "{}", sel.format(&c, label))?;
+        }
+        if many {
+            writeln!(io.stdout, "{}", sel.format(&total, Some("total")))?;
+        }
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn wc(args: &[&str], input: &str) -> String {
+        let mut argv = vec!["wc"];
+        argv.extend(args);
+        let fs = Arc::new(MemFs::new());
+        fs.add("w1", b"one two\nthree\n".to_vec());
+        fs.add("w2", b"x\n".to_vec());
+        let out = run_command(&Registry::standard(), fs, &argv, input.as_bytes()).expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn lines_only() {
+        assert_eq!(wc(&["-l"], "a\nb\nc\n").trim(), "3");
+    }
+
+    #[test]
+    fn words_only() {
+        assert_eq!(wc(&["-w"], "one two  three\nfour\n").trim(), "4");
+    }
+
+    #[test]
+    fn bytes_only() {
+        assert_eq!(wc(&["-c"], "abcd").trim(), "4");
+    }
+
+    #[test]
+    fn default_all_three() {
+        let row = wc(&[], "a b\n");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols, vec!["1", "2", "4"]);
+    }
+
+    #[test]
+    fn combined_lw() {
+        let row = wc(&["-lw"], "a b\nc\n");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols, vec!["2", "3"]);
+    }
+
+    #[test]
+    fn multiple_files_with_total() {
+        let out = wc(&["-l", "w1", "w2"], "");
+        assert!(out.contains("w1"));
+        assert!(out.contains("w2"));
+        assert!(out.lines().last().expect("total row").contains("total"));
+        let total_line = out.lines().last().expect("total row");
+        assert!(total_line.split_whitespace().next() == Some("3"));
+    }
+
+    #[test]
+    fn no_trailing_newline_still_counts_words() {
+        let row = wc(&["-lw"], "no newline here");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols, vec!["0", "3"]);
+    }
+}

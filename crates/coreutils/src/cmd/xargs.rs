@@ -1,0 +1,134 @@
+//! `xargs` — build and run command lines from standard input.
+//!
+//! Supports `-n N` (arguments per invocation) and an inner command
+//! resolved from the registry. This is the construct PaSh's Fig. 3
+//! parallelizes (`xargs -n 1 curl -s` fed by `split`).
+
+use std::io::{self};
+
+use crate::{CmdIo, Command, ExitStatus};
+
+/// The `xargs` command.
+pub struct Xargs;
+
+impl Command for Xargs {
+    fn name(&self) -> &'static str {
+        "xargs"
+    }
+
+    fn run(&self, args: &[String], io: &mut CmdIo<'_>) -> io::Result<ExitStatus> {
+        let mut per_call: Option<usize> = None;
+        let mut inner: Vec<String> = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "-n" if inner.is_empty() => {
+                    per_call = it.next().and_then(|s| s.parse().ok());
+                }
+                s if s.starts_with("-n") && s.len() > 2 && inner.is_empty() => {
+                    per_call = s[2..].parse().ok();
+                }
+                other => inner.push(other.to_string()),
+            }
+        }
+        if inner.is_empty() {
+            inner.push("echo".to_string());
+        }
+        let cmd = io.registry.get(&inner[0]).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("xargs: {}: command not found", inner[0]),
+            )
+        })?;
+
+        // Collect whitespace-separated tokens from stdin.
+        let mut tokens: Vec<String> = Vec::new();
+        let mut buf = String::new();
+        io.stdin.read_to_string(&mut buf)?;
+        tokens.extend(buf.split_whitespace().map(|s| s.to_string()));
+
+        if tokens.is_empty() {
+            return Ok(0);
+        }
+        let n = per_call.unwrap_or(tokens.len().max(1)).max(1);
+        let mut status = 0;
+        for chunk in tokens.chunks(n) {
+            let mut argv: Vec<String> = inner[1..].to_vec();
+            argv.extend(chunk.iter().cloned());
+            let mut empty = io::BufReader::new(&b""[..]);
+            let mut inner_io = CmdIo {
+                stdin: &mut empty,
+                stdout: io.stdout,
+                stderr: io.stderr,
+                fs: io.fs.clone(),
+                registry: io.registry,
+            };
+            let s = cmd.run(&argv, &mut inner_io)?;
+            if s != 0 {
+                status = 123;
+            }
+        }
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::fs::MemFs;
+    use crate::{run_command, Registry};
+    use std::sync::Arc;
+
+    fn xargs(argv: &[&str], input: &str) -> String {
+        let fs = Arc::new(MemFs::new());
+        fs.add("x1", b"alpha\nbeta\n".to_vec());
+        fs.add("x2", b"gamma\n".to_vec());
+        let out = run_command(&Registry::standard(), fs, argv, input.as_bytes()).expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn default_echo() {
+        assert_eq!(xargs(&["xargs"], "a b\nc\n"), "a b c\n");
+    }
+
+    #[test]
+    fn n1_one_per_invocation() {
+        assert_eq!(xargs(&["xargs", "-n", "1", "echo"], "a b c"), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn n2_pairs() {
+        assert_eq!(xargs(&["xargs", "-n2", "echo"], "a b c d e"), "a b\nc d\ne\n");
+    }
+
+    #[test]
+    fn inner_command_with_fixed_args() {
+        assert_eq!(xargs(&["xargs", "-n", "1", "echo", "got:"], "x y"), "got: x\ngot: y\n");
+    }
+
+    #[test]
+    fn cat_files_from_stdin() {
+        // The `xargs -n 1 curl -s` shape: inner command reads the named
+        // files and concatenates their contents.
+        assert_eq!(xargs(&["xargs", "-n", "1", "cat"], "x1 x2"), "alpha\nbeta\ngamma\n");
+    }
+
+    #[test]
+    fn wc_over_files() {
+        // The Shortest-scripts shape: xargs wc -l.
+        let out = xargs(&["xargs", "wc", "-l"], "x1 x2");
+        assert!(out.contains("x1"));
+        assert!(out.contains("total"));
+    }
+
+    #[test]
+    fn empty_input_runs_nothing() {
+        assert_eq!(xargs(&["xargs", "echo"], ""), "");
+    }
+
+    #[test]
+    fn unknown_inner_command_errors() {
+        let fs = Arc::new(MemFs::new());
+        assert!(run_command(&Registry::standard(), fs, &["xargs", "nope"], b"x").is_err());
+    }
+}

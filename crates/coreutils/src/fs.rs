@@ -1,0 +1,305 @@
+//! Filesystem abstraction used by file-reading commands.
+//!
+//! Two implementations:
+//! * [`MemFs`] — an in-memory tree for hermetic tests, the threaded
+//!   executor, and the benchmark harness;
+//! * [`RealFs`] — the host filesystem (used by `pashc` and examples).
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Read, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Abstract filesystem interface.
+pub trait Fs: Send + Sync {
+    /// Opens a file for reading.
+    fn open(&self, path: &str) -> io::Result<Box<dyn Read + Send>>;
+
+    /// Creates (truncates) a file for writing.
+    fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>>;
+
+    /// Returns the size of a file in bytes (used by the size-aware
+    /// splitter).
+    fn size(&self, path: &str) -> io::Result<u64>;
+
+    /// Lists file names under a directory prefix, sorted.
+    fn list(&self, dir: &str) -> io::Result<Vec<String>>;
+
+    /// Opens a file with buffering.
+    fn open_buffered(&self, path: &str) -> io::Result<Box<dyn BufRead + Send>> {
+        Ok(Box::new(io::BufReader::new(self.open(path)?)))
+    }
+}
+
+type FileMap = Arc<Mutex<HashMap<String, Arc<Vec<u8>>>>>;
+
+/// An in-memory filesystem.
+///
+/// Cloning is cheap (shared storage). Writes become visible when the
+/// returned writer is dropped.
+#[derive(Default, Clone)]
+pub struct MemFs {
+    files: FileMap,
+}
+
+impl MemFs {
+    /// Creates an empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a file.
+    pub fn add(&self, path: impl Into<String>, contents: impl Into<Vec<u8>>) {
+        self.files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .insert(normalize(&path.into()), Arc::new(contents.into()));
+    }
+
+    /// Reads a whole file.
+    pub fn read(&self, path: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .get(&normalize(path))
+            .map(|a| a.as_ref().clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    /// Lists all paths, sorted.
+    pub fn paths(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+fn normalize(p: &str) -> String {
+    p.trim_start_matches("./").to_string()
+}
+
+fn not_found(path: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{path}: no such file or directory"),
+    )
+}
+
+impl Fs for MemFs {
+    fn open(&self, path: &str) -> io::Result<Box<dyn Read + Send>> {
+        let data = self
+            .files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .get(&normalize(path))
+            .cloned()
+            .ok_or_else(|| not_found(path))?;
+        Ok(Box::new(ArcReader { data, pos: 0 }))
+    }
+
+    fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>> {
+        Ok(Box::new(MemWriter {
+            path: normalize(path),
+            buf: Vec::new(),
+            files: self.files.clone(),
+        }))
+    }
+
+    fn size(&self, path: &str) -> io::Result<u64> {
+        self.files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .get(&normalize(path))
+            .map(|a| a.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        let prefix = if dir.is_empty() || dir == "." {
+            String::new()
+        } else {
+            format!("{}/", normalize(dir).trim_end_matches('/'))
+        };
+        let mut v: Vec<String> = self
+            .files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .keys()
+            .filter(|k| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        Ok(v)
+    }
+}
+
+/// A reader over shared immutable file contents.
+struct ArcReader {
+    data: Arc<Vec<u8>>,
+    pos: usize,
+}
+
+impl Read for ArcReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = &self.data[self.pos.min(self.data.len())..];
+        let n = remaining.len().min(buf.len());
+        buf[..n].copy_from_slice(&remaining[..n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A buffered writer that publishes contents on drop.
+struct MemWriter {
+    path: String,
+    buf: Vec<u8>,
+    files: FileMap,
+}
+
+impl Write for MemWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for MemWriter {
+    fn drop(&mut self) {
+        self.files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .insert(self.path.clone(), Arc::new(std::mem::take(&mut self.buf)));
+    }
+}
+
+/// The host filesystem, rooted at a directory.
+pub struct RealFs {
+    root: PathBuf,
+}
+
+impl RealFs {
+    /// Creates a host filesystem rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    fn resolve(&self, path: &str) -> PathBuf {
+        if path.starts_with('/') {
+            PathBuf::from(path)
+        } else {
+            self.root.join(path)
+        }
+    }
+}
+
+impl Fs for RealFs {
+    fn open(&self, path: &str) -> io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(std::fs::File::open(self.resolve(path))?))
+    }
+
+    fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>> {
+        let p = self.resolve(path);
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(Box::new(std::fs::File::create(p)?))
+    }
+
+    fn size(&self, path: &str) -> io::Result<u64> {
+        Ok(std::fs::metadata(self.resolve(path))?.len())
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(self.resolve(dir))? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(format!(
+                    "{}/{}",
+                    dir.trim_end_matches('/'),
+                    entry.file_name().to_string_lossy()
+                ));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_roundtrip() {
+        let fs = MemFs::new();
+        fs.add("a.txt", b"hello".to_vec());
+        let mut r = fs.open("a.txt").expect("open");
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).expect("read");
+        assert_eq!(buf, b"hello");
+        assert_eq!(fs.size("a.txt").expect("size"), 5);
+    }
+
+    #[test]
+    fn memfs_missing_file() {
+        let fs = MemFs::new();
+        assert!(fs.open("nope").is_err());
+        assert!(fs.size("nope").is_err());
+    }
+
+    #[test]
+    fn memfs_write_commits_on_drop() {
+        let fs = MemFs::new();
+        {
+            let mut w = fs.create("out.txt").expect("create");
+            w.write_all(b"data").expect("write");
+        }
+        assert_eq!(fs.read("out.txt").expect("read"), b"data");
+    }
+
+    #[test]
+    fn memfs_list_prefix() {
+        let fs = MemFs::new();
+        fs.add("d/a", b"1".to_vec());
+        fs.add("d/b", b"2".to_vec());
+        fs.add("e/c", b"3".to_vec());
+        assert_eq!(fs.list("d").expect("list"), vec!["d/a", "d/b"]);
+    }
+
+    #[test]
+    fn memfs_normalizes_dot_slash() {
+        let fs = MemFs::new();
+        fs.add("./x", b"1".to_vec());
+        assert!(fs.open("x").is_ok());
+    }
+
+    #[test]
+    fn memfs_writer_outlives_handle() {
+        let w = {
+            let fs = MemFs::new();
+            fs.create("late.txt").expect("create")
+        };
+        // The writer holds shared storage; dropping it after the
+        // creating handle is gone must be fine.
+        drop(w);
+    }
+
+    #[test]
+    fn memfs_clone_shares_storage() {
+        let a = MemFs::new();
+        let b = a.clone();
+        a.add("x", b"1".to_vec());
+        assert_eq!(b.read("x").expect("read"), b"1");
+    }
+}

@@ -1,0 +1,211 @@
+//! SHA-1, implemented from scratch (FIPS 180-1).
+//!
+//! `sha1sum` is the paper's exemplar of a *non-parallelizable pure*
+//! command (§3.1): its internal state depends on all prior input in a
+//! non-trivial way, so PaSh must never split its input. Having a real
+//! implementation lets the test suite check that classification
+//! end-to-end.
+
+/// Streaming SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len_bits: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len_bits: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs input bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len_bits = self.len_bits.wrapping_add((data.len() as u64) * 8);
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.process(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finalizes and returns the 20-byte digest.
+    pub fn finish(mut self) -> [u8; 20] {
+        let len_bits = self.len_bits;
+        self.update_padding();
+        let mut block = self.buf;
+        if self.buf_len > 56 {
+            for b in &mut block[self.buf_len..] {
+                *b = 0;
+            }
+            self.process(&block.clone());
+            block = [0u8; 64];
+        } else {
+            for b in &mut block[self.buf_len..] {
+                *b = 0;
+            }
+        }
+        block[56..].copy_from_slice(&len_bits.to_be_bytes());
+        self.process(&block);
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// Hex digest of the input.
+    pub fn hex_digest(data: &[u8]) -> String {
+        let mut h = Sha1::new();
+        h.update(data);
+        to_hex(&h.finish())
+    }
+
+    fn update_padding(&mut self) {
+        // Append the 0x80 marker byte into the buffer.
+        self.buf[self.buf_len] = 0x80;
+        self.buf_len += 1;
+    }
+
+    fn process(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, wi) in w.iter_mut().take(16).enumerate() {
+            *wi = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// Lowercase hex encoding.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer tests from FIPS 180-1 / RFC 3174.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            Sha1::hex_digest(b""),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            Sha1::hex_digest(b"abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            Sha1::hex_digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            Sha1::hex_digest(&data),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let oneshot = Sha1::hex_digest(&data);
+        let mut h = Sha1::new();
+        for chunk in data.chunks(37) {
+            h.update(chunk);
+        }
+        assert_eq!(to_hex(&h.finish()), oneshot);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // The N-class property: splitting and hashing parts does not
+        // compose into the hash of the whole.
+        let whole = Sha1::hex_digest(b"hello world");
+        let parts = format!(
+            "{}{}",
+            Sha1::hex_digest(b"hello "),
+            Sha1::hex_digest(b"world")
+        );
+        assert_ne!(whole, parts[..40]);
+    }
+}

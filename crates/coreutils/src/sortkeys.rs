@@ -1,0 +1,314 @@
+//! Sort key extraction and comparison, shared between `sort` and the
+//! runtime's `sort -m`-style merge aggregator.
+//!
+//! Keeping one implementation guarantees that the parallel merge uses
+//! exactly the sequential comparator — the invariant the map/aggregate
+//! law for `sort` rests on.
+
+use std::cmp::Ordering;
+
+use crate::lines::{numeric_prefix, split_fields, split_whitespace};
+
+/// One `-k POS1[,POS2]` key definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpec {
+    /// 1-based first field of the key.
+    pub start_field: usize,
+    /// 1-based last field (inclusive); `None` = to end of line.
+    pub end_field: Option<usize>,
+    /// `n` modifier: numeric comparison.
+    pub numeric: bool,
+    /// `r` modifier: reverse this key.
+    pub reverse: bool,
+    /// Whether any per-key modifier was given (overrides globals).
+    pub has_modifiers: bool,
+}
+
+/// A full sort ordering specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SortSpec {
+    /// Global `-n`.
+    pub numeric: bool,
+    /// Global `-r`.
+    pub reverse: bool,
+    /// `-u`: drop duplicate keys.
+    pub unique: bool,
+    /// `-t SEP`: field separator (default: whitespace runs).
+    pub separator: Option<u8>,
+    /// `-k` keys, in priority order; empty = whole line.
+    pub keys: Vec<KeySpec>,
+}
+
+impl SortSpec {
+    /// Parses one `-k` argument such as `2`, `2,3`, `2n`, `2,2nr`.
+    ///
+    /// Character offsets (`F.C`) are accepted but the character part is
+    /// ignored (field granularity), matching what the PaSh benchmarks
+    /// need.
+    pub fn parse_key(arg: &str) -> Option<KeySpec> {
+        fn parse_pos(s: &str) -> Option<(usize, bool, bool, bool)> {
+            let mut field = String::new();
+            let mut it = s.chars().peekable();
+            while let Some(c) = it.peek() {
+                if c.is_ascii_digit() {
+                    field.push(*c);
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            // Optional `.C` character offset (ignored).
+            if it.peek() == Some(&'.') {
+                it.next();
+                while it.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    it.next();
+                }
+            }
+            let mut numeric = false;
+            let mut reverse = false;
+            let mut modified = false;
+            for c in it {
+                match c {
+                    'n' => {
+                        numeric = true;
+                        modified = true;
+                    }
+                    'r' => {
+                        reverse = true;
+                        modified = true;
+                    }
+                    'b' => modified = true, // Ignore-leading-blanks: our default.
+                    _ => return None,
+                }
+            }
+            let f: usize = field.parse().ok()?;
+            if f == 0 {
+                return None;
+            }
+            Some((f, numeric, reverse, modified))
+        }
+        match arg.split_once(',') {
+            None => {
+                let (f, n, r, m) = parse_pos(arg)?;
+                Some(KeySpec {
+                    start_field: f,
+                    end_field: None,
+                    numeric: n,
+                    reverse: r,
+                    has_modifiers: m,
+                })
+            }
+            Some((a, b)) => {
+                let (f1, n1, r1, m1) = parse_pos(a)?;
+                let (f2, n2, r2, m2) = parse_pos(b)?;
+                Some(KeySpec {
+                    start_field: f1,
+                    end_field: Some(f2),
+                    numeric: n1 || n2,
+                    reverse: r1 || r2,
+                    has_modifiers: m1 || m2,
+                })
+            }
+        }
+    }
+
+    /// Compares two lines under this specification.
+    pub fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        if self.keys.is_empty() {
+            let ord = if self.numeric {
+                compare_numeric(a, b)
+            } else {
+                a.cmp(b)
+            };
+            return if self.reverse { ord.reverse() } else { ord };
+        }
+        for key in &self.keys {
+            let ka = extract_key(a, key, self.separator);
+            let kb = extract_key(b, key, self.separator);
+            let (numeric, reverse) = if key.has_modifiers {
+                (key.numeric, key.reverse)
+            } else {
+                (self.numeric || key.numeric, self.reverse || key.reverse)
+            };
+            let ord = if numeric {
+                compare_numeric(&ka, &kb)
+            } else {
+                ka.cmp(&kb)
+            };
+            let ord = if reverse { ord.reverse() } else { ord };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        // Last-resort comparison on the whole line (GNU default).
+        let ord = a.cmp(b);
+        if self.reverse {
+            ord.reverse()
+        } else {
+            ord
+        }
+    }
+
+    /// True when two lines compare equal *as keys* (for `-u`).
+    pub fn key_equal(&self, a: &[u8], b: &[u8]) -> bool {
+        if self.keys.is_empty() {
+            if self.numeric {
+                return compare_numeric(a, b) == Ordering::Equal;
+            }
+            return a == b;
+        }
+        for key in &self.keys {
+            let ka = extract_key(a, key, self.separator);
+            let kb = extract_key(b, key, self.separator);
+            let numeric = if key.has_modifiers {
+                key.numeric
+            } else {
+                self.numeric || key.numeric
+            };
+            let eq = if numeric {
+                compare_numeric(&ka, &kb) == Ordering::Equal
+            } else {
+                ka == kb
+            };
+            if !eq {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn compare_numeric(a: &[u8], b: &[u8]) -> Ordering {
+    numeric_prefix(a)
+        .partial_cmp(&numeric_prefix(b))
+        .unwrap_or(Ordering::Equal)
+}
+
+/// Extracts the key bytes for one `-k` spec.
+fn extract_key(line: &[u8], key: &KeySpec, separator: Option<u8>) -> Vec<u8> {
+    let fields: Vec<&[u8]> = match separator {
+        Some(sep) => split_fields(line, sep),
+        None => split_whitespace(line),
+    };
+    let start = key.start_field.saturating_sub(1);
+    let end = key
+        .end_field
+        .map(|e| e.min(fields.len()))
+        .unwrap_or(fields.len());
+    if start >= fields.len() || start >= end {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, f) in fields[start..end].iter().enumerate() {
+        if i > 0 {
+            out.push(separator.unwrap_or(b' '));
+        }
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(args: &str) -> SortSpec {
+        // Tiny builder: "n", "r", "k2", "k2n", "t:" joined by spaces.
+        let mut s = SortSpec::default();
+        for a in args.split_whitespace() {
+            match a {
+                "n" => s.numeric = true,
+                "r" => s.reverse = true,
+                "u" => s.unique = true,
+                _ if a.starts_with('t') => s.separator = Some(a.as_bytes()[1]),
+                _ if a.starts_with('k') => {
+                    s.keys.push(SortSpec::parse_key(&a[1..]).expect("key"))
+                }
+                other => panic!("bad spec {other}"),
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn plain_lexicographic() {
+        let s = spec("");
+        assert_eq!(s.compare(b"apple", b"banana"), Ordering::Less);
+        assert_eq!(s.compare(b"b", b"b"), Ordering::Equal);
+    }
+
+    #[test]
+    fn numeric_global() {
+        let s = spec("n");
+        assert_eq!(s.compare(b"9", b"10"), Ordering::Less);
+        assert_eq!(s.compare(b"-2", b"1"), Ordering::Less);
+    }
+
+    #[test]
+    fn reverse_global() {
+        let s = spec("r");
+        assert_eq!(s.compare(b"a", b"b"), Ordering::Greater);
+    }
+
+    #[test]
+    fn reverse_numeric() {
+        let s = spec("r n");
+        assert_eq!(s.compare(b"10", b"9"), Ordering::Less);
+    }
+
+    #[test]
+    fn key_second_field() {
+        let s = spec("k2");
+        assert_eq!(s.compare(b"x banana", b"y apple"), Ordering::Greater);
+    }
+
+    #[test]
+    fn key_numeric_modifier() {
+        let s = spec("k2n");
+        assert_eq!(s.compare(b"a 9", b"b 10"), Ordering::Less);
+    }
+
+    #[test]
+    fn key_with_custom_separator() {
+        let s = spec("t: k2");
+        assert_eq!(s.compare(b"x:bb", b"y:aa"), Ordering::Greater);
+    }
+
+    #[test]
+    fn key_range() {
+        let s = spec("k2,3");
+        assert_eq!(s.compare(b"_ a z _", b"_ a z X"), s.compare(b"_ a z _", b"_ a z X"));
+        assert_eq!(s.compare(b"_ b c", b"_ b d"), Ordering::Less);
+    }
+
+    #[test]
+    fn last_resort_whole_line() {
+        let s = spec("k2");
+        // Equal keys fall back to full-line order.
+        assert_eq!(s.compare(b"a same", b"b same"), Ordering::Less);
+    }
+
+    #[test]
+    fn missing_field_sorts_empty() {
+        let s = spec("k3");
+        assert_eq!(s.compare(b"a b", b"a b c"), Ordering::Less);
+    }
+
+    #[test]
+    fn parse_key_forms() {
+        assert!(SortSpec::parse_key("2").is_some());
+        assert!(SortSpec::parse_key("2,3").is_some());
+        assert!(SortSpec::parse_key("2.1,2.5").is_some());
+        let k = SortSpec::parse_key("2nr").expect("key");
+        assert!(k.numeric && k.reverse && k.has_modifiers);
+        assert!(SortSpec::parse_key("0").is_none());
+        assert!(SortSpec::parse_key("x").is_none());
+    }
+
+    #[test]
+    fn key_equality_for_unique() {
+        let s = spec("k1n");
+        assert!(s.key_equal(b"01 x", b"1 y"));
+        assert!(!s.key_equal(b"1 x", b"2 x"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Compilation of [`Hir`] trees into NFA programs for the Pike VM.
+
+use crate::hir::{Assertion, ClassSet, Hir};
+use crate::Error;
+
+/// A single NFA instruction.
+#[derive(Debug, Clone)]
+pub enum Inst {
+    /// Matches one byte in the class, then advances.
+    Class(ClassSet),
+    /// Zero-width assertion.
+    Assert(Assertion),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Non-deterministic split; `0`-th target has priority (greedy).
+    Split(usize, usize),
+    /// Records the current position into a capture slot.
+    Save(usize),
+    /// Accepting state.
+    Match,
+}
+
+/// A compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence; entry point is instruction 0.
+    pub insts: Vec<Inst>,
+    /// Number of capture slots (2 per group, incl. group 0).
+    pub slots: usize,
+    /// Number of capture groups including the implicit whole-match group.
+    pub groups: usize,
+}
+
+/// Upper bound on compiled program size, to bound memory on
+/// pathological `{m,n}` nestings.
+const MAX_INSTS: usize = 1 << 20;
+
+/// Compiles an [`Hir`] into a [`Program`].
+///
+/// The program wraps the expression in `Save(0) … Save(1) Match` so the
+/// whole match is capture group 0.
+pub fn compile(hir: &Hir) -> Result<Program, Error> {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        max_group: 0,
+    };
+    c.push(Inst::Save(0))?;
+    c.emit(hir)?;
+    c.push(Inst::Save(1))?;
+    c.push(Inst::Match)?;
+    let groups = c.max_group as usize + 1;
+    Ok(Program {
+        insts: c.insts,
+        slots: groups * 2,
+        groups,
+    })
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    max_group: u32,
+}
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, Error> {
+        if self.insts.len() >= MAX_INSTS {
+            return Err(Error::new("compiled program too large"));
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn here(&self) -> usize {
+        self.insts.len()
+    }
+
+    fn emit(&mut self, hir: &Hir) -> Result<(), Error> {
+        match hir {
+            Hir::Empty => Ok(()),
+            Hir::Class(c) => {
+                self.push(Inst::Class(c.clone()))?;
+                Ok(())
+            }
+            Hir::Assert(a) => {
+                self.push(Inst::Assert(*a))?;
+                Ok(())
+            }
+            Hir::Concat(parts) => {
+                for p in parts {
+                    self.emit(p)?;
+                }
+                Ok(())
+            }
+            Hir::Alt(parts) => self.emit_alt(parts),
+            Hir::Group { index, inner } => {
+                if *index > self.max_group {
+                    self.max_group = *index;
+                }
+                self.push(Inst::Save(*index as usize * 2))?;
+                self.emit(inner)?;
+                self.push(Inst::Save(*index as usize * 2 + 1))?;
+                Ok(())
+            }
+            Hir::Repeat {
+                inner,
+                min,
+                max,
+                greedy,
+            } => self.emit_repeat(inner, *min, *max, *greedy),
+        }
+    }
+
+    fn emit_alt(&mut self, parts: &[Hir]) -> Result<(), Error> {
+        // Chain of splits: split(branch1, next); …; jmp end.
+        let mut jumps = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i + 1 == parts.len() {
+                self.emit(p)?;
+            } else {
+                let split = self.push(Inst::Split(0, 0))?;
+                let b_start = self.here();
+                self.emit(p)?;
+                let jmp = self.push(Inst::Jmp(0))?;
+                jumps.push(jmp);
+                let next = self.here();
+                self.insts[split] = Inst::Split(b_start, next);
+            }
+        }
+        let end = self.here();
+        for j in jumps {
+            self.insts[j] = Inst::Jmp(end);
+        }
+        Ok(())
+    }
+
+    fn emit_repeat(
+        &mut self,
+        inner: &Hir,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    ) -> Result<(), Error> {
+        match (min, max) {
+            (0, None) => {
+                // Star: L1: split L2, L3; L2: e; jmp L1; L3:
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.here();
+                self.emit(inner)?;
+                self.push(Inst::Jmp(split))?;
+                let after = self.here();
+                self.insts[split] = if greedy {
+                    Inst::Split(body, after)
+                } else {
+                    Inst::Split(after, body)
+                };
+                Ok(())
+            }
+            (1, None) => {
+                // Plus: L1: e; split L1, L2; L2:
+                let body = self.here();
+                self.emit(inner)?;
+                let split = self.push(Inst::Split(0, 0))?;
+                let after = self.here();
+                self.insts[split] = if greedy {
+                    Inst::Split(body, after)
+                } else {
+                    Inst::Split(after, body)
+                };
+                Ok(())
+            }
+            (0, Some(1)) => {
+                // Question: split body, after.
+                let split = self.push(Inst::Split(0, 0))?;
+                let body = self.here();
+                self.emit(inner)?;
+                let after = self.here();
+                self.insts[split] = if greedy {
+                    Inst::Split(body, after)
+                } else {
+                    Inst::Split(after, body)
+                };
+                Ok(())
+            }
+            (min, max) => {
+                // General {m,n}: unroll m mandatory copies, then
+                // (n - m) optional copies or a star.
+                for _ in 0..min {
+                    self.emit(inner)?;
+                }
+                match max {
+                    None => self.emit_repeat(inner, 0, None, greedy),
+                    Some(max) => {
+                        let optional = max - min;
+                        let mut splits = Vec::new();
+                        for _ in 0..optional {
+                            let s = self.push(Inst::Split(0, 0))?;
+                            splits.push((s, self.here()));
+                            self.emit(inner)?;
+                        }
+                        let after = self.here();
+                        for (s, body) in splits {
+                            self.insts[s] = if greedy {
+                                Inst::Split(body, after)
+                            } else {
+                                Inst::Split(after, body)
+                            };
+                        }
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Syntax;
+
+    fn prog(p: &str) -> Program {
+        compile(&parse(p, Syntax::Ere).expect("parse")).expect("compile")
+    }
+
+    #[test]
+    fn literal_program_shape() {
+        let p = prog("ab");
+        // Save(0) Class Class Save(1) Match.
+        assert_eq!(p.insts.len(), 5);
+        assert_eq!(p.slots, 2);
+    }
+
+    #[test]
+    fn star_has_split_and_jmp() {
+        let p = prog("a*");
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Split(..))));
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Jmp(..))));
+    }
+
+    #[test]
+    fn group_allocates_slots() {
+        let p = prog("(a)(b)");
+        assert_eq!(p.groups, 3);
+        assert_eq!(p.slots, 6);
+    }
+
+    #[test]
+    fn bounded_repeat_unrolls() {
+        let p3 = prog("a{3}");
+        let p1 = prog("a");
+        assert!(p3.insts.len() > p1.insts.len());
+    }
+
+    #[test]
+    fn huge_interval_rejected() {
+        assert!(crate::parser::parse("a{1001}", Syntax::Ere).is_err());
+    }
+}

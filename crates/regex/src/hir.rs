@@ -1,0 +1,278 @@
+//! High-level intermediate representation for parsed regular expressions.
+//!
+//! Patterns (ERE or BRE) are parsed into [`Hir`] trees, which the
+//! compiler lowers into NFA programs executed by the Pike VM.
+
+/// A set of byte ranges representing a character class.
+///
+/// Ranges are kept sorted and non-overlapping by construction through
+/// [`ClassSet::push`] followed by [`ClassSet::normalize`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSet {
+    ranges: Vec<(u8, u8)>,
+}
+
+impl ClassSet {
+    /// Creates an empty class set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a class set containing a single byte.
+    pub fn single(b: u8) -> Self {
+        let mut s = Self::new();
+        s.push(b, b);
+        s.normalize();
+        s
+    }
+
+    /// Creates a class matching any byte except `\n` (the `.` class).
+    pub fn dot() -> Self {
+        let mut s = Self::new();
+        s.push(0, b'\n' - 1);
+        s.push(b'\n' + 1, 0xFF);
+        s.normalize();
+        s
+    }
+
+    /// Creates a class matching every byte.
+    pub fn any() -> Self {
+        let mut s = Self::new();
+        s.push(0, 0xFF);
+        s.normalize();
+        s
+    }
+
+    /// Adds an inclusive byte range to the set.
+    pub fn push(&mut self, lo: u8, hi: u8) {
+        if lo <= hi {
+            self.ranges.push((lo, hi));
+        }
+    }
+
+    /// Merges another class set into this one.
+    pub fn union(&mut self, other: &ClassSet) {
+        self.ranges.extend_from_slice(&other.ranges);
+        self.normalize();
+    }
+
+    /// Sorts and coalesces adjacent or overlapping ranges.
+    pub fn normalize(&mut self) {
+        self.ranges.sort_unstable();
+        let mut out: Vec<(u8, u8)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match out.last_mut() {
+                Some(&mut (_, ref mut phi)) if lo as u16 <= *phi as u16 + 1 => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => out.push((lo, hi)),
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Returns the complement of this class over all bytes.
+    pub fn negate(&self) -> ClassSet {
+        let mut out = ClassSet::new();
+        let mut next: u16 = 0;
+        for &(lo, hi) in &self.ranges {
+            if (lo as u16) > next {
+                out.push(next as u8, lo - 1);
+            }
+            next = hi as u16 + 1;
+        }
+        if next <= 0xFF {
+            out.push(next as u8, 0xFF);
+        }
+        out.normalize();
+        out
+    }
+
+    /// Extends the class with the ASCII case-folded counterparts of its
+    /// alphabetic members.
+    pub fn case_fold(&mut self) {
+        let mut extra = Vec::new();
+        for &(lo, hi) in &self.ranges {
+            for b in lo..=hi {
+                if b.is_ascii_lowercase() {
+                    extra.push(b.to_ascii_uppercase());
+                } else if b.is_ascii_uppercase() {
+                    extra.push(b.to_ascii_lowercase());
+                }
+                if b == 0xFF {
+                    break;
+                }
+            }
+        }
+        for b in extra {
+            self.push(b, b);
+        }
+        self.normalize();
+    }
+
+    /// Tests whether a byte is a member of the class.
+    pub fn contains(&self, b: u8) -> bool {
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if b < lo {
+                    std::cmp::Ordering::Greater
+                } else if b > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Returns the sorted, coalesced ranges of the class.
+    pub fn ranges(&self) -> &[(u8, u8)] {
+        &self.ranges
+    }
+
+    /// Returns true if the class matches no byte.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+}
+
+/// Kinds of zero-width assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assertion {
+    /// `^` — start of the haystack.
+    Start,
+    /// `$` — end of the haystack.
+    End,
+    /// `\b` — ASCII word boundary.
+    WordBoundary,
+    /// `\B` — ASCII non-word-boundary.
+    NotWordBoundary,
+}
+
+/// A parsed regular expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hir {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one byte from the class.
+    Class(ClassSet),
+    /// A zero-width assertion.
+    Assert(Assertion),
+    /// Concatenation of sub-expressions.
+    Concat(Vec<Hir>),
+    /// Alternation (`a|b`).
+    Alt(Vec<Hir>),
+    /// Repetition with inclusive lower bound and optional upper bound.
+    Repeat {
+        /// The repeated sub-expression.
+        inner: Box<Hir>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// Whether the repetition prefers more matches (always true for
+        /// POSIX syntaxes, kept for completeness).
+        greedy: bool,
+    },
+    /// A capturing group; index 0 is reserved for the whole match.
+    Group {
+        /// 1-based capture index.
+        index: u32,
+        /// The grouped sub-expression.
+        inner: Box<Hir>,
+    },
+}
+
+impl Hir {
+    /// Builds a concatenation, flattening trivial cases.
+    pub fn concat(mut parts: Vec<Hir>) -> Hir {
+        parts.retain(|p| !matches!(p, Hir::Empty));
+        match parts.len() {
+            0 => Hir::Empty,
+            1 => parts.pop().expect("len checked"),
+            _ => Hir::Concat(parts),
+        }
+    }
+
+    /// Builds an alternation, flattening trivial cases.
+    pub fn alt(mut parts: Vec<Hir>) -> Hir {
+        match parts.len() {
+            0 => Hir::Empty,
+            1 => parts.pop().expect("len checked"),
+            _ => Hir::Alt(parts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_contains_after_normalize() {
+        let mut c = ClassSet::new();
+        c.push(b'a', b'f');
+        c.push(b'd', b'k');
+        c.push(b'z', b'z');
+        c.normalize();
+        assert_eq!(c.ranges(), &[(b'a', b'k'), (b'z', b'z')]);
+        assert!(c.contains(b'e'));
+        assert!(c.contains(b'z'));
+        assert!(!c.contains(b'y'));
+    }
+
+    #[test]
+    fn class_negate_roundtrip() {
+        let mut c = ClassSet::new();
+        c.push(b'a', b'z');
+        c.normalize();
+        let n = c.negate();
+        assert!(!n.contains(b'm'));
+        assert!(n.contains(b'A'));
+        assert!(n.contains(0));
+        assert!(n.contains(0xFF));
+        let nn = n.negate();
+        assert_eq!(nn.ranges(), c.ranges());
+    }
+
+    #[test]
+    fn negate_empty_matches_all() {
+        let c = ClassSet::new();
+        let n = c.negate();
+        assert_eq!(n.ranges(), &[(0, 0xFF)]);
+    }
+
+    #[test]
+    fn negate_full_is_empty() {
+        let c = ClassSet::any();
+        assert!(c.negate().is_empty());
+    }
+
+    #[test]
+    fn case_fold_adds_other_case() {
+        let mut c = ClassSet::new();
+        c.push(b'a', b'c');
+        c.normalize();
+        c.case_fold();
+        assert!(c.contains(b'B'));
+        assert!(c.contains(b'b'));
+        assert!(!c.contains(b'd'));
+    }
+
+    #[test]
+    fn dot_excludes_newline() {
+        let d = ClassSet::dot();
+        assert!(!d.contains(b'\n'));
+        assert!(d.contains(b'x'));
+        assert!(d.contains(0xFF));
+    }
+
+    #[test]
+    fn concat_flattens() {
+        assert_eq!(Hir::concat(vec![]), Hir::Empty);
+        let c = Hir::concat(vec![Hir::Empty, Hir::Class(ClassSet::single(b'a'))]);
+        assert_eq!(c, Hir::Class(ClassSet::single(b'a')));
+    }
+}

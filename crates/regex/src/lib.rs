@@ -1,0 +1,271 @@
+//! A small linear-time regular-expression engine for the PaSh
+//! reproduction.
+//!
+//! Supports POSIX extended (ERE) and basic (BRE) syntaxes over bytes,
+//! with ASCII case folding, POSIX named classes, anchors, word
+//! boundaries, bounded repetition, and capture groups. Matching is a
+//! Pike VM over a Thompson NFA, so it is `O(haystack × pattern)` even
+//! on adversarial patterns — backtracking blow-ups cannot occur, which
+//! is what the paper's "complex NFA regex" grep benchmark exercises.
+//!
+//! Unsupported (by design, to stay linear): backreferences.
+//!
+//! # Examples
+//!
+//! ```
+//! use pash_regex::{Regex, Syntax};
+//!
+//! let re = Regex::new("(ab|a)+c", Syntax::Ere).unwrap();
+//! assert!(re.is_match(b"xxabacyy"));
+//! assert_eq!(re.find(b"xxabacyy"), Some((2, 6)));
+//! ```
+
+pub mod compile;
+pub mod hir;
+pub mod parser;
+pub mod pikevm;
+
+use compile::Program;
+use pikevm::PikeVm;
+
+/// Pattern syntax selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syntax {
+    /// POSIX extended regular expressions (`grep -E`, `sed -E`).
+    Ere,
+    /// POSIX basic regular expressions (`grep`, `sed` default).
+    Bre,
+}
+
+/// A regex construction or execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    prog: Program,
+    pattern: String,
+}
+
+impl Regex {
+    /// Compiles a pattern under the given syntax.
+    pub fn new(pattern: &str, syntax: Syntax) -> Result<Regex, Error> {
+        Self::with_flags(pattern, syntax, false)
+    }
+
+    /// Compiles a pattern with optional ASCII case-insensitivity.
+    pub fn with_flags(
+        pattern: &str,
+        syntax: Syntax,
+        case_insensitive: bool,
+    ) -> Result<Regex, Error> {
+        let mut hir = parser::parse(pattern, syntax)?;
+        if case_insensitive {
+            fold_hir(&mut hir);
+        }
+        let prog = compile::compile(&hir)?;
+        Ok(Regex {
+            prog,
+            pattern: pattern.to_string(),
+        })
+    }
+
+    /// Returns the original pattern string.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of capture groups, including the implicit group 0.
+    pub fn group_count(&self) -> usize {
+        self.prog.groups
+    }
+
+    /// Tests whether the pattern matches anywhere in the haystack.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find(hay).is_some()
+    }
+
+    /// Finds the leftmost match and returns its `(start, end)` offsets.
+    pub fn find(&self, hay: &[u8]) -> Option<(usize, usize)> {
+        self.find_at(hay, 0)
+    }
+
+    /// Finds the leftmost match at or after `start`.
+    pub fn find_at(&self, hay: &[u8], start: usize) -> Option<(usize, usize)> {
+        if start > hay.len() {
+            return None;
+        }
+        let vm = PikeVm::new(&self.prog);
+        vm.find_at(hay, start).and_then(|s| match (s[0], s[1]) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        })
+    }
+
+    /// Finds the leftmost match and returns all capture-group spans.
+    ///
+    /// Index 0 is the whole match; groups that did not participate are
+    /// `None`.
+    pub fn captures(&self, hay: &[u8]) -> Option<Vec<Option<(usize, usize)>>> {
+        self.captures_at(hay, 0)
+    }
+
+    /// Like [`Regex::captures`] starting at an offset.
+    pub fn captures_at(&self, hay: &[u8], start: usize) -> Option<Vec<Option<(usize, usize)>>> {
+        if start > hay.len() {
+            return None;
+        }
+        let vm = PikeVm::new(&self.prog);
+        let slots = vm.find_at(hay, start)?;
+        let mut out = Vec::with_capacity(self.prog.groups);
+        for g in 0..self.prog.groups {
+            let s = slots.get(g * 2).copied().flatten();
+            let e = slots.get(g * 2 + 1).copied().flatten();
+            out.push(match (s, e) {
+                (Some(s), Some(e)) => Some((s, e)),
+                _ => None,
+            });
+        }
+        Some(out)
+    }
+
+    /// Iterates over non-overlapping matches.
+    pub fn find_iter<'r, 'h>(&'r self, hay: &'h [u8]) -> Matches<'r, 'h> {
+        Matches {
+            re: self,
+            hay,
+            at: 0,
+            done: false,
+        }
+    }
+}
+
+fn fold_hir(hir: &mut hir::Hir) {
+    match hir {
+        hir::Hir::Class(c) => c.case_fold(),
+        hir::Hir::Concat(v) | hir::Hir::Alt(v) => v.iter_mut().for_each(fold_hir),
+        hir::Hir::Repeat { inner, .. } => fold_hir(inner),
+        hir::Hir::Group { inner, .. } => fold_hir(inner),
+        hir::Hir::Empty | hir::Hir::Assert(_) => {}
+    }
+}
+
+/// Iterator over non-overlapping matches; see [`Regex::find_iter`].
+pub struct Matches<'r, 'h> {
+    re: &'r Regex,
+    hay: &'h [u8],
+    at: usize,
+    done: bool,
+}
+
+impl Iterator for Matches<'_, '_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.done {
+            return None;
+        }
+        let (s, e) = self.re.find_at(self.hay, self.at)?;
+        if e == s {
+            // Empty match: advance one byte to guarantee progress.
+            self.at = e + 1;
+            if self.at > self.hay.len() {
+                self.done = true;
+            }
+        } else {
+            self.at = e;
+        }
+        Some((s, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::with_flags("abc", Syntax::Ere, true).expect("compile");
+        assert!(re.is_match(b"xAbCx"));
+        let re = Regex::with_flags("[a-z]+", Syntax::Ere, true).expect("compile");
+        assert_eq!(re.find(b"HELLO"), Some((0, 5)));
+    }
+
+    #[test]
+    fn find_iter_nonoverlapping() {
+        let re = Regex::new("ab", Syntax::Ere).expect("compile");
+        let v: Vec<_> = re.find_iter(b"abxabab").collect();
+        assert_eq!(v, vec![(0, 2), (3, 5), (5, 7)]);
+    }
+
+    #[test]
+    fn find_iter_empty_matches_progress() {
+        let re = Regex::new("x*", Syntax::Ere).expect("compile");
+        let v: Vec<_> = re.find_iter(b"ab").collect();
+        // One empty match per position, all making progress.
+        assert!(v.len() <= 3);
+        assert!(v.iter().all(|&(s, e)| s == e));
+    }
+
+    #[test]
+    fn bre_vs_ere_plus() {
+        let bre = Regex::new("a+", Syntax::Bre).expect("compile");
+        assert!(bre.is_match(b"a+"));
+        assert!(!bre.is_match(b"aa"));
+        let ere = Regex::new("a+", Syntax::Ere).expect("compile");
+        assert!(ere.is_match(b"aa"));
+    }
+
+    #[test]
+    fn bre_escaped_group() {
+        let re = Regex::new(r"\(ab\)*c", Syntax::Bre).expect("compile");
+        assert_eq!(re.find(b"xababc"), Some((1, 6)));
+    }
+
+    #[test]
+    fn captures_api() {
+        let re = Regex::new("(a)(b)?", Syntax::Ere).expect("compile");
+        let caps = re.captures(b"a").expect("match");
+        assert_eq!(caps[0], Some((0, 1)));
+        assert_eq!(caps[1], Some((0, 1)));
+        assert_eq!(caps[2], None);
+    }
+
+    #[test]
+    fn display_error() {
+        let err = Regex::new("(", Syntax::Ere).unwrap_err();
+        assert!(err.to_string().contains("regex error"));
+    }
+
+    #[test]
+    fn dollar_mid_pattern() {
+        let re = Regex::new("a$", Syntax::Ere).expect("compile");
+        assert!(re.is_match(b"ba"));
+        assert!(!re.is_match(b"ab"));
+    }
+
+    #[test]
+    fn complex_nfa_pattern() {
+        // The shape of PaSh's "expensive grep" benchmark pattern.
+        let re = Regex::new("(a|b|c|d|e)+(f|g|h)*(ij|kl)+m", Syntax::Ere).expect("compile");
+        assert!(re.is_match(b"xxabcdefghijklmyy"));
+        assert!(!re.is_match(b"xxabcdefgh"));
+    }
+}

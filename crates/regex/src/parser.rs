@@ -1,0 +1,610 @@
+//! Pattern parsers for POSIX extended (ERE) and basic (BRE) syntaxes.
+
+use crate::hir::{Assertion, ClassSet, Hir};
+use crate::{Error, Syntax};
+
+/// Parses a pattern into an [`Hir`] under the given syntax.
+pub fn parse(pattern: &str, syntax: Syntax) -> Result<Hir, Error> {
+    let mut p = Parser {
+        chars: pattern.as_bytes(),
+        pos: 0,
+        syntax,
+        group_index: 0,
+    };
+    let hir = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(Error::new(format!(
+            "unexpected `{}` at offset {}",
+            p.chars[p.pos] as char,
+            p.pos
+        )));
+    }
+    Ok(hir)
+}
+
+struct Parser<'a> {
+    chars: &'a [u8],
+    pos: usize,
+    syntax: Syntax,
+    group_index: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when the upcoming input is an alternation separator.
+    fn at_alt_sep(&self) -> bool {
+        match self.syntax {
+            Syntax::Ere => self.peek() == Some(b'|'),
+            // GNU BRE supports `\|` as an extension.
+            Syntax::Bre => self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b'|'),
+        }
+    }
+
+    /// True when the upcoming input closes the current group.
+    fn at_group_close(&self) -> bool {
+        match self.syntax {
+            Syntax::Ere => self.peek() == Some(b')'),
+            Syntax::Bre => self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b')'),
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Hir, Error> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.at_alt_sep() {
+            match self.syntax {
+                Syntax::Ere => {
+                    self.pos += 1;
+                }
+                Syntax::Bre => {
+                    self.pos += 2;
+                }
+            }
+            parts.push(self.parse_concat()?);
+        }
+        Ok(Hir::alt(parts))
+    }
+
+    fn parse_concat(&mut self) -> Result<Hir, Error> {
+        let mut parts = Vec::new();
+        while self.peek().is_some() && !self.at_alt_sep() && !self.at_group_close() {
+            parts.push(self.parse_repeat()?);
+        }
+        Ok(Hir::concat(parts))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Hir, Error> {
+        let atom = self.parse_atom()?;
+        let mut hir = atom;
+        loop {
+            let (min, max) = match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    (0, None)
+                }
+                Some(b'+') if self.syntax == Syntax::Ere => {
+                    self.pos += 1;
+                    (1, None)
+                }
+                Some(b'?') if self.syntax == Syntax::Ere => {
+                    self.pos += 1;
+                    (0, Some(1))
+                }
+                Some(b'{') if self.syntax == Syntax::Ere => {
+                    // `{` not followed by a digit is a literal brace in
+                    // practice (GNU behaviour); only treat as interval
+                    // when it parses.
+                    if let Some(r) = self.try_parse_interval(false)? {
+                        r
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\\')
+                    if self.syntax == Syntax::Bre
+                        && self.chars.get(self.pos + 1) == Some(&b'{') =>
+                {
+                    if let Some(r) = self.try_parse_interval(true)? {
+                        r
+                    } else {
+                        break;
+                    }
+                }
+                Some(b'\\')
+                    if self.syntax == Syntax::Bre
+                        && self.chars.get(self.pos + 1) == Some(&b'+') =>
+                {
+                    // GNU BRE extension `\+`.
+                    self.pos += 2;
+                    (1, None)
+                }
+                Some(b'\\')
+                    if self.syntax == Syntax::Bre
+                        && self.chars.get(self.pos + 1) == Some(&b'?') =>
+                {
+                    // GNU BRE extension `\?`.
+                    self.pos += 2;
+                    (0, Some(1))
+                }
+                _ => break,
+            };
+            if let Some(m) = max {
+                if m < min {
+                    return Err(Error::new("interval upper bound below lower bound"));
+                }
+            }
+            if matches!(hir, Hir::Assert(_)) {
+                return Err(Error::new("repetition operator applied to an anchor"));
+            }
+            hir = Hir::Repeat {
+                inner: Box::new(hir),
+                min,
+                max,
+                greedy: true,
+            };
+        }
+        Ok(hir)
+    }
+
+    /// Parses `{m}`, `{m,}`, `{m,n}` (BRE: with escaped braces).
+    ///
+    /// Returns `Ok(None)` and restores the position when the input does
+    /// not form a valid interval.
+    fn try_parse_interval(&mut self, escaped: bool) -> Result<Option<(u32, Option<u32>)>, Error> {
+        let start = self.pos;
+        self.pos += if escaped { 2 } else { 1 };
+        let min = match self.parse_number() {
+            Some(n) => n,
+            None => {
+                self.pos = start;
+                return Ok(None);
+            }
+        };
+        let max = if self.eat(b',') {
+            if self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                match self.parse_number() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = start;
+                        return Ok(None);
+                    }
+                }
+            } else {
+                None
+            }
+        } else {
+            Some(min)
+        };
+        let closed = if escaped {
+            self.eat(b'\\') && self.eat(b'}')
+        } else {
+            self.eat(b'}')
+        };
+        if !closed {
+            self.pos = start;
+            return Ok(None);
+        }
+        if min > 1000 || max.map(|m| m > 1000).unwrap_or(false) {
+            return Err(Error::new("interval too large (max 1000)"));
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        while self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.chars[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn parse_atom(&mut self) -> Result<Hir, Error> {
+        let b = match self.bump() {
+            Some(b) => b,
+            None => return Ok(Hir::Empty),
+        };
+        match b {
+            b'.' => Ok(Hir::Class(ClassSet::dot())),
+            b'[' => self.parse_class(),
+            b'^' => {
+                // In BRE, `^` is an anchor only at the start of the
+                // pattern or a group; we accept it anywhere for
+                // simplicity (GNU behaviour in most positions).
+                Ok(Hir::Assert(Assertion::Start))
+            }
+            b'$' => Ok(Hir::Assert(Assertion::End)),
+            b'(' if self.syntax == Syntax::Ere => self.parse_group(false),
+            b')' if self.syntax == Syntax::Ere => Err(Error::new("unmatched `)`")),
+            b'*' => {
+                // A leading `*` is literal in BRE.
+                if self.syntax == Syntax::Bre {
+                    Ok(Hir::Class(ClassSet::single(b'*')))
+                } else {
+                    Err(Error::new("repetition operator with nothing to repeat"))
+                }
+            }
+            b'\\' => self.parse_escape(),
+            _ => Ok(Hir::Class(ClassSet::single(b))),
+        }
+    }
+
+    fn parse_group(&mut self, escaped: bool) -> Result<Hir, Error> {
+        self.group_index += 1;
+        let index = self.group_index;
+        let inner = self.parse_alt()?;
+        let closed = if escaped {
+            self.eat(b'\\') && self.eat(b')')
+        } else {
+            self.eat(b')')
+        };
+        if !closed {
+            return Err(Error::new("unclosed group"));
+        }
+        Ok(Hir::Group {
+            index,
+            inner: Box::new(inner),
+        })
+    }
+
+    fn parse_escape(&mut self) -> Result<Hir, Error> {
+        let b = self
+            .bump()
+            .ok_or_else(|| Error::new("trailing backslash"))?;
+        match b {
+            b'(' if self.syntax == Syntax::Bre => self.parse_group(true),
+            b')' if self.syntax == Syntax::Bre => Err(Error::new("unmatched `\\)`")),
+            b'n' => Ok(Hir::Class(ClassSet::single(b'\n'))),
+            b't' => Ok(Hir::Class(ClassSet::single(b'\t'))),
+            b'r' => Ok(Hir::Class(ClassSet::single(b'\r'))),
+            b'd' => Ok(Hir::Class(digit_class())),
+            b'D' => Ok(Hir::Class(digit_class().negate())),
+            b'w' => Ok(Hir::Class(word_class())),
+            b'W' => Ok(Hir::Class(word_class().negate())),
+            b's' => Ok(Hir::Class(space_class())),
+            b'S' => Ok(Hir::Class(space_class().negate())),
+            b'b' => Ok(Hir::Assert(Assertion::WordBoundary)),
+            b'B' => Ok(Hir::Assert(Assertion::NotWordBoundary)),
+            b'<' | b'>' => Ok(Hir::Assert(Assertion::WordBoundary)),
+            b'1'..=b'9' => Err(Error::new(
+                "backreferences are not supported by the linear-time engine",
+            )),
+            _ => Ok(Hir::Class(ClassSet::single(b))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Hir, Error> {
+        let negated = self.eat(b'^');
+        let mut set = ClassSet::new();
+        let mut first = true;
+        loop {
+            let b = match self.peek() {
+                Some(b) => b,
+                None => return Err(Error::new("unclosed character class")),
+            };
+            if b == b']' && !first {
+                self.pos += 1;
+                break;
+            }
+            first = false;
+            // POSIX named classes: `[:alpha:]` etc.
+            if b == b'[' && self.chars.get(self.pos + 1) == Some(&b':') {
+                let end = self.find_class_end()?;
+                let name = std::str::from_utf8(&self.chars[self.pos + 2..end])
+                    .map_err(|_| Error::new("invalid class name"))?
+                    .to_string();
+                self.pos = end + 2;
+                set.union(&named_class(&name)?);
+                continue;
+            }
+            self.pos += 1;
+            let lo = if b == b'\\' && self.syntax == Syntax::Ere {
+                match self.bump() {
+                    Some(b'n') => b'\n',
+                    Some(b't') => b'\t',
+                    Some(b'r') => b'\r',
+                    Some(c) => c,
+                    None => return Err(Error::new("unclosed character class")),
+                }
+            } else {
+                b
+            };
+            // Range?
+            if self.peek() == Some(b'-')
+                && self.chars.get(self.pos + 1).copied() != Some(b']')
+                && self.chars.get(self.pos + 1).is_some()
+            {
+                self.pos += 1;
+                let hb = self.bump().expect("checked above");
+                let hi = if hb == b'\\' && self.syntax == Syntax::Ere {
+                    self.bump()
+                        .ok_or_else(|| Error::new("unclosed character class"))?
+                } else {
+                    hb
+                };
+                if hi < lo {
+                    return Err(Error::new("invalid range in character class"));
+                }
+                set.push(lo, hi);
+            } else {
+                set.push(lo, lo);
+            }
+        }
+        set.normalize();
+        let set = if negated { set.negate() } else { set };
+        Ok(Hir::Class(set))
+    }
+
+    fn find_class_end(&self) -> Result<usize, Error> {
+        let mut i = self.pos + 2;
+        while i + 1 < self.chars.len() {
+            if self.chars[i] == b':' && self.chars[i + 1] == b']' {
+                return Ok(i);
+            }
+            i += 1;
+        }
+        Err(Error::new("unclosed POSIX class name"))
+    }
+}
+
+fn digit_class() -> ClassSet {
+    let mut c = ClassSet::new();
+    c.push(b'0', b'9');
+    c.normalize();
+    c
+}
+
+fn word_class() -> ClassSet {
+    let mut c = ClassSet::new();
+    c.push(b'0', b'9');
+    c.push(b'a', b'z');
+    c.push(b'A', b'Z');
+    c.push(b'_', b'_');
+    c.normalize();
+    c
+}
+
+fn space_class() -> ClassSet {
+    let mut c = ClassSet::new();
+    for b in [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C] {
+        c.push(b, b);
+    }
+    c.normalize();
+    c
+}
+
+/// Resolves a POSIX named class such as `alpha` or `digit`.
+pub fn named_class(name: &str) -> Result<ClassSet, Error> {
+    let mut c = ClassSet::new();
+    match name {
+        "alpha" => {
+            c.push(b'a', b'z');
+            c.push(b'A', b'Z');
+        }
+        "digit" => c.push(b'0', b'9'),
+        "alnum" => {
+            c.push(b'a', b'z');
+            c.push(b'A', b'Z');
+            c.push(b'0', b'9');
+        }
+        "upper" => c.push(b'A', b'Z'),
+        "lower" => c.push(b'a', b'z'),
+        "space" => {
+            for b in [b' ', b'\t', b'\n', b'\r', 0x0B, 0x0C] {
+                c.push(b, b);
+            }
+        }
+        "blank" => {
+            c.push(b' ', b' ');
+            c.push(b'\t', b'\t');
+        }
+        "punct" => {
+            c.push(b'!', b'/');
+            c.push(b':', b'@');
+            c.push(b'[', b'`');
+            c.push(b'{', b'~');
+        }
+        "print" => c.push(b' ', b'~'),
+        "graph" => c.push(b'!', b'~'),
+        "cntrl" => {
+            c.push(0, 0x1F);
+            c.push(0x7F, 0x7F);
+        }
+        "xdigit" => {
+            c.push(b'0', b'9');
+            c.push(b'a', b'f');
+            c.push(b'A', b'F');
+        }
+        "word" => {
+            c.push(b'0', b'9');
+            c.push(b'a', b'z');
+            c.push(b'A', b'Z');
+            c.push(b'_', b'_');
+        }
+        _ => return Err(Error::new(format!("unknown POSIX class `[:{name}:]`"))),
+    }
+    c.normalize();
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ere(p: &str) -> Hir {
+        parse(p, Syntax::Ere).expect("parse failure")
+    }
+
+    #[test]
+    fn parses_literal_concat() {
+        match ere("abc") {
+            Hir::Concat(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_alternation() {
+        match ere("a|bc|d") {
+            Hir::Alt(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_repeats() {
+        match ere("a{2,5}") {
+            Hir::Repeat { min, max, .. } => {
+                assert_eq!(min, 2);
+                assert_eq!(max, Some(5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match ere("a{3}") {
+            Hir::Repeat { min, max, .. } => {
+                assert_eq!(min, 3);
+                assert_eq!(max, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match ere("a{2,}") {
+            Hir::Repeat { min, max, .. } => {
+                assert_eq!(min, 2);
+                assert_eq!(max, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_interval() {
+        assert!(parse("a{5,2}", Syntax::Ere).is_err());
+    }
+
+    #[test]
+    fn class_with_named_posix() {
+        match ere("[[:digit:]a]") {
+            Hir::Class(c) => {
+                assert!(c.contains(b'5'));
+                assert!(c.contains(b'a'));
+                assert!(!c.contains(b'b'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        match ere("[^a-z]") {
+            Hir::Class(c) => {
+                assert!(!c.contains(b'q'));
+                assert!(c.contains(b'Q'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_literal_bracket_first() {
+        match ere("[]a]") {
+            Hir::Class(c) => {
+                assert!(c.contains(b']'));
+                assert!(c.contains(b'a'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bre_groups_and_alt() {
+        let h = parse(r"\(ab\)\|c", Syntax::Bre).expect("bre parse");
+        match h {
+            Hir::Alt(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bre_star_literal_at_start() {
+        let h = parse("*a", Syntax::Bre).expect("bre parse");
+        match h {
+            Hir::Concat(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bre_plus_is_literal_unless_escaped() {
+        // In BRE, `+` is a literal.
+        let h = parse("a+", Syntax::Bre).expect("bre parse");
+        match h {
+            Hir::Concat(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backreference_rejected() {
+        assert!(parse(r"(a)\1", Syntax::Ere).is_err());
+    }
+
+    #[test]
+    fn group_indices_increase() {
+        let h = ere("(a)(b(c))");
+        fn collect(h: &Hir, out: &mut Vec<u32>) {
+            match h {
+                Hir::Group { index, inner } => {
+                    out.push(*index);
+                    collect(inner, out);
+                }
+                Hir::Concat(v) | Hir::Alt(v) => v.iter().for_each(|x| collect(x, out)),
+                Hir::Repeat { inner, .. } => collect(inner, out),
+                _ => {}
+            }
+        }
+        let mut v = Vec::new();
+        collect(&h, &mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unclosed_group_is_error() {
+        assert!(parse("(ab", Syntax::Ere).is_err());
+        assert!(parse(r"\(ab", Syntax::Bre).is_err());
+    }
+
+    #[test]
+    fn escapes_in_class() {
+        match ere(r"[\n\t]") {
+            Hir::Class(c) => {
+                assert!(c.contains(b'\n'));
+                assert!(c.contains(b'\t'));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

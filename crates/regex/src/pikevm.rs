@@ -1,0 +1,256 @@
+//! Pike VM: breadth-first NFA simulation with capture tracking.
+//!
+//! Runs in `O(len * insts)` time regardless of the pattern, which keeps
+//! `grep` over adversarial patterns linear — the property the PaSh
+//! "complex NFA regex" benchmark leans on.
+
+use std::rc::Rc;
+
+use crate::compile::{Inst, Program};
+use crate::hir::Assertion;
+
+/// Capture slots shared between threads via persistent copy-on-write.
+type Slots = Rc<Vec<Option<usize>>>;
+
+/// A sparse set of live NFA states for the current position.
+struct ThreadList {
+    dense: Vec<(usize, Slots)>,
+    sparse: Vec<u32>,
+    gen: u32,
+}
+
+impl ThreadList {
+    fn new(n: usize) -> Self {
+        Self {
+            dense: Vec::with_capacity(n),
+            sparse: vec![u32::MAX, 0][..1].repeat(n),
+            gen: 0,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.dense.clear();
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == u32::MAX {
+            self.sparse.fill(u32::MAX);
+            self.gen = 0;
+        }
+    }
+
+    fn contains(&self, pc: usize) -> bool {
+        self.sparse[pc] == self.gen
+    }
+
+}
+
+/// The Pike VM executor over a compiled [`Program`].
+pub struct PikeVm<'p> {
+    prog: &'p Program,
+}
+
+impl<'p> PikeVm<'p> {
+    /// Creates a VM for a program.
+    pub fn new(prog: &'p Program) -> Self {
+        Self { prog }
+    }
+
+    /// Searches for the leftmost match starting at or after `start`.
+    ///
+    /// Returns the capture slots of the match, where slots `0`/`1` hold
+    /// the whole-match bounds.
+    pub fn find_at(&self, hay: &[u8], start: usize) -> Option<Vec<Option<usize>>> {
+        let n = self.prog.insts.len();
+        let mut clist = ThreadList::new(n);
+        let mut nlist = ThreadList::new(n);
+        let mut matched: Option<Slots> = None;
+        clist.clear();
+        nlist.clear();
+
+        let mut at = start;
+        loop {
+            // Seed a new attempt at `at` unless a match already exists
+            // (leftmost semantics: once matched, only extend existing
+            // threads).
+            if matched.is_none() {
+                let slots: Slots = Rc::new(vec![None; self.prog.slots]);
+                self.add_thread(&mut clist, 0, at, hay, slots);
+            }
+            if clist.dense.is_empty() && matched.is_some() {
+                break;
+            }
+            let byte = hay.get(at).copied();
+            nlist.clear();
+            let mut i = 0;
+            while i < clist.dense.len() {
+                let (pc, slots) = clist.dense[i].clone();
+                match &self.prog.insts[pc] {
+                    Inst::Class(c) => {
+                        if let Some(b) = byte {
+                            if c.contains(b) {
+                                self.add_thread(&mut nlist, pc + 1, at + 1, hay, slots);
+                            }
+                        }
+                    }
+                    Inst::Match => {
+                        matched = Some(slots);
+                        // Lower-priority threads in clist are cut off:
+                        // leftmost-greedy semantics.
+                        break;
+                    }
+                    // Epsilon instructions were flattened by add_thread.
+                    _ => {}
+                }
+                i += 1;
+            }
+            std::mem::swap(&mut clist, &mut nlist);
+            if at >= hay.len() {
+                break;
+            }
+            at += 1;
+            if clist.dense.is_empty() && matched.is_some() {
+                break;
+            }
+        }
+        matched.map(|s| (*s).clone())
+    }
+
+    /// Adds a thread, following epsilon transitions eagerly.
+    fn add_thread(&self, list: &mut ThreadList, pc: usize, at: usize, hay: &[u8], slots: Slots) {
+        if list.contains(pc) {
+            return;
+        }
+        list.sparse[pc] = list.gen;
+        match &self.prog.insts[pc] {
+            Inst::Jmp(t) => self.add_thread(list, *t, at, hay, slots),
+            Inst::Split(a, b) => {
+                self.add_thread(list, *a, at, hay, slots.clone());
+                self.add_thread(list, *b, at, hay, slots);
+            }
+            Inst::Save(slot) => {
+                let mut s = (*slots).clone();
+                if *slot < s.len() {
+                    s[*slot] = Some(at);
+                }
+                self.add_thread(list, pc + 1, at, hay, Rc::new(s));
+            }
+            Inst::Assert(a) => {
+                if assertion_holds(*a, hay, at) {
+                    self.add_thread(list, pc + 1, at, hay, slots);
+                }
+            }
+            Inst::Class(_) | Inst::Match => list.dense.push((pc, slots)),
+        }
+    }
+}
+
+fn is_word(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn assertion_holds(a: Assertion, hay: &[u8], at: usize) -> bool {
+    match a {
+        Assertion::Start => at == 0,
+        Assertion::End => at == hay.len(),
+        Assertion::WordBoundary | Assertion::NotWordBoundary => {
+            let before = at > 0 && is_word(hay[at - 1]);
+            let after = at < hay.len() && is_word(hay[at]);
+            let boundary = before != after;
+            if a == Assertion::WordBoundary {
+                boundary
+            } else {
+                !boundary
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::parser::parse;
+    use crate::Syntax;
+
+    fn find(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pat, Syntax::Ere).expect("parse")).expect("compile");
+        let vm = PikeVm::new(&prog);
+        vm.find_at(hay.as_bytes(), 0)
+            .map(|s| (s[0].expect("start"), s[1].expect("end")))
+    }
+
+    #[test]
+    fn literal_find() {
+        assert_eq!(find("bc", "abcd"), Some((1, 3)));
+        assert_eq!(find("xy", "abcd"), None);
+    }
+
+    #[test]
+    fn leftmost_match_wins() {
+        assert_eq!(find("a+", "baaac"), Some((1, 4)));
+    }
+
+    #[test]
+    fn greedy_star() {
+        assert_eq!(find("a*", "aaab"), Some((0, 3)));
+    }
+
+    #[test]
+    fn empty_match_at_start() {
+        assert_eq!(find("x*", "yyy"), Some((0, 0)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(find("^ab", "abab"), Some((0, 2)));
+        assert_eq!(find("ab$", "abab"), Some((2, 4)));
+        assert_eq!(find("^ab$", "ab"), Some((0, 2)));
+        assert_eq!(find("^b", "ab"), None);
+    }
+
+    #[test]
+    fn word_boundary() {
+        assert_eq!(find(r"\bcat\b", "a cat sat"), Some((2, 5)));
+        assert_eq!(find(r"\bcat\b", "concatenate"), None);
+    }
+
+    #[test]
+    fn alternation_priority() {
+        // Leftmost, then earlier alternative preferred.
+        assert_eq!(find("ab|a", "ab"), Some((0, 2)));
+        assert_eq!(find("a|ab", "ab"), Some((0, 1)));
+    }
+
+    #[test]
+    fn captures() {
+        let prog =
+            compile(&parse("(a+)(b+)", Syntax::Ere).expect("parse")).expect("compile");
+        let vm = PikeVm::new(&prog);
+        let s = vm.find_at(b"xaaabby", 0).expect("match");
+        assert_eq!((s[0], s[1]), (Some(1), Some(6)));
+        assert_eq!((s[2], s[3]), (Some(1), Some(4)));
+        assert_eq!((s[4], s[5]), (Some(4), Some(6)));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // (a|a)*b against a^30 would be exponential for a backtracker.
+        let pat = "(a|a)*b";
+        let hay = "a".repeat(30);
+        assert_eq!(find(pat, &hay), None);
+    }
+
+    #[test]
+    fn find_at_offset() {
+        let prog = compile(&parse("a", Syntax::Ere).expect("parse")).expect("compile");
+        let vm = PikeVm::new(&prog);
+        let s = vm.find_at(b"aba", 1).expect("match");
+        assert_eq!((s[0], s[1]), (Some(2), Some(3)));
+    }
+
+    #[test]
+    fn bounded_repeat_matches() {
+        assert_eq!(find("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(find("a{2,3}", "a"), None);
+        assert_eq!(find("(ab){2}", "abab"), Some((0, 4)));
+    }
+}

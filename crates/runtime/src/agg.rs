@@ -1,0 +1,430 @@
+//! The aggregator library (§5.2, "Aggregator Implementations").
+//!
+//! Aggregators consume *multiple ordered input streams* — the partial
+//! outputs of parallel map copies — and combine them into the output
+//! the sequential command would have produced. They "apply pure
+//! functions at the boundaries of input streams (with the exception of
+//! sort that has to interleave inputs)".
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use pash_coreutils::cmd::sort::parse_args as parse_sort_args;
+use pash_coreutils::cmd::wc;
+use pash_coreutils::fs::Fs;
+use pash_coreutils::lines::{for_each_line, write_line};
+use pash_coreutils::Registry;
+
+/// A boxed ordered input stream.
+pub type AggInput = Box<dyn BufRead + Send>;
+
+/// Runs the aggregator named by `argv[0]` over ordered inputs.
+///
+/// `head`/`tail` re-applied over the concatenation are also accepted
+/// (their own command implementations serve as their aggregators).
+pub fn run_aggregator(
+    argv: &[String],
+    inputs: Vec<AggInput>,
+    output: &mut dyn Write,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+) -> io::Result<i32> {
+    let (name, args) = argv
+        .split_first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty aggregator argv"))?;
+    match name.as_str() {
+        "pash-agg-sort" => agg_sort(args, inputs, output),
+        "pash-agg-uniq" => agg_uniq(inputs, output),
+        "pash-agg-uniq-c" => agg_uniq_count(inputs, output),
+        "pash-agg-wc" => agg_wc(args, inputs, output),
+        "pash-agg-sum" => agg_sum(inputs, output),
+        "pash-agg-tac" => agg_tac(inputs, output),
+        "pash-agg-bigram" => agg_bigram(inputs, output),
+        // Re-applied commands (e.g. `head -n 1`) run over the ordered
+        // concatenation of the inputs.
+        _ => {
+            let cmd = registry.get(name).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("unknown aggregator `{name}`"),
+                )
+            })?;
+            let sources: Vec<Box<dyn io::Read + Send>> = inputs
+                .into_iter()
+                .map(|b| Box::new(b) as Box<dyn io::Read + Send>)
+                .collect();
+            let mut stdin = io::BufReader::new(crate::pipe::MultiReader::new(sources));
+            let mut stderr = io::sink();
+            let mut cio = pash_coreutils::CmdIo {
+                stdin: &mut stdin,
+                stdout: output,
+                stderr: &mut stderr,
+                fs,
+                registry,
+            };
+            cmd.run(&args.to_vec(), &mut cio)
+        }
+    }
+}
+
+/// `sort -m`: streaming k-way merge with the sequential comparator.
+fn agg_sort(args: &[String], mut inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let parsed = parse_sort_args(args)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let unique = parsed.spec.unique;
+    let spec = parsed.spec;
+    // Current head line of each input (None = exhausted).
+    let mut heads: Vec<Option<Vec<u8>>> = Vec::with_capacity(inputs.len());
+    for input in inputs.iter_mut() {
+        heads.push(read_line(input)?);
+    }
+    // For `sort -u`, duplicates may also straddle input boundaries.
+    let mut last_emitted: Option<Vec<u8>> = None;
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(line) = head {
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        let other = heads[b].as_ref().expect("best is live");
+                        if spec.compare(line, other) == std::cmp::Ordering::Less {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+        }
+        let b = match best {
+            Some(b) => b,
+            None => break,
+        };
+        let line = heads[b].take().expect("best is live");
+        let suppress = unique
+            && last_emitted
+                .as_ref()
+                .map(|prev| spec.key_equal(prev, &line))
+                .unwrap_or(false);
+        if !suppress {
+            write_line(output, &line)?;
+            last_emitted = Some(line);
+        }
+        heads[b] = read_line(&mut inputs[b])?;
+    }
+    Ok(0)
+}
+
+fn read_line(r: &mut AggInput) -> io::Result<Option<Vec<u8>>> {
+    let mut buf = Vec::new();
+    let n = r.read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+    }
+    Ok(Some(buf))
+}
+
+/// `uniq`: concatenate, dropping a duplicate at each boundary.
+fn agg_uniq(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let mut last: Option<Vec<u8>> = None;
+    for mut input in inputs {
+        for_each_line(&mut input, |line| {
+            if last.as_deref() != Some(line) {
+                write_line(output, line)?;
+            }
+            last = Some(line.to_vec());
+            Ok(true)
+        })?;
+    }
+    Ok(0)
+}
+
+/// `uniq -c`: merge boundary counts of equal adjacent groups.
+fn agg_uniq_count(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    // Pending group: (count, text).
+    let mut pending: Option<(u64, Vec<u8>)> = None;
+    for mut input in inputs {
+        for_each_line(&mut input, |line| {
+            let (count, text) = parse_count_line(line)?;
+            match &mut pending {
+                Some((c, t)) if *t == text => *c += count,
+                _ => {
+                    if let Some((c, t)) = pending.take() {
+                        write_count_line(output, c, &t)?;
+                    }
+                    pending = Some((count, text));
+                }
+            }
+            Ok(true)
+        })?;
+    }
+    if let Some((c, t)) = pending {
+        write_count_line(output, c, &t)?;
+    }
+    Ok(0)
+}
+
+fn parse_count_line(line: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+    // `uniq -c` format: right-aligned count, one space, text.
+    let s = line;
+    let mut i = 0;
+    while i < s.len() && s[i] == b' ' {
+        i += 1;
+    }
+    let start = i;
+    while i < s.len() && s[i].is_ascii_digit() {
+        i += 1;
+    }
+    let count: u64 = std::str::from_utf8(&s[start..i])
+        .ok()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "malformed uniq -c line")
+        })?;
+    let text = if i < s.len() && s[i] == b' ' {
+        s[i + 1..].to_vec()
+    } else {
+        s[i..].to_vec()
+    };
+    Ok((count, text))
+}
+
+fn write_count_line(output: &mut dyn Write, count: u64, text: &[u8]) -> io::Result<()> {
+    write!(output, "{count:7} ")?;
+    write_line(output, text)
+}
+
+/// `wc`: sum per-part count vectors.
+fn agg_wc(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let (sel, _) = wc::parse_selection(args);
+    let mut total = [0u64; 3];
+    for mut input in inputs {
+        for_each_line(&mut input, |line| {
+            let nums: Vec<u64> = std::str::from_utf8(line)
+                .unwrap_or("")
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            for (slot, v) in total.iter_mut().zip(&nums) {
+                *slot += v;
+            }
+            Ok(true)
+        })?;
+    }
+    let counts = wc_counts_from(&sel, &total);
+    writeln!(output, "{}", sel.format(&counts, None))?;
+    Ok(0)
+}
+
+fn wc_counts_from(sel: &wc::Selection, total: &[u64; 3]) -> wc::Counts {
+    // The summed columns appear in canonical order for the selection.
+    let mut it = total.iter();
+    let mut counts = wc::Counts::default();
+    if sel.lines {
+        counts.lines = *it.next().expect("column");
+    }
+    if sel.words {
+        counts.words = *it.next().expect("column");
+    }
+    if sel.bytes {
+        counts.bytes = *it.next().expect("column");
+    }
+    counts
+}
+
+/// `grep -c` and friends: sum one integer per input.
+fn agg_sum(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let mut total: i64 = 0;
+    for mut input in inputs {
+        for_each_line(&mut input, |line| {
+            total += std::str::from_utf8(line)
+                .unwrap_or("0")
+                .trim()
+                .parse::<i64>()
+                .unwrap_or(0);
+            Ok(true)
+        })?;
+    }
+    writeln!(output, "{total}")?;
+    Ok(0)
+}
+
+/// `tac`: consume stream descriptors in reverse order.
+fn agg_tac(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    for mut input in inputs.into_iter().rev() {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            let n = io::Read::read(&mut input, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            output.write_all(&buf[..n])?;
+        }
+    }
+    Ok(0)
+}
+
+/// The Bi-grams-opt custom aggregator: stitch `bigrams-aux` chunks.
+///
+/// Each chunk starts with a `\x01F\t<first-word>` marker and ends with
+/// `\x01L\t<last-word>`; at every chunk boundary the pair
+/// `<last of i> <first of i+1>` was lost by the split and is
+/// re-inserted here.
+fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let mut prev_last: Option<Vec<u8>> = None;
+    for mut input in inputs {
+        let mut first_marker: Option<Vec<u8>> = None;
+        let mut last_marker: Option<Vec<u8>> = None;
+        for_each_line(&mut input, |line| {
+            if let Some(rest) = line.strip_prefix(b"\x01F\t") {
+                first_marker = Some(rest.to_vec());
+                // Boundary pair with the previous chunk.
+                if let Some(last) = &prev_last {
+                    let mut pair = last.clone();
+                    pair.push(b' ');
+                    pair.extend_from_slice(rest);
+                    write_line(output, &pair)?;
+                }
+                return Ok(true);
+            }
+            if let Some(rest) = line.strip_prefix(b"\x01L\t") {
+                last_marker = Some(rest.to_vec());
+                return Ok(true);
+            }
+            write_line(output, line)?;
+            Ok(true)
+        })?;
+        if let Some(last) = last_marker {
+            prev_last = Some(last);
+        } else if first_marker.is_none() {
+            // Empty chunk: boundary carries over unchanged.
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_coreutils::fs::MemFs;
+
+    fn run(argv: &[&str], inputs: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let inputs: Vec<AggInput> = inputs
+            .iter()
+            .map(|s| Box::new(io::BufReader::new(io::Cursor::new(s.as_bytes().to_vec()))) as AggInput)
+            .collect();
+        let mut out = Vec::new();
+        let reg = Registry::standard();
+        run_aggregator(&argv, inputs, &mut out, &reg, Arc::new(MemFs::new())).expect("agg");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn sort_merge_two_runs() {
+        assert_eq!(
+            run(&["pash-agg-sort"], &["a\nc\ne\n", "b\nd\n"]),
+            "a\nb\nc\nd\ne\n"
+        );
+    }
+
+    #[test]
+    fn sort_merge_numeric_reverse() {
+        assert_eq!(
+            run(&["pash-agg-sort", "-rn"], &["30\n20\n", "25\n5\n"]),
+            "30\n25\n20\n5\n"
+        );
+    }
+
+    #[test]
+    fn sort_merge_by_key() {
+        assert_eq!(
+            run(
+                &["pash-agg-sort", "-k", "2", "-n"],
+                &["x 1\ny 5\n", "z 3\n"]
+            ),
+            "x 1\nz 3\ny 5\n"
+        );
+    }
+
+    #[test]
+    fn sort_merge_empty_inputs() {
+        assert_eq!(run(&["pash-agg-sort"], &["", "a\n", ""]), "a\n");
+    }
+
+    #[test]
+    fn uniq_boundary_duplicate_collapsed() {
+        // "b" straddles the boundary: must appear once.
+        assert_eq!(run(&["pash-agg-uniq"], &["a\nb\n", "b\nc\n"]), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn uniq_keeps_inner_structure() {
+        assert_eq!(
+            run(&["pash-agg-uniq"], &["a\nb\na\n", "a\nc\n"]),
+            "a\nb\na\nc\n"
+        );
+    }
+
+    #[test]
+    fn uniq_count_merges_boundary() {
+        let out = run(
+            &["pash-agg-uniq-c"],
+            &["      2 a\n      1 b\n", "      3 b\n      1 c\n"],
+        );
+        assert_eq!(out, "      2 a\n      4 b\n      1 c\n");
+    }
+
+    #[test]
+    fn wc_sums_columns() {
+        let out = run(&["pash-agg-wc", "-lw"], &["      2       5\n", "      3       7\n"]);
+        let cols: Vec<&str> = out.split_whitespace().collect();
+        assert_eq!(cols, vec!["5", "12"]);
+    }
+
+    #[test]
+    fn sum_adds_counts() {
+        assert_eq!(run(&["pash-agg-sum"], &["3\n", "4\n", "0\n"]), "7\n");
+    }
+
+    #[test]
+    fn tac_reverse_stream_order() {
+        assert_eq!(
+            run(&["pash-agg-tac"], &["c\nb\n", "e\nd\n"]),
+            "e\nd\nc\nb\n"
+        );
+    }
+
+    #[test]
+    fn head_as_aggregator() {
+        assert_eq!(run(&["head", "-n", "2"], &["1\n2\n", "3\n"]), "1\n2\n");
+    }
+
+    #[test]
+    fn bigram_stitches_boundary() {
+        // Chunks from `bigrams-aux` over [a b c] and [d e].
+        let c1 = "\u{1}F\ta\na b\nb c\n\u{1}L\tc\n";
+        let c2 = "\u{1}F\td\nd e\n\u{1}L\te\n";
+        assert_eq!(
+            run(&["pash-agg-bigram"], &[c1, c2]),
+            "a b\nb c\nc d\nd e\n"
+        );
+    }
+
+    #[test]
+    fn bigram_single_chunk() {
+        let c1 = "\u{1}F\ta\na b\n\u{1}L\tb\n";
+        assert_eq!(run(&["pash-agg-bigram"], &[c1]), "a b\n");
+    }
+
+    #[test]
+    fn unknown_aggregator_errors() {
+        let argv = vec!["pash-agg-nope".to_string()];
+        let mut out = Vec::new();
+        let reg = Registry::standard();
+        let res = run_aggregator(&argv, vec![], &mut out, &reg, Arc::new(MemFs::new()));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,671 @@
+//! The threaded DFG executor.
+//!
+//! Runs a compiled program in-process: one OS thread per DFG node,
+//! bounded [`crate::pipe`]s for edges. This engine is the correctness
+//! vehicle of the reproduction — the parallel output must be
+//! byte-identical to the sequential output, which the integration
+//! suite checks for every benchmark script.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Mutex};
+
+use pash_core::annot::parse_stream_marker;
+use pash_core::compile::PashConfig;
+use pash_core::dfg::{Dfg, EagerKind, EdgeId, NodeId, NodeKind, StreamSpec};
+use pash_core::frontend::Step;
+use pash_parser::ast::AndOrOp;
+
+use pash_coreutils::fs::Fs;
+use pash_coreutils::{CmdIo, Registry, SIGPIPE_STATUS};
+
+use crate::agg::run_aggregator;
+use crate::fileseg::read_segment;
+use crate::pipe::{pipe, MultiReader, DEFAULT_PIPE_CAPACITY};
+use crate::relay::{run_relay, RelayMode};
+use crate::split::split_general;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Pipe capacity in bytes (the kernel pipe buffer analogue).
+    pub pipe_capacity: usize,
+    /// Bounded-relay buffer, in 8 KiB chunks (the "blocking eager").
+    pub blocking_relay_chunks: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            pipe_capacity: DEFAULT_PIPE_CAPACITY,
+            blocking_relay_chunks: 8,
+        }
+    }
+}
+
+/// Result of executing one DFG.
+#[derive(Debug)]
+pub struct DfgOutput {
+    /// Bytes the region wrote to its stdout edge(s).
+    pub stdout: Vec<u8>,
+    /// Exit status per node.
+    pub statuses: Vec<(NodeId, i32)>,
+}
+
+impl DfgOutput {
+    /// The region's overall status: that of its output producers.
+    pub fn status(&self) -> i32 {
+        self.statuses.last().map(|(_, s)| *s).unwrap_or(0)
+    }
+}
+
+/// A filesystem overlay that exposes in-flight streams as paths.
+///
+/// Stream markers in a node's argv are rewritten to `pash://stream/k`;
+/// the command opens them like files, each exactly once.
+struct StreamFs {
+    base: Arc<dyn Fs>,
+    streams: Mutex<HashMap<String, Box<dyn Read + Send>>>,
+}
+
+impl StreamFs {
+    fn path_for(k: usize) -> String {
+        format!("pash://stream/{k}")
+    }
+}
+
+impl Fs for StreamFs {
+    fn open(&self, path: &str) -> io::Result<Box<dyn Read + Send>> {
+        if path.starts_with("pash://stream/") {
+            return self
+                .streams
+                .lock()
+                .expect("stream table lock")
+                .remove(path)
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("stream {path} already consumed"),
+                    )
+                });
+        }
+        self.base.open(path)
+    }
+
+    fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>> {
+        self.base.create(path)
+    }
+
+    fn size(&self, path: &str) -> io::Result<u64> {
+        self.base.size(path)
+    }
+
+    fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+        self.base.list(dir)
+    }
+}
+
+/// A writer into a shared buffer (the region's stdout collector).
+struct SharedVecWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedVecWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("stdout lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Executes one DFG.
+///
+/// `stdin` feeds the region's boundary pipe input (if it has one).
+pub fn run_dfg(
+    g: &Dfg,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    cfg: &ExecConfig,
+) -> io::Result<DfgOutput> {
+    g.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    let stdout_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut readers: HashMap<EdgeId, Box<dyn Read + Send>> = HashMap::new();
+    let mut writers: HashMap<EdgeId, Box<dyn Write + Send>> = HashMap::new();
+    let mut stdin_used = false;
+
+    for e in 0..g.edge_count() {
+        let edge = g.edge(e);
+        match (&edge.spec, edge.from, edge.to) {
+            (StreamSpec::Pipe, Some(_), Some(_)) => {
+                let (w, r) = pipe(cfg.pipe_capacity);
+                writers.insert(e, Box::new(w));
+                readers.insert(e, Box::new(r));
+            }
+            (StreamSpec::Pipe, None, Some(_)) => {
+                let data = if stdin_used {
+                    Vec::new()
+                } else {
+                    stdin_used = true;
+                    stdin.clone()
+                };
+                readers.insert(e, Box::new(io::Cursor::new(data)));
+            }
+            (StreamSpec::Pipe, Some(_), None) => {
+                writers.insert(e, Box::new(SharedVecWriter(stdout_buf.clone())));
+            }
+            (StreamSpec::File(path), None, Some(_)) => {
+                readers.insert(e, fs.open(path)?);
+            }
+            (StreamSpec::File(path), Some(_), _) => {
+                writers.insert(e, fs.create(path)?);
+            }
+            (StreamSpec::FileSegment { path, part, of }, None, Some(_)) => {
+                let data = read_segment(&fs, path, *part, *of)?;
+                readers.insert(e, Box::new(io::Cursor::new(data)));
+            }
+            // Dead or dangling edges need no transport.
+            _ => {}
+        }
+    }
+
+    // Spawn one thread per node in topological order (order is not
+    // semantically required — pipes synchronize — but makes teardown
+    // deterministic in tests).
+    let order = g.topo_order();
+    let statuses: Arc<Mutex<Vec<(NodeId, i32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let hard_error: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
+    std::thread::scope(|scope| {
+        for id in order {
+            let node = g.node(id).expect("live node").clone();
+            let ins: Vec<(EdgeId, Box<dyn Read + Send>)> = node
+                .inputs
+                .iter()
+                .map(|&e| {
+                    (
+                        e,
+                        readers
+                            .remove(&e)
+                            .unwrap_or_else(|| Box::new(io::Cursor::new(Vec::new()))),
+                    )
+                })
+                .collect();
+            let outs: Vec<Box<dyn Write + Send>> = node
+                .outputs
+                .iter()
+                .map(|&e| {
+                    writers
+                        .remove(&e)
+                        .unwrap_or_else(|| Box::new(io::sink()))
+                })
+                .collect();
+            let registry = registry.clone();
+            let fs = fs.clone();
+            let statuses = statuses.clone();
+            let hard_error = hard_error.clone();
+            let ecfg = cfg.clone();
+            scope.spawn(move || {
+                let res = run_node(&node.kind, ins, outs, &registry, fs, &ecfg);
+                match res {
+                    Ok(s) => statuses.lock().expect("status lock").push((id, s)),
+                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {
+                        // SIGPIPE-style death: normal early-exit
+                        // teardown, not an error.
+                        statuses
+                            .lock()
+                            .expect("status lock")
+                            .push((id, SIGPIPE_STATUS));
+                    }
+                    Err(e) => {
+                        statuses.lock().expect("status lock").push((id, 127));
+                        hard_error
+                            .lock()
+                            .expect("error lock")
+                            .get_or_insert(e);
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = hard_error.lock().expect("error lock").take() {
+        return Err(e);
+    }
+    let stdout = std::mem::take(&mut *stdout_buf.lock().expect("stdout lock"));
+    let statuses = std::mem::take(&mut *statuses.lock().expect("status lock"));
+    Ok(DfgOutput { stdout, statuses })
+}
+
+/// Executes one node's work on the current thread.
+fn run_node(
+    kind: &NodeKind,
+    mut ins: Vec<(EdgeId, Box<dyn Read + Send>)>,
+    mut outs: Vec<Box<dyn Write + Send>>,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    cfg: &ExecConfig,
+) -> io::Result<i32> {
+    match kind {
+        NodeKind::Command { argv, .. } => {
+            // Split inputs: marker-referenced ones become stream
+            // paths, the rest feed stdin in order.
+            let marked: Vec<usize> = argv.iter().filter_map(|a| parse_stream_marker(a)).collect();
+            let mut stream_table: HashMap<String, Box<dyn Read + Send>> = HashMap::new();
+            let mut stdin_sources: Vec<Box<dyn Read + Send>> = Vec::new();
+            for (k, (_, r)) in ins.drain(..).enumerate() {
+                if marked.contains(&k) {
+                    stream_table.insert(StreamFs::path_for(k), r);
+                } else {
+                    stdin_sources.push(r);
+                }
+            }
+            let final_argv: Vec<String> = argv
+                .iter()
+                .map(|a| match parse_stream_marker(a) {
+                    Some(k) => StreamFs::path_for(k),
+                    None => a.clone(),
+                })
+                .collect();
+            let (name, args) = final_argv
+                .split_first()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "empty argv"))?;
+            let cmd = registry.get(name).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("{name}: not found"))
+            })?;
+            let stream_fs = Arc::new(StreamFs {
+                base: fs,
+                streams: Mutex::new(stream_table),
+            });
+            let mut stdin = io::BufReader::new(MultiReader::new(stdin_sources));
+            let mut stderr = io::sink();
+            let mut out = outs.pop().expect("command has one output");
+            let mut cio = CmdIo {
+                stdin: &mut stdin,
+                stdout: &mut out,
+                stderr: &mut stderr,
+                fs: stream_fs,
+                registry,
+            };
+            cmd.run(&args.to_vec(), &mut cio)
+        }
+        NodeKind::Cat => {
+            let mut out = outs.pop().expect("cat has one output");
+            for (_, mut r) in ins {
+                let mut buf = [0u8; 64 * 1024];
+                loop {
+                    let n = r.read(&mut buf)?;
+                    if n == 0 {
+                        break;
+                    }
+                    out.write_all(&buf[..n])?;
+                }
+            }
+            Ok(0)
+        }
+        NodeKind::Relay(kind) => {
+            let (_, input) = ins.pop().expect("relay has one input");
+            let mut out = outs.pop().expect("relay has one output");
+            let mode = match kind {
+                EagerKind::Full => RelayMode::Full,
+                EagerKind::Blocking => RelayMode::Blocking(cfg.blocking_relay_chunks),
+            };
+            run_relay(input, &mut out, mode)?;
+            Ok(0)
+        }
+        NodeKind::Split(_) => {
+            // The sized variant needs a file-backed input; on a pipe
+            // both behave identically for correctness (the performance
+            // difference is the simulator's concern).
+            let (_, input) = ins.pop().expect("split has one input");
+            let mut r = io::BufReader::new(input);
+            split_general(&mut r, &mut outs)?;
+            Ok(0)
+        }
+        NodeKind::Aggregate { argv } => {
+            let inputs: Vec<Box<dyn io::BufRead + Send>> = ins
+                .into_iter()
+                .map(|(_, r)| Box::new(io::BufReader::new(r)) as Box<dyn io::BufRead + Send>)
+                .collect();
+            let mut out = outs.pop().expect("aggregate has one output");
+            run_aggregator(argv, inputs, &mut out, registry, fs)
+        }
+    }
+}
+
+/// Result of executing a whole translated program.
+#[derive(Debug)]
+pub struct ProgramOutput {
+    /// Bytes written to stdout across all regions.
+    pub stdout: Vec<u8>,
+    /// Status of the last executed step.
+    pub status: i32,
+}
+
+/// Executes a translated program step by step.
+///
+/// `Shell` steps are supported only when they are no-ops for the data
+/// path (assignments, comments): the front-end already folded their
+/// effect into the compile-time environment. Anything else is an
+/// error — the hermetic executor does not run arbitrary shell.
+pub fn run_program(
+    tp: &pash_core::frontend::TranslatedProgram,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    cfg: &ExecConfig,
+) -> io::Result<ProgramOutput> {
+    let mut stdout = Vec::new();
+    let mut status = 0;
+    let mut stdin = Some(stdin);
+    let mut skip_next = false;
+    for step in &tp.steps {
+        match step {
+            Step::Guard(op) => {
+                let take_next = match op {
+                    AndOrOp::AndIf => status == 0,
+                    AndOrOp::OrIf => status != 0,
+                };
+                skip_next = !take_next;
+            }
+            Step::Region(g) => {
+                if std::mem::take(&mut skip_next) {
+                    continue;
+                }
+                let out = run_dfg(
+                    g,
+                    registry,
+                    fs.clone(),
+                    stdin.take().unwrap_or_default(),
+                    cfg,
+                )?;
+                status = out.status();
+                stdout.extend_from_slice(&out.stdout);
+            }
+            Step::Shell(text) => {
+                if std::mem::take(&mut skip_next) {
+                    continue;
+                }
+                if !is_shell_noop(text) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        format!("cannot execute shell step in-process: `{text}`"),
+                    ));
+                }
+                status = 0;
+            }
+        }
+    }
+    Ok(ProgramOutput { stdout, status })
+}
+
+/// True when a shell step has no data-path effect (assignments only).
+fn is_shell_noop(text: &str) -> bool {
+    let prog = match pash_parser::parse(text) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    prog.commands.iter().all(|cc| {
+        cc.items.iter().all(|(ao, _)| {
+            ao.rest.is_empty()
+                && ao.first.commands.iter().all(|c| match c {
+                    pash_parser::ast::Command::Simple(sc) => {
+                        sc.words.is_empty() && sc.redirects.is_empty()
+                    }
+                    _ => false,
+                })
+        })
+    })
+}
+
+/// Compiles and runs a script against a filesystem; returns stdout.
+///
+/// This is the one-call API used by tests, examples, and benchmarks.
+pub fn run_script(
+    src: &str,
+    pash_cfg: &PashConfig,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    exec_cfg: &ExecConfig,
+) -> io::Result<ProgramOutput> {
+    let compiled = pash_core::compile::compile(src, pash_cfg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    run_program(&compiled.program, registry, fs, stdin, exec_cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_coreutils::fs::MemFs;
+
+    fn fixture() -> (Registry, Arc<MemFs>) {
+        let fs = Arc::new(MemFs::new());
+        fs.add(
+            "in.txt",
+            b"Banana\napple\nCherry\napple\nbanana\nAPPLE\n".to_vec(),
+        );
+        (Registry::standard(), fs)
+    }
+
+    fn run(src: &str, width: usize) -> String {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width,
+            ..Default::default()
+        };
+        let out = run_script(
+            src,
+            &cfg,
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        String::from_utf8(out.stdout).expect("utf8")
+    }
+
+    #[test]
+    fn sequential_pipeline() {
+        let out = run("cat in.txt | tr A-Z a-z | sort", 1);
+        assert_eq!(out, "apple\napple\napple\nbanana\nbanana\ncherry\n");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_stateless() {
+        let seq = run("cat in.txt | tr A-Z a-z | grep an", 1);
+        for width in [2, 4, 8] {
+            assert_eq!(run("cat in.txt | tr A-Z a-z | grep an", width), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_sort() {
+        let seq = run("cat in.txt | tr A-Z a-z | sort", 1);
+        for width in [2, 3, 8] {
+            assert_eq!(run("cat in.txt | tr A-Z a-z | sort", width), seq);
+        }
+    }
+
+    #[test]
+    fn parallel_uniq_count() {
+        let seq = run("cat in.txt | tr A-Z a-z | sort | uniq -c", 1);
+        assert_eq!(run("cat in.txt | tr A-Z a-z | sort | uniq -c", 4), seq);
+        assert!(seq.contains("3 apple"));
+    }
+
+    #[test]
+    fn head_early_exit_terminates() {
+        // The §5.2 dangling-FIFO scenario: head exits after one line;
+        // upstream must die of broken pipes, not deadlock.
+        let out = run("cat in.txt | sort -rn | head -n 1", 4);
+        assert_eq!(out.lines().count(), 1);
+    }
+
+    #[test]
+    fn file_output_lands_in_fs() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width: 4,
+            ..Default::default()
+        };
+        run_script(
+            "cat in.txt | tr A-Z a-z | sort > sorted.txt",
+            &cfg,
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        let out = fs.read("sorted.txt").expect("output file");
+        assert_eq!(out, b"apple\napple\napple\nbanana\nbanana\ncherry\n");
+    }
+
+    #[test]
+    fn comm_with_static_dictionary() {
+        let (reg, fs) = fixture();
+        fs.add("dict.txt", b"apple\nbanana\n".to_vec());
+        fs.add("words.txt", b"apple\ncherry\nzebra\n".to_vec());
+        let cfg = PashConfig {
+            width: 3,
+            ..Default::default()
+        };
+        let out = run_script(
+            "cat words.txt | comm -13 dict.txt -",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(out.stdout, b"cherry\nzebra\n");
+    }
+
+    #[test]
+    fn guards_respect_status() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width: 1,
+            ..Default::default()
+        };
+        // grep finds nothing (status 1) so the second region is
+        // skipped.
+        let out = run_script(
+            "grep zzz in.txt > miss.txt && cat in.txt",
+            &cfg,
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        assert!(out.stdout.is_empty());
+        // With `||` it runs.
+        let out = run_script(
+            "grep zzz in.txt > miss.txt || cat in.txt",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        assert!(!out.stdout.is_empty());
+    }
+
+    #[test]
+    fn stdin_feeds_first_region() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width: 1,
+            ..Default::default()
+        };
+        let out = run_script(
+            "tr a-z A-Z",
+            &cfg,
+            &reg,
+            fs,
+            b"hello\n".to_vec(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(out.stdout, b"HELLO\n");
+    }
+
+    #[test]
+    fn assignments_are_noops_in_process() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width: 2,
+            ..Default::default()
+        };
+        let out = run_script(
+            "f=in.txt\ncat $f | tr A-Z a-z | grep apple",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig::default(),
+        )
+        .expect("run");
+        assert_eq!(out.stdout, b"apple\napple\napple\n");
+    }
+
+    #[test]
+    fn dynamic_shell_step_is_unsupported() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig::default();
+        let res = run_script(
+            "grep $UNDEFINED in.txt",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig::default(),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn missing_input_file_is_error() {
+        let (reg, fs) = fixture();
+        let cfg = PashConfig::default();
+        let res = run_script(
+            "cat nonexistent.txt | sort",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig::default(),
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn tiny_pipes_still_correct() {
+        // Squeeze everything through 32-byte pipes: heavy blocking,
+        // same bytes.
+        let (reg, fs) = fixture();
+        let cfg = PashConfig {
+            width: 4,
+            ..Default::default()
+        };
+        let out = run_script(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c",
+            &cfg,
+            &reg,
+            fs,
+            Vec::new(),
+            &ExecConfig {
+                pipe_capacity: 32,
+                ..Default::default()
+            },
+        )
+        .expect("run");
+        let s = String::from_utf8(out.stdout).expect("utf8");
+        assert!(s.contains("3 apple"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Line-aligned file segmentation (the input-aware split of §5.2).
+//!
+//! Segment `i` of `k` covers the lines whose first byte falls in
+//! `[⌊i·len/k⌋, ⌊(i+1)·len/k⌋)` after alignment to line boundaries.
+//! The concatenation of all segments is exactly the file — the
+//! invariant the stateless law depends on (property-tested below).
+
+use std::io;
+use std::sync::Arc;
+
+use pash_coreutils::fs::Fs;
+
+/// Computes the byte bounds of segment `part` of `of` over `data`.
+pub fn segment_bounds(data: &[u8], part: usize, of: usize) -> (usize, usize) {
+    let len = data.len();
+    let of = of.max(1);
+    let part = part.min(of - 1);
+    (cut_point(data, part, of, len), cut_point(data, part + 1, of, len))
+}
+
+/// The aligned cut point before segment `i`: the smallest index `>=
+/// i*len/of` that starts a line.
+fn cut_point(data: &[u8], i: usize, of: usize, len: usize) -> usize {
+    if i == 0 {
+        return 0;
+    }
+    if i >= of {
+        return len;
+    }
+    let raw = len * i / of;
+    let mut p = raw;
+    while p < len && data[p.saturating_sub(1)] != b'\n' {
+        p += 1;
+    }
+    p.min(len)
+}
+
+/// Reads segment `part` of `of` of a file.
+pub fn read_segment(fs: &Arc<dyn Fs>, path: &str, part: usize, of: usize) -> io::Result<Vec<u8>> {
+    let mut r = fs.open(path)?;
+    let mut data = Vec::new();
+    io::Read::read_to_end(&mut r, &mut data)?;
+    let (s, e) = segment_bounds(&data, part, of);
+    Ok(data[s..e].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_coreutils::fs::MemFs;
+    use proptest::prelude::*;
+
+    fn segs(data: &[u8], k: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                let (s, e) = segment_bounds(data, i, k);
+                data[s..e].to_vec()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concatenation_identity() {
+        let data = b"one\ntwo\nthree\nfour\nfive\n";
+        for k in 1..=6 {
+            let joined: Vec<u8> = segs(data, k).concat();
+            assert_eq!(joined, data, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn segments_end_on_line_boundaries() {
+        let data = b"aaaa\nbb\ncccccc\ndddd\n";
+        for k in 2..=4 {
+            for (i, seg) in segs(data, k).iter().enumerate() {
+                if !seg.is_empty() && i + 1 < k {
+                    assert_eq!(*seg.last().expect("non-empty"), b'\n');
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_file() {
+        assert_eq!(segs(b"", 4).concat(), b"");
+    }
+
+    #[test]
+    fn single_long_line_goes_to_first_segment() {
+        let data = b"one-single-very-long-line-without-newline";
+        let parts = segs(data, 4);
+        assert_eq!(parts[0], data.to_vec());
+        assert!(parts[1..].iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn read_segment_via_fs() {
+        let fs = MemFs::new();
+        fs.add("f", b"a\nb\nc\nd\n".to_vec());
+        let fs: Arc<dyn Fs> = Arc::new(fs);
+        let all: Vec<u8> = (0..3)
+            .map(|i| read_segment(&fs, "f", i, 3).expect("segment"))
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(all, b"a\nb\nc\nd\n");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_concatenation_identity(
+            lines in proptest::collection::vec("[a-z]{0,12}", 0..50),
+            k in 1usize..10,
+        ) {
+            let data: Vec<u8> = lines
+                .iter()
+                .flat_map(|l| {
+                    let mut v = l.as_bytes().to_vec();
+                    v.push(b'\n');
+                    v
+                })
+                .collect();
+            let joined: Vec<u8> = segs(&data, k).concat();
+            prop_assert_eq!(joined, data);
+        }
+
+        #[test]
+        fn prop_segments_are_monotone(
+            lines in proptest::collection::vec("[a-z]{0,8}", 1..40),
+            k in 1usize..8,
+        ) {
+            let data: Vec<u8> = lines
+                .iter()
+                .flat_map(|l| {
+                    let mut v = l.as_bytes().to_vec();
+                    v.push(b'\n');
+                    v
+                })
+                .collect();
+            let mut prev_end = 0;
+            for i in 0..k {
+                let (s, e) = segment_bounds(&data, i, k);
+                prop_assert_eq!(s, prev_end);
+                prop_assert!(e >= s);
+                prev_end = e;
+            }
+            prop_assert_eq!(prev_end, data.len());
+        }
+    }
+}

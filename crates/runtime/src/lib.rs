@@ -1,0 +1,45 @@
+//! PaSh runtime primitives and the threaded DFG executor (§5.2).
+//!
+//! * [`pipe`] — bounded in-process pipes with UNIX semantics
+//!   (blocking, EOF on writer drop, broken-pipe on reader drop);
+//! * [`relay`] — the `eager` relays that defeat the shell's laziness;
+//! * [`split`] / [`fileseg`] — the two splitter implementations;
+//! * [`agg`] — the aggregator library (`sort -m`, `uniq`, `uniq -c`,
+//!   `wc`, `tac`, counts, and the custom bigram aggregator);
+//! * [`exec`] — thread-per-node execution of compiled programs.
+//!
+//! The same primitives are exposed as a standalone multi-call binary
+//! (`pash-rt`) so that scripts emitted by the back-end run under a
+//! real `/bin/sh`.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pash_core::compile::PashConfig;
+//! use pash_coreutils::{fs::MemFs, Registry};
+//! use pash_runtime::exec::{run_script, ExecConfig};
+//!
+//! let fs = Arc::new(MemFs::new());
+//! fs.add("in.txt", b"b\na\nb\n".to_vec());
+//! let out = run_script(
+//!     "cat in.txt | sort | uniq -c",
+//!     &PashConfig { width: 2, ..Default::default() },
+//!     &Registry::standard(),
+//!     fs,
+//!     Vec::new(),
+//!     &ExecConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(String::from_utf8(out.stdout).unwrap(), "      1 a\n      2 b\n");
+//! ```
+
+pub mod agg;
+pub mod exec;
+pub mod fileseg;
+pub mod pipe;
+pub mod relay;
+pub mod split;
+
+pub use exec::{run_dfg, run_program, run_script, DfgOutput, ExecConfig, ProgramOutput};
+pub use pipe::{pipe, MultiReader, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY};

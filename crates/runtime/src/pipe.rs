@@ -1,0 +1,267 @@
+//! In-process pipes with UNIX semantics.
+//!
+//! A [`pipe`] is a bounded byte buffer shared between one writer and
+//! one reader:
+//!
+//! * writes block while the buffer is full (the default 64 KiB
+//!   capacity models the kernel pipe buffer — the root cause of the
+//!   laziness stalls of §5.2, Fig. 6);
+//! * reads block while the buffer is empty;
+//! * dropping the writer delivers EOF;
+//! * dropping the reader makes subsequent writes fail with
+//!   [`std::io::ErrorKind::BrokenPipe`] — the SIGPIPE analogue that
+//!   terminates producers whose consumer exited early.
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Default capacity, matching the Linux pipe buffer.
+pub const DEFAULT_PIPE_CAPACITY: usize = 64 * 1024;
+
+struct Inner {
+    buf: std::collections::VecDeque<u8>,
+    capacity: usize,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+}
+
+/// Creates a bounded pipe with the given capacity in bytes.
+pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            buf: std::collections::VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity: capacity.max(1),
+            writer_closed: false,
+            reader_closed: false,
+        }),
+        cond: Condvar::new(),
+    });
+    (
+        PipeWriter {
+            shared: shared.clone(),
+        },
+        PipeReader { shared },
+    )
+}
+
+/// The writing end of a [`pipe`].
+pub struct PipeWriter {
+    shared: Arc<Shared>,
+}
+
+/// The reading end of a [`pipe`].
+pub struct PipeReader {
+    shared: Arc<Shared>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        if data.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if inner.reader_closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "pipe reader closed",
+                ));
+            }
+            let free = inner.capacity.saturating_sub(inner.buf.len());
+            if free > 0 {
+                let n = free.min(data.len());
+                inner.buf.extend(&data[..n]);
+                self.shared.cond.notify_all();
+                return Ok(n);
+            }
+            self.shared.cond.wait(&mut inner);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock();
+        inner.writer_closed = true;
+        self.shared.cond.notify_all();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut inner = self.shared.inner.lock();
+        loop {
+            if !inner.buf.is_empty() {
+                let n = out.len().min(inner.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = inner.buf.pop_front().expect("checked non-empty");
+                }
+                self.shared.cond.notify_all();
+                return Ok(n);
+            }
+            if inner.writer_closed {
+                return Ok(0);
+            }
+            self.shared.cond.wait(&mut inner);
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock();
+        inner.reader_closed = true;
+        // Release buffered data so blocked writers wake and observe
+        // the broken pipe.
+        inner.buf.clear();
+        self.shared.cond.notify_all();
+    }
+}
+
+/// Reads a sequence of readers one after another (ordered
+/// concatenation — how `cat`-style stdin is presented to commands).
+pub struct MultiReader {
+    sources: std::collections::VecDeque<Box<dyn Read + Send>>,
+}
+
+impl MultiReader {
+    /// Builds a multi-reader over ordered sources.
+    pub fn new(sources: Vec<Box<dyn Read + Send>>) -> Self {
+        MultiReader {
+            sources: sources.into(),
+        }
+    }
+}
+
+impl Read for MultiReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let src = match self.sources.front_mut() {
+                Some(s) => s,
+                None => return Ok(0),
+            };
+            let n = src.read(out)?;
+            if n > 0 {
+                return Ok(n);
+            }
+            self.sources.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    #[test]
+    fn roundtrip_small() {
+        let (mut w, mut r) = pipe(16);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                w.write_all(b"hello world, this exceeds capacity")
+                    .expect("write");
+            });
+            let mut buf = Vec::new();
+            r.read_to_end(&mut buf).expect("read");
+            assert_eq!(buf, b"hello world, this exceeds capacity");
+        });
+    }
+
+    #[test]
+    fn writer_drop_is_eof() {
+        let (w, mut r) = pipe(16);
+        drop(w);
+        let mut buf = [0u8; 4];
+        assert_eq!(r.read(&mut buf).expect("read"), 0);
+    }
+
+    #[test]
+    fn reader_drop_breaks_pipe() {
+        let (mut w, r) = pipe(4);
+        drop(r);
+        let err = w.write(b"data").expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn blocked_writer_wakes_on_reader_drop() {
+        let (mut w, r) = pipe(2);
+        w.write_all(b"ab").expect("fill");
+        let t = std::thread::spawn(move || w.write(b"c"));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(r);
+        let res = t.join().expect("join");
+        assert_eq!(res.expect_err("broken").kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn backpressure_bounds_buffer() {
+        // A slow reader must bound the writer's progress.
+        let (mut w, mut r) = pipe(8);
+        let t = std::thread::spawn(move || {
+            let mut written = 0usize;
+            for _ in 0..4 {
+                written += w.write(&[0u8; 64]).expect("write");
+            }
+            written
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Nothing consumed yet: at most the capacity got through.
+        let mut buf = [0u8; 1024];
+        let mut total = 0;
+        loop {
+            let n = r.read(&mut buf).expect("read");
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        let written = t.join().expect("join");
+        assert_eq!(total, written);
+    }
+
+    #[test]
+    fn multireader_concatenates_in_order() {
+        let a: Box<dyn Read + Send> = Box::new(&b"one\n"[..]);
+        let b: Box<dyn Read + Send> = Box::new(&b""[..]);
+        let c: Box<dyn Read + Send> = Box::new(&b"two\n"[..]);
+        let mut m = BufReader::new(MultiReader::new(vec![a, b, c]));
+        let mut lines = Vec::new();
+        let mut line = String::new();
+        while m.read_line(&mut line).expect("read") > 0 {
+            lines.push(line.clone());
+            line.clear();
+        }
+        assert_eq!(lines, vec!["one\n", "two\n"]);
+    }
+
+    #[test]
+    fn large_transfer_through_small_pipe() {
+        let (mut w, mut r) = pipe(64);
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = data.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                w.write_all(&data).expect("write");
+            });
+            let mut buf = Vec::new();
+            r.read_to_end(&mut buf).expect("read");
+            assert_eq!(buf, expected);
+        });
+    }
+}

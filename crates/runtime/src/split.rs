@@ -1,0 +1,133 @@
+//! The `split` runtime primitive (§5.2, "Splitting Challenges").
+//!
+//! Two implementations:
+//! * [`split_general`] — for inputs of unknown size: consumes the
+//!   complete input first, counts its lines, then scatters contiguous
+//!   line ranges evenly across the outputs;
+//! * the input-aware variant for known sizes is `fileseg` (byte-range
+//!   segments, no process needed) — see [`crate::fileseg`].
+//!
+//! Contiguity is essential: the concatenation of the outputs must be
+//! exactly the input, or the stateless law does not apply.
+
+use std::io::{self, BufRead, Write};
+
+use pash_coreutils::lines::{read_all_lines, write_line};
+
+/// Splits the complete input into `outputs.len()` contiguous chunks of
+/// near-equal line counts, writing them in order.
+pub fn split_general(
+    input: &mut dyn BufRead,
+    outputs: &mut [Box<dyn Write + Send>],
+) -> io::Result<()> {
+    let lines = read_all_lines(input)?;
+    let k = outputs.len().max(1);
+    let n = lines.len();
+    let base = n / k;
+    let extra = n % k;
+    let mut idx = 0usize;
+    for (i, out) in outputs.iter_mut().enumerate() {
+        let take = base + usize::from(i < extra);
+        for line in &lines[idx..idx + take] {
+            // A consumer that exited early must not stall the
+            // remaining chunks; treat its broken pipe as "chunk
+            // abandoned".
+            match write_line(out.as_mut(), line) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::BrokenPipe => break,
+                Err(e) => return Err(e),
+            }
+        }
+        idx += take;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn split_into(input: &str, k: usize) -> Vec<Vec<u8>> {
+        let sinks: Vec<std::sync::Arc<std::sync::Mutex<Vec<u8>>>> =
+            (0..k).map(|_| Default::default()).collect();
+        struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, b: &[u8]) -> io::Result<usize> {
+                self.0.lock().expect("sink lock").extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut outs: Vec<Box<dyn Write + Send>> = sinks
+            .iter()
+            .map(|s| Box::new(SharedSink(s.clone())) as Box<dyn Write + Send>)
+            .collect();
+        let mut r = io::BufReader::new(io::Cursor::new(input.as_bytes().to_vec()));
+        split_general(&mut r, &mut outs).expect("split");
+        drop(outs);
+        sinks
+            .iter()
+            .map(|s| s.lock().expect("sink lock").clone())
+            .collect()
+    }
+
+    #[test]
+    fn splits_evenly() {
+        let parts = split_into("1\n2\n3\n4\n5\n6\n", 3);
+        assert_eq!(parts[0], b"1\n2\n");
+        assert_eq!(parts[1], b"3\n4\n");
+        assert_eq!(parts[2], b"5\n6\n");
+    }
+
+    #[test]
+    fn uneven_division_front_loads() {
+        let parts = split_into("1\n2\n3\n4\n5\n", 2);
+        assert_eq!(parts[0], b"1\n2\n3\n");
+        assert_eq!(parts[1], b"4\n5\n");
+    }
+
+    #[test]
+    fn fewer_lines_than_outputs() {
+        let parts = split_into("only\n", 4);
+        assert_eq!(parts[0], b"only\n");
+        assert!(parts[1..].iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn empty_input() {
+        let parts = split_into("", 3);
+        assert!(parts.iter().all(|p| p.is_empty()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_concatenation_identity(
+            lines in proptest::collection::vec("[a-z ]{0,10}", 0..60),
+            k in 1usize..8,
+        ) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let parts = split_into(&input, k);
+            let joined: Vec<u8> = parts.concat();
+            prop_assert_eq!(joined, input.into_bytes());
+        }
+
+        #[test]
+        fn prop_balanced_within_one_line(
+            n in 0usize..100,
+            k in 1usize..8,
+        ) {
+            let input: String = (0..n).map(|i| format!("{i}\n")).collect();
+            let parts = split_into(&input, k);
+            let counts: Vec<usize> = parts
+                .iter()
+                .map(|p| p.iter().filter(|&&b| b == b'\n').count())
+                .collect();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            let min = counts.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

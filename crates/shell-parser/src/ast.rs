@@ -1,0 +1,241 @@
+//! Abstract syntax tree for POSIX shell programs.
+//!
+//! The grammar follows POSIX.1-2017 §2.10 ("Shell Grammar"), with the
+//! shapes PaSh's front-end needs: pipelines, and-or lists, `;`/`&`
+//! separators, redirections, and the compound commands. Words retain
+//! their internal quoting structure (see [`crate::word`]) so that the
+//! unparser can reproduce a faithful script and the expander can decide
+//! what is statically known.
+
+use crate::word::Word;
+
+/// A whole shell program: a sequence of complete commands.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level commands in source order.
+    pub commands: Vec<CompleteCommand>,
+}
+
+/// One complete command: an and-or list with `;`/`&` separators.
+///
+/// `a && b; c & d` is one complete command with three items:
+/// `(a && b, Seq)`, `(c, Async)`, `(d, Seq)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompleteCommand {
+    /// The and-or chains and the separator *after* each.
+    pub items: Vec<(AndOr, Separator)>,
+}
+
+/// Separator after an and-or chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Separator {
+    /// `;` or newline: sequential composition (a barrier for PaSh).
+    Seq,
+    /// `&`: asynchronous composition (task parallelism).
+    Async,
+}
+
+/// A chain of pipelines joined by `&&` / `||`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AndOr {
+    /// First pipeline in the chain.
+    pub first: Pipeline,
+    /// Remaining pipelines with the operator that precedes each.
+    pub rest: Vec<(AndOrOp, Pipeline)>,
+}
+
+/// Logical connector between pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AndOrOp {
+    /// `&&` — run next only on success (a barrier for PaSh).
+    AndIf,
+    /// `||` — run next only on failure (a barrier for PaSh).
+    OrIf,
+}
+
+/// A pipeline: one or more commands joined by `|`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Leading `!` (status negation).
+    pub bang: bool,
+    /// The piped commands, in order.
+    pub commands: Vec<Command>,
+}
+
+/// Any command that can appear in a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// A simple command: assignments, words, redirections.
+    Simple(SimpleCommand),
+    /// A compound command with optional redirections applied to it.
+    Compound(CompoundCommand, Vec<Redirect>),
+    /// `name() compound-command` function definition.
+    FunctionDef {
+        /// Function name.
+        name: String,
+        /// Function body (with its redirections).
+        body: Box<Command>,
+    },
+}
+
+/// A simple command.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimpleCommand {
+    /// Leading `NAME=value` assignment words.
+    pub assignments: Vec<Assignment>,
+    /// Command name and arguments (possibly empty for pure assignments).
+    pub words: Vec<Word>,
+    /// Redirections, in source order.
+    pub redirects: Vec<Redirect>,
+}
+
+/// A variable assignment `name=value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Variable name.
+    pub name: String,
+    /// Assigned word (may be empty).
+    pub value: Word,
+}
+
+/// Compound commands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompoundCommand {
+    /// `{ list; }`
+    BraceGroup(Vec<CompleteCommand>),
+    /// `( list )` — runs in a subshell.
+    Subshell(Vec<CompleteCommand>),
+    /// `for name [in words]; do list; done`
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Iteration words; `None` means `in "$@"` implicitly.
+        words: Option<Vec<Word>>,
+        /// Loop body.
+        body: Vec<CompleteCommand>,
+    },
+    /// `case word in pattern) list ;; … esac`
+    Case {
+        /// Subject word.
+        word: Word,
+        /// The arms, in order.
+        arms: Vec<CaseArm>,
+    },
+    /// `if list; then list; [elif list; then list;]… [else list;] fi`
+    If {
+        /// `(condition, then-body)` for `if` and each `elif`.
+        branches: Vec<(Vec<CompleteCommand>, Vec<CompleteCommand>)>,
+        /// Optional `else` body.
+        else_body: Option<Vec<CompleteCommand>>,
+    },
+    /// `while list; do list; done`
+    While {
+        /// Loop condition.
+        cond: Vec<CompleteCommand>,
+        /// Loop body.
+        body: Vec<CompleteCommand>,
+    },
+    /// `until list; do list; done`
+    Until {
+        /// Loop condition.
+        cond: Vec<CompleteCommand>,
+        /// Loop body.
+        body: Vec<CompleteCommand>,
+    },
+}
+
+/// One `pattern[|pattern]…) list ;;` arm of a `case`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Alternative patterns.
+    pub patterns: Vec<Word>,
+    /// Arm body.
+    pub body: Vec<CompleteCommand>,
+}
+
+/// A redirection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redirect {
+    /// Explicit file descriptor (`2>`), if any.
+    pub fd: Option<u32>,
+    /// Redirection operator.
+    pub op: RedirOp,
+    /// Target word (file name, fd number, or here-doc delimiter).
+    pub target: Word,
+    /// Body of a here-document, if `op` is a here-doc operator.
+    pub heredoc: Option<String>,
+}
+
+/// Redirection operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedirOp {
+    /// `<`
+    Read,
+    /// `>`
+    Write,
+    /// `>>`
+    Append,
+    /// `<<`
+    Heredoc,
+    /// `<<-`
+    HeredocDash,
+    /// `<&`
+    DupRead,
+    /// `>&`
+    DupWrite,
+    /// `<>`
+    ReadWrite,
+    /// `>|`
+    Clobber,
+}
+
+impl Program {
+    /// Returns true when the program contains no commands.
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+}
+
+impl Pipeline {
+    /// Builds a single-command pipeline.
+    pub fn single(cmd: Command) -> Self {
+        Pipeline {
+            bang: false,
+            commands: vec![cmd],
+        }
+    }
+}
+
+impl AndOr {
+    /// Builds a chain containing exactly one pipeline.
+    pub fn single(p: Pipeline) -> Self {
+        AndOr {
+            first: p,
+            rest: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word;
+
+    #[test]
+    fn builders_compose() {
+        let cmd = Command::Simple(SimpleCommand {
+            words: vec![Word::literal("ls")],
+            ..Default::default()
+        });
+        let p = Pipeline::single(cmd);
+        assert!(!p.bang);
+        assert_eq!(p.commands.len(), 1);
+        let ao = AndOr::single(p);
+        assert!(ao.rest.is_empty());
+    }
+
+    #[test]
+    fn program_default_is_empty() {
+        assert!(Program::default().is_empty());
+    }
+}

@@ -1,0 +1,59 @@
+//! A POSIX shell front-end: lexer, parser, AST, static expander, and
+//! unparser.
+//!
+//! This crate is the "libdash" substrate of the PaSh reproduction. It
+//! parses POSIX shell scripts into a quoting-preserving AST
+//! ([`ast::Program`]), decides what is statically known
+//! ([`expand::StaticEnv`]), and prints ASTs back to scripts
+//! ([`unparse`]) — the round trip PaSh's compiler is built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use pash_parser::{parse, unparse::program_to_string};
+//!
+//! let prog = parse("cat in.txt | grep -c foo > out.txt").unwrap();
+//! let printed = program_to_string(&prog);
+//! let reparsed = parse(&printed).unwrap();
+//! assert_eq!(prog, reparsed);
+//! ```
+
+pub mod ast;
+pub mod expand;
+pub mod lexer;
+pub mod parse;
+pub mod unparse;
+pub mod word;
+
+pub use ast::Program;
+pub use parse::parse;
+pub use word::{Word, WordPart};
+
+/// A lexing or parsing error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    offset: usize,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>, offset: usize) -> Self {
+        Self {
+            msg: msg.into(),
+            offset,
+        }
+    }
+
+    /// Byte offset in the source where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shell parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

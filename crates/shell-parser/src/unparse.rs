@@ -1,0 +1,291 @@
+//! AST → shell-script text.
+//!
+//! The unparser is the back half of PaSh's "script → DFG → script"
+//! round trip: non-parallelizable subtrees are printed back verbatim
+//! (modulo formatting), and compiled regions are spliced in as new
+//! commands. The output must reparse to an equivalent AST — this is
+//! property-tested in the crate tests.
+
+use crate::ast::{
+    AndOr, AndOrOp, Command, CompleteCommand, CompoundCommand, Pipeline, Program, Redirect,
+    RedirOp, Separator,
+};
+use crate::word::{Word, WordPart};
+
+/// Renders a whole program, one complete command per line.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for cc in &p.commands {
+        out.push_str(&complete_command_to_string(cc));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one complete command.
+pub fn complete_command_to_string(cc: &CompleteCommand) -> String {
+    let mut out = String::new();
+    for (i, (ao, sep)) in cc.items.iter().enumerate() {
+        out.push_str(&and_or_to_string(ao));
+        match sep {
+            Separator::Async => out.push_str(" &"),
+            Separator::Seq => {
+                if i + 1 < cc.items.len() {
+                    out.push(';');
+                }
+            }
+        }
+        if i + 1 < cc.items.len() {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+fn and_or_to_string(ao: &AndOr) -> String {
+    let mut out = pipeline_to_string(&ao.first);
+    for (op, p) in &ao.rest {
+        out.push_str(match op {
+            AndOrOp::AndIf => " && ",
+            AndOrOp::OrIf => " || ",
+        });
+        out.push_str(&pipeline_to_string(p));
+    }
+    out
+}
+
+/// Renders a pipeline.
+pub fn pipeline_to_string(p: &Pipeline) -> String {
+    let mut out = String::new();
+    if p.bang {
+        out.push_str("! ");
+    }
+    let parts: Vec<String> = p.commands.iter().map(command_to_string).collect();
+    out.push_str(&parts.join(" | "));
+    out
+}
+
+/// Renders one command.
+pub fn command_to_string(c: &Command) -> String {
+    match c {
+        Command::Simple(sc) => {
+            let mut parts: Vec<String> = Vec::new();
+            for a in &sc.assignments {
+                parts.push(format!("{}={}", a.name, word_to_string(&a.value)));
+            }
+            for w in &sc.words {
+                parts.push(word_to_string(w));
+            }
+            for r in &sc.redirects {
+                parts.push(redirect_to_string(r));
+            }
+            parts.join(" ")
+        }
+        Command::FunctionDef { name, body } => {
+            format!("{name}() {}", command_to_string(body))
+        }
+        Command::Compound(cc, redirects) => {
+            let mut out = compound_to_string(cc);
+            for r in redirects {
+                out.push(' ');
+                out.push_str(&redirect_to_string(r));
+            }
+            out
+        }
+    }
+}
+
+fn list_to_string(body: &[CompleteCommand]) -> String {
+    body.iter()
+        .map(complete_command_to_string)
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+fn compound_to_string(cc: &CompoundCommand) -> String {
+    match cc {
+        CompoundCommand::BraceGroup(body) => format!("{{ {}; }}", list_to_string(body)),
+        CompoundCommand::Subshell(body) => format!("( {} )", list_to_string(body)),
+        CompoundCommand::For { var, words, body } => {
+            let mut out = format!("for {var}");
+            if let Some(ws) = words {
+                out.push_str(" in");
+                for w in ws {
+                    out.push(' ');
+                    out.push_str(&word_to_string(w));
+                }
+            }
+            out.push_str("; do ");
+            out.push_str(&list_to_string(body));
+            out.push_str("; done");
+            out
+        }
+        CompoundCommand::Case { word, arms } => {
+            let mut out = format!("case {} in", word_to_string(word));
+            for arm in arms {
+                out.push(' ');
+                let pats: Vec<String> = arm.patterns.iter().map(word_to_string).collect();
+                out.push_str(&pats.join("|"));
+                out.push_str(") ");
+                out.push_str(&list_to_string(&arm.body));
+                out.push_str(" ;;");
+            }
+            out.push_str(" esac");
+            out
+        }
+        CompoundCommand::If {
+            branches,
+            else_body,
+        } => {
+            let mut out = String::new();
+            for (i, (cond, body)) in branches.iter().enumerate() {
+                out.push_str(if i == 0 { "if " } else { " elif " });
+                out.push_str(&list_to_string(cond));
+                out.push_str("; then ");
+                out.push_str(&list_to_string(body));
+                out.push(';');
+            }
+            if let Some(eb) = else_body {
+                out.push_str(" else ");
+                out.push_str(&list_to_string(eb));
+                out.push(';');
+            }
+            out.push_str(" fi");
+            out
+        }
+        CompoundCommand::While { cond, body } => format!(
+            "while {}; do {}; done",
+            list_to_string(cond),
+            list_to_string(body)
+        ),
+        CompoundCommand::Until { cond, body } => format!(
+            "until {}; do {}; done",
+            list_to_string(cond),
+            list_to_string(body)
+        ),
+    }
+}
+
+fn redirect_to_string(r: &Redirect) -> String {
+    let mut out = String::new();
+    if let Some(fd) = r.fd {
+        out.push_str(&fd.to_string());
+    }
+    out.push_str(match r.op {
+        RedirOp::Read => "<",
+        RedirOp::Write => ">",
+        RedirOp::Append => ">>",
+        RedirOp::Heredoc => "<<",
+        RedirOp::HeredocDash => "<<-",
+        RedirOp::DupRead => "<&",
+        RedirOp::DupWrite => ">&",
+        RedirOp::ReadWrite => "<>",
+        RedirOp::Clobber => ">|",
+    });
+    out.push_str(&word_to_string(&r.target));
+    // NOTE: here-doc bodies are re-emitted by program-level printers
+    // that own line structure; inline rendering keeps the operator and
+    // delimiter only, which is sufficient for the PaSh back-end (it
+    // never moves here-docs into compiled regions).
+    out
+}
+
+/// Renders a word with quoting that reproduces its parts.
+pub fn word_to_string(w: &Word) -> String {
+    let mut out = String::new();
+    for p in &w.parts {
+        part_to_string(p, &mut out, false);
+    }
+    if out.is_empty() {
+        out.push_str("''");
+    }
+    out
+}
+
+fn part_to_string(p: &WordPart, out: &mut String, inside_double: bool) {
+    match p {
+        WordPart::Literal(s) => {
+            if inside_double {
+                for c in s.chars() {
+                    if matches!(c, '$' | '`' | '"' | '\\') {
+                        out.push('\\');
+                    }
+                    out.push(c);
+                }
+            } else {
+                out.push_str(&escape_unquoted(s));
+            }
+        }
+        WordPart::SingleQuoted(s) => {
+            out.push('\'');
+            // A single quote cannot appear inside single quotes; close,
+            // escape, reopen.
+            for c in s.chars() {
+                if c == '\'' {
+                    out.push_str("'\\''");
+                } else {
+                    out.push(c);
+                }
+            }
+            out.push('\'');
+        }
+        WordPart::DoubleQuoted(inner) => {
+            out.push('"');
+            for ip in inner {
+                part_to_string(ip, out, true);
+            }
+            out.push('"');
+        }
+        WordPart::Param(pe) => {
+            match &pe.op {
+                Some(op) if op == "#" => {
+                    out.push_str("${#");
+                    out.push_str(&pe.name);
+                    out.push('}');
+                }
+                Some(op) => {
+                    out.push_str("${");
+                    out.push_str(&pe.name);
+                    out.push_str(op);
+                    out.push('}');
+                }
+                None => {
+                    // Brace unconditionally: `${x}` is always safe.
+                    out.push_str("${");
+                    out.push_str(&pe.name);
+                    out.push('}');
+                }
+            }
+        }
+        WordPart::CommandSubst(s) => {
+            out.push_str("$(");
+            out.push_str(s);
+            out.push(')');
+        }
+        WordPart::Arith(s) => {
+            out.push_str("$((");
+            out.push_str(s);
+            out.push_str("))");
+        }
+    }
+}
+
+/// Backslash-escapes shell metacharacters in unquoted text.
+fn escape_unquoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(
+            c,
+            '|' | '&' | ';' | '<' | '>' | '(' | ')' | '$' | '`' | '\\' | '"' | '\'' | ' ' | '\t'
+        ) {
+            out.push('\\');
+            out.push(c);
+        } else if c == '\n' {
+            // A literal newline inside a word must be quoted.
+            out.push_str("'\n'");
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}

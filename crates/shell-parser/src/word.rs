@@ -1,0 +1,162 @@
+//! Shell words with quoting structure preserved.
+//!
+//! A word is a sequence of parts; each part remembers how it was quoted
+//! in the source. This is what allows (i) the unparser to reproduce an
+//! equivalent script and (ii) the static expander to decide whether a
+//! word's runtime value is knowable at compile time — the property
+//! PaSh's conservative front-end is built on.
+
+/// One component of a shell word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordPart {
+    /// Unquoted literal text (no expansion characters).
+    Literal(String),
+    /// `'…'` — single-quoted text, taken verbatim.
+    SingleQuoted(String),
+    /// `"…"` — double-quoted text; inner parts may expand.
+    DoubleQuoted(Vec<WordPart>),
+    /// A parameter expansion such as `$x` or `${x:-default}`.
+    Param(ParamExp),
+    /// `$(…)` or `` `…` `` — command substitution, kept as raw source.
+    CommandSubst(String),
+    /// `$((…))` — arithmetic expansion, kept as raw source.
+    Arith(String),
+}
+
+/// A parameter expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamExp {
+    /// Parameter name (`x`, `1`, `@`, `#`, `?`, …).
+    pub name: String,
+    /// Optional operator and word, e.g. `:-default`, kept raw.
+    pub op: Option<String>,
+}
+
+/// A shell word: a non-empty sequence of parts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Word {
+    /// The parts, in source order.
+    pub parts: Vec<WordPart>,
+}
+
+impl Word {
+    /// Builds a word from a single unquoted literal.
+    pub fn literal(s: impl Into<String>) -> Word {
+        Word {
+            parts: vec![WordPart::Literal(s.into())],
+        }
+    }
+
+    /// Builds a word from a single-quoted string.
+    pub fn single_quoted(s: impl Into<String>) -> Word {
+        Word {
+            parts: vec![WordPart::SingleQuoted(s.into())],
+        }
+    }
+
+    /// Builds a word that expands a parameter, e.g. `$x`.
+    pub fn param(name: impl Into<String>) -> Word {
+        Word {
+            parts: vec![WordPart::Param(ParamExp {
+                name: name.into(),
+                op: None,
+            })],
+        }
+    }
+
+    /// Returns the literal string if the word is fully static *text*
+    /// (no expansions), joining literal and quoted parts.
+    pub fn as_static_str(&self) -> Option<String> {
+        let mut out = String::new();
+        for p in &self.parts {
+            match p {
+                WordPart::Literal(s) | WordPart::SingleQuoted(s) => out.push_str(s),
+                WordPart::DoubleQuoted(inner) => {
+                    for ip in inner {
+                        match ip {
+                            WordPart::Literal(s) | WordPart::SingleQuoted(s) => out.push_str(s),
+                            _ => return None,
+                        }
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// True if any part is an expansion (parameter, command, arithmetic).
+    pub fn has_expansion(&self) -> bool {
+        fn part_has(p: &WordPart) -> bool {
+            match p {
+                WordPart::Param(_) | WordPart::CommandSubst(_) | WordPart::Arith(_) => true,
+                WordPart::DoubleQuoted(inner) => inner.iter().any(part_has),
+                WordPart::Literal(_) | WordPart::SingleQuoted(_) => false,
+            }
+        }
+        self.parts.iter().any(part_has)
+    }
+
+    /// True if any *unquoted* literal part contains glob characters.
+    pub fn has_glob(&self) -> bool {
+        self.parts.iter().any(|p| match p {
+            WordPart::Literal(s) => s.contains(['*', '?', '[']),
+            _ => false,
+        })
+    }
+
+    /// True when the word is empty (no parts).
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+impl std::fmt::Display for Word {
+    /// Renders the word back to shell syntax (see the unparser for the
+    /// quoting rules).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", crate::unparse::word_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_str_for_mixed_quotes() {
+        let w = Word {
+            parts: vec![
+                WordPart::Literal("a".into()),
+                WordPart::SingleQuoted("b c".into()),
+                WordPart::DoubleQuoted(vec![WordPart::Literal("d".into())]),
+            ],
+        };
+        assert_eq!(w.as_static_str().as_deref(), Some("ab cd"));
+    }
+
+    #[test]
+    fn static_str_rejects_expansion() {
+        let w = Word::param("HOME");
+        assert_eq!(w.as_static_str(), None);
+        assert!(w.has_expansion());
+    }
+
+    #[test]
+    fn expansion_inside_double_quotes_detected() {
+        let w = Word {
+            parts: vec![WordPart::DoubleQuoted(vec![WordPart::Param(ParamExp {
+                name: "x".into(),
+                op: None,
+            })])],
+        };
+        assert!(w.has_expansion());
+        assert_eq!(w.as_static_str(), None);
+    }
+
+    #[test]
+    fn glob_detection_only_unquoted() {
+        assert!(Word::literal("*.txt").has_glob());
+        assert!(!Word::single_quoted("*.txt").has_glob());
+    }
+}

@@ -1,0 +1,412 @@
+//! Parser and unparser integration tests, including round-trip
+//! properties over generated ASTs.
+
+use pash_parser::ast::{
+    AndOrOp, Command, CompoundCommand, Pipeline, RedirOp, Separator, SimpleCommand,
+};
+use pash_parser::unparse::program_to_string;
+use pash_parser::{parse, Word};
+
+fn first_pipeline(src: &str) -> Pipeline {
+    let prog = parse(src).expect("parse");
+    prog.commands[0].items[0].0.first.clone()
+}
+
+fn simple(cmd: &Command) -> &SimpleCommand {
+    match cmd {
+        Command::Simple(sc) => sc,
+        other => panic!("expected simple command, got {other:?}"),
+    }
+}
+
+fn words(sc: &SimpleCommand) -> Vec<String> {
+    sc.words
+        .iter()
+        .map(|w| w.as_static_str().unwrap_or_else(|| format!("{w:?}")))
+        .collect()
+}
+
+#[test]
+fn simple_command_words() {
+    let p = first_pipeline("grep -v foo file.txt");
+    let sc = simple(&p.commands[0]);
+    assert_eq!(words(sc), vec!["grep", "-v", "foo", "file.txt"]);
+}
+
+#[test]
+fn pipeline_of_three() {
+    let p = first_pipeline("cat f | tr a b | sort");
+    assert_eq!(p.commands.len(), 3);
+    assert_eq!(words(simple(&p.commands[2])), vec!["sort"]);
+}
+
+#[test]
+fn bang_pipeline() {
+    let p = first_pipeline("! grep x f");
+    assert!(p.bang);
+}
+
+#[test]
+fn and_or_chain() {
+    let prog = parse("a && b || c").expect("parse");
+    let ao = &prog.commands[0].items[0].0;
+    assert_eq!(ao.rest.len(), 2);
+    assert_eq!(ao.rest[0].0, AndOrOp::AndIf);
+    assert_eq!(ao.rest[1].0, AndOrOp::OrIf);
+}
+
+#[test]
+fn async_separator() {
+    let prog = parse("a & b").expect("parse");
+    let items = &prog.commands[0].items;
+    assert_eq!(items.len(), 2);
+    assert_eq!(items[0].1, Separator::Async);
+    assert_eq!(items[1].1, Separator::Seq);
+}
+
+#[test]
+fn semicolon_separator() {
+    let prog = parse("a; b; c").expect("parse");
+    assert_eq!(prog.commands[0].items.len(), 3);
+}
+
+#[test]
+fn newline_separates_complete_commands() {
+    let prog = parse("a\nb\n").expect("parse");
+    assert_eq!(prog.commands.len(), 2);
+}
+
+#[test]
+fn assignments_prefix() {
+    let p = first_pipeline("x=1 y=$x cmd arg");
+    let sc = simple(&p.commands[0]);
+    assert_eq!(sc.assignments.len(), 2);
+    assert_eq!(sc.assignments[0].name, "x");
+    assert_eq!(words(sc), vec!["cmd", "arg"]);
+}
+
+#[test]
+fn assignment_only_command() {
+    let p = first_pipeline("base=ftp://example.org/data");
+    let sc = simple(&p.commands[0]);
+    assert!(sc.words.is_empty());
+    assert_eq!(sc.assignments[0].name, "base");
+    assert_eq!(
+        sc.assignments[0].value.as_static_str().as_deref(),
+        Some("ftp://example.org/data")
+    );
+}
+
+#[test]
+fn equals_in_later_word_is_not_assignment() {
+    let p = first_pipeline("cmd x=1");
+    let sc = simple(&p.commands[0]);
+    assert!(sc.assignments.is_empty());
+    assert_eq!(words(sc), vec!["cmd", "x=1"]);
+}
+
+#[test]
+fn redirections_parsed() {
+    let p = first_pipeline("sort < in.txt > out.txt 2>> err.log");
+    let sc = simple(&p.commands[0]);
+    assert_eq!(sc.redirects.len(), 3);
+    assert_eq!(sc.redirects[0].op, RedirOp::Read);
+    assert_eq!(sc.redirects[1].op, RedirOp::Write);
+    assert_eq!(sc.redirects[2].op, RedirOp::Append);
+    assert_eq!(sc.redirects[2].fd, Some(2));
+}
+
+#[test]
+fn redirect_before_words() {
+    let p = first_pipeline("> out.txt echo hi");
+    let sc = simple(&p.commands[0]);
+    assert_eq!(sc.redirects.len(), 1);
+    assert_eq!(words(sc), vec!["echo", "hi"]);
+}
+
+#[test]
+fn subshell() {
+    let p = first_pipeline("(a; b)");
+    match &p.commands[0] {
+        Command::Compound(CompoundCommand::Subshell(body), _) => {
+            assert_eq!(body[0].items.len(), 2);
+        }
+        other => panic!("expected subshell, got {other:?}"),
+    }
+}
+
+#[test]
+fn brace_group_with_redirect() {
+    let p = first_pipeline("{ a; b; } > out");
+    match &p.commands[0] {
+        Command::Compound(CompoundCommand::BraceGroup(_), rs) => {
+            assert_eq!(rs.len(), 1);
+        }
+        other => panic!("expected brace group, got {other:?}"),
+    }
+}
+
+#[test]
+fn if_elif_else() {
+    let src = "if a; then b; elif c; then d; else e; fi";
+    let p = first_pipeline(src);
+    match &p.commands[0] {
+        Command::Compound(CompoundCommand::If { branches, else_body }, _) => {
+            assert_eq!(branches.len(), 2);
+            assert!(else_body.is_some());
+        }
+        other => panic!("expected if, got {other:?}"),
+    }
+}
+
+#[test]
+fn while_loop() {
+    let p = first_pipeline("while test -f x; do sleep 1; done");
+    assert!(matches!(
+        &p.commands[0],
+        Command::Compound(CompoundCommand::While { .. }, _)
+    ));
+}
+
+#[test]
+fn until_loop() {
+    let p = first_pipeline("until test -f x; do sleep 1; done");
+    assert!(matches!(
+        &p.commands[0],
+        Command::Compound(CompoundCommand::Until { .. }, _)
+    ));
+}
+
+#[test]
+fn for_loop_with_words() {
+    let p = first_pipeline("for y in 2015 2016 2017; do echo $y; done");
+    match &p.commands[0] {
+        Command::Compound(CompoundCommand::For { var, words, body }, _) => {
+            assert_eq!(var, "y");
+            assert_eq!(words.as_ref().expect("words").len(), 3);
+            assert_eq!(body.len(), 1);
+        }
+        other => panic!("expected for, got {other:?}"),
+    }
+}
+
+#[test]
+fn for_loop_multiline_paper_example() {
+    // The shape of the paper's Fig. 1.
+    let src = "base=ftp://ftp.ncdc.noaa.gov/pub/data/noaa\nfor y in {2015..2020}; do\n curl $base/$y | grep gz | sort -rn | head -n 1\ndone\n";
+    let prog = parse(src).expect("parse");
+    assert_eq!(prog.commands.len(), 2);
+    match &prog.commands[1].items[0].0.first.commands[0] {
+        Command::Compound(CompoundCommand::For { var, body, .. }, _) => {
+            assert_eq!(var, "y");
+            let inner = &body[0].items[0].0.first;
+            assert_eq!(inner.commands.len(), 4);
+        }
+        other => panic!("expected for, got {other:?}"),
+    }
+}
+
+#[test]
+fn case_statement() {
+    let src = "case $x in a|b) echo ab ;; *) echo other ;; esac";
+    let p = first_pipeline(src);
+    match &p.commands[0] {
+        Command::Compound(CompoundCommand::Case { arms, .. }, _) => {
+            assert_eq!(arms.len(), 2);
+            assert_eq!(arms[0].patterns.len(), 2);
+        }
+        other => panic!("expected case, got {other:?}"),
+    }
+}
+
+#[test]
+fn function_definition() {
+    let p = first_pipeline("f() { echo hi; }");
+    match &p.commands[0] {
+        Command::FunctionDef { name, body } => {
+            assert_eq!(name, "f");
+            assert!(matches!(
+                **body,
+                Command::Compound(CompoundCommand::BraceGroup(_), _)
+            ));
+        }
+        other => panic!("expected function, got {other:?}"),
+    }
+}
+
+#[test]
+fn heredoc_body_attached() {
+    let src = "cat <<EOF\nhello\nworld\nEOF\n";
+    let p = first_pipeline(src);
+    let sc = simple(&p.commands[0]);
+    assert_eq!(sc.redirects.len(), 1);
+    assert_eq!(sc.redirects[0].heredoc.as_deref(), Some("hello\nworld\n"));
+}
+
+#[test]
+fn two_heredocs_in_order() {
+    let src = "cat <<A <<B\nbody-a\nA\nbody-b\nB\n";
+    let p = first_pipeline(src);
+    let sc = simple(&p.commands[0]);
+    assert_eq!(sc.redirects[0].heredoc.as_deref(), Some("body-a\n"));
+    assert_eq!(sc.redirects[1].heredoc.as_deref(), Some("body-b\n"));
+}
+
+#[test]
+fn pipe_continues_after_newline() {
+    let prog = parse("cat f |\n grep x").expect("parse");
+    assert_eq!(prog.commands[0].items[0].0.first.commands.len(), 2);
+}
+
+#[test]
+fn empty_program() {
+    assert!(parse("").expect("parse").is_empty());
+    assert!(parse("\n\n# just a comment\n").expect("parse").is_empty());
+}
+
+#[test]
+fn error_on_lone_operator() {
+    assert!(parse("| cat").is_err());
+    assert!(parse("cat |").is_err());
+}
+
+#[test]
+fn error_on_unterminated_if() {
+    assert!(parse("if a; then b;").is_err());
+}
+
+#[test]
+fn fig1_weather_script_parses() {
+    let src = r#"base="ftp://ftp.ncdc.noaa.gov/pub/data/noaa";
+for y in {2015..2020}; do
+ curl $base/$y | grep gz | tr -s " " | cut -d " " -f9 |
+ sed "s;^;$base/$y/;" | xargs -n 1 curl -s | gunzip |
+ cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 |
+ sed "s/^/Maximum temperature for $y is: /"
+done"#;
+    let prog = parse(src).expect("parse");
+    assert_eq!(prog.commands.len(), 2);
+}
+
+// --- Round-trip tests -------------------------------------------------
+
+fn roundtrip(src: &str) {
+    let p1 = parse(src).unwrap_or_else(|e| panic!("parse `{src}`: {e}"));
+    let printed = program_to_string(&p1);
+    let p2 = parse(&printed)
+        .unwrap_or_else(|e| panic!("reparse failed for `{printed}` (from `{src}`): {e}"));
+    assert_eq!(p1, p2, "round-trip mismatch:\n  src: {src}\n  printed: {printed}");
+}
+
+#[test]
+fn roundtrip_corpus() {
+    for src in [
+        "cat f | grep x | sort > out",
+        "a && b || c; d & e",
+        "x=1 cmd 'a b' \"c $x d\"",
+        "for y in 1 2 3; do echo $y; done",
+        "if a; then b; else c; fi",
+        "while a; do b; done",
+        "case $v in x) a ;; y|z) b ;; esac",
+        "( a; b ) | c",
+        "{ a; b; } > f",
+        "f() { echo hi; }",
+        "grep 'pat with spaces' f1 f2 2> err",
+        "echo $((1+2)) $(ls | wc -l)",
+        "cmd --flag=value sub/dir/file.txt",
+        "sort -k 2,2 -t '\t' f",
+        "echo \"quoted \\\" dquote\" 'single '\\'' quote'",
+        "cmd <in >out 2>&1",
+        "! true",
+        "sed \"s;^;$base/$y/;\" f",
+    ] {
+        roundtrip(src);
+    }
+}
+
+#[test]
+fn unparse_is_idempotent() {
+    for src in [
+        "cat f | grep x | sort > out",
+        "for y in 1 2 3; do echo $y; done & wait",
+        "if a; then b; fi",
+    ] {
+        let p1 = parse(src).expect("parse");
+        let s1 = program_to_string(&p1);
+        let p2 = parse(&s1).expect("reparse");
+        let s2 = program_to_string(&p2);
+        assert_eq!(s1, s2);
+    }
+}
+
+// --- Property tests ---------------------------------------------------
+
+mod prop {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Generates random "safe" words (no metacharacters in literals).
+    fn arb_word() -> impl Strategy<Value = String> {
+        proptest::string::string_regex("[a-zA-Z0-9_./-]{1,8}").expect("regex strategy")
+    }
+
+    fn arb_simple_command() -> impl Strategy<Value = String> {
+        (arb_word(), proptest::collection::vec(arb_word(), 0..4))
+            .prop_map(|(cmd, args)| {
+                let mut s = cmd;
+                for a in args {
+                    s.push(' ');
+                    s.push_str(&a);
+                }
+                s
+            })
+    }
+
+    fn arb_pipeline() -> impl Strategy<Value = String> {
+        proptest::collection::vec(arb_simple_command(), 1..4).prop_map(|cs| cs.join(" | "))
+    }
+
+    fn arb_script() -> impl Strategy<Value = String> {
+        proptest::collection::vec(
+            (arb_pipeline(), prop_oneof!["; ", " && ", " || ", " & "]),
+            1..4,
+        )
+        .prop_map(|items| {
+            let mut s = String::new();
+            for (i, (p, sep)) in items.iter().enumerate() {
+                s.push_str(p);
+                if i + 1 < items.len() {
+                    s.push_str(sep);
+                }
+            }
+            s
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn parse_unparse_roundtrip(src in arb_script()) {
+            let p1 = parse(&src).expect("generated scripts parse");
+            let printed = program_to_string(&p1);
+            let p2 = parse(&printed).expect("printed scripts parse");
+            prop_assert_eq!(p1, p2);
+        }
+
+        #[test]
+        fn single_quoting_roundtrips(s in "[ -~]{0,12}") {
+            // Any printable string can be single-quoted and survives.
+            let src = format!("echo '{}'", s.replace('\'', ""));
+            let p1 = parse(&src).expect("parse");
+            let printed = program_to_string(&p1);
+            let p2 = parse(&printed).expect("reparse");
+            prop_assert_eq!(p1, p2);
+        }
+
+        #[test]
+        fn parser_never_panics(src in "[ -~\\n]{0,64}") {
+            let _ = parse(&src);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Performance-shape simulator for the PaSh reproduction.
+//!
+//! This container has a single CPU core, so the paper's wall-clock
+//! speedups cannot be reproduced directly. Following the substitution
+//! rule of DESIGN.md, this crate simulates compiled programs on a
+//! configurable C-core machine with disk and network bandwidth
+//! ceilings, pipe back-pressure, blocking commands, eager buffering,
+//! early-exit cancellation, and process startup costs — the mechanisms
+//! behind every performance figure in §6.
+//!
+//! Correctness is *not* simulated: the `pash-runtime` crate executes
+//! the same compiled programs for real and checks byte-identical
+//! output.
+//!
+//! # Examples
+//!
+//! ```
+//! use pash_core::compile::PashConfig;
+//! use pash_sim::{simulated_speedup, CostModel, SimConfig};
+//!
+//! let sizes = [("in.txt".to_string(), 50e6)].into_iter().collect();
+//! let s = simulated_speedup(
+//!     "cat in.txt | tr A-Z a-z | grep '(a|b)+(c|d)*(ef|gh)+xy' > o",
+//!     &PashConfig { width: 16, ..Default::default() },
+//!     &sizes, &CostModel::default(), &SimConfig::default(),
+//! ).unwrap();
+//! assert!(s > 4.0);
+//! ```
+
+pub mod cost;
+pub mod engine;
+
+pub use cost::{CostModel, Discipline, Profile, Resource};
+pub use engine::{simulate_program, simulate_region, InputSizes, SimConfig, SimReport};
+
+use pash_core::compile::{compile, PashConfig};
+
+/// Compiles a script and simulates it.
+pub fn simulate_compiled(
+    src: &str,
+    cfg: &PashConfig,
+    sizes: &InputSizes,
+    cm: &CostModel,
+    sim: &SimConfig,
+) -> Result<SimReport, pash_core::Error> {
+    let compiled = compile(src, cfg)?;
+    Ok(simulate_program(&compiled.program, sizes, 0.0, cm, sim))
+}
+
+/// Simulated speedup of a configuration over sequential execution.
+pub fn simulated_speedup(
+    src: &str,
+    cfg: &PashConfig,
+    sizes: &InputSizes,
+    cm: &CostModel,
+    sim: &SimConfig,
+) -> Result<f64, pash_core::Error> {
+    let seq_cfg = PashConfig {
+        width: 1,
+        ..cfg.clone()
+    };
+    let seq = simulate_compiled(src, &seq_cfg, sizes, cm, sim)?;
+    let par = simulate_compiled(src, cfg, sizes, cm, sim)?;
+    Ok(seq.seconds / par.seconds)
+}

@@ -1,0 +1,62 @@
+//! **pash** — a Rust reproduction of "PaSh: Light-touch Data-Parallel
+//! Shell Processing" (EuroSys 2021).
+//!
+//! PaSh takes a POSIX shell script, lifts its parallelizable regions
+//! into an order-aware dataflow graph, applies semantics-preserving
+//! transformations that expose data parallelism, and compiles the
+//! result back into a script orchestrated with FIFOs and a small
+//! runtime library (`eager` relays, splitters, aggregators).
+//!
+//! This crate re-exports the workspace:
+//!
+//! * [`core`] — classes, annotations, DFG, transformations, compiler;
+//! * [`parser`] — the POSIX shell front-end;
+//! * [`coreutils`] — from-scratch command implementations;
+//! * [`runtime`] — runtime primitives + the threaded executor;
+//! * [`sim`] — the performance-shape simulator;
+//! * [`workloads`] — synthetic input generators;
+//! * [`regex`] — the linear-time regex engine.
+//!
+//! # Examples
+//!
+//! Compile and run a pipeline at 4× parallelism, hermetically:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pash::core::compile::PashConfig;
+//! use pash::coreutils::{fs::MemFs, Registry};
+//! use pash::runtime::exec::{run_script, ExecConfig};
+//!
+//! let fs = Arc::new(MemFs::new());
+//! fs.add("in.txt", b"Hello\nworld\nhello\n".to_vec());
+//! let out = run_script(
+//!     "cat in.txt | tr A-Z a-z | sort | uniq -c",
+//!     &PashConfig { width: 4, ..Default::default() },
+//!     &Registry::standard(),
+//!     fs,
+//!     Vec::new(),
+//!     &ExecConfig::default(),
+//! )
+//! .unwrap();
+//! assert_eq!(
+//!     String::from_utf8(out.stdout).unwrap(),
+//!     "      2 hello\n      1 world\n"
+//! );
+//! ```
+
+pub use pash_core as core;
+pub use pash_coreutils as coreutils;
+pub use pash_parser as parser;
+pub use pash_regex as regex;
+pub use pash_runtime as runtime;
+pub use pash_sim as sim;
+pub use pash_workloads as workloads;
+
+/// Compiles a script with the standard annotation library (shorthand
+/// for [`core::compile::compile`]).
+pub fn compile(
+    src: &str,
+    cfg: &core::compile::PashConfig,
+) -> Result<core::compile::Compiled, core::Error> {
+    core::compile::compile(src, cfg)
+}

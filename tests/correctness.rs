@@ -1,0 +1,213 @@
+//! End-to-end correctness: for every benchmark script in the suite,
+//! parallel execution must produce byte-identical results to
+//! sequential execution — the property PaSh's transformations promise
+//! (§4.2) and the paper verifies over multi-GB inputs ("PaSh's
+//! results ... are identical to the sequential for all benchmarks").
+
+use std::sync::Arc;
+
+use pash::core::compile::PashConfig;
+use pash::core::dfg::{AggTreeShape, EagerPolicy, SplitPolicy};
+use pash::coreutils::fs::MemFs;
+use pash::coreutils::Registry;
+use pash::runtime::exec::{run_script, ExecConfig};
+use pash_bench::suites::{oneliners, unix50, usecases};
+use pash_bench::Fig7Config;
+
+/// Runs a script and returns `(stdout, out.txt contents if any)`.
+fn run(
+    script: &str,
+    cfg: &PashConfig,
+    fs: Arc<MemFs>,
+    exec: &ExecConfig,
+) -> (Vec<u8>, Option<Vec<u8>>) {
+    let reg = Registry::standard();
+    let out = run_script(script, cfg, &reg, fs.clone(), Vec::new(), exec)
+        .unwrap_or_else(|e| panic!("execution failed: {e}\nscript: {script}"));
+    let file = fs.read("out.txt").ok();
+    (out.stdout, file)
+}
+
+#[test]
+fn oneliners_parallel_equals_sequential() {
+    for bench in oneliners::all() {
+        let make_fs = || {
+            let fs = Arc::new(MemFs::new());
+            oneliners::setup_fs(&bench, 60_000, &fs);
+            fs
+        };
+        let seq = run(
+            &bench.script,
+            &Fig7Config::Parallel.pash_config(1),
+            make_fs(),
+            &ExecConfig::default(),
+        );
+        for config in Fig7Config::all() {
+            for width in [2usize, 3, 8] {
+                let par = run(
+                    &bench.script,
+                    &config.pash_config(width),
+                    make_fs(),
+                    &ExecConfig::default(),
+                );
+                assert_eq!(
+                    seq, par,
+                    "{} diverged at width {width} under {}",
+                    bench.name,
+                    config.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unix50_parallel_equals_sequential() {
+    let make_fs = || {
+        let fs = Arc::new(MemFs::new());
+        unix50::setup_fs(40_000, &fs);
+        fs
+    };
+    for p in unix50::all() {
+        let seq = run(
+            p.script,
+            &Fig7Config::Parallel.pash_config(1),
+            make_fs(),
+            &ExecConfig::default(),
+        );
+        let par = run(
+            p.script,
+            &Fig7Config::ParBSplit.pash_config(16),
+            make_fs(),
+            &ExecConfig::default(),
+        );
+        assert_eq!(seq, par, "unix50 pipeline {} diverged at 16x", p.idx);
+    }
+}
+
+#[test]
+fn noaa_matches_ground_truth_at_all_widths() {
+    let spec = pash::workloads::NoaaSpec {
+        years: 2015..=2017,
+        files_per_year: 3,
+        records_per_file: 120,
+        seed: 9,
+    };
+    let script = usecases::noaa_script(2015..=2017);
+    for width in [1usize, 2, 10] {
+        let fs = Arc::new(MemFs::new());
+        let truths = usecases::setup_noaa(&fs, &spec);
+        let (stdout, _) = run(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            fs,
+            &ExecConfig::default(),
+        );
+        let text = String::from_utf8(stdout).expect("utf8 output");
+        for (year, max) in &truths {
+            assert!(
+                text.contains(&format!("Maximum temperature for {year} is: {max:04}")),
+                "width {width}: wrong maximum for {year}\n{text}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wiki_index_identical_across_widths() {
+    let script = usecases::wiki_script();
+    let spec = pash::workloads::WikiSpec {
+        pages: 15,
+        bytes_per_page: 1500,
+        seed: 4,
+    };
+    let reference = {
+        let fs = Arc::new(MemFs::new());
+        usecases::setup_wiki(&fs, &spec);
+        run(
+            &script,
+            &Fig7Config::Parallel.pash_config(1),
+            fs.clone(),
+            &ExecConfig::default(),
+        );
+        fs.read("index.txt").expect("index")
+    };
+    for width in [4usize, 16] {
+        let fs = Arc::new(MemFs::new());
+        usecases::setup_wiki(&fs, &spec);
+        run(
+            &script,
+            &Fig7Config::ParBSplit.pash_config(width),
+            fs.clone(),
+            &ExecConfig::default(),
+        );
+        assert_eq!(
+            fs.read("index.txt").expect("index"),
+            reference,
+            "wiki index diverged at width {width}"
+        );
+    }
+}
+
+#[test]
+fn flat_aggregation_tree_also_correct() {
+    let bench = oneliners::by_name("Sort").expect("Sort exists");
+    let fs = Arc::new(MemFs::new());
+    oneliners::setup_fs(&bench, 50_000, &fs);
+    let seq = run(
+        &bench.script,
+        &Fig7Config::Parallel.pash_config(1),
+        fs.clone(),
+        &ExecConfig::default(),
+    );
+    let cfg = PashConfig {
+        width: 8,
+        agg_tree: AggTreeShape::Flat,
+        ..Default::default()
+    };
+    let par = run(&bench.script, &cfg, fs, &ExecConfig::default());
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn correctness_resilient_to_tiny_pipes() {
+    // 48-byte pipes force maximal blocking and teardown interleavings.
+    let bench = oneliners::by_name("Top-n").expect("Top-n exists");
+    let fs = Arc::new(MemFs::new());
+    oneliners::setup_fs(&bench, 30_000, &fs);
+    let exec = ExecConfig {
+        pipe_capacity: 48,
+        ..Default::default()
+    };
+    let seq = run(
+        &bench.script,
+        &Fig7Config::Parallel.pash_config(1),
+        fs.clone(),
+        &exec,
+    );
+    let par = run(&bench.script, &Fig7Config::ParSplit.pash_config(4), fs, &exec);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn conservative_configs_match_too() {
+    // Eager off + splits off: the "No Eager" ablation still preserves
+    // semantics (it is only slower).
+    let bench = oneliners::by_name("Spell").expect("Spell exists");
+    let fs = Arc::new(MemFs::new());
+    oneliners::setup_fs(&bench, 40_000, &fs);
+    let seq = run(
+        &bench.script,
+        &Fig7Config::Parallel.pash_config(1),
+        fs.clone(),
+        &ExecConfig::default(),
+    );
+    let cfg = PashConfig {
+        width: 6,
+        eager: EagerPolicy::Off,
+        split: SplitPolicy::Off,
+        ..Default::default()
+    };
+    let par = run(&bench.script, &cfg, fs, &ExecConfig::default());
+    assert_eq!(seq, par);
+}

@@ -1,0 +1,158 @@
+//! The back-end's other half: the scripts PaSh *emits* must run under
+//! a real POSIX `/bin/sh` — with real FIFOs, background jobs, `wait`,
+//! and SIGPIPE cleanup — and produce the sequential output.
+//!
+//! These tests build the `pashc` (coreutils multi-call) and `pash-rt`
+//! (runtime primitives) binaries and drive the generated scripts
+//! through the system shell.
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+use pash::core::compile::PashConfig;
+use pash::coreutils::fs::MemFs;
+use pash::coreutils::Registry;
+use pash::runtime::exec::{run_script, ExecConfig};
+use pash::workloads::text_corpus;
+
+/// Locates the workspace target directory from the test executable.
+fn target_dir() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    // target/<profile>/deps/<test-bin> → target/<profile>.
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p
+}
+
+/// Builds the runtime binaries once and returns their paths.
+fn build_binaries() -> Option<(PathBuf, PathBuf)> {
+    if !PathBuf::from("/bin/sh").exists() {
+        return None;
+    }
+    let dir = target_dir();
+    let pashc = dir.join("pashc");
+    let pash_rt = dir.join("pash-rt");
+    if !pashc.exists() || !pash_rt.exists() {
+        let profile_flag: &[&str] = if dir.ends_with("release") {
+            &["--release"]
+        } else {
+            &[]
+        };
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "pash-coreutils", "-p", "pash-runtime", "--bins"])
+            .args(profile_flag)
+            .status()
+            .ok()?;
+        if !status.success() {
+            return None;
+        }
+    }
+    Some((pashc, pash_rt))
+}
+
+/// Compiles `script`, materializes `files` in a temp dir, runs the
+/// emitted script under `/bin/sh`, and returns the named output file.
+fn run_emitted(
+    script: &str,
+    files: &[(&str, Vec<u8>)],
+    width: usize,
+    output: &str,
+) -> Option<Vec<u8>> {
+    let (pashc, pash_rt) = build_binaries()?;
+    let cfg = PashConfig {
+        width,
+        ..Default::default()
+    };
+    let compiled = pash::compile(script, &cfg).expect("compile");
+    let dir = std::env::temp_dir().join(format!(
+        "pash-e2e-{}-{width}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for (name, data) in files {
+        std::fs::write(dir.join(name), data).expect("write input");
+    }
+    std::fs::write(dir.join("parallel.sh"), &compiled.script).expect("write script");
+    let status = Command::new("/bin/sh")
+        .arg("parallel.sh")
+        .current_dir(&dir)
+        .env("PASHC", &pashc)
+        .env("PASH_RT", &pash_rt)
+        .status()
+        .expect("run sh");
+    assert!(status.success(), "emitted script failed:\n{}", compiled.script);
+    let out = std::fs::read(dir.join(output)).expect("output file");
+    let _ = std::fs::remove_dir_all(&dir);
+    Some(out)
+}
+
+/// The executor's sequential output as the reference.
+fn reference(script: &str, files: &[(&str, Vec<u8>)], output: &str) -> Vec<u8> {
+    let fs = Arc::new(MemFs::new());
+    for (name, data) in files {
+        fs.add(*name, data.clone());
+    }
+    run_script(
+        script,
+        &PashConfig {
+            width: 1,
+            ..Default::default()
+        },
+        &Registry::standard(),
+        fs.clone(),
+        Vec::new(),
+        &ExecConfig::default(),
+    )
+    .expect("reference run");
+    fs.read(output).expect("reference output")
+}
+
+#[test]
+fn emitted_sort_pipeline_runs_under_sh() {
+    let files = vec![("in.txt", text_corpus(51, 60_000))];
+    let script = "cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt";
+    let expected = reference(script, &files, "out.txt");
+    for width in [1usize, 3] {
+        match run_emitted(script, &files, width, "out.txt") {
+            Some(out) => assert_eq!(
+                out, expected,
+                "emitted script output diverged at width {width}"
+            ),
+            None => eprintln!("skipping: no /bin/sh or binaries unavailable"),
+        }
+    }
+}
+
+#[test]
+fn emitted_grep_head_terminates_cleanly() {
+    // The §5.2 dangling-FIFO scenario under a real shell: head exits
+    // early; the emitted cleanup must SIGPIPE the producers so the
+    // script terminates.
+    let files = vec![("in.txt", text_corpus(52, 40_000))];
+    let script = "cat in.txt | tr A-Z a-z | sort -rn | head -n 1 > out.txt";
+    let expected = reference(script, &files, "out.txt");
+    match run_emitted(script, &files, 4, "out.txt") {
+        Some(out) => assert_eq!(out, expected),
+        None => eprintln!("skipping: no /bin/sh or binaries unavailable"),
+    }
+}
+
+#[test]
+fn emitted_comm_with_static_input() {
+    let dict = pash::workloads::dictionary();
+    let files = vec![
+        ("in.txt", text_corpus(53, 30_000)),
+        ("dict.txt", dict),
+    ];
+    let script =
+        "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq | comm -13 dict.txt - > out.txt";
+    let expected = reference(script, &files, "out.txt");
+    match run_emitted(script, &files, 3, "out.txt") {
+        Some(out) => assert_eq!(out, expected),
+        None => eprintln!("skipping: no /bin/sh or binaries unavailable"),
+    }
+}
