@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate for the PaSh reproduction workspace.
+#
+#   ./ci.sh          # full gate
+#
+# Steps, in order:
+#   1. release build of every workspace target (deny warnings);
+#   2. the full test suite (unit + integration + doctests);
+#   3. example smoke build;
+#   4. compile (but don't run) all criterion benches;
+#   5. rustfmt check.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (workspace, all targets, deny warnings)"
+RUSTFLAGS="${RUSTFLAGS:-} -D warnings" cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo build --examples (smoke)"
+cargo build --examples
+
+echo "==> cargo bench --no-run (workspace)"
+cargo bench --no-run --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

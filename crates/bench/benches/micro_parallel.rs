@@ -26,14 +26,10 @@ fn bench(c: &mut Criterion) {
     ];
     let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
     g.bench_function("sequential", |b| {
-        b.iter(|| {
-            black_box(run_pipeline_seq(&stages, &input, &reg, fs.clone()).expect("run"))
-        })
+        b.iter(|| black_box(run_pipeline_seq(&stages, &input, &reg, fs.clone()).expect("run")))
     });
     g.bench_function("naive_parallel_4", |b| {
-        b.iter(|| {
-            black_box(naive_parallel(&stages, &input, 4, &reg, fs.clone()).expect("run"))
-        })
+        b.iter(|| black_box(naive_parallel(&stages, &input, 4, &reg, fs.clone()).expect("run")))
     });
     g.bench_function("pash_w4", |b| {
         let mfs = Arc::new(MemFs::new());

@@ -20,16 +20,13 @@ fn bench(c: &mut Criterion) {
     let corpus = text_corpus(31, 200_000);
     g.bench_function("sort_sequential", |b| {
         let fs = Arc::new(MemFs::new());
-        b.iter(|| {
-            black_box(run_command(&reg, fs.clone(), &["sort"], &corpus).expect("run"))
-        })
+        b.iter(|| black_box(run_command(&reg, fs.clone(), &["sort"], &corpus).expect("run")))
     });
     g.bench_function("sort_parallel_flag", |b| {
         let fs = Arc::new(MemFs::new());
         b.iter(|| {
             black_box(
-                run_command(&reg, fs.clone(), &["sort", "--parallel=4"], &corpus)
-                    .expect("run"),
+                run_command(&reg, fs.clone(), &["sort", "--parallel=4"], &corpus).expect("run"),
             )
         })
     });

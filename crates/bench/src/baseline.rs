@@ -82,13 +82,8 @@ mod tests {
     #[test]
     fn sequential_pipeline_works() {
         let reg = Registry::standard();
-        let out = run_pipeline_seq(
-            &stages(),
-            b"b\na\nB\na\n",
-            &reg,
-            Arc::new(MemFs::new()),
-        )
-        .expect("run");
+        let out = run_pipeline_seq(&stages(), b"b\na\nB\na\n", &reg, Arc::new(MemFs::new()))
+            .expect("run");
         let s = String::from_utf8(out).expect("utf8");
         assert!(s.starts_with("      2 a\n") || s.starts_with("      2 b\n"));
     }

@@ -43,16 +43,15 @@ fn main() {
         let mut best_per_width = vec![0.0f64; widths.len()];
         for config in Fig7Config::all() {
             // Only relevant configurations are shown (figure caption).
-            if !b.split_relevant
-                && matches!(config, Fig7Config::ParSplit | Fig7Config::ParBSplit)
-            {
+            if !b.split_relevant && matches!(config, Fig7Config::ParSplit | Fig7Config::ParBSplit) {
                 continue;
             }
             let mut row = String::new();
             for (wi, &w) in widths.iter().enumerate() {
-                let par = simulate_compiled(&b.script, &config.pash_config(w), &sizes, &cm, &sim_cfg)
-                    .expect("parallel sim")
-                    .seconds;
+                let par =
+                    simulate_compiled(&b.script, &config.pash_config(w), &sizes, &cm, &sim_cfg)
+                        .expect("parallel sim")
+                        .seconds;
                 let speedup = seq / par;
                 best_per_width[wi] = best_per_width[wi].max(speedup);
                 row.push_str(&format!(" {speedup:6.2}"));

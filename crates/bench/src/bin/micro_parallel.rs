@@ -20,7 +20,8 @@ fn main() {
     let script = format!(
         "cat in.txt | tr A-Z a-z | grep '{COMPLEX_PATTERN}' | sort | uniq -c | sort -rn > out.txt"
     );
-    let correctness_script = "cat in.txt | tr A-Z a-z | grep a | sort | uniq -c | sort -rn > out.txt";
+    let correctness_script =
+        "cat in.txt | tr A-Z a-z | grep a | sort | uniq -c | sort -rn > out.txt";
     // For the real-execution correctness check, use a permissive
     // filter so the aggregating stages see real volume (the complex
     // pattern stays in the simulated performance script above).
@@ -54,7 +55,10 @@ fn main() {
     )
     .expect("sim")
     .seconds;
-    println!("simulated: sequential {seq_t:.0}s, PaSh 8x {pash_t:.0}s ({:.1}x; paper 4.3x)", seq_t / pash_t);
+    println!(
+        "simulated: sequential {seq_t:.0}s, PaSh 8x {pash_t:.0}s ({:.1}x; paper 4.3x)",
+        seq_t / pash_t
+    );
 
     // --- Correctness (real execution) -------------------------------
     let reg = Registry::standard();
@@ -81,7 +85,11 @@ fn main() {
     println!(
         "  PaSh vs sequential:   {:.1}% differing lines {}",
         diff_fraction(&seq_out, &pash_out) * 100.0,
-        if pash_out == seq_out { "(identical)" } else { "(MISMATCH!)" }
+        if pash_out == seq_out {
+            "(identical)"
+        } else {
+            "(MISMATCH!)"
+        }
     );
     println!(
         "  naive vs sequential:  {:.1}% differing lines (paper: 92%)",

@@ -38,13 +38,15 @@ fn main() {
         .expect("run");
         let text = String::from_utf8(out.stdout).expect("utf8");
         let ok = truths.iter().all(|(year, max)| {
-            text.contains(&format!(
-                "Maximum temperature for {year} is: {max:04}"
-            ))
+            text.contains(&format!("Maximum temperature for {year} is: {max:04}"))
         });
         println!(
             "  width {width:>2}: {} ({} lines)",
-            if ok { "matches ground truth" } else { "MISMATCH" },
+            if ok {
+                "matches ground truth"
+            } else {
+                "MISMATCH"
+            },
             text.lines().count()
         );
         if !ok {

@@ -28,12 +28,18 @@ fn main() {
         .unwrap_or(64.0);
     let cm = CostModel::default();
     let sim_cfg = SimConfig::default();
-    println!(
-        "Tab. 2: one-liner summary (sim input {sim_mb} MB, extrapolated to paper scale)\n"
-    );
+    println!("Tab. 2: one-liner summary (sim input {sim_mb} MB, extrapolated to paper scale)\n");
     println!(
         "{:<18} {:<10} {:>7} {:>9} {:>9} {:>6} {:>6} {:>10} {:>10}",
-        "Script", "Structure", "Input", "PaperSeq", "SimSeq", "N(16)", "N(64)", "Comp(16)", "Comp(64)"
+        "Script",
+        "Structure",
+        "Input",
+        "PaperSeq",
+        "SimSeq",
+        "N(16)",
+        "N(64)",
+        "Comp(16)",
+        "Comp(64)"
     );
     for b in oneliners::all() {
         let sizes = oneliners::sim_sizes(&b, sim_mb * 1e6);

@@ -19,9 +19,7 @@ pub fn noaa_script(years: std::ops::RangeInclusive<u32>) -> String {
 /// Only the max-temperature phase (the book's Hadoop part), for the
 /// per-phase speedup numbers of §6.3.
 pub fn noaa_compute_script(year: u32) -> String {
-    format!(
-        "cat noaa-{year}.flat | cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 > out.txt"
-    )
+    format!("cat noaa-{year}.flat | cut -c 89-92 | grep -iv 999 | sort -rn | head -n 1 > out.txt")
 }
 
 /// Sets up the NOAA mirror; returns `(ground truths, spec)`.

@@ -1,0 +1,151 @@
+//! Guards against registry/suite drift: every command a benchmark
+//! script invokes must be registered in `Registry::standard()`.
+//! Without this, adding a benchmark that uses an unimplemented command
+//! only fails deep inside the correctness suites, with the failure
+//! pointing at output mismatches instead of the missing command.
+
+use std::collections::BTreeSet;
+
+use pash_bench::suites::{oneliners, unix50, usecases};
+use pash_coreutils::Registry;
+use pash_parser::ast::{Command, CompleteCommand, CompoundCommand, Program};
+
+/// Shell words that name control structures or builtins the executor
+/// handles itself — they are not registry commands.
+const SHELL_BUILTINS: &[&str] = &["cd", "exec", "exit", "set", "shift", "true", "wait", ":"];
+
+fn collect_from_lists(lists: &[CompleteCommand], out: &mut BTreeSet<String>) {
+    for cc in lists {
+        for (andor, _) in &cc.items {
+            for pipeline in std::iter::once(&andor.first).chain(andor.rest.iter().map(|(_, p)| p)) {
+                for cmd in &pipeline.commands {
+                    collect_from_command(cmd, out);
+                }
+            }
+        }
+    }
+}
+
+fn collect_from_command(cmd: &Command, out: &mut BTreeSet<String>) {
+    match cmd {
+        Command::Simple(simple) => {
+            let words: Vec<String> = simple
+                .words
+                .iter()
+                .filter_map(|w| w.as_static_str())
+                .collect();
+            let Some(head) = words.first() else { return };
+            out.insert(head.clone());
+            // `xargs [-n N] cmd args…` invokes an inner command.
+            if head == "xargs" {
+                let inner = words[1..]
+                    .iter()
+                    .scan(false, |skip_operand, w| {
+                        if *skip_operand {
+                            *skip_operand = false;
+                            return Some(None);
+                        }
+                        if w == "-n" {
+                            *skip_operand = true;
+                            return Some(None);
+                        }
+                        Some(Some(w.clone()))
+                    })
+                    .flatten()
+                    .next();
+                if let Some(inner) = inner {
+                    out.insert(inner);
+                }
+            }
+        }
+        Command::Compound(compound, _) => match compound {
+            CompoundCommand::BraceGroup(body) | CompoundCommand::Subshell(body) => {
+                collect_from_lists(body, out)
+            }
+            CompoundCommand::For { body, .. } => collect_from_lists(body, out),
+            CompoundCommand::Case { arms, .. } => {
+                for arm in arms {
+                    collect_from_lists(&arm.body, out);
+                }
+            }
+            CompoundCommand::If {
+                branches,
+                else_body,
+            } => {
+                for (cond, then) in branches {
+                    collect_from_lists(cond, out);
+                    collect_from_lists(then, out);
+                }
+                if let Some(body) = else_body {
+                    collect_from_lists(body, out);
+                }
+            }
+            CompoundCommand::While { cond, body } | CompoundCommand::Until { cond, body } => {
+                collect_from_lists(cond, out);
+                collect_from_lists(body, out);
+            }
+        },
+        Command::FunctionDef { body, .. } => collect_from_command(body, out),
+    }
+}
+
+fn commands_of(script: &str) -> BTreeSet<String> {
+    let program: Program =
+        pash_parser::parse(script).unwrap_or_else(|e| panic!("parse {script:?}: {e:?}"));
+    let mut out = BTreeSet::new();
+    collect_from_lists(&program.commands, &mut out);
+    out
+}
+
+#[test]
+fn standard_registry_covers_every_suite_command() {
+    let mut invoked = BTreeSet::new();
+    let mut scripts = 0usize;
+    for bench in oneliners::all() {
+        invoked.extend(commands_of(&bench.script));
+        scripts += 1;
+    }
+    for bench in unix50::all() {
+        invoked.extend(commands_of(bench.script));
+        scripts += 1;
+    }
+    for script in [
+        usecases::noaa_script(2015..=2016),
+        usecases::noaa_compute_script(2015),
+        usecases::wiki_script(),
+    ] {
+        invoked.extend(commands_of(&script));
+        scripts += 1;
+    }
+    assert!(
+        scripts >= 20,
+        "suite shrank unexpectedly: {scripts} scripts"
+    );
+    assert!(
+        invoked.len() >= 15,
+        "implausibly few commands extracted: {invoked:?}"
+    );
+
+    let registry = Registry::standard();
+    let missing: Vec<&String> = invoked
+        .iter()
+        .filter(|name| !SHELL_BUILTINS.contains(&name.as_str()))
+        .filter(|name| registry.get(name).is_none())
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "suite commands missing from Registry::standard(): {missing:?}\n\
+         (registered: {:?})",
+        registry.names()
+    );
+}
+
+#[test]
+fn registry_names_are_unique_and_sorted() {
+    let names = Registry::standard().names();
+    let set: BTreeSet<&&str> = names.iter().collect();
+    assert_eq!(set.len(), names.len(), "duplicate command registrations");
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+}

@@ -270,9 +270,7 @@ impl P {
                 self.expect(Tok::RParen)?;
                 Ok(p)
             }
-            Tok::Name(n) if n == "not" || n == "!" => {
-                Ok(Pred::Not(Box::new(self.pred_atom()?)))
-            }
+            Tok::Name(n) if n == "not" || n == "!" => Ok(Pred::Not(Box::new(self.pred_atom()?))),
             Tok::Name(n) if n == "value" => {
                 let opt = self.name()?;
                 self.expect(Tok::Eq)?;
@@ -351,9 +349,7 @@ impl P {
                 self.expect(Tok::LBracket)?;
                 let lo = match self.peek() {
                     Some(Tok::Name(d)) if d.chars().all(|c| c.is_ascii_digit()) => {
-                        let v = d
-                            .parse()
-                            .map_err(|_| Error::annotation("bad index"))?;
+                        let v = d.parse().map_err(|_| Error::annotation("bad index"))?;
                         self.next()?;
                         Some(v)
                     }
@@ -363,9 +359,7 @@ impl P {
                     self.next()?;
                     let hi = match self.peek() {
                         Some(Tok::Name(d)) if d.chars().all(|c| c.is_ascii_digit()) => {
-                            let v = d
-                                .parse()
-                                .map_err(|_| Error::annotation("bad index"))?;
+                            let v = d.parse().map_err(|_| Error::annotation("bad index"))?;
                             self.next()?;
                             Some(v)
                         }
@@ -375,8 +369,7 @@ impl P {
                     Ok(IoSpec::ArgRange(lo, hi))
                 } else {
                     self.expect(Tok::RBracket)?;
-                    let i =
-                        lo.ok_or_else(|| Error::annotation("args[] needs an index"))?;
+                    let i = lo.ok_or_else(|| Error::annotation("args[] needs an index"))?;
                     Ok(IoSpec::Arg(i))
                 }
             }
@@ -421,14 +414,12 @@ mod tests {
 
     #[test]
     fn parses_arg_ranges() {
-        let rec =
-            parse_record("x { | _ => (S, [args[1:]], [stdout]) }").expect("parse");
+        let rec = parse_record("x { | _ => (S, [args[1:]], [stdout]) }").expect("parse");
         assert_eq!(
             rec.clauses[0].assign.inputs,
             vec![IoSpec::ArgRange(Some(1), None)]
         );
-        let rec =
-            parse_record("x { | _ => (S, [args[:2]], [stdout]) }").expect("parse");
+        let rec = parse_record("x { | _ => (S, [args[:2]], [stdout]) }").expect("parse");
         assert_eq!(
             rec.clauses[0].assign.inputs,
             vec![IoSpec::ArgRange(None, Some(2))]
@@ -437,8 +428,8 @@ mod tests {
 
     #[test]
     fn parses_takes_clause() {
-        let rec = parse_record("head takes -n -c { | _ => (P, [args[0:]], [stdout]) }")
-            .expect("parse");
+        let rec =
+            parse_record("head takes -n -c { | _ => (P, [args[0:]], [stdout]) }").expect("parse");
         assert_eq!(rec.takes_value, vec!["-n", "-c"]);
     }
 
@@ -458,10 +449,7 @@ mod tests {
             r#"x { | value -d = ";" => (S, [stdin], [stdout]) | _ => (N, [stdin], [stdout]) }"#,
         )
         .expect("parse");
-        assert_eq!(
-            rec.clauses[0].pred,
-            Pred::Value("-d".into(), ";".into())
-        );
+        assert_eq!(rec.clauses[0].pred, Pred::Value("-d".into(), ";".into()));
     }
 
     #[test]

@@ -142,7 +142,13 @@ impl AnnotationRecord {
         let (options, positional, pos_indices) = split_options(args, &self.takes_value);
         for clause in &self.clauses {
             if eval_pred(&clause.pred, &options, args) {
-                return Some(resolve(self, &clause.assign, args, &positional, &pos_indices));
+                return Some(resolve(
+                    self,
+                    &clause.assign,
+                    args,
+                    &positional,
+                    &pos_indices,
+                ));
             }
         }
         None
@@ -166,7 +172,10 @@ fn split_options(
         if a != "-" && a.starts_with('-') && a.len() > 1 {
             options.push(a.clone());
             // Expand combined single-letter flags: `-rn` ⇒ `-r`, `-n`.
-            if !a.starts_with("--") && a.len() > 2 && a[1..].chars().all(|c| c.is_ascii_alphanumeric()) {
+            if !a.starts_with("--")
+                && a.len() > 2
+                && a[1..].chars().all(|c| c.is_ascii_alphanumeric())
+            {
                 for c in a[1..].chars() {
                     options.push(format!("-{c}"));
                 }
@@ -241,8 +250,7 @@ fn resolve(
     // Static configuration files: positional args not streamed, that
     // look like readable inputs, are left in argv (each copy re-reads
     // them). We only *report* them for the DFG's bookkeeping.
-    let streamed_positions: Vec<usize> =
-        slot_positions.iter().flatten().copied().collect();
+    let streamed_positions: Vec<usize> = slot_positions.iter().flatten().copied().collect();
     let static_files: Vec<String> = positional
         .iter()
         .zip(pos_indices)
@@ -321,10 +329,7 @@ mod tests {
         assert_eq!(c.class, ParClass::Pure);
         assert_eq!(
             c.inputs,
-            vec![
-                InputSlot::File("f1".into()),
-                InputSlot::File("f2".into())
-            ]
+            vec![InputSlot::File("f1".into()), InputSlot::File("f2".into())]
         );
         assert!(c.static_files.is_empty());
     }
@@ -339,8 +344,8 @@ mod tests {
 
     #[test]
     fn no_args_defaults_to_stdin() {
-        let rec = lang::parse_record("tr { | otherwise => (S, [stdin], [stdout]) }")
-            .expect("parse");
+        let rec =
+            lang::parse_record("tr { | otherwise => (S, [stdin], [stdout]) }").expect("parse");
         let c = classify(&rec, &["a-z", "A-Z"]);
         assert_eq!(c.inputs, vec![InputSlot::Stdin]);
         // tr's sets stay in argv.
@@ -349,29 +354,30 @@ mod tests {
 
     #[test]
     fn arg_range_collects_files() {
-        let rec = lang::parse_record("grep { | otherwise => (S, [args[1:]], [stdout]) }")
-            .expect("parse");
+        let rec =
+            lang::parse_record("grep { | otherwise => (S, [args[1:]], [stdout]) }").expect("parse");
         let c = classify(&rec, &["-v", "pat", "f1", "f2"]);
         assert_eq!(
             c.inputs,
-            vec![
-                InputSlot::File("f1".into()),
-                InputSlot::File("f2".into())
-            ]
+            vec![InputSlot::File("f1".into()), InputSlot::File("f2".into())]
         );
         // First streamed positional becomes `-`, the second a marker.
         assert_eq!(
             c.stream_argv,
-            vec!["-v".to_string(), "pat".to_string(), "-".to_string(), stream_marker(1)]
+            vec![
+                "-v".to_string(),
+                "pat".to_string(),
+                "-".to_string(),
+                stream_marker(1)
+            ]
         );
     }
 
     #[test]
     fn takes_value_protects_option_arguments() {
-        let rec = lang::parse_record(
-            "head takes -n -c { | otherwise => (P, [args[0:]], [stdout]) }",
-        )
-        .expect("parse");
+        let rec =
+            lang::parse_record("head takes -n -c { | otherwise => (P, [args[0:]], [stdout]) }")
+                .expect("parse");
         let c = classify(&rec, &["-n", "1"]);
         // `1` is -n's value, not a file.
         assert_eq!(c.inputs, vec![InputSlot::Stdin]);

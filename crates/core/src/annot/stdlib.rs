@@ -77,8 +77,8 @@ impl AnnotationLibrary {
     pub fn standard() -> &'static AnnotationLibrary {
         static LIB: OnceLock<AnnotationLibrary> = OnceLock::new();
         LIB.get_or_init(|| {
-            let records = lang::parse_records(STDLIB_RECORDS)
-                .expect("stdlib annotations are well-formed");
+            let records =
+                lang::parse_records(STDLIB_RECORDS).expect("stdlib annotations are well-formed");
             let mut map = HashMap::new();
             for r in records {
                 map.insert(r.name.clone(), r);
@@ -147,7 +147,13 @@ impl AnnotationLibrary {
         let args = if name == "tail" && args.iter().any(is_plus) {
             rewritten = args
                 .iter()
-                .map(|a| if is_plus(a) { format!("-n{a}") } else { a.clone() })
+                .map(|a| {
+                    if is_plus(a) {
+                        format!("-n{a}")
+                    } else {
+                        a.clone()
+                    }
+                })
                 .collect();
             &rewritten[..]
         } else {
@@ -336,7 +342,10 @@ pub fn aggregator_for(argv: &[String]) -> Option<Vec<String>> {
         }
         // grep -c: sum of partial counts.
         "grep" => {
-            if flags.iter().any(|f| !f.starts_with("--") && f.contains('c')) {
+            if flags
+                .iter()
+                .any(|f| !f.starts_with("--") && f.contains('c'))
+            {
                 Some(vec!["pash-agg-sum".to_string()])
             } else {
                 None
@@ -346,7 +355,10 @@ pub fn aggregator_for(argv: &[String]) -> Option<Vec<String>> {
         "tac" => Some(vec!["pash-agg-tac".to_string()]),
         // head/tail: re-apply over the concatenation.
         "head" | "tail" => {
-            if args.iter().any(|a| a.starts_with('+') || a.starts_with("-n+")) {
+            if args
+                .iter()
+                .any(|a| a.starts_with('+') || a.starts_with("-n+"))
+            {
                 None
             } else {
                 Some(argv.to_vec())
@@ -366,10 +378,7 @@ pub fn map_for(argv: &[String]) -> Option<Vec<String>> {
     match argv.first().map(|s| s.as_str()) {
         // The map role emits boundary markers the aggregator consumes;
         // sequential runs must not see them.
-        Some("bigrams-aux") => Some(vec![
-            "bigrams-aux".to_string(),
-            "--marked".to_string(),
-        ]),
+        Some("bigrams-aux") => Some(vec!["bigrams-aux".to_string(), "--marked".to_string()]),
         _ => None,
     }
 }
@@ -412,21 +421,18 @@ mod tests {
 
     #[test]
     fn comm_flag_dependent() {
-        assert_eq!(class_of(&["comm", "-13", "d", "-"]), Some(ParClass::Stateless));
+        assert_eq!(
+            class_of(&["comm", "-13", "d", "-"]),
+            Some(ParClass::Stateless)
+        );
         assert_eq!(class_of(&["comm", "a", "b"]), Some(ParClass::Pure));
     }
 
     #[test]
     fn sed_script_refinement() {
         assert_eq!(class_of(&["sed", "s/a/b/"]), Some(ParClass::Stateless));
-        assert_eq!(
-            class_of(&["sed", "s;^;prefix;"]),
-            Some(ParClass::Stateless)
-        );
-        assert_eq!(
-            class_of(&["sed", "2d"]),
-            Some(ParClass::NonParallelizable)
-        );
+        assert_eq!(class_of(&["sed", "s;^;prefix;"]), Some(ParClass::Stateless));
+        assert_eq!(class_of(&["sed", "2d"]), Some(ParClass::NonParallelizable));
         assert_eq!(
             class_of(&["sed", "-n", "/x/p"]),
             Some(ParClass::NonParallelizable)
@@ -453,10 +459,7 @@ mod tests {
     #[test]
     fn tail_plus_is_not_parallelizable() {
         assert_eq!(class_of(&["tail", "-n", "5"]), Some(ParClass::Pure));
-        assert_eq!(
-            class_of(&["tail", "+2"]),
-            Some(ParClass::NonParallelizable)
-        );
+        assert_eq!(class_of(&["tail", "+2"]), Some(ParClass::NonParallelizable));
     }
 
     #[test]

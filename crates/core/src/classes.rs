@@ -114,7 +114,10 @@ mod tests {
             let kw = c.letter().to_string();
             assert_eq!(ParClass::from_keyword(&kw), Some(c));
         }
-        assert_eq!(ParClass::from_keyword("stateless"), Some(ParClass::Stateless));
+        assert_eq!(
+            ParClass::from_keyword("stateless"),
+            Some(ParClass::Stateless)
+        );
         assert_eq!(ParClass::from_keyword("bogus"), None);
     }
 }

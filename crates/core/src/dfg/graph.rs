@@ -420,11 +420,7 @@ fn edge_name(g: &Dfg, e: EdgeId) -> String {
 /// Convenience: builds a linear pipeline DFG from command specs.
 ///
 /// Used heavily in tests; the front-end builds graphs the same way.
-pub fn linear_pipeline(
-    commands: Vec<Node>,
-    input: StreamSpec,
-    output: StreamSpec,
-) -> Dfg {
+pub fn linear_pipeline(commands: Vec<Node>, input: StreamSpec, output: StreamSpec) -> Dfg {
     let mut g = Dfg::new();
     let n = commands.len();
     let mut prev_edge = g.add_edge(Edge {
@@ -455,11 +451,7 @@ pub fn linear_pipeline(
 }
 
 /// Builds a command node (edges filled in later).
-pub fn command_node(
-    argv: &[&str],
-    class: ParClass,
-    agg: Option<Vec<String>>,
-) -> Node {
+pub fn command_node(argv: &[&str], class: ParClass, agg: Option<Vec<String>>) -> Node {
     Node {
         kind: NodeKind::Command {
             argv: argv.iter().map(|s| s.to_string()).collect(),

@@ -9,7 +9,7 @@
 //! against the real command implementations in the runtime crate).
 
 use crate::dfg::graph::{
-    Dfg, Edge, EdgeId, NodeId, Node, NodeKind, EagerKind, SplitKind, StreamSpec,
+    Dfg, EagerKind, Edge, EdgeId, Node, NodeId, NodeKind, SplitKind, StreamSpec,
 };
 
 /// Split insertion policy (the Fig. 7 `Split` axis).
@@ -624,7 +624,11 @@ mod tests {
     #[test]
     fn non_parallelizable_class_untouched() {
         let g = linear_pipeline(
-            vec![command_node(&["sha1sum"], ParClass::NonParallelizable, None)],
+            vec![command_node(
+                &["sha1sum"],
+                ParClass::NonParallelizable,
+                None,
+            )],
             StreamSpec::File("in.txt".into()),
             StreamSpec::Pipe,
         );

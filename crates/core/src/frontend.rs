@@ -381,9 +381,7 @@ impl Frontend<'_> {
             let is_plain_cat = {
                 let core: Vec<&String> = stream_argv
                     .iter()
-                    .filter(|a| {
-                        a.as_str() != "-" && crate::annot::parse_stream_marker(a).is_none()
-                    })
+                    .filter(|a| a.as_str() != "-" && crate::annot::parse_stream_marker(a).is_none())
                     .collect();
                 core.len() == 1 && core[0] == "cat"
             };
@@ -553,10 +551,7 @@ mod tests {
             .collect();
         // `cat` was normalized to the DFG Cat primitive; the two
         // remaining command nodes are the unknown one and grep.
-        assert_eq!(
-            classes,
-            vec![ParClass::SideEffectful, ParClass::Stateless]
-        );
+        assert_eq!(classes, vec![ParClass::SideEffectful, ParClass::Stateless]);
     }
 
     #[test]
@@ -583,9 +578,8 @@ mod tests {
 
     #[test]
     fn for_loop_unrolls_with_static_words() {
-        let tp = translate_src(
-            "for y in {2015..2017}; do cat data-$y.txt | grep x > out-$y.txt; done",
-        );
+        let tp =
+            translate_src("for y in {2015..2017}; do cat data-$y.txt | grep x > out-$y.txt; done");
         assert_eq!(tp.region_count(), 3);
         let inputs: Vec<String> = tp
             .regions()
@@ -594,14 +588,16 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             })
             .collect();
-        assert_eq!(inputs, vec!["data-2015.txt", "data-2016.txt", "data-2017.txt"]);
+        assert_eq!(
+            inputs,
+            vec!["data-2015.txt", "data-2016.txt", "data-2017.txt"]
+        );
     }
 
     #[test]
     fn loop_variable_scoping_restored() {
-        let tp = translate_src(
-            "y=global\nfor y in 1 2; do cat f-$y > o-$y; done\ncat f-$y > o-final",
-        );
+        let tp =
+            translate_src("y=global\nfor y in 1 2; do cat f-$y > o-$y; done\ncat f-$y > o-final");
         // Two unrolled regions + the final one using y=global.
         assert_eq!(tp.region_count(), 3);
         let last = tp.regions().last().expect("last region");

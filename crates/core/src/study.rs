@@ -32,31 +32,116 @@ pub const COREUTILS_STATELESS: &[&str] = &[
 ];
 
 /// GNU Coreutils commands in class P (parallelizable pure).
-pub const COREUTILS_PURE: &[&str] = &[
-    "sort", "uniq", "wc", "comm", "tac", "head", "tail", "nl",
-];
+pub const COREUTILS_PURE: &[&str] = &["sort", "uniq", "wc", "comm", "tac", "head", "tail", "nl"];
 
 /// GNU Coreutils commands in class N (non-parallelizable pure).
 pub const COREUTILS_NONPAR: &[&str] = &[
-    "b2sum", "cksum", "md5sum", "sha1sum", "sha224sum", "sha256sum", "sha384sum", "sha512sum",
-    "sum", "tsort", "shuf", "od", "csplit",
+    "b2sum",
+    "cksum",
+    "md5sum",
+    "sha1sum",
+    "sha224sum",
+    "sha256sum",
+    "sha384sum",
+    "sha512sum",
+    "sum",
+    "tsort",
+    "shuf",
+    "od",
+    "csplit",
 ];
 
 /// GNU Coreutils commands in class E (side-effectful).
 pub const COREUTILS_SIDE_EFFECTFUL: &[&str] = &[
-    "arch", "chcon", "chgrp", "chmod", "chown", "chroot", "cp", "date", "dd", "df", "dircolors",
-    "du", "env", "false", "groups", "hostid", "hostname", "id", "install", "kill", "link", "ln",
-    "logname", "ls", "mkdir", "mkfifo", "mknod", "mktemp", "mv", "nice", "nohup", "nproc",
-    "printenv", "pwd", "readlink", "realpath", "rm", "rmdir", "runcon", "shred", "sleep", "split",
-    "stat", "stdbuf", "stty", "sync", "tee", "test", "timeout", "touch", "truncate", "tty",
-    "uname", "unlink", "who", "whoami", "true",
+    "arch",
+    "chcon",
+    "chgrp",
+    "chmod",
+    "chown",
+    "chroot",
+    "cp",
+    "date",
+    "dd",
+    "df",
+    "dircolors",
+    "du",
+    "env",
+    "false",
+    "groups",
+    "hostid",
+    "hostname",
+    "id",
+    "install",
+    "kill",
+    "link",
+    "ln",
+    "logname",
+    "ls",
+    "mkdir",
+    "mkfifo",
+    "mknod",
+    "mktemp",
+    "mv",
+    "nice",
+    "nohup",
+    "nproc",
+    "printenv",
+    "pwd",
+    "readlink",
+    "realpath",
+    "rm",
+    "rmdir",
+    "runcon",
+    "shred",
+    "sleep",
+    "split",
+    "stat",
+    "stdbuf",
+    "stty",
+    "sync",
+    "tee",
+    "test",
+    "timeout",
+    "touch",
+    "truncate",
+    "tty",
+    "uname",
+    "unlink",
+    "who",
+    "whoami",
+    "true",
 ];
 
 /// POSIX utilities in class S (stateless).
 pub const POSIX_STATELESS: &[&str] = &[
-    "asa", "basename", "cat", "compress", "cut", "dd", "dirname", "echo", "egrep", "expand",
-    "fgrep", "fold", "grep", "iconv", "join", "paste", "pathchk", "printf", "sed", "strings",
-    "tr", "uncompress", "unexpand", "uudecode", "uuencode", "zcat", "what", "col",
+    "asa",
+    "basename",
+    "cat",
+    "compress",
+    "cut",
+    "dd",
+    "dirname",
+    "echo",
+    "egrep",
+    "expand",
+    "fgrep",
+    "fold",
+    "grep",
+    "iconv",
+    "join",
+    "paste",
+    "pathchk",
+    "printf",
+    "sed",
+    "strings",
+    "tr",
+    "uncompress",
+    "unexpand",
+    "uudecode",
+    "uuencode",
+    "zcat",
+    "what",
+    "col",
 ];
 
 /// POSIX utilities in class P (parallelizable pure).
@@ -72,16 +157,111 @@ pub const POSIX_NONPAR: &[&str] = &[
 
 /// POSIX utilities in class E (side-effectful).
 pub const POSIX_SIDE_EFFECTFUL: &[&str] = &[
-    "admin", "alias", "ar", "at", "batch", "bg", "cal", "cd", "chgrp", "chmod", "chown",
-    "command", "cp", "crontab", "csplit", "date", "df", "du", "ed", "env", "ex", "expr", "false",
-    "fc", "fg", "file", "find", "fuser", "gencat", "get", "getconf", "getopts", "hash", "id",
-    "ipcrm", "ipcs", "jobs", "kill", "lex", "link", "ln", "locale", "localedef", "logger",
-    "logname", "lp", "ls", "mailx", "make", "man", "mesg", "mkdir", "mkfifo", "more", "mv",
-    "newgrp", "nice", "nohup", "pax", "ps", "pwd", "qalter", "qdel", "qhold", "qmove", "qmsg",
-    "qrerun", "qrls", "qselect", "qsig", "qstat", "qsub", "read", "renice", "rm", "rmdel",
-    "rmdir", "sact", "sccs", "sh", "sleep", "split", "strip", "stty", "tabs", "talk", "tee",
-    "test", "time", "touch", "tput", "true", "tty", "type", "ulimit", "umask", "unalias",
-    "uname", "unget", "unlink", "uucp", "uustat", "uux", "val", "vi",
+    "admin",
+    "alias",
+    "ar",
+    "at",
+    "batch",
+    "bg",
+    "cal",
+    "cd",
+    "chgrp",
+    "chmod",
+    "chown",
+    "command",
+    "cp",
+    "crontab",
+    "csplit",
+    "date",
+    "df",
+    "du",
+    "ed",
+    "env",
+    "ex",
+    "expr",
+    "false",
+    "fc",
+    "fg",
+    "file",
+    "find",
+    "fuser",
+    "gencat",
+    "get",
+    "getconf",
+    "getopts",
+    "hash",
+    "id",
+    "ipcrm",
+    "ipcs",
+    "jobs",
+    "kill",
+    "lex",
+    "link",
+    "ln",
+    "locale",
+    "localedef",
+    "logger",
+    "logname",
+    "lp",
+    "ls",
+    "mailx",
+    "make",
+    "man",
+    "mesg",
+    "mkdir",
+    "mkfifo",
+    "more",
+    "mv",
+    "newgrp",
+    "nice",
+    "nohup",
+    "pax",
+    "ps",
+    "pwd",
+    "qalter",
+    "qdel",
+    "qhold",
+    "qmove",
+    "qmsg",
+    "qrerun",
+    "qrls",
+    "qselect",
+    "qsig",
+    "qstat",
+    "qsub",
+    "read",
+    "renice",
+    "rm",
+    "rmdel",
+    "rmdir",
+    "sact",
+    "sccs",
+    "sh",
+    "sleep",
+    "split",
+    "strip",
+    "stty",
+    "tabs",
+    "talk",
+    "tee",
+    "test",
+    "time",
+    "touch",
+    "tput",
+    "true",
+    "tty",
+    "type",
+    "ulimit",
+    "umask",
+    "unalias",
+    "uname",
+    "unget",
+    "unlink",
+    "uucp",
+    "uustat",
+    "uux",
+    "val",
+    "vi",
 ];
 
 /// Returns `(class, members)` rows for one suite, in Tab. 1 order.
@@ -194,9 +374,15 @@ mod tests {
             default_class(Suite::Coreutils, "cat"),
             Some(ParClass::Stateless)
         );
-        assert_eq!(default_class(Suite::Coreutils, "sort"), Some(ParClass::Pure));
+        assert_eq!(
+            default_class(Suite::Coreutils, "sort"),
+            Some(ParClass::Pure)
+        );
         assert_eq!(default_class(Suite::Coreutils, "wc"), Some(ParClass::Pure));
-        assert_eq!(default_class(Suite::Coreutils, "uniq"), Some(ParClass::Pure));
+        assert_eq!(
+            default_class(Suite::Coreutils, "uniq"),
+            Some(ParClass::Pure)
+        );
         assert_eq!(
             default_class(Suite::Coreutils, "sha1sum"),
             Some(ParClass::NonParallelizable)

@@ -35,9 +35,9 @@ fn run(args: &[String]) -> io::Result<i32> {
         }
     };
     let registry = Registry::standard();
-    let cmd = registry.get(name).ok_or_else(|| {
-        io::Error::new(io::ErrorKind::NotFound, format!("{name}: not found"))
-    })?;
+    let cmd = registry
+        .get(name)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{name}: not found")))?;
     let stdin = io::stdin();
     let stdout = io::stdout();
     let stderr = io::stderr();

@@ -25,7 +25,10 @@ impl Command for Comm {
         for a in args {
             match a.as_str() {
                 "-" => files.push("-"),
-                s if s.starts_with('-') && s.len() > 1 && s[1..].chars().all(|c| "123".contains(c)) => {
+                s if s.starts_with('-')
+                    && s.len() > 1
+                    && s[1..].chars().all(|c| "123".contains(c)) =>
+                {
                     for c in s[1..].chars() {
                         match c {
                             '1' => show1 = false,
@@ -144,7 +147,10 @@ mod tests {
 
     #[test]
     fn separate_flags() {
-        assert_eq!(comm(&["-1", "-3", "f1", "f2"], ""), comm(&["-13", "f1", "f2"], ""));
+        assert_eq!(
+            comm(&["-1", "-3", "f1", "f2"], ""),
+            comm(&["-13", "f1", "f2"], "")
+        );
     }
 
     #[test]

@@ -348,7 +348,10 @@ mod tests {
 
     #[test]
     fn rle_roundtrip() {
-        let lines: Vec<Vec<u8>> = ["a", "a", "b", "a"].iter().map(|s| s.as_bytes().to_vec()).collect();
+        let lines: Vec<Vec<u8>> = ["a", "a", "b", "a"]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
         let enc = rle_encode(&lines);
         let out = run(&["unrle"], std::str::from_utf8(&enc).expect("utf8"));
         assert_eq!(out, "a\na\nb\na\n");
@@ -357,19 +360,28 @@ mod tests {
     #[test]
     fn html_to_text_strips_tags() {
         assert_eq!(
-            run(&["html-to-text"], "<p>Hello <b>world</b></p>\n<div></div>\n"),
+            run(
+                &["html-to-text"],
+                "<p>Hello <b>world</b></p>\n<div></div>\n"
+            ),
             "Hello world\n"
         );
     }
 
     #[test]
     fn html_entities_decoded() {
-        assert_eq!(run(&["html-to-text"], "a &amp; b &lt;c&gt;\n"), "a & b <c>\n");
+        assert_eq!(
+            run(&["html-to-text"], "a &amp; b &lt;c&gt;\n"),
+            "a & b <c>\n"
+        );
     }
 
     #[test]
     fn word_stem_strips_suffixes() {
-        assert_eq!(run(&["word-stem"], "running\ncats\ntables\n"), "runn\ncat\ntable\n");
+        assert_eq!(
+            run(&["word-stem"], "running\ncats\ntables\n"),
+            "runn\ncat\ntable\n"
+        );
     }
 
     #[test]

@@ -29,9 +29,9 @@ impl Command for Cut {
                 "-f" => fields = it.next().cloned(),
                 "-c" => chars = it.next().cloned(),
                 "-d" => {
-                    let d = it
-                        .next()
-                        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "-d needs arg"))?;
+                    let d = it.next().ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "-d needs arg")
+                    })?;
                     delim = *d.as_bytes().first().unwrap_or(&b'\t');
                 }
                 "-s" => suppress = true,
@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn fields_custom_delim() {
-        assert_eq!(cut(&["-d", " ", "-f", "9"], "1 2 3 4 5 6 7 8 nine ten\n"), "nine\n");
+        assert_eq!(
+            cut(&["-d", " ", "-f", "9"], "1 2 3 4 5 6 7 8 nine ten\n"),
+            "nine\n"
+        );
     }
 
     #[test]

@@ -58,8 +58,7 @@ mod tests {
     fn hashes_files_with_names() {
         let fs = Arc::new(MemFs::new());
         fs.add("page1", b"".to_vec());
-        let out = run_command(&Registry::standard(), fs, &["sha1sum", "page1"], b"")
-            .expect("run");
+        let out = run_command(&Registry::standard(), fs, &["sha1sum", "page1"], b"").expect("run");
         let s = String::from_utf8(out.stdout).expect("utf8");
         assert_eq!(s, "da39a3ee5e6b4b0d3255bfef95601890afd80709  page1\n");
     }

@@ -28,7 +28,10 @@ impl Command for Head {
                 "-c" => n_bytes = it.next().and_then(|s| s.parse().ok()),
                 s if s.starts_with("-n") && s.len() > 2 => n_lines = s[2..].parse().ok(),
                 s if s.starts_with("-c") && s.len() > 2 => n_bytes = s[2..].parse().ok(),
-                s if s.starts_with('-') && s[1..].chars().all(|c| c.is_ascii_digit()) && s.len() > 1 => {
+                s if s.starts_with('-')
+                    && s[1..].chars().all(|c| c.is_ascii_digit())
+                    && s.len() > 1 =>
+                {
                     n_lines = s[1..].parse().ok()
                 }
                 other => files.push(other.to_string()),

@@ -342,8 +342,13 @@ mod tests {
     #[test]
     fn tee_writes_file_and_stdout() {
         let fs = Arc::new(MemFs::new());
-        let out = run_command(&Registry::standard(), fs.clone(), &["tee", "copy"], b"data\n")
-            .expect("run");
+        let out = run_command(
+            &Registry::standard(),
+            fs.clone(),
+            &["tee", "copy"],
+            b"data\n",
+        )
+        .expect("run");
         assert_eq!(out.stdout, b"data\n");
         assert_eq!(fs.read("copy").expect("copy"), b"data\n");
     }

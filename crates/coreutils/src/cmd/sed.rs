@@ -272,9 +272,7 @@ fn parse_address(s: &str) -> (Option<Address>, &str) {
         return (Some(Address::Last), &s[1..]);
     }
     if bytes[0].is_ascii_digit() {
-        let end = s
-            .find(|c: char| !c.is_ascii_digit())
-            .unwrap_or(s.len());
+        let end = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
         let n: u64 = s[..end].parse().unwrap_or(0);
         // Range form `N,M`.
         if s[end..].starts_with(',') {
@@ -400,12 +398,7 @@ fn substitute(re: &Regex, line: &[u8], repl: &str, global: bool) -> (Vec<u8>, us
     }
 }
 
-fn apply_replacement(
-    repl: &str,
-    line: &[u8],
-    caps: &[Option<(usize, usize)>],
-    out: &mut Vec<u8>,
-) {
+fn apply_replacement(repl: &str, line: &[u8], caps: &[Option<(usize, usize)>], out: &mut Vec<u8>) {
     let bytes = repl.as_bytes();
     let mut i = 0;
     while i < bytes.len() {

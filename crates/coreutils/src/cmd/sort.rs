@@ -57,9 +57,9 @@ pub fn parse_args(args: &[String]) -> Result<SortArgs, String> {
                     .map_err(|_| format!("bad --parallel in `{s}`"))?;
             }
             s if s.starts_with("-k") && s.len() > 2 => {
-                out.spec.keys.push(
-                    SortSpec::parse_key(&s[2..]).ok_or_else(|| format!("bad key `{s}`"))?,
-                );
+                out.spec
+                    .keys
+                    .push(SortSpec::parse_key(&s[2..]).ok_or_else(|| format!("bad key `{s}`"))?);
             }
             s if s.starts_with("-t") && s.len() > 2 => {
                 out.spec.separator = s.as_bytes().get(2).copied();

@@ -269,7 +269,10 @@ mod tests {
     #[test]
     fn complement_squeeze_word_split() {
         // The classic word-splitting idiom from Wf / Top-n.
-        assert_eq!(tr(&["-cs", "A-Za-z", "\\n"], "one, two!!three"), "one\ntwo\nthree");
+        assert_eq!(
+            tr(&["-cs", "A-Za-z", "\\n"], "one, two!!three"),
+            "one\ntwo\nthree"
+        );
     }
 
     #[test]

@@ -98,19 +98,28 @@ mod tests {
 
     #[test]
     fn n2_pairs() {
-        assert_eq!(xargs(&["xargs", "-n2", "echo"], "a b c d e"), "a b\nc d\ne\n");
+        assert_eq!(
+            xargs(&["xargs", "-n2", "echo"], "a b c d e"),
+            "a b\nc d\ne\n"
+        );
     }
 
     #[test]
     fn inner_command_with_fixed_args() {
-        assert_eq!(xargs(&["xargs", "-n", "1", "echo", "got:"], "x y"), "got: x\ngot: y\n");
+        assert_eq!(
+            xargs(&["xargs", "-n", "1", "echo", "got:"], "x y"),
+            "got: x\ngot: y\n"
+        );
     }
 
     #[test]
     fn cat_files_from_stdin() {
         // The `xargs -n 1 curl -s` shape: inner command reads the named
         // files and concatenates their contents.
-        assert_eq!(xargs(&["xargs", "-n", "1", "cat"], "x1 x2"), "alpha\nbeta\ngamma\n");
+        assert_eq!(
+            xargs(&["xargs", "-n", "1", "cat"], "x1 x2"),
+            "alpha\nbeta\ngamma\n"
+        );
     }
 
     #[test]

@@ -221,9 +221,7 @@ mod tests {
                 "r" => s.reverse = true,
                 "u" => s.unique = true,
                 _ if a.starts_with('t') => s.separator = Some(a.as_bytes()[1]),
-                _ if a.starts_with('k') => {
-                    s.keys.push(SortSpec::parse_key(&a[1..]).expect("key"))
-                }
+                _ if a.starts_with('k') => s.keys.push(SortSpec::parse_key(&a[1..]).expect("key")),
                 other => panic!("bad spec {other}"),
             }
         }
@@ -277,7 +275,10 @@ mod tests {
     #[test]
     fn key_range() {
         let s = spec("k2,3");
-        assert_eq!(s.compare(b"_ a z _", b"_ a z X"), s.compare(b"_ a z _", b"_ a z X"));
+        assert_eq!(
+            s.compare(b"_ a z _", b"_ a z X"),
+            s.compare(b"_ a z _", b"_ a z X")
+        );
         assert_eq!(s.compare(b"_ b c", b"_ b d"), Ordering::Less);
     }
 

@@ -15,8 +15,7 @@ pub fn parse(pattern: &str, syntax: Syntax) -> Result<Hir, Error> {
     if p.pos != p.chars.len() {
         return Err(Error::new(format!(
             "unexpected `{}` at offset {}",
-            p.chars[p.pos] as char,
-            p.pos
+            p.chars[p.pos] as char, p.pos
         )));
     }
     Ok(hir)
@@ -56,7 +55,9 @@ impl<'a> Parser<'a> {
         match self.syntax {
             Syntax::Ere => self.peek() == Some(b'|'),
             // GNU BRE supports `\|` as an extension.
-            Syntax::Bre => self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b'|'),
+            Syntax::Bre => {
+                self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b'|')
+            }
         }
     }
 
@@ -64,7 +65,9 @@ impl<'a> Parser<'a> {
     fn at_group_close(&self) -> bool {
         match self.syntax {
             Syntax::Ere => self.peek() == Some(b')'),
-            Syntax::Bre => self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b')'),
+            Syntax::Bre => {
+                self.peek() == Some(b'\\') && self.chars.get(self.pos + 1) == Some(&b')')
+            }
         }
     }
 

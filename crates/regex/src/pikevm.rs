@@ -40,7 +40,6 @@ impl ThreadList {
     fn contains(&self, pc: usize) -> bool {
         self.sparse[pc] == self.gen
     }
-
 }
 
 /// The Pike VM executor over a compiled [`Program`].
@@ -222,8 +221,7 @@ mod tests {
 
     #[test]
     fn captures() {
-        let prog =
-            compile(&parse("(a+)(b+)", Syntax::Ere).expect("parse")).expect("compile");
+        let prog = compile(&parse("(a+)(b+)", Syntax::Ere).expect("parse")).expect("compile");
         let vm = PikeVm::new(&prog);
         let s = vm.find_at(b"xaaabby", 0).expect("match");
         assert_eq!((s[0], s[1]), (Some(1), Some(6)));

@@ -69,8 +69,8 @@ pub fn run_aggregator(
 
 /// `sort -m`: streaming k-way merge with the sequential comparator.
 fn agg_sort(args: &[String], mut inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
-    let parsed = parse_sort_args(args)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let parsed =
+        parse_sort_args(args).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let unique = parsed.spec.unique;
     let spec = parsed.spec;
     // Current head line of each input (None = exhausted).
@@ -180,9 +180,7 @@ fn parse_count_line(line: &[u8]) -> io::Result<(u64, Vec<u8>)> {
     let count: u64 = std::str::from_utf8(&s[start..i])
         .ok()
         .and_then(|t| t.parse().ok())
-        .ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, "malformed uniq -c line")
-        })?;
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed uniq -c line"))?;
     let text = if i < s.len() && s[i] == b' ' {
         s[i + 1..].to_vec()
     } else {
@@ -314,7 +312,9 @@ mod tests {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let inputs: Vec<AggInput> = inputs
             .iter()
-            .map(|s| Box::new(io::BufReader::new(io::Cursor::new(s.as_bytes().to_vec()))) as AggInput)
+            .map(|s| {
+                Box::new(io::BufReader::new(io::Cursor::new(s.as_bytes().to_vec()))) as AggInput
+            })
             .collect();
         let mut out = Vec::new();
         let reg = Registry::standard();
@@ -379,7 +379,10 @@ mod tests {
 
     #[test]
     fn wc_sums_columns() {
-        let out = run(&["pash-agg-wc", "-lw"], &["      2       5\n", "      3       7\n"]);
+        let out = run(
+            &["pash-agg-wc", "-lw"],
+            &["      2       5\n", "      3       7\n"],
+        );
         let cols: Vec<&str> = out.split_whitespace().collect();
         assert_eq!(cols, vec!["5", "12"]);
     }
@@ -407,10 +410,7 @@ mod tests {
         // Chunks from `bigrams-aux` over [a b c] and [d e].
         let c1 = "\u{1}F\ta\na b\nb c\n\u{1}L\tc\n";
         let c2 = "\u{1}F\td\nd e\n\u{1}L\te\n";
-        assert_eq!(
-            run(&["pash-agg-bigram"], &[c1, c2]),
-            "a b\nb c\nc d\nd e\n"
-        );
+        assert_eq!(run(&["pash-agg-bigram"], &[c1, c2]), "a b\nb c\nc d\nd e\n");
     }
 
     #[test]

@@ -195,11 +195,7 @@ pub fn run_dfg(
             let outs: Vec<Box<dyn Write + Send>> = node
                 .outputs
                 .iter()
-                .map(|&e| {
-                    writers
-                        .remove(&e)
-                        .unwrap_or_else(|| Box::new(io::sink()))
-                })
+                .map(|&e| writers.remove(&e).unwrap_or_else(|| Box::new(io::sink())))
                 .collect();
             let registry = registry.clone();
             let fs = fs.clone();
@@ -220,10 +216,7 @@ pub fn run_dfg(
                     }
                     Err(e) => {
                         statuses.lock().expect("status lock").push((id, 127));
-                        hard_error
-                            .lock()
-                            .expect("error lock")
-                            .get_or_insert(e);
+                        hard_error.lock().expect("error lock").get_or_insert(e);
                     }
                 }
             });

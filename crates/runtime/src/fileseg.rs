@@ -15,7 +15,10 @@ pub fn segment_bounds(data: &[u8], part: usize, of: usize) -> (usize, usize) {
     let len = data.len();
     let of = of.max(1);
     let part = part.min(of - 1);
-    (cut_point(data, part, of, len), cut_point(data, part + 1, of, len))
+    (
+        cut_point(data, part, of, len),
+        cut_point(data, part + 1, of, len),
+    )
 }
 
 /// The aligned cut point before segment `i`: the smallest index `>=

@@ -346,7 +346,10 @@ mod tests {
 
     #[test]
     fn brace_range() {
-        assert_eq!(brace_expand("{2015..2018}"), vec!["2015", "2016", "2017", "2018"]);
+        assert_eq!(
+            brace_expand("{2015..2018}"),
+            vec!["2015", "2016", "2017", "2018"]
+        );
         assert_eq!(brace_expand("{3..1}"), vec!["3", "2", "1"]);
     }
 

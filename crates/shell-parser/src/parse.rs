@@ -2,7 +2,7 @@
 
 use crate::ast::{
     AndOr, AndOrOp, Assignment, CaseArm, Command, CompleteCommand, CompoundCommand, Pipeline,
-    Program, Redirect, RedirOp, Separator, SimpleCommand,
+    Program, RedirOp, Redirect, Separator, SimpleCommand,
 };
 use crate::lexer::{Lexer, Op, Token};
 use crate::word::{Word, WordPart};
@@ -197,10 +197,14 @@ impl<'a> Parser<'a> {
         // Compound commands and reserved words first.
         if matches!(self.peek()?, Token::Op(Op::LParen)) {
             self.next()?;
-            let body = self.parse_compound_list(|p| matches!(p.peek(), Ok(Token::Op(Op::RParen))))?;
+            let body =
+                self.parse_compound_list(|p| matches!(p.peek(), Ok(Token::Op(Op::RParen))))?;
             self.expect_op(Op::RParen)?;
             let redirects = self.parse_redirect_list()?;
-            return Ok(Command::Compound(CompoundCommand::Subshell(body), redirects));
+            return Ok(Command::Compound(
+                CompoundCommand::Subshell(body),
+                redirects,
+            ));
         }
         if self.at_reserved("{") {
             self.next()?;
@@ -382,7 +386,10 @@ impl<'a> Parser<'a> {
         }
         self.expect_reserved("esac")?;
         let redirects = self.parse_redirect_list()?;
-        Ok(Command::Compound(CompoundCommand::Case { word, arms }, redirects))
+        Ok(Command::Compound(
+            CompoundCommand::Case { word, arms },
+            redirects,
+        ))
     }
 
     fn parse_simple_or_function(&mut self) -> Result<Command, Error> {
@@ -565,20 +572,14 @@ fn fill_cc(
     Ok(())
 }
 
-fn fill_pipeline(
-    p: &mut Pipeline,
-    queue: &mut impl Iterator<Item = String>,
-) -> Result<(), Error> {
+fn fill_pipeline(p: &mut Pipeline, queue: &mut impl Iterator<Item = String>) -> Result<(), Error> {
     for c in &mut p.commands {
         fill_command(c, queue)?;
     }
     Ok(())
 }
 
-fn fill_command(
-    c: &mut Command,
-    queue: &mut impl Iterator<Item = String>,
-) -> Result<(), Error> {
+fn fill_command(c: &mut Command, queue: &mut impl Iterator<Item = String>) -> Result<(), Error> {
     match c {
         Command::Simple(sc) => fill_redirects(&mut sc.redirects, queue),
         Command::FunctionDef { body, .. } => fill_command(body, queue),

@@ -7,8 +7,8 @@
 //! property-tested in the crate tests.
 
 use crate::ast::{
-    AndOr, AndOrOp, Command, CompleteCommand, CompoundCommand, Pipeline, Program, Redirect,
-    RedirOp, Separator,
+    AndOr, AndOrOp, Command, CompleteCommand, CompoundCommand, Pipeline, Program, RedirOp,
+    Redirect, Separator,
 };
 use crate::word::{Word, WordPart};
 

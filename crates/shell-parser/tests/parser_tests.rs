@@ -4,8 +4,8 @@
 use pash_parser::ast::{
     AndOrOp, Command, CompoundCommand, Pipeline, RedirOp, Separator, SimpleCommand,
 };
+use pash_parser::parse;
 use pash_parser::unparse::program_to_string;
-use pash_parser::{parse, Word};
 
 fn first_pipeline(src: &str) -> Pipeline {
     let prog = parse(src).expect("parse");
@@ -151,7 +151,13 @@ fn if_elif_else() {
     let src = "if a; then b; elif c; then d; else e; fi";
     let p = first_pipeline(src);
     match &p.commands[0] {
-        Command::Compound(CompoundCommand::If { branches, else_body }, _) => {
+        Command::Compound(
+            CompoundCommand::If {
+                branches,
+                else_body,
+            },
+            _,
+        ) => {
             assert_eq!(branches.len(), 2);
             assert!(else_body.is_some());
         }
@@ -295,7 +301,10 @@ fn roundtrip(src: &str) {
     let printed = program_to_string(&p1);
     let p2 = parse(&printed)
         .unwrap_or_else(|e| panic!("reparse failed for `{printed}` (from `{src}`): {e}"));
-    assert_eq!(p1, p2, "round-trip mismatch:\n  src: {src}\n  printed: {printed}");
+    assert_eq!(
+        p1, p2,
+        "round-trip mismatch:\n  src: {src}\n  printed: {printed}"
+    );
 }
 
 #[test]
@@ -351,15 +360,14 @@ mod prop {
     }
 
     fn arb_simple_command() -> impl Strategy<Value = String> {
-        (arb_word(), proptest::collection::vec(arb_word(), 0..4))
-            .prop_map(|(cmd, args)| {
-                let mut s = cmd;
-                for a in args {
-                    s.push(' ');
-                    s.push_str(&a);
-                }
-                s
-            })
+        (arb_word(), proptest::collection::vec(arb_word(), 0..4)).prop_map(|(cmd, args)| {
+            let mut s = cmd;
+            for a in args {
+                s.push(' ');
+                s.push_str(&a);
+            }
+            s
+        })
     }
 
     fn arb_pipeline() -> impl Strategy<Value = String> {

@@ -266,11 +266,13 @@ mod tests {
     fn sized_split_streams_general_blocks() {
         let cm = CostModel::default();
         assert_eq!(
-            cm.profile_for(&NodeKind::Split(SplitKind::General)).discipline,
+            cm.profile_for(&NodeKind::Split(SplitKind::General))
+                .discipline,
             Discipline::Blocking
         );
         assert_eq!(
-            cm.profile_for(&NodeKind::Split(SplitKind::Sized)).discipline,
+            cm.profile_for(&NodeKind::Split(SplitKind::Sized))
+                .discipline,
             Discipline::Streaming
         );
     }

@@ -128,7 +128,11 @@ pub fn simulate_region(
     let node_ids: Vec<NodeId> = g.topo_order();
     let n_nodes = node_ids.len();
     // Map node id → dense index.
-    let index: HashMap<NodeId, usize> = node_ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let index: HashMap<NodeId, usize> = node_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
 
     // Edge states.
     let mut edges: Vec<EdgeState> = Vec::with_capacity(g.edge_count());
@@ -317,8 +321,12 @@ fn node_wants_to_run(g: &Dfg, id: NodeId, st: &NodeState, edges: &[EdgeState], t
     }
     let node = g.node(id).expect("live node");
     match st.phase {
-        Phase::Consuming => node.inputs.iter().any(|&e| input_available(&edges[e]) > 0.0)
-            || node.inputs.is_empty(),
+        Phase::Consuming => {
+            node.inputs
+                .iter()
+                .any(|&e| input_available(&edges[e]) > 0.0)
+                || node.inputs.is_empty()
+        }
         Phase::Emitting => st.stash > 0.0,
     }
 }
@@ -538,11 +546,7 @@ fn step_node(
 }
 
 /// Space available for a streaming node to keep consuming.
-fn space_for_consumption(
-    st: &NodeState,
-    node: &pash_core::dfg::Node,
-    edges: &[EdgeState],
-) -> f64 {
+fn space_for_consumption(st: &NodeState, node: &pash_core::dfg::Node, edges: &[EdgeState]) -> f64 {
     match st.profile.discipline {
         Discipline::Blocking => f64::INFINITY,
         Discipline::Streaming => {
@@ -598,9 +602,7 @@ fn propagate_closures(
                 continue;
             }
             let node = g.node(id).expect("live node");
-            if !node.outputs.is_empty()
-                && node.outputs.iter().all(|&e| edges[e].consumer_closed)
-            {
+            if !node.outputs.is_empty() && node.outputs.iter().all(|&e| edges[e].consumer_closed) {
                 let st = &mut nodes[i];
                 st.done = true;
                 for &e in &node.outputs {
@@ -688,7 +690,8 @@ mod tests {
         seq / par
     }
 
-    const GREP: &str = "cat in.txt | tr A-Z a-z | grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' | tr -d q > out.txt";
+    const GREP: &str =
+        "cat in.txt | tr A-Z a-z | grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' | tr -d q > out.txt";
     const SORT: &str = "cat in.txt | tr A-Z a-z | sort > out.txt";
 
     #[test]

@@ -6,25 +6,81 @@
 //! statistically similar inputs locally (see DESIGN.md §2 for the
 //! substitution table). All generators are seeded and reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod rng;
 
 use pash_coreutils::fs::MemFs;
 
+use crate::rng::SplitMix64;
+
 /// A small English-like vocabulary used by the text generators.
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
-    "are", "as", "with", "his", "they", "time", "river", "mountain", "system", "shell", "pipe",
-    "stream", "parallel", "data", "running", "cats", "tables", "weather", "maximum", "minimum",
-    "temperature", "analysis", "compiler", "graph", "node", "edge", "merge", "split", "eager",
-    "annotation", "command", "script", "process", "kernel", "buffer", "signal",
+    "the",
+    "of",
+    "and",
+    "a",
+    "to",
+    "in",
+    "is",
+    "you",
+    "that",
+    "it",
+    "he",
+    "was",
+    "for",
+    "on",
+    "are",
+    "as",
+    "with",
+    "his",
+    "they",
+    "time",
+    "river",
+    "mountain",
+    "system",
+    "shell",
+    "pipe",
+    "stream",
+    "parallel",
+    "data",
+    "running",
+    "cats",
+    "tables",
+    "weather",
+    "maximum",
+    "minimum",
+    "temperature",
+    "analysis",
+    "compiler",
+    "graph",
+    "node",
+    "edge",
+    "merge",
+    "split",
+    "eager",
+    "annotation",
+    "command",
+    "script",
+    "process",
+    "kernel",
+    "buffer",
+    "signal",
 ];
 
+/// Harmonic normalizer for [`zipf_word`]: Σ 1/(k+1) over VOCAB ranks.
+const VOCAB_HARMONIC: f64 = {
+    let mut h = 0.0;
+    let mut k = 0;
+    while k < VOCAB.len() {
+        h += 1.0 / (k + 1) as f64;
+        k += 1;
+    }
+    h
+};
+
 /// Draws a Zipf-ish ranked word from the vocabulary.
-fn zipf_word(rng: &mut StdRng) -> &'static str {
+fn zipf_word(rng: &mut SplitMix64) -> &'static str {
     // P(rank k) ∝ 1/(k+1): sample by scanning a harmonic prefix.
-    let h: f64 = (0..VOCAB.len()).map(|k| 1.0 / (k + 1) as f64).sum();
-    let mut x = rng.gen::<f64>() * h;
+    let mut x = rng.gen_f64() * VOCAB_HARMONIC;
     for (k, w) in VOCAB.iter().enumerate() {
         x -= 1.0 / (k + 1) as f64;
         if x <= 0.0 {
@@ -37,10 +93,10 @@ fn zipf_word(rng: &mut StdRng) -> &'static str {
 /// Generates roughly `bytes` of text: lines of 4–10 words with
 /// punctuation and mixed case.
 pub fn text_corpus(seed: u64, bytes: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::with_capacity(bytes + 64);
     while out.len() < bytes {
-        let words = rng.gen_range(4..=10);
+        let words = rng.gen_range_inclusive(4, 10);
         for i in 0..words {
             let w = zipf_word(&mut rng);
             if i > 0 {
@@ -116,7 +172,7 @@ impl Default for NoaaSpec {
 /// Returns the list of `(year, max_valid_temperature_field)` ground
 /// truths, where the field is the 4-digit column value.
 pub fn generate_noaa(fs: &MemFs, base: &str, spec: &NoaaSpec) -> Vec<(u32, u32)> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut truths = Vec::new();
     for year in spec.years.clone() {
         let mut index = String::new();
@@ -136,9 +192,9 @@ pub fn generate_noaa(fs: &MemFs, base: &str, spec: &NoaaSpec) -> Vec<(u32, u32)>
                 // Fixed-width record: 88 filler columns, then a
                 // 4-digit temperature field at columns 89–92.
                 let field: u32 = if rng.gen_bool(0.02) {
-                    9990 + rng.gen_range(0..10) // Bogus `999x` marker.
+                    9990 + rng.gen_range(0, 10) as u32 // Bogus `999x` marker.
                 } else {
-                    rng.gen_range(0..450)
+                    rng.gen_range(0, 450) as u32
                 };
                 let is_bogus = field.to_string().contains("999");
                 if !is_bogus {
@@ -186,14 +242,14 @@ impl Default for WikiSpec {
 /// Generates the wiki mirror: `base/urls.txt` (one page URL per line)
 /// plus the HTML pages (one tag per line, entities included).
 pub fn generate_wiki(fs: &MemFs, base: &str, spec: &WikiSpec) {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let mut urls = String::new();
     for p in 0..spec.pages {
         let path = format!("{base}/pages/page{p:05}.html");
         urls.push_str(&format!("http://wiki.example/{path}\n"));
         let mut html = String::from("<html>\n<head><title>Page</title></head>\n<body>\n");
         while html.len() < spec.bytes_per_page {
-            let words = rng.gen_range(5..=14);
+            let words = rng.gen_range_inclusive(5, 14);
             html.push_str("<p>");
             for i in 0..words {
                 if i > 0 {
@@ -215,7 +271,7 @@ pub fn generate_wiki(fs: &MemFs, base: &str, spec: &WikiSpec) {
 /// Generates a file of whitespace-delimited columns (for Unix50-style
 /// pipelines): alternating word and numeric columns.
 pub fn columnar_corpus(seed: u64, rows: usize, fields: usize) -> Vec<u8> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut out = Vec::new();
     for _ in 0..rows {
         for f in 0..fields {
@@ -225,7 +281,7 @@ pub fn columnar_corpus(seed: u64, rows: usize, fields: usize) -> Vec<u8> {
             if f % 2 == 0 {
                 out.extend_from_slice(zipf_word(&mut rng).as_bytes());
             } else {
-                out.extend_from_slice(rng.gen_range(0..10_000).to_string().as_bytes());
+                out.extend_from_slice(rng.gen_range(0, 10_000).to_string().as_bytes());
             }
         }
         out.push(b'\n');
@@ -358,7 +414,9 @@ mod tests {
         );
         let urls = fs.read("wiki/urls.txt").expect("urls");
         assert_eq!(
-            urls.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(),
+            urls.split(|&b| b == b'\n')
+                .filter(|l| !l.is_empty())
+                .count(),
             3
         );
         let page = fs.read("wiki/pages/page00000.html").expect("page");

@@ -1,0 +1,105 @@
+//! A tiny seeded PRNG for hermetic workload generation.
+//!
+//! The generators must be byte-reproducible forever: correctness
+//! tests compare parallel against sequential output over these
+//! corpora, and benchmark numbers are only comparable across runs if
+//! the inputs never drift. An external `rand` dependency ties the
+//! byte stream to that crate's version; this SplitMix64 implementation
+//! (Steele, Lea & Flood 2014 — the `java.util.SplittableRandom`
+//! finalizer) is ~20 lines we own outright.
+
+/// SplitMix64: a 64-bit state advanced by a Weyl sequence and mixed
+/// through two xor-multiply rounds. Passes BigCrush; more than enough
+/// for corpus synthesis.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds give equal
+    /// streams on every platform and toolchain.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.gen_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo < hi` required.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.gen_u64() % (hi - lo)
+    }
+
+    /// Uniform integer in `[lo, hi]`; `lo <= hi` required.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.gen_range(lo, hi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_stream() {
+        // Reference values from the published SplitMix64 algorithm
+        // with seed 1234567: if these ever change, every generated
+        // corpus changes — fail loudly.
+        let mut rng = SplitMix64::new(1234567);
+        assert_eq!(rng.gen_u64(), 6457827717110365317);
+        assert_eq!(rng.gen_u64(), 3203168211198807973);
+        assert_eq!(rng.gen_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5, 12);
+            assert!((5..12).contains(&x));
+            let y = rng.gen_range_inclusive(5, 12);
+            assert!((5..=12).contains(&y));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(1);
+            (0..8).map(|_| r.gen_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(2);
+            (0..8).map(|_| r.gen_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SplitMix64::new(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.12)).count();
+        assert!((900..1500).contains(&hits), "got {hits} hits of ~1200");
+    }
+}

@@ -51,7 +51,8 @@ fn oneliners_parallel_equals_sequential() {
                     &ExecConfig::default(),
                 );
                 assert_eq!(
-                    seq, par,
+                    seq,
+                    par,
                     "{} diverged at width {width} under {}",
                     bench.name,
                     config.label()
@@ -185,7 +186,12 @@ fn correctness_resilient_to_tiny_pipes() {
         fs.clone(),
         &exec,
     );
-    let par = run(&bench.script, &Fig7Config::ParSplit.pash_config(4), fs, &exec);
+    let par = run(
+        &bench.script,
+        &Fig7Config::ParSplit.pash_config(4),
+        fs,
+        &exec,
+    );
     assert_eq!(seq, par);
 }
 

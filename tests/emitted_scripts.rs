@@ -42,7 +42,14 @@ fn build_binaries() -> Option<(PathBuf, PathBuf)> {
             &[]
         };
         let status = Command::new(env!("CARGO"))
-            .args(["build", "-p", "pash-coreutils", "-p", "pash-runtime", "--bins"])
+            .args([
+                "build",
+                "-p",
+                "pash-coreutils",
+                "-p",
+                "pash-runtime",
+                "--bins",
+            ])
             .args(profile_flag)
             .status()
             .ok()?;
@@ -67,10 +74,7 @@ fn run_emitted(
         ..Default::default()
     };
     let compiled = pash::compile(script, &cfg).expect("compile");
-    let dir = std::env::temp_dir().join(format!(
-        "pash-e2e-{}-{width}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("pash-e2e-{}-{width}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("mkdir");
     for (name, data) in files {
@@ -84,7 +88,11 @@ fn run_emitted(
         .env("PASH_RT", &pash_rt)
         .status()
         .expect("run sh");
-    assert!(status.success(), "emitted script failed:\n{}", compiled.script);
+    assert!(
+        status.success(),
+        "emitted script failed:\n{}",
+        compiled.script
+    );
     let out = std::fs::read(dir.join(output)).expect("output file");
     let _ = std::fs::remove_dir_all(&dir);
     Some(out)
@@ -144,10 +152,7 @@ fn emitted_grep_head_terminates_cleanly() {
 #[test]
 fn emitted_comm_with_static_input() {
     let dict = pash::workloads::dictionary();
-    let files = vec![
-        ("in.txt", text_corpus(53, 30_000)),
-        ("dict.txt", dict),
-    ];
+    let files = vec![("in.txt", text_corpus(53, 30_000)), ("dict.txt", dict)];
     let script =
         "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq | comm -13 dict.txt - > out.txt";
     let expected = reference(script, &files, "out.txt");

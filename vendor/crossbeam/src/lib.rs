@@ -1,0 +1,8 @@
+//! Offline shim for the subset of `crossbeam` this workspace uses.
+//!
+//! The container has no crates.io access, so the real crate cannot be
+//! fetched. Only `crossbeam::channel::{bounded, unbounded}` with
+//! blocking `send`/`recv`/`iter` and hangup detection is provided,
+//! implemented on a mutex-and-condvar ring buffer.
+
+pub mod channel;

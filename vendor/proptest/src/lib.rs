@@ -1,0 +1,370 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! The container has no crates.io access, so the real crate cannot be
+//! fetched. This shim keeps property-test sources compiling unchanged:
+//! the [`Strategy`] trait with `prop_map`, range and string-pattern
+//! strategies, [`collection::vec`], [`Just`], `prop_oneof!`, the
+//! `proptest!` test macro, and `prop_assert*!`.
+//!
+//! Differences from real proptest, acceptable here: sampling is
+//! deterministic (seeded from the test name, so runs are hermetic and
+//! reproducible), failures are plain panics, and there is no
+//! shrinking — a failing case prints its inputs via the assertion
+//! message instead of minimizing them.
+
+use std::ops::Range;
+
+pub mod collection;
+pub mod pattern;
+
+/// The deterministic generator threaded through all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test name), so every test
+    /// gets a distinct but stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// SplitMix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree or
+/// shrinking: a strategy just samples.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Boxes the strategy (for heterogeneous unions).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A boxed strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+/// String literals are regex-subset strategies, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::sample(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::{pattern, Strategy, TestRng};
+
+    /// Error type of [`string_regex`] (this shim panics on bad
+    /// patterns at sample time instead of reporting them here).
+    #[derive(Debug)]
+    pub struct Error;
+
+    /// Strategy generating strings matching a regex subset.
+    #[derive(Clone, Debug)]
+    pub struct RegexGeneratorStrategy {
+        pattern: String,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            pattern::sample(&self.pattern, rng)
+        }
+    }
+
+    /// Builds a strategy from a regex pattern.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        Ok(RegexGeneratorStrategy {
+            pattern: pattern.to_string(),
+        })
+    }
+}
+
+/// Uniformly picks among boxed alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Starts a union from its first alternative. Taking the first
+    /// strategy by concrete type (not boxed) pins `T` eagerly, which
+    /// keeps closure-parameter inference working downstream.
+    pub fn new<S: Strategy<Value = T> + 'static>(first: S) -> Self {
+        Union {
+            options: vec![Box::new(first)],
+        }
+    }
+
+    /// Adds another equally-weighted alternative.
+    pub fn or<S: Strategy<Value = T> + 'static>(mut self, strategy: S) -> Self {
+        self.options.push(Box::new(strategy));
+        self
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+/// Number of cases each `proptest!` test runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many sampled cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The glob-import module, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Picks one of several strategies with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::Union::new($first)$(.or($rest))*
+    };
+}
+
+/// Plain assertion under this shim (no shrinking to report back to).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Plain equality assertion under this shim.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Plain inequality assertion under this shim.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Declares property tests: each runs `cases` times over freshly
+/// sampled inputs from the named strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        #[test]
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::sample(&($strategy), &mut rng);
+                    )+
+                    let run = || $body;
+                    let _ = case;
+                    run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let f = Strategy::sample(&(0.0f64..1.0), &mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_mix() {
+        let mut rng = TestRng::from_name("oneof");
+        let s = prop_oneof!["[a-z]{1,3}", Just("same".to_string())];
+        let mut saw_just = false;
+        for _ in 0..100 {
+            let v = Strategy::sample(&s, &mut rng);
+            if v == "same" {
+                saw_just = true;
+            } else {
+                assert!(v.len() <= 3 && v.bytes().all(|b| b.is_ascii_lowercase()));
+            }
+        }
+        assert!(saw_just);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke(x in 0usize..10, s in "[0-9]{1,4}") {
+            prop_assert!(x < 10);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+        }
+    }
+}

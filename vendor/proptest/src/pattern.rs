@@ -1,0 +1,193 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest interprets `&str` strategies as full regexes. This
+//! shim supports what the workspace's property tests (and likely
+//! future ones) actually write: literal characters, `[...]` classes
+//! with ranges, `{n}` / `{m,n}` bounded repetition, and `?`/`*`/`+`
+//! (the unbounded ones capped at 8 repetitions).
+
+use crate::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    /// A fixed character.
+    Literal(char),
+    /// A character class: concrete choices to draw uniformly from.
+    Class(Vec<char>),
+}
+
+#[derive(Debug)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Samples one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(choices) => {
+                    let i = rng.below(choices.len() as u64) as usize;
+                    out.push(choices[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let class = parse_class(&chars[i + 1..i + close]);
+                i += close + 1;
+                Atom::Class(class)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("trailing '\\' in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(escaped(c))
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn escaped(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        other => other,
+    }
+}
+
+fn parse_class(body: &[char]) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class");
+    assert!(body[0] != '^', "negated classes are not supported");
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range {lo}-{hi}");
+            out.extend(lo..=hi);
+            i += 3;
+        } else {
+            out.push(body[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parses an optional repetition operator at `*i`, advancing past it.
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    const UNBOUNDED_CAP: usize = 8;
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[*i + 1..*i + close].iter().collect();
+            *i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => {
+                    let lo: usize = lo.trim().parse().expect("repeat lower bound");
+                    let hi: usize = hi.trim().parse().expect("repeat upper bound");
+                    assert!(lo <= hi, "inverted repeat {{{body}}}");
+                    (lo, hi)
+                }
+                None => {
+                    let n: usize = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("pattern-tests")
+    }
+
+    #[test]
+    fn class_with_bounded_repeat() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_class_members() {
+        let mut rng = rng();
+        for _ in 0..100 {
+            let s = sample("[a-z][a-z ,.]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13);
+            let first = s.chars().next().expect("non-empty");
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || " ,.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_operators() {
+        let mut rng = rng();
+        let s = sample("ab{3}c?", &mut rng);
+        assert!(s.starts_with("abbb"));
+        for _ in 0..50 {
+            let s = sample("x+", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 8);
+        }
+    }
+}
