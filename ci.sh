@@ -8,7 +8,9 @@
 #   2. the full test suite (unit + integration + doctests);
 #   3. example smoke build;
 #   4. compile (but don't run) all criterion benches;
-#   5. rustfmt check.
+#   5. dataplane bench smoke: run at a small size and check the
+#      emitted BENCH_dataplane.json parses;
+#   6. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -24,6 +26,15 @@ cargo build --examples
 
 echo "==> cargo bench --no-run (workspace)"
 cargo bench --no-run --workspace
+
+echo "==> dataplane bench smoke (BENCH_dataplane.json well-formed)"
+mkdir -p target/bench-smoke
+./target/release/dataplane --size small --out target/bench-smoke/BENCH_dataplane.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool target/bench-smoke/BENCH_dataplane.json >/dev/null
+else
+    grep -q '"bench":"dataplane"' target/bench-smoke/BENCH_dataplane.json
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,36 @@
+//! Criterion bench over the data-plane primitives (pipe transfer,
+//! split, segment read, eager relay) — the continuous-integration
+//! face of the `dataplane` binary, with bytes/sec reported via the
+//! group throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pash_bench::dataplane;
+use pash_coreutils::fs::{Fs, MemFs};
+
+const BYTES: usize = 256 * 1024;
+
+fn bench_dataplane(c: &mut Criterion) {
+    let corpus = pash_workloads::text_corpus(41, BYTES);
+    let mem = MemFs::new();
+    mem.add("seg.txt", corpus.clone());
+    let fs: Arc<dyn Fs> = Arc::new(mem);
+    let mut g = c.benchmark_group("dataplane");
+    g.sample_size(10)
+        .throughput(Throughput::Bytes(BYTES as u64));
+    g.bench_function("pipe_64k_cap", |b| {
+        b.iter(|| dataplane::time_pipe_transfer(64 * 1024, BYTES))
+    });
+    g.bench_function("split_8way", |b| {
+        b.iter(|| dataplane::time_split(&corpus, 8))
+    });
+    g.bench_function("segment_read_8way", |b| {
+        b.iter(|| dataplane::time_segment_read(&fs, "seg.txt", 8))
+    });
+    g.bench_function("relay_full", |b| b.iter(|| dataplane::time_relay(&corpus)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

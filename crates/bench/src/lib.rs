@@ -18,6 +18,7 @@
 //! Criterion benches (one per artifact) live under `benches/`.
 
 pub mod baseline;
+pub mod dataplane;
 pub mod suites {
     //! Benchmark script collections.
     pub mod oneliners;

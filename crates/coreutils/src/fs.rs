@@ -19,7 +19,7 @@ pub trait Fs: Send + Sync {
     fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>>;
 
     /// Returns the size of a file in bytes (used by the size-aware
-    /// splitter).
+    /// splitter and the segment reader).
     fn size(&self, path: &str) -> io::Result<u64>;
 
     /// Lists file names under a directory prefix, sorted.
@@ -28,6 +28,24 @@ pub trait Fs: Send + Sync {
     /// Opens a file with buffering.
     fn open_buffered(&self, path: &str) -> io::Result<Box<dyn BufRead + Send>> {
         Ok(Box::new(io::BufReader::new(self.open(path)?)))
+    }
+
+    /// Reads the byte range `[start, end)` of a file (clamped to the
+    /// file length). The default implementation opens the file and
+    /// skips to `start`; backends with random access override it so a
+    /// k-wide stage reads O(len/k) bytes per copy instead of the
+    /// whole file.
+    fn read_range(&self, path: &str, start: u64, end: u64) -> io::Result<Vec<u8>> {
+        // Open before the empty-range check so a missing file is an
+        // error on every backend, empty range or not.
+        let mut r = self.open(path)?;
+        if end <= start {
+            return Ok(Vec::new());
+        }
+        io::copy(&mut Read::by_ref(&mut r).take(start), &mut io::sink())?;
+        let mut out = Vec::new();
+        r.take(end - start).read_to_end(&mut out)?;
+        Ok(out)
     }
 }
 
@@ -54,6 +72,28 @@ impl MemFs {
             .lock()
             .expect("MemFs lock poisoned")
             .insert(normalize(&path.into()), Arc::new(contents.into()));
+    }
+
+    /// Adds (or replaces) a file without copying the contents — the
+    /// `Arc` is shared with the caller. This is how cached corpora are
+    /// mounted into per-test filesystems at zero marginal cost.
+    pub fn add_shared(&self, path: impl Into<String>, contents: Arc<Vec<u8>>) {
+        self.files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .insert(normalize(&path.into()), contents);
+    }
+
+    /// Returns an independent filesystem holding the same files.
+    ///
+    /// Contents are `Arc`-shared (no byte copies), but the trees are
+    /// separate: writes to the snapshot do not touch `self` — unlike
+    /// [`Clone`], which shares the tree itself.
+    pub fn snapshot(&self) -> MemFs {
+        let files = self.files.lock().expect("MemFs lock poisoned").clone();
+        MemFs {
+            files: Arc::new(Mutex::new(files)),
+        }
     }
 
     /// Reads a whole file.
@@ -118,6 +158,20 @@ impl Fs for MemFs {
             .get(&normalize(path))
             .map(|a| a.len() as u64)
             .ok_or_else(|| not_found(path))
+    }
+
+    fn read_range(&self, path: &str, start: u64, end: u64) -> io::Result<Vec<u8>> {
+        let data = self
+            .files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .get(&normalize(path))
+            .cloned()
+            .ok_or_else(|| not_found(path))?;
+        let len = data.len() as u64;
+        let s = start.min(len) as usize;
+        let e = (end.min(len) as usize).max(s);
+        Ok(data[s..e].to_vec())
     }
 
     fn list(&self, dir: &str) -> io::Result<Vec<String>> {
@@ -219,6 +273,18 @@ impl Fs for RealFs {
         Ok(std::fs::metadata(self.resolve(path))?.len())
     }
 
+    fn read_range(&self, path: &str, start: u64, end: u64) -> io::Result<Vec<u8>> {
+        use std::io::Seek;
+        let mut f = std::fs::File::open(self.resolve(path))?;
+        if end <= start {
+            return Ok(Vec::new());
+        }
+        f.seek(io::SeekFrom::Start(start))?;
+        let mut out = Vec::new();
+        f.take(end - start).read_to_end(&mut out)?;
+        Ok(out)
+    }
+
     fn list(&self, dir: &str) -> io::Result<Vec<String>> {
         let mut out = Vec::new();
         for entry in std::fs::read_dir(self.resolve(dir))? {
@@ -301,5 +367,92 @@ mod tests {
         let b = a.clone();
         a.add("x", b"1".to_vec());
         assert_eq!(b.read("x").expect("read"), b"1");
+    }
+
+    #[test]
+    fn memfs_snapshot_isolates_writes() {
+        let a = MemFs::new();
+        a.add("x", b"1".to_vec());
+        let b = a.snapshot();
+        assert_eq!(b.read("x").expect("read"), b"1");
+        b.add("y", b"2".to_vec());
+        assert!(a.read("y").is_err(), "snapshot write leaked to source");
+        a.add("z", b"3".to_vec());
+        assert!(b.read("z").is_err(), "source write leaked to snapshot");
+    }
+
+    #[test]
+    fn memfs_add_shared_mounts_without_copy() {
+        let fs = MemFs::new();
+        let data = Arc::new(b"shared".to_vec());
+        fs.add_shared("s.txt", data.clone());
+        assert_eq!(fs.read("s.txt").expect("read"), b"shared");
+        // Two references: the caller's and the filesystem's.
+        assert_eq!(Arc::strong_count(&data), 2);
+    }
+
+    #[test]
+    fn memfs_read_range_native() {
+        let fs = MemFs::new();
+        fs.add("r.txt", b"0123456789".to_vec());
+        assert_eq!(fs.read_range("r.txt", 2, 5).expect("range"), b"234");
+        assert_eq!(
+            fs.read_range("r.txt", 0, 100).expect("range"),
+            b"0123456789"
+        );
+        assert_eq!(fs.read_range("r.txt", 7, 7).expect("range"), b"");
+        assert_eq!(fs.read_range("r.txt", 20, 30).expect("range"), b"");
+        assert!(fs.read_range("nope", 0, 1).is_err());
+        // A missing file is an error even for an empty range.
+        assert!(fs.read_range("nope", 3, 3).is_err());
+    }
+
+    #[test]
+    fn default_read_range_matches_native() {
+        // A wrapper that hides MemFs's override, forcing the trait's
+        // open+skip fallback.
+        struct OpenOnly(MemFs);
+        impl Fs for OpenOnly {
+            fn open(&self, path: &str) -> io::Result<Box<dyn Read + Send>> {
+                self.0.open(path)
+            }
+            fn create(&self, path: &str) -> io::Result<Box<dyn Write + Send>> {
+                self.0.create(path)
+            }
+            fn size(&self, path: &str) -> io::Result<u64> {
+                self.0.size(path)
+            }
+            fn list(&self, dir: &str) -> io::Result<Vec<String>> {
+                self.0.list(dir)
+            }
+        }
+        let fs = MemFs::new();
+        fs.add("r.txt", b"abcdefghij".to_vec());
+        let fallback = OpenOnly(fs.clone());
+        for (s, e) in [(0, 0), (0, 4), (3, 9), (5, 100), (9, 3)] {
+            assert_eq!(
+                fallback.read_range("r.txt", s, e).expect("fallback"),
+                fs.read_range("r.txt", s, e).expect("native"),
+                "range [{s}, {e})"
+            );
+        }
+        // Missing files error through the fallback too, even when the
+        // requested range is empty.
+        assert!(fallback.read_range("nope", 0, 0).is_err());
+        assert!(fallback.read_range("nope", 0, 5).is_err());
+    }
+
+    #[test]
+    fn realfs_read_range_seeks() {
+        let dir = std::env::temp_dir().join(format!("pash-fs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let fs = RealFs::new(&dir);
+        {
+            let mut w = fs.create("f.txt").expect("create");
+            w.write_all(b"hello world").expect("write");
+        }
+        assert_eq!(fs.read_range("f.txt", 6, 11).expect("range"), b"world");
+        assert_eq!(fs.read_range("f.txt", 6, 6).expect("range"), b"");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

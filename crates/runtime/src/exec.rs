@@ -105,6 +105,16 @@ impl Fs for StreamFs {
     }
 }
 
+/// Buffer in front of every edge writer: commands emit line-sized
+/// writes, and each unbuffered write on a pipe edge is a lock
+/// acquisition. Flush happens on drop at node exit.
+const EDGE_WRITE_BUFFER: usize = 32 * 1024;
+
+/// Wraps an edge writer in the standard edge buffer.
+fn buffered(w: impl Write + Send + 'static) -> Box<dyn Write + Send> {
+    Box::new(io::BufWriter::with_capacity(EDGE_WRITE_BUFFER, w))
+}
+
 /// A writer into a shared buffer (the region's stdout collector).
 struct SharedVecWriter(Arc<Mutex<Vec<u8>>>);
 
@@ -141,7 +151,7 @@ pub fn run_dfg(
         match (&edge.spec, edge.from, edge.to) {
             (StreamSpec::Pipe, Some(_), Some(_)) => {
                 let (w, r) = pipe(cfg.pipe_capacity);
-                writers.insert(e, Box::new(w));
+                writers.insert(e, buffered(w));
                 readers.insert(e, Box::new(r));
             }
             (StreamSpec::Pipe, None, Some(_)) => {
@@ -154,13 +164,13 @@ pub fn run_dfg(
                 readers.insert(e, Box::new(io::Cursor::new(data)));
             }
             (StreamSpec::Pipe, Some(_), None) => {
-                writers.insert(e, Box::new(SharedVecWriter(stdout_buf.clone())));
+                writers.insert(e, buffered(SharedVecWriter(stdout_buf.clone())));
             }
             (StreamSpec::File(path), None, Some(_)) => {
                 readers.insert(e, fs.open(path)?);
             }
             (StreamSpec::File(path), Some(_), _) => {
-                writers.insert(e, fs.create(path)?);
+                writers.insert(e, buffered(fs.create(path)?));
             }
             (StreamSpec::FileSegment { path, part, of }, None, Some(_)) => {
                 let data = read_segment(&fs, path, *part, *of)?;
@@ -280,7 +290,11 @@ fn run_node(
                 fs: stream_fs,
                 registry,
             };
-            cmd.run(&args.to_vec(), &mut cio)
+            let status = cmd.run(&args.to_vec(), &mut cio)?;
+            // Flush the edge buffer while errors can still be
+            // reported; the drop-time flush swallows them.
+            out.flush()?;
+            Ok(status)
         }
         NodeKind::Cat => {
             let mut out = outs.pop().expect("cat has one output");
@@ -294,6 +308,7 @@ fn run_node(
                     out.write_all(&buf[..n])?;
                 }
             }
+            out.flush()?;
             Ok(0)
         }
         NodeKind::Relay(kind) => {
@@ -304,6 +319,7 @@ fn run_node(
                 EagerKind::Blocking => RelayMode::Blocking(cfg.blocking_relay_chunks),
             };
             run_relay(input, &mut out, mode)?;
+            out.flush()?;
             Ok(0)
         }
         NodeKind::Split(_) => {
@@ -313,6 +329,15 @@ fn run_node(
             let (_, input) = ins.pop().expect("split has one input");
             let mut r = io::BufReader::new(input);
             split_general(&mut r, &mut outs)?;
+            for out in outs.iter_mut() {
+                // Same discipline as the split itself: a chunk whose
+                // consumer is gone is abandoned, not fatal.
+                match out.flush() {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {}
+                    Err(e) => return Err(e),
+                }
+            }
             Ok(0)
         }
         NodeKind::Aggregate { argv } => {
@@ -321,7 +346,9 @@ fn run_node(
                 .map(|(_, r)| Box::new(io::BufReader::new(r)) as Box<dyn io::BufRead + Send>)
                 .collect();
             let mut out = outs.pop().expect("aggregate has one output");
-            run_aggregator(argv, inputs, &mut out, registry, fs)
+            let status = run_aggregator(argv, inputs, &mut out, registry, fs)?;
+            out.flush()?;
+            Ok(status)
         }
     }
 }

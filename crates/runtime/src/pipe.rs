@@ -11,6 +11,15 @@
 //! * dropping the reader makes subsequent writes fail with
 //!   [`std::io::ErrorKind::BrokenPipe`] — the SIGPIPE analogue that
 //!   terminates producers whose consumer exited early.
+//!
+//! The transport is a contiguous ring buffer: each read or write moves
+//! its whole run of bytes with at most two `copy_from_slice` calls
+//! (the run may wrap around the end of the ring), so a transfer costs
+//! O(chunks) lock acquisitions rather than O(bytes). Wakeups follow
+//! the classic bounded-buffer discipline — the writer signals only an
+//! empty→non-empty transition, the reader only a full→non-full one —
+//! which is sufficient with one reader and one writer because each
+//! side only ever sleeps on exactly that transition.
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -21,27 +30,76 @@ use parking_lot::{Condvar, Mutex};
 pub const DEFAULT_PIPE_CAPACITY: usize = 64 * 1024;
 
 struct Inner {
-    buf: std::collections::VecDeque<u8>,
-    capacity: usize,
+    /// The ring storage, exactly `capacity` bytes, allocated once.
+    buf: Box<[u8]>,
+    /// Index of the first buffered byte.
+    head: usize,
+    /// Number of buffered bytes.
+    len: usize,
     writer_closed: bool,
     reader_closed: bool,
 }
 
+impl Inner {
+    fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Copies up to `data.len()` bytes in at the write position;
+    /// returns the count actually buffered.
+    fn push(&mut self, data: &[u8]) -> usize {
+        let cap = self.capacity();
+        let n = data.len().min(cap - self.len);
+        let pos = (self.head + self.len) % cap;
+        let first = n.min(cap - pos);
+        self.buf[pos..pos + first].copy_from_slice(&data[..first]);
+        self.buf[..n - first].copy_from_slice(&data[first..n]);
+        self.len += n;
+        n
+    }
+
+    /// Copies up to `out.len()` bytes out from the read position;
+    /// returns the count actually delivered.
+    fn pop(&mut self, out: &mut [u8]) -> usize {
+        let cap = self.capacity();
+        let n = out.len().min(self.len);
+        let first = n.min(cap - self.head);
+        out[..first].copy_from_slice(&self.buf[self.head..self.head + first]);
+        out[first..n].copy_from_slice(&self.buf[..n - first]);
+        self.head = (self.head + n) % cap;
+        self.len -= n;
+        n
+    }
+
+    /// Discards all buffered bytes — called exactly once, when the
+    /// reader closes, so blocked writers wake into the broken pipe.
+    fn drop_buffered(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
 struct Shared {
     inner: Mutex<Inner>,
-    cond: Condvar,
+    /// The reader sleeps here for the empty→non-empty transition.
+    data_available: Condvar,
+    /// The writer sleeps here for the full→non-full transition.
+    space_available: Condvar,
 }
 
 /// Creates a bounded pipe with the given capacity in bytes.
 pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    let capacity = capacity.max(1);
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
-            buf: std::collections::VecDeque::with_capacity(capacity.min(1 << 20)),
-            capacity: capacity.max(1),
+            buf: vec![0u8; capacity].into_boxed_slice(),
+            head: 0,
+            len: 0,
             writer_closed: false,
             reader_closed: false,
         }),
-        cond: Condvar::new(),
+        data_available: Condvar::new(),
+        space_available: Condvar::new(),
     });
     (
         PipeWriter {
@@ -74,14 +132,15 @@ impl Write for PipeWriter {
                     "pipe reader closed",
                 ));
             }
-            let free = inner.capacity.saturating_sub(inner.buf.len());
-            if free > 0 {
-                let n = free.min(data.len());
-                inner.buf.extend(&data[..n]);
-                self.shared.cond.notify_all();
+            if inner.len < inner.capacity() {
+                let was_empty = inner.len == 0;
+                let n = inner.push(data);
+                if was_empty {
+                    self.shared.data_available.notify_one();
+                }
                 return Ok(n);
             }
-            self.shared.cond.wait(&mut inner);
+            self.shared.space_available.wait(&mut inner);
         }
     }
 
@@ -94,7 +153,7 @@ impl Drop for PipeWriter {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock();
         inner.writer_closed = true;
-        self.shared.cond.notify_all();
+        self.shared.data_available.notify_one();
     }
 }
 
@@ -105,18 +164,18 @@ impl Read for PipeReader {
         }
         let mut inner = self.shared.inner.lock();
         loop {
-            if !inner.buf.is_empty() {
-                let n = out.len().min(inner.buf.len());
-                for slot in out.iter_mut().take(n) {
-                    *slot = inner.buf.pop_front().expect("checked non-empty");
+            if inner.len > 0 {
+                let was_full = inner.len == inner.capacity();
+                let n = inner.pop(out);
+                if was_full {
+                    self.shared.space_available.notify_one();
                 }
-                self.shared.cond.notify_all();
                 return Ok(n);
             }
             if inner.writer_closed {
                 return Ok(0);
             }
-            self.shared.cond.wait(&mut inner);
+            self.shared.data_available.wait(&mut inner);
         }
     }
 }
@@ -125,10 +184,8 @@ impl Drop for PipeReader {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock();
         inner.reader_closed = true;
-        // Release buffered data so blocked writers wake and observe
-        // the broken pipe.
-        inner.buf.clear();
-        self.shared.cond.notify_all();
+        inner.drop_buffered();
+        self.shared.space_available.notify_one();
     }
 }
 
@@ -166,6 +223,7 @@ impl Read for MultiReader {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::io::{BufRead, BufReader};
 
     #[test]
@@ -236,6 +294,22 @@ mod tests {
     }
 
     #[test]
+    fn writes_wrap_around_the_ring() {
+        // Advance the head so a later bulk write must wrap, exercising
+        // the two-slice path.
+        let (mut w, mut r) = pipe(8);
+        w.write_all(b"abcde").expect("write");
+        let mut buf = [0u8; 5];
+        r.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"abcde");
+        // head is now 5; these 7 bytes occupy [5..8) + [0..4).
+        w.write_all(b"0123456").expect("wrapping write");
+        let mut buf = [0u8; 7];
+        r.read_exact(&mut buf).expect("wrapping read");
+        assert_eq!(&buf, b"0123456");
+    }
+
+    #[test]
     fn multireader_concatenates_in_order() {
         let a: Box<dyn Read + Send> = Box::new(&b"one\n"[..]);
         let b: Box<dyn Read + Send> = Box::new(&b""[..]);
@@ -263,5 +337,93 @@ mod tests {
             r.read_to_end(&mut buf).expect("read");
             assert_eq!(buf, expected);
         });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // Arbitrary interleavings of partial reads and writes
+        // round-trip byte-identically: the writer pushes the data in
+        // chunks of varying sizes, the reader pulls with varying
+        // buffer sizes, and the pipe capacity itself varies — so the
+        // ring wraps at every offset.
+        #[test]
+        fn prop_chunked_roundtrip(
+            data in proptest::collection::vec(0u8..255, 0..2048),
+            write_sizes in proptest::collection::vec(1usize..97, 1..8),
+            read_sizes in proptest::collection::vec(1usize..97, 1..8),
+            capacity in 1usize..129,
+        ) {
+            let (mut w, mut r) = pipe(capacity);
+            let expected = data.clone();
+            let received = std::thread::scope(|s| {
+                let data = &data;
+                let write_sizes = &write_sizes;
+                s.spawn(move || {
+                    let mut off = 0;
+                    let mut i = 0;
+                    while off < data.len() {
+                        let n = write_sizes[i % write_sizes.len()]
+                            .min(data.len() - off);
+                        w.write_all(&data[off..off + n]).expect("write");
+                        off += n;
+                        i += 1;
+                    }
+                });
+                let mut got = Vec::new();
+                let mut buf = [0u8; 96];
+                let mut i = 0;
+                loop {
+                    let want = read_sizes[i % read_sizes.len()];
+                    let n = r.read(&mut buf[..want]).expect("read");
+                    if n == 0 {
+                        break;
+                    }
+                    got.extend_from_slice(&buf[..n]);
+                    i += 1;
+                }
+                got
+            });
+            prop_assert_eq!(received, expected);
+        }
+
+        // Writer drop ⇒ EOF, after any amount of drained traffic.
+        #[test]
+        fn prop_writer_drop_is_eof(
+            data in proptest::collection::vec(0u8..255, 0..256),
+            capacity in 1usize..64,
+        ) {
+            let (mut w, mut r) = pipe(capacity);
+            let expected = data.clone();
+            let got = std::thread::scope(|s| {
+                s.spawn(move || {
+                    w.write_all(&data).expect("write");
+                });
+                let mut got = Vec::new();
+                r.read_to_end(&mut got).expect("read");
+                // And EOF is sticky.
+                let mut buf = [0u8; 8];
+                assert_eq!(r.read(&mut buf).expect("read"), 0);
+                got
+            });
+            prop_assert_eq!(got, expected);
+        }
+
+        // Reader drop ⇒ BrokenPipe, regardless of how full the pipe
+        // already was.
+        #[test]
+        fn prop_reader_drop_breaks_pipe(
+            prefill in 0usize..32,
+            capacity in 1usize..33,
+        ) {
+            let (mut w, r) = pipe(capacity);
+            let n = prefill.min(capacity.saturating_sub(1));
+            if n > 0 {
+                w.write_all(&vec![7u8; n]).expect("prefill");
+            }
+            drop(r);
+            let err = w.write(b"x").expect_err("must fail");
+            prop_assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        }
     }
 }

@@ -32,22 +32,30 @@ pub fn run_relay(
     output: &mut dyn Write,
     mode: RelayMode,
 ) -> io::Result<u64> {
+    const CHUNK: usize = 8 * 1024;
     let (tx, rx) = match mode {
         RelayMode::Full => channel::unbounded::<Vec<u8>>(),
         RelayMode::Blocking(chunks) => channel::bounded::<Vec<u8>>(chunks.max(1)),
     };
+    // Consumed chunks flow back to the reader through this pool, so a
+    // steady-state relay recycles a handful of buffers instead of
+    // allocating a fresh `Vec` per 8 KiB of traffic.
+    let (pool_tx, pool_rx) = channel::unbounded::<Vec<u8>>();
     // The eager half: consume input as fast as possible.
     let reader = std::thread::spawn(move || -> io::Result<()> {
-        let mut buf = [0u8; 8 * 1024];
+        let mut buf = vec![0u8; CHUNK];
         loop {
             let n = input.read(&mut buf)?;
             if n == 0 {
                 return Ok(());
             }
-            if tx.send(buf[..n].to_vec()).is_err() {
+            buf.truncate(n);
+            if tx.send(buf).is_err() {
                 // Downstream hung up: stop pulling.
                 return Ok(());
             }
+            buf = pool_rx.try_recv().unwrap_or_default();
+            buf.resize(CHUNK, 0);
         }
     });
     // The push half: forward to the consumer at its own pace.
@@ -60,6 +68,9 @@ pub fn run_relay(
                 Err(e) => push_err = Some(e),
             }
         }
+        // Recycle regardless of the write outcome; if the reader is
+        // already gone the pool send fails harmlessly.
+        let _ = pool_tx.send(chunk);
         // On error keep draining so the reader thread can finish
         // quickly (matching SIGPIPE-style teardown).
         if push_err.is_some() {

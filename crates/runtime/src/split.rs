@@ -12,30 +12,61 @@
 
 use std::io::{self, BufRead, Write};
 
-use pash_coreutils::lines::{read_all_lines, write_line};
-
 /// Splits the complete input into `outputs.len()` contiguous chunks of
 /// near-equal line counts, writing them in order.
+///
+/// The input is streamed into one flat byte buffer while a line-start
+/// index is built alongside — no per-line allocations — and each
+/// output chunk leaves as a single `write_all` of a contiguous slice.
 pub fn split_general(
     input: &mut dyn BufRead,
     outputs: &mut [Box<dyn Write + Send>],
 ) -> io::Result<()> {
-    let lines = read_all_lines(input)?;
+    // Drain the input buffer-by-buffer into flat storage.
+    let mut data: Vec<u8> = Vec::new();
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            break;
+        }
+        let n = chunk.len();
+        data.extend_from_slice(chunk);
+        input.consume(n);
+    }
+    // The line-oriented contract: a final unterminated line is still a
+    // line, delivered with a newline (as the per-line path always did).
+    if data.last().is_some_and(|&b| b != b'\n') {
+        data.push(b'\n');
+    }
+    // Line-start index; a trailing sentinel marks end-of-data so line
+    // `i` spans `starts[i]..starts[i + 1]`.
+    let mut starts: Vec<usize> = Vec::with_capacity(data.len() / 32 + 2);
+    if !data.is_empty() {
+        starts.push(0);
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' && i + 1 < data.len() {
+                starts.push(i + 1);
+            }
+        }
+    }
+    starts.push(data.len());
+
     let k = outputs.len().max(1);
-    let n = lines.len();
+    let n = starts.len() - 1;
     let base = n / k;
     let extra = n % k;
     let mut idx = 0usize;
     for (i, out) in outputs.iter_mut().enumerate() {
         let take = base + usize::from(i < extra);
-        for line in &lines[idx..idx + take] {
+        let (s, e) = (starts[idx], starts[idx + take]);
+        if e > s {
             // A consumer that exited early must not stall the
             // remaining chunks; treat its broken pipe as "chunk
             // abandoned".
-            match write_line(out.as_mut(), line) {
+            match out.write_all(&data[s..e]) {
                 Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::BrokenPipe => break,
-                Err(e) => return Err(e),
+                Err(err) if err.kind() == io::ErrorKind::BrokenPipe => {}
+                Err(err) => return Err(err),
             }
         }
         idx += take;

@@ -4,7 +4,8 @@
 //! (§4.2) and the paper verifies over multi-GB inputs ("PaSh's
 //! results ... are identical to the sequential for all benchmarks").
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use pash::core::compile::PashConfig;
 use pash::core::dfg::{AggTreeShape, EagerPolicy, SplitPolicy};
@@ -13,6 +14,25 @@ use pash::coreutils::Registry;
 use pash::runtime::exec::{run_script, ExecConfig};
 use pash_bench::suites::{oneliners, unix50, usecases};
 use pash_bench::Fig7Config;
+
+/// Returns a fresh filesystem for `key`, building the workload corpus
+/// only on the first request: corpora are cached as template
+/// filesystems and each run gets an isolated `snapshot` (contents
+/// stay `Arc`-shared, so the marginal cost is a map clone, not
+/// regeneration — which used to dominate this suite's wall clock).
+fn cached_fs(key: String, build: impl FnOnce(&MemFs)) -> Arc<MemFs> {
+    static CACHE: OnceLock<Mutex<HashMap<String, MemFs>>> = OnceLock::new();
+    let mut map = CACHE
+        .get_or_init(Default::default)
+        .lock()
+        .expect("corpus cache lock");
+    let template = map.entry(key).or_insert_with(|| {
+        let fs = MemFs::new();
+        build(&fs);
+        fs
+    });
+    Arc::new(template.snapshot())
+}
 
 /// Runs a script and returns `(stdout, out.txt contents if any)`.
 fn run(
@@ -32,9 +52,9 @@ fn run(
 fn oneliners_parallel_equals_sequential() {
     for bench in oneliners::all() {
         let make_fs = || {
-            let fs = Arc::new(MemFs::new());
-            oneliners::setup_fs(&bench, 60_000, &fs);
-            fs
+            cached_fs(format!("oneliners/{}/60000", bench.name), |fs| {
+                oneliners::setup_fs(&bench, 60_000, fs)
+            })
         };
         let seq = run(
             &bench.script,
@@ -65,9 +85,9 @@ fn oneliners_parallel_equals_sequential() {
 #[test]
 fn unix50_parallel_equals_sequential() {
     let make_fs = || {
-        let fs = Arc::new(MemFs::new());
-        unix50::setup_fs(40_000, &fs);
-        fs
+        cached_fs("unix50/40000".to_string(), |fs| {
+            unix50::setup_fs(40_000, fs)
+        })
     };
     for p in unix50::all() {
         let seq = run(
@@ -95,9 +115,16 @@ fn noaa_matches_ground_truth_at_all_widths() {
         seed: 9,
     };
     let script = usecases::noaa_script(2015..=2017);
+    // The mirror is expensive to generate; cache it with its ground
+    // truths and snapshot per width.
+    static NOAA: OnceLock<(MemFs, Vec<(u32, u32)>)> = OnceLock::new();
     for width in [1usize, 2, 10] {
-        let fs = Arc::new(MemFs::new());
-        let truths = usecases::setup_noaa(&fs, &spec);
+        let (template, truths) = NOAA.get_or_init(|| {
+            let fs = MemFs::new();
+            let truths = usecases::setup_noaa(&fs, &spec);
+            (fs, truths)
+        });
+        let fs = Arc::new(template.snapshot());
         let (stdout, _) = run(
             &script,
             &Fig7Config::ParBSplit.pash_config(width),
@@ -105,7 +132,7 @@ fn noaa_matches_ground_truth_at_all_widths() {
             &ExecConfig::default(),
         );
         let text = String::from_utf8(stdout).expect("utf8 output");
-        for (year, max) in &truths {
+        for (year, max) in truths {
             assert!(
                 text.contains(&format!("Maximum temperature for {year} is: {max:04}")),
                 "width {width}: wrong maximum for {year}\n{text}"
@@ -122,9 +149,9 @@ fn wiki_index_identical_across_widths() {
         bytes_per_page: 1500,
         seed: 4,
     };
+    let make_fs = || cached_fs("wiki/15".to_string(), |fs| usecases::setup_wiki(fs, &spec));
     let reference = {
-        let fs = Arc::new(MemFs::new());
-        usecases::setup_wiki(&fs, &spec);
+        let fs = make_fs();
         run(
             &script,
             &Fig7Config::Parallel.pash_config(1),
@@ -134,8 +161,7 @@ fn wiki_index_identical_across_widths() {
         fs.read("index.txt").expect("index")
     };
     for width in [4usize, 16] {
-        let fs = Arc::new(MemFs::new());
-        usecases::setup_wiki(&fs, &spec);
+        let fs = make_fs();
         run(
             &script,
             &Fig7Config::ParBSplit.pash_config(width),
@@ -153,8 +179,9 @@ fn wiki_index_identical_across_widths() {
 #[test]
 fn flat_aggregation_tree_also_correct() {
     let bench = oneliners::by_name("Sort").expect("Sort exists");
-    let fs = Arc::new(MemFs::new());
-    oneliners::setup_fs(&bench, 50_000, &fs);
+    let fs = cached_fs("oneliners/Sort/50000".to_string(), |fs| {
+        oneliners::setup_fs(&bench, 50_000, fs)
+    });
     let seq = run(
         &bench.script,
         &Fig7Config::Parallel.pash_config(1),
@@ -174,8 +201,9 @@ fn flat_aggregation_tree_also_correct() {
 fn correctness_resilient_to_tiny_pipes() {
     // 48-byte pipes force maximal blocking and teardown interleavings.
     let bench = oneliners::by_name("Top-n").expect("Top-n exists");
-    let fs = Arc::new(MemFs::new());
-    oneliners::setup_fs(&bench, 30_000, &fs);
+    let fs = cached_fs("oneliners/Top-n/30000".to_string(), |fs| {
+        oneliners::setup_fs(&bench, 30_000, fs)
+    });
     let exec = ExecConfig {
         pipe_capacity: 48,
         ..Default::default()
@@ -200,8 +228,9 @@ fn conservative_configs_match_too() {
     // Eager off + splits off: the "No Eager" ablation still preserves
     // semantics (it is only slower).
     let bench = oneliners::by_name("Spell").expect("Spell exists");
-    let fs = Arc::new(MemFs::new());
-    oneliners::setup_fs(&bench, 40_000, &fs);
+    let fs = cached_fs("oneliners/Spell/40000".to_string(), |fs| {
+        oneliners::setup_fs(&bench, 40_000, fs)
+    });
     let seq = run(
         &bench.script,
         &Fig7Config::Parallel.pash_config(1),

@@ -12,6 +12,46 @@ use std::time::{Duration, Instant};
 /// Re-export so `criterion::black_box` keeps working.
 pub use std::hint::black_box;
 
+/// Work done per iteration, so results can be reported as throughput
+/// next to raw times (criterion's `Throughput`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+    /// Each iteration processes this many elements.
+    Elements(u64),
+}
+
+impl Throughput {
+    /// Formats the per-second rate at the median time.
+    fn rate(&self, median: Duration) -> String {
+        let secs = median.as_secs_f64().max(1e-12);
+        match self {
+            Throughput::Bytes(n) => {
+                const MIB: f64 = 1024.0 * 1024.0;
+                let bps = *n as f64 / secs;
+                if bps >= MIB * 1024.0 {
+                    format!("{:.2} GiB/s", bps / (MIB * 1024.0))
+                } else if bps >= MIB {
+                    format!("{:.1} MiB/s", bps / MIB)
+                } else {
+                    format!("{:.1} KiB/s", bps / 1024.0)
+                }
+            }
+            Throughput::Elements(n) => {
+                let eps = *n as f64 / secs;
+                if eps >= 1e6 {
+                    format!("{:.2} Melem/s", eps / 1e6)
+                } else if eps >= 1e3 {
+                    format!("{:.1} Kelem/s", eps / 1e3)
+                } else {
+                    format!("{eps:.1} elem/s")
+                }
+            }
+        }
+    }
+}
+
 /// Top-level benchmark driver.
 pub struct Criterion {
     sample_size: usize,
@@ -35,6 +75,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            throughput: None,
             _criterion: self,
         }
     }
@@ -45,7 +86,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let samples = self.sample_size;
-        run_benchmark(&name.into(), samples, f);
+        run_benchmark(&name.into(), samples, None, f);
         self
     }
 }
@@ -54,6 +95,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -64,13 +106,20 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the work per iteration; subsequent benchmarks in the
+    /// group report bytes/sec (or elements/sec) next to the times.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
     /// Runs one benchmark in the group.
     pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name.into());
-        run_benchmark(&full, self.sample_size, f);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
         self
     }
 
@@ -97,7 +146,12 @@ impl Bencher {
     }
 }
 
-fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
     let mut b = Bencher {
         samples,
         times: Vec::new(),
@@ -111,8 +165,11 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
     let min = b.times[0];
     let median = b.times[b.times.len() / 2];
     let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+    let thrpt = throughput
+        .map(|t| format!("  thrpt {:>12}", t.rate(median)))
+        .unwrap_or_default();
     println!(
-        "{name:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  ({} samples)",
+        "{name:<40} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}{thrpt}  ({} samples)",
         min,
         median,
         mean,
@@ -146,6 +203,26 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn throughput_rates_format() {
+        let ms = Duration::from_millis(1);
+        assert!(Throughput::Bytes(2 * 1024 * 1024)
+            .rate(ms)
+            .contains("GiB/s"));
+        assert!(Throughput::Bytes(10 * 1024).rate(ms).contains("MiB/s"));
+        assert!(Throughput::Elements(5000).rate(ms).contains("Melem/s"));
+        assert!(Throughput::Elements(10).rate(ms).contains("Kelem/s"));
+    }
+
+    #[test]
+    fn group_throughput_applies_to_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).throughput(Throughput::Bytes(1024));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
 
     #[test]
     fn bencher_records_samples() {

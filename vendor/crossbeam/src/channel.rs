@@ -70,6 +70,17 @@ impl<T> fmt::Debug for SendError<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecvError;
 
+/// Error returned by [`Receiver::try_recv`]: nothing queued right now
+/// ([`TryRecvError::Empty`]) or nothing queued and every sender gone
+/// ([`TryRecvError::Disconnected`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and has no remaining senders.
+    Disconnected,
+}
+
 /// The sending half of a channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
@@ -152,6 +163,20 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Dequeues a message if one is ready, without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(msg) = inner.queue.pop_front() {
+            self.shared.not_full.notify_one();
+            return Ok(msg);
+        }
+        if inner.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
     /// A blocking iterator over received messages; ends at hangup.
     pub fn iter(&self) -> Iter<'_, T> {
         Iter { receiver: self }
@@ -208,6 +233,16 @@ impl<'a, T> IntoIterator for &'a Receiver<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_recv_states() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).expect("send");
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
 
     #[test]
     fn unbounded_roundtrip() {
