@@ -36,6 +36,22 @@ else
     grep -q '"bench":"dataplane"' target/bench-smoke/BENCH_dataplane.json
 fi
 
+echo "==> plan determinism smoke (same script+config => byte-identical dump)"
+# The compile-result cache keys on (source, config); this step proves
+# the lowered plan is a deterministic function of that key, across
+# separate processes (catches e.g. hash-iteration nondeterminism).
+PLAN_SCRIPT='base=logs
+for y in 2015 2016; do
+  cat in-$y.txt | tr A-Z a-z | grep x | sort | uniq -c > out-$y.txt
+done
+grep -c z summary.txt > count.txt && sort count.txt'
+./target/release/plandump --width 8 --split sized -e "$PLAN_SCRIPT" \
+    > target/bench-smoke/plan_a.txt 2>/dev/null
+./target/release/plandump --width 8 --split sized -e "$PLAN_SCRIPT" \
+    > target/bench-smoke/plan_b.txt 2>/dev/null
+cmp target/bench-smoke/plan_a.txt target/bench-smoke/plan_b.txt
+test -s target/bench-smoke/plan_a.txt
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -46,7 +46,7 @@ fn main() {
         // Sequential estimate at paper scale.
         let seq_cfg = Fig7Config::Parallel.pash_config(1);
         let compiled = compile(&b.script, &seq_cfg).expect("compile");
-        let sim = simulate_program(&compiled.program, &sizes, 0.0, &cm, &sim_cfg);
+        let sim = simulate_program(&compiled.plan, &sizes, 0.0, &cm, &sim_cfg);
         let scale = paper_bytes(b.paper_input) / (sim_mb * 1e6);
         let seq_est = sim.seconds * scale;
 

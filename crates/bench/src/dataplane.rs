@@ -14,6 +14,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pash_coreutils::fs::{Fs, MemFs};
+use pash_coreutils::Registry;
+use pash_runtime::agg::{run_aggregator, AggInput};
 use pash_runtime::fileseg::read_segment;
 use pash_runtime::pipe::pipe;
 use pash_runtime::relay::{run_relay, RelayMode};
@@ -98,6 +100,40 @@ pub fn time_segment_read(fs: &Arc<dyn Fs>, path: &str, k: usize) -> Duration {
     elapsed
 }
 
+/// Splits a corpus into `k` contiguous sorted runs — the shape of the
+/// partial outputs that parallel `sort` copies hand the aggregator.
+pub fn sorted_chunks(corpus: &[u8], k: usize) -> Vec<Vec<u8>> {
+    let mut lines: Vec<&[u8]> = corpus.split_inclusive(|&b| b == b'\n').collect();
+    lines.sort_unstable();
+    let k = k.max(1);
+    let per = lines.len().div_ceil(k);
+    lines
+        .chunks(per.max(1))
+        .map(|chunk| chunk.concat())
+        .chain(std::iter::repeat_with(Vec::new))
+        .take(k)
+        .collect()
+}
+
+/// Merges `chunks` through the `sort` aggregator (the batched
+/// [`pash_runtime::scan::LineScanner`] input path) into a counting
+/// sink; returns the wall time.
+pub fn time_agg_merge(registry: &Registry, fs: &Arc<dyn Fs>, chunks: &[Vec<u8>]) -> Duration {
+    let total: usize = chunks.iter().map(|c| c.len()).sum();
+    let inputs: Vec<AggInput> = chunks
+        .iter()
+        .map(|c| Box::new(io::Cursor::new(c.clone())) as AggInput)
+        .collect();
+    let counter = Arc::new(AtomicUsize::new(0));
+    let mut out = CountSink(counter.clone());
+    let argv = vec!["pash-agg-sort".to_string()];
+    let start = Instant::now();
+    run_aggregator(&argv, inputs, &mut out, registry, fs.clone()).expect("agg merge");
+    let elapsed = start.elapsed();
+    assert_eq!(counter.load(Ordering::Relaxed), total, "merge lost bytes");
+    elapsed
+}
+
 /// Runs a full eager relay over `data`; returns the wall time.
 pub fn time_relay(data: &[u8]) -> Duration {
     let owned = data.to_vec();
@@ -166,12 +202,16 @@ pub fn measure(name: &str, bytes: usize, runs: usize, mut f: impl FnMut() -> Dur
 }
 
 /// The standard suite at a given transfer size; `runs` iterations per
-/// benchmark. Covers the four primitives the executor's edges use.
+/// benchmark. Covers the four primitives the executor's edges use,
+/// plus the aggregator merge path.
 pub fn run_suite(bytes: usize, runs: usize) -> Vec<Sample> {
     let corpus = pash_workloads::text_corpus(41, bytes);
     let mem = MemFs::new();
     mem.add("seg.txt", corpus.clone());
     let fs: Arc<dyn Fs> = Arc::new(mem);
+    let registry = Registry::standard();
+    let chunks = sorted_chunks(&corpus, 8);
+    let merge_bytes: usize = chunks.iter().map(|c| c.len()).sum();
     vec![
         measure("pipe_64k_cap", bytes, runs, || {
             time_pipe_transfer(64 * 1024, bytes)
@@ -184,6 +224,9 @@ pub fn run_suite(bytes: usize, runs: usize) -> Vec<Sample> {
             time_segment_read(&fs, "seg.txt", 8)
         }),
         measure("relay_full", bytes, runs, || time_relay(&corpus)),
+        measure("agg_sort_merge_8way", merge_bytes, runs, || {
+            time_agg_merge(&registry, &fs, &chunks)
+        }),
     ]
 }
 
@@ -206,10 +249,24 @@ mod tests {
     #[test]
     fn suite_runs_at_tiny_size() {
         let samples = run_suite(4 * 1024, 1);
-        assert_eq!(samples.len(), 5);
+        assert_eq!(samples.len(), 6);
         for s in &samples {
             assert!(s.throughput() > 0.0, "{} has zero throughput", s.name);
             assert!(s.to_json().contains(&s.name));
+        }
+        assert!(samples.iter().any(|s| s.name == "agg_sort_merge_8way"));
+    }
+
+    #[test]
+    fn sorted_chunks_cover_and_order() {
+        let corpus = pash_workloads::text_corpus(7, 4 * 1024);
+        let chunks = sorted_chunks(&corpus, 8);
+        assert_eq!(chunks.len(), 8);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, corpus.len());
+        for c in &chunks {
+            let lines: Vec<&[u8]> = c.split_inclusive(|&b| b == b'\n').collect();
+            assert!(lines.windows(2).all(|w| w[0] <= w[1]), "chunk not sorted");
         }
     }
 

@@ -1,0 +1,95 @@
+//! Shared test fixtures: process-wide caches for the expensive bits
+//! every integration suite needs — generated corpora, template
+//! filesystems, and the standard registry.
+//!
+//! Workload generation used to dominate the integration suites' wall
+//! clock; `tests/correctness.rs` fixed that with a `OnceLock`-cached
+//! template-filesystem helper, and this module is that helper made
+//! shared so `tests/properties.rs` and `tests/emitted_scripts.rs`
+//! stop regenerating their own corpora per suite.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+
+/// Returns a fresh filesystem for `key`, building the workload corpus
+/// only on the first request: corpora are cached as template
+/// filesystems and each call gets an isolated `snapshot` (contents
+/// stay `Arc`-shared, so the marginal cost is a map clone, not
+/// regeneration).
+pub fn cached_fs(key: String, build: impl FnOnce(&MemFs)) -> Arc<MemFs> {
+    static CACHE: OnceLock<Mutex<HashMap<String, MemFs>>> = OnceLock::new();
+    let mut map = CACHE
+        .get_or_init(Default::default)
+        .lock()
+        .expect("corpus cache lock");
+    let template = map.entry(key).or_insert_with(|| {
+        let fs = MemFs::new();
+        build(&fs);
+        fs
+    });
+    Arc::new(template.snapshot())
+}
+
+/// A `text_corpus(seed, bytes)` result, generated once per process
+/// and shared by `Arc`.
+pub fn cached_corpus(seed: u64, bytes: usize) -> Arc<Vec<u8>> {
+    static CACHE: OnceLock<Mutex<HashMap<(u64, usize), Arc<Vec<u8>>>>> = OnceLock::new();
+    CACHE
+        .get_or_init(Default::default)
+        .lock()
+        .expect("corpus cache lock")
+        .entry((seed, bytes))
+        .or_insert_with(|| Arc::new(pash_workloads::text_corpus(seed, bytes)))
+        .clone()
+}
+
+/// The standard registry, constructed once per process. Registries
+/// are cheap to clone but not free to build; suites that create one
+/// per command invocation add up.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::standard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_fs_builds_once_and_isolates_snapshots() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        let build = |fs: &MemFs| {
+            BUILDS.fetch_add(1, Ordering::Relaxed);
+            fs.add("a.txt", b"hello\n".to_vec());
+        };
+        let fs1 = cached_fs("fixtures-test".into(), build);
+        let fs2 = cached_fs("fixtures-test".into(), build);
+        assert_eq!(BUILDS.load(Ordering::Relaxed), 1, "template built once");
+        // Snapshots are isolated: writes to one do not leak.
+        fs1.add("extra.txt", b"x".to_vec());
+        assert!(fs2.read("extra.txt").is_err());
+        assert_eq!(fs2.read("a.txt").expect("shared template"), b"hello\n");
+    }
+
+    #[test]
+    fn cached_corpus_shares_bytes() {
+        let a = cached_corpus(99, 2048);
+        let b = cached_corpus(99, 2048);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 2048);
+        let c = cached_corpus(100, 2048);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn registry_is_shared() {
+        let a = registry() as *const Registry;
+        let b = registry() as *const Registry;
+        assert_eq!(a, b);
+        assert!(registry().get("sort").is_some());
+    }
+}

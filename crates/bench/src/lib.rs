@@ -19,6 +19,7 @@
 
 pub mod baseline;
 pub mod dataplane;
+pub mod fixtures;
 pub mod suites {
     //! Benchmark script collections.
     pub mod oneliners;

@@ -36,24 +36,9 @@ fn collect_from_command(cmd: &Command, out: &mut BTreeSet<String>) {
                 .collect();
             let Some(head) = words.first() else { return };
             out.insert(head.clone());
-            // `xargs [-n N] cmd args…` invokes an inner command.
+            // `xargs [FLAGS] cmd args…` invokes an inner command.
             if head == "xargs" {
-                let inner = words[1..]
-                    .iter()
-                    .scan(false, |skip_operand, w| {
-                        if *skip_operand {
-                            *skip_operand = false;
-                            return Some(None);
-                        }
-                        if w == "-n" {
-                            *skip_operand = true;
-                            return Some(None);
-                        }
-                        Some(Some(w.clone()))
-                    })
-                    .flatten()
-                    .next();
-                if let Some(inner) = inner {
+                if let Some(inner) = xargs_inner_command(&words[1..]) {
                     out.insert(inner);
                 }
             }
@@ -87,6 +72,31 @@ fn collect_from_command(cmd: &Command, out: &mut BTreeSet<String>) {
         },
         Command::FunctionDef { body, .. } => collect_from_command(body, out),
     }
+}
+
+/// Finds the command `xargs` forwards to, skipping xargs's own flags:
+/// value-taking options (`-n N`, `-I REPL`, `-d DELIM`, `-s`, `-P`,
+/// `-L`, `-E`, `-a`), their attached forms (`-n1`, `-I{}`), and bare
+/// pass-through flags (`-0`, `-t`, `-r`, `-x`, `-p`). The first
+/// remaining word is the inner command.
+fn xargs_inner_command(words: &[String]) -> Option<String> {
+    const TAKES_VALUE: &[&str] = &["-n", "-I", "-d", "-s", "-P", "-L", "-E", "-a"];
+    let mut i = 0;
+    while i < words.len() {
+        let w = &words[i];
+        if w.starts_with('-') && w.len() > 1 {
+            if TAKES_VALUE.contains(&w.as_str()) {
+                i += 2; // Flag plus its separate value.
+                continue;
+            }
+            // Attached value (`-n1`, `-I{}`, `-d,`) or a bare
+            // pass-through flag (`-0`, `-t`, …): skip the word.
+            i += 1;
+            continue;
+        }
+        return Some(w.clone());
+    }
+    None
 }
 
 fn commands_of(script: &str) -> BTreeSet<String> {
@@ -137,6 +147,33 @@ fn standard_registry_covers_every_suite_command() {
         "suite commands missing from Registry::standard(): {missing:?}\n\
          (registered: {:?})",
         registry.names()
+    );
+}
+
+#[test]
+fn xargs_extraction_handles_flag_forms() {
+    // Separate values.
+    let cmds = commands_of("cat urls | xargs -n 1 fetch");
+    assert!(cmds.contains("fetch"), "{cmds:?}");
+    // Attached values.
+    let cmds = commands_of("cat urls | xargs -n1 fetch");
+    assert!(cmds.contains("fetch"), "{cmds:?}");
+    // Replacement templates: the command follows `-I REPL`.
+    let cmds = commands_of("cat list | xargs -I '{}' cp '{}' dest");
+    assert!(cmds.contains("cp"), "{cmds:?}");
+    // Custom delimiter plus pass-through flags.
+    let cmds = commands_of("cat list | xargs -d ',' -t -r wc -l");
+    assert!(cmds.contains("wc"), "{cmds:?}");
+    // Parallelism and batching flags.
+    let cmds = commands_of("cat list | xargs -P 4 -L 2 sort");
+    assert!(cmds.contains("sort"), "{cmds:?}");
+    // Bare xargs defaults to echo-like behaviour: no inner command.
+    let cmds = commands_of("cat list | xargs -0");
+    assert!(cmds.contains("xargs"));
+    assert_eq!(
+        cmds.iter().filter(|c| *c != "cat" && *c != "xargs").count(),
+        0,
+        "{cmds:?}"
     );
 }
 

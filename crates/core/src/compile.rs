@@ -1,5 +1,9 @@
-//! Top-level compiler API: script in, parallel script + regions out.
+//! Top-level compiler API: script in, execution plan + parallel
+//! script + regions out, with an optional compile-result cache.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use pash_parser::expand::StaticEnv;
@@ -9,6 +13,7 @@ use crate::backend::{emit_program, EmitConfig};
 use crate::dfg::transform::{parallelize, AggTreeShape, EagerPolicy, SplitPolicy, TransformConfig};
 use crate::dfg::DfgStats;
 use crate::frontend::{translate, FrontendOptions, TranslatedProgram};
+use crate::plan::{lower, ExecutionPlan};
 use crate::Error;
 
 /// Compiler configuration (one per PaSh invocation).
@@ -51,6 +56,22 @@ impl PashConfig {
             ..Default::default()
         }
     }
+
+    /// A deterministic textual key for this configuration — combined
+    /// with the source text it identifies a compilation (the plan
+    /// lowering is deterministic, so equal keys mean equal plans).
+    pub fn cache_key(&self) -> String {
+        let mut key = format!(
+            "w={};split={:?};eager={:?};agg={:?};unroll={}",
+            self.width, self.split, self.eager, self.agg_tree, self.unroll_for
+        );
+        for (name, value) in self.env.sorted_vars() {
+            // Both sides escaped: an unescaped name could smuggle the
+            // `;env ` separator and collide two distinct configs.
+            key.push_str(&format!(";env {name:?}={value:?}"));
+        }
+        key
+    }
 }
 
 /// Compilation statistics (Tab. 2's `#Nodes` and `Compile time`).
@@ -62,14 +83,25 @@ pub struct CompileStats {
     pub nodes: DfgStats,
     /// Wall-clock compilation time.
     pub compile_time: Duration,
+    /// Process-wide [`compile_cached`] hits at the time this compile
+    /// finished.
+    pub cache_hits: u64,
+    /// Process-wide [`compile_cached`] misses at the time this compile
+    /// finished.
+    pub cache_misses: u64,
 }
 
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct Compiled {
-    /// The translated program with transformed regions.
+    /// The translated program with transformed regions (the DFG view;
+    /// kept for inspection and graph statistics).
     pub program: TranslatedProgram,
-    /// The emitted POSIX script.
+    /// The lowered, backend-neutral execution plan — what every
+    /// execution engine consumes.
+    pub plan: ExecutionPlan,
+    /// The emitted POSIX script (the shell backend's rendering of the
+    /// plan).
     pub script: String,
     /// Statistics.
     pub stats: CompileStats,
@@ -115,16 +147,72 @@ pub fn compile_with_library(
         nodes.aggregates += s.aggregates;
         regions += 1;
     }
-    let script = emit_program(&tp, &EmitConfig::default());
+    let plan = lower(&tp);
+    let script = emit_program(&plan, &EmitConfig::default());
+    let cache = cache_stats();
     Ok(Compiled {
         program: tp,
+        plan,
         script,
         stats: CompileStats {
             regions,
             nodes,
             compile_time: start.elapsed(),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
         },
     })
+}
+
+/// Process-wide compile-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+}
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<String, Arc<Compiled>>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Compiled>>>> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// Current process-wide [`compile_cached`] hit/miss counters.
+pub fn cache_stats() -> CacheStats {
+    CacheStats {
+        hits: CACHE_HITS.load(Ordering::Relaxed),
+        misses: CACHE_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Compiles with the standard library, memoizing results by
+/// `(source, configuration)`.
+///
+/// Compilation is deterministic (see the CI plan-determinism smoke
+/// step), so a cache hit returns the *same* `Arc<Compiled>` — plan,
+/// script, and stats included — without re-running the front-end or
+/// transformations. Errors are not cached. Hit/miss counters are
+/// surfaced via [`cache_stats`] and embedded in every
+/// [`CompileStats`].
+pub fn compile_cached(src: &str, cfg: &PashConfig) -> Result<Arc<Compiled>, Error> {
+    let key = format!("{}\u{0}{src}", cfg.cache_key());
+    // Fast path: serve a hit without compiling.
+    if let Some(hit) = cache().lock().expect("compile cache lock").get(&key) {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(hit.clone());
+    }
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+    let compiled = Arc::new(compile(src, cfg)?);
+    cache()
+        .lock()
+        .expect("compile cache lock")
+        .entry(key)
+        .or_insert_with(|| compiled.clone());
+    Ok(compiled)
 }
 
 #[cfg(test)]
@@ -146,6 +234,10 @@ mod tests {
         assert_eq!(out.stats.nodes.total(), 16 + 16 + 15 + 30);
         assert!(out.script.contains("mkfifo"));
         assert!(out.stats.compile_time.as_secs() < 5);
+        // The plan mirrors the transformed graph.
+        assert_eq!(out.plan.region_count(), 1);
+        let region = out.plan.regions().next().expect("region");
+        assert_eq!(region.nodes.len(), out.stats.nodes.total());
     }
 
     #[test]
@@ -195,5 +287,103 @@ mod tests {
         .expect("compile");
         assert_eq!(out.stats.regions, 1);
         assert!(out.script.contains("data.txt"));
+    }
+
+    #[test]
+    fn cached_compile_returns_same_arc() {
+        let cfg = PashConfig {
+            width: 7,
+            ..Default::default()
+        };
+        let src = "cat cache-test.txt | tr A-Z a-z | sort > o";
+        let before = cache_stats();
+        let a = compile_cached(src, &cfg).expect("compile");
+        let b = compile_cached(src, &cfg).expect("compile");
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached Arc");
+        let after = cache_stats();
+        assert!(after.hits >= before.hits + 1);
+        assert!(after.misses >= before.misses + 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_configs_and_env() {
+        let src = "grep x cache-env.txt > o";
+        let a = compile_cached(
+            src,
+            &PashConfig {
+                width: 3,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        let b = compile_cached(
+            src,
+            &PashConfig {
+                width: 5,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert!(!Arc::ptr_eq(&a, &b), "different width must miss");
+        let mut env = StaticEnv::new();
+        env.set("p", "q");
+        let c = compile_cached(
+            src,
+            &PashConfig {
+                width: 3,
+                env,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        assert!(!Arc::ptr_eq(&a, &c), "different env must miss");
+    }
+
+    #[test]
+    fn cache_key_is_deterministic_across_env_insertion_order() {
+        let mut e1 = StaticEnv::new();
+        e1.set("a", "1");
+        e1.set("b", "2");
+        let mut e2 = StaticEnv::new();
+        e2.set("b", "2");
+        e2.set("a", "1");
+        let c1 = PashConfig {
+            env: e1,
+            ..Default::default()
+        };
+        let c2 = PashConfig {
+            env: e2,
+            ..Default::default()
+        };
+        assert_eq!(c1.cache_key(), c2.cache_key());
+    }
+
+    #[test]
+    fn cache_key_escapes_hostile_env_names() {
+        // Without escaping, a name containing the `;env ` separator
+        // could make two distinct configs collide.
+        let mut honest = StaticEnv::new();
+        honest.set("a", "1");
+        honest.set("b", "2");
+        let mut hostile = StaticEnv::new();
+        hostile.set("a\"=\"1\";env \"b", "2");
+        let k1 = PashConfig {
+            env: honest,
+            ..Default::default()
+        }
+        .cache_key();
+        let k2 = PashConfig {
+            env: hostile,
+            ..Default::default()
+        }
+        .cache_key();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cfg = PashConfig::default();
+        assert!(compile_cached("cat |", &cfg).is_err());
+        assert!(compile_cached("cat |", &cfg).is_err());
     }
 }

@@ -8,13 +8,19 @@
 //!    order-aware dataflow-graph model ([`frontend`], [`dfg`], §4–5.1);
 //! 3. applies semantics-preserving parallelization transformations
 //!    ([`dfg::transform`], §4.2);
-//! 4. compiles the graphs back into a POSIX script that orchestrates
+//! 4. lowers the transformed graphs to a backend-neutral
+//!    [`plan::ExecutionPlan`] — the flat IR every execution engine
+//!    consumes ([`plan`]);
+//! 5. compiles the plan back into a POSIX script that orchestrates
 //!    the parallel execution with FIFOs, background jobs, and runtime
-//!    primitives ([`backend`], §5.2).
+//!    primitives ([`backend`], §5.2) — one [`plan::Backend`] among
+//!    several.
 //!
 //! Execution engines live elsewhere: `pash-runtime` runs compiled
-//! programs on real threads (correctness), `pash-sim` predicts their
-//! timing on a C-core machine (performance shape).
+//! plans on real threads (correctness), `pash-sim` predicts their
+//! timing on a C-core machine (performance shape). Both are
+//! [`plan::Backend`] implementations; the `pash` facade selects one
+//! by name.
 //!
 //! # Examples
 //!
@@ -32,6 +38,7 @@ pub mod classes;
 pub mod compile;
 pub mod dfg;
 pub mod frontend;
+pub mod plan;
 pub mod study;
 
 pub use classes::ParClass;

@@ -1,0 +1,789 @@
+//! The backend-neutral execution plan (lowered IR).
+//!
+//! The compiler's [`crate::frontend::TranslatedProgram`] is a sequence
+//! of order-aware DFGs — the right representation for transformation,
+//! but an awkward one for execution: every consumer (shell emission,
+//! the threaded executor, the simulator) used to re-derive the same
+//! facts from it ad hoc — which edges are internal pipes vs. boundary
+//! files, which argv words are stream markers, which input routes via
+//! stdin, which nodes a region must wait on.
+//!
+//! [`lower`] computes those facts once and produces an
+//! [`ExecutionPlan`]: a flat, topologically-ordered IR in which
+//!
+//! * every node carries a resolved [`PlanOp`] — argv with explicit
+//!   stream roles ([`Arg::Stream`]) and the set of inputs routed via
+//!   stdin;
+//! * every edge carries a resolved [`EndpointKind`] (internal pipe,
+//!   boundary stdin, stdout sink, input/output file, file segment);
+//! * every region records its output-producer set, and the program
+//!   records guard structure and whether shell steps touch the data
+//!   path.
+//!
+//! Execution engines implement the [`Backend`] trait over this plan
+//! (`ShellEmitter` in this crate, `ThreadedBackend` in `pash-runtime`,
+//! `SimBackend` in `pash-sim`); future process/remote backends,
+//! sharding, and compile-result caching all key off the same artifact
+//! — [`ExecutionPlan::dump`] is deterministic, so the plan can be
+//! hashed, cached, or shipped.
+
+use crate::annot::parse_stream_marker;
+use crate::dfg::{Dfg, EagerKind, NodeKind, SplitKind, StreamSpec};
+use crate::frontend::{Step, TranslatedProgram};
+use pash_parser::ast::AndOrOp;
+
+/// Index of a node within its region plan (dense, topological order).
+pub type PlanNodeId = usize;
+/// Index of an edge within its region plan (dense).
+pub type PlanEdgeId = usize;
+
+/// What an edge resolves to at execution time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// An internal pipe: both endpoints are live region nodes.
+    Pipe,
+    /// A region-boundary pipe input. Exactly one such edge per region
+    /// is `primary` (the first in edge order): it receives the
+    /// program's stdin; the rest read empty streams.
+    StdinPipe {
+        /// Receives the region's stdin bytes.
+        primary: bool,
+    },
+    /// A region-boundary pipe output: bytes go to the program's stdout.
+    StdoutPipe,
+    /// A named input file read by a region node.
+    InputFile(String),
+    /// A named output file written by a region node.
+    OutputFile(String),
+    /// A line-aligned byte-range segment of an input file: part `part`
+    /// of `of` (§5.2, input-aware split — no splitter process needed).
+    InputSegment {
+        /// Path of the underlying file.
+        path: String,
+        /// 0-based segment index.
+        part: usize,
+        /// Total number of segments.
+        of: usize,
+    },
+    /// An edge with no execution-time transport (defensive; lowering
+    /// does not produce these for valid graphs).
+    Detached,
+}
+
+/// A plan edge: resolved endpoint kind plus dense node endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEdge {
+    /// Resolved endpoint kind.
+    pub kind: EndpointKind,
+    /// Producing node, if any.
+    pub from: Option<PlanNodeId>,
+    /// Consuming node, if any.
+    pub to: Option<PlanNodeId>,
+}
+
+/// One argv word of an [`PlanOp::Exec`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// A literal word, passed through (and quoted by shell backends).
+    Lit(String),
+    /// The k-th input edge of the node, named in argument position
+    /// (the lowered form of a stream marker).
+    Stream(usize),
+}
+
+impl Arg {
+    /// The literal text, if this is a literal word.
+    pub fn as_lit(&self) -> Option<&str> {
+        match self {
+            Arg::Lit(s) => Some(s),
+            Arg::Stream(_) => None,
+        }
+    }
+}
+
+/// What a plan node executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Run a command with the given argv. Inputs referenced by
+    /// [`Arg::Stream`] are named in place; the node's `stdin_inputs`
+    /// feed its standard input in order.
+    Exec {
+        /// Resolved argv (command name first).
+        argv: Vec<Arg>,
+    },
+    /// Ordered concatenation of all inputs.
+    Cat,
+    /// Scatter the single input across all outputs, contiguously and
+    /// near-evenly by line count.
+    Split {
+        /// Input size known beforehand: stream without a pre-pass.
+        sized: bool,
+    },
+    /// Identity relay (the paper's `eager`).
+    Relay {
+        /// Bounded intermediate buffer instead of unbounded.
+        blocking: bool,
+    },
+    /// A multi-input aggregation function (runtime command).
+    Aggregate {
+        /// Aggregator argv.
+        argv: Vec<String>,
+    },
+}
+
+impl PlanOp {
+    /// Argv as plain strings, with stream references rendered as `-`
+    /// (for display and cost modelling). `None` for non-exec ops.
+    pub fn exec_argv_lossy(&self) -> Option<Vec<String>> {
+        match self {
+            PlanOp::Exec { argv } => Some(
+                argv.iter()
+                    .map(|a| match a {
+                        Arg::Lit(s) => s.clone(),
+                        Arg::Stream(_) => "-".to_string(),
+                    })
+                    .collect(),
+            ),
+            _ => None,
+        }
+    }
+
+    /// A short display label.
+    pub fn label(&self) -> String {
+        match self {
+            PlanOp::Exec { .. } => self.exec_argv_lossy().expect("exec").join(" "),
+            PlanOp::Cat => "cat".to_string(),
+            PlanOp::Split { sized: false } => "split".to_string(),
+            PlanOp::Split { sized: true } => "split -sized".to_string(),
+            PlanOp::Relay { blocking: false } => "eager".to_string(),
+            PlanOp::Relay { blocking: true } => "eager -blocking".to_string(),
+            PlanOp::Aggregate { argv } => argv.join(" "),
+        }
+    }
+}
+
+/// A plan node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanNode {
+    /// The operation.
+    pub op: PlanOp,
+    /// Input edges in consumption order.
+    pub inputs: Vec<PlanEdgeId>,
+    /// Output edges (exactly one except for split nodes).
+    pub outputs: Vec<PlanEdgeId>,
+    /// Positions in `inputs` that feed the node's standard input, in
+    /// order. Empty for ops whose inputs are all named operands
+    /// (`Cat`, `Aggregate`).
+    pub stdin_inputs: Vec<usize>,
+    /// Whether this node writes a region output (a backend must wait
+    /// on exactly these nodes; §5.2's `wait $pash_out_pids`).
+    pub output_producer: bool,
+}
+
+/// One region, lowered: nodes in topological order, edges dense.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionPlan {
+    /// Nodes in topological (spawn) order.
+    pub nodes: Vec<PlanNode>,
+    /// Edges, densely indexed.
+    pub edges: Vec<PlanEdge>,
+}
+
+impl RegionPlan {
+    /// Node ids that produce region outputs.
+    pub fn output_producers(&self) -> impl Iterator<Item = PlanNodeId> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.output_producer)
+            .map(|(i, _)| i)
+    }
+
+    /// Edge ids of internal pipes (the FIFOs a shell backend creates).
+    pub fn internal_pipes(&self) -> impl Iterator<Item = PlanEdgeId> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.kind == EndpointKind::Pipe)
+            .map(|(i, _)| i)
+    }
+
+    /// Checks structural invariants, so executors can reject a
+    /// hand-built or corrupted plan with an error instead of an
+    /// out-of-bounds panic (plans will eventually arrive over the
+    /// wire — see the ROADMAP's remote-backend direction):
+    ///
+    /// * every node's edge ids are in bounds and the edge points back;
+    /// * every `stdin_inputs` / `Arg::Stream` position is a valid
+    ///   input index;
+    /// * every edge endpoint is a valid node id.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &e in &node.inputs {
+                if self.edges.get(e).map(|edge| edge.to) != Some(Some(i)) {
+                    return Err(format!("node {i}: input edge {e} does not point back"));
+                }
+            }
+            for &e in &node.outputs {
+                if self.edges.get(e).map(|edge| edge.from) != Some(Some(i)) {
+                    return Err(format!("node {i}: output edge {e} does not point back"));
+                }
+            }
+            for &k in &node.stdin_inputs {
+                if k >= node.inputs.len() {
+                    return Err(format!("node {i}: stdin input {k} out of range"));
+                }
+            }
+            if let PlanOp::Exec { argv } = &node.op {
+                for a in argv {
+                    if let Arg::Stream(k) = a {
+                        if *k >= node.inputs.len() {
+                            return Err(format!("node {i}: stream arg {k} out of range"));
+                        }
+                    }
+                }
+            }
+        }
+        for (e, edge) in self.edges.iter().enumerate() {
+            for endpoint in [edge.from, edge.to].into_iter().flatten() {
+                if endpoint >= self.nodes.len() {
+                    return Err(format!("edge {e}: endpoint node {endpoint} out of range"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Guard over the preceding step's exit status (`&&` / `||`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardCond {
+    /// Run the next step only on success (`&&`).
+    IfSuccess,
+    /// Run the next step only on failure (`||`).
+    IfFailure,
+}
+
+impl GuardCond {
+    /// Whether a status admits the guarded step.
+    pub fn admits(self, status: i32) -> bool {
+        match self {
+            GuardCond::IfSuccess => status == 0,
+            GuardCond::IfFailure => status != 0,
+        }
+    }
+}
+
+/// One step of an execution plan, executed in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanStep {
+    /// A lowered region.
+    Region(RegionPlan),
+    /// A fragment kept as shell text.
+    Shell {
+        /// The original shell text.
+        text: String,
+        /// True when the step has no data-path effect (assignments,
+        /// comments): the front-end already folded its effect into the
+        /// compile-time environment, so hermetic backends may skip it.
+        data_noop: bool,
+    },
+    /// Run the next step only if the guard admits the current status.
+    Guard(GuardCond),
+}
+
+/// A lowered program: the flat, serializable execution artifact.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionPlan {
+    /// Steps in execution order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl ExecutionPlan {
+    /// Number of region steps.
+    pub fn region_count(&self) -> usize {
+        self.regions().count()
+    }
+
+    /// Iterates the region plans.
+    pub fn regions(&self) -> impl Iterator<Item = &RegionPlan> {
+        self.steps.iter().filter_map(|s| match s {
+            PlanStep::Region(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Renders the plan as deterministic text: same program and
+    /// configuration ⇒ byte-identical dump. This is the serialization
+    /// format that cache keys, golden tests, and the CI determinism
+    /// smoke step rely on.
+    pub fn dump(&self) -> String {
+        let mut out = String::from("plan v1\n");
+        for step in &self.steps {
+            match step {
+                PlanStep::Shell { text, data_noop } => {
+                    out.push_str(&format!("shell noop={data_noop} {text:?}\n"));
+                }
+                PlanStep::Guard(GuardCond::IfSuccess) => out.push_str("guard if-success\n"),
+                PlanStep::Guard(GuardCond::IfFailure) => out.push_str("guard if-failure\n"),
+                PlanStep::Region(r) => {
+                    out.push_str(&format!(
+                        "region nodes={} edges={}\n",
+                        r.nodes.len(),
+                        r.edges.len()
+                    ));
+                    for (i, e) in r.edges.iter().enumerate() {
+                        let kind = match &e.kind {
+                            EndpointKind::Pipe => "pipe".to_string(),
+                            EndpointKind::StdinPipe { primary: true } => "stdin*".to_string(),
+                            EndpointKind::StdinPipe { primary: false } => "stdin".to_string(),
+                            EndpointKind::StdoutPipe => "stdout".to_string(),
+                            EndpointKind::InputFile(p) => format!("in:{p:?}"),
+                            EndpointKind::OutputFile(p) => format!("out:{p:?}"),
+                            EndpointKind::InputSegment { path, part, of } => {
+                                format!("seg:{path:?}[{part}/{of}]")
+                            }
+                            EndpointKind::Detached => "detached".to_string(),
+                        };
+                        let from = e.from.map(|n| n.to_string()).unwrap_or_default();
+                        let to = e.to.map(|n| n.to_string()).unwrap_or_default();
+                        out.push_str(&format!("  e{i}: {kind} {from}->{to}\n"));
+                    }
+                    for (i, n) in r.nodes.iter().enumerate() {
+                        let op = match &n.op {
+                            PlanOp::Exec { argv } => {
+                                let words: Vec<String> = argv
+                                    .iter()
+                                    .map(|a| match a {
+                                        Arg::Lit(s) => format!("{s:?}"),
+                                        Arg::Stream(k) => format!("<in{k}>"),
+                                    })
+                                    .collect();
+                                format!("exec {}", words.join(" "))
+                            }
+                            PlanOp::Cat => "cat".to_string(),
+                            PlanOp::Split { sized } => format!("split sized={sized}"),
+                            PlanOp::Relay { blocking } => format!("relay blocking={blocking}"),
+                            PlanOp::Aggregate { argv } => {
+                                let words: Vec<String> =
+                                    argv.iter().map(|a| format!("{a:?}")).collect();
+                                format!("agg {}", words.join(" "))
+                            }
+                        };
+                        let ins: Vec<String> = n.inputs.iter().map(|e| format!("e{e}")).collect();
+                        let outs: Vec<String> = n.outputs.iter().map(|e| format!("e{e}")).collect();
+                        let stdin: Vec<String> =
+                            n.stdin_inputs.iter().map(|k| k.to_string()).collect();
+                        out.push_str(&format!(
+                            "  n{i}: {op} [{}] stdin=[{}] -> [{}]{}\n",
+                            ins.join(","),
+                            stdin.join(","),
+                            outs.join(","),
+                            if n.output_producer { " producer" } else { "" }
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A 64-bit FNV-1a fingerprint of [`ExecutionPlan::dump`] — the
+    /// hashable identity of the plan.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.dump().as_bytes())
+    }
+}
+
+/// FNV-1a over a byte string (the workspace has no hashing crates).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A pluggable execution engine over [`ExecutionPlan`]s.
+///
+/// Implementations in the workspace: `ShellEmitter` (this crate,
+/// produces a POSIX script), `ThreadedBackend` (`pash-runtime`, runs
+/// in-process on real threads), `SimBackend` (`pash-sim`, predicts
+/// timing on a C-core machine). The `pash` facade selects one by name
+/// (`pash::run`).
+pub trait Backend {
+    /// What running the plan produces.
+    type Output;
+
+    /// The backend's selection name (e.g. `"shell"`, `"threads"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs (or renders, or simulates) the plan.
+    fn run(&mut self, plan: &ExecutionPlan) -> std::io::Result<Self::Output>;
+}
+
+/// Lowers a translated (and transformed) program to its execution
+/// plan. This is the only place in the workspace that interprets
+/// [`NodeKind`]/[`StreamSpec`]/stream markers; every backend consumes
+/// the resolved plan.
+pub fn lower(tp: &TranslatedProgram) -> ExecutionPlan {
+    let mut steps = Vec::with_capacity(tp.steps.len());
+    for step in &tp.steps {
+        match step {
+            Step::Shell(text) => steps.push(PlanStep::Shell {
+                text: text.clone(),
+                data_noop: shell_is_data_noop(text),
+            }),
+            Step::Guard(AndOrOp::AndIf) => steps.push(PlanStep::Guard(GuardCond::IfSuccess)),
+            Step::Guard(AndOrOp::OrIf) => steps.push(PlanStep::Guard(GuardCond::IfFailure)),
+            Step::Region(g) => steps.push(PlanStep::Region(lower_region(g))),
+        }
+    }
+    ExecutionPlan { steps }
+}
+
+/// Lowers one DFG region.
+fn lower_region(g: &Dfg) -> RegionPlan {
+    let order = g.topo_order();
+    // Dense node index, keyed by original NodeId.
+    let mut node_index: Vec<Option<PlanNodeId>> = Vec::new();
+    for (dense, &id) in order.iter().enumerate() {
+        if id >= node_index.len() {
+            node_index.resize(id + 1, None);
+        }
+        node_index[id] = Some(dense);
+    }
+    // Dense edge index over referenced edges, in original-id order
+    // (deterministic). The first boundary pipe input is the primary
+    // stdin edge — the same first-wins rule the executor used.
+    let mut edge_index: Vec<Option<PlanEdgeId>> = vec![None; g.edge_count()];
+    let mut edges: Vec<PlanEdge> = Vec::new();
+    let mut primary_assigned = false;
+    for e in 0..g.edge_count() {
+        let edge = g.edge(e);
+        if edge.from.is_none() && edge.to.is_none() {
+            continue; // Retired edge slot.
+        }
+        let kind = match (&edge.spec, edge.from, edge.to) {
+            (StreamSpec::Pipe, Some(_), Some(_)) => EndpointKind::Pipe,
+            (StreamSpec::Pipe, None, Some(_)) => {
+                let primary = !primary_assigned;
+                primary_assigned = true;
+                EndpointKind::StdinPipe { primary }
+            }
+            (StreamSpec::Pipe, Some(_), None) => EndpointKind::StdoutPipe,
+            (StreamSpec::File(p), None, Some(_)) => EndpointKind::InputFile(p.clone()),
+            (StreamSpec::File(p), Some(_), _) => EndpointKind::OutputFile(p.clone()),
+            (StreamSpec::FileSegment { path, part, of }, None, Some(_)) => {
+                EndpointKind::InputSegment {
+                    path: path.clone(),
+                    part: *part,
+                    of: *of,
+                }
+            }
+            _ => EndpointKind::Detached,
+        };
+        edge_index[e] = Some(edges.len());
+        edges.push(PlanEdge {
+            kind,
+            from: edge.from.and_then(|n| node_index.get(n).copied().flatten()),
+            to: edge.to.and_then(|n| node_index.get(n).copied().flatten()),
+        });
+    }
+    let remap = |e: crate::dfg::EdgeId| -> PlanEdgeId {
+        edge_index[e].expect("edge referenced by a live node")
+    };
+    let mut nodes = Vec::with_capacity(order.len());
+    for &id in &order {
+        let node = g.node(id).expect("live node");
+        let inputs: Vec<PlanEdgeId> = node.inputs.iter().map(|&e| remap(e)).collect();
+        let outputs: Vec<PlanEdgeId> = node.outputs.iter().map(|&e| remap(e)).collect();
+        let (op, stdin_inputs) = match &node.kind {
+            NodeKind::Command { argv, .. } => {
+                let args: Vec<Arg> = argv
+                    .iter()
+                    .map(|a| match parse_stream_marker(a) {
+                        Some(k) => Arg::Stream(k),
+                        None => Arg::Lit(a.clone()),
+                    })
+                    .collect();
+                let marked: Vec<usize> = args
+                    .iter()
+                    .filter_map(|a| match a {
+                        Arg::Stream(k) => Some(*k),
+                        Arg::Lit(_) => None,
+                    })
+                    .collect();
+                let stdin: Vec<usize> = (0..inputs.len()).filter(|k| !marked.contains(k)).collect();
+                (PlanOp::Exec { argv: args }, stdin)
+            }
+            NodeKind::Cat => (PlanOp::Cat, Vec::new()),
+            NodeKind::Split(kind) => (
+                PlanOp::Split {
+                    sized: *kind == SplitKind::Sized,
+                },
+                if inputs.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0]
+                },
+            ),
+            NodeKind::Relay(kind) => (
+                PlanOp::Relay {
+                    blocking: *kind == EagerKind::Blocking,
+                },
+                if inputs.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0]
+                },
+            ),
+            NodeKind::Aggregate { argv } => (PlanOp::Aggregate { argv: argv.clone() }, Vec::new()),
+        };
+        let output_producer = outputs.iter().any(|&e| edges[e].to.is_none());
+        nodes.push(PlanNode {
+            op,
+            inputs,
+            outputs,
+            stdin_inputs,
+            output_producer,
+        });
+    }
+    RegionPlan { nodes, edges }
+}
+
+/// True when a shell step has no data-path effect (assignments only) —
+/// hermetic backends may treat it as a no-op because the front-end
+/// already folded the assignment into the compile-time environment.
+fn shell_is_data_noop(text: &str) -> bool {
+    let prog = match pash_parser::parse(text) {
+        Ok(p) => p,
+        Err(_) => return false,
+    };
+    prog.commands.iter().all(|cc| {
+        cc.items.iter().all(|(ao, _)| {
+            ao.rest.is_empty()
+                && ao.first.commands.iter().all(|c| match c {
+                    pash_parser::ast::Command::Simple(sc) => {
+                        sc.words.is_empty() && sc.redirects.is_empty()
+                    }
+                    _ => false,
+                })
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annot::stdlib::AnnotationLibrary;
+    use crate::dfg::transform::{parallelize, SplitPolicy, TransformConfig};
+    use crate::frontend::{translate, FrontendOptions};
+
+    fn lowered(src: &str, width: usize) -> ExecutionPlan {
+        lowered_with(src, width, SplitPolicy::Off)
+    }
+
+    fn lowered_with(src: &str, width: usize, split: SplitPolicy) -> ExecutionPlan {
+        let prog = pash_parser::parse(src).expect("parse");
+        let mut tp = translate(
+            &prog,
+            AnnotationLibrary::standard(),
+            &FrontendOptions::default(),
+        )
+        .expect("translate");
+        for g in tp.regions_mut() {
+            parallelize(
+                g,
+                &TransformConfig {
+                    width,
+                    split,
+                    ..Default::default()
+                },
+            );
+        }
+        lower(&tp)
+    }
+
+    fn first_region(plan: &ExecutionPlan) -> &RegionPlan {
+        plan.regions().next().expect("region")
+    }
+
+    #[test]
+    fn linear_pipeline_lowers_to_dense_region() {
+        let plan = lowered("cat in.txt | tr A-Z a-z | grep x > out.txt", 1);
+        let r = first_region(&plan);
+        assert_eq!(r.nodes.len(), 3);
+        // Input file, two internal pipes, output file.
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| matches!(e.kind, EndpointKind::InputFile(ref p) if p == "in.txt")));
+        assert!(r
+            .edges
+            .iter()
+            .any(|e| matches!(e.kind, EndpointKind::OutputFile(ref p) if p == "out.txt")));
+        assert_eq!(r.internal_pipes().count(), 2);
+        // Only the last node produces region output.
+        assert_eq!(r.output_producers().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn parallel_region_has_segments_and_producers() {
+        let plan = lowered("cat in.txt | tr A-Z a-z | sort > out.txt", 4);
+        let r = first_region(&plan);
+        let segs = r
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EndpointKind::InputSegment { of: 4, .. }))
+            .count();
+        assert_eq!(segs, 4);
+        assert_eq!(r.output_producers().count(), 1);
+        // Every node's edge references are in bounds and consistent.
+        for (i, n) in r.nodes.iter().enumerate() {
+            for &e in n.inputs.iter() {
+                assert_eq!(r.edges[e].to, Some(i));
+            }
+            for &e in n.outputs.iter() {
+                assert_eq!(r.edges[e].from, Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn stream_markers_become_stream_args() {
+        let plan = lowered("sort words.txt | comm -13 dict.txt -", 1);
+        let r = first_region(&plan);
+        let comm = r
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.op, PlanOp::Exec { argv } if argv.first() == Some(&Arg::Lit("comm".into()))))
+            .expect("comm node");
+        // `-` stays literal (stdin-routed); the static dict stays too.
+        match &comm.op {
+            PlanOp::Exec { argv } => {
+                assert!(argv.contains(&Arg::Lit("dict.txt".into())));
+                assert!(argv.contains(&Arg::Lit("-".into())));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(comm.stdin_inputs, vec![0]);
+    }
+
+    #[test]
+    fn guards_and_shell_steps_lower() {
+        let plan = lowered("x=1\ngrep a f > t && sort t > u", 1);
+        assert!(plan
+            .steps
+            .iter()
+            .any(|s| matches!(s, PlanStep::Guard(GuardCond::IfSuccess))));
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            PlanStep::Shell {
+                data_noop: true,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn dynamic_shell_step_is_not_a_noop() {
+        let plan = lowered("grep $UNDEF f", 1);
+        assert!(plan.steps.iter().any(|s| matches!(
+            s,
+            PlanStep::Shell {
+                data_noop: false,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn exactly_one_primary_stdin_edge() {
+        let plan = lowered("sort a > t1 & sort b > t2", 1);
+        let r = first_region(&plan);
+        // File inputs here, so no stdin pipes at all.
+        let primaries = r
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EndpointKind::StdinPipe { primary: true }))
+            .count();
+        assert!(primaries <= 1);
+        let plan = lowered("tr A-Z a-z | grep x", 1);
+        let r = first_region(&plan);
+        let primaries = r
+            .edges
+            .iter()
+            .filter(|e| matches!(e.kind, EndpointKind::StdinPipe { primary: true }))
+            .count();
+        assert_eq!(primaries, 1);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_fingerprintable() {
+        let a = lowered_with(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c > o",
+            8,
+            SplitPolicy::Sized,
+        );
+        let b = lowered_with(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c > o",
+            8,
+            SplitPolicy::Sized,
+        );
+        assert_eq!(a.dump(), b.dump());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = lowered_with(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c > o",
+            4,
+            SplitPolicy::Sized,
+        );
+        assert_ne!(a.dump(), c.dump());
+    }
+
+    #[test]
+    fn split_nodes_route_stdin_and_produce_pipes() {
+        let plan = lowered_with(
+            "cat in.txt | sort | grep x > out.txt",
+            4,
+            SplitPolicy::General,
+        );
+        let r = first_region(&plan);
+        let split = r
+            .nodes
+            .iter()
+            .find(|n| matches!(n.op, PlanOp::Split { .. }))
+            .expect("split node");
+        assert_eq!(split.stdin_inputs, vec![0]);
+        assert!(split.outputs.len() >= 2);
+    }
+
+    #[test]
+    fn lowered_plans_validate_and_corruption_is_caught() {
+        let plan = lowered_with("cat in.txt | sort | uniq -c > o", 4, SplitPolicy::Sized);
+        for r in plan.regions() {
+            r.validate().expect("lowered plan is valid");
+        }
+        let mut broken = plan.regions().next().expect("region").clone();
+        broken.nodes[0].inputs.push(broken.edges.len() + 7);
+        assert!(broken.validate().is_err());
+        let mut broken = plan.regions().next().expect("region").clone();
+        broken.nodes[0].stdin_inputs.push(99);
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn topological_node_order() {
+        let plan = lowered("cat in.txt | tr A-Z a-z | sort | uniq -c > o", 8);
+        for r in plan.regions() {
+            for (i, n) in r.nodes.iter().enumerate() {
+                for &e in &n.inputs {
+                    if let Some(p) = r.edges[e].from {
+                        assert!(p < i, "producer {p} not before consumer {i}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -5,18 +5,24 @@
 //! the sequential command would have produced. They "apply pure
 //! functions at the boundaries of input streams (with the exception of
 //! sort that has to interleave inputs)".
+//!
+//! Inputs are pulled through [`LineScanner`]s — flat buffers refilled
+//! in bulk with borrowed line slices — instead of per-line `BufRead`
+//! calls (the `agg` series in the dataplane bench tracks this path).
 
-use std::io::{self, BufRead, Write};
+use std::io::{self, Read, Write};
 use std::sync::Arc;
 
 use pash_coreutils::cmd::sort::parse_args as parse_sort_args;
 use pash_coreutils::cmd::wc;
 use pash_coreutils::fs::Fs;
-use pash_coreutils::lines::{for_each_line, write_line};
+use pash_coreutils::lines::write_line;
 use pash_coreutils::Registry;
 
+use crate::scan::LineScanner;
+
 /// A boxed ordered input stream.
-pub type AggInput = Box<dyn BufRead + Send>;
+pub type AggInput = Box<dyn Read + Send>;
 
 /// Runs the aggregator named by `argv[0]` over ordered inputs.
 ///
@@ -49,11 +55,7 @@ pub fn run_aggregator(
                     format!("unknown aggregator `{name}`"),
                 )
             })?;
-            let sources: Vec<Box<dyn io::Read + Send>> = inputs
-                .into_iter()
-                .map(|b| Box::new(b) as Box<dyn io::Read + Send>)
-                .collect();
-            let mut stdin = io::BufReader::new(crate::pipe::MultiReader::new(sources));
+            let mut stdin = io::BufReader::new(crate::pipe::MultiReader::new(inputs));
             let mut stderr = io::sink();
             let mut cio = pash_coreutils::CmdIo {
                 stdin: &mut stdin,
@@ -67,30 +69,57 @@ pub fn run_aggregator(
     }
 }
 
+/// The current head line of one merge input (buffer reused across
+/// lines; `live == false` means the stream is exhausted).
+struct Head {
+    buf: Vec<u8>,
+    live: bool,
+}
+
+/// Pulls the next line of `sc` into `head`.
+fn advance(sc: &mut LineScanner<AggInput>, head: &mut Head) -> io::Result<()> {
+    match sc.next_line()? {
+        Some(line) => {
+            head.buf.clear();
+            head.buf.extend_from_slice(line);
+            head.live = true;
+        }
+        None => head.live = false,
+    }
+    Ok(())
+}
+
 /// `sort -m`: streaming k-way merge with the sequential comparator.
-fn agg_sort(args: &[String], mut inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     let parsed =
         parse_sort_args(args).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let unique = parsed.spec.unique;
     let spec = parsed.spec;
-    // Current head line of each input (None = exhausted).
-    let mut heads: Vec<Option<Vec<u8>>> = Vec::with_capacity(inputs.len());
-    for input in inputs.iter_mut() {
-        heads.push(read_line(input)?);
+    let mut scanners: Vec<LineScanner<AggInput>> =
+        inputs.into_iter().map(LineScanner::new).collect();
+    let mut heads: Vec<Head> = Vec::with_capacity(scanners.len());
+    for sc in scanners.iter_mut() {
+        let mut head = Head {
+            buf: Vec::new(),
+            live: false,
+        };
+        advance(sc, &mut head)?;
+        heads.push(head);
     }
     // For `sort -u`, duplicates may also straddle input boundaries.
-    let mut last_emitted: Option<Vec<u8>> = None;
+    let mut last_emitted: Vec<u8> = Vec::new();
+    let mut have_last = false;
     loop {
         let mut best: Option<usize> = None;
         for (i, head) in heads.iter().enumerate() {
-            if let Some(line) = head {
-                match best {
-                    None => best = Some(i),
-                    Some(b) => {
-                        let other = heads[b].as_ref().expect("best is live");
-                        if spec.compare(line, other) == std::cmp::Ordering::Less {
-                            best = Some(i);
-                        }
+            if !head.live {
+                continue;
+            }
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    if spec.compare(&head.buf, &heads[b].buf) == std::cmp::Ordering::Less {
+                        best = Some(i);
                     }
                 }
             }
@@ -99,44 +128,34 @@ fn agg_sort(args: &[String], mut inputs: Vec<AggInput>, output: &mut dyn Write) 
             Some(b) => b,
             None => break,
         };
-        let line = heads[b].take().expect("best is live");
-        let suppress = unique
-            && last_emitted
-                .as_ref()
-                .map(|prev| spec.key_equal(prev, &line))
-                .unwrap_or(false);
+        let suppress = unique && have_last && spec.key_equal(&last_emitted, &heads[b].buf);
         if !suppress {
-            write_line(output, &line)?;
-            last_emitted = Some(line);
+            write_line(output, &heads[b].buf)?;
+            if unique {
+                last_emitted.clear();
+                last_emitted.extend_from_slice(&heads[b].buf);
+                have_last = true;
+            }
         }
-        heads[b] = read_line(&mut inputs[b])?;
+        advance(&mut scanners[b], &mut heads[b])?;
     }
     Ok(0)
 }
 
-fn read_line(r: &mut AggInput) -> io::Result<Option<Vec<u8>>> {
-    let mut buf = Vec::new();
-    let n = r.read_until(b'\n', &mut buf)?;
-    if n == 0 {
-        return Ok(None);
-    }
-    if buf.last() == Some(&b'\n') {
-        buf.pop();
-    }
-    Ok(Some(buf))
-}
-
 /// `uniq`: concatenate, dropping a duplicate at each boundary.
 fn agg_uniq(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
-    let mut last: Option<Vec<u8>> = None;
-    for mut input in inputs {
-        for_each_line(&mut input, |line| {
-            if last.as_deref() != Some(line) {
+    let mut last: Vec<u8> = Vec::new();
+    let mut have_last = false;
+    for input in inputs {
+        let mut sc = LineScanner::new(input);
+        while let Some(line) = sc.next_line()? {
+            if !(have_last && last.as_slice() == line) {
                 write_line(output, line)?;
             }
-            last = Some(line.to_vec());
-            Ok(true)
-        })?;
+            last.clear();
+            last.extend_from_slice(line);
+            have_last = true;
+        }
     }
     Ok(0)
 }
@@ -145,20 +164,20 @@ fn agg_uniq(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
 fn agg_uniq_count(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     // Pending group: (count, text).
     let mut pending: Option<(u64, Vec<u8>)> = None;
-    for mut input in inputs {
-        for_each_line(&mut input, |line| {
+    for input in inputs {
+        let mut sc = LineScanner::new(input);
+        while let Some(line) = sc.next_line()? {
             let (count, text) = parse_count_line(line)?;
             match &mut pending {
-                Some((c, t)) if *t == text => *c += count,
+                Some((c, t)) if t.as_slice() == text => *c += count,
                 _ => {
                     if let Some((c, t)) = pending.take() {
                         write_count_line(output, c, &t)?;
                     }
-                    pending = Some((count, text));
+                    pending = Some((count, text.to_vec()));
                 }
             }
-            Ok(true)
-        })?;
+        }
     }
     if let Some((c, t)) = pending {
         write_count_line(output, c, &t)?;
@@ -166,7 +185,7 @@ fn agg_uniq_count(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i
     Ok(0)
 }
 
-fn parse_count_line(line: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+fn parse_count_line(line: &[u8]) -> io::Result<(u64, &[u8])> {
     // `uniq -c` format: right-aligned count, one space, text.
     let s = line;
     let mut i = 0;
@@ -182,9 +201,9 @@ fn parse_count_line(line: &[u8]) -> io::Result<(u64, Vec<u8>)> {
         .and_then(|t| t.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed uniq -c line"))?;
     let text = if i < s.len() && s[i] == b' ' {
-        s[i + 1..].to_vec()
+        &s[i + 1..]
     } else {
-        s[i..].to_vec()
+        &s[i..]
     };
     Ok((count, text))
 }
@@ -198,8 +217,9 @@ fn write_count_line(output: &mut dyn Write, count: u64, text: &[u8]) -> io::Resu
 fn agg_wc(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     let (sel, _) = wc::parse_selection(args);
     let mut total = [0u64; 3];
-    for mut input in inputs {
-        for_each_line(&mut input, |line| {
+    for input in inputs {
+        let mut sc = LineScanner::new(input);
+        while let Some(line) = sc.next_line()? {
             let nums: Vec<u64> = std::str::from_utf8(line)
                 .unwrap_or("")
                 .split_whitespace()
@@ -208,8 +228,7 @@ fn agg_wc(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> io:
             for (slot, v) in total.iter_mut().zip(&nums) {
                 *slot += v;
             }
-            Ok(true)
-        })?;
+        }
     }
     let counts = wc_counts_from(&sel, &total);
     writeln!(output, "{}", sel.format(&counts, None))?;
@@ -235,15 +254,15 @@ fn wc_counts_from(sel: &wc::Selection, total: &[u64; 3]) -> wc::Counts {
 /// `grep -c` and friends: sum one integer per input.
 fn agg_sum(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     let mut total: i64 = 0;
-    for mut input in inputs {
-        for_each_line(&mut input, |line| {
+    for input in inputs {
+        let mut sc = LineScanner::new(input);
+        while let Some(line) = sc.next_line()? {
             total += std::str::from_utf8(line)
                 .unwrap_or("0")
                 .trim()
                 .parse::<i64>()
                 .unwrap_or(0);
-            Ok(true)
-        })?;
+        }
     }
     writeln!(output, "{total}")?;
     Ok(0)
@@ -254,7 +273,7 @@ fn agg_tac(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     for mut input in inputs.into_iter().rev() {
         let mut buf = [0u8; 64 * 1024];
         loop {
-            let n = io::Read::read(&mut input, &mut buf)?;
+            let n = input.read(&mut buf)?;
             if n == 0 {
                 break;
             }
@@ -272,10 +291,11 @@ fn agg_tac(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
 /// re-inserted here.
 fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     let mut prev_last: Option<Vec<u8>> = None;
-    for mut input in inputs {
+    for input in inputs {
+        let mut sc = LineScanner::new(input);
         let mut first_marker: Option<Vec<u8>> = None;
         let mut last_marker: Option<Vec<u8>> = None;
-        for_each_line(&mut input, |line| {
+        while let Some(line) = sc.next_line()? {
             if let Some(rest) = line.strip_prefix(b"\x01F\t") {
                 first_marker = Some(rest.to_vec());
                 // Boundary pair with the previous chunk.
@@ -285,15 +305,14 @@ fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> 
                     pair.extend_from_slice(rest);
                     write_line(output, &pair)?;
                 }
-                return Ok(true);
+                continue;
             }
             if let Some(rest) = line.strip_prefix(b"\x01L\t") {
                 last_marker = Some(rest.to_vec());
-                return Ok(true);
+                continue;
             }
             write_line(output, line)?;
-            Ok(true)
-        })?;
+        }
         if let Some(last) = last_marker {
             prev_last = Some(last);
         } else if first_marker.is_none() {
@@ -312,9 +331,7 @@ mod tests {
         let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
         let inputs: Vec<AggInput> = inputs
             .iter()
-            .map(|s| {
-                Box::new(io::BufReader::new(io::Cursor::new(s.as_bytes().to_vec()))) as AggInput
-            })
+            .map(|s| Box::new(io::Cursor::new(s.as_bytes().to_vec())) as AggInput)
             .collect();
         let mut out = Vec::new();
         let reg = Registry::standard();
@@ -352,6 +369,14 @@ mod tests {
     #[test]
     fn sort_merge_empty_inputs() {
         assert_eq!(run(&["pash-agg-sort"], &["", "a\n", ""]), "a\n");
+    }
+
+    #[test]
+    fn sort_merge_unique_across_boundaries() {
+        assert_eq!(
+            run(&["pash-agg-sort", "-u"], &["a\nb\n", "b\nc\n"]),
+            "a\nb\nc\n"
+        );
     }
 
     #[test]

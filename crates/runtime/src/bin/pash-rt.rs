@@ -93,9 +93,9 @@ fn run(args: &[String]) -> io::Result<i32> {
         agg if agg.starts_with("pash-agg-") => {
             // Separate aggregator arguments from input paths.
             let (agg_args, files) = split_agg_args(agg, rest);
-            let mut inputs: Vec<Box<dyn BufRead + Send>> = Vec::new();
+            let mut inputs: Vec<Box<dyn io::Read + Send>> = Vec::new();
             for f in &files {
-                inputs.push(fs.open_buffered(f)?);
+                inputs.push(fs.open(f)?);
             }
             let mut argv: Vec<String> = vec![agg.to_string()];
             argv.extend(agg_args);

@@ -1,20 +1,23 @@
-//! The threaded DFG executor.
+//! The threaded plan executor.
 //!
-//! Runs a compiled program in-process: one OS thread per DFG node,
-//! bounded [`crate::pipe`]s for edges. This engine is the correctness
-//! vehicle of the reproduction — the parallel output must be
-//! byte-identical to the sequential output, which the integration
+//! Runs a compiled [`ExecutionPlan`] in-process: one OS thread per
+//! plan node, bounded [`crate::pipe`]s for edges. This engine is the
+//! correctness vehicle of the reproduction — the parallel output must
+//! be byte-identical to the sequential output, which the integration
 //! suite checks for every benchmark script.
+//!
+//! The executor never inspects the compiler's DFG: everything it
+//! needs (edge endpoint kinds, stream-argument roles, stdin routing,
+//! output producers, guard structure) arrives resolved in the plan.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::sync::{Arc, Mutex};
 
-use pash_core::annot::parse_stream_marker;
 use pash_core::compile::PashConfig;
-use pash_core::dfg::{Dfg, EagerKind, EdgeId, NodeId, NodeKind, StreamSpec};
-use pash_core::frontend::Step;
-use pash_parser::ast::AndOrOp;
+use pash_core::plan::{
+    Arg, Backend, EndpointKind, ExecutionPlan, PlanNode, PlanNodeId, PlanOp, PlanStep, RegionPlan,
+};
 
 use pash_coreutils::fs::Fs;
 use pash_coreutils::{CmdIo, Registry, SIGPIPE_STATUS};
@@ -43,16 +46,16 @@ impl Default for ExecConfig {
     }
 }
 
-/// Result of executing one DFG.
+/// Result of executing one region plan.
 #[derive(Debug)]
-pub struct DfgOutput {
+pub struct RegionOutput {
     /// Bytes the region wrote to its stdout edge(s).
     pub stdout: Vec<u8>,
-    /// Exit status per node.
-    pub statuses: Vec<(NodeId, i32)>,
+    /// Exit status per node, in completion order.
+    pub statuses: Vec<(PlanNodeId, i32)>,
 }
 
-impl DfgOutput {
+impl RegionOutput {
     /// The region's overall status: that of its output producers.
     pub fn status(&self) -> i32 {
         self.statuses.last().map(|(_, s)| *s).unwrap_or(0)
@@ -61,8 +64,9 @@ impl DfgOutput {
 
 /// A filesystem overlay that exposes in-flight streams as paths.
 ///
-/// Stream markers in a node's argv are rewritten to `pash://stream/k`;
-/// the command opens them like files, each exactly once.
+/// Stream-role arguments in a node's argv are rewritten to
+/// `pash://stream/k`; the command opens them like files, each exactly
+/// once.
 struct StreamFs {
     base: Arc<dyn Fs>,
     streams: Mutex<HashMap<String, Box<dyn Read + Send>>>,
@@ -129,77 +133,65 @@ impl Write for SharedVecWriter {
     }
 }
 
-/// Executes one DFG.
+/// Executes one region plan.
 ///
-/// `stdin` feeds the region's boundary pipe input (if it has one).
-pub fn run_dfg(
-    g: &Dfg,
+/// `stdin` feeds the region's primary boundary pipe input (if any).
+pub fn run_region(
+    r: &RegionPlan,
     registry: &Registry,
     fs: Arc<dyn Fs>,
     stdin: Vec<u8>,
     cfg: &ExecConfig,
-) -> io::Result<DfgOutput> {
-    g.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+) -> io::Result<RegionOutput> {
+    r.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let stdout_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
-    let mut readers: HashMap<EdgeId, Box<dyn Read + Send>> = HashMap::new();
-    let mut writers: HashMap<EdgeId, Box<dyn Write + Send>> = HashMap::new();
-    let mut stdin_used = false;
+    let mut readers: HashMap<usize, Box<dyn Read + Send>> = HashMap::new();
+    let mut writers: HashMap<usize, Box<dyn Write + Send>> = HashMap::new();
 
-    for e in 0..g.edge_count() {
-        let edge = g.edge(e);
-        match (&edge.spec, edge.from, edge.to) {
-            (StreamSpec::Pipe, Some(_), Some(_)) => {
-                let (w, r) = pipe(cfg.pipe_capacity);
+    for (e, edge) in r.edges.iter().enumerate() {
+        match &edge.kind {
+            EndpointKind::Pipe => {
+                let (w, rd) = pipe(cfg.pipe_capacity);
                 writers.insert(e, buffered(w));
-                readers.insert(e, Box::new(r));
+                readers.insert(e, Box::new(rd));
             }
-            (StreamSpec::Pipe, None, Some(_)) => {
-                let data = if stdin_used {
-                    Vec::new()
-                } else {
-                    stdin_used = true;
-                    stdin.clone()
-                };
+            EndpointKind::StdinPipe { primary } => {
+                let data = if *primary { stdin.clone() } else { Vec::new() };
                 readers.insert(e, Box::new(io::Cursor::new(data)));
             }
-            (StreamSpec::Pipe, Some(_), None) => {
+            EndpointKind::StdoutPipe => {
                 writers.insert(e, buffered(SharedVecWriter(stdout_buf.clone())));
             }
-            (StreamSpec::File(path), None, Some(_)) => {
+            EndpointKind::InputFile(path) => {
                 readers.insert(e, fs.open(path)?);
             }
-            (StreamSpec::File(path), Some(_), _) => {
+            EndpointKind::OutputFile(path) => {
                 writers.insert(e, buffered(fs.create(path)?));
             }
-            (StreamSpec::FileSegment { path, part, of }, None, Some(_)) => {
+            EndpointKind::InputSegment { path, part, of } => {
                 let data = read_segment(&fs, path, *part, *of)?;
                 readers.insert(e, Box::new(io::Cursor::new(data)));
             }
-            // Dead or dangling edges need no transport.
-            _ => {}
+            // Detached edges need no transport.
+            EndpointKind::Detached => {}
         }
     }
 
-    // Spawn one thread per node in topological order (order is not
-    // semantically required — pipes synchronize — but makes teardown
-    // deterministic in tests).
-    let order = g.topo_order();
-    let statuses: Arc<Mutex<Vec<(NodeId, i32)>>> = Arc::new(Mutex::new(Vec::new()));
+    // Spawn one thread per node in plan (topological) order — order is
+    // not semantically required (pipes synchronize) but makes teardown
+    // deterministic in tests.
+    let statuses: Arc<Mutex<Vec<(PlanNodeId, i32)>>> = Arc::new(Mutex::new(Vec::new()));
     let hard_error: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
     std::thread::scope(|scope| {
-        for id in order {
-            let node = g.node(id).expect("live node").clone();
-            let ins: Vec<(EdgeId, Box<dyn Read + Send>)> = node
+        for (id, node) in r.nodes.iter().enumerate() {
+            let ins: Vec<Box<dyn Read + Send>> = node
                 .inputs
                 .iter()
                 .map(|&e| {
-                    (
-                        e,
-                        readers
-                            .remove(&e)
-                            .unwrap_or_else(|| Box::new(io::Cursor::new(Vec::new()))),
-                    )
+                    readers
+                        .remove(&e)
+                        .unwrap_or_else(|| Box::new(io::Cursor::new(Vec::new())))
                 })
                 .collect();
             let outs: Vec<Box<dyn Write + Send>> = node
@@ -213,7 +205,7 @@ pub fn run_dfg(
             let hard_error = hard_error.clone();
             let ecfg = cfg.clone();
             scope.spawn(move || {
-                let res = run_node(&node.kind, ins, outs, &registry, fs, &ecfg);
+                let res = run_node(node, ins, outs, &registry, fs, &ecfg);
                 match res {
                     Ok(s) => statuses.lock().expect("status lock").push((id, s)),
                     Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {
@@ -237,38 +229,40 @@ pub fn run_dfg(
     }
     let stdout = std::mem::take(&mut *stdout_buf.lock().expect("stdout lock"));
     let statuses = std::mem::take(&mut *statuses.lock().expect("status lock"));
-    Ok(DfgOutput { stdout, statuses })
+    Ok(RegionOutput { stdout, statuses })
 }
 
 /// Executes one node's work on the current thread.
 fn run_node(
-    kind: &NodeKind,
-    mut ins: Vec<(EdgeId, Box<dyn Read + Send>)>,
+    node: &PlanNode,
+    mut ins: Vec<Box<dyn Read + Send>>,
     mut outs: Vec<Box<dyn Write + Send>>,
     registry: &Registry,
     fs: Arc<dyn Fs>,
     cfg: &ExecConfig,
 ) -> io::Result<i32> {
-    match kind {
-        NodeKind::Command { argv, .. } => {
-            // Split inputs: marker-referenced ones become stream
-            // paths, the rest feed stdin in order.
-            let marked: Vec<usize> = argv.iter().filter_map(|a| parse_stream_marker(a)).collect();
+    match &node.op {
+        PlanOp::Exec { argv } => {
+            // Stream-role args become virtual stream paths; the
+            // remaining inputs feed stdin in plan order.
+            let mut slots: Vec<Option<Box<dyn Read + Send>>> = ins.drain(..).map(Some).collect();
             let mut stream_table: HashMap<String, Box<dyn Read + Send>> = HashMap::new();
-            let mut stdin_sources: Vec<Box<dyn Read + Send>> = Vec::new();
-            for (k, (_, r)) in ins.drain(..).enumerate() {
-                if marked.contains(&k) {
-                    stream_table.insert(StreamFs::path_for(k), r);
-                } else {
-                    stdin_sources.push(r);
+            let mut final_argv: Vec<String> = Vec::with_capacity(argv.len());
+            for a in argv {
+                match a {
+                    Arg::Lit(w) => final_argv.push(w.clone()),
+                    Arg::Stream(k) => {
+                        if let Some(r) = slots.get_mut(*k).and_then(|s| s.take()) {
+                            stream_table.insert(StreamFs::path_for(*k), r);
+                        }
+                        final_argv.push(StreamFs::path_for(*k));
+                    }
                 }
             }
-            let final_argv: Vec<String> = argv
+            let stdin_sources: Vec<Box<dyn Read + Send>> = node
+                .stdin_inputs
                 .iter()
-                .map(|a| match parse_stream_marker(a) {
-                    Some(k) => StreamFs::path_for(k),
-                    None => a.clone(),
-                })
+                .filter_map(|&k| slots.get_mut(k).and_then(|s| s.take()))
                 .collect();
             let (name, args) = final_argv
                 .split_first()
@@ -296,9 +290,9 @@ fn run_node(
             out.flush()?;
             Ok(status)
         }
-        NodeKind::Cat => {
+        PlanOp::Cat => {
             let mut out = outs.pop().expect("cat has one output");
-            for (_, mut r) in ins {
+            for mut r in ins {
                 let mut buf = [0u8; 64 * 1024];
                 loop {
                     let n = r.read(&mut buf)?;
@@ -311,22 +305,23 @@ fn run_node(
             out.flush()?;
             Ok(0)
         }
-        NodeKind::Relay(kind) => {
-            let (_, input) = ins.pop().expect("relay has one input");
+        PlanOp::Relay { blocking } => {
+            let input = ins.pop().expect("relay has one input");
             let mut out = outs.pop().expect("relay has one output");
-            let mode = match kind {
-                EagerKind::Full => RelayMode::Full,
-                EagerKind::Blocking => RelayMode::Blocking(cfg.blocking_relay_chunks),
+            let mode = if *blocking {
+                RelayMode::Blocking(cfg.blocking_relay_chunks)
+            } else {
+                RelayMode::Full
             };
             run_relay(input, &mut out, mode)?;
             out.flush()?;
             Ok(0)
         }
-        NodeKind::Split(_) => {
+        PlanOp::Split { .. } => {
             // The sized variant needs a file-backed input; on a pipe
             // both behave identically for correctness (the performance
             // difference is the simulator's concern).
-            let (_, input) = ins.pop().expect("split has one input");
+            let input = ins.pop().expect("split has one input");
             let mut r = io::BufReader::new(input);
             split_general(&mut r, &mut outs)?;
             for out in outs.iter_mut() {
@@ -340,20 +335,16 @@ fn run_node(
             }
             Ok(0)
         }
-        NodeKind::Aggregate { argv } => {
-            let inputs: Vec<Box<dyn io::BufRead + Send>> = ins
-                .into_iter()
-                .map(|(_, r)| Box::new(io::BufReader::new(r)) as Box<dyn io::BufRead + Send>)
-                .collect();
+        PlanOp::Aggregate { argv } => {
             let mut out = outs.pop().expect("aggregate has one output");
-            let status = run_aggregator(argv, inputs, &mut out, registry, fs)?;
+            let status = run_aggregator(argv, ins, &mut out, registry, fs)?;
             out.flush()?;
             Ok(status)
         }
     }
 }
 
-/// Result of executing a whole translated program.
+/// Result of executing a whole plan.
 #[derive(Debug)]
 pub struct ProgramOutput {
     /// Bytes written to stdout across all regions.
@@ -362,14 +353,15 @@ pub struct ProgramOutput {
     pub status: i32,
 }
 
-/// Executes a translated program step by step.
+/// Executes a plan step by step.
 ///
 /// `Shell` steps are supported only when they are no-ops for the data
 /// path (assignments, comments): the front-end already folded their
-/// effect into the compile-time environment. Anything else is an
-/// error — the hermetic executor does not run arbitrary shell.
+/// effect into the compile-time environment and lowering marked them
+/// `data_noop`. Anything else is an error — the hermetic executor
+/// does not run arbitrary shell.
 pub fn run_program(
-    tp: &pash_core::frontend::TranslatedProgram,
+    plan: &ExecutionPlan,
     registry: &Registry,
     fs: Arc<dyn Fs>,
     stdin: Vec<u8>,
@@ -379,21 +371,17 @@ pub fn run_program(
     let mut status = 0;
     let mut stdin = Some(stdin);
     let mut skip_next = false;
-    for step in &tp.steps {
+    for step in &plan.steps {
         match step {
-            Step::Guard(op) => {
-                let take_next = match op {
-                    AndOrOp::AndIf => status == 0,
-                    AndOrOp::OrIf => status != 0,
-                };
-                skip_next = !take_next;
+            PlanStep::Guard(cond) => {
+                skip_next = !cond.admits(status);
             }
-            Step::Region(g) => {
+            PlanStep::Region(r) => {
                 if std::mem::take(&mut skip_next) {
                     continue;
                 }
-                let out = run_dfg(
-                    g,
+                let out = run_region(
+                    r,
                     registry,
                     fs.clone(),
                     stdin.take().unwrap_or_default(),
@@ -402,11 +390,11 @@ pub fn run_program(
                 status = out.status();
                 stdout.extend_from_slice(&out.stdout);
             }
-            Step::Shell(text) => {
+            PlanStep::Shell { text, data_noop } => {
                 if std::mem::take(&mut skip_next) {
                     continue;
                 }
-                if !is_shell_noop(text) {
+                if !data_noop {
                     return Err(io::Error::new(
                         io::ErrorKind::Unsupported,
                         format!("cannot execute shell step in-process: `{text}`"),
@@ -419,28 +407,42 @@ pub fn run_program(
     Ok(ProgramOutput { stdout, status })
 }
 
-/// True when a shell step has no data-path effect (assignments only).
-fn is_shell_noop(text: &str) -> bool {
-    let prog = match pash_parser::parse(text) {
-        Ok(p) => p,
-        Err(_) => return false,
-    };
-    prog.commands.iter().all(|cc| {
-        cc.items.iter().all(|(ao, _)| {
-            ao.rest.is_empty()
-                && ao.first.commands.iter().all(|c| match c {
-                    pash_parser::ast::Command::Simple(sc) => {
-                        sc.words.is_empty() && sc.redirects.is_empty()
-                    }
-                    _ => false,
-                })
-        })
-    })
+/// The in-process threaded execution backend.
+pub struct ThreadedBackend<'a> {
+    /// Command implementations.
+    pub registry: &'a Registry,
+    /// Filesystem the plan reads and writes.
+    pub fs: Arc<dyn Fs>,
+    /// Bytes fed to the first region's boundary stdin.
+    pub stdin: Vec<u8>,
+    /// Executor tuning.
+    pub cfg: ExecConfig,
+}
+
+impl Backend for ThreadedBackend<'_> {
+    type Output = ProgramOutput;
+
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run(&mut self, plan: &ExecutionPlan) -> io::Result<ProgramOutput> {
+        run_program(
+            plan,
+            self.registry,
+            self.fs.clone(),
+            self.stdin.clone(),
+            &self.cfg,
+        )
+    }
 }
 
 /// Compiles and runs a script against a filesystem; returns stdout.
 ///
 /// This is the one-call API used by tests, examples, and benchmarks.
+/// Compilation goes through the memoized
+/// [`pash_core::compile::compile_cached`], so repeated runs of the
+/// same script and configuration reuse the lowered plan.
 pub fn run_script(
     src: &str,
     pash_cfg: &PashConfig,
@@ -449,9 +451,9 @@ pub fn run_script(
     stdin: Vec<u8>,
     exec_cfg: &ExecConfig,
 ) -> io::Result<ProgramOutput> {
-    let compiled = pash_core::compile::compile(src, pash_cfg)
+    let compiled = pash_core::compile::compile_cached(src, pash_cfg)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-    run_program(&compiled.program, registry, fs, stdin, exec_cfg)
+    run_program(&compiled.plan, registry, fs, stdin, exec_cfg)
 }
 
 #[cfg(test)]
@@ -687,5 +689,27 @@ mod tests {
         .expect("run");
         let s = String::from_utf8(out.stdout).expect("utf8");
         assert!(s.contains("3 apple"));
+    }
+
+    #[test]
+    fn threaded_backend_trait_runs_plans() {
+        let (reg, fs) = fixture();
+        let compiled = pash_core::compile::compile(
+            "cat in.txt | tr A-Z a-z | sort",
+            &PashConfig {
+                width: 3,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        let mut be = ThreadedBackend {
+            registry: &reg,
+            fs,
+            stdin: Vec::new(),
+            cfg: ExecConfig::default(),
+        };
+        assert_eq!(be.name(), "threads");
+        let out = be.run(&compiled.plan).expect("run");
+        assert_eq!(out.stdout, b"apple\napple\napple\nbanana\nbanana\ncherry\n");
     }
 }

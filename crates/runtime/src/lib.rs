@@ -5,8 +5,10 @@
 //! * [`relay`] — the `eager` relays that defeat the shell's laziness;
 //! * [`split`] / [`fileseg`] — the two splitter implementations;
 //! * [`agg`] — the aggregator library (`sort -m`, `uniq`, `uniq -c`,
-//!   `wc`, `tac`, counts, and the custom bigram aggregator);
-//! * [`exec`] — thread-per-node execution of compiled programs.
+//!   `wc`, `tac`, counts, and the custom bigram aggregator), fed by
+//!   the batched [`scan::LineScanner`];
+//! * [`exec`] — thread-per-node execution of compiled
+//!   [`pash_core::plan::ExecutionPlan`]s (the `threads` backend).
 //!
 //! The same primitives are exposed as a standalone multi-call binary
 //! (`pash-rt`) so that scripts emitted by the back-end run under a
@@ -39,7 +41,11 @@ pub mod exec;
 pub mod fileseg;
 pub mod pipe;
 pub mod relay;
+pub mod scan;
 pub mod split;
 
-pub use exec::{run_dfg, run_program, run_script, DfgOutput, ExecConfig, ProgramOutput};
+pub use exec::{
+    run_program, run_region, run_script, ExecConfig, ProgramOutput, RegionOutput, ThreadedBackend,
+};
 pub use pipe::{pipe, MultiReader, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY};
+pub use scan::LineScanner;

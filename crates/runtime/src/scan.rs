@@ -1,0 +1,164 @@
+//! Batched line scanning: the flat-buffer + line-index technique from
+//! the splitter, adapted to streaming readers.
+//!
+//! Aggregators used to pull their inputs one `read_until` call per
+//! line, paying a `BufRead` dispatch, a bounds-checked copy, and a
+//! `Vec` manipulation per line. [`LineScanner`] instead refills a
+//! flat buffer in large reads and hands out borrowed line slices,
+//! so the per-line cost is one `memchr`-style scan.
+
+use std::io::{self, Read};
+
+/// Refill granularity (and initial buffer size).
+const SCAN_CHUNK: usize = 64 * 1024;
+
+/// A batched line reader over any byte stream.
+///
+/// Lines are yielded without their terminating newline; a final
+/// unterminated line is still a line.
+pub struct LineScanner<R> {
+    src: R,
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// One past the last valid byte.
+    end: usize,
+    eof: bool,
+}
+
+impl<R: Read> LineScanner<R> {
+    /// Wraps a reader.
+    pub fn new(src: R) -> Self {
+        LineScanner {
+            src,
+            buf: vec![0; SCAN_CHUNK],
+            start: 0,
+            end: 0,
+            eof: false,
+        }
+    }
+
+    /// The next line (newline stripped), or `None` at end of stream.
+    ///
+    /// The returned slice borrows the scanner's buffer and is valid
+    /// until the next call.
+    pub fn next_line(&mut self) -> io::Result<Option<&[u8]>> {
+        loop {
+            if let Some(pos) = self.buf[self.start..self.end]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let s = self.start;
+                self.start += pos + 1;
+                return Ok(Some(&self.buf[s..s + pos]));
+            }
+            if self.eof {
+                if self.start < self.end {
+                    let (s, e) = (self.start, self.end);
+                    self.start = self.end;
+                    return Ok(Some(&self.buf[s..e]));
+                }
+                return Ok(None);
+            }
+            // Compact the partial line to the front, then refill the
+            // tail in one bulk read (growing for oversized lines).
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+            if self.end == self.buf.len() {
+                self.buf.resize(self.buf.len() * 2, 0);
+            }
+            // Retry on EINTR like `read_until` did; a signal mid-read
+            // must not abort the aggregation.
+            let n = loop {
+                match self.src.read(&mut self.buf[self.end..]) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.end += n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn lines_of(data: &[u8]) -> Vec<Vec<u8>> {
+        let mut sc = LineScanner::new(Cursor::new(data.to_vec()));
+        let mut out = Vec::new();
+        while let Some(l) = sc.next_line().expect("scan") {
+            out.push(l.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn splits_on_newlines() {
+        assert_eq!(
+            lines_of(b"a\nbb\nccc\n"),
+            vec![b"a".to_vec(), b"bb".to_vec(), b"ccc".to_vec()]
+        );
+    }
+
+    #[test]
+    fn final_unterminated_line_delivered() {
+        assert_eq!(lines_of(b"a\nb"), vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(lines_of(b"").is_empty());
+    }
+
+    #[test]
+    fn empty_lines_preserved() {
+        assert_eq!(
+            lines_of(b"\n\nx\n"),
+            vec![Vec::new(), Vec::new(), b"x".to_vec()]
+        );
+    }
+
+    #[test]
+    fn lines_longer_than_the_buffer_grow_it() {
+        let long = vec![b'q'; 3 * SCAN_CHUNK + 17];
+        let mut data = long.clone();
+        data.push(b'\n');
+        data.extend_from_slice(b"tail\n");
+        let got = lines_of(&data);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], long);
+        assert_eq!(got[1], b"tail");
+    }
+
+    /// A reader that returns one byte per read call: the scanner must
+    /// still assemble whole lines.
+    struct Trickle(Vec<u8>, usize);
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.1 >= self.0.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[self.1];
+            self.1 += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn trickled_input_assembles_lines() {
+        let mut sc = LineScanner::new(Trickle(b"ab\ncd\n".to_vec(), 0));
+        let mut out = Vec::new();
+        while let Some(l) = sc.next_line().expect("scan") {
+            out.push(l.to_vec());
+        }
+        assert_eq!(out, vec![b"ab".to_vec(), b"cd".to_vec()]);
+    }
+}

@@ -42,6 +42,18 @@ impl StaticEnv {
     pub fn unset(&mut self, name: &str) {
         self.map.remove(name);
     }
+
+    /// All bindings in name order (deterministic — cache keys and
+    /// plan dumps depend on it).
+    pub fn sorted_vars(&self) -> Vec<(&str, &str)> {
+        let mut vars: Vec<(&str, &str)> = self
+            .map
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        vars.sort_unstable();
+        vars
+    }
 }
 
 impl<K: Into<String>, V: Into<String>> FromIterator<(K, V)> for StaticEnv {

@@ -2,12 +2,15 @@
 //!
 //! The simulator substitutes for the paper's 64-core × 512 GB testbed
 //! (this container has one core — see DESIGN.md §2). Profiles give
-//! each command a full-core processing rate, an output/input byte
+//! each plan node a full-core processing rate, an output/input byte
 //! ratio, a blocking discipline, and a bottleneck resource. Absolute
 //! rates are calibration constants; the *relative* rates and the
 //! blocking semantics are what reproduce the paper's shapes.
+//!
+//! Profiles are computed from [`PlanOp`]s — the simulator consumes the
+//! lowered execution plan, never the compiler's DFG.
 
-use pash_core::dfg::{EagerKind, NodeKind, SplitKind};
+use pash_core::plan::PlanOp;
 
 /// Which resource a node's work draws on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,20 +85,21 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// The profile of a DFG node.
-    pub fn profile_for(&self, kind: &NodeKind) -> Profile {
-        match kind {
-            NodeKind::Command { argv, .. } => self.command_profile(argv),
-            NodeKind::Cat => Profile {
+    /// The profile of a plan node's operation.
+    pub fn profile_for(&self, op: &PlanOp) -> Profile {
+        match op {
+            PlanOp::Exec { .. } => {
+                let argv = op.exec_argv_lossy().expect("exec argv");
+                self.command_profile(&argv)
+            }
+            PlanOp::Cat => Profile {
                 resource: Resource::Cpu,
                 ..Profile::streaming(400.0, 1.0)
             },
-            NodeKind::Relay(EagerKind::Full) | NodeKind::Relay(EagerKind::Blocking) => {
-                Profile::streaming(300.0, 1.0)
-            }
-            NodeKind::Split(SplitKind::General) => Profile::blocking(200.0, 1.0),
-            NodeKind::Split(SplitKind::Sized) => Profile::streaming(300.0, 1.0),
-            NodeKind::Aggregate { argv } => self.aggregator_profile(argv),
+            PlanOp::Relay { .. } => Profile::streaming(300.0, 1.0),
+            PlanOp::Split { sized: false } => Profile::blocking(200.0, 1.0),
+            PlanOp::Split { sized: true } => Profile::streaming(300.0, 1.0),
+            PlanOp::Aggregate { argv } => self.aggregator_profile(argv),
         }
     }
 
@@ -220,15 +224,11 @@ fn head_tail_bytes(args: &[&str]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pash_core::dfg::NodeKind;
+    use pash_core::plan::Arg;
 
-    fn cmd(argv: &[&str]) -> NodeKind {
-        NodeKind::Command {
-            argv: argv.iter().map(|s| s.to_string()).collect(),
-            class: pash_core::ParClass::Stateless,
-            static_files: vec![],
-            agg: None,
-            map: None,
+    fn cmd(argv: &[&str]) -> PlanOp {
+        PlanOp::Exec {
+            argv: argv.iter().map(|s| Arg::Lit(s.to_string())).collect(),
         }
     }
 
@@ -266,14 +266,27 @@ mod tests {
     fn sized_split_streams_general_blocks() {
         let cm = CostModel::default();
         assert_eq!(
-            cm.profile_for(&NodeKind::Split(SplitKind::General))
-                .discipline,
+            cm.profile_for(&PlanOp::Split { sized: false }).discipline,
             Discipline::Blocking
         );
         assert_eq!(
-            cm.profile_for(&NodeKind::Split(SplitKind::Sized))
-                .discipline,
+            cm.profile_for(&PlanOp::Split { sized: true }).discipline,
             Discipline::Streaming
         );
+    }
+
+    #[test]
+    fn stream_args_profile_like_stdin_operands() {
+        let cm = CostModel::default();
+        let with_stream = PlanOp::Exec {
+            argv: vec![
+                Arg::Lit("comm".into()),
+                Arg::Lit("-13".into()),
+                Arg::Stream(0),
+            ],
+        };
+        let p = cm.profile_for(&with_stream);
+        let q = cm.profile_for(&cmd(&["comm", "-13", "-"]));
+        assert_eq!(p.rate, q.rate);
     }
 }

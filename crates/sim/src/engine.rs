@@ -1,5 +1,5 @@
-//! A fluid (rate-based, small-time-step) simulator of DFG execution on
-//! a C-core machine.
+//! A fluid (rate-based, small-time-step) simulator of plan execution
+//! on a C-core machine.
 //!
 //! Each node processes bytes at its profile rate scaled by its share
 //! of the bottleneck resource; edges are bounded buffers with the
@@ -16,11 +16,17 @@
 //!   scripts slow down, §6.2);
 //! * disk and network bandwidth ceilings (why IO-bound scripts cap at
 //!   low speedups, §6.1 Grep-light).
+//!
+//! The engine consumes the lowered [`ExecutionPlan`] — nodes arrive
+//! dense, topologically ordered, with resolved edge endpoint kinds —
+//! so all traversal bookkeeping lives in the compiler's lowering, and
+//! this module keeps only the fluid rate model.
 
 use std::collections::HashMap;
 
-use pash_core::dfg::{Dfg, EagerKind, NodeId, NodeKind, StreamSpec};
-use pash_core::frontend::{Step, TranslatedProgram};
+use pash_core::plan::{
+    Backend, EndpointKind, ExecutionPlan, PlanNode, PlanOp, PlanStep, RegionPlan,
+};
 
 use crate::cost::{CostModel, Discipline, Profile, Resource};
 
@@ -117,49 +123,40 @@ struct EdgeState {
     consumer_closed: bool,
 }
 
-/// Simulates one region DFG; `stdin_bytes` feeds a boundary pipe input.
+/// Simulates one region plan; `stdin_bytes` feeds the primary
+/// boundary pipe input.
 pub fn simulate_region(
-    g: &Dfg,
+    r: &RegionPlan,
     sizes: &InputSizes,
     stdin_bytes: f64,
     cm: &CostModel,
     cfg: &SimConfig,
 ) -> SimReport {
-    let node_ids: Vec<NodeId> = g.topo_order();
-    let n_nodes = node_ids.len();
-    // Map node id → dense index.
-    let index: HashMap<NodeId, usize> = node_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
+    let n_nodes = r.nodes.len();
 
-    // Edge states.
-    let mut edges: Vec<EdgeState> = Vec::with_capacity(g.edge_count());
-    let mut stdin_assigned = false;
-    for e in 0..g.edge_count() {
-        let edge = g.edge(e);
-        let kind = match (&edge.spec, edge.from, edge.to) {
-            (StreamSpec::Pipe, Some(_), Some(_)) => EdgeKind::Buffer {
+    // Edge states, straight from the resolved endpoint kinds.
+    let mut edges: Vec<EdgeState> = Vec::with_capacity(r.edges.len());
+    for edge in &r.edges {
+        let kind = match &edge.kind {
+            EndpointKind::Pipe => EdgeKind::Buffer {
                 buffered: 0.0,
                 cap: cfg.pipe_capacity,
             },
-            (StreamSpec::Pipe, None, Some(_)) => {
-                let remaining = if stdin_assigned { 0.0 } else { stdin_bytes };
-                stdin_assigned = true;
-                // Stdin arrives from the launching process: treat as a
-                // source at disk speed.
-                EdgeKind::Source { remaining }
+            // Stdin arrives from the launching process: treat as a
+            // source at disk speed.
+            EndpointKind::StdinPipe { primary } => EdgeKind::Source {
+                remaining: if *primary { stdin_bytes } else { 0.0 },
+            },
+            EndpointKind::StdoutPipe | EndpointKind::OutputFile(_) => {
+                EdgeKind::Sink { written: 0.0 }
             }
-            (StreamSpec::Pipe, Some(_), None) => EdgeKind::Sink { written: 0.0 },
-            (StreamSpec::File(path), None, Some(_)) => EdgeKind::Source {
+            EndpointKind::InputFile(path) => EdgeKind::Source {
                 remaining: sizes.get(path).copied().unwrap_or(1e6),
             },
-            (StreamSpec::File(_), Some(_), _) => EdgeKind::Sink { written: 0.0 },
-            (StreamSpec::FileSegment { path, of, .. }, None, Some(_)) => EdgeKind::Source {
+            EndpointKind::InputSegment { path, of, .. } => EdgeKind::Source {
                 remaining: sizes.get(path).copied().unwrap_or(1e6) / (*of as f64),
             },
-            _ => EdgeKind::Dead,
+            EndpointKind::Detached => EdgeKind::Dead,
         };
         edges.push(EdgeState {
             kind,
@@ -170,32 +167,30 @@ pub fn simulate_region(
 
     // Node states; spawn serially.
     let mut nodes: Vec<NodeState> = Vec::with_capacity(n_nodes);
-    for (i, &id) in node_ids.iter().enumerate() {
-        let node = g.node(id).expect("live node");
-        let mut profile = cm.profile_for(&node.kind);
+    for (i, node) in r.nodes.iter().enumerate() {
+        let mut profile = cm.profile_for(&node.op);
         // Merging aggregators read their inputs in key order: with
         // bare FIFOs upstream, producers stall whenever the merge
         // dwells on the sibling stream. Eager relays decouple this
         // (§5.2; the §6.5 sort microbenchmark's ~2× eager gain).
         // Calibrated contention factor for unbuffered merge inputs:
-        if matches!(node.kind, NodeKind::Aggregate { .. }) {
+        if matches!(node.op, PlanOp::Aggregate { .. }) {
             let buffered = node.inputs.iter().all(|&e| {
-                g.edge(e)
+                r.edges[e]
                     .from
-                    .and_then(|p| g.node(p))
-                    .map(|n| matches!(n.kind, NodeKind::Relay(_)))
+                    .map(|p| matches!(r.nodes[p].op, PlanOp::Relay { .. }))
                     .unwrap_or(false)
             });
             if !buffered {
                 profile.rate *= 0.5;
             }
         }
-        let relay_cap = match &node.kind {
-            NodeKind::Relay(EagerKind::Full) => f64::INFINITY,
-            NodeKind::Relay(EagerKind::Blocking) => cfg.blocking_relay_capacity,
+        let relay_cap = match &node.op {
+            PlanOp::Relay { blocking: false } => f64::INFINITY,
+            PlanOp::Relay { blocking: true } => cfg.blocking_relay_capacity,
             _ => 0.0,
         };
-        let sequential_inputs = !matches!(node.kind, NodeKind::Aggregate { .. });
+        let sequential_inputs = !matches!(node.op, PlanOp::Aggregate { .. });
         nodes.push(NodeState {
             profile,
             sequential_inputs,
@@ -219,14 +214,14 @@ pub fn simulate_region(
         }
         if t > cfg.max_time {
             if std::env::var("PASH_SIM_DEBUG").is_ok() {
-                for (i, &id) in node_ids.iter().enumerate() {
+                for (i, node) in r.nodes.iter().enumerate() {
                     let st = &nodes[i];
                     if !st.done {
                         eprintln!(
-                            "stuck n{id} {} phase={:?} consumed={:.0} stash={:.0} cur_in={} inputs={:?}",
-                            g.node(id).expect("live").label(),
+                            "stuck n{i} {} phase={:?} consumed={:.0} stash={:.0} cur_in={} inputs={:?}",
+                            node.op.label(),
                             st.phase, st.consumed, st.stash, st.current_input,
-                            g.node(id).expect("live").inputs.iter().map(|&e| {
+                            node.inputs.iter().map(|&e| {
                                 let ed = &edges[e];
                                 format!("e{e}:{}b eof={} closed={}", input_available(ed) as u64, ed.producer_eof, ed.consumer_closed)
                             }).collect::<Vec<_>>()
@@ -240,8 +235,8 @@ pub fn simulate_region(
         let mut cpu_active = 0usize;
         let mut disk_active = 0usize;
         let mut net_active = 0usize;
-        for (i, &id) in node_ids.iter().enumerate() {
-            if !node_wants_to_run(g, id, &nodes[i], &edges, t) {
+        for (i, node) in r.nodes.iter().enumerate() {
+            if !node_wants_to_run(node, &nodes[i], &edges, t) {
                 continue;
             }
             match nodes[i].profile.resource {
@@ -250,7 +245,7 @@ pub fn simulate_region(
                 Resource::Net => net_active += 1,
             }
             // Reading from a source edge consumes disk bandwidth too.
-            if reads_source(g, id, &nodes[i], &edges) {
+            if reads_source(node, &nodes[i], &edges) {
                 disk_active += 1;
             }
         }
@@ -275,7 +270,7 @@ pub fn simulate_region(
         }
         for _round in 0..28 {
             let mut moved = 0.0;
-            for (i, &id) in node_ids.iter().enumerate() {
+            for (i, node) in r.nodes.iter().enumerate() {
                 if nodes[i].done
                     || t < nodes[i].start
                     || (budgets[i] < 1.0 && emit_budgets[i] < 1.0)
@@ -283,8 +278,7 @@ pub fn simulate_region(
                     continue;
                 }
                 moved += step_node(
-                    g,
-                    id,
+                    node,
                     i,
                     &mut nodes,
                     &mut edges,
@@ -293,7 +287,7 @@ pub fn simulate_region(
                     disk_share * dt,
                 );
             }
-            propagate_closures(g, &node_ids, &index, &mut nodes, &mut edges);
+            propagate_closures(r, &mut nodes, &mut edges);
             if moved < 1.0 {
                 break;
             }
@@ -315,11 +309,10 @@ pub fn simulate_region(
 }
 
 /// Whether a node would transfer bytes this tick (for share counting).
-fn node_wants_to_run(g: &Dfg, id: NodeId, st: &NodeState, edges: &[EdgeState], t: f64) -> bool {
+fn node_wants_to_run(node: &PlanNode, st: &NodeState, edges: &[EdgeState], t: f64) -> bool {
     if st.done || t < st.start {
         return false;
     }
-    let node = g.node(id).expect("live node");
     match st.phase {
         Phase::Consuming => {
             node.inputs
@@ -331,8 +324,7 @@ fn node_wants_to_run(g: &Dfg, id: NodeId, st: &NodeState, edges: &[EdgeState], t
     }
 }
 
-fn reads_source(g: &Dfg, id: NodeId, st: &NodeState, edges: &[EdgeState]) -> bool {
-    let node = g.node(id).expect("live node");
+fn reads_source(node: &PlanNode, st: &NodeState, edges: &[EdgeState]) -> bool {
     if st.phase != Phase::Consuming {
         return false;
     }
@@ -383,22 +375,18 @@ fn fill_output(e: &mut EdgeState, amount: f64) {
 }
 
 /// True when an input edge can never deliver more bytes.
-fn input_exhausted(g: &Dfg, e: usize, edges: &[EdgeState]) -> bool {
+fn input_exhausted(e: usize, edges: &[EdgeState]) -> bool {
     let edge = &edges[e];
     match edge.kind {
         EdgeKind::Source { remaining } => remaining <= 0.0,
         EdgeKind::Buffer { buffered, .. } => buffered <= 0.0 && edge.producer_eof,
-        _ => {
-            let _ = g;
-            true
-        }
+        _ => true,
     }
 }
 
 #[allow(clippy::too_many_arguments)]
 fn step_node(
-    g: &Dfg,
-    id: NodeId,
+    node: &PlanNode,
     i: usize,
     nodes: &mut [NodeState],
     edges: &mut [EdgeState],
@@ -406,9 +394,8 @@ fn step_node(
     emit_budget: &mut f64,
     disk_budget: f64,
 ) -> f64 {
-    let node = g.node(id).expect("live node");
     let st = &mut nodes[i];
-    let is_split = matches!(node.kind, NodeKind::Split(_));
+    let is_split = matches!(node.op, PlanOp::Split { .. });
     let mut moved = 0.0;
 
     // --- Consume --------------------------------------------------
@@ -421,7 +408,7 @@ fn step_node(
                 let e = inputs[st.current_input];
                 let avail = input_available(&edges[e]);
                 if avail <= 0.0 {
-                    if input_exhausted(g, e, edges) {
+                    if input_exhausted(e, edges) {
                         st.current_input += 1;
                         continue;
                     }
@@ -479,7 +466,7 @@ fn step_node(
             }
         }
         // EOF transition.
-        let all_done = node.inputs.iter().all(|&e| input_exhausted(g, e, edges));
+        let all_done = node.inputs.iter().all(|&e| input_exhausted(e, edges));
         if all_done {
             match st.profile.discipline {
                 Discipline::Streaming if st.relay_cap == 0.0 => {
@@ -546,7 +533,7 @@ fn step_node(
 }
 
 /// Space available for a streaming node to keep consuming.
-fn space_for_consumption(st: &NodeState, node: &pash_core::dfg::Node, edges: &[EdgeState]) -> f64 {
+fn space_for_consumption(st: &NodeState, node: &PlanNode, edges: &[EdgeState]) -> f64 {
     match st.profile.discipline {
         Discipline::Blocking => f64::INFINITY,
         Discipline::Streaming => {
@@ -566,7 +553,7 @@ fn space_for_consumption(st: &NodeState, node: &pash_core::dfg::Node, edges: &[E
     }
 }
 
-fn finish_node(st: &mut NodeState, node: &pash_core::dfg::Node, edges: &mut [EdgeState]) {
+fn finish_node(st: &mut NodeState, node: &PlanNode, edges: &mut [EdgeState]) {
     st.done = true;
     for &e in &node.outputs {
         edges[e].producer_eof = true;
@@ -575,33 +562,24 @@ fn finish_node(st: &mut NodeState, node: &pash_core::dfg::Node, edges: &mut [Edg
 
 /// Closes inputs of done nodes and kills producers whose every
 /// consumer vanished (the SIGPIPE cascade).
-fn propagate_closures(
-    g: &Dfg,
-    node_ids: &[NodeId],
-    index: &HashMap<NodeId, usize>,
-    nodes: &mut [NodeState],
-    edges: &mut [EdgeState],
-) {
+fn propagate_closures(r: &RegionPlan, nodes: &mut [NodeState], edges: &mut [EdgeState]) {
     loop {
         let mut changed = false;
-        for &id in node_ids {
-            let i = index[&id];
+        for (i, node) in r.nodes.iter().enumerate() {
             if !nodes[i].done {
                 continue;
             }
-            for &e in &g.node(id).expect("live node").inputs {
+            for &e in &node.inputs {
                 if !edges[e].consumer_closed {
                     edges[e].consumer_closed = true;
                     changed = true;
                 }
             }
         }
-        for &id in node_ids {
-            let i = index[&id];
+        for (i, node) in r.nodes.iter().enumerate() {
             if nodes[i].done {
                 continue;
             }
-            let node = g.node(id).expect("live node");
             if !node.outputs.is_empty() && node.outputs.iter().all(|&e| edges[e].consumer_closed) {
                 let st = &mut nodes[i];
                 st.done = true;
@@ -617,9 +595,9 @@ fn propagate_closures(
     }
 }
 
-/// Simulates a whole translated program (regions in sequence).
+/// Simulates a whole lowered program (regions in sequence).
 pub fn simulate_program(
-    tp: &TranslatedProgram,
+    plan: &ExecutionPlan,
     sizes: &InputSizes,
     stdin_bytes: f64,
     cm: &CostModel,
@@ -628,15 +606,15 @@ pub fn simulate_program(
     let mut total = 0.0;
     let mut processes = 0;
     let mut output_bytes = 0.0;
-    for step in &tp.steps {
+    for step in &plan.steps {
         match step {
-            Step::Region(g) => {
-                let r = simulate_region(g, sizes, stdin_bytes, cm, cfg);
-                total += r.seconds;
-                processes += r.processes;
-                output_bytes += r.output_bytes;
+            PlanStep::Region(r) => {
+                let report = simulate_region(r, sizes, stdin_bytes, cm, cfg);
+                total += report.seconds;
+                processes += report.processes;
+                output_bytes += report.output_bytes;
             }
-            Step::Shell(_) | Step::Guard(_) => {
+            PlanStep::Shell { .. } | PlanStep::Guard(_) => {
                 // Assignments/barriers: negligible.
             }
         }
@@ -645,6 +623,36 @@ pub fn simulate_program(
         seconds: total,
         processes,
         output_bytes,
+    }
+}
+
+/// The performance-prediction backend over execution plans.
+pub struct SimBackend<'a> {
+    /// Sizes of the input files the plan reads.
+    pub sizes: &'a InputSizes,
+    /// Bytes arriving on the program's stdin.
+    pub stdin_bytes: f64,
+    /// Command cost profiles.
+    pub cost: &'a CostModel,
+    /// Machine parameters.
+    pub cfg: &'a SimConfig,
+}
+
+impl Backend for SimBackend<'_> {
+    type Output = SimReport;
+
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&mut self, plan: &ExecutionPlan) -> std::io::Result<SimReport> {
+        Ok(simulate_program(
+            plan,
+            self.sizes,
+            self.stdin_bytes,
+            self.cost,
+            self.cfg,
+        ))
     }
 }
 
@@ -661,7 +669,7 @@ mod tests {
     fn sim(src: &str, cfg: &PashConfig, input_mb: f64) -> f64 {
         let compiled = compile(src, cfg).expect("compile");
         simulate_program(
-            &compiled.program,
+            &compiled.plan,
             &sizes(input_mb),
             0.0,
             &CostModel::default(),
@@ -831,7 +839,7 @@ mod tests {
         )
         .expect("compile");
         let r = simulate_program(
-            &compiled.program,
+            &compiled.plan,
             &sizes(10.0),
             0.0,
             &CostModel::default(),
@@ -839,5 +847,30 @@ mod tests {
         );
         // 8 tr + 8 sort + 7 agg + 14 eager (§6.1).
         assert_eq!(r.processes, 37);
+    }
+
+    #[test]
+    fn sim_backend_trait_runs_plans() {
+        let compiled = compile(
+            SORT,
+            &PashConfig {
+                width: 4,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        let sizes = sizes(10.0);
+        let cm = CostModel::default();
+        let cfg = SimConfig::default();
+        let mut be = SimBackend {
+            sizes: &sizes,
+            stdin_bytes: 0.0,
+            cost: &cm,
+            cfg: &cfg,
+        };
+        assert_eq!(be.name(), "sim");
+        let report = be.run(&compiled.plan).expect("simulate");
+        assert!(report.seconds > 0.0);
+        assert!(report.processes > 4);
     }
 }

@@ -31,11 +31,12 @@ pub mod cost;
 pub mod engine;
 
 pub use cost::{CostModel, Discipline, Profile, Resource};
-pub use engine::{simulate_program, simulate_region, InputSizes, SimConfig, SimReport};
+pub use engine::{simulate_program, simulate_region, InputSizes, SimBackend, SimConfig, SimReport};
 
-use pash_core::compile::{compile, PashConfig};
+use pash_core::compile::{compile_cached, PashConfig};
 
-/// Compiles a script and simulates it.
+/// Compiles a script (through the memoized compile cache) and
+/// simulates its execution plan.
 pub fn simulate_compiled(
     src: &str,
     cfg: &PashConfig,
@@ -43,8 +44,8 @@ pub fn simulate_compiled(
     cm: &CostModel,
     sim: &SimConfig,
 ) -> Result<SimReport, pash_core::Error> {
-    let compiled = compile(src, cfg)?;
-    Ok(simulate_program(&compiled.program, sizes, 0.0, cm, sim))
+    let compiled = compile_cached(src, cfg)?;
+    Ok(simulate_program(&compiled.plan, sizes, 0.0, cm, sim))
 }
 
 /// Simulated speedup of a configuration over sequential execution.

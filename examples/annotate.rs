@@ -50,7 +50,7 @@ fn main() {
     let mut outputs = Vec::new();
     for compiled in [&conservative, &parallel] {
         run_program(
-            &compiled.program,
+            &compiled.plan,
             &registry,
             fs.clone(),
             Vec::new(),

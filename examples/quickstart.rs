@@ -61,4 +61,24 @@ fn main() {
         "five most frequent words (parallel output, identical to sequential):\n{}",
         String::from_utf8_lossy(&par.stdout)
     );
+
+    // 3. The same compiled plan drives every backend: select one by
+    //    name through the facade.
+    let env = pash::RunEnv::default();
+    env.fs_mem().add("in.txt", text_corpus(1, 200_000));
+    for backend in pash::BACKENDS {
+        match pash::run(script, &cfg, backend, &env).expect("backend runs") {
+            pash::BackendOutput::Script(s) => {
+                println!("[{backend}] emitted {} script lines", s.lines().count())
+            }
+            pash::BackendOutput::Execution(out) => {
+                assert_eq!(out.stdout, par.stdout);
+                println!("[{backend}] in-process run matches");
+            }
+            pash::BackendOutput::Simulation(r) => println!(
+                "[{backend}] predicted {:.2}s across {} simulated processes",
+                r.seconds, r.processes
+            ),
+        }
+    }
 }

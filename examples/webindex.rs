@@ -55,7 +55,7 @@ fn main() {
             compiled.stats.nodes.commands
         );
         run_program(
-            &compiled.program,
+            &compiled.plan,
             &registry,
             fs.clone(),
             Vec::new(),

@@ -3,17 +3,19 @@
 //!
 //! PaSh takes a POSIX shell script, lifts its parallelizable regions
 //! into an order-aware dataflow graph, applies semantics-preserving
-//! transformations that expose data parallelism, and compiles the
-//! result back into a script orchestrated with FIFOs and a small
-//! runtime library (`eager` relays, splitters, aggregators).
+//! transformations that expose data parallelism, lowers the result to
+//! a backend-neutral execution plan, and hands that plan to a
+//! pluggable execution backend — the POSIX-script emitter, the
+//! in-process threaded executor, or the performance-shape simulator.
 //!
 //! This crate re-exports the workspace:
 //!
-//! * [`core`] — classes, annotations, DFG, transformations, compiler;
+//! * [`core`] — classes, annotations, DFG, transformations, compiler,
+//!   the [`core::plan`] IR and the `shell` backend;
 //! * [`parser`] — the POSIX shell front-end;
 //! * [`coreutils`] — from-scratch command implementations;
-//! * [`runtime`] — runtime primitives + the threaded executor;
-//! * [`sim`] — the performance-shape simulator;
+//! * [`runtime`] — runtime primitives + the `threads` backend;
+//! * [`sim`] — the `sim` (performance-shape) backend;
 //! * [`workloads`] — synthetic input generators;
 //! * [`regex`] — the linear-time regex engine.
 //!
@@ -43,6 +45,27 @@
 //!     "      2 hello\n      1 world\n"
 //! );
 //! ```
+//!
+//! Or select a backend by name through [`run`]:
+//!
+//! ```
+//! use pash::core::compile::PashConfig;
+//! use pash::{run, BackendOutput, RunEnv};
+//!
+//! let mut env = RunEnv::default();
+//! env.fs_mem().add("in.txt", b"b\na\n".to_vec());
+//! let cfg = PashConfig { width: 2, ..Default::default() };
+//! match run("cat in.txt | sort", &cfg, "threads", &env).unwrap() {
+//!     BackendOutput::Execution(out) => assert_eq!(out.stdout, b"a\nb\n"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! match run("cat in.txt | sort", &cfg, "shell", &env).unwrap() {
+//!     BackendOutput::Script(s) => assert!(s.contains("#!/bin/sh")),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+use std::sync::Arc;
 
 pub use pash_core as core;
 pub use pash_coreutils as coreutils;
@@ -52,6 +75,14 @@ pub use pash_runtime as runtime;
 pub use pash_sim as sim;
 pub use pash_workloads as workloads;
 
+use crate::core::backend::ShellEmitter;
+use crate::core::compile::{compile_cached, Compiled, PashConfig};
+use crate::core::plan::Backend;
+use crate::coreutils::fs::{Fs, MemFs};
+use crate::coreutils::Registry;
+use crate::runtime::exec::{ExecConfig, ProgramOutput, ThreadedBackend};
+use crate::sim::{CostModel, InputSizes, SimBackend, SimConfig, SimReport};
+
 /// Compiles a script with the standard annotation library (shorthand
 /// for [`core::compile::compile`]).
 pub fn compile(
@@ -59,4 +90,188 @@ pub fn compile(
     cfg: &core::compile::PashConfig,
 ) -> Result<core::compile::Compiled, core::Error> {
     core::compile::compile(src, cfg)
+}
+
+/// Compiles through the process-wide memoized cache (shorthand for
+/// [`core::compile::compile_cached`]).
+pub fn compile_cached_script(
+    src: &str,
+    cfg: &core::compile::PashConfig,
+) -> Result<Arc<Compiled>, core::Error> {
+    compile_cached(src, cfg)
+}
+
+/// The registered execution backends, by selection name.
+pub const BACKENDS: &[&str] = &["shell", "threads", "sim"];
+
+/// Everything a backend might need to run a plan; construct with
+/// [`RunEnv::default`] and override what matters.
+pub struct RunEnv {
+    /// Command implementations for the `threads` backend.
+    pub registry: Registry,
+    /// Filesystem for the `threads` backend (a [`MemFs`] by default).
+    pub fs: Arc<MemFs>,
+    /// Bytes fed to the program's stdin (`threads`).
+    pub stdin: Vec<u8>,
+    /// Executor tuning (`threads`).
+    pub exec: ExecConfig,
+    /// Input-file sizes (`sim`).
+    pub sizes: InputSizes,
+    /// Bytes arriving on stdin (`sim`).
+    pub stdin_bytes: f64,
+    /// Command cost profiles (`sim`).
+    pub cost: CostModel,
+    /// Machine parameters (`sim`).
+    pub sim: SimConfig,
+    /// Emission options (`shell`).
+    pub emit: core::backend::EmitConfig,
+}
+
+impl Default for RunEnv {
+    fn default() -> Self {
+        RunEnv {
+            registry: Registry::standard(),
+            fs: Arc::new(MemFs::new()),
+            stdin: Vec::new(),
+            exec: ExecConfig::default(),
+            sizes: InputSizes::new(),
+            stdin_bytes: 0.0,
+            cost: CostModel::default(),
+            sim: SimConfig::default(),
+            emit: core::backend::EmitConfig::default(),
+        }
+    }
+}
+
+impl RunEnv {
+    /// The in-memory filesystem, for seeding inputs and reading
+    /// outputs.
+    pub fn fs_mem(&self) -> &MemFs {
+        &self.fs
+    }
+}
+
+/// What a backend produced.
+#[derive(Debug)]
+pub enum BackendOutput {
+    /// The `shell` backend's POSIX script.
+    Script(String),
+    /// The `threads` backend's execution result.
+    Execution(ProgramOutput),
+    /// The `sim` backend's predicted timing.
+    Simulation(SimReport),
+}
+
+/// Errors from [`run`].
+#[derive(Debug)]
+pub enum RunError {
+    /// Compilation failed.
+    Compile(core::Error),
+    /// The backend failed at execution time.
+    Io(std::io::Error),
+    /// No backend with that name (see [`BACKENDS`]).
+    UnknownBackend(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile: {e}"),
+            RunError::Io(e) => write!(f, "run: {e}"),
+            RunError::UnknownBackend(name) => {
+                write!(
+                    f,
+                    "unknown backend `{name}` (known: {})",
+                    BACKENDS.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Compiles `src` (through the memoized cache) and runs the lowered
+/// [`core::plan::ExecutionPlan`] on the backend named `backend` —
+/// `"shell"`, `"threads"`, or `"sim"`.
+///
+/// This is the multi-backend entry point the plan layer exists for:
+/// every backend consumes the same lowered artifact, so adding a
+/// process or remote backend means implementing
+/// [`core::plan::Backend`] and adding an arm here.
+pub fn run(
+    src: &str,
+    cfg: &PashConfig,
+    backend: &str,
+    env: &RunEnv,
+) -> Result<BackendOutput, RunError> {
+    let compiled = compile_cached(src, cfg).map_err(RunError::Compile)?;
+    match backend {
+        "shell" => {
+            let mut be = ShellEmitter {
+                cfg: env.emit.clone(),
+            };
+            be.run(&compiled.plan)
+                .map(BackendOutput::Script)
+                .map_err(RunError::Io)
+        }
+        "threads" => {
+            let mut be = ThreadedBackend {
+                registry: &env.registry,
+                fs: env.fs.clone() as Arc<dyn Fs>,
+                stdin: env.stdin.clone(),
+                cfg: env.exec.clone(),
+            };
+            be.run(&compiled.plan)
+                .map(BackendOutput::Execution)
+                .map_err(RunError::Io)
+        }
+        "sim" => {
+            let mut be = SimBackend {
+                sizes: &env.sizes,
+                stdin_bytes: env.stdin_bytes,
+                cost: &env.cost,
+                cfg: &env.sim,
+            };
+            be.run(&compiled.plan)
+                .map(BackendOutput::Simulation)
+                .map_err(RunError::Io)
+        }
+        other => Err(RunError::UnknownBackend(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_backends_run_the_same_plan() {
+        let env = RunEnv::default();
+        env.fs_mem().add("in.txt", b"b\na\nc\n".to_vec());
+        let cfg = PashConfig {
+            width: 2,
+            ..Default::default()
+        };
+        let src = "cat in.txt | sort";
+        for &name in BACKENDS {
+            let out = run(src, &cfg, name, &env).expect("backend runs");
+            match (name, out) {
+                ("shell", BackendOutput::Script(s)) => assert!(s.contains("#!/bin/sh")),
+                ("threads", BackendOutput::Execution(o)) => {
+                    assert_eq!(o.stdout, b"a\nb\nc\n")
+                }
+                ("sim", BackendOutput::Simulation(r)) => assert!(r.seconds > 0.0),
+                (name, other) => panic!("{name} produced {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error() {
+        let env = RunEnv::default();
+        let err = run("cat f", &PashConfig::default(), "gpu", &env).unwrap_err();
+        assert!(matches!(err, RunError::UnknownBackend(_)));
+        assert!(err.to_string().contains("threads"));
+    }
 }

@@ -4,45 +4,28 @@
 //! (§4.2) and the paper verifies over multi-GB inputs ("PaSh's
 //! results ... are identical to the sequential for all benchmarks").
 
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use pash::core::compile::PashConfig;
 use pash::core::dfg::{AggTreeShape, EagerPolicy, SplitPolicy};
 use pash::coreutils::fs::MemFs;
-use pash::coreutils::Registry;
 use pash::runtime::exec::{run_script, ExecConfig};
+use pash_bench::fixtures::{cached_fs, registry};
 use pash_bench::suites::{oneliners, unix50, usecases};
 use pash_bench::Fig7Config;
 
-/// Returns a fresh filesystem for `key`, building the workload corpus
-/// only on the first request: corpora are cached as template
-/// filesystems and each run gets an isolated `snapshot` (contents
-/// stay `Arc`-shared, so the marginal cost is a map clone, not
-/// regeneration — which used to dominate this suite's wall clock).
-fn cached_fs(key: String, build: impl FnOnce(&MemFs)) -> Arc<MemFs> {
-    static CACHE: OnceLock<Mutex<HashMap<String, MemFs>>> = OnceLock::new();
-    let mut map = CACHE
-        .get_or_init(Default::default)
-        .lock()
-        .expect("corpus cache lock");
-    let template = map.entry(key).or_insert_with(|| {
-        let fs = MemFs::new();
-        build(&fs);
-        fs
-    });
-    Arc::new(template.snapshot())
-}
-
 /// Runs a script and returns `(stdout, out.txt contents if any)`.
+///
+/// Corpus filesystems come from the shared
+/// [`pash_bench::fixtures::cached_fs`] template cache (regeneration
+/// used to dominate this suite's wall clock).
 fn run(
     script: &str,
     cfg: &PashConfig,
     fs: Arc<MemFs>,
     exec: &ExecConfig,
 ) -> (Vec<u8>, Option<Vec<u8>>) {
-    let reg = Registry::standard();
-    let out = run_script(script, cfg, &reg, fs.clone(), Vec::new(), exec)
+    let out = run_script(script, cfg, registry(), fs.clone(), Vec::new(), exec)
         .unwrap_or_else(|e| panic!("execution failed: {e}\nscript: {script}"));
     let file = fs.read("out.txt").ok();
     (out.stdout, file)

@@ -12,9 +12,14 @@ use std::sync::Arc;
 
 use pash::core::compile::PashConfig;
 use pash::coreutils::fs::MemFs;
-use pash::coreutils::Registry;
 use pash::runtime::exec::{run_script, ExecConfig};
-use pash::workloads::text_corpus;
+use pash_bench::fixtures::{cached_corpus, registry};
+
+/// A shared corpus from the process-wide cache, cloned into the
+/// per-test file list.
+fn corpus(seed: u64, bytes: usize) -> Vec<u8> {
+    cached_corpus(seed, bytes).as_ref().clone()
+}
 
 /// Locates the workspace target directory from the test executable.
 fn target_dir() -> PathBuf {
@@ -110,7 +115,7 @@ fn reference(script: &str, files: &[(&str, Vec<u8>)], output: &str) -> Vec<u8> {
             width: 1,
             ..Default::default()
         },
-        &Registry::standard(),
+        registry(),
         fs.clone(),
         Vec::new(),
         &ExecConfig::default(),
@@ -121,7 +126,7 @@ fn reference(script: &str, files: &[(&str, Vec<u8>)], output: &str) -> Vec<u8> {
 
 #[test]
 fn emitted_sort_pipeline_runs_under_sh() {
-    let files = vec![("in.txt", text_corpus(51, 60_000))];
+    let files = vec![("in.txt", corpus(51, 60_000))];
     let script = "cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt";
     let expected = reference(script, &files, "out.txt");
     for width in [1usize, 3] {
@@ -140,7 +145,7 @@ fn emitted_grep_head_terminates_cleanly() {
     // The §5.2 dangling-FIFO scenario under a real shell: head exits
     // early; the emitted cleanup must SIGPIPE the producers so the
     // script terminates.
-    let files = vec![("in.txt", text_corpus(52, 40_000))];
+    let files = vec![("in.txt", corpus(52, 40_000))];
     let script = "cat in.txt | tr A-Z a-z | sort -rn | head -n 1 > out.txt";
     let expected = reference(script, &files, "out.txt");
     match run_emitted(script, &files, 4, "out.txt") {
@@ -152,7 +157,7 @@ fn emitted_grep_head_terminates_cleanly() {
 #[test]
 fn emitted_comm_with_static_input() {
     let dict = pash::workloads::dictionary();
-    let files = vec![("in.txt", text_corpus(53, 30_000)), ("dict.txt", dict)];
+    let files = vec![("in.txt", corpus(53, 30_000)), ("dict.txt", dict)];
     let script =
         "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq | comm -13 dict.txt - > out.txt";
     let expected = reference(script, &files, "out.txt");

@@ -14,8 +14,9 @@ use proptest::prelude::*;
 
 use pash::core::compile::PashConfig;
 use pash::coreutils::fs::MemFs;
-use pash::coreutils::{run_command, Registry};
+use pash::coreutils::run_command;
 use pash::runtime::exec::{run_script, ExecConfig};
+use pash_bench::fixtures::registry;
 
 /// Random line-oriented inputs: words, numbers, punctuation, repeats.
 fn arb_input() -> impl Strategy<Value = Vec<u8>> {
@@ -51,8 +52,7 @@ fn split_at_line(data: &[u8], frac: f64) -> (Vec<u8>, Vec<u8>) {
 }
 
 fn run(argv: &[&str], input: &[u8]) -> Vec<u8> {
-    let reg = Registry::standard();
-    run_command(&reg, Arc::new(MemFs::new()), argv, input)
+    run_command(registry(), Arc::new(MemFs::new()), argv, input)
         .expect("command runs")
         .stdout
 }
@@ -119,22 +119,21 @@ proptest! {
         // uniq's chunks must themselves be uniq-able: pre-sort.
         let sorted = run(&["sort"], &input);
         let (x, y) = split_at_line(&sorted, frac);
-        let reg = Registry::standard();
         for (map_argv, agg_argv) in pure_pairs() {
             let map_ref: Vec<&str> = map_argv.iter().map(|s| s.as_str()).collect();
             let whole = run(&map_ref, &sorted);
             let part_a = run(&map_ref, &x);
             let part_b = run(&map_ref, &y);
             let mut out = Vec::new();
-            let inputs: Vec<Box<dyn std::io::BufRead + Send>> = vec![
-                Box::new(std::io::BufReader::new(std::io::Cursor::new(part_a))),
-                Box::new(std::io::BufReader::new(std::io::Cursor::new(part_b))),
+            let inputs: Vec<pash::runtime::agg::AggInput> = vec![
+                Box::new(std::io::Cursor::new(part_a)),
+                Box::new(std::io::Cursor::new(part_b)),
             ];
             pash::runtime::agg::run_aggregator(
                 &agg_argv,
                 inputs,
                 &mut out,
-                &reg,
+                registry(),
                 Arc::new(MemFs::new()),
             )
             .expect("aggregator runs");
@@ -171,14 +170,13 @@ proptest! {
             script.push_str(POOL[*s]);
         }
         script.push_str(" > out.txt");
-        let reg = Registry::standard();
         let run_width = |w: usize| {
             let fs = Arc::new(MemFs::new());
             fs.add("in.txt", input.clone());
             run_script(
                 &script,
                 &PashConfig { width: w, ..Default::default() },
-                &reg,
+                registry(),
                 fs.clone(),
                 Vec::new(),
                 &ExecConfig::default(),
