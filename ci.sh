@@ -10,7 +10,10 @@
 #   4. compile (but don't run) all criterion benches;
 #   5. dataplane bench smoke: run at a small size and check the
 #      emitted BENCH_dataplane.json parses;
-#   6. rustfmt check.
+#   6. plan-determinism smoke;
+#   7. process-backend smoke: one corpus script as real children over
+#      FIFOs, byte-compared against the shell backend's output;
+#   8. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -51,6 +54,22 @@ grep -c z summary.txt > count.txt && sort count.txt'
     > target/bench-smoke/plan_b.txt 2>/dev/null
 cmp target/bench-smoke/plan_a.txt target/bench-smoke/plan_b.txt
 test -s target/bench-smoke/plan_a.txt
+
+echo "==> process backend smoke (cmp against the shell backend)"
+# The same script, same generated corpus, executed twice: once as an
+# emitted POSIX script under /bin/sh, once as real child processes
+# over FIFOs walking the lowered plan. The outputs must be identical.
+SMOKE_SCRIPT='cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt'
+for b in shell processes; do
+    rm -rf "target/bench-smoke/backend-$b"
+    mkdir -p "target/bench-smoke/backend-$b"
+    ./target/release/backendrun --backend "$b" --width 4 \
+        --dir "target/bench-smoke/backend-$b" --gen in.txt:200000 \
+        -e "$SMOKE_SCRIPT"
+done
+cmp target/bench-smoke/backend-shell/out.txt \
+    target/bench-smoke/backend-processes/out.txt
+test -s target/bench-smoke/backend-processes/out.txt
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -212,6 +212,8 @@ pub fn run_suite(bytes: usize, runs: usize) -> Vec<Sample> {
     let registry = Registry::standard();
     let chunks = sorted_chunks(&corpus, 8);
     let merge_bytes: usize = chunks.iter().map(|c| c.len()).sum();
+    let chunks32 = sorted_chunks(&corpus, 32);
+    let merge32_bytes: usize = chunks32.iter().map(|c| c.len()).sum();
     vec![
         measure("pipe_64k_cap", bytes, runs, || {
             time_pipe_transfer(64 * 1024, bytes)
@@ -226,6 +228,11 @@ pub fn run_suite(bytes: usize, runs: usize) -> Vec<Sample> {
         measure("relay_full", bytes, runs, || time_relay(&corpus)),
         measure("agg_sort_merge_8way", merge_bytes, runs, || {
             time_agg_merge(&registry, &fs, &chunks)
+        }),
+        // High fan-in is where the loser tree's O(log k) replay beats
+        // the old O(k) head scan.
+        measure("agg_sort_merge_32way", merge32_bytes, runs, || {
+            time_agg_merge(&registry, &fs, &chunks32)
         }),
     ]
 }
@@ -249,12 +256,13 @@ mod tests {
     #[test]
     fn suite_runs_at_tiny_size() {
         let samples = run_suite(4 * 1024, 1);
-        assert_eq!(samples.len(), 6);
+        assert_eq!(samples.len(), 7);
         for s in &samples {
             assert!(s.throughput() > 0.0, "{} has zero throughput", s.name);
             assert!(s.to_json().contains(&s.name));
         }
         assert!(samples.iter().any(|s| s.name == "agg_sort_merge_8way"));
+        assert!(samples.iter().any(|s| s.name == "agg_sort_merge_32way"));
     }
 
     #[test]

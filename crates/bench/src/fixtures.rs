@@ -9,6 +9,8 @@
 //! stop regenerating their own corpora per suite.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::Command;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use pash_coreutils::fs::MemFs;
@@ -52,6 +54,47 @@ pub fn cached_corpus(seed: u64, bytes: usize) -> Arc<Vec<u8>> {
 pub fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
     REGISTRY.get_or_init(Registry::standard)
+}
+
+/// Locates the workspace target directory from the current executable
+/// (`target/<profile>/deps/<bin>` → `target/<profile>`).
+pub fn target_dir() -> PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p
+}
+
+fn build_runtime_binaries() -> Option<(PathBuf, PathBuf)> {
+    let dir = target_dir();
+    let pashc = dir.join("pashc");
+    let pash_rt = dir.join("pash-rt");
+    if !pashc.exists() || !pash_rt.exists() {
+        let profile_flag: &[&str] = if dir.ends_with("release") {
+            &["--release"]
+        } else {
+            &[]
+        };
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "pash-runtime", "--bins"])
+            .args(profile_flag)
+            .status()
+            .ok()?;
+        if !status.success() || !pashc.exists() || !pash_rt.exists() {
+            return None;
+        }
+    }
+    Some((pashc, pash_rt))
+}
+
+/// The multi-call binaries (`pashc`, `pash-rt`), built on first
+/// request and shared process-wide. `None` when they cannot be built
+/// (callers should skip, like the emitted-script suites always have).
+pub fn runtime_binaries() -> Option<(PathBuf, PathBuf)> {
+    static BINS: OnceLock<Option<(PathBuf, PathBuf)>> = OnceLock::new();
+    BINS.get_or_init(build_runtime_binaries).clone()
 }
 
 #[cfg(test)]

@@ -89,6 +89,9 @@ pub struct CompileStats {
     /// Process-wide [`compile_cached`] misses at the time this compile
     /// finished.
     pub cache_misses: u64,
+    /// Process-wide [`compile_cached`] LRU evictions at the time this
+    /// compile finished.
+    pub cache_evictions: u64,
 }
 
 /// A compiled program.
@@ -160,6 +163,7 @@ pub fn compile_with_library(
             compile_time: start.elapsed(),
             cache_hits: cache.hits,
             cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
         },
     })
 }
@@ -171,32 +175,107 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to compile.
     pub misses: u64,
+    /// Entries dropped to stay within the LRU capacity.
+    pub evictions: u64,
 }
 
 static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
 static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+static CACHE_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
-fn cache() -> &'static Mutex<HashMap<String, Arc<Compiled>>> {
-    static CACHE: OnceLock<Mutex<HashMap<String, Arc<Compiled>>>> = OnceLock::new();
-    CACHE.get_or_init(Default::default)
+/// Default number of memoized compilations kept in memory. A compiled
+/// plan for a typical script is a few tens of KiB, so the default cap
+/// bounds the cache at a few MiB while still covering whole benchmark
+/// suites and width sweeps.
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// A bounded LRU map: values are stamped with a logical clock on every
+/// touch and the stalest entry is dropped when the map outgrows its
+/// capacity. Eviction is O(n) over the map, but runs only on insert
+/// beyond capacity — irrelevant next to a compile.
+struct Lru<V> {
+    map: HashMap<String, (V, u64)>,
+    tick: u64,
+    capacity: usize,
 }
 
-/// Current process-wide [`compile_cached`] hit/miss counters.
+impl<V> Lru<V> {
+    fn new(capacity: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up and freshens an entry.
+    fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts an entry (first write wins, like `entry().or_insert`);
+    /// returns how many entries were evicted to make room.
+    fn insert(&mut self, key: String, value: V) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.entry(key).or_insert((value, tick));
+        let mut evicted = 0;
+        while self.map.len() > self.capacity {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+                evicted += 1;
+            } else {
+                break;
+            }
+        }
+        evicted
+    }
+}
+
+fn cache() -> &'static Mutex<Lru<Arc<Compiled>>> {
+    static CACHE: OnceLock<Mutex<Lru<Arc<Compiled>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Lru::new(DEFAULT_CACHE_CAPACITY)))
+}
+
+/// Sets the [`compile_cached`] capacity (entries; clamped to ≥ 1).
+/// Shrinking below the current population evicts stalest-first on the
+/// next insert.
+pub fn set_cache_capacity(entries: usize) {
+    cache().lock().expect("compile cache lock").capacity = entries.max(1);
+}
+
+/// Current process-wide [`compile_cached`] hit/miss/eviction counters.
 pub fn cache_stats() -> CacheStats {
     CacheStats {
         hits: CACHE_HITS.load(Ordering::Relaxed),
         misses: CACHE_MISSES.load(Ordering::Relaxed),
+        evictions: CACHE_EVICTIONS.load(Ordering::Relaxed),
     }
 }
 
 /// Compiles with the standard library, memoizing results by
-/// `(source, configuration)`.
+/// `(source, configuration)` in a bounded LRU (default
+/// [`DEFAULT_CACHE_CAPACITY`] entries; tune with
+/// [`set_cache_capacity`]).
 ///
 /// Compilation is deterministic (see the CI plan-determinism smoke
 /// step), so a cache hit returns the *same* `Arc<Compiled>` — plan,
 /// script, and stats included — without re-running the front-end or
-/// transformations. Errors are not cached. Hit/miss counters are
-/// surfaced via [`cache_stats`] and embedded in every
+/// transformations. Errors are not cached. Hit/miss/eviction counters
+/// are surfaced via [`cache_stats`] and embedded in every
 /// [`CompileStats`].
 pub fn compile_cached(src: &str, cfg: &PashConfig) -> Result<Arc<Compiled>, Error> {
     let key = format!("{}\u{0}{src}", cfg.cache_key());
@@ -207,11 +286,13 @@ pub fn compile_cached(src: &str, cfg: &PashConfig) -> Result<Arc<Compiled>, Erro
     }
     CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
     let compiled = Arc::new(compile(src, cfg)?);
-    cache()
+    let evicted = cache()
         .lock()
         .expect("compile cache lock")
-        .entry(key)
-        .or_insert_with(|| compiled.clone());
+        .insert(key, compiled.clone());
+    if evicted > 0 {
+        CACHE_EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+    }
     Ok(compiled)
 }
 
@@ -385,5 +466,43 @@ mod tests {
         let cfg = PashConfig::default();
         assert!(compile_cached("cat |", &cfg).is_err());
         assert!(compile_cached("cat |", &cfg).is_err());
+    }
+
+    #[test]
+    fn lru_evicts_stalest_first() {
+        let mut lru = Lru::new(2);
+        assert_eq!(lru.insert("a".into(), 1), 0);
+        assert_eq!(lru.insert("b".into(), 2), 0);
+        // Touch `a`, making `b` the stalest.
+        assert_eq!(lru.get("a"), Some(&1));
+        assert_eq!(lru.insert("c".into(), 3), 1);
+        assert_eq!(lru.get("b"), None, "stalest entry evicted");
+        assert_eq!(lru.get("a"), Some(&1), "freshened entry survives");
+        assert_eq!(lru.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn lru_first_write_wins_and_capacity_clamped() {
+        let mut lru = Lru::new(0); // Clamped to 1.
+        lru.insert("k".into(), 10);
+        lru.insert("k".into(), 99);
+        assert_eq!(lru.get("k"), Some(&10), "or_insert semantics");
+        assert_eq!(lru.map.len(), 1);
+        lru.insert("l".into(), 20);
+        assert_eq!(lru.map.len(), 1, "capacity 1 holds one entry");
+    }
+
+    #[test]
+    fn lru_shrinking_capacity_evicts_down() {
+        let mut lru = Lru::new(8);
+        for i in 0..8 {
+            lru.insert(format!("k{i}"), i);
+        }
+        lru.capacity = 3;
+        // The next insert trims the map down to the new bound.
+        let evicted = lru.insert("fresh".into(), 100);
+        assert_eq!(evicted, 6);
+        assert_eq!(lru.map.len(), 3);
+        assert_eq!(lru.get("fresh"), Some(&100));
     }
 }

@@ -180,6 +180,126 @@ pub struct PlanNode {
     pub output_producer: bool,
 }
 
+/// One argv word of a node spawned as a standalone OS process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpawnWord {
+    /// Literal text (shell backends quote it).
+    Lit(String),
+    /// The transport name of the node's k-th input edge.
+    In(usize),
+    /// The transport name of the node's j-th output edge.
+    Out(usize),
+}
+
+/// Which multi-call personality serves a spawned node.
+///
+/// Both map to the same dispatch table in practice (`pashc` also runs
+/// the runtime subcommands), but backends keep the distinction so the
+/// emitted artifacts stay overridable per role (`$PASHC` / `$PASH_RT`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpawnBin {
+    /// A coreutils command (`$PASHC`).
+    Coreutils,
+    /// A runtime primitive — split/relay/aggregate (`$PASH_RT`).
+    Runtime,
+}
+
+/// How to run one plan node as a standalone OS process: the argv
+/// (with edge references still symbolic) plus stdin/stdout routing.
+///
+/// This is the single source of truth for per-node argv rendering —
+/// the shell emitter renders it into script text and the process
+/// backend renders it into a real `exec`, so the two cannot drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpawnSpec {
+    /// The multi-call personality to invoke.
+    pub bin: SpawnBin,
+    /// Argv after the binary name (subcommand first).
+    pub argv: Vec<SpawnWord>,
+    /// Input position routed via the process's standard input, if any
+    /// (at most one — further stdin inputs do not occur in lowered
+    /// plans; ops with several inputs name them in argv instead).
+    pub stdin_input: Option<usize>,
+    /// Output position routed via the process's standard output, if
+    /// any (`None` only for split nodes, which name their outputs).
+    pub stdout_output: Option<usize>,
+}
+
+impl PlanNode {
+    /// The node's standalone-process form.
+    pub fn spawn_spec(&self) -> SpawnSpec {
+        let stdin_input = self.stdin_inputs.first().copied();
+        match &self.op {
+            PlanOp::Exec { argv } => SpawnSpec {
+                bin: SpawnBin::Coreutils,
+                argv: argv
+                    .iter()
+                    .map(|a| match a {
+                        Arg::Lit(w) => SpawnWord::Lit(w.clone()),
+                        Arg::Stream(k) => SpawnWord::In(*k),
+                    })
+                    .collect(),
+                stdin_input,
+                stdout_output: Some(0),
+            },
+            PlanOp::Cat => SpawnSpec {
+                bin: SpawnBin::Coreutils,
+                argv: std::iter::once(SpawnWord::Lit("cat".to_string()))
+                    .chain((0..self.inputs.len()).map(SpawnWord::In))
+                    .collect(),
+                stdin_input: None,
+                stdout_output: Some(0),
+            },
+            PlanOp::Split { sized } => {
+                let mut argv = vec![SpawnWord::Lit("split".to_string())];
+                if *sized {
+                    argv.push(SpawnWord::Lit("--sized".to_string()));
+                }
+                argv.extend((0..self.outputs.len()).map(SpawnWord::Out));
+                SpawnSpec {
+                    bin: SpawnBin::Runtime,
+                    argv,
+                    stdin_input,
+                    stdout_output: None,
+                }
+            }
+            PlanOp::Relay { blocking } => {
+                let mut argv = vec![SpawnWord::Lit("eager".to_string())];
+                if *blocking {
+                    argv.push(SpawnWord::Lit("--blocking".to_string()));
+                }
+                SpawnSpec {
+                    bin: SpawnBin::Runtime,
+                    argv,
+                    stdin_input,
+                    stdout_output: Some(0),
+                }
+            }
+            PlanOp::Aggregate { argv } => {
+                // Inputs ride in `--in` redirections ahead of the
+                // `agg` subcommand: the multicall then applies real
+                // aggregator semantics. (Plain operand passing would
+                // be ambiguous for re-applied commands — `head -n 3
+                // f1 f2` takes three lines *per file*, an aggregator
+                // takes three lines of the ordered concatenation.)
+                let mut words = Vec::with_capacity(2 * self.inputs.len() + argv.len() + 1);
+                for k in 0..self.inputs.len() {
+                    words.push(SpawnWord::Lit("--in".to_string()));
+                    words.push(SpawnWord::In(k));
+                }
+                words.push(SpawnWord::Lit("agg".to_string()));
+                words.extend(argv.iter().map(|a| SpawnWord::Lit(a.clone())));
+                SpawnSpec {
+                    bin: SpawnBin::Runtime,
+                    argv: words,
+                    stdin_input: None,
+                    stdout_output: Some(0),
+                }
+            }
+        }
+    }
+}
+
 /// One region, lowered: nodes in topological order, edges dense.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RegionPlan {
@@ -197,6 +317,16 @@ impl RegionPlan {
             .enumerate()
             .filter(|(_, n)| n.output_producer)
             .map(|(i, _)| i)
+    }
+
+    /// Whether this region consumes the program's stdin (has a
+    /// primary boundary-stdin edge). Executors must leave stdin
+    /// untouched for regions that don't — the emitted script keeps
+    /// the real stdin on a saved fd, so a later region still sees it.
+    pub fn reads_stdin(&self) -> bool {
+        self.edges
+            .iter()
+            .any(|e| e.kind == EndpointKind::StdinPipe { primary: true })
     }
 
     /// Edge ids of internal pipes (the FIFOs a shell backend creates).
@@ -771,6 +901,82 @@ mod tests {
         let mut broken = plan.regions().next().expect("region").clone();
         broken.nodes[0].stdin_inputs.push(99);
         assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn spawn_specs_cover_every_op() {
+        let plan = lowered_with(
+            "cat in.txt | sort | uniq -c > out.txt",
+            4,
+            SplitPolicy::General,
+        );
+        let r = first_region(&plan);
+        let mut seen_split = false;
+        let mut seen_agg = false;
+        for n in &r.nodes {
+            let spec = n.spawn_spec();
+            match &n.op {
+                PlanOp::Split { .. } => {
+                    seen_split = true;
+                    assert_eq!(spec.bin, SpawnBin::Runtime);
+                    assert_eq!(spec.stdout_output, None, "split names its outputs");
+                    let outs = spec
+                        .argv
+                        .iter()
+                        .filter(|w| matches!(w, SpawnWord::Out(_)))
+                        .count();
+                    assert_eq!(outs, n.outputs.len());
+                    assert_eq!(spec.stdin_input, Some(0));
+                }
+                PlanOp::Aggregate { argv } => {
+                    seen_agg = true;
+                    assert_eq!(spec.bin, SpawnBin::Runtime);
+                    assert_eq!(spec.stdin_input, None);
+                    // Inputs ride in `--in` pairs before `agg NAME`.
+                    let agg_pos = spec
+                        .argv
+                        .iter()
+                        .position(|w| w == &SpawnWord::Lit("agg".into()))
+                        .expect("agg subcommand");
+                    assert_eq!(
+                        spec.argv.get(agg_pos + 1),
+                        Some(&SpawnWord::Lit(argv[0].clone())),
+                        "aggregator name follows `agg`"
+                    );
+                    let ins = spec
+                        .argv
+                        .iter()
+                        .filter(|w| matches!(w, SpawnWord::In(_)))
+                        .count();
+                    assert_eq!(ins, n.inputs.len());
+                }
+                PlanOp::Exec { .. } | PlanOp::Cat => {
+                    assert_eq!(spec.bin, SpawnBin::Coreutils);
+                    assert_eq!(spec.stdout_output, Some(0));
+                }
+                PlanOp::Relay { .. } => {
+                    assert_eq!(spec.bin, SpawnBin::Runtime);
+                    assert_eq!(spec.argv.first(), Some(&SpawnWord::Lit("eager".into())));
+                }
+            }
+        }
+        assert!(seen_split && seen_agg);
+    }
+
+    #[test]
+    fn spawn_spec_maps_stream_args_to_inputs() {
+        let plan = lowered("sort words.txt | comm -13 dict.txt -", 1);
+        let r = first_region(&plan);
+        let comm = r
+            .nodes
+            .iter()
+            .find(|n| matches!(&n.op, PlanOp::Exec { argv } if argv.first() == Some(&Arg::Lit("comm".into()))))
+            .expect("comm node");
+        let spec = comm.spawn_spec();
+        // `-` is stdin-routed, so the spec carries a stdin input and no
+        // In() words.
+        assert_eq!(spec.stdin_input, Some(0));
+        assert!(spec.argv.iter().all(|w| matches!(w, SpawnWord::Lit(_))));
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! The bounded compile cache, exercised against the process-global
+//! instance. This lives in its own integration binary (its own OS
+//! process) so shrinking the global capacity cannot perturb the unit
+//! suites that rely on hits staying resident.
+
+use std::sync::Arc;
+
+use pash_core::compile::{cache_stats, compile_cached, set_cache_capacity, PashConfig};
+
+/// One test fn on purpose: the global cache is process state, and
+/// parallel test threads inside this binary would race its capacity.
+#[test]
+fn global_cache_is_lru_bounded() {
+    set_cache_capacity(8);
+    let cfg = PashConfig::default();
+
+    // A pinned entry we keep touching; it must survive the churn.
+    let pinned_src = "grep keep lru-pinned.txt > o";
+    let pinned = compile_cached(pinned_src, &cfg).expect("compile");
+
+    let before = cache_stats();
+    for i in 0..24 {
+        let src = format!("grep x lru-churn-{i}.txt > o");
+        compile_cached(&src, &cfg).expect("compile");
+        // Touch the pinned entry so it is never the stalest.
+        let again = compile_cached(pinned_src, &cfg).expect("compile");
+        assert!(
+            Arc::ptr_eq(&pinned, &again),
+            "freshly-touched entry evicted at churn step {i}"
+        );
+    }
+    let after = cache_stats();
+    assert!(
+        after.evictions >= before.evictions + 16,
+        "24 inserts into an 8-entry cache must evict (before {before:?}, after {after:?})"
+    );
+    assert!(after.misses >= before.misses + 24);
+
+    // An entry that churned out misses on re-lookup (recompiles).
+    let miss_floor = cache_stats().misses;
+    compile_cached("grep x lru-churn-0.txt > o", &cfg).expect("compile");
+    assert!(
+        cache_stats().misses > miss_floor,
+        "evicted entry should recompile"
+    );
+
+    // Restore the default for any code that runs after us in-process.
+    set_cache_capacity(pash_core::compile::DEFAULT_CACHE_CAPACITY);
+}

@@ -167,6 +167,36 @@ pub fn run_command(
     })
 }
 
+/// Runs a registry command as a standalone OS process would: over the
+/// given stdin/stdout handles with the host's standard error. This is
+/// the real-fd `CmdIo` construction shared by the multi-call binaries
+/// (`pashc`, `pash-rt`) — unlike [`run_command`] nothing is captured,
+/// so bytes stream straight through the process's descriptors.
+pub fn run_standalone(
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    name: &str,
+    args: &[String],
+    stdin: &mut dyn BufRead,
+    stdout: &mut dyn Write,
+) -> io::Result<ExitStatus> {
+    let cmd = registry
+        .get(name)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("{name}: not found")))?;
+    let stderr = io::stderr();
+    let mut err = stderr.lock();
+    let mut cio = CmdIo {
+        stdin,
+        stdout,
+        stderr: &mut err,
+        fs,
+        registry,
+    };
+    let status = cmd.run(args, &mut cio)?;
+    cio.stdout.flush()?;
+    Ok(status)
+}
+
 /// Opens an input source: `-` means "the rest of stdin".
 pub fn open_input(
     fs: &Arc<dyn Fs>,

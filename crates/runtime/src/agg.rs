@@ -89,7 +89,72 @@ fn advance(sc: &mut LineScanner<AggInput>, head: &mut Head) -> io::Result<()> {
     Ok(())
 }
 
-/// `sort -m`: streaming k-way merge with the sequential comparator.
+/// A loser tree (tournament tree) over `k` merge inputs.
+///
+/// The previous merge scanned all `k` heads per output line — O(k)
+/// comparisons per line, which dominates at high widths. A loser tree
+/// keeps the losers of past matches in internal nodes, so after
+/// advancing the winning stream only the path from its leaf to the
+/// root is replayed: O(log k) comparisons per line.
+///
+/// Indices are stream ids; `EMPTY` marks a match slot not yet played.
+/// Ties break toward the lower stream id, preserving the stable
+/// lowest-input-first order of the linear scan it replaces.
+struct LoserTree {
+    /// `tree[1..k]` hold losers; `tree[0]` is unused. Leaf `i`'s
+    /// parent is `(i + k) / 2`.
+    tree: Vec<usize>,
+    /// Current overall winner (a stream id, or `EMPTY` before build).
+    winner: usize,
+    k: usize,
+}
+
+const EMPTY: usize = usize::MAX;
+
+impl LoserTree {
+    /// Builds the tree by replaying every leaf once.
+    fn build(k: usize, mut beats: impl FnMut(usize, usize) -> bool) -> LoserTree {
+        let mut t = LoserTree {
+            tree: vec![EMPTY; k.max(1)],
+            winner: EMPTY,
+            k,
+        };
+        for i in 0..k {
+            t.replay(i, &mut beats);
+        }
+        t
+    }
+
+    /// Replays the path from leaf `i` to the root after stream `i`
+    /// changed (new head line, or exhausted).
+    ///
+    /// During the build, a climber reaching a not-yet-played match
+    /// slot deposits itself there and waits for the sibling subtree's
+    /// winner (sequential insertion guarantees the last leaf's whole
+    /// path is played, so the build always crowns a winner). After the
+    /// build every slot is filled and a replay runs the full path.
+    fn replay(&mut self, i: usize, beats: &mut impl FnMut(usize, usize) -> bool) {
+        let mut w = i;
+        let mut slot = (i + self.k) / 2;
+        while slot > 0 {
+            let held = self.tree[slot];
+            if held == EMPTY {
+                self.tree[slot] = w;
+                return;
+            }
+            // The slot keeps the loser; the winner moves up.
+            if beats(held, w) {
+                self.tree[slot] = w;
+                w = held;
+            }
+            slot /= 2;
+        }
+        self.winner = w;
+    }
+}
+
+/// `sort -m`: streaming k-way merge with the sequential comparator,
+/// driven by a [`LoserTree`].
 fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
     let parsed =
         parse_sort_args(args).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
@@ -106,28 +171,26 @@ fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> i
         advance(sc, &mut head)?;
         heads.push(head);
     }
+    let k = heads.len();
+    // Does stream `a` come before stream `b`? Exhausted streams lose;
+    // compare-equal heads break toward the lower id (stability).
+    let beats = |heads: &[Head], a: usize, b: usize| -> bool {
+        match (heads[a].live, heads[b].live) {
+            (false, _) => false,
+            (true, false) => true,
+            (true, true) => match spec.compare(&heads[a].buf, &heads[b].buf) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => a < b,
+            },
+        }
+    };
+    let mut tree = LoserTree::build(k, |a, b| beats(&heads, a, b));
     // For `sort -u`, duplicates may also straddle input boundaries.
     let mut last_emitted: Vec<u8> = Vec::new();
     let mut have_last = false;
-    loop {
-        let mut best: Option<usize> = None;
-        for (i, head) in heads.iter().enumerate() {
-            if !head.live {
-                continue;
-            }
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    if spec.compare(&head.buf, &heads[b].buf) == std::cmp::Ordering::Less {
-                        best = Some(i);
-                    }
-                }
-            }
-        }
-        let b = match best {
-            Some(b) => b,
-            None => break,
-        };
+    while tree.winner != EMPTY && heads[tree.winner].live {
+        let b = tree.winner;
         let suppress = unique && have_last && spec.key_equal(&last_emitted, &heads[b].buf);
         if !suppress {
             write_line(output, &heads[b].buf)?;
@@ -138,6 +201,7 @@ fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> i
             }
         }
         advance(&mut scanners[b], &mut heads[b])?;
+        tree.replay(b, &mut |a, b| beats(&heads, a, b));
     }
     Ok(0)
 }
@@ -451,5 +515,78 @@ mod tests {
         let reg = Registry::standard();
         let res = run_aggregator(&argv, vec![], &mut out, &reg, Arc::new(MemFs::new()));
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn sort_merge_no_inputs_is_empty() {
+        assert_eq!(run(&["pash-agg-sort"], &[]), "");
+    }
+
+    #[test]
+    fn sort_merge_single_input_passthrough() {
+        assert_eq!(run(&["pash-agg-sort"], &["a\nb\nc\n"]), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn sort_merge_wide_odd_fanin() {
+        // Nine inputs (not a power of two) with skewed lengths and
+        // early exhaustion: the loser tree's replay path must stay
+        // correct as streams die at different times.
+        let inputs = [
+            "a\nj\ns\n",
+            "",
+            "b\nk\n",
+            "c\n",
+            "d\nl\nt\nx\n",
+            "e\n",
+            "f\nm\n",
+            "g\nn\nu\n",
+            "h\n",
+        ];
+        let merged = run(&["pash-agg-sort"], &inputs);
+        let mut all: Vec<&str> = inputs.iter().flat_map(|s| s.lines()).collect();
+        all.sort_unstable();
+        let expected: String = all.iter().map(|l| format!("{l}\n")).collect();
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn sort_merge_equal_lines_stay_stable() {
+        // Compare-equal heads must drain lowest-input-first, like the
+        // linear scan did (ties broken by stream id).
+        assert_eq!(
+            run(&["pash-agg-sort"], &["x\nx\n", "x\n", "x\nx\n"]),
+            "x\nx\nx\nx\nx\n"
+        );
+    }
+
+    mod merge_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            // Merging k sorted chunks equals sorting the concatenation,
+            // for arbitrary line material and any fan-in.
+            #[test]
+            fn prop_tree_merge_equals_global_sort(
+                lines in proptest::collection::vec("[a-z]{0,6}", 0..80),
+                k in 1usize..12,
+            ) {
+                let mut sorted = lines.clone();
+                sorted.sort_unstable();
+                // Contiguous sorted chunks, like parallel sort copies.
+                let per = sorted.len().div_ceil(k).max(1);
+                let chunks: Vec<String> = sorted
+                    .chunks(per)
+                    .map(|c| c.iter().map(|l| format!("{l}\n")).collect())
+                    .collect();
+                let refs: Vec<&str> = chunks.iter().map(|s| s.as_str()).collect();
+                let merged = run(&["pash-agg-sort"], &refs);
+                let expected: String = sorted.iter().map(|l| format!("{l}\n")).collect();
+                prop_assert_eq!(merged, expected);
+            }
+        }
     }
 }

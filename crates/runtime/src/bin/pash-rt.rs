@@ -1,167 +1,20 @@
 //! `pash-rt` — the runtime primitives as a multi-call binary, used by
-//! scripts emitted by the PaSh back-end:
+//! scripts emitted by the PaSh back-end and by the process backend:
 //!
 //! ```text
 //! pash-rt eager [--blocking]            # stdin → stdout relay
 //! pash-rt split [--sized] OUT…          # scatter stdin to files
 //! pash-rt fileseg PATH PART OF          # one file segment to stdout
 //! pash-rt pash-agg-… [ARGS] IN…         # aggregator over inputs
+//! pash-rt [--stdin P] [--stdout P] CMD  # any coreutils command
 //! ```
+//!
+//! Runtime primitives take precedence over same-named coreutils
+//! commands; `pashc` is the same dispatch with the opposite
+//! precedence. See [`pash_runtime::cli`].
 
-use std::io::{self, BufRead, Write};
-use std::sync::Arc;
-
-use pash_coreutils::fs::{Fs, RealFs};
-use pash_coreutils::Registry;
-use pash_runtime::agg::run_aggregator;
-use pash_runtime::fileseg::read_segment;
-use pash_runtime::relay::{run_relay, RelayMode};
-use pash_runtime::split::split_general;
+use pash_runtime::cli::{multicall_main, Personality};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let code = match run(&args) {
-        Ok(c) => c,
-        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => pash_coreutils::SIGPIPE_STATUS,
-        Err(e) => {
-            eprintln!("pash-rt: {e}");
-            1
-        }
-    };
-    std::process::exit(code);
-}
-
-fn run(args: &[String]) -> io::Result<i32> {
-    let (name, rest) = match args.split_first() {
-        Some(x) => x,
-        None => {
-            eprintln!("usage: pash-rt (eager|split|fileseg|pash-agg-*) [ARGS…]");
-            return Ok(2);
-        }
-    };
-    let cwd = std::env::current_dir()?;
-    let fs: Arc<dyn Fs> = Arc::new(RealFs::new(cwd));
-    match name.as_str() {
-        "eager" => {
-            let mode = if rest.first().map(|s| s.as_str()) == Some("--blocking") {
-                RelayMode::Blocking(8)
-            } else {
-                RelayMode::Full
-            };
-            let stdout = io::stdout();
-            let mut out = io::BufWriter::new(stdout.lock());
-            run_relay(io::stdin(), &mut out, mode)?;
-            out.flush()?;
-            Ok(0)
-        }
-        "split" => {
-            let outputs: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
-            if outputs.is_empty() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "split needs output paths",
-                ));
-            }
-            let mut writers: Vec<Box<dyn Write + Send>> = Vec::new();
-            for o in &outputs {
-                writers.push(fs.create(o)?);
-            }
-            let stdin = io::stdin();
-            let mut input = stdin.lock();
-            split_general(&mut input, &mut writers)?;
-            Ok(0)
-        }
-        "fileseg" => {
-            if rest.len() != 3 {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    "usage: fileseg PATH PART OF",
-                ));
-            }
-            let part: usize = rest[1]
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad PART"))?;
-            let of: usize = rest[2]
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "bad OF"))?;
-            let data = read_segment(&fs, &rest[0], part, of)?;
-            let stdout = io::stdout();
-            let mut out = stdout.lock();
-            out.write_all(&data)?;
-            Ok(0)
-        }
-        agg if agg.starts_with("pash-agg-") => {
-            // Separate aggregator arguments from input paths.
-            let (agg_args, files) = split_agg_args(agg, rest);
-            let mut inputs: Vec<Box<dyn io::Read + Send>> = Vec::new();
-            for f in &files {
-                inputs.push(fs.open(f)?);
-            }
-            let mut argv: Vec<String> = vec![agg.to_string()];
-            argv.extend(agg_args);
-            let registry = Registry::standard();
-            let stdout = io::stdout();
-            let mut out = io::BufWriter::new(stdout.lock());
-            let status = run_aggregator(&argv, inputs, &mut out, &registry, fs)?;
-            out.flush()?;
-            Ok(status)
-        }
-        // Commands re-applied as their own aggregator (head, tail):
-        // read the named inputs in order, like the command itself.
-        other => {
-            let registry = Registry::standard();
-            let cmd = registry.get(other).ok_or_else(|| {
-                io::Error::new(io::ErrorKind::NotFound, format!("{other}: not found"))
-            })?;
-            let stdin = io::stdin();
-            let stdout = io::stdout();
-            let stderr = io::stderr();
-            let mut in_lock: Box<dyn BufRead> = Box::new(stdin.lock());
-            let mut out_lock: Box<dyn Write> = Box::new(io::BufWriter::new(stdout.lock()));
-            let mut err_lock: Box<dyn Write> = Box::new(stderr.lock());
-            let mut cio = pash_coreutils::CmdIo {
-                stdin: &mut in_lock,
-                stdout: &mut out_lock,
-                stderr: &mut err_lock,
-                fs,
-                registry: &registry,
-            };
-            let status = cmd.run(&rest.to_vec(), &mut cio)?;
-            cio.stdout.flush()?;
-            Ok(status)
-        }
-    }
-}
-
-/// Splits aggregator argv into (arguments, input paths).
-fn split_agg_args(agg: &str, rest: &[String]) -> (Vec<String>, Vec<String>) {
-    match agg {
-        "pash-agg-sort" => {
-            // Options -k/-t take values; everything non-option is an
-            // input path.
-            let mut args = Vec::new();
-            let mut files = Vec::new();
-            let mut it = rest.iter();
-            while let Some(a) = it.next() {
-                if a == "-k" || a == "-t" {
-                    args.push(a.clone());
-                    if let Some(v) = it.next() {
-                        args.push(v.clone());
-                    }
-                } else if a.starts_with('-') && a.len() > 1 {
-                    args.push(a.clone());
-                } else {
-                    files.push(a.clone());
-                }
-            }
-            (args, files)
-        }
-        _ => {
-            let (args, files): (Vec<String>, Vec<String>) = rest
-                .iter()
-                .cloned()
-                .partition(|a| a.starts_with('-') && a.len() > 1);
-            (args, files)
-        }
-    }
+    multicall_main("pash-rt", Personality::Runtime);
 }

@@ -1,0 +1,20 @@
+//! `pashc` — a multi-call binary exposing every command in the
+//! workspace (like busybox), so that PaSh-compiled scripts run
+//! hermetically under any POSIX `/bin/sh`:
+//!
+//! ```text
+//! pashc grep -c foo < input
+//! ```
+//!
+//! Since the process backend landed, `pashc` also serves the runtime
+//! subcommands (`eager`, `split`, `fileseg`, `pash-agg-*`) and the
+//! `--stdin`/`--stdout` FIFO redirections, so every plan node is
+//! runnable standalone from one binary. Coreutils names take
+//! precedence over runtime names; `pash-rt` is the same dispatch with
+//! the opposite precedence. See [`pash_runtime::cli`].
+
+use pash_runtime::cli::{multicall_main, Personality};
+
+fn main() {
+    multicall_main("pashc", Personality::Coreutils);
+}

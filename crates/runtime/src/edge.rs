@@ -1,0 +1,320 @@
+//! The runtime I/O layer: turning a region's resolved plan edges into
+//! transports.
+//!
+//! Lowering (PR 3) decides *what* every edge is — internal pipe,
+//! boundary stdin/stdout, file, file segment. This module decides
+//! *how* those edges move bytes, in the two ways the runtime knows:
+//!
+//! * [`MemEdges`] — in-process wiring for the `threads` backend:
+//!   bounded ring [`crate::pipe`]s for internal edges, cursors over
+//!   file/segment bytes, a shared buffer collecting region stdout;
+//! * [`FifoDir`] — on-disk wiring for the `processes` backend: one
+//!   named FIFO per internal pipe edge in a private scratch
+//!   directory, created with `mkfifo(3)` and removed on drop — the
+//!   same artifact the emitted shell script builds with `mkfifo`.
+//!
+//! Keeping both wirings behind one module means stdin routing,
+//! buffering discipline, and edge naming stay in one place instead of
+//! being re-derived per backend.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use pash_core::plan::{EndpointKind, PlanEdgeId, PlanNode, RegionPlan};
+use pash_coreutils::fs::Fs;
+
+use crate::fileseg::read_segment;
+use crate::pipe::pipe;
+
+/// Buffer in front of every edge writer: commands emit line-sized
+/// writes, and each unbuffered write on a pipe edge is a lock
+/// acquisition. Flush happens on drop at node exit.
+pub const EDGE_WRITE_BUFFER: usize = 32 * 1024;
+
+/// Wraps an edge writer in the standard edge buffer.
+pub fn buffered(w: impl Write + Send + 'static) -> Box<dyn Write + Send> {
+    Box::new(io::BufWriter::with_capacity(EDGE_WRITE_BUFFER, w))
+}
+
+/// A writer into a shared buffer (the region's stdout collector).
+pub struct SharedVecWriter(pub Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedVecWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().expect("stdout lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// In-process transports for one region's edges: each edge id maps to
+/// a reader (consumer side), a writer (producer side), or both.
+///
+/// Built once per region by [`MemEdges::wire`]; the executor then
+/// *takes* each node's endpoints as it spawns node threads, leaving
+/// the map empty when the region is fully wired.
+pub struct MemEdges {
+    readers: HashMap<PlanEdgeId, Box<dyn Read + Send>>,
+    writers: HashMap<PlanEdgeId, Box<dyn Write + Send>>,
+    stdout: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemEdges {
+    /// Wires every edge of `r`: ring pipes for internal edges, the
+    /// given `stdin` bytes for the primary boundary input, a shared
+    /// collector for stdout edges, and `fs`-backed files/segments.
+    pub fn wire(
+        r: &RegionPlan,
+        fs: &Arc<dyn Fs>,
+        stdin: Vec<u8>,
+        pipe_capacity: usize,
+    ) -> io::Result<MemEdges> {
+        let stdout: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut readers: HashMap<PlanEdgeId, Box<dyn Read + Send>> = HashMap::new();
+        let mut writers: HashMap<PlanEdgeId, Box<dyn Write + Send>> = HashMap::new();
+        let mut stdin = Some(stdin);
+        for (e, edge) in r.edges.iter().enumerate() {
+            match &edge.kind {
+                EndpointKind::Pipe => {
+                    let (w, rd) = pipe(pipe_capacity);
+                    writers.insert(e, buffered(w));
+                    readers.insert(e, Box::new(rd));
+                }
+                EndpointKind::StdinPipe { primary } => {
+                    let data = if *primary {
+                        stdin.take().unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    };
+                    readers.insert(e, Box::new(io::Cursor::new(data)));
+                }
+                EndpointKind::StdoutPipe => {
+                    writers.insert(e, buffered(SharedVecWriter(stdout.clone())));
+                }
+                EndpointKind::InputFile(path) => {
+                    readers.insert(e, fs.open(path)?);
+                }
+                EndpointKind::OutputFile(path) => {
+                    writers.insert(e, buffered(fs.create(path)?));
+                }
+                EndpointKind::InputSegment { path, part, of } => {
+                    let data = read_segment(fs, path, *part, *of)?;
+                    readers.insert(e, Box::new(io::Cursor::new(data)));
+                }
+                // Detached edges need no transport.
+                EndpointKind::Detached => {}
+            }
+        }
+        Ok(MemEdges {
+            readers,
+            writers,
+            stdout,
+        })
+    }
+
+    /// Takes the consumer endpoints of `node`'s inputs, in input
+    /// order. Untracked edges read as empty streams.
+    pub fn take_inputs(&mut self, node: &PlanNode) -> Vec<Box<dyn Read + Send>> {
+        node.inputs
+            .iter()
+            .map(|&e| {
+                self.readers
+                    .remove(&e)
+                    .unwrap_or_else(|| Box::new(io::Cursor::new(Vec::new())))
+            })
+            .collect()
+    }
+
+    /// Takes the producer endpoints of `node`'s outputs, in output
+    /// order. Untracked edges discard their bytes.
+    pub fn take_outputs(&mut self, node: &PlanNode) -> Vec<Box<dyn Write + Send>> {
+        node.outputs
+            .iter()
+            .map(|&e| {
+                self.writers
+                    .remove(&e)
+                    .unwrap_or_else(|| Box::new(io::sink()))
+            })
+            .collect()
+    }
+
+    /// The shared stdout collector (drain after every producer
+    /// dropped its writer).
+    pub fn stdout_handle(&self) -> Arc<Mutex<Vec<u8>>> {
+        self.stdout.clone()
+    }
+}
+
+/// Creates a FIFO special file (`mkfifo(3)`). The workspace vendors no
+/// `libc`, but `std` already links the platform C library, so the one
+/// symbol the FIFO wiring needs is declared directly.
+#[cfg(unix)]
+pub fn mkfifo(path: &Path) -> io::Result<()> {
+    use std::os::unix::ffi::OsStrExt;
+    extern "C" {
+        fn mkfifo(path: *const std::os::raw::c_char, mode: u32) -> i32;
+    }
+    let c = std::ffi::CString::new(path.as_os_str().as_bytes())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "path contains NUL"))?;
+    if unsafe { mkfifo(c.as_ptr().cast(), 0o600) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Unsupported off Unix: named FIFOs are a POSIX feature.
+#[cfg(not(unix))]
+pub fn mkfifo(_path: &Path) -> io::Result<()> {
+    Err(io::Error::new(
+        io::ErrorKind::Unsupported,
+        "named FIFOs require a Unix platform",
+    ))
+}
+
+/// On-disk wiring for one region: a private scratch directory holding
+/// one named FIFO per internal pipe edge (`p<edge>`, mirroring the
+/// emitted script's `$PASH_TMP/r<region>_p<edge>` naming).
+///
+/// The directory and its FIFOs are removed on drop.
+pub struct FifoDir {
+    dir: PathBuf,
+    paths: HashMap<PlanEdgeId, PathBuf>,
+}
+
+impl FifoDir {
+    /// Creates the scratch directory under `scratch_root` (tagged so
+    /// concurrent regions/processes cannot collide) and a FIFO for
+    /// every internal pipe edge of `r`.
+    pub fn create(r: &RegionPlan, scratch_root: &Path, tag: &str) -> io::Result<FifoDir> {
+        let dir = scratch_root.join(format!("pash-fifo-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir)?;
+        let mut paths = HashMap::new();
+        for e in r.internal_pipes() {
+            let p = dir.join(format!("p{e}"));
+            mkfifo(&p)?;
+            paths.insert(e, p);
+        }
+        Ok(FifoDir { dir, paths })
+    }
+
+    /// The FIFO path backing edge `e`, if `e` is an internal pipe.
+    pub fn path(&self, e: PlanEdgeId) -> Option<&Path> {
+        self.paths.get(&e).map(|p| p.as_path())
+    }
+
+    /// The scratch directory itself.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for FifoDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pash_core::compile::{compile, PashConfig};
+    use pash_core::plan::PlanStep;
+    use pash_coreutils::fs::MemFs;
+
+    fn region(src: &str, width: usize) -> RegionPlan {
+        let compiled = compile(
+            src,
+            &PashConfig {
+                width,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        compiled
+            .plan
+            .steps
+            .iter()
+            .find_map(|s| match s {
+                PlanStep::Region(r) => Some(r.clone()),
+                _ => None,
+            })
+            .expect("region")
+    }
+
+    #[test]
+    fn mem_wiring_covers_all_live_edges() {
+        let r = region("cat in.txt | tr A-Z a-z | sort > out.txt", 2);
+        let fs = MemFs::new();
+        fs.add("in.txt", b"b\na\n".to_vec());
+        let fs: Arc<dyn Fs> = Arc::new(fs);
+        let mut edges = MemEdges::wire(&r, &fs, Vec::new(), 1024).expect("wire");
+        // Taking every node's endpoints drains the maps completely.
+        for node in &r.nodes {
+            let ins = edges.take_inputs(node);
+            let outs = edges.take_outputs(node);
+            assert_eq!(ins.len(), node.inputs.len());
+            assert_eq!(outs.len(), node.outputs.len());
+        }
+        assert!(edges.readers.is_empty(), "all readers taken");
+        assert!(edges.writers.is_empty(), "all writers taken");
+    }
+
+    #[test]
+    fn mem_wiring_missing_input_file_errors() {
+        let r = region("cat nope.txt | sort > out.txt", 1);
+        let fs: Arc<dyn Fs> = Arc::new(MemFs::new());
+        assert!(MemEdges::wire(&r, &fs, Vec::new(), 1024).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn fifo_dir_creates_and_cleans_up() {
+        let r = region("cat in.txt | tr A-Z a-z | sort > out.txt", 2);
+        let pipes: Vec<_> = r.internal_pipes().collect();
+        assert!(!pipes.is_empty());
+        let dir;
+        {
+            let fifos = FifoDir::create(&r, &std::env::temp_dir(), "edge-test").expect("fifos");
+            dir = fifos.dir().to_path_buf();
+            for e in &pipes {
+                let p = fifos.path(*e).expect("pipe edge has a fifo");
+                let meta = std::fs::metadata(p).expect("fifo exists");
+                use std::os::unix::fs::FileTypeExt;
+                assert!(meta.file_type().is_fifo(), "{p:?} is a FIFO");
+            }
+        }
+        assert!(!dir.exists(), "scratch dir removed on drop");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn fifo_roundtrip_between_threads() {
+        // A FIFO wired by this layer carries bytes between two
+        // openers, like the process backend's children will.
+        let r = region("cat in.txt | tr A-Z a-z > out.txt", 1);
+        let e = r.internal_pipes().next().expect("pipe edge");
+        let fifos = FifoDir::create(&r, &std::env::temp_dir(), "edge-rt").expect("fifos");
+        let path = fifos.path(e).expect("path").to_path_buf();
+        let writer_path = path.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                let mut w = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(writer_path)
+                    .expect("open fifo for write");
+                w.write_all(b"through the fifo").expect("write");
+            });
+            let mut buf = Vec::new();
+            std::fs::File::open(&path)
+                .expect("open fifo for read")
+                .read_to_end(&mut buf)
+                .expect("read");
+            assert_eq!(buf, b"through the fifo");
+        });
+    }
+}

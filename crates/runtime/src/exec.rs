@@ -16,15 +16,15 @@ use std::sync::{Arc, Mutex};
 
 use pash_core::compile::PashConfig;
 use pash_core::plan::{
-    Arg, Backend, EndpointKind, ExecutionPlan, PlanNode, PlanNodeId, PlanOp, PlanStep, RegionPlan,
+    Arg, Backend, ExecutionPlan, PlanNode, PlanNodeId, PlanOp, PlanStep, RegionPlan,
 };
 
 use pash_coreutils::fs::Fs;
 use pash_coreutils::{CmdIo, Registry, SIGPIPE_STATUS};
 
 use crate::agg::run_aggregator;
-use crate::fileseg::read_segment;
-use crate::pipe::{pipe, MultiReader, DEFAULT_PIPE_CAPACITY};
+use crate::edge::MemEdges;
+use crate::pipe::{MultiReader, DEFAULT_PIPE_CAPACITY};
 use crate::relay::{run_relay, RelayMode};
 use crate::split::split_general;
 
@@ -53,12 +53,17 @@ pub struct RegionOutput {
     pub stdout: Vec<u8>,
     /// Exit status per node, in completion order.
     pub statuses: Vec<(PlanNodeId, i32)>,
+    /// The region's overall status: that of its final output producer
+    /// — the shell's `wait $pash_out_pids` reports exactly this, so
+    /// every backend agrees even when an upstream node died of
+    /// SIGPIPE *after* the producer finished.
+    pub status: i32,
 }
 
 impl RegionOutput {
-    /// The region's overall status: that of its output producers.
+    /// The region's overall status (see the `status` field).
     pub fn status(&self) -> i32 {
-        self.statuses.last().map(|(_, s)| *s).unwrap_or(0)
+        self.status
     }
 }
 
@@ -109,30 +114,6 @@ impl Fs for StreamFs {
     }
 }
 
-/// Buffer in front of every edge writer: commands emit line-sized
-/// writes, and each unbuffered write on a pipe edge is a lock
-/// acquisition. Flush happens on drop at node exit.
-const EDGE_WRITE_BUFFER: usize = 32 * 1024;
-
-/// Wraps an edge writer in the standard edge buffer.
-fn buffered(w: impl Write + Send + 'static) -> Box<dyn Write + Send> {
-    Box::new(io::BufWriter::with_capacity(EDGE_WRITE_BUFFER, w))
-}
-
-/// A writer into a shared buffer (the region's stdout collector).
-struct SharedVecWriter(Arc<Mutex<Vec<u8>>>);
-
-impl Write for SharedVecWriter {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        self.0.lock().expect("stdout lock").extend_from_slice(buf);
-        Ok(buf.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        Ok(())
-    }
-}
-
 /// Executes one region plan.
 ///
 /// `stdin` feeds the region's primary boundary pipe input (if any).
@@ -145,38 +126,8 @@ pub fn run_region(
 ) -> io::Result<RegionOutput> {
     r.validate()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-    let stdout_buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
-    let mut readers: HashMap<usize, Box<dyn Read + Send>> = HashMap::new();
-    let mut writers: HashMap<usize, Box<dyn Write + Send>> = HashMap::new();
-
-    for (e, edge) in r.edges.iter().enumerate() {
-        match &edge.kind {
-            EndpointKind::Pipe => {
-                let (w, rd) = pipe(cfg.pipe_capacity);
-                writers.insert(e, buffered(w));
-                readers.insert(e, Box::new(rd));
-            }
-            EndpointKind::StdinPipe { primary } => {
-                let data = if *primary { stdin.clone() } else { Vec::new() };
-                readers.insert(e, Box::new(io::Cursor::new(data)));
-            }
-            EndpointKind::StdoutPipe => {
-                writers.insert(e, buffered(SharedVecWriter(stdout_buf.clone())));
-            }
-            EndpointKind::InputFile(path) => {
-                readers.insert(e, fs.open(path)?);
-            }
-            EndpointKind::OutputFile(path) => {
-                writers.insert(e, buffered(fs.create(path)?));
-            }
-            EndpointKind::InputSegment { path, part, of } => {
-                let data = read_segment(&fs, path, *part, *of)?;
-                readers.insert(e, Box::new(io::Cursor::new(data)));
-            }
-            // Detached edges need no transport.
-            EndpointKind::Detached => {}
-        }
-    }
+    let mut edges = MemEdges::wire(r, &fs, stdin, cfg.pipe_capacity)?;
+    let stdout_buf = edges.stdout_handle();
 
     // Spawn one thread per node in plan (topological) order — order is
     // not semantically required (pipes synchronize) but makes teardown
@@ -185,20 +136,8 @@ pub fn run_region(
     let hard_error: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
     std::thread::scope(|scope| {
         for (id, node) in r.nodes.iter().enumerate() {
-            let ins: Vec<Box<dyn Read + Send>> = node
-                .inputs
-                .iter()
-                .map(|&e| {
-                    readers
-                        .remove(&e)
-                        .unwrap_or_else(|| Box::new(io::Cursor::new(Vec::new())))
-                })
-                .collect();
-            let outs: Vec<Box<dyn Write + Send>> = node
-                .outputs
-                .iter()
-                .map(|&e| writers.remove(&e).unwrap_or_else(|| Box::new(io::sink())))
-                .collect();
+            let ins = edges.take_inputs(node);
+            let outs = edges.take_outputs(node);
             let registry = registry.clone();
             let fs = fs.clone();
             let statuses = statuses.clone();
@@ -229,7 +168,19 @@ pub fn run_region(
     }
     let stdout = std::mem::take(&mut *stdout_buf.lock().expect("stdout lock"));
     let statuses = std::mem::take(&mut *statuses.lock().expect("status lock"));
-    Ok(RegionOutput { stdout, statuses })
+    // The shell waits on `$pash_out_pids` and keeps the last wait's
+    // status: the final output producer in node order.
+    let status = r
+        .output_producers()
+        .last()
+        .and_then(|id| statuses.iter().rev().find(|(n, _)| *n == id))
+        .map(|(_, s)| *s)
+        .unwrap_or(0);
+    Ok(RegionOutput {
+        stdout,
+        statuses,
+        status,
+    })
 }
 
 /// Executes one node's work on the current thread.
@@ -380,13 +331,15 @@ pub fn run_program(
                 if std::mem::take(&mut skip_next) {
                     continue;
                 }
-                let out = run_region(
-                    r,
-                    registry,
-                    fs.clone(),
-                    stdin.take().unwrap_or_default(),
-                    cfg,
-                )?;
+                // Only a region that consumes stdin takes the bytes;
+                // the emitted script keeps real stdin on a saved fd,
+                // so a later reader still sees it.
+                let feed = if r.reads_stdin() {
+                    stdin.take().unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                let out = run_region(r, registry, fs.clone(), feed, cfg)?;
                 status = out.status();
                 stdout.extend_from_slice(&out.stdout);
             }

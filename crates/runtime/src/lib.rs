@@ -37,9 +37,12 @@
 //! ```
 
 pub mod agg;
+pub mod cli;
+pub mod edge;
 pub mod exec;
 pub mod fileseg;
 pub mod pipe;
+pub mod proc;
 pub mod relay;
 pub mod scan;
 pub mod split;

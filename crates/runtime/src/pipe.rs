@@ -15,11 +15,22 @@
 //! The transport is a contiguous ring buffer: each read or write moves
 //! its whole run of bytes with at most two `copy_from_slice` calls
 //! (the run may wrap around the end of the ring), so a transfer costs
-//! O(chunks) lock acquisitions rather than O(bytes). Wakeups follow
-//! the classic bounded-buffer discipline — the writer signals only an
-//! empty→non-empty transition, the reader only a full→non-full one —
-//! which is sufficient with one reader and one writer because each
-//! side only ever sleeps on exactly that transition.
+//! O(chunks) lock acquisitions rather than O(bytes).
+//!
+//! Wakeups are batched behind park flags. The naive bounded-buffer
+//! discipline pays one condvar sleep *and* one condvar notify per
+//! capacity-sized cycle — at small capacities the transfer is
+//! wakeup-bound, not copy-bound (the `pipe_4k_cap` dataplane series).
+//! Two refinements cut that cost:
+//!
+//! * a side about to sleep first spends a bounded number of
+//!   `yield_now` spins re-checking the condition — when the peer is
+//!   runnable this trades the futex sleep/wake round trip for a
+//!   scheduler yield, and the park flag never gets set;
+//! * `notify_one` is only issued when the peer actually parked
+//!   (`reader_parked`/`writer_parked`, maintained under the lock), so
+//!   spinning pairs exchange the whole stream with zero futex
+//!   traffic.
 
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -28,6 +39,10 @@ use parking_lot::{Condvar, Mutex};
 
 /// Default capacity, matching the Linux pipe buffer.
 pub const DEFAULT_PIPE_CAPACITY: usize = 64 * 1024;
+
+/// How many times a full writer / empty reader re-checks after a
+/// `yield_now` before parking on the condvar for real.
+const SPIN_YIELDS: usize = 32;
 
 struct Inner {
     /// The ring storage, exactly `capacity` bytes, allocated once.
@@ -38,6 +53,11 @@ struct Inner {
     len: usize,
     writer_closed: bool,
     reader_closed: bool,
+    /// The reader is parked on `data_available` (set under the lock
+    /// just before waiting; a notifier clears it).
+    reader_parked: bool,
+    /// The writer is parked on `space_available`.
+    writer_parked: bool,
 }
 
 impl Inner {
@@ -97,6 +117,8 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
             len: 0,
             writer_closed: false,
             reader_closed: false,
+            reader_parked: false,
+            writer_parked: false,
         }),
         data_available: Condvar::new(),
         space_available: Condvar::new(),
@@ -124,6 +146,7 @@ impl Write for PipeWriter {
         if data.is_empty() {
             return Ok(0);
         }
+        let mut spins = 0;
         let mut inner = self.shared.inner.lock();
         loop {
             if inner.reader_closed {
@@ -133,14 +156,24 @@ impl Write for PipeWriter {
                 ));
             }
             if inner.len < inner.capacity() {
-                let was_empty = inner.len == 0;
                 let n = inner.push(data);
-                if was_empty {
+                if inner.reader_parked {
+                    inner.reader_parked = false;
                     self.shared.data_available.notify_one();
                 }
                 return Ok(n);
             }
-            self.shared.space_available.wait(&mut inner);
+            if spins < SPIN_YIELDS {
+                // Full, but the reader may be running: hand it the
+                // core instead of paying a futex round trip.
+                spins += 1;
+                drop(inner);
+                std::thread::yield_now();
+                inner = self.shared.inner.lock();
+            } else {
+                inner.writer_parked = true;
+                self.shared.space_available.wait(&mut inner);
+            }
         }
     }
 
@@ -153,6 +186,7 @@ impl Drop for PipeWriter {
     fn drop(&mut self) {
         let mut inner = self.shared.inner.lock();
         inner.writer_closed = true;
+        inner.reader_parked = false;
         self.shared.data_available.notify_one();
     }
 }
@@ -162,12 +196,13 @@ impl Read for PipeReader {
         if out.is_empty() {
             return Ok(0);
         }
+        let mut spins = 0;
         let mut inner = self.shared.inner.lock();
         loop {
             if inner.len > 0 {
-                let was_full = inner.len == inner.capacity();
                 let n = inner.pop(out);
-                if was_full {
+                if inner.writer_parked {
+                    inner.writer_parked = false;
                     self.shared.space_available.notify_one();
                 }
                 return Ok(n);
@@ -175,7 +210,15 @@ impl Read for PipeReader {
             if inner.writer_closed {
                 return Ok(0);
             }
-            self.shared.data_available.wait(&mut inner);
+            if spins < SPIN_YIELDS {
+                spins += 1;
+                drop(inner);
+                std::thread::yield_now();
+                inner = self.shared.inner.lock();
+            } else {
+                inner.reader_parked = true;
+                self.shared.data_available.wait(&mut inner);
+            }
         }
     }
 }
@@ -185,6 +228,7 @@ impl Drop for PipeReader {
         let mut inner = self.shared.inner.lock();
         inner.reader_closed = true;
         inner.drop_buffered();
+        inner.writer_parked = false;
         self.shared.space_available.notify_one();
     }
 }

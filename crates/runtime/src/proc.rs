@@ -1,0 +1,607 @@
+//! The OS-process backend: a lowered [`ExecutionPlan`] run as real
+//! child processes over named FIFOs — the paper's actual deployment
+//! story (§5.2), without going through emitted shell text.
+//!
+//! Each plan node becomes one child of the multi-call binaries
+//! (`pashc` for coreutils nodes, `pash-rt` for runtime primitives),
+//! with its argv rendered from the same
+//! [`pash_core::plan::SpawnSpec`] the shell emitter uses. Edge
+//! wiring comes from the runtime I/O layer ([`crate::edge`]):
+//!
+//! * internal pipe edges are named FIFOs in a scratch directory
+//!   ([`crate::edge::FifoDir`]); children open their own endpoints
+//!   (via argv naming or the multicall's `--stdin`/`--stdout`
+//!   redirections), so the parent never blocks in a FIFO open;
+//! * file edges resolve against the backend's root directory, which
+//!   is every child's working directory;
+//! * segment edges spawn a `pash-rt fileseg` producer whose stdout
+//!   pipes straight into the consumer;
+//! * boundary stdin/stdout edges are anonymous pipes fed/drained by
+//!   parent threads.
+//!
+//! Teardown matches the emitted script: wait on the region's output
+//! producers, deliver `SIGPIPE` to everything still running (the
+//! dangling-FIFO fix), then reap — escalating to `SIGKILL` after a
+//! grace period so a wedged child cannot hang the backend.
+
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pash_core::plan::{
+    Backend, EndpointKind, ExecutionPlan, PlanEdgeId, PlanNodeId, PlanStep, RegionPlan, SpawnBin,
+    SpawnWord,
+};
+
+use crate::edge::FifoDir;
+use crate::exec::{ProgramOutput, RegionOutput};
+
+/// Process-backend configuration.
+#[derive(Debug, Clone)]
+pub struct ProcConfig {
+    /// The coreutils multi-call binary (`pashc`).
+    pub pashc: PathBuf,
+    /// The runtime multi-call binary (`pash-rt`).
+    pub pash_rt: PathBuf,
+    /// Where FIFO scratch directories are created (default: the
+    /// system temp directory).
+    pub scratch: Option<PathBuf>,
+    /// How long to wait after `SIGPIPE` before escalating teardown to
+    /// `SIGKILL`.
+    pub kill_grace: Duration,
+}
+
+impl ProcConfig {
+    /// Locates the multi-call binaries: `$PASHC`/`$PASH_RT` if set,
+    /// otherwise next to the current executable (walking up out of
+    /// `target/<profile>/deps` for test binaries).
+    pub fn locate() -> io::Result<ProcConfig> {
+        Ok(ProcConfig {
+            pashc: locate_bin("pashc", "PASHC")?,
+            pash_rt: locate_bin("pash-rt", "PASH_RT")?,
+            scratch: None,
+            kill_grace: Duration::from_secs(2),
+        })
+    }
+}
+
+/// Finds a sibling binary of the running executable (or honours the
+/// role's environment override, the same contract emitted scripts
+/// use).
+pub fn locate_bin(name: &str, env_var: &str) -> io::Result<PathBuf> {
+    if let Some(p) = std::env::var_os(env_var) {
+        return Ok(PathBuf::from(p));
+    }
+    let exe = std::env::current_exe()?;
+    let mut dir = exe.parent();
+    for _ in 0..3 {
+        let Some(d) = dir else { break };
+        let candidate = d.join(name);
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+        dir = d.parent();
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("cannot locate the `{name}` binary: set ${env_var} or build the workspace bins"),
+    ))
+}
+
+/// The `processes` execution backend.
+pub struct ProcessBackend {
+    /// Binary locations and teardown tuning.
+    pub cfg: ProcConfig,
+    /// Root directory: every child's cwd, against which the plan's
+    /// file edges resolve.
+    pub root: PathBuf,
+    /// Bytes fed to the first region's boundary stdin.
+    pub stdin: Vec<u8>,
+}
+
+impl Backend for ProcessBackend {
+    type Output = ProgramOutput;
+
+    fn name(&self) -> &'static str {
+        "processes"
+    }
+
+    fn run(&mut self, plan: &ExecutionPlan) -> io::Result<ProgramOutput> {
+        // Taken, not cloned: stdin can be large, and a backend runs
+        // its plan once.
+        run_plan(plan, &self.cfg, &self.root, std::mem::take(&mut self.stdin))
+    }
+}
+
+/// Maps a reaped child status onto the shell convention (`128 + sig`
+/// for signal deaths, so SIGPIPE reports [`pash_coreutils::SIGPIPE_STATUS`]).
+fn exit_code(st: std::process::ExitStatus) -> i32 {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(sig) = st.signal() {
+            return 128 + sig;
+        }
+    }
+    st.code().unwrap_or(1)
+}
+
+/// Sends `SIGPIPE` to a process (teardown parity with the emitted
+/// script's `kill -s PIPE`). Declared directly: the workspace vendors
+/// no `libc`, but `std` already links it.
+#[cfg(unix)]
+fn kill_pipe(pid: u32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGPIPE: i32 = 13;
+    unsafe {
+        kill(pid as i32, SIGPIPE);
+    }
+}
+
+#[cfg(not(unix))]
+fn kill_pipe(_pid: u32) {}
+
+/// Executes a whole plan, step by step (mirrors
+/// [`crate::exec::run_program`]'s guard and stdin threading).
+///
+/// Unlike the hermetic threaded executor, non-no-op `Shell` steps run
+/// for real under `/bin/sh -c` in the backend's root — the same text
+/// the shell backend would inline into its script.
+pub fn run_plan(
+    plan: &ExecutionPlan,
+    cfg: &ProcConfig,
+    root: &Path,
+    stdin: Vec<u8>,
+) -> io::Result<ProgramOutput> {
+    let mut stdout = Vec::new();
+    let mut status = 0;
+    let mut stdin = Some(stdin);
+    let mut skip_next = false;
+    for step in &plan.steps {
+        match step {
+            PlanStep::Guard(cond) => {
+                skip_next = !cond.admits(status);
+            }
+            PlanStep::Region(r) => {
+                if std::mem::take(&mut skip_next) {
+                    continue;
+                }
+                // Only a stdin-consuming region takes the bytes; the
+                // emitted script keeps real stdin on a saved fd, so a
+                // later reader still sees it.
+                let feed = if r.reads_stdin() {
+                    stdin.take().unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
+                let out = run_region(r, cfg, root, feed)?;
+                status = out.status();
+                stdout.extend_from_slice(&out.stdout);
+            }
+            PlanStep::Shell { text, data_noop } => {
+                if std::mem::take(&mut skip_next) {
+                    continue;
+                }
+                if *data_noop {
+                    // Folded into the compile-time environment already.
+                    status = 0;
+                    continue;
+                }
+                let out = Command::new("/bin/sh")
+                    .arg("-c")
+                    .arg(text)
+                    .current_dir(root)
+                    .stdin(Stdio::null())
+                    .output()?;
+                stdout.extend_from_slice(&out.stdout);
+                io::stderr().write_all(&out.stderr)?;
+                status = exit_code(out.status);
+            }
+        }
+    }
+    Ok(ProgramOutput { stdout, status })
+}
+
+/// The name a plan edge gets when it appears in a child's argv.
+fn edge_name(r: &RegionPlan, fifos: &FifoDir, e: PlanEdgeId) -> io::Result<std::ffi::OsString> {
+    match &r.edges[e].kind {
+        EndpointKind::Pipe => Ok(fifos
+            .path(e)
+            .expect("pipe edge has a fifo")
+            .as_os_str()
+            .to_os_string()),
+        // Relative: children run with the backend root as cwd.
+        EndpointKind::InputFile(p) | EndpointKind::OutputFile(p) => Ok(p.into()),
+        other => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("edge kind {other:?} cannot appear in argument position"),
+        )),
+    }
+}
+
+/// Executes one region as a process tree; `stdin` feeds the primary
+/// boundary input.
+pub fn run_region(
+    r: &RegionPlan,
+    cfg: &ProcConfig,
+    root: &Path,
+    stdin: Vec<u8>,
+) -> io::Result<RegionOutput> {
+    r.validate()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let scratch = cfg.scratch.clone().unwrap_or_else(std::env::temp_dir);
+    let tag = format!("r{}", SEQ.fetch_add(1, Ordering::Relaxed));
+    let fifos = FifoDir::create(r, &scratch, &tag)?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(r.nodes.len());
+    let mut helpers: Vec<Child> = Vec::new();
+    let result = spawn_and_reap(r, cfg, root, stdin, &fifos, &mut children, &mut helpers);
+    if result.is_err() {
+        // A failure partway through spawning (a missing binary, an
+        // unreadable input) must not leak the children already
+        // spawned: blocked in a FIFO open, they would outlive the
+        // FIFOs' unlink forever. SIGKILL — not PIPE, which an open(2)
+        // does not observe — and reap everything still running.
+        for child in children.iter_mut().chain(helpers.iter_mut()) {
+            if !matches!(child.try_wait(), Ok(Some(_))) {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+    result
+}
+
+/// The fallible body of [`run_region`]: spawns every node, waits on
+/// the output producers, and tears the region down. Children are
+/// pushed into the caller's vectors as they spawn, so an early `?`
+/// return leaves the caller holding everything that needs killing.
+fn spawn_and_reap(
+    r: &RegionPlan,
+    cfg: &ProcConfig,
+    root: &Path,
+    stdin: Vec<u8>,
+    fifos: &FifoDir,
+    children: &mut Vec<Child>,
+    helpers: &mut Vec<Child>,
+) -> io::Result<RegionOutput> {
+    let mut feeders = Vec::new();
+    let mut drains: Vec<std::thread::JoinHandle<Vec<u8>>> = Vec::new();
+    let mut stdin = Some(stdin);
+
+    for node in &r.nodes {
+        let spec = node.spawn_spec();
+        let bin = match spec.bin {
+            SpawnBin::Coreutils => &cfg.pashc,
+            SpawnBin::Runtime => &cfg.pash_rt,
+        };
+        let mut cmd = Command::new(bin);
+        cmd.current_dir(root);
+
+        // Standard-input routing. FIFO endpoints are passed by path
+        // (`--stdin`) and opened by the child itself — a parent-side
+        // open would block until the peer spawns.
+        let mut feed: Option<Vec<u8>> = None;
+        match spec.stdin_input.map(|k| node.inputs[k]) {
+            None => {
+                cmd.stdin(Stdio::null());
+            }
+            Some(e) => match &r.edges[e].kind {
+                EndpointKind::Pipe => {
+                    cmd.arg("--stdin")
+                        .arg(fifos.path(e).expect("pipe edge has a fifo"));
+                    cmd.stdin(Stdio::null());
+                }
+                EndpointKind::InputFile(p) => {
+                    cmd.stdin(Stdio::from(std::fs::File::open(root.join(p))?));
+                }
+                EndpointKind::InputSegment { path, part, of } => {
+                    // A fileseg producer pipes straight into the node,
+                    // like the emitted `$PASH_RT fileseg … |` prefix.
+                    let mut h = Command::new(&cfg.pash_rt);
+                    h.current_dir(root)
+                        .arg("fileseg")
+                        .arg(path)
+                        .arg(part.to_string())
+                        .arg(of.to_string())
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::piped());
+                    let mut helper = h.spawn()?;
+                    let out = helper.stdout.take().expect("piped helper stdout");
+                    cmd.stdin(Stdio::from(out));
+                    helpers.push(helper);
+                }
+                EndpointKind::StdinPipe { primary: true } => {
+                    cmd.stdin(Stdio::piped());
+                    feed = Some(stdin.take().unwrap_or_default());
+                }
+                // Non-primary boundary inputs read empty streams.
+                _ => {
+                    cmd.stdin(Stdio::null());
+                }
+            },
+        }
+
+        // Standard-output routing.
+        let mut drain = false;
+        match spec.stdout_output.map(|j| node.outputs[j]) {
+            None => {
+                // Split nodes name their outputs in argv.
+                cmd.stdout(Stdio::null());
+            }
+            Some(e) => match &r.edges[e].kind {
+                EndpointKind::Pipe => {
+                    cmd.arg("--stdout")
+                        .arg(fifos.path(e).expect("pipe edge has a fifo"));
+                    cmd.stdout(Stdio::null());
+                }
+                EndpointKind::OutputFile(p) => {
+                    let path = root.join(p);
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                    cmd.stdout(Stdio::from(std::fs::File::create(path)?));
+                }
+                EndpointKind::StdoutPipe => {
+                    cmd.stdout(Stdio::piped());
+                    drain = true;
+                }
+                _ => {
+                    cmd.stdout(Stdio::null());
+                }
+            },
+        }
+
+        // The argv proper, edge references resolved to paths.
+        for w in &spec.argv {
+            match w {
+                SpawnWord::Lit(s) => {
+                    cmd.arg(s);
+                }
+                SpawnWord::In(k) => {
+                    cmd.arg(edge_name(r, fifos, node.inputs[*k])?);
+                }
+                SpawnWord::Out(j) => {
+                    cmd.arg(edge_name(r, fifos, node.outputs[*j])?);
+                }
+            }
+        }
+
+        let mut child = cmd.spawn().map_err(|e| {
+            io::Error::new(e.kind(), format!("spawning {:?} for a plan node: {e}", bin))
+        })?;
+        if let Some(bytes) = feed {
+            let mut si = child.stdin.take().expect("piped child stdin");
+            feeders.push(std::thread::spawn(move || {
+                // A consumer that exits early breaks this pipe; that
+                // is normal teardown, not an error.
+                let _ = si.write_all(&bytes);
+            }));
+        }
+        if drain {
+            let mut so = child.stdout.take().expect("piped child stdout");
+            drains.push(std::thread::spawn(move || {
+                let mut buf = Vec::new();
+                let _ = so.read_to_end(&mut buf);
+                buf
+            }));
+        }
+        children.push(child);
+    }
+
+    // Wait on the region's output producers, in node order — the
+    // emitted script's `wait $pash_out_pids`.
+    let mut waited = vec![false; children.len()];
+    let mut producer_statuses: Vec<(PlanNodeId, i32)> = Vec::new();
+    for (id, node) in r.nodes.iter().enumerate() {
+        if node.output_producer {
+            let st = children[id].wait()?;
+            waited[id] = true;
+            producer_statuses.push((id, exit_code(st)));
+        }
+    }
+
+    // Deliver PIPE to everything still running (`kill -s PIPE`, the
+    // §5.2 dangling-FIFO fix), then reap with a bounded grace.
+    for (id, child) in children.iter().enumerate() {
+        if !waited[id] {
+            kill_pipe(child.id());
+        }
+    }
+    for h in helpers.iter() {
+        kill_pipe(h.id());
+    }
+    let deadline = Instant::now() + cfg.kill_grace;
+    let mut other_statuses: Vec<(PlanNodeId, i32)> = Vec::new();
+    let reap = |child: &mut Child| -> io::Result<i32> {
+        loop {
+            if let Some(st) = child.try_wait()? {
+                return Ok(exit_code(st));
+            }
+            if Instant::now() >= deadline {
+                // A child ignoring PIPE while blocked in a FIFO open
+                // would hang the backend; SIGKILL is the backstop.
+                child.kill()?;
+                let st = child.wait()?;
+                return Ok(exit_code(st));
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    };
+    for (id, child) in children.iter_mut().enumerate() {
+        if !waited[id] {
+            other_statuses.push((id, reap(child)?));
+        }
+    }
+    for h in helpers.iter_mut() {
+        reap(h)?;
+    }
+    for f in feeders {
+        let _ = f.join();
+    }
+    let mut stdout = Vec::new();
+    for d in drains {
+        stdout.extend_from_slice(&d.join().unwrap_or_default());
+    }
+
+    // A region's status is its final producer's status, matching
+    // `wait $pash_out_pids`.
+    let status = producer_statuses.last().map(|(_, s)| *s).unwrap_or(0);
+    let mut statuses = other_statuses;
+    statuses.extend(producer_statuses);
+    Ok(RegionOutput {
+        stdout,
+        statuses,
+        status,
+    })
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use pash_core::compile::{compile, PashConfig};
+
+    /// A scratch root with the given files; removed by the caller.
+    fn scratch_with(files: &[(&str, &[u8])]) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pash-proc-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        for (name, data) in files {
+            std::fs::write(dir.join(name), data).expect("write input");
+        }
+        dir
+    }
+
+    fn run_processes(
+        src: &str,
+        width: usize,
+        files: &[(&str, &[u8])],
+        stdin: &[u8],
+    ) -> Option<(ProgramOutput, PathBuf)> {
+        let cfg = match ProcConfig::locate() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("skipping: multicall binaries not built");
+                return None;
+            }
+        };
+        let root = scratch_with(files);
+        let compiled = compile(
+            src,
+            &PashConfig {
+                width,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        let out = run_plan(&compiled.plan, &cfg, &root, stdin.to_vec()).expect("run");
+        Some((out, root))
+    }
+
+    #[test]
+    fn pipeline_over_fifos_matches_expected() {
+        let input = b"Banana\napple\nCherry\napple\nbanana\nAPPLE\n";
+        for width in [1usize, 3] {
+            let Some((out, root)) = run_processes(
+                "cat in.txt | tr A-Z a-z | sort > out.txt",
+                width,
+                &[("in.txt", input)],
+                b"",
+            ) else {
+                return;
+            };
+            assert_eq!(out.status, 0);
+            let got = std::fs::read(root.join("out.txt")).expect("out.txt");
+            assert_eq!(
+                got, b"apple\napple\napple\nbanana\nbanana\ncherry\n",
+                "width {width}"
+            );
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn stdout_edge_is_captured() {
+        let Some((out, root)) = run_processes("tr a-z A-Z", 1, &[], b"hello\n") else {
+            return;
+        };
+        assert_eq!(out.stdout, b"HELLO\n");
+        assert_eq!(out.status, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn head_early_exit_reaps_producers() {
+        // The §5.2 dangling-FIFO scenario under real processes: head
+        // exits after one line; the backend must SIGPIPE and reap the
+        // upstream copies instead of hanging.
+        let corpus: Vec<u8> = (0..2000)
+            .flat_map(|i| format!("{i}\n").into_bytes())
+            .collect();
+        let Some((out, root)) = run_processes(
+            "cat in.txt | sort -rn | head -n 1 > out.txt",
+            4,
+            &[("in.txt", &corpus)],
+            b"",
+        ) else {
+            return;
+        };
+        assert_eq!(out.status, 0, "head (the producer) exits cleanly");
+        let got = std::fs::read(root.join("out.txt")).expect("out.txt");
+        assert_eq!(got, b"1999\n");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn guards_respect_child_statuses() {
+        let Some((out, root)) = run_processes(
+            "grep zzz in.txt > miss.txt && cat in.txt",
+            1,
+            &[("in.txt", b"some words\n")],
+            b"",
+        ) else {
+            return;
+        };
+        assert!(out.stdout.is_empty(), "guard must skip the cat region");
+        assert_eq!(out.status, 1, "program status is grep's miss status");
+        let _ = std::fs::remove_dir_all(&root);
+
+        let Some((out, root)) = run_processes(
+            "grep zzz in.txt > miss.txt || cat in.txt",
+            1,
+            &[("in.txt", b"some words\n")],
+            b"",
+        ) else {
+            return;
+        };
+        assert_eq!(out.stdout, b"some words\n");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn parallel_width_with_segments_and_aggregator() {
+        let corpus = b"the quick Brown fox\nJumps over the lazy dog\nthe end\n";
+        let Some((out, root)) = run_processes(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt",
+            4,
+            &[("in.txt", corpus)],
+            b"",
+        ) else {
+            return;
+        };
+        assert_eq!(out.status, 0);
+        let got = std::fs::read(root.join("out.txt")).expect("out.txt");
+        let text = String::from_utf8(got).expect("utf8");
+        assert!(text.contains("1 the end"), "{text}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

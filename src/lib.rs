@@ -14,7 +14,9 @@
 //!   the [`core::plan`] IR and the `shell` backend;
 //! * [`parser`] — the POSIX shell front-end;
 //! * [`coreutils`] — from-scratch command implementations;
-//! * [`runtime`] — runtime primitives + the `threads` backend;
+//! * [`runtime`] — runtime primitives, the runtime I/O layer, the
+//!   `threads` backend, and the `processes` backend (real children
+//!   over FIFOs);
 //! * [`sim`] — the `sim` (performance-shape) backend;
 //! * [`workloads`] — synthetic input generators;
 //! * [`regex`] — the linear-time regex engine.
@@ -65,6 +67,7 @@
 //! }
 //! ```
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 pub use pash_core as core;
@@ -81,6 +84,7 @@ use crate::core::plan::Backend;
 use crate::coreutils::fs::{Fs, MemFs};
 use crate::coreutils::Registry;
 use crate::runtime::exec::{ExecConfig, ProgramOutput, ThreadedBackend};
+use crate::runtime::proc::{locate_bin, ProcConfig, ProcessBackend};
 use crate::sim::{CostModel, InputSizes, SimBackend, SimConfig, SimReport};
 
 /// Compiles a script with the standard annotation library (shorthand
@@ -102,19 +106,43 @@ pub fn compile_cached_script(
 }
 
 /// The registered execution backends, by selection name.
-pub const BACKENDS: &[&str] = &["shell", "threads", "sim"];
+pub const BACKENDS: &[&str] = &["shell", "threads", "processes", "sim"];
+
+/// Settings for the `processes` backend (real child processes over
+/// FIFOs; see [`runtime::proc`]).
+#[derive(Debug, Clone, Default)]
+pub struct ProcSettings {
+    /// Root directory the plan's file edges resolve against (every
+    /// child's cwd). `None` — the default — materializes the
+    /// [`RunEnv::fs`] contents into a fresh temp directory, runs
+    /// there, reads every file back into the `MemFs` afterwards, and
+    /// removes the directory: `run(.., "processes", ..)` then behaves
+    /// like `threads` from the caller's perspective, except the work
+    /// happened in real OS processes.
+    pub root: Option<PathBuf>,
+    /// `pashc` override (default: `$PASHC`, else a sibling of the
+    /// current executable).
+    pub pashc: Option<PathBuf>,
+    /// `pash-rt` override (default: `$PASH_RT`, else a sibling of the
+    /// current executable).
+    pub pash_rt: Option<PathBuf>,
+}
 
 /// Everything a backend might need to run a plan; construct with
 /// [`RunEnv::default`] and override what matters.
 pub struct RunEnv {
     /// Command implementations for the `threads` backend.
     pub registry: Registry,
-    /// Filesystem for the `threads` backend (a [`MemFs`] by default).
+    /// Filesystem for the `threads` backend (a [`MemFs`] by default),
+    /// and the materialization source/sink for `processes` when no
+    /// real root is given.
     pub fs: Arc<MemFs>,
-    /// Bytes fed to the program's stdin (`threads`).
+    /// Bytes fed to the program's stdin (`threads`, `processes`).
     pub stdin: Vec<u8>,
     /// Executor tuning (`threads`).
     pub exec: ExecConfig,
+    /// Real-filesystem and binary settings (`processes`).
+    pub proc: ProcSettings,
     /// Input-file sizes (`sim`).
     pub sizes: InputSizes,
     /// Bytes arriving on stdin (`sim`).
@@ -134,6 +162,7 @@ impl Default for RunEnv {
             fs: Arc::new(MemFs::new()),
             stdin: Vec::new(),
             exec: ExecConfig::default(),
+            proc: ProcSettings::default(),
             sizes: InputSizes::new(),
             stdin_bytes: 0.0,
             cost: CostModel::default(),
@@ -193,12 +222,13 @@ impl std::error::Error for RunError {}
 
 /// Compiles `src` (through the memoized cache) and runs the lowered
 /// [`core::plan::ExecutionPlan`] on the backend named `backend` —
-/// `"shell"`, `"threads"`, or `"sim"`.
+/// `"shell"`, `"threads"`, `"processes"`, or `"sim"`.
 ///
 /// This is the multi-backend entry point the plan layer exists for:
-/// every backend consumes the same lowered artifact, so adding a
-/// process or remote backend means implementing
-/// [`core::plan::Backend`] and adding an arm here.
+/// every backend consumes the same lowered artifact — the `processes`
+/// arm (real children over FIFOs) landed exactly by implementing
+/// [`core::plan::Backend`] and adding an arm here; a `remote` backend
+/// would do the same.
 pub fn run(
     src: &str,
     cfg: &PashConfig,
@@ -226,6 +256,9 @@ pub fn run(
                 .map(BackendOutput::Execution)
                 .map_err(RunError::Io)
         }
+        "processes" => run_processes(&compiled, env)
+            .map(BackendOutput::Execution)
+            .map_err(RunError::Io),
         "sim" => {
             let mut be = SimBackend {
                 sizes: &env.sizes,
@@ -239,6 +272,122 @@ pub fn run(
         }
         other => Err(RunError::UnknownBackend(other.to_string())),
     }
+}
+
+/// Runs a compiled plan on the process backend, providing the
+/// tempdir/read-back story when the caller gave no real root.
+fn run_processes(compiled: &Compiled, env: &RunEnv) -> std::io::Result<ProgramOutput> {
+    let cfg = ProcConfig {
+        pashc: match &env.proc.pashc {
+            Some(p) => p.clone(),
+            None => locate_bin("pashc", "PASHC")?,
+        },
+        pash_rt: match &env.proc.pash_rt {
+            Some(p) => p.clone(),
+            None => locate_bin("pash-rt", "PASH_RT")?,
+        },
+        scratch: None,
+        kill_grace: std::time::Duration::from_secs(2),
+    };
+    let (root, ephemeral) = match &env.proc.root {
+        Some(r) => (r.clone(), None),
+        None => {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "pash-run-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let manifest = materialize_fs(&env.fs, &dir)?;
+            (dir, Some(manifest))
+        }
+    };
+    let mut be = ProcessBackend {
+        cfg,
+        root: root.clone(),
+        stdin: env.stdin.clone(),
+    };
+    let mut result = be.run(&compiled.plan);
+    if let Some(manifest) = ephemeral {
+        if result.is_ok() {
+            if let Err(e) = read_back_fs(&env.fs, &root, &manifest) {
+                result = Err(e);
+            }
+        }
+        // Unconditional: a failed read-back must not leak the
+        // materialized corpus directory.
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    result
+}
+
+/// What [`materialize_fs`] wrote: relative path → (size, mtime) as
+/// observed right after the write, so read-back can skip inputs no
+/// child touched.
+type Materialized = std::collections::HashMap<PathBuf, (u64, Option<std::time::SystemTime>)>;
+
+/// Writes every `MemFs` file under `dir` (creating parents).
+fn materialize_fs(fs: &MemFs, dir: &Path) -> std::io::Result<Materialized> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = Materialized::new();
+    for path in fs.paths() {
+        let data = fs.read(&path)?;
+        let target = dir.join(&path);
+        if let Some(parent) = target.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&target, data)?;
+        let meta = std::fs::metadata(&target)?;
+        // Only a sub-second-precision mtime is a usable "unchanged"
+        // witness: on a coarse-clock filesystem a child could rewrite
+        // the file with same-size content inside the same tick. A
+        // fresh write on a nanosecond filesystem has zero subsecond
+        // part with probability ~1e-9, so this disables the skip
+        // exactly where it would be unsound.
+        let mtime = meta.modified().ok().filter(|t| {
+            t.duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos() != 0)
+                .unwrap_or(false)
+        });
+        manifest.insert(PathBuf::from(path), (meta.len(), mtime));
+    }
+    Ok(manifest)
+}
+
+/// Reads the files under `dir` back into the `MemFs`, so outputs
+/// written by child processes are visible through [`RunEnv::fs_mem`]
+/// exactly as the `threads` backend leaves them. Materialized inputs
+/// whose size and mtime are unchanged are skipped — the `MemFs`
+/// already holds those bytes, and corpora can be large.
+fn read_back_fs(fs: &MemFs, dir: &Path, manifest: &Materialized) -> std::io::Result<()> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                stack.push(entry.path());
+            } else if ty.is_file() {
+                let rel = entry
+                    .path()
+                    .strip_prefix(dir)
+                    .expect("entry under walk root")
+                    .to_path_buf();
+                if let Some(&(len, mtime)) = manifest.get(&rel) {
+                    let meta = entry.metadata()?;
+                    if meta.len() == len && mtime.is_some() && meta.modified().ok() == mtime {
+                        continue;
+                    }
+                }
+                fs.add(
+                    rel.to_string_lossy().into_owned(),
+                    std::fs::read(entry.path())?,
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -255,16 +404,49 @@ mod tests {
         };
         let src = "cat in.txt | sort";
         for &name in BACKENDS {
+            if name == "processes" && ProcConfig::locate().is_err() {
+                eprintln!("skipping processes: multicall binaries not built");
+                continue;
+            }
             let out = run(src, &cfg, name, &env).expect("backend runs");
             match (name, out) {
                 ("shell", BackendOutput::Script(s)) => assert!(s.contains("#!/bin/sh")),
-                ("threads", BackendOutput::Execution(o)) => {
-                    assert_eq!(o.stdout, b"a\nb\nc\n")
+                ("threads" | "processes", BackendOutput::Execution(o)) => {
+                    assert_eq!(o.stdout, b"a\nb\nc\n", "{name} stdout")
                 }
                 ("sim", BackendOutput::Simulation(r)) => assert!(r.seconds > 0.0),
                 (name, other) => panic!("{name} produced {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn processes_backend_reads_outputs_back() {
+        if ProcConfig::locate().is_err() {
+            eprintln!("skipping: multicall binaries not built");
+            return;
+        }
+        let env = RunEnv::default();
+        env.fs_mem().add("in.txt", b"B\na\nB\n".to_vec());
+        let cfg = PashConfig {
+            width: 2,
+            ..Default::default()
+        };
+        let out = run(
+            "cat in.txt | tr A-Z a-z | sort > out.txt",
+            &cfg,
+            "processes",
+            &env,
+        )
+        .expect("processes run");
+        match out {
+            BackendOutput::Execution(o) => assert_eq!(o.status, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            env.fs_mem().read("out.txt").expect("read back"),
+            b"a\nb\nb\n"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use pash::core::compile::PashConfig;
 use pash::coreutils::fs::MemFs;
 use pash::runtime::exec::{run_script, ExecConfig};
-use pash_bench::fixtures::{cached_corpus, registry};
+use pash_bench::fixtures::{cached_corpus, registry, runtime_binaries};
 
 /// A shared corpus from the process-wide cache, cloned into the
 /// per-test file list.
@@ -21,48 +21,12 @@ fn corpus(seed: u64, bytes: usize) -> Vec<u8> {
     cached_corpus(seed, bytes).as_ref().clone()
 }
 
-/// Locates the workspace target directory from the test executable.
-fn target_dir() -> PathBuf {
-    let mut p = std::env::current_exe().expect("test exe path");
-    // target/<profile>/deps/<test-bin> → target/<profile>.
-    p.pop();
-    if p.ends_with("deps") {
-        p.pop();
-    }
-    p
-}
-
-/// Builds the runtime binaries once and returns their paths.
+/// The multi-call binaries, when `/bin/sh` exists to drive them.
 fn build_binaries() -> Option<(PathBuf, PathBuf)> {
     if !PathBuf::from("/bin/sh").exists() {
         return None;
     }
-    let dir = target_dir();
-    let pashc = dir.join("pashc");
-    let pash_rt = dir.join("pash-rt");
-    if !pashc.exists() || !pash_rt.exists() {
-        let profile_flag: &[&str] = if dir.ends_with("release") {
-            &["--release"]
-        } else {
-            &[]
-        };
-        let status = Command::new(env!("CARGO"))
-            .args([
-                "build",
-                "-p",
-                "pash-coreutils",
-                "-p",
-                "pash-runtime",
-                "--bins",
-            ])
-            .args(profile_flag)
-            .status()
-            .ok()?;
-        if !status.success() {
-            return None;
-        }
-    }
-    Some((pashc, pash_rt))
+    runtime_binaries()
 }
 
 /// Compiles `script`, materializes `files` in a temp dir, runs the
