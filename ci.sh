@@ -10,10 +10,12 @@
 #   4. compile (but don't run) all criterion benches;
 #   5. dataplane bench smoke: run at a small size and check the
 #      emitted BENCH_dataplane.json parses;
-#   6. plan-determinism smoke;
-#   7. process-backend smoke: one corpus script as real children over
+#   6. regex bench smoke: tiered-vs-PikeVM suite at a small size,
+#      check the emitted BENCH_regex.json parses;
+#   7. plan-determinism smoke;
+#   8. process-backend smoke: one corpus script as real children over
 #      FIFOs, byte-compared against the shell backend's output;
-#   8. rustfmt check.
+#   9. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -38,6 +40,17 @@ if command -v python3 >/dev/null 2>&1; then
 else
     grep -q '"bench":"dataplane"' target/bench-smoke/BENCH_dataplane.json
 fi
+
+echo "==> regex bench smoke (BENCH_regex.json well-formed)"
+# Also re-asserts (inside run_suite) that the tiered engine and the
+# Pike VM agree on every benchmark corpus before timing them.
+./target/release/regexbench --size small --out target/bench-smoke/BENCH_regex.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool target/bench-smoke/BENCH_regex.json >/dev/null
+else
+    grep -q '"bench":"regex"' target/bench-smoke/BENCH_regex.json
+fi
+grep -q '"speedup_vs_pikevm"' target/bench-smoke/BENCH_regex.json
 
 echo "==> plan determinism smoke (same script+config => byte-identical dump)"
 # The compile-result cache keys on (source, config); this step proves

@@ -1,0 +1,19 @@
+//! Criterion bench over the regex tiers — the continuous-integration
+//! face of the `regexbench` binary: tiered matcher vs. Pike VM on the
+//! standard pattern shapes, bytes/sec via the group throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pash_bench::regexbench;
+
+const BYTES: usize = 256 * 1024;
+
+fn bench_regex(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regex");
+    g.sample_size(10)
+        .throughput(Throughput::Bytes(BYTES as u64));
+    g.bench_function("tier_suite", |b| b.iter(|| regexbench::run_suite(BYTES, 1)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_regex);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regex-tier microbenchmark driver.
+//!
+//! Measures the tiered matcher against the Pike-VM baseline on the
+//! four standard pattern shapes (fixed-string, literal-prefix ERE,
+//! class-heavy, adversarial NFA) and writes the results plus the
+//! per-case speedups to `BENCH_regex.json`, so successive PRs can
+//! track the regex-engine trajectory the same way `BENCH_dataplane.json`
+//! tracks the byte-shuffling primitives.
+//!
+//! Usage: `regexbench [--size small|default|large] [--out PATH]`
+
+use std::io::Write;
+
+use pash_bench::dataplane::fmt_throughput;
+use pash_bench::regexbench::{run_suite, speedups};
+
+fn main() {
+    let mut size = "default".to_string();
+    let mut out_path = "BENCH_regex.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--size" => size = args.next().unwrap_or_else(|| usage()),
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            _ => {
+                usage();
+            }
+        }
+    }
+    let (bytes, runs) = match size.as_str() {
+        "small" => (64 * 1024, 3),
+        "default" => (2 * 1024 * 1024, 7),
+        "large" => (8 * 1024 * 1024, 5),
+        _ => usage(),
+    };
+
+    println!("regex tier microbench: {bytes} bytes/corpus, {runs} runs\n");
+    let samples = run_suite(bytes, runs);
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>14}",
+        "bench", "min", "median", "mean", "throughput"
+    );
+    for s in &samples {
+        println!(
+            "{:<26} {:>12.3?} {:>12.3?} {:>12.3?} {:>14}",
+            s.name,
+            s.min,
+            s.median,
+            s.mean,
+            fmt_throughput(s.throughput())
+        );
+    }
+    let sp = speedups(&samples);
+    println!();
+    for (case, ratio) in &sp {
+        println!("{case:<14} tiered vs pikevm: {ratio:.1}x");
+    }
+
+    let json = format!(
+        "{{\"bench\":\"regex\",\"bytes_per_corpus\":{},\"runs\":{},\"results\":[{}],\"speedup_vs_pikevm\":{{{}}}}}\n",
+        bytes,
+        runs,
+        samples
+            .iter()
+            .map(|s| s.to_json())
+            .collect::<Vec<_>>()
+            .join(","),
+        sp.iter()
+            .map(|(case, ratio)| format!("\"{case}\":{ratio:.2}"))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\nwrote {out_path}");
+}
+
+fn usage() -> ! {
+    eprintln!("usage: regexbench [--size small|default|large] [--out PATH]");
+    std::process::exit(2);
+}

@@ -20,6 +20,7 @@
 pub mod baseline;
 pub mod dataplane;
 pub mod fixtures;
+pub mod regexbench;
 pub mod suites {
     //! Benchmark script collections.
     pub mod oneliners;

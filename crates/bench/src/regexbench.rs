@@ -1,0 +1,221 @@
+//! Regex-engine microbenchmarks: the tiered matcher against the
+//! Pike-VM-only baseline, measured **in the same run** on the same
+//! corpora.
+//!
+//! The paper's regex-bound stages (`grep`/`sed` over oneliners,
+//! unix50, and the "complex NFA regex" benchmark) spend their time in
+//! exactly four pattern shapes, so that is the series:
+//!
+//! | series        | pattern shape              | expected winner      |
+//! |---------------|----------------------------|----------------------|
+//! | `fixed`       | plain literal (`grep -F`)  | memmem tier, ≫10×    |
+//! | `prefix`      | literal-prefix ERE         | prefilter + DFA, ≫10×|
+//! | `class_heavy` | classes only, no literal   | lazy DFA             |
+//! | `adversarial` | NFA blow-up shape          | lazy DFA, stays linear|
+//!
+//! Each case is timed as a per-line `is_match` sweep (the `grep` inner
+//! loop) for both engines, and the two engines' match counts are
+//! asserted equal first — a benchmark that measures a wrong answer is
+//! worse than no benchmark.
+
+use std::time::{Duration, Instant};
+
+use pash_regex::compile::compile;
+use pash_regex::parser::parse;
+use pash_regex::pikevm::PikeVm;
+use pash_regex::{Regex, Syntax};
+
+use crate::dataplane::{measure, Sample};
+
+/// One benchmark case: a pattern and the corpus it scans.
+pub struct Case {
+    /// Series name (`fixed`, `prefix`, …).
+    pub name: &'static str,
+    /// The ERE under test.
+    pub pattern: &'static str,
+    /// Haystack bytes, newline-delimited lines.
+    pub corpus: Vec<u8>,
+}
+
+/// Builds the four standard cases at roughly `bytes` of corpus each.
+pub fn standard_cases(bytes: usize) -> Vec<Case> {
+    // Literal-bearing cases: mostly-missing needle, a few real hits
+    // spliced in so the verify path is exercised too.
+    let mut text = pash_workloads::text_corpus(97, bytes);
+    let hit_every = (bytes / 8).max(512);
+    let mut at = hit_every;
+    while at < text.len() {
+        // Splice at a line boundary to keep lines realistic.
+        if let Some(nl) = text[at..].iter().position(|&b| b == b'\n') {
+            let pos = at + nl + 1;
+            let hit = b"wombat1729 spliced hit line\n";
+            text.splice(pos..pos, hit.iter().copied());
+            at = pos + hit.len() + hit_every;
+        } else {
+            break;
+        }
+    }
+    // Adversarial corpus: long runs of `a` — the worst case for the
+    // `(a|a)*`-shaped pattern below, which blows up a backtracker.
+    let mut adversarial = Vec::with_capacity(bytes + 64);
+    while adversarial.len() < bytes {
+        adversarial.extend(std::iter::repeat_n(b'a', 199));
+        adversarial.push(b'\n');
+    }
+    vec![
+        Case {
+            name: "fixed",
+            pattern: "wombat1729",
+            corpus: text.clone(),
+        },
+        Case {
+            name: "prefix",
+            pattern: "wombat[0-9]+",
+            corpus: text.clone(),
+        },
+        Case {
+            name: "class_heavy",
+            pattern: "[a-z]+[0-9][0-9a-z]*",
+            corpus: text,
+        },
+        Case {
+            name: "adversarial",
+            pattern: "(a|a)*(a|aa)*b",
+            corpus: adversarial,
+        },
+    ]
+}
+
+/// Counts matching lines with the tiered matcher; returns the wall
+/// time via the out-param count for verification.
+fn sweep_tiered(re: &Regex, corpus: &[u8], count: &mut usize) -> Duration {
+    let mut m = re.matcher();
+    let start = Instant::now();
+    let mut n = 0usize;
+    for line in corpus.split_inclusive(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\n").unwrap_or(line);
+        if m.is_match(line) {
+            n += 1;
+        }
+    }
+    *count = n;
+    start.elapsed()
+}
+
+/// The same sweep on the Pike VM alone — the pre-tiering engine, and
+/// still the capture/fallback tier.
+fn sweep_pikevm(pattern: &str, corpus: &[u8], count: &mut usize) -> Duration {
+    let prog = compile(&parse(pattern, Syntax::Ere).expect("parse")).expect("compile");
+    let vm = PikeVm::new(&prog);
+    let start = Instant::now();
+    let mut n = 0usize;
+    for line in corpus.split_inclusive(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\n").unwrap_or(line);
+        if vm.find_at(line, 0).is_some() {
+            n += 1;
+        }
+    }
+    *count = n;
+    start.elapsed()
+}
+
+/// Runs every case through both engines; returns the samples
+/// (`{case}_tiered` / `{case}_pikevm`, interleaved) after asserting
+/// the engines agree on every corpus.
+pub fn run_suite(bytes: usize, runs: usize) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for case in standard_cases(bytes) {
+        let re = Regex::new(case.pattern, Syntax::Ere).expect("pattern compiles");
+        let mut tiered_count = 0usize;
+        let mut pike_count = 0usize;
+        sweep_tiered(&re, &case.corpus, &mut tiered_count);
+        sweep_pikevm(case.pattern, &case.corpus, &mut pike_count);
+        assert_eq!(
+            tiered_count, pike_count,
+            "engines disagree on `{}`",
+            case.pattern
+        );
+        let len = case.corpus.len();
+        samples.push(measure(
+            &format!("regex_{}_tiered", case.name),
+            len,
+            runs,
+            || sweep_tiered(&re, &case.corpus, &mut tiered_count),
+        ));
+        samples.push(measure(
+            &format!("regex_{}_pikevm", case.name),
+            len,
+            runs,
+            || sweep_pikevm(case.pattern, &case.corpus, &mut pike_count),
+        ));
+    }
+    samples
+}
+
+/// Per-case speedup of the tiered engine over the Pike VM, derived
+/// from a suite's samples: `[(case, ×factor)]`.
+pub fn speedups(samples: &[Sample]) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for s in samples {
+        if let Some(case) = s.name.strip_suffix("_tiered") {
+            let base = samples.iter().find(|b| b.name == format!("{case}_pikevm"));
+            if let Some(base) = base {
+                let ratio = s.throughput() / base.throughput().max(1e-9);
+                out.push((
+                    case.strip_prefix("regex_").unwrap_or(case).to_string(),
+                    ratio,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_at_tiny_size() {
+        let samples = run_suite(8 * 1024, 1);
+        assert_eq!(samples.len(), 8);
+        for s in &samples {
+            assert!(s.throughput() > 0.0, "{} has zero throughput", s.name);
+            assert!(s.to_json().contains(&s.name));
+        }
+        let sp = speedups(&samples);
+        assert_eq!(sp.len(), 4);
+        assert!(sp.iter().any(|(n, _)| n == "fixed"));
+    }
+
+    #[test]
+    fn cases_have_some_hits_for_literal_patterns() {
+        // The spliced hit lines keep the verify path honest.
+        let cases = standard_cases(64 * 1024);
+        let fixed = &cases[0];
+        let re = Regex::new(fixed.pattern, Syntax::Ere).expect("compile");
+        let mut n = 0usize;
+        sweep_tiered(&re, &fixed.corpus, &mut n);
+        assert!(n > 0, "no hit lines spliced into the corpus");
+        // But the corpus is still overwhelmingly non-matching.
+        let lines = fixed.corpus.split(|&b| b == b'\n').count();
+        assert!(n * 4 < lines);
+    }
+
+    #[test]
+    fn adversarial_case_is_linear_for_both_engines() {
+        // Doubling the corpus should roughly double the work, never
+        // square it; generous factor to stay robust under CI noise.
+        let c1 = &standard_cases(16 * 1024)[3];
+        let c2 = &standard_cases(64 * 1024)[3];
+        let re = Regex::new(c1.pattern, Syntax::Ere).expect("compile");
+        let mut n = 0usize;
+        let t1 = sweep_tiered(&re, &c1.corpus, &mut n).max(Duration::from_micros(50));
+        let t2 = sweep_tiered(&re, &c2.corpus, &mut n);
+        let factor = t2.as_secs_f64() / t1.as_secs_f64();
+        assert!(
+            factor < 64.0,
+            "4x corpus took {factor:.1}x the time — super-linear blow-up"
+        );
+    }
+}

@@ -1,8 +1,9 @@
 //! `grep` — print lines matching a pattern.
 
-use std::io;
+use std::io::{self, BufRead};
 
-use pash_regex::{Regex, Syntax};
+use pash_regex::memmem::{count_bytes, memchr, memrchr};
+use pash_regex::{Matcher, Regex, Syntax};
 
 use crate::lines::{for_each_line, write_line};
 use crate::{open_input, CmdIo, Command, ExitStatus};
@@ -11,6 +12,13 @@ use crate::{open_input, CmdIo, Command, ExitStatus};
 ///
 /// Stateless per line in its filter form; `-c` moves it to class P
 /// (counts from parallel parts must be summed by an aggregator).
+///
+/// Matching is tiered (see `pash_regex::Matcher`): `-F` and plain
+/// literal patterns run as pure substring search, and any pattern with
+/// a required literal takes the buffer-scan path below — whole chunks
+/// are skimmed for candidate positions at `memmem` speed and only
+/// candidate lines pay for a real match, instead of restarting the
+/// regex engine once per line.
 pub struct Grep;
 
 struct Opts {
@@ -23,6 +31,19 @@ struct Opts {
     word: bool,
     max: Option<u64>,
 }
+
+/// Cross-file match accounting.
+struct Tally {
+    any: bool,
+    count: u64,
+    emitted: u64,
+    stop: bool,
+    /// Current line number (reset per file).
+    line_no: u64,
+}
+
+/// Target chunk size for the buffer-scan path.
+const SCAN_CHUNK: usize = 256 * 1024;
 
 impl Command for Grep {
     fn name(&self) -> &'static str {
@@ -45,32 +66,15 @@ impl Command for Grep {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "-E" => o.ere = true,
-                "-F" => o.fixed = true,
-                "-i" => o.ignore_case = true,
-                "-v" => o.invert = true,
-                "-c" => o.count = true,
-                "-n" => o.line_numbers = true,
-                "-w" => o.word = true,
                 "-m" => {
                     o.max = it.next().and_then(|s| s.parse().ok());
                 }
                 "-e" => pattern = it.next().cloned(),
-                s if s.starts_with('-')
-                    && s.len() > 1
-                    && s[1..].chars().all(|c| "EFivcnw".contains(c)) =>
-                {
-                    for c in s[1..].chars() {
-                        match c {
-                            'E' => o.ere = true,
-                            'F' => o.fixed = true,
-                            'i' => o.ignore_case = true,
-                            'v' => o.invert = true,
-                            'c' => o.count = true,
-                            'n' => o.line_numbers = true,
-                            'w' => o.word = true,
-                            _ => unreachable!("guard checked flag set"),
-                        }
+                s if s.starts_with('-') && s.len() > 1 && cluster_is_valid(&s[1..]) => {
+                    if apply_cluster(&s[1..], &mut o) {
+                        // A bare trailing `m` takes its count from the
+                        // next argument (`-vm 3`).
+                        o.max = it.next().and_then(|s| s.parse().ok());
                     }
                 }
                 other => {
@@ -88,47 +92,245 @@ impl Command for Grep {
         };
         let re = build_regex(&pattern, &o)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let mut m = re.matcher();
         if files.is_empty() {
             files.push("-".to_string());
         }
-        let mut any = false;
-        let mut count: u64 = 0;
-        let mut emitted: u64 = 0;
-        'files: for f in &files {
+        let mut t = Tally {
+            any: false,
+            count: 0,
+            emitted: 0,
+            stop: false,
+            line_no: 0,
+        };
+        for f in &files {
             let mut r = open_input(&io.fs, f, io.stdin)?;
-            let mut line_no: u64 = 0;
-            let mut stop = false;
-            for_each_line(&mut r, |line| {
-                line_no += 1;
-                let matched = re.is_match(line) != o.invert;
-                if matched {
-                    any = true;
-                    count += 1;
-                    if !o.count {
-                        if o.line_numbers {
-                            write!(io.stdout, "{line_no}:")?;
-                        }
-                        write_line(io.stdout, line)?;
+            t.line_no = 0;
+            if m.has_candidate_filter() {
+                scan_reader(&mut m, r.as_mut(), &o, io, &mut t)?;
+            } else {
+                for_each_line(&mut r, |line| {
+                    t.line_no += 1;
+                    let matched = m.is_match(line) != o.invert;
+                    if matched {
+                        emit_line(line, &o, io, &mut t)?;
                     }
-                    emitted += 1;
-                    if let Some(m) = o.max {
-                        if emitted >= m {
-                            stop = true;
-                            return Ok(false);
-                        }
-                    }
-                }
-                Ok(true)
-            })?;
-            if stop {
-                break 'files;
+                    Ok(!t.stop)
+                })?;
+            }
+            if t.stop {
+                break;
             }
         }
         if o.count {
-            writeln!(io.stdout, "{count}")?;
+            writeln!(io.stdout, "{}", t.count)?;
         }
-        Ok(if any { 0 } else { 1 })
+        Ok(if t.any { 0 } else { 1 })
     }
+}
+
+/// True when every char of a combined flag is a known single-letter
+/// option — allowing one trailing `m`, optionally with an attached
+/// count (`-m2`, `-vm2`, `-vm`).
+fn cluster_is_valid(body: &str) -> bool {
+    match body.find('m') {
+        None => body.chars().all(|c| "EFivcnw".contains(c)),
+        Some(i) => {
+            body[..i].chars().all(|c| "EFivcnw".contains(c))
+                && (body[i + 1..].is_empty() || body[i + 1..].chars().all(|c| c.is_ascii_digit()))
+        }
+    }
+}
+
+/// Applies a pre-validated flag cluster; returns true when a bare
+/// trailing `m` still needs its count from the next argument.
+fn apply_cluster(body: &str, o: &mut Opts) -> bool {
+    let (flags, max) = match body.find('m') {
+        None => (body, None),
+        Some(i) => (&body[..i], Some(&body[i + 1..])),
+    };
+    for c in flags.chars() {
+        match c {
+            'E' => o.ere = true,
+            'F' => o.fixed = true,
+            'i' => o.ignore_case = true,
+            'v' => o.invert = true,
+            'c' => o.count = true,
+            'n' => o.line_numbers = true,
+            'w' => o.word = true,
+            _ => unreachable!("cluster pre-validated"),
+        }
+    }
+    match max {
+        None => false,
+        Some("") => true,
+        Some(digits) => {
+            o.max = digits.parse().ok();
+            false
+        }
+    }
+}
+
+/// Emits one matched line (or just counts it), honoring `-c`, `-n`,
+/// and the `-m` early exit.
+fn emit_line(line: &[u8], o: &Opts, io: &mut CmdIo<'_>, t: &mut Tally) -> io::Result<()> {
+    t.any = true;
+    t.count += 1;
+    if !o.count {
+        if o.line_numbers {
+            write!(io.stdout, "{}:", t.line_no)?;
+        }
+        write_line(io.stdout, line)?;
+    }
+    t.emitted += 1;
+    if let Some(mx) = o.max {
+        if t.emitted >= mx {
+            t.stop = true;
+        }
+    }
+    Ok(())
+}
+
+/// Lines in a region: `\n` stripped, final unterminated line included.
+fn lines_of(region: &[u8]) -> impl Iterator<Item = &[u8]> {
+    region.split_inclusive(|&b| b == b'\n').map(|l| {
+        if l.last() == Some(&b'\n') {
+            &l[..l.len() - 1]
+        } else {
+            l
+        }
+    })
+}
+
+/// Number of lines in a region (a final unterminated line counts).
+fn line_count(region: &[u8]) -> u64 {
+    let nl = count_bytes(b'\n', region) as u64;
+    nl + u64::from(region.last().is_some_and(|&b| b != b'\n'))
+}
+
+/// Handles a region proven to contain no candidate line: without `-v`
+/// it is skipped wholesale (newlines counted word-at-a-time for `-n`);
+/// with `-v` every line matches — emitted as one bulk write when no
+/// per-line bookkeeping (`-n`, `-m`) is needed.
+fn on_gap(gap: &[u8], o: &Opts, io: &mut CmdIo<'_>, t: &mut Tally) -> io::Result<()> {
+    let n = line_count(gap);
+    if n == 0 {
+        return Ok(());
+    }
+    if !o.invert {
+        t.line_no += n;
+        return Ok(());
+    }
+    if o.max.is_none() && (o.count || !o.line_numbers) {
+        t.line_no += n;
+        t.any = true;
+        t.count += n;
+        t.emitted += n;
+        if !o.count {
+            io.stdout.write_all(gap)?;
+            if gap.last() != Some(&b'\n') {
+                // The per-line path always terminates the final line.
+                io.stdout.write_all(b"\n")?;
+            }
+        }
+        return Ok(());
+    }
+    for line in lines_of(gap) {
+        t.line_no += 1;
+        emit_line(line, o, io, t)?;
+        if t.stop {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// The buffer-scan loop: read big chunks, cut them at the last
+/// newline, and let the matcher's candidate filter skip non-matching
+/// stretches without a per-line regex restart.
+fn scan_reader(
+    m: &mut Matcher,
+    r: &mut dyn BufRead,
+    o: &Opts,
+    io: &mut CmdIo<'_>,
+    t: &mut Tally,
+) -> io::Result<()> {
+    let mut buf: Vec<u8> = Vec::with_capacity(SCAN_CHUNK + 4096);
+    loop {
+        let mut eof = false;
+        let mut have_nl = memrchr(b'\n', &buf).is_some();
+        while !eof && (buf.len() < SCAN_CHUNK || !have_nl) {
+            let chunk = r.fill_buf()?;
+            if chunk.is_empty() {
+                eof = true;
+                break;
+            }
+            if !have_nl && memchr(b'\n', chunk).is_some() {
+                have_nl = true;
+            }
+            let n = chunk.len();
+            buf.extend_from_slice(chunk);
+            r.consume(n);
+        }
+        let region_end = if eof {
+            buf.len()
+        } else {
+            memrchr(b'\n', &buf).map(|i| i + 1).expect("have_nl set")
+        };
+        if region_end > 0 {
+            scan_region(m, &buf[..region_end], o, io, t)?;
+            if t.stop {
+                return Ok(());
+            }
+            buf.drain(..region_end);
+        }
+        if eof {
+            return Ok(());
+        }
+    }
+}
+
+/// Scans one region of complete lines (the final line of the input may
+/// be unterminated).
+fn scan_region(
+    m: &mut Matcher,
+    region: &[u8],
+    o: &Opts,
+    io: &mut CmdIo<'_>,
+    t: &mut Tally,
+) -> io::Result<()> {
+    let mut pos = 0usize;
+    while pos < region.len() {
+        let hit = match m.candidate(&region[pos..]) {
+            None => {
+                // No candidate anywhere ahead: the rest of the region
+                // is non-matching lines.
+                on_gap(&region[pos..], o, io, t)?;
+                return Ok(());
+            }
+            Some(off) => pos + off,
+        };
+        // `pos` is always line-aligned, so the candidate's line starts
+        // at the last newline before the hit (or at `pos`).
+        let line_start = pos + memrchr(b'\n', &region[pos..hit]).map_or(0, |i| i + 1);
+        if line_start > pos {
+            on_gap(&region[pos..line_start], o, io, t)?;
+            if t.stop {
+                return Ok(());
+            }
+        }
+        let line_end = memchr(b'\n', &region[hit..]).map_or(region.len(), |i| hit + i);
+        let line = &region[line_start..line_end];
+        t.line_no += 1;
+        if m.is_match(line) != o.invert {
+            emit_line(line, o, io, t)?;
+            if t.stop {
+                return Ok(());
+            }
+        }
+        pos = line_end + 1;
+    }
+    Ok(())
 }
 
 fn build_regex(pattern: &str, o: &Opts) -> Result<Regex, pash_regex::Error> {
@@ -158,6 +360,10 @@ fn build_regex(pattern: &str, o: &Opts) -> Result<Regex, pash_regex::Error> {
 }
 
 /// Escapes ERE metacharacters for `-F` fixed-string matching.
+///
+/// The escaped pattern parses back to a pure literal, so the tier
+/// picker recognizes it and `-F` runs as plain `memmem` — no automaton
+/// is ever built for fixed strings.
 fn escape_fixed(s: &str) -> String {
     let mut out = String::with_capacity(s.len() * 2);
     for c in s.chars() {
@@ -259,7 +465,81 @@ mod tests {
     }
 
     #[test]
+    fn max_count_attached_value() {
+        // `-m2` (attached) must behave exactly like `-m 2` (separate).
+        assert_eq!(out(&["-m2", "a"], "a1\na2\na3\n"), "a1\na2\n");
+        assert_eq!(out(&["-m1", "a"], "a1\na2\n"), "a1\n");
+    }
+
+    #[test]
+    fn max_count_in_cluster() {
+        assert_eq!(out(&["-vm2", "x"], "a\nx\nb\nc\n"), "a\nb\n");
+        assert_eq!(out(&["-nm2", "a"], "a1\nb\na2\na3\n"), "1:a1\n3:a2\n");
+        // Bare trailing m in a cluster takes the next argument.
+        assert_eq!(out(&["-vm", "1", "x"], "a\nx\nb\n"), "a\n");
+    }
+
+    #[test]
+    fn max_count_spans_files() {
+        assert_eq!(
+            out(&["-m", "3", "a", "f1", "f2"], ""),
+            "apple\nbanana\napricot\n"
+        );
+        assert_eq!(out(&["-m2", "a", "f1", "f2"], ""), "apple\nbanana\n");
+    }
+
+    #[test]
+    fn max_count_with_count_flag_caps_count() {
+        assert_eq!(out(&["-cm2", "a"], "a1\na2\na3\n"), "2\n");
+    }
+
+    #[test]
+    fn line_numbers_reset_per_file() {
+        assert_eq!(out(&["-n", "ap", "f1", "f2"], ""), "1:apple\n2:apricot\n");
+    }
+
+    #[test]
+    fn line_numbers_with_invert() {
+        // The scan path counts skipped lines word-at-a-time; numbers
+        // must stay exact either way.
+        assert_eq!(out(&["-vn", "b"], "a\nb\nc\nd\n"), "1:a\n3:c\n4:d\n");
+    }
+
+    #[test]
+    fn line_numbers_on_candidate_lines_only() {
+        // Lines 1..3 carry no candidate literal; line 4 does.
+        assert_eq!(out(&["-n", "needle"], "x\ny\nz\nneedle\nw\n"), "4:needle\n");
+    }
+
+    #[test]
     fn explicit_e_pattern() {
         assert_eq!(out(&["-e", "-x"], "-x\nyy\n"), "-x\n");
+    }
+
+    #[test]
+    fn unterminated_final_line() {
+        assert_eq!(out(&["b"], "a\nb"), "b\n");
+        assert_eq!(out(&["-v", "a"], "a\nb"), "b\n");
+        assert_eq!(out(&["-c", "b"], "a\nb"), "1\n");
+    }
+
+    #[test]
+    fn anchored_patterns_are_line_relative() {
+        assert_eq!(out(&["^b"], "ab\nba\n"), "ba\n");
+        assert_eq!(out(&["b$"], "ab\nba\n"), "ab\n");
+        assert_eq!(out(&["-E", "^$"], "a\n\nb\n"), "\n");
+    }
+
+    #[test]
+    fn scan_path_handles_large_input() {
+        // Forces multiple 256 KiB chunks through the scan loop with a
+        // match near the end.
+        let mut input = "filler line without the token\n".repeat(20_000);
+        input.push_str("the needle line\n");
+        input.push_str(&"more filler\n".repeat(5));
+        assert_eq!(out(&["needle"], &input), "the needle line\n");
+        assert_eq!(out(&["-c", "needle"], &input), "1\n");
+        let c = grep(&["-c", "-v", "needle"], &input);
+        assert_eq!(String::from_utf8(c.stdout).expect("utf8"), "20005\n");
     }
 }

@@ -14,7 +14,7 @@
 
 use std::io;
 
-use pash_regex::{Regex, Syntax};
+use pash_regex::{Matcher, Regex, Syntax};
 
 use crate::lines::{for_each_line, write_line};
 use crate::{open_input, CmdIo, Command, ExitStatus};
@@ -95,16 +95,23 @@ impl Command for Sed {
                 );
             }
         }
-        // Pre-compile regexes.
-        let mut compiled: Vec<Option<Regex>> = Vec::new();
-        let mut addr_res: Vec<Option<Regex>> = Vec::new();
+        // Pre-compile matchers (tiered engines with per-instruction
+        // DFA caches that persist across the whole stream).
+        let mut compiled: Vec<Option<Matcher>> = Vec::new();
+        let mut addr_res: Vec<Option<Matcher>> = Vec::new();
+        // Whether each substitution's replacement references capture
+        // groups (`\1`…`\9`): only those pay for slot tracking; plain
+        // replacements run on the find tier.
+        let mut wants_caps: Vec<bool> = Vec::new();
         for inst in &instructions {
-            let (re, addr) = match inst {
-                Instruction::Subst { re, addr, .. } => (Some(re.as_str()), addr.as_ref()),
-                Instruction::Delete(a) | Instruction::Print(a) | Instruction::Quit(a) => {
-                    (None, a.as_ref())
+            let (re, addr, caps) = match inst {
+                Instruction::Subst { re, addr, repl, .. } => {
+                    (Some(re.as_str()), addr.as_ref(), repl_uses_groups(repl))
                 }
-                Instruction::Translit { .. } => (None, None),
+                Instruction::Delete(a) | Instruction::Print(a) | Instruction::Quit(a) => {
+                    (None, a.as_ref(), false)
+                }
+                Instruction::Translit { .. } => (None, None, false),
             };
             compiled.push(match re {
                 Some(r) => Some(compile(r, syntax)?),
@@ -114,6 +121,7 @@ impl Command for Sed {
                 Some(Address::Pattern(p)) => Some(compile(p, syntax)?),
                 _ => None,
             });
+            wants_caps.push(caps);
         }
         if files.is_empty() {
             files.push("-".to_string());
@@ -132,18 +140,6 @@ impl Command for Sed {
                 let mut deleted = false;
                 let mut extra_prints = 0usize;
                 for (i, inst) in instructions.iter().enumerate() {
-                    let addr_hit = |addr: &Option<Address>| -> bool {
-                        match addr {
-                            None => true,
-                            Some(Address::Line(n)) => line_no == *n,
-                            Some(Address::Range(a, b)) => line_no >= *a && line_no <= *b,
-                            Some(Address::Last) => false, // `$` unsupported w/o lookahead; see note.
-                            Some(Address::Pattern(_)) => addr_res[i]
-                                .as_ref()
-                                .map(|re| re.is_match(&pattern_space))
-                                .unwrap_or(false),
-                        }
-                    };
                     match inst {
                         Instruction::Subst {
                             addr,
@@ -152,9 +148,10 @@ impl Command for Sed {
                             print,
                             ..
                         } => {
-                            if addr_hit(addr) {
-                                let re = compiled[i].as_ref().expect("subst has regex");
-                                let (new, n) = substitute(re, &pattern_space, repl, *global);
+                            if addr_hits(addr, line_no, &mut addr_res[i], &pattern_space) {
+                                let m = compiled[i].as_mut().expect("subst has regex");
+                                let (new, n) =
+                                    substitute(m, &pattern_space, repl, *global, wants_caps[i]);
                                 if n > 0 {
                                     pattern_space = new;
                                     if *print {
@@ -171,18 +168,18 @@ impl Command for Sed {
                             }
                         }
                         Instruction::Delete(addr) => {
-                            if addr_hit(addr) {
+                            if addr_hits(addr, line_no, &mut addr_res[i], &pattern_space) {
                                 deleted = true;
                                 break;
                             }
                         }
                         Instruction::Print(addr) => {
-                            if addr_hit(addr) {
+                            if addr_hits(addr, line_no, &mut addr_res[i], &pattern_space) {
                                 extra_prints += 1;
                             }
                         }
                         Instruction::Quit(addr) => {
-                            if addr_hit(addr) {
+                            if addr_hits(addr, line_no, &mut addr_res[i], &pattern_space) {
                                 quit = true;
                             }
                         }
@@ -207,8 +204,51 @@ fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, msg)
 }
 
-fn compile(re: &str, syntax: Syntax) -> io::Result<Regex> {
-    Regex::new(re, syntax).map_err(|e| invalid(e.to_string()))
+fn compile(re: &str, syntax: Syntax) -> io::Result<Matcher> {
+    Regex::new(re, syntax)
+        .map(|r| r.matcher())
+        .map_err(|e| invalid(e.to_string()))
+}
+
+/// Does an address select the current line?
+fn addr_hits(
+    addr: &Option<Address>,
+    line_no: u64,
+    m: &mut Option<Matcher>,
+    pattern_space: &[u8],
+) -> bool {
+    match addr {
+        None => true,
+        Some(Address::Line(n)) => line_no == *n,
+        Some(Address::Range(a, b)) => line_no >= *a && line_no <= *b,
+        Some(Address::Last) => false, // `$` unsupported w/o lookahead; see note.
+        Some(Address::Pattern(_)) => m
+            .as_mut()
+            .map(|re| re.is_match(pattern_space))
+            .unwrap_or(false),
+    }
+}
+
+/// Does a replacement string reference capture groups (`\1`…`\9`)?
+///
+/// `&` only needs the whole-match span, which the find tier already
+/// produces; numbered groups force the Pike VM's slot tracking. The
+/// walk is escape-aware, mirroring `apply_replacement`: in `\\1` the
+/// digit is literal text, not a group reference.
+fn repl_uses_groups(repl: &str) -> bool {
+    let b = repl.as_bytes();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        if b[i] == b'\\' {
+            if b[i + 1].is_ascii_digit() && b[i + 1] != b'0' {
+                return true;
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    false
 }
 
 /// Splits a script on `;` at top level (not inside s/// bodies).
@@ -362,14 +402,32 @@ fn parse_instruction(s: &str) -> Option<Instruction> {
 }
 
 /// Applies a substitution; returns the new line and match count.
-fn substitute(re: &Regex, line: &[u8], repl: &str, global: bool) -> (Vec<u8>, usize) {
+///
+/// `wants_caps` is whether the replacement references `\1`…`\9`; only
+/// then does the loop run the capture engine — otherwise each match is
+/// located by the (much faster) find tier and `&`/literal replacements
+/// are spliced from the whole-match span alone.
+fn substitute(
+    re: &mut Matcher,
+    line: &[u8],
+    repl: &str,
+    global: bool,
+    wants_caps: bool,
+) -> (Vec<u8>, usize) {
     let mut out = Vec::with_capacity(line.len());
     let mut at = 0usize;
     let mut n = 0usize;
     while at <= line.len() {
-        let caps = match re.captures_at(line, at) {
-            Some(c) => c,
-            None => break,
+        let caps = if wants_caps {
+            match re.captures_at(line, at) {
+                Some(c) => c,
+                None => break,
+            }
+        } else {
+            match re.find_at(line, at) {
+                Some(span) => vec![Some(span)],
+                None => break,
+            }
         };
         let (s, e) = caps[0].expect("group 0 present");
         out.extend_from_slice(&line[at..s]);
@@ -550,5 +608,16 @@ mod tests {
     #[test]
     fn no_match_leaves_line() {
         assert_eq!(sed(&["s/zzz/x/"], "abc\n"), "abc\n");
+    }
+
+    #[test]
+    fn escaped_backslash_before_digit_is_literal() {
+        // `\\1` in the replacement is a literal backslash then `1`,
+        // not a group reference (and must not force the capture tier).
+        assert_eq!(sed(&[r"s/b/\\1/"], "abc\n"), "a\\1c\n");
+        assert!(!super::repl_uses_groups(r"\\1"));
+        assert!(super::repl_uses_groups(r"<\1>"));
+        assert!(super::repl_uses_groups(r"\\\2"));
+        assert!(!super::repl_uses_groups(r"\n&\\"));
     }
 }

@@ -1,0 +1,632 @@
+//! A lazy DFA over the Thompson NFA, with a bounded state cache.
+//!
+//! This is the fast general-purpose tier of the matcher: instead of
+//! simulating every live NFA thread per byte (the Pike VM), states —
+//! priority-ordered sets of NFA program counters — are determinized
+//! *on demand* and memoized, so steady-state matching is one table
+//! lookup per byte. Determinization is capped: when the cache fills it
+//! is cleared and rebuilt, and a search that keeps thrashing gives up
+//! ([`GaveUp`]) so the caller can fall back to the Pike VM. That keeps
+//! the engine's linear-time guarantee intact on adversarial patterns —
+//! the DFA never does more than `O(len)` transition steps, and state
+//! construction work is bounded by the cache budget.
+//!
+//! Two configurations are used by [`crate::Matcher`]:
+//!
+//! * **forward, leftmost** (`longest = false`): the program is the
+//!   pattern wrapped in an implicit non-greedy `.*?` prefix, so the
+//!   unanchored seeding the Pike VM performs per position is part of
+//!   the automaton. State construction cuts every thread below a
+//!   `Match` (leftmost-first semantics), which also silences the
+//!   seeding loop once a match exists — exactly mirroring the VM's
+//!   "once matched, only extend" rule. Scanning to the dead state and
+//!   reporting the *last* match position yields the same end offset
+//!   the Pike VM reports.
+//! * **reverse, longest** (`longest = true`): the program is the
+//!   reversed pattern, run backwards from the match end with no
+//!   cutoff; the furthest (smallest) match position is the leftmost
+//!   match start.
+//!
+//! Word-boundary assertions would make state identity depend on
+//! haystack context; patterns containing them are rejected at
+//! construction ([`Dfa::new`] returns `None`) and stay on the Pike VM.
+
+use std::collections::HashMap;
+
+use crate::compile::{Inst, Program};
+use crate::hir::Assertion;
+
+/// The dead state: no live threads, no future match.
+const DEAD: u32 = 0;
+/// Marker for a transition not yet determinized.
+const UNKNOWN: u32 = u32::MAX;
+/// Cache clears tolerated across a [`Cache`]'s lifetime before the
+/// DFA declares itself unprofitable and permanently gives up.
+const MAX_CLEARS: u32 = 16;
+
+/// The search exceeded its cache budget; fall back to the Pike VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaveUp;
+
+/// An immutable determinizer for one compiled program.
+#[derive(Debug)]
+pub struct Dfa {
+    prog: Program,
+    /// Byte → equivalence class; bytes the program never distinguishes
+    /// share transitions, shrinking per-state tables.
+    byte2class: [u16; 256],
+    class_count: usize,
+    /// Cache capacity, sized so `states × classes` stays bounded.
+    max_states: usize,
+    /// Longest-match mode: no priority cutoff at `Match` (used by the
+    /// reverse scan, which needs the furthest match, not the first).
+    longest: bool,
+    /// Whether the program contains `Assert(End)` at all; when not,
+    /// the end-of-input closure can never add a match and is skipped.
+    has_eoi: bool,
+}
+
+/// One determinized state.
+struct State {
+    /// Priority-ordered NFA pcs, each a `Class`, `Match`, or pending
+    /// `Assert(End)` instruction.
+    pcs: Box<[u32]>,
+    /// Whether a `Match` pc is present (a match ends here).
+    is_match: bool,
+    /// Lazily filled transitions, one per byte class.
+    next: Box<[u32]>,
+}
+
+/// The mutable side of a lazy DFA: interned states and transitions.
+///
+/// Owned by the caller (one per [`crate::Matcher`]) so a compiled
+/// [`Dfa`] stays shareable while each user pays for its own cache.
+pub struct Cache {
+    states: Vec<State>,
+    ids: HashMap<Box<[u32]>, u32>,
+    /// Start states: `[mid-text, text-start]` closure variants.
+    starts: [u32; 2],
+    clears: u32,
+    poisoned: bool,
+    /// Scratch for closure computation (generation-stamped visited
+    /// set, reused across calls).
+    stamp: Vec<u32>,
+    gen: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache; states materialize on first use.
+    pub fn new() -> Cache {
+        Cache {
+            states: Vec::new(),
+            ids: HashMap::new(),
+            starts: [UNKNOWN; 2],
+            clears: 0,
+            poisoned: false,
+            stamp: Vec::new(),
+            gen: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.states.clear();
+        self.ids.clear();
+        self.starts = [UNKNOWN; 2];
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Zero-width context at a haystack position.
+#[derive(Clone, Copy)]
+struct Ctx {
+    at_start: bool,
+    at_eoi: bool,
+}
+
+impl Dfa {
+    /// Builds a determinizer for `prog`, or `None` when the program
+    /// contains context-dependent assertions (word boundaries) that a
+    /// position-keyed DFA cannot express.
+    pub fn new(prog: Program, longest: bool) -> Option<Dfa> {
+        if prog.insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Assert(Assertion::WordBoundary) | Inst::Assert(Assertion::NotWordBoundary)
+            )
+        }) {
+            return None;
+        }
+        let (byte2class, class_count) = byte_classes(&prog);
+        // Bound total transition-table memory to ~1M entries.
+        let max_states = ((1usize << 20) / class_count.max(1)).clamp(256, 8192);
+        let has_eoi = prog
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Assert(Assertion::End)));
+        Some(Dfa {
+            prog,
+            byte2class,
+            class_count,
+            max_states,
+            longest,
+            has_eoi,
+        })
+    }
+
+    /// Forward scan over `hay[start..]`.
+    ///
+    /// Returns the **last** position at which a match ends (the Pike
+    /// VM's leftmost end offset, given the compiled-in `.*?` prefix),
+    /// or the **first** when `earliest` (enough for `is_match`).
+    pub fn find_fwd(
+        &self,
+        cache: &mut Cache,
+        hay: &[u8],
+        start: usize,
+        earliest: bool,
+    ) -> Result<Option<usize>, GaveUp> {
+        if cache.poisoned {
+            return Err(GaveUp);
+        }
+        let mut sid = self.start_state(cache, start == 0)?;
+        let mut last = None;
+        if cache.states[sid as usize].is_match {
+            if earliest {
+                return Ok(Some(start));
+            }
+            last = Some(start);
+        }
+        for (j, &b) in hay[start..].iter().enumerate() {
+            sid = self.next_state(cache, sid, b)?;
+            if sid == DEAD {
+                return Ok(last);
+            }
+            if cache.states[sid as usize].is_match {
+                if earliest {
+                    return Ok(Some(start + j + 1));
+                }
+                last = Some(start + j + 1);
+            }
+        }
+        if self.has_eoi && self.eoi_is_match(cache, sid, hay.is_empty()) {
+            last = Some(hay.len());
+        }
+        Ok(last)
+    }
+
+    /// Reverse scan over `hay[lo..end]`, feeding bytes right to left.
+    ///
+    /// Returns the smallest position `s ≥ lo` such that `hay[s..end]`
+    /// matches the (reversed) program — the leftmost start of a match
+    /// known to end at `end`.
+    pub fn find_rev(
+        &self,
+        cache: &mut Cache,
+        hay: &[u8],
+        lo: usize,
+        end: usize,
+    ) -> Result<Option<usize>, GaveUp> {
+        if cache.poisoned {
+            return Err(GaveUp);
+        }
+        let mut sid = self.start_state(cache, end == hay.len())?;
+        let mut last = if cache.states[sid as usize].is_match {
+            Some(end)
+        } else {
+            None
+        };
+        let mut i = end;
+        while i > lo {
+            i -= 1;
+            sid = self.next_state(cache, sid, hay[i])?;
+            if sid == DEAD {
+                return Ok(last);
+            }
+            if cache.states[sid as usize].is_match {
+                last = Some(i);
+            }
+        }
+        // End of the reverse stream: pending `Assert(End)` pcs here are
+        // the original pattern's `^`, which holds only at offset 0.
+        if self.has_eoi && lo == 0 && self.eoi_is_match(cache, sid, false) {
+            last = Some(0);
+        }
+        Ok(last)
+    }
+
+    fn start_state(&self, cache: &mut Cache, text_start: bool) -> Result<u32, GaveUp> {
+        let slot = usize::from(text_start);
+        if cache.starts[slot] != UNKNOWN {
+            return Ok(cache.starts[slot]);
+        }
+        self.ensure_dead(cache);
+        let ctx = Ctx {
+            at_start: text_start,
+            at_eoi: false,
+        };
+        let (pcs, is_match) = self.closure_list(cache, &[0], None, ctx);
+        let id = self.intern(cache, pcs, is_match)?;
+        cache.starts[slot] = id;
+        Ok(id)
+    }
+
+    /// Computes (and memoizes) `δ(sid, byte)`.
+    ///
+    /// After a cache clear the previous `sid` is gone; the freshly
+    /// interned successor id returned here is always valid, so the
+    /// scan loop can continue — only the memoized edge is lost.
+    fn next_state(&self, cache: &mut Cache, sid: u32, byte: u8) -> Result<u32, GaveUp> {
+        let class = self.byte2class[byte as usize] as usize;
+        let known = cache.states[sid as usize].next[class];
+        if known != UNKNOWN {
+            return Ok(known);
+        }
+        let src = cache.states[sid as usize].pcs.clone();
+        let ctx = Ctx {
+            at_start: false,
+            at_eoi: false,
+        };
+        let (pcs, is_match) = self.closure_list(cache, &src, Some(byte), ctx);
+        let clears_before = cache.clears;
+        let id = self.intern(cache, pcs, is_match)?;
+        // Store the edge unless interning cleared the cache (in which
+        // case `sid` no longer names a live state).
+        if cache.clears == clears_before {
+            cache.states[sid as usize].next[class] = id;
+        }
+        Ok(id)
+    }
+
+    /// Does `sid` yield a match at end-of-input (pending `$` pcs)?
+    fn eoi_is_match(&self, cache: &mut Cache, sid: u32, empty_text: bool) -> bool {
+        let ctx = Ctx {
+            at_start: empty_text,
+            at_eoi: true,
+        };
+        let src = cache.states[sid as usize].pcs.clone();
+        let (_, is_match) = self.closure_list(cache, &src, None, ctx);
+        is_match
+    }
+
+    /// Builds the priority-ordered successor pc list of `src`.
+    ///
+    /// With `byte = Some(b)`, each `Class` pc consumes `b` first; with
+    /// `None`, `src` pcs enter the closure directly (start state and
+    /// EOI evaluation). Pending `Assert(End)` pcs are kept in the list
+    /// mid-scan and only followed when `ctx.at_eoi`.
+    fn closure_list(
+        &self,
+        cache: &mut Cache,
+        src: &[u32],
+        byte: Option<u8>,
+        ctx: Ctx,
+    ) -> (Vec<u32>, bool) {
+        if cache.stamp.len() < self.prog.insts.len() {
+            cache.stamp.resize(self.prog.insts.len(), 0);
+        }
+        cache.gen = cache.gen.wrapping_add(1);
+        if cache.gen == 0 {
+            cache.stamp.fill(0);
+            cache.gen = 1;
+        }
+        let mut cl = Closure {
+            prog: &self.prog,
+            stamp: &mut cache.stamp,
+            gen: cache.gen,
+            list: Vec::with_capacity(src.len() + 4),
+            matched: false,
+            cutoff: !self.longest,
+            ctx,
+        };
+        for &pc in src {
+            if cl.matched && cl.cutoff {
+                break;
+            }
+            match (&self.prog.insts[pc as usize], byte) {
+                (Inst::Class(c), Some(b)) => {
+                    if c.contains(b) {
+                        cl.add(pc + 1);
+                    }
+                }
+                // A byte follows, so `$` fails and `Match` stays a
+                // record of the past, contributing no successor — but
+                // in leftmost mode it still cuts lower-priority pcs.
+                (Inst::Assert(Assertion::End), Some(_)) => {}
+                (Inst::Match, Some(_)) => {
+                    if cl.cutoff {
+                        break;
+                    }
+                }
+                // Direct (non-consuming) closure entry.
+                (_, None) => cl.add(pc),
+                _ => unreachable!("state holds only Class/Match/Assert(End) pcs"),
+            }
+        }
+        (cl.list, cl.matched)
+    }
+
+    fn ensure_dead(&self, cache: &mut Cache) {
+        if cache.states.is_empty() {
+            cache.states.push(State {
+                pcs: Box::from([]),
+                is_match: false,
+                next: vec![DEAD; self.class_count].into_boxed_slice(),
+            });
+            cache.ids.insert(Box::from([]), DEAD);
+        }
+    }
+
+    fn intern(&self, cache: &mut Cache, pcs: Vec<u32>, is_match: bool) -> Result<u32, GaveUp> {
+        self.ensure_dead(cache);
+        if let Some(&id) = cache.ids.get(pcs.as_slice()) {
+            return Ok(id);
+        }
+        if cache.states.len() >= self.max_states {
+            cache.clears += 1;
+            if cache.clears >= MAX_CLEARS {
+                cache.poisoned = true;
+                return Err(GaveUp);
+            }
+            cache.reset();
+            self.ensure_dead(cache);
+        }
+        let id = cache.states.len() as u32;
+        let key: Box<[u32]> = pcs.into_boxed_slice();
+        cache.states.push(State {
+            pcs: key.clone(),
+            is_match,
+            next: vec![UNKNOWN; self.class_count].into_boxed_slice(),
+        });
+        cache.ids.insert(key, id);
+        Ok(id)
+    }
+}
+
+/// Recursive epsilon-closure builder with priority order, generation
+/// stamps for dedup, and leftmost cutoff.
+struct Closure<'a> {
+    prog: &'a Program,
+    stamp: &'a mut [u32],
+    gen: u32,
+    list: Vec<u32>,
+    matched: bool,
+    cutoff: bool,
+    ctx: Ctx,
+}
+
+impl Closure<'_> {
+    fn add(&mut self, pc: u32) {
+        if self.matched && self.cutoff {
+            return;
+        }
+        let i = pc as usize;
+        if self.stamp[i] == self.gen {
+            return;
+        }
+        self.stamp[i] = self.gen;
+        match &self.prog.insts[i] {
+            Inst::Jmp(t) => self.add(*t as u32),
+            Inst::Split(a, b) => {
+                self.add(*a as u32);
+                self.add(*b as u32);
+            }
+            Inst::Save(_) => self.add(pc + 1),
+            Inst::Assert(Assertion::Start) => {
+                if self.ctx.at_start {
+                    self.add(pc + 1);
+                }
+            }
+            Inst::Assert(Assertion::End) => {
+                if self.ctx.at_eoi {
+                    self.add(pc + 1);
+                } else {
+                    // Keep as a pending pc: it may pass at EOI.
+                    self.list.push(pc);
+                }
+            }
+            Inst::Assert(_) => unreachable!("word boundaries rejected by Dfa::new"),
+            Inst::Class(_) => self.list.push(pc),
+            Inst::Match => {
+                self.list.push(pc);
+                self.matched = true;
+            }
+        }
+    }
+}
+
+/// Computes byte equivalence classes: two bytes land in the same class
+/// iff no character class in the program separates them.
+fn byte_classes(prog: &Program) -> ([u16; 256], usize) {
+    let mut boundary = [false; 257];
+    boundary[0] = true;
+    for inst in &prog.insts {
+        if let Inst::Class(c) = inst {
+            for &(lo, hi) in c.ranges() {
+                boundary[lo as usize] = true;
+                boundary[hi as usize + 1] = true;
+            }
+        }
+    }
+    let mut map = [0u16; 256];
+    let mut id: u16 = 0;
+    for b in 0..256 {
+        if boundary[b] && b > 0 {
+            id += 1;
+        }
+        map[b] = id;
+    }
+    (map, id as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::hir::Hir;
+    use crate::parser::parse;
+    use crate::Syntax;
+
+    /// Compiles `pat` wrapped in the implicit `.*?` prefix (forward
+    /// search form).
+    fn fwd(pat: &str) -> Dfa {
+        let hir = parse(pat, Syntax::Ere).expect("parse");
+        let wrapped = Hir::Concat(vec![
+            Hir::Repeat {
+                inner: Box::new(Hir::Class(crate::hir::ClassSet::any())),
+                min: 0,
+                max: None,
+                greedy: false,
+            },
+            hir,
+        ]);
+        Dfa::new(compile(&wrapped).expect("compile"), false).expect("dfa")
+    }
+
+    fn rev(pat: &str) -> Dfa {
+        let hir = parse(pat, Syntax::Ere).expect("parse").reversed();
+        Dfa::new(compile(&hir).expect("compile"), true).expect("dfa")
+    }
+
+    fn find(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        let f = fwd(pat);
+        let r = rev(pat);
+        let mut fc = Cache::new();
+        let mut rc = Cache::new();
+        let end = f
+            .find_fwd(&mut fc, hay.as_bytes(), 0, false)
+            .expect("fwd")?;
+        let start = r
+            .find_rev(&mut rc, hay.as_bytes(), 0, end)
+            .expect("rev")
+            .expect("a match end implies a start");
+        Some((start, end))
+    }
+
+    /// The Pike VM's answer, for parity checks.
+    fn pike(pat: &str, hay: &str) -> Option<(usize, usize)> {
+        let prog = compile(&parse(pat, Syntax::Ere).expect("parse")).expect("compile");
+        let vm = crate::pikevm::PikeVm::new(&prog);
+        vm.find_at(hay.as_bytes(), 0)
+            .map(|s| (s[0].expect("start"), s[1].expect("end")))
+    }
+
+    #[test]
+    fn parity_on_basic_patterns() {
+        let cases = [
+            ("bc", "abcd"),
+            ("a+", "baaac"),
+            ("a*", "aaab"),
+            ("x*", "yyy"),
+            ("ab|a", "ab"),
+            ("a|ab", "ab"),
+            ("a|ba", "ba"),
+            ("a*b|a", "aab"),
+            ("a*b|a", "aaxb"),
+            ("(a|b)+c", "xxabbacyy"),
+            ("a{2,3}", "aaaa"),
+            ("x", ""),
+            ("x*", ""),
+        ];
+        for (pat, hay) in cases {
+            assert_eq!(find(pat, hay), pike(pat, hay), "pattern `{pat}` on `{hay}`");
+        }
+    }
+
+    #[test]
+    fn parity_with_anchors() {
+        let cases = [
+            ("^ab", "abab"),
+            ("ab$", "abab"),
+            ("^ab$", "ab"),
+            ("^b", "ab"),
+            ("a$", "aba"),
+            ("^", "xy"),
+            ("$", "xy"),
+            ("^$", ""),
+            ("^$", "x"),
+            ("(a$|b)c", "bc"),
+            ("a$b", "ab"),
+        ];
+        for (pat, hay) in cases {
+            assert_eq!(find(pat, hay), pike(pat, hay), "pattern `{pat}` on `{hay}`");
+        }
+    }
+
+    #[test]
+    fn earliest_mode_short_circuits() {
+        let f = fwd("b");
+        let mut c = Cache::new();
+        assert_eq!(
+            f.find_fwd(&mut c, b"aaabaaa", 0, true).expect("fwd"),
+            Some(4)
+        );
+        assert_eq!(f.find_fwd(&mut c, b"aaaa", 0, true).expect("fwd"), None);
+    }
+
+    #[test]
+    fn find_from_offset() {
+        let f = fwd("a");
+        let r = rev("a");
+        let mut fc = Cache::new();
+        let mut rc = Cache::new();
+        let end = f
+            .find_fwd(&mut fc, b"aba", 1, false)
+            .expect("fwd")
+            .expect("match");
+        assert_eq!(end, 3);
+        assert_eq!(r.find_rev(&mut rc, b"aba", 1, end).expect("rev"), Some(2));
+    }
+
+    #[test]
+    fn anchored_pattern_from_offset_fails() {
+        let f = fwd("^a");
+        let mut c = Cache::new();
+        assert_eq!(f.find_fwd(&mut c, b"aaa", 1, false).expect("fwd"), None);
+    }
+
+    #[test]
+    fn word_boundary_rejected() {
+        let hir = parse(r"\bcat\b", Syntax::Ere).expect("parse");
+        assert!(Dfa::new(compile(&hir).expect("compile"), false).is_none());
+    }
+
+    #[test]
+    fn adversarial_pattern_stays_cheap() {
+        // (a|a)* explodes a backtracker; the DFA needs O(1) states.
+        let f = fwd("(a|a)*b");
+        let mut c = Cache::new();
+        let hay = vec![b'a'; 4096];
+        assert_eq!(f.find_fwd(&mut c, &hay, 0, false).expect("fwd"), None);
+        assert!(c.states.len() < 16, "state blowup: {}", c.states.len());
+    }
+
+    #[test]
+    fn cache_clear_keeps_answers_correct() {
+        // A pattern with many distinct states: alternation of counted
+        // runs. Force a tiny cache by searching many distinct inputs.
+        let f = fwd("(ab|cd|ef|gh){1,8}x");
+        let mut c = Cache::new();
+        let hay = b"abcdefghabcdefghx".repeat(4);
+        let got = f.find_fwd(&mut c, &hay, 0, false).expect("fwd");
+        let prog =
+            compile(&parse("(ab|cd|ef|gh){1,8}x", Syntax::Ere).expect("parse")).expect("compile");
+        let vm = crate::pikevm::PikeVm::new(&prog);
+        let want = vm.find_at(&hay, 0).map(|s| s[1].expect("end"));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn byte_class_compression() {
+        let prog = compile(&parse("[a-z]+", Syntax::Ere).expect("parse")).expect("compile");
+        let (map, count) = byte_classes(&prog);
+        // [0, 'a'..'z', rest] plus boundaries → a handful of classes.
+        assert!(count <= 4, "count {count}");
+        assert_eq!(map[b'a' as usize], map[b'm' as usize]);
+        assert_ne!(map[b'a' as usize], map[b'A' as usize]);
+    }
+}

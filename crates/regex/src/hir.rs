@@ -186,6 +186,42 @@ pub enum Hir {
 }
 
 impl Hir {
+    /// Returns the expression that matches the byte-reversal of every
+    /// string this expression matches.
+    ///
+    /// Concatenations flip their order, `^`/`$` swap, and everything
+    /// else recurses. Used to build the reverse NFA that the lazy DFA
+    /// runs backwards from a match end to recover the match start.
+    pub fn reversed(&self) -> Hir {
+        match self {
+            Hir::Empty => Hir::Empty,
+            Hir::Class(c) => Hir::Class(c.clone()),
+            Hir::Assert(a) => Hir::Assert(match a {
+                Assertion::Start => Assertion::End,
+                Assertion::End => Assertion::Start,
+                Assertion::WordBoundary => Assertion::WordBoundary,
+                Assertion::NotWordBoundary => Assertion::NotWordBoundary,
+            }),
+            Hir::Concat(v) => Hir::Concat(v.iter().rev().map(Hir::reversed).collect()),
+            Hir::Alt(v) => Hir::Alt(v.iter().map(Hir::reversed).collect()),
+            Hir::Repeat {
+                inner,
+                min,
+                max,
+                greedy,
+            } => Hir::Repeat {
+                inner: Box::new(inner.reversed()),
+                min: *min,
+                max: *max,
+                greedy: *greedy,
+            },
+            Hir::Group { index, inner } => Hir::Group {
+                index: *index,
+                inner: Box::new(inner.reversed()),
+            },
+        }
+    }
+
     /// Builds a concatenation, flattening trivial cases.
     pub fn concat(mut parts: Vec<Hir>) -> Hir {
         parts.retain(|p| !matches!(p, Hir::Empty));

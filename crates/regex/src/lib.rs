@@ -3,12 +3,25 @@
 //!
 //! Supports POSIX extended (ERE) and basic (BRE) syntaxes over bytes,
 //! with ASCII case folding, POSIX named classes, anchors, word
-//! boundaries, bounded repetition, and capture groups. Matching is a
-//! Pike VM over a Thompson NFA, so it is `O(haystack × pattern)` even
-//! on adversarial patterns — backtracking blow-ups cannot occur, which
-//! is what the paper's "complex NFA regex" grep benchmark exercises.
+//! boundaries, bounded repetition, and capture groups.
 //!
-//! Unsupported (by design, to stay linear): backreferences.
+//! Matching is **tiered** (see [`Matcher`]): literal extraction over
+//! the parsed pattern picks the cheapest engine that can answer —
+//!
+//! 1. an exact-literal pattern is pure substring search
+//!    ([`memmem`], word-at-a-time);
+//! 2. a general pattern with a required literal gets a prefilter that
+//!    rejects haystacks (and bounds match starts) at `memchr` speed;
+//! 3. surviving candidates run through a lazy DFA ([`dfa`]) — one
+//!    table lookup per byte, states determinized on demand under a
+//!    bounded cache;
+//! 4. the Pike VM ([`pikevm`]) remains the capture engine and the
+//!    fallback when the DFA cache thrashes or the pattern uses
+//!    word-boundary assertions.
+//!
+//! Every tier is `O(haystack)` — backtracking blow-ups cannot occur,
+//! which is what the paper's "complex NFA regex" grep benchmark
+//! exercises. Unsupported (by design, to stay linear): backreferences.
 //!
 //! # Examples
 //!
@@ -18,14 +31,25 @@
 //! let re = Regex::new("(ab|a)+c", Syntax::Ere).unwrap();
 //! assert!(re.is_match(b"xxabacyy"));
 //! assert_eq!(re.find(b"xxabacyy"), Some((2, 6)));
+//!
+//! // Hot paths hold a Matcher: same answers, persistent DFA cache.
+//! let mut m = re.matcher();
+//! assert!(m.is_match(b"xxabacyy"));
 //! ```
 
 pub mod compile;
+pub mod dfa;
 pub mod hir;
+pub mod literal;
+pub mod memmem;
 pub mod parser;
 pub mod pikevm;
 
+use std::sync::Arc;
+
 use compile::Program;
+use hir::Hir;
+use literal::{Literals, Prefilter};
 use pikevm::PikeVm;
 
 /// Pattern syntax selector.
@@ -57,10 +81,43 @@ impl std::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// The per-pattern match strategy, chosen once at compile time.
+#[derive(Debug)]
+enum Plan {
+    /// The pattern matches exactly one byte string: substring search
+    /// (or prefix/suffix compare under anchors), no automaton.
+    Literal {
+        finder: memmem::Finder,
+        anchored_start: bool,
+        anchored_end: bool,
+    },
+    /// General pattern: optional literal prefilter, lazy DFA when the
+    /// pattern admits one, Pike VM otherwise and as fallback.
+    General {
+        prefilter: Option<Prefilter>,
+        /// The prefilter literal is a required prefix: a hit is the
+        /// earliest possible match start.
+        prefilter_is_prefix: bool,
+    },
+}
+
+/// Everything immutable shared by [`Regex`], its clones, and all
+/// [`Matcher`]s derived from it.
+#[derive(Debug)]
+struct Inner {
+    /// The capture-carrying NFA program (Pike VM tier).
+    prog: Program,
+    plan: Plan,
+    /// Forward DFA over the `.*?`-wrapped pattern (leftmost ends).
+    fwd: Option<dfa::Dfa>,
+    /// Reverse DFA over the reversed pattern (match starts).
+    rev: Option<dfa::Dfa>,
+}
+
 /// A compiled regular expression.
 #[derive(Debug, Clone)]
 pub struct Regex {
-    prog: Program,
+    inner: Arc<Inner>,
     pattern: String,
 }
 
@@ -81,10 +138,42 @@ impl Regex {
             fold_hir(&mut hir);
         }
         let prog = compile::compile(&hir)?;
+        let lits = literal::analyze(&hir);
+        let plan = Self::pick_plan(&lits);
+        let (fwd, rev) = match plan {
+            // The literal tier never needs an automaton for spans.
+            Plan::Literal { .. } => (None, None),
+            Plan::General { .. } => build_dfas(&hir),
+        };
         Ok(Regex {
-            prog,
+            inner: Arc::new(Inner {
+                prog,
+                plan,
+                fwd,
+                rev,
+            }),
             pattern: pattern.to_string(),
         })
+    }
+
+    fn pick_plan(lits: &Literals) -> Plan {
+        if let Some(exact) = &lits.exact {
+            return Plan::Literal {
+                finder: memmem::Finder::new(exact),
+                anchored_start: lits.anchored_start,
+                anchored_end: lits.anchored_end,
+            };
+        }
+        match Prefilter::from_literals(lits) {
+            Some((pf, is_prefix)) => Plan::General {
+                prefilter: Some(pf),
+                prefilter_is_prefix: is_prefix,
+            },
+            None => Plan::General {
+                prefilter: None,
+                prefilter_is_prefix: false,
+            },
+        }
     }
 
     /// Returns the original pattern string.
@@ -94,29 +183,36 @@ impl Regex {
 
     /// Number of capture groups, including the implicit group 0.
     pub fn group_count(&self) -> usize {
-        self.prog.groups
+        self.inner.prog.groups
+    }
+
+    /// Creates a [`Matcher`] for this pattern.
+    ///
+    /// The matcher owns the mutable lazy-DFA caches, so a hot loop
+    /// (one `is_match` per line) amortizes determinization across
+    /// calls. The convenience methods below build a fresh matcher per
+    /// call — same answers, cold cache.
+    pub fn matcher(&self) -> Matcher {
+        Matcher {
+            inner: Arc::clone(&self.inner),
+            fwd_cache: dfa::Cache::new(),
+            rev_cache: dfa::Cache::new(),
+        }
     }
 
     /// Tests whether the pattern matches anywhere in the haystack.
     pub fn is_match(&self, hay: &[u8]) -> bool {
-        self.find(hay).is_some()
+        self.matcher().is_match(hay)
     }
 
     /// Finds the leftmost match and returns its `(start, end)` offsets.
     pub fn find(&self, hay: &[u8]) -> Option<(usize, usize)> {
-        self.find_at(hay, 0)
+        self.matcher().find_at(hay, 0)
     }
 
     /// Finds the leftmost match at or after `start`.
     pub fn find_at(&self, hay: &[u8], start: usize) -> Option<(usize, usize)> {
-        if start > hay.len() {
-            return None;
-        }
-        let vm = PikeVm::new(&self.prog);
-        vm.find_at(hay, start).and_then(|s| match (s[0], s[1]) {
-            (Some(a), Some(b)) => Some((a, b)),
-            _ => None,
-        })
+        self.matcher().find_at(hay, start)
     }
 
     /// Finds the leftmost match and returns all capture-group spans.
@@ -124,18 +220,147 @@ impl Regex {
     /// Index 0 is the whole match; groups that did not participate are
     /// `None`.
     pub fn captures(&self, hay: &[u8]) -> Option<Vec<Option<(usize, usize)>>> {
-        self.captures_at(hay, 0)
+        self.matcher().captures_at(hay, 0)
     }
 
     /// Like [`Regex::captures`] starting at an offset.
     pub fn captures_at(&self, hay: &[u8], start: usize) -> Option<Vec<Option<(usize, usize)>>> {
+        self.matcher().captures_at(hay, start)
+    }
+
+    /// Iterates over non-overlapping matches.
+    pub fn find_iter<'r, 'h>(&'r self, hay: &'h [u8]) -> Matches<'h> {
+        Matches {
+            matcher: self.matcher(),
+            hay,
+            at: 0,
+            done: false,
+        }
+    }
+}
+
+/// Builds the forward (`.*?`-wrapped, leftmost) and reverse
+/// (reversed pattern, longest) lazy DFAs, when the pattern admits
+/// them (no word boundaries, program within size bounds).
+fn build_dfas(hir: &Hir) -> (Option<dfa::Dfa>, Option<dfa::Dfa>) {
+    let wrapped = Hir::Concat(vec![
+        Hir::Repeat {
+            inner: Box::new(Hir::Class(hir::ClassSet::any())),
+            min: 0,
+            max: None,
+            greedy: false,
+        },
+        hir.clone(),
+    ]);
+    let fwd = compile::compile(&wrapped)
+        .ok()
+        .and_then(|p| dfa::Dfa::new(p, false));
+    let rev = compile::compile(&hir.reversed())
+        .ok()
+        .and_then(|p| dfa::Dfa::new(p, true));
+    // `find` needs both directions; degrade in lockstep so the tier
+    // choice is all-or-nothing.
+    match (fwd, rev) {
+        (Some(f), Some(r)) => (Some(f), Some(r)),
+        _ => (None, None),
+    }
+}
+
+/// The tiered match engine for one pattern; see [`Regex::matcher`].
+///
+/// Methods take `&mut self` because the lazy-DFA caches fill in as
+/// haystack bytes are seen. Answers are byte-identical to the Pike
+/// VM's (the differential suite in `tests/` asserts this).
+pub struct Matcher {
+    inner: Arc<Inner>,
+    fwd_cache: dfa::Cache,
+    rev_cache: dfa::Cache,
+}
+
+impl Matcher {
+    /// Tests whether the pattern matches anywhere in the haystack.
+    pub fn is_match(&mut self, hay: &[u8]) -> bool {
+        self.is_match_at(hay, 0)
+    }
+
+    /// Like [`Matcher::is_match`] starting at an offset.
+    pub fn is_match_at(&mut self, hay: &[u8], start: usize) -> bool {
+        if start > hay.len() {
+            return false;
+        }
+        match &self.inner.plan {
+            Plan::Literal { .. } => self.literal_find(hay, start).is_some(),
+            Plan::General { .. } => {
+                let start = match self.prefilter_start(hay, start) {
+                    Some(s) => s,
+                    None => return false,
+                };
+                if let Some(fwd) = &self.inner.fwd {
+                    match fwd.find_fwd(&mut self.fwd_cache, hay, start, true) {
+                        Ok(r) => return r.is_some(),
+                        Err(dfa::GaveUp) => {}
+                    }
+                }
+                self.pike_slots(hay, start).is_some()
+            }
+        }
+    }
+
+    /// Finds the leftmost match and returns its `(start, end)` offsets.
+    pub fn find(&mut self, hay: &[u8]) -> Option<(usize, usize)> {
+        self.find_at(hay, 0)
+    }
+
+    /// Finds the leftmost match at or after `start`.
+    pub fn find_at(&mut self, hay: &[u8], start: usize) -> Option<(usize, usize)> {
         if start > hay.len() {
             return None;
         }
-        let vm = PikeVm::new(&self.prog);
-        let slots = vm.find_at(hay, start)?;
-        let mut out = Vec::with_capacity(self.prog.groups);
-        for g in 0..self.prog.groups {
+        match &self.inner.plan {
+            Plan::Literal { .. } => self.literal_find(hay, start),
+            Plan::General { .. } => {
+                let start = self.prefilter_start(hay, start)?;
+                if let (Some(fwd), Some(rev)) = (&self.inner.fwd, &self.inner.rev) {
+                    let fwd_end = fwd.find_fwd(&mut self.fwd_cache, hay, start, false);
+                    if let Ok(end) = fwd_end {
+                        let end = end?;
+                        if let Ok(Some(s)) = rev.find_rev(&mut self.rev_cache, hay, start, end) {
+                            return Some((s, end));
+                        }
+                    }
+                }
+                self.pike_slots(hay, start)
+                    .and_then(|s| match (s[0], s[1]) {
+                        (Some(a), Some(b)) => Some((a, b)),
+                        _ => None,
+                    })
+            }
+        }
+    }
+
+    /// Finds the leftmost match and returns all capture-group spans
+    /// (index 0 is the whole match).
+    ///
+    /// Captures always run on the Pike VM — the only tier that tracks
+    /// slots — but still benefit from the prefilter's rejection and
+    /// start-advance.
+    pub fn captures_at(&mut self, hay: &[u8], start: usize) -> Option<Vec<Option<(usize, usize)>>> {
+        if start > hay.len() {
+            return None;
+        }
+        let start = match &self.inner.plan {
+            Plan::Literal { .. } => match self.literal_find(hay, start) {
+                // The literal tier knows where the match is; the VM
+                // re-derives group spans from there.
+                Some((s, _)) => s,
+                None => return None,
+            },
+            Plan::General { .. } => self.prefilter_start(hay, start)?,
+        };
+        let slots = self.pike_slots(hay, start)?;
+        let groups = self.inner.prog.groups;
+        let mut out = Vec::with_capacity(groups);
+        for g in 0..groups {
             let s = slots.get(g * 2).copied().flatten();
             let e = slots.get(g * 2 + 1).copied().flatten();
             out.push(match (s, e) {
@@ -146,14 +371,93 @@ impl Regex {
         Some(out)
     }
 
-    /// Iterates over non-overlapping matches.
-    pub fn find_iter<'r, 'h>(&'r self, hay: &'h [u8]) -> Matches<'r, 'h> {
-        Matches {
-            re: self,
-            hay,
-            at: 0,
-            done: false,
+    /// Reports the first position in `hay` at which a match could
+    /// possibly occur, or `None` when the pattern provably matches
+    /// nowhere in `hay`.
+    ///
+    /// Cheap (a literal scan) and sound but not exact: a `Some` still
+    /// needs verification. Buffer-oriented callers (`grep`) use this
+    /// to skip non-candidate regions wholesale; pair with
+    /// [`Matcher::has_candidate_filter`] to decide whether the hint
+    /// prunes at all.
+    pub fn candidate(&self, hay: &[u8]) -> Option<usize> {
+        match &self.inner.plan {
+            Plan::Literal { finder, .. } => {
+                if finder.needle().is_empty() {
+                    Some(0)
+                } else {
+                    finder.find(hay)
+                }
+            }
+            Plan::General {
+                prefilter: Some(pf),
+                ..
+            } => pf.find(hay),
+            Plan::General {
+                prefilter: None, ..
+            } => Some(0),
         }
+    }
+
+    /// True when [`Matcher::candidate`] actually prunes (the pattern
+    /// carries a non-empty required literal).
+    pub fn has_candidate_filter(&self) -> bool {
+        match &self.inner.plan {
+            Plan::Literal { finder, .. } => !finder.needle().is_empty(),
+            Plan::General { prefilter, .. } => prefilter.is_some(),
+        }
+    }
+
+    /// Applies the prefilter at `start`: `None` means no match exists
+    /// anywhere at-or-after `start`; otherwise the (possibly advanced)
+    /// scan start.
+    fn prefilter_start(&self, hay: &[u8], start: usize) -> Option<usize> {
+        match &self.inner.plan {
+            Plan::General {
+                prefilter: Some(pf),
+                prefilter_is_prefix,
+            } => {
+                let off = pf.find(&hay[start..])?;
+                // A required *prefix* literal pins the earliest match
+                // start; an inner literal only proves containment.
+                if *prefilter_is_prefix {
+                    Some(start + off)
+                } else {
+                    Some(start)
+                }
+            }
+            _ => Some(start),
+        }
+    }
+
+    /// Exact-literal search honoring anchors.
+    fn literal_find(&self, hay: &[u8], start: usize) -> Option<(usize, usize)> {
+        let Plan::Literal {
+            finder,
+            anchored_start,
+            anchored_end,
+        } = &self.inner.plan
+        else {
+            unreachable!("literal_find called on general plan");
+        };
+        let n = finder.needle().len();
+        match (anchored_start, anchored_end) {
+            (true, true) => (start == 0 && hay == finder.needle()).then_some((0, n)),
+            (true, false) => {
+                (start == 0 && hay.len() >= n && &hay[..n] == finder.needle()).then_some((0, n))
+            }
+            (false, true) => (hay.len() >= n + start && &hay[hay.len() - n..] == finder.needle())
+                .then(|| (hay.len() - n, hay.len())),
+            (false, false) => finder
+                .find(&hay[start..])
+                .map(|off| (start + off, start + off + n)),
+        }
+    }
+
+    /// Runs the Pike VM from `start`, returning raw capture slots.
+    fn pike_slots(&self, hay: &[u8], start: usize) -> Option<Vec<Option<usize>>> {
+        let vm = PikeVm::new(&self.inner.prog);
+        vm.find_at(hay, start)
     }
 }
 
@@ -168,21 +472,21 @@ fn fold_hir(hir: &mut hir::Hir) {
 }
 
 /// Iterator over non-overlapping matches; see [`Regex::find_iter`].
-pub struct Matches<'r, 'h> {
-    re: &'r Regex,
+pub struct Matches<'h> {
+    matcher: Matcher,
     hay: &'h [u8],
     at: usize,
     done: bool,
 }
 
-impl Iterator for Matches<'_, '_> {
+impl Iterator for Matches<'_> {
     type Item = (usize, usize);
 
     fn next(&mut self) -> Option<(usize, usize)> {
         if self.done {
             return None;
         }
-        let (s, e) = self.re.find_at(self.hay, self.at)?;
+        let (s, e) = self.matcher.find_at(self.hay, self.at)?;
         if e == s {
             // Empty match: advance one byte to guarantee progress.
             self.at = e + 1;
@@ -267,5 +571,75 @@ mod tests {
         let re = Regex::new("(a|b|c|d|e)+(f|g|h)*(ij|kl)+m", Syntax::Ere).expect("compile");
         assert!(re.is_match(b"xxabcdefghijklmyy"));
         assert!(!re.is_match(b"xxabcdefgh"));
+    }
+
+    #[test]
+    fn literal_tier_selected_for_plain_strings() {
+        let re = Regex::new("foobar", Syntax::Ere).expect("compile");
+        assert!(matches!(re.inner.plan, Plan::Literal { .. }));
+        assert_eq!(re.find(b"xx foobar yy"), Some((3, 9)));
+        assert_eq!(re.find(b"xx foobaz yy"), None);
+    }
+
+    #[test]
+    fn literal_tier_with_anchors() {
+        let re = Regex::new("^foo", Syntax::Ere).expect("compile");
+        assert_eq!(re.find(b"foox"), Some((0, 3)));
+        assert_eq!(re.find(b"xfoo"), None);
+        assert_eq!(re.find_at(b"foox", 1), None);
+        let re = Regex::new("foo$", Syntax::Ere).expect("compile");
+        assert_eq!(re.find(b"xfoo"), Some((1, 4)));
+        assert_eq!(re.find(b"foox"), None);
+        let re = Regex::new("^foo$", Syntax::Ere).expect("compile");
+        assert!(re.is_match(b"foo"));
+        assert!(!re.is_match(b"foon"));
+    }
+
+    #[test]
+    fn literal_tier_captures_through_groups() {
+        // `(ab)c` is exact "abc" but still has a capture group.
+        let re = Regex::new("(ab)c", Syntax::Ere).expect("compile");
+        assert!(matches!(re.inner.plan, Plan::Literal { .. }));
+        let caps = re.captures(b"xabcy").expect("match");
+        assert_eq!(caps[0], Some((1, 4)));
+        assert_eq!(caps[1], Some((1, 3)));
+    }
+
+    #[test]
+    fn general_tier_uses_dfa() {
+        let re = Regex::new("foo[0-9]+", Syntax::Ere).expect("compile");
+        assert!(re.inner.fwd.is_some() && re.inner.rev.is_some());
+        assert_eq!(re.find(b"xx foo42 yy"), Some((3, 8)));
+        assert!(!re.is_match(b"xx foo yy"));
+    }
+
+    #[test]
+    fn word_boundary_pattern_stays_on_pikevm() {
+        let re = Regex::new(r"\bcat\b", Syntax::Ere).expect("compile");
+        assert!(re.inner.fwd.is_none());
+        assert_eq!(re.find(b"a cat sat"), Some((2, 5)));
+        assert!(!re.is_match(b"concatenate"));
+    }
+
+    #[test]
+    fn matcher_reuse_across_haystacks() {
+        let re = Regex::new("(a|b)+c[0-9]", Syntax::Ere).expect("compile");
+        let mut m = re.matcher();
+        for _ in 0..3 {
+            assert!(m.is_match(b"zz abbac7 zz"));
+            assert!(!m.is_match(b"zz abbac zz"));
+            assert_eq!(m.find(b"xac3"), Some((1, 4)));
+        }
+    }
+
+    #[test]
+    fn candidate_hint_prunes() {
+        let re = Regex::new("foo[0-9]+bar", Syntax::Ere).expect("compile");
+        let m = re.matcher();
+        assert!(m.has_candidate_filter());
+        assert_eq!(m.candidate(b"nothing here"), None);
+        assert!(m.candidate(b"xx foo1bar").is_some());
+        let re = Regex::new("[ab]+", Syntax::Ere).expect("compile");
+        assert!(!re.matcher().has_candidate_filter());
     }
 }

@@ -1,0 +1,447 @@
+//! Literal extraction: what byte strings must appear in every match?
+//!
+//! The tiered matcher leans on two facts that a pass over the [`Hir`]
+//! can prove before any matching happens:
+//!
+//! * **exact** — the whole pattern matches exactly one byte string
+//!   (`grep -F`, `sed 's/foo/bar/'`): matching is pure substring
+//!   search, no automaton at all;
+//! * **required** — some byte string occurs in every match: its
+//!   absence from a haystack rejects the haystack outright, and a
+//!   [`crate::memmem::Finder`] scan for it runs at word-at-a-time
+//!   speed. When the literal is a required *prefix*, a hit also
+//!   pinpoints the earliest possible match start.
+//!
+//! The analysis is conservative: when in doubt it reports less (a
+//! shorter prefix, no required literal), never more.
+
+use crate::hir::{Assertion, Hir};
+use crate::memmem::{memchr, Finder};
+
+/// Longest literal worth carrying around; longer runs are truncated
+/// (a truncated prefix/required literal is still sound).
+const MAX_LIT: usize = 64;
+
+/// The literal facts extracted from one pattern.
+#[derive(Debug, Clone)]
+pub struct Literals {
+    /// When the pattern matches exactly one byte string, that string.
+    pub exact: Option<Vec<u8>>,
+    /// Every match must start at haystack offset 0 (`^…`).
+    pub anchored_start: bool,
+    /// Every match must end at the haystack end (`…$`).
+    pub anchored_end: bool,
+    /// Every match starts with these bytes (possibly empty).
+    pub prefix: Vec<u8>,
+    /// Maximal byte runs contained in every match.
+    pub required: Vec<Vec<u8>>,
+}
+
+/// Per-subexpression facts, composed bottom-up.
+struct Lits {
+    /// The subexpression matches exactly this one string.
+    exact: Option<Vec<u8>>,
+    /// Every match of the subexpression starts with these bytes.
+    prefix: Vec<u8>,
+    /// Byte runs contained in every match of the subexpression.
+    required: Vec<Vec<u8>>,
+}
+
+impl Lits {
+    fn opaque() -> Lits {
+        Lits {
+            exact: None,
+            prefix: Vec::new(),
+            required: Vec::new(),
+        }
+    }
+
+    fn exact(bytes: Vec<u8>) -> Lits {
+        Lits {
+            prefix: bytes.clone(),
+            exact: Some(bytes),
+            required: Vec::new(),
+        }
+    }
+}
+
+/// Analyzes a (case-folded, if applicable) pattern.
+pub fn analyze(hir: &Hir) -> Literals {
+    let (anchored_start, anchored_end, body) = strip_anchors(hir);
+    let l = lits(body.as_ref().unwrap_or(&Hir::Empty));
+    let mut required = l.required;
+    if !l.prefix.is_empty() {
+        required.push(l.prefix.clone());
+    }
+    required.retain(|r| !r.is_empty());
+    required.sort();
+    required.dedup();
+    Literals {
+        exact: l.exact,
+        anchored_start,
+        anchored_end,
+        prefix: l.prefix,
+        required,
+    }
+}
+
+/// Splits top-level `^`/`$` anchors off a pattern, returning the
+/// remaining body (None when the body is empty).
+fn strip_anchors(hir: &Hir) -> (bool, bool, Option<Hir>) {
+    match hir {
+        Hir::Assert(Assertion::Start) => (true, false, None),
+        Hir::Assert(Assertion::End) => (false, true, None),
+        Hir::Concat(v) => {
+            let mut start = false;
+            let mut end = false;
+            let mut parts: &[Hir] = v;
+            if let Some(Hir::Assert(Assertion::Start)) = parts.first() {
+                start = true;
+                parts = &parts[1..];
+            }
+            if let Some(Hir::Assert(Assertion::End)) = parts.last() {
+                end = true;
+                parts = &parts[..parts.len() - 1];
+            }
+            (start, end, Some(Hir::concat(parts.to_vec())))
+        }
+        other => (false, false, Some(other.clone())),
+    }
+}
+
+fn lits(hir: &Hir) -> Lits {
+    match hir {
+        Hir::Empty => Lits::exact(Vec::new()),
+        // A standalone assertion matches the empty string only under a
+        // context condition no literal can express: opaque. (Inside a
+        // concatenation it is skipped instead — see `concat_lits` —
+        // so `\bfoo\b` still yields the run "foo".)
+        Hir::Assert(_) => Lits::opaque(),
+        Hir::Class(c) => match c.ranges() {
+            [(lo, hi)] if lo == hi => Lits::exact(vec![*lo]),
+            _ => Lits::opaque(),
+        },
+        Hir::Group { inner, .. } => lits(inner),
+        Hir::Concat(parts) => concat_lits(parts),
+        Hir::Alt(parts) => {
+            // Conservative: only the common prefix of all branches
+            // survives (no exactness, no inner requirements).
+            let mut prefix: Option<Vec<u8>> = None;
+            for p in parts {
+                let l = lits(p);
+                let b = l.exact.unwrap_or(l.prefix);
+                prefix = Some(match prefix {
+                    None => b,
+                    Some(acc) => common_prefix(&acc, &b),
+                });
+            }
+            Lits {
+                exact: None,
+                prefix: prefix.unwrap_or_default(),
+                required: Vec::new(),
+            }
+        }
+        Hir::Repeat {
+            inner, min, max, ..
+        } => {
+            let l = lits(inner);
+            match (&l.exact, max) {
+                // Fixed count of an exact string is itself exact.
+                (Some(e), Some(m)) if *min == *m => {
+                    let total = e.len().saturating_mul(*min as usize);
+                    if total <= MAX_LIT {
+                        Lits::exact(e.iter().cloned().cycle().take(total).collect())
+                    } else {
+                        Lits {
+                            exact: None,
+                            prefix: e.iter().cloned().cycle().take(MAX_LIT).collect(),
+                            required: Vec::new(),
+                        }
+                    }
+                }
+                // At least `min` copies: the first `min` are mandatory
+                // and contiguous.
+                (Some(e), _) if *min >= 1 => {
+                    let total = (e.len().saturating_mul(*min as usize)).min(MAX_LIT);
+                    Lits {
+                        exact: None,
+                        prefix: e.iter().cloned().cycle().take(total).collect(),
+                        required: Vec::new(),
+                    }
+                }
+                (None, _) if *min >= 1 => Lits {
+                    exact: None,
+                    prefix: l.prefix,
+                    required: l.required,
+                },
+                // `min == 0`: may match empty, proves nothing.
+                _ => Lits::opaque(),
+            }
+        }
+    }
+}
+
+/// Folds a concatenation left to right, growing the prefix while all
+/// elements are exact and collecting maximal required runs.
+fn concat_lits(parts: &[Hir]) -> Lits {
+    let mut exact: Option<Vec<u8>> = Some(Vec::new());
+    let mut prefix = Vec::new();
+    let mut prefix_open = true;
+    let mut run: Vec<u8> = Vec::new();
+    let mut runs: Vec<Vec<u8>> = Vec::new();
+    for p in parts {
+        if matches!(p, Hir::Assert(_)) {
+            // Zero-width: contributes no bytes and does not break the
+            // current run, but its context condition voids exactness
+            // (`\bcat\b` is not the same pattern as `cat`).
+            exact = None;
+            continue;
+        }
+        let l = lits(p);
+        match l.exact {
+            Some(e) => {
+                run.extend_from_slice(&e);
+                run.truncate(MAX_LIT);
+                if prefix_open {
+                    prefix.extend_from_slice(&e);
+                    prefix.truncate(MAX_LIT);
+                }
+                if let Some(acc) = exact.as_mut() {
+                    // Exactness is not capped: a long `grep -F`
+                    // pattern is still a pure substring search.
+                    acc.extend_from_slice(&e);
+                }
+            }
+            None => {
+                // The element's own prefix extends the current run
+                // (those bytes still appear contiguously here), then
+                // the run breaks.
+                run.extend_from_slice(&l.prefix);
+                run.truncate(MAX_LIT);
+                if prefix_open {
+                    prefix.extend_from_slice(&l.prefix);
+                    prefix.truncate(MAX_LIT);
+                    prefix_open = false;
+                }
+                if !run.is_empty() {
+                    runs.push(std::mem::take(&mut run));
+                }
+                runs.extend(l.required);
+                exact = None;
+            }
+        }
+    }
+    if !run.is_empty() {
+        runs.push(run);
+    }
+    Lits {
+        exact,
+        prefix,
+        required: runs,
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> Vec<u8> {
+    a.iter()
+        .zip(b)
+        .take_while(|(x, y)| x == y)
+        .map(|(x, _)| *x)
+        .collect()
+}
+
+/// A compiled candidate filter: finds positions where a match could
+/// occur, or proves there is none.
+#[derive(Debug, Clone)]
+pub enum Prefilter {
+    /// Single required byte: plain `memchr`.
+    Byte(u8),
+    /// Multi-byte required literal: rare-byte `memmem`.
+    Lit(Finder),
+}
+
+impl Prefilter {
+    /// Builds the best prefilter from the analysis, preferring the
+    /// longest required literal (ties broken toward the prefix, whose
+    /// hits also bound the match start).
+    ///
+    /// Returns the filter and whether the chosen literal is a required
+    /// prefix of every match.
+    pub fn from_literals(lit: &Literals) -> Option<(Prefilter, bool)> {
+        let best = lit
+            .required
+            .iter()
+            .max_by_key(|r| (r.len(), usize::from(r.as_slice() == lit.prefix.as_slice())))?;
+        if best.is_empty() {
+            return None;
+        }
+        let is_prefix = !lit.prefix.is_empty() && best.as_slice() == lit.prefix.as_slice();
+        let pf = if best.len() == 1 {
+            Prefilter::Byte(best[0])
+        } else {
+            Prefilter::Lit(Finder::new(best))
+        };
+        Some((pf, is_prefix))
+    }
+
+    /// Finds the first candidate position in `hay`, or proves there is
+    /// no match anywhere in `hay`.
+    #[inline]
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        match self {
+            Prefilter::Byte(b) => memchr(*b, hay),
+            Prefilter::Lit(f) => f.find(hay),
+        }
+    }
+
+    /// Length of the required literal.
+    pub fn len(&self) -> usize {
+        match self {
+            Prefilter::Byte(_) => 1,
+            Prefilter::Lit(f) => f.needle().len(),
+        }
+    }
+
+    /// Standard emptiness accessor (always false by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Syntax;
+
+    fn an(pat: &str) -> Literals {
+        analyze(&parse(pat, Syntax::Ere).expect("parse"))
+    }
+
+    #[test]
+    fn exact_plain_literal() {
+        let l = an("foobar");
+        assert_eq!(l.exact.as_deref(), Some(&b"foobar"[..]));
+        assert!(!l.anchored_start && !l.anchored_end);
+    }
+
+    #[test]
+    fn exact_with_anchors() {
+        let l = an("^foo$");
+        assert_eq!(l.exact.as_deref(), Some(&b"foo"[..]));
+        assert!(l.anchored_start && l.anchored_end);
+        let l = an("^$");
+        assert_eq!(l.exact.as_deref(), Some(&b""[..]));
+        assert!(l.anchored_start && l.anchored_end);
+    }
+
+    #[test]
+    fn exact_through_groups_and_counted_repeats() {
+        assert_eq!(an("(ab)c").exact.as_deref(), Some(&b"abc"[..]));
+        assert_eq!(an("a{3}b").exact.as_deref(), Some(&b"aaab"[..]));
+    }
+
+    #[test]
+    fn prefix_stops_at_first_variable_element() {
+        let l = an("foo[0-9]+bar");
+        assert_eq!(l.exact, None);
+        assert_eq!(l.prefix, b"foo");
+        // "foo" and "bar" are both required runs.
+        assert!(l.required.iter().any(|r| r == b"foo"));
+        assert!(l.required.iter().any(|r| r == b"bar"));
+    }
+
+    #[test]
+    fn plus_repeat_contributes_mandatory_copy() {
+        let l = an("(ab)+x");
+        assert_eq!(l.prefix, b"ab");
+        let l = an("x(ab){2,}");
+        assert!(l.required.iter().any(|r| r == b"xabab"));
+    }
+
+    #[test]
+    fn star_breaks_runs() {
+        let l = an("foo(xy)*bar");
+        assert_eq!(l.prefix, b"foo");
+        assert!(l.required.iter().any(|r| r == b"bar"));
+        assert!(!l.required.iter().any(|r| r.windows(2).any(|w| w == b"ob")));
+    }
+
+    #[test]
+    fn alternation_common_prefix() {
+        let l = an("abx|aby");
+        assert_eq!(l.prefix, b"ab");
+        assert_eq!(l.exact, None);
+        let l = an("cat|dog");
+        assert!(l.prefix.is_empty());
+        assert!(l.required.is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_do_not_break_runs() {
+        let l = an(r"\bcat\b");
+        assert!(l.required.iter().any(|r| r == b"cat"));
+        assert_eq!(l.prefix, b"cat");
+    }
+
+    #[test]
+    fn class_heavy_pattern_has_no_literals() {
+        let l = an("[a-z]+[0-9]*");
+        assert!(l.required.is_empty());
+        assert!(l.prefix.is_empty());
+        assert_eq!(l.exact, None);
+    }
+
+    #[test]
+    fn prefilter_picks_longest_run() {
+        let l = an("ab[0-9]+longneedle");
+        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
+        assert_eq!(pf.len(), "longneedle".len());
+        assert!(!is_prefix);
+        assert!(!pf.is_empty());
+        let hay = b"xx ab42longneedle yy";
+        assert!(pf.find(hay).is_some());
+        assert_eq!(pf.find(b"ab42 but not the rest"), None);
+    }
+
+    #[test]
+    fn prefilter_prefers_prefix_on_tie() {
+        let l = an("foo[0-9]+bar");
+        // "foo" and "bar" tie at 3 bytes; the prefix wins so hits
+        // bound the match start.
+        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
+        assert!(is_prefix);
+        assert_eq!(pf.find(b"xfoo1bar"), Some(1));
+    }
+
+    #[test]
+    fn single_byte_prefilter_is_memchr() {
+        let l = an("x[0-9]*");
+        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
+        assert!(matches!(pf, Prefilter::Byte(b'x')));
+        assert!(is_prefix);
+        assert_eq!(pf.find(b"aaxbb"), Some(2));
+    }
+
+    #[test]
+    fn no_prefilter_for_pure_classes() {
+        let l = an("[ab][cd]");
+        assert!(Prefilter::from_literals(&l).is_none());
+    }
+
+    #[test]
+    fn case_folded_pattern_loses_alpha_literals() {
+        let mut hir = parse("abc", Syntax::Ere).expect("parse");
+        super::super::fold_hir(&mut hir);
+        let l = analyze(&hir);
+        assert_eq!(l.exact, None);
+        assert!(l.required.is_empty());
+    }
+
+    #[test]
+    fn bounded_repeat_cap_truncates_but_stays_sound() {
+        let l = an("a{200}");
+        assert_eq!(l.exact, None);
+        assert_eq!(l.prefix.len(), MAX_LIT);
+        assert!(l.prefix.iter().all(|&b| b == b'a'));
+    }
+}

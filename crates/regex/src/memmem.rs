@@ -1,0 +1,326 @@
+//! Word-at-a-time byte scanning: `memchr`/`memmem`-style primitives.
+//!
+//! These are the prefilter workhorses of the tiered matcher: SIMD-free
+//! (the workspace targets a plain container), but processing one
+//! machine word per step via the classic SWAR zero-byte trick, which
+//! moves bytes at several GiB/s — far faster than any per-byte NFA or
+//! DFA loop, and fast enough that skipping non-candidate input
+//! dominates total `grep`/`sed` time on literal-bearing patterns.
+
+const WORD: usize = std::mem::size_of::<usize>();
+const LO: usize = usize::from_ne_bytes([0x01; WORD]);
+const HI: usize = usize::from_ne_bytes([0x80; WORD]);
+
+/// Broadcasts a byte into every lane of a word.
+#[inline(always)]
+fn splat(b: u8) -> usize {
+    usize::from_ne_bytes([b; WORD])
+}
+
+/// True when any byte lane of `w` is zero (SWAR trick: borrows out of
+/// zero lanes survive the mask).
+#[inline(always)]
+fn has_zero_byte(w: usize) -> bool {
+    w.wrapping_sub(LO) & !w & HI != 0
+}
+
+/// Reads a word from `hay` at `i` (caller guarantees `i + WORD` fits).
+#[inline(always)]
+fn load_word(hay: &[u8], i: usize) -> usize {
+    let mut buf = [0u8; WORD];
+    buf.copy_from_slice(&hay[i..i + WORD]);
+    usize::from_ne_bytes(buf)
+}
+
+/// Finds the first occurrence of byte `b` in `hay`.
+#[inline]
+pub fn memchr(b: u8, hay: &[u8]) -> Option<usize> {
+    let pat = splat(b);
+    let mut i = 0;
+    while i + WORD <= hay.len() {
+        if has_zero_byte(load_word(hay, i) ^ pat) {
+            // A lane matched somewhere in this word; resolve per byte.
+            for (j, &h) in hay[i..i + WORD].iter().enumerate() {
+                if h == b {
+                    return Some(i + j);
+                }
+            }
+            unreachable!("word test claimed a match");
+        }
+        i += WORD;
+    }
+    hay[i..].iter().position(|&h| h == b).map(|j| i + j)
+}
+
+/// Finds the last occurrence of byte `b` in `hay`.
+#[inline]
+pub fn memrchr(b: u8, hay: &[u8]) -> Option<usize> {
+    let pat = splat(b);
+    let mut end = hay.len();
+    // Unaligned tail first, then whole words backwards.
+    while end % WORD != 0 && end > 0 {
+        end -= 1;
+        if hay[end] == b {
+            return Some(end);
+        }
+    }
+    while end >= WORD {
+        let i = end - WORD;
+        if has_zero_byte(load_word(hay, i) ^ pat) {
+            for j in (0..WORD).rev() {
+                if hay[i + j] == b {
+                    return Some(i + j);
+                }
+            }
+            unreachable!("word test claimed a match");
+        }
+        end = i;
+    }
+    hay[..end].iter().rposition(|&h| h == b)
+}
+
+/// Counts occurrences of byte `b` in `hay` one word at a time.
+///
+/// Used by `grep -n`/`-c -v` to keep line numbers while skipping whole
+/// non-candidate regions: counting `\n` this way costs a fraction of
+/// re-scanning the region per line.
+#[inline]
+pub fn count_bytes(b: u8, hay: &[u8]) -> usize {
+    let pat = splat(b);
+    let mut count = 0usize;
+    let mut i = 0;
+    while i + WORD <= hay.len() {
+        let x = load_word(hay, i) ^ pat;
+        // Per-lane "is zero" mask: 0x80 in matching lanes.
+        let m = x.wrapping_sub(LO) & !x & HI;
+        count += m.count_ones() as usize;
+        i += WORD;
+    }
+    count + hay[i..].iter().filter(|&&h| h == b).count()
+}
+
+/// Estimated background frequency rank of each byte (0 = rarest).
+///
+/// A static heuristic modeled on typical line-oriented text: controls
+/// and high bytes are rare, vowels/space/digits are common. Used to
+/// pick the needle byte worth `memchr`-ing for.
+fn rarity(b: u8) -> u8 {
+    match b {
+        b'e' | b't' | b'a' | b'o' | b'i' | b'n' | b' ' => 250,
+        b's' | b'h' | b'r' | b'd' | b'l' | b'u' => 230,
+        b'0'..=b'9' => 200,
+        b'c' | b'm' | b'f' | b'w' | b'g' | b'y' | b'p' | b'b' => 190,
+        b'v' | b'k' | b'.' | b',' | b'-' | b'_' | b'/' => 150,
+        b'A'..=b'Z' => 120,
+        b'\n' | b'\t' => 110,
+        0x21..=0x7E => 60,
+        _ => 10,
+    }
+}
+
+/// A substring searcher with a precomputed rare-byte probe.
+///
+/// Strategy: `memchr` for the needle's rarest byte, check the second
+/// probe byte, then verify the full needle. On mismatch-dominated
+/// haystacks (the `grep` common case) the word-at-a-time `memchr`
+/// does nearly all the work.
+#[derive(Debug, Clone)]
+pub struct Finder {
+    needle: Vec<u8>,
+    /// Offset of the rarest needle byte (the `memchr` probe).
+    rare1: usize,
+    /// Offset of the second-rarest byte (the confirm probe).
+    rare2: usize,
+}
+
+impl Finder {
+    /// Builds a searcher for `needle`.
+    pub fn new(needle: &[u8]) -> Finder {
+        let mut rare1 = 0usize;
+        let mut rare2 = 0usize;
+        for (i, &b) in needle.iter().enumerate() {
+            if rarity(b) < rarity(needle[rare1]) {
+                rare2 = rare1;
+                rare1 = i;
+            } else if i != rare1 && rarity(b) < rarity(needle[rare2]) {
+                rare2 = i;
+            }
+        }
+        Finder {
+            needle: needle.to_vec(),
+            rare1,
+            rare2,
+        }
+    }
+
+    /// The needle being searched for.
+    pub fn needle(&self) -> &[u8] {
+        &self.needle
+    }
+
+    /// Finds the first occurrence of the needle in `hay`.
+    #[inline]
+    pub fn find(&self, hay: &[u8]) -> Option<usize> {
+        let n = &self.needle;
+        if n.is_empty() {
+            return Some(0);
+        }
+        if n.len() == 1 {
+            return memchr(n[0], hay);
+        }
+        if n.len() > hay.len() {
+            return None;
+        }
+        let probe1 = n[self.rare1];
+        let probe2 = n[self.rare2];
+        // Scan for the rare byte at its offset within candidate
+        // windows: position `i` of the probe corresponds to a match
+        // starting at `i - rare1`.
+        let mut at = self.rare1;
+        let last = hay.len() - n.len() + self.rare1;
+        while at <= last {
+            match memchr(probe1, &hay[at..=last]) {
+                None => return None,
+                Some(off) => {
+                    let i = at + off;
+                    let start = i - self.rare1;
+                    if hay[start + self.rare2] == probe2 && &hay[start..start + n.len()] == n {
+                        return Some(start);
+                    }
+                    at = i + 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates over (possibly overlapping) occurrence start offsets.
+    pub fn find_iter<'f, 'h>(&'f self, hay: &'h [u8]) -> FindIter<'f, 'h> {
+        FindIter {
+            finder: self,
+            hay,
+            at: 0,
+        }
+    }
+}
+
+/// Iterator over needle occurrences; see [`Finder::find_iter`].
+pub struct FindIter<'f, 'h> {
+    finder: &'f Finder,
+    hay: &'h [u8],
+    at: usize,
+}
+
+impl Iterator for FindIter<'_, '_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.at > self.hay.len() {
+            return None;
+        }
+        let pos = self.finder.find(&self.hay[self.at..])? + self.at;
+        self.at = pos + 1;
+        Some(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memchr_all_positions() {
+        let hay = b"the quick brown fox jumps over the lazy dog";
+        for (i, &b) in hay.iter().enumerate() {
+            let first = hay.iter().position(|&h| h == b).unwrap();
+            assert_eq!(memchr(b, hay), Some(first), "byte {b} at {i}");
+        }
+        assert_eq!(memchr(b'z', b"abc"), None);
+        assert_eq!(memchr(b'a', b""), None);
+    }
+
+    #[test]
+    fn memchr_long_haystack() {
+        let mut hay = vec![b'x'; 1000];
+        hay[777] = b'q';
+        assert_eq!(memchr(b'q', &hay), Some(777));
+        assert_eq!(memrchr(b'q', &hay), Some(777));
+    }
+
+    #[test]
+    fn memrchr_matches_rposition() {
+        let hay = b"abcabcabc-xyz-abc";
+        for b in [b'a', b'c', b'-', b'z', b'Q'] {
+            assert_eq!(memrchr(b, hay), hay.iter().rposition(|&h| h == b));
+        }
+    }
+
+    #[test]
+    fn count_newlines() {
+        let hay = b"a\nbb\nccc\n\nlast";
+        assert_eq!(count_bytes(b'\n', hay), 4);
+        let big: Vec<u8> = (0..997)
+            .map(|i| if i % 10 == 0 { b'\n' } else { b'x' })
+            .collect();
+        assert_eq!(
+            count_bytes(b'\n', &big),
+            big.iter().filter(|&&b| b == b'\n').count()
+        );
+    }
+
+    #[test]
+    fn finder_basic() {
+        let f = Finder::new(b"needle");
+        assert_eq!(f.find(b"haystack with a needle in it"), Some(16));
+        assert_eq!(f.find(b"no such thing"), None);
+        assert_eq!(f.find(b"needle"), Some(6 - 6));
+        assert_eq!(f.find(b"needl"), None);
+    }
+
+    #[test]
+    fn finder_first_of_many() {
+        let f = Finder::new(b"ab");
+        assert_eq!(f.find(b"xxabyyab"), Some(2));
+        let hits: Vec<usize> = f.find_iter(b"ababab").collect();
+        assert_eq!(hits, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn finder_overlapping_occurrences() {
+        let f = Finder::new(b"aa");
+        let hits: Vec<usize> = f.find_iter(b"aaaa").collect();
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn finder_single_and_empty_needles() {
+        assert_eq!(Finder::new(b"x").find(b"aaxa"), Some(2));
+        assert_eq!(Finder::new(b"").find(b"abc"), Some(0));
+        assert_eq!(Finder::new(b"").find(b""), Some(0));
+    }
+
+    #[test]
+    fn finder_rare_byte_probe_positions() {
+        // "e" is common, "%" rare: the probe should pick the rare one
+        // regardless of position.
+        for needle in [&b"e%e"[..], b"%ee", b"ee%"] {
+            let f = Finder::new(needle);
+            assert_eq!(f.needle()[f.rare1], b'%');
+            let hay = b"eeeeeeeee%eeeeeeeee";
+            let expect = hay.windows(needle.len()).position(|w| w == needle);
+            assert_eq!(f.find(hay), expect, "needle {needle:?}");
+        }
+    }
+
+    #[test]
+    fn finder_agrees_with_naive_search() {
+        let hay: Vec<u8> = (0..500u32)
+            .map(|i| b"abcdefg \n"[(i * 7 % 9) as usize])
+            .collect();
+        for needle in [&b"ab"[..], b"cdef", b"g \na", b"zzz", b"a"] {
+            let f = Finder::new(needle);
+            let naive = hay.windows(needle.len()).position(|w| w == needle);
+            assert_eq!(f.find(&hay), naive, "needle {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Differential tests: the tiered matcher (literal / prefilter + lazy
+//! DFA) must agree **byte-for-byte** with the Pike VM on `is_match`
+//! and `find` for every pattern it accepts.
+//!
+//! The Pike VM is the semantic reference: it is the oldest, simplest
+//! engine in the crate and the capture/fallback tier, so any
+//! divergence is a bug in a faster tier. Patterns and haystacks are
+//! generated from seeds (the proptest shim samples deterministically),
+//! plus a fixed regression list covering the classic trouble spots:
+//! empty matches, anchors, and word boundaries.
+
+use proptest::prelude::*;
+
+use pash_regex::compile::compile;
+use pash_regex::parser::parse;
+use pash_regex::pikevm::PikeVm;
+use pash_regex::{Regex, Syntax};
+
+/// The Pike VM's answer, straight from the reference engine with no
+/// tier selection in the way.
+fn pike_find(pat: &str, hay: &[u8], start: usize) -> Option<(usize, usize)> {
+    let prog = compile(&parse(pat, Syntax::Ere).expect("parse")).expect("compile");
+    let vm = PikeVm::new(&prog);
+    if start > hay.len() {
+        return None;
+    }
+    vm.find_at(hay, start).and_then(|s| match (s[0], s[1]) {
+        (Some(a), Some(b)) => Some((a, b)),
+        _ => None,
+    })
+}
+
+/// Asserts tier parity for one pattern over a batch of haystacks,
+/// reusing one matcher so DFA caches stay warm across calls (the
+/// production usage pattern).
+fn assert_parity(pat: &str, hays: &[Vec<u8>]) {
+    let re = match Regex::new(pat, Syntax::Ere) {
+        Ok(re) => re,
+        // Generated patterns may be rejected (e.g. oversized
+        // intervals); rejection is not a parity question.
+        Err(_) => return,
+    };
+    let mut m = re.matcher();
+    for hay in hays {
+        let want = pike_find(pat, hay, 0);
+        let got = m.find(hay);
+        assert_eq!(
+            got,
+            want,
+            "find mismatch: pattern `{pat}` on {:?}",
+            String::from_utf8_lossy(hay)
+        );
+        assert_eq!(
+            m.is_match(hay),
+            want.is_some(),
+            "is_match mismatch: pattern `{pat}` on {:?}",
+            String::from_utf8_lossy(hay)
+        );
+        // Offset searches exercise the `^`-context and prefilter
+        // advance paths.
+        for start in [1usize, hay.len() / 2] {
+            if start <= hay.len() {
+                assert_eq!(
+                    m.find_at(hay, start),
+                    pike_find(pat, hay, start),
+                    "find_at({start}) mismatch: pattern `{pat}` on {:?}",
+                    String::from_utf8_lossy(hay)
+                );
+            }
+        }
+    }
+}
+
+/// SplitMix64, for deterministic structure generation from a seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Emits a random ERE over a small alphabet. Depth-bounded so the
+/// patterns stay readable in failure output.
+fn gen_pattern(g: &mut Gen, depth: u32) -> String {
+    let atom = |g: &mut Gen| -> String {
+        match g.below(10) {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            2 => "c".to_string(),
+            3 => "x".to_string(),
+            4 => ".".to_string(),
+            5 => "[ab]".to_string(),
+            6 => "[^a]".to_string(),
+            7 => "[a-c]".to_string(),
+            8 => "yz".to_string(),
+            _ => "q".to_string(),
+        }
+    };
+    if depth == 0 {
+        return atom(g);
+    }
+    match g.below(12) {
+        0..=3 => atom(g),
+        4 => format!("{}{}", gen_pattern(g, depth - 1), gen_pattern(g, depth - 1)),
+        5 => format!(
+            "{}|{}",
+            gen_pattern(g, depth - 1),
+            gen_pattern(g, depth - 1)
+        ),
+        6 => format!("({})", gen_pattern(g, depth - 1)),
+        7 => format!("({})*", gen_pattern(g, depth - 1)),
+        8 => format!("({})+", gen_pattern(g, depth - 1)),
+        9 => format!("({})?", gen_pattern(g, depth - 1)),
+        10 => format!(
+            "({}){{{},{}}}",
+            gen_pattern(g, depth - 1),
+            g.below(3),
+            g.below(3) + 2
+        ),
+        _ => format!("{}{}", atom(g), atom(g)),
+    }
+}
+
+/// Emits a haystack biased toward the pattern alphabet so matches are
+/// actually exercised (uniform bytes almost never match).
+fn gen_hay(g: &mut Gen, max_len: usize) -> Vec<u8> {
+    let len = g.below(max_len as u64 + 1) as usize;
+    (0..len)
+        .map(|_| {
+            let choices = b"aabbccxyzq .\n";
+            choices[g.below(choices.len() as u64) as usize]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn prop_random_patterns_agree_with_pikevm(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let pat = gen_pattern(&mut g, 3);
+        let hays: Vec<Vec<u8>> = (0..8).map(|_| gen_hay(&mut g, 40)).collect();
+        assert_parity(&pat, &hays);
+    }
+
+    #[test]
+    fn prop_anchored_variants_agree(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let body = gen_pattern(&mut g, 2);
+        let hays: Vec<Vec<u8>> = (0..6).map(|_| gen_hay(&mut g, 24)).collect();
+        assert_parity(&format!("^{body}"), &hays);
+        assert_parity(&format!("{body}$"), &hays);
+        assert_parity(&format!("^{body}$"), &hays);
+    }
+
+    #[test]
+    fn prop_literal_bearing_patterns_agree(seed in 0u64..u64::MAX) {
+        // Force a required literal so the prefilter + advance path is
+        // the one under test.
+        let mut g = Gen(seed);
+        let body = gen_pattern(&mut g, 2);
+        let hays: Vec<Vec<u8>> = (0..6).map(|_| gen_hay(&mut g, 32)).collect();
+        assert_parity(&format!("yz{body}"), &hays);
+        assert_parity(&format!("{body}yz"), &hays);
+    }
+
+    #[test]
+    fn prop_find_iter_spans_agree(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let pat = gen_pattern(&mut g, 2);
+        let re = match Regex::new(&pat, Syntax::Ere) {
+            Ok(re) => re,
+            Err(_) => return,
+        };
+        let hay = gen_hay(&mut g, 40);
+        // Reference: iterate with the Pike VM using the same
+        // empty-match advance rule as Matches.
+        let mut want = Vec::new();
+        let mut at = 0usize;
+        while let Some((s, e)) = pike_find(&pat, &hay, at) {
+            want.push((s, e));
+            at = if e == s { e + 1 } else { e };
+            if at > hay.len() {
+                break;
+            }
+        }
+        let got: Vec<(usize, usize)> = re.find_iter(&hay).collect();
+        prop_assert_eq!(got, want, "pattern `{}`", pat);
+    }
+}
+
+#[test]
+fn regression_empty_matches() {
+    let hays: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"a".to_vec(),
+        b"ab".to_vec(),
+        b"xxx".to_vec(),
+        b"\n".to_vec(),
+    ];
+    for pat in ["x*", "a*", "(a*)*", "(a|)", "()*", "a?", "(a?)?b?"] {
+        assert_parity(pat, &hays);
+    }
+}
+
+#[test]
+fn regression_anchors() {
+    let hays: Vec<Vec<u8>> = vec![
+        b"".to_vec(),
+        b"a".to_vec(),
+        b"ab".to_vec(),
+        b"ba".to_vec(),
+        b"aba".to_vec(),
+        b"xaby".to_vec(),
+    ];
+    for pat in [
+        "^", "$", "^$", "^a", "a$", "^a$", "^ab$", "a$|b", "(a$|b)a", "^(a|b)*$", "b^a", "a$b",
+        "^^a", "a$$",
+    ] {
+        assert_parity(pat, &hays);
+    }
+}
+
+#[test]
+fn regression_word_boundaries() {
+    let hays: Vec<Vec<u8>> = vec![
+        b"cat".to_vec(),
+        b"a cat sat".to_vec(),
+        b"concatenate".to_vec(),
+        b"cat!".to_vec(),
+        b"!cat".to_vec(),
+        b"".to_vec(),
+        b"c a t".to_vec(),
+    ];
+    for pat in [
+        r"\bcat\b",
+        r"\bcat",
+        r"cat\b",
+        r"\b",
+        r"\B",
+        r"\Bcat",
+        r"a\b.",
+        r"\b(cat|sat)\b",
+    ] {
+        assert_parity(pat, &hays);
+    }
+}
+
+#[test]
+fn regression_leftmost_priority() {
+    let hays: Vec<Vec<u8>> = vec![
+        b"ab".to_vec(),
+        b"ba".to_vec(),
+        b"aab".to_vec(),
+        b"aaxb".to_vec(),
+        b"abab".to_vec(),
+    ];
+    for pat in [
+        "ab|a",
+        "a|ab",
+        "a|ba",
+        "a*b|a",
+        "(a|ab)(b|)",
+        "a+|b+",
+        "(ab)+|(ba)+",
+    ] {
+        assert_parity(pat, &hays);
+    }
+}
+
+#[test]
+fn regression_adversarial_patterns_stay_linear() {
+    // Classic backtracking killers: the tiered engine (and the Pike
+    // VM) must answer these in linear time — a blow-up here hangs the
+    // test run, which is the assertion.
+    let aaa = vec![b'a'; 2048];
+    for pat in ["(a|a)*b", "(a*)*b", "(a+)+b", "(a|aa)+b"] {
+        assert_parity(pat, &[aaa.clone()]);
+    }
+}
+
+#[test]
+fn regression_case_insensitive_parity() {
+    let re = Regex::with_flags("abc[0-9]", Syntax::Ere, true).expect("compile");
+    let mut m = re.matcher();
+    assert_eq!(m.find(b"xxABC5yy"), Some((2, 6)));
+    assert_eq!(m.find(b"xxAbC5yy"), Some((2, 6)));
+    assert!(!m.is_match(b"xxABCyy"));
+}
+
+#[test]
+fn regression_bre_patterns() {
+    for (pat, hay, want) in [
+        // GNU BRE `\+` is the one-or-more extension.
+        (r"a\+", &b"aaa"[..], Some((0, 3))),
+        (r"\(ab\)*c", b"xababc", Some((1, 6))),
+        ("a*", b"baa", Some((0, 0))),
+        (r"x\|y", b"zy", Some((1, 2))),
+    ] {
+        let re = Regex::new(pat, Syntax::Bre).expect("compile");
+        assert_eq!(re.find(hay), want, "BRE `{pat}`");
+    }
+}

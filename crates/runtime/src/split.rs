@@ -1,9 +1,13 @@
 //! The `split` runtime primitive (§5.2, "Splitting Challenges").
 //!
 //! Two implementations:
-//! * [`split_general`] — for inputs of unknown size: consumes the
-//!   complete input first, counts its lines, then scatters contiguous
-//!   line ranges evenly across the outputs;
+//! * [`split_general`] — for inputs of unknown size: streams with a
+//!   **bounded look-ahead**. While the input fits in the look-ahead
+//!   window the split is exact (contiguous line ranges of near-equal
+//!   counts, as the paper describes); beyond it, each output receives
+//!   a look-ahead-sized line-aligned block and the final output
+//!   streams the remainder, so memory stays constant at any input
+//!   size;
 //! * the input-aware variant for known sizes is `fileseg` (byte-range
 //!   segments, no process needed) — see [`crate::fileseg`].
 //!
@@ -12,27 +16,148 @@
 
 use std::io::{self, BufRead, Write};
 
-/// Splits the complete input into `outputs.len()` contiguous chunks of
-/// near-equal line counts, writing them in order.
-///
-/// The input is streamed into one flat byte buffer while a line-start
-/// index is built alongside — no per-line allocations — and each
-/// output chunk leaves as a single `write_all` of a contiguous slice.
+/// Default look-ahead window: inputs up to this size split exactly;
+/// larger inputs stream through in blocks of this size.
+pub const DEFAULT_LOOKAHEAD: usize = 4 * 1024 * 1024;
+
+/// Splits the input into `outputs.len()` contiguous line-aligned
+/// chunks, writing them in order, under the default look-ahead.
 pub fn split_general(
     input: &mut dyn BufRead,
     outputs: &mut [Box<dyn Write + Send>],
 ) -> io::Result<()> {
-    // Drain the input buffer-by-buffer into flat storage.
-    let mut data: Vec<u8> = Vec::new();
+    split_general_bounded(input, outputs, DEFAULT_LOOKAHEAD)
+}
+
+/// [`split_general`] with an explicit look-ahead window.
+///
+/// Invariants regardless of input size vs. window:
+/// * the concatenation of all outputs is exactly the input (with a
+///   final missing newline restored, as the line-oriented contract
+///   requires);
+/// * every output is one contiguous line-aligned range;
+/// * buffered bytes never exceed the window plus one line.
+pub fn split_general_bounded(
+    input: &mut dyn BufRead,
+    outputs: &mut [Box<dyn Write + Send>],
+    lookahead: usize,
+) -> io::Result<()> {
+    let lookahead = lookahead.max(1);
+    if outputs.is_empty() {
+        // Degenerate zero-output call: consume and discard, matching
+        // the fully-buffered path's silent drop.
+        loop {
+            let chunk = input.fill_buf()?;
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            let n = chunk.len();
+            input.consume(n);
+        }
+    }
+    let mut buf: Vec<u8> = Vec::new();
+    let eof = fill(input, &mut buf, lookahead + 1)?;
+    if eof {
+        // The whole input fits: exact near-equal line counts.
+        return scatter_exact(buf, outputs);
+    }
+    let k = outputs.len();
+    for i in 0..k.saturating_sub(1) {
+        let eof = fill(input, &mut buf, lookahead)?;
+        if eof {
+            // The tail arrived mid-stream: split what remains exactly
+            // across the outputs not yet served.
+            return scatter_exact(buf, &mut outputs[i..]);
+        }
+        // Cut at the last newline inside the window; a single line
+        // longer than the window is kept whole (extend to its end).
+        let cut = match buf[..lookahead.min(buf.len())]
+            .iter()
+            .rposition(|&b| b == b'\n')
+        {
+            Some(p) => p + 1,
+            None => match read_through_newline(input, &mut buf)? {
+                Some(p) => p + 1,
+                // EOF before any newline: everything left is one
+                // final (unterminated) line.
+                None => {
+                    return scatter_exact(buf, &mut outputs[i..]);
+                }
+            },
+        };
+        write_chunk(outputs[i].as_mut(), &buf[..cut])?;
+        buf.drain(..cut);
+    }
+    // Last output: stream the remainder through without buffering.
+    let last = outputs.last_mut().expect("outputs non-empty").as_mut();
+    let mut ends_with_nl = buf.last() == Some(&b'\n');
+    let mut wrote_any = !buf.is_empty();
+    write_chunk(last, &buf)?;
+    drop(buf);
     loop {
         let chunk = input.fill_buf()?;
         if chunk.is_empty() {
             break;
         }
         let n = chunk.len();
-        data.extend_from_slice(chunk);
+        ends_with_nl = chunk[n - 1] == b'\n';
+        wrote_any = true;
+        write_chunk(last, chunk)?;
         input.consume(n);
     }
+    if wrote_any && !ends_with_nl {
+        write_chunk(last, b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads until `buf` holds at least `target` bytes or EOF; returns
+/// whether EOF was reached.
+fn fill(input: &mut dyn BufRead, buf: &mut Vec<u8>, target: usize) -> io::Result<bool> {
+    while buf.len() < target {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(true);
+        }
+        let n = chunk.len();
+        buf.extend_from_slice(chunk);
+        input.consume(n);
+    }
+    Ok(false)
+}
+
+/// Extends `buf` until it contains a newline at or past its current
+/// end-of-window, returning the newline's position (`None` at EOF).
+fn read_through_newline(input: &mut dyn BufRead, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
+    let mut from = buf.len();
+    loop {
+        if let Some(p) = buf[from..].iter().position(|&b| b == b'\n') {
+            return Ok(Some(from + p));
+        }
+        from = buf.len();
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        let n = chunk.len();
+        buf.extend_from_slice(chunk);
+        input.consume(n);
+    }
+}
+
+/// A consumer that exited early must not stall the remaining chunks;
+/// treat its broken pipe as "chunk abandoned".
+fn write_chunk(out: &mut (dyn Write + Send), data: &[u8]) -> io::Result<()> {
+    match out.write_all(data) {
+        Ok(()) => Ok(()),
+        Err(err) if err.kind() == io::ErrorKind::BrokenPipe => Ok(()),
+        Err(err) => Err(err),
+    }
+}
+
+/// Scatters fully-buffered data as contiguous chunks of near-equal
+/// line counts (the exact split of the paper).
+fn scatter_exact(mut data: Vec<u8>, outputs: &mut [Box<dyn Write + Send>]) -> io::Result<()> {
     // The line-oriented contract: a final unterminated line is still a
     // line, delivered with a newline (as the per-line path always did).
     if data.last().is_some_and(|&b| b != b'\n') {
@@ -60,14 +185,7 @@ pub fn split_general(
         let take = base + usize::from(i < extra);
         let (s, e) = (starts[idx], starts[idx + take]);
         if e > s {
-            // A consumer that exited early must not stall the
-            // remaining chunks; treat its broken pipe as "chunk
-            // abandoned".
-            match out.write_all(&data[s..e]) {
-                Ok(()) => {}
-                Err(err) if err.kind() == io::ErrorKind::BrokenPipe => {}
-                Err(err) => return Err(err),
-            }
+            write_chunk(out.as_mut(), &data[s..e])?;
         }
         idx += take;
     }
@@ -79,7 +197,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    fn split_into(input: &str, k: usize) -> Vec<Vec<u8>> {
+    fn split_with(input: &str, k: usize, lookahead: Option<usize>) -> Vec<Vec<u8>> {
         let sinks: Vec<std::sync::Arc<std::sync::Mutex<Vec<u8>>>> =
             (0..k).map(|_| Default::default()).collect();
         struct SharedSink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
@@ -97,12 +215,19 @@ mod tests {
             .map(|s| Box::new(SharedSink(s.clone())) as Box<dyn Write + Send>)
             .collect();
         let mut r = io::BufReader::new(io::Cursor::new(input.as_bytes().to_vec()));
-        split_general(&mut r, &mut outs).expect("split");
+        match lookahead {
+            None => split_general(&mut r, &mut outs).expect("split"),
+            Some(la) => split_general_bounded(&mut r, &mut outs, la).expect("split"),
+        }
         drop(outs);
         sinks
             .iter()
             .map(|s| s.lock().expect("sink lock").clone())
             .collect()
+    }
+
+    fn split_into(input: &str, k: usize) -> Vec<Vec<u8>> {
+        split_with(input, k, None)
     }
 
     #[test]
@@ -133,6 +258,65 @@ mod tests {
         assert!(parts.iter().all(|p| p.is_empty()));
     }
 
+    #[test]
+    fn zero_outputs_drains_input_without_panicking() {
+        // Degenerate call, but both the buffered and the streaming
+        // path must drain and return Ok rather than panic.
+        let big: String = (0..200).map(|i| format!("line{i}\n")).collect();
+        for lookahead in [None, Some(64)] {
+            let parts = split_with(&big, 0, lookahead);
+            assert!(parts.is_empty());
+        }
+    }
+
+    #[test]
+    fn streaming_path_preserves_concatenation() {
+        // 100 lines of ~6 bytes against a 64-byte window: forces the
+        // block-per-output streaming path.
+        let input: String = (0..100).map(|i| format!("l{i:03}\n")).collect();
+        let parts = split_with(&input, 4, Some(64));
+        assert_eq!(parts.concat(), input.as_bytes());
+        // Every output is line-aligned.
+        for p in &parts {
+            assert!(p.is_empty() || p.last() == Some(&b'\n'));
+        }
+        // The early outputs carry roughly a window's worth, not a
+        // quarter of the input.
+        assert!(parts[0].len() <= 64 + 6);
+        assert!(!parts[3].is_empty());
+    }
+
+    #[test]
+    fn streaming_keeps_long_lines_whole() {
+        let long = "x".repeat(500);
+        let input = format!("{long}\na\nb\nc\n");
+        let parts = split_with(&input, 3, Some(16));
+        assert_eq!(parts.concat(), input.as_bytes());
+        // The 500-byte line exceeded the window but was not torn.
+        assert!(parts[0].starts_with(long.as_bytes()));
+        assert_eq!(&parts[0][long.len()..long.len() + 1], b"\n");
+    }
+
+    #[test]
+    fn streaming_appends_missing_final_newline() {
+        let input: String = (0..50).map(|i| format!("{i}\n")).collect::<String>() + "tail";
+        let parts = split_with(&input, 2, Some(32));
+        let mut want = input.into_bytes();
+        want.push(b'\n');
+        assert_eq!(parts.concat(), want);
+    }
+
+    #[test]
+    fn eof_mid_stream_rebalances_remaining_outputs() {
+        // Window 32, 3 outputs, ~90 bytes: output 0 gets a block, the
+        // remainder splits exactly across outputs 1 and 2.
+        let input: String = (0..18).map(|i| format!("x{i:03}\n")).collect();
+        let parts = split_with(&input, 3, Some(32));
+        assert_eq!(parts.concat(), input.as_bytes());
+        assert!(!parts[1].is_empty());
+        assert!(!parts[2].is_empty());
+    }
+
     proptest! {
         #[test]
         fn prop_concatenation_identity(
@@ -159,6 +343,18 @@ mod tests {
             let max = counts.iter().max().copied().unwrap_or(0);
             let min = counts.iter().min().copied().unwrap_or(0);
             prop_assert!(max - min <= 1);
+        }
+
+        #[test]
+        fn prop_bounded_lookahead_concatenation_identity(
+            lines in proptest::collection::vec("[a-z]{0,12}", 0..80),
+            k in 1usize..6,
+            lookahead in 1usize..96,
+        ) {
+            let input: String = lines.iter().map(|l| format!("{l}\n")).collect();
+            let parts = split_with(&input, k, Some(lookahead));
+            let joined: Vec<u8> = parts.concat();
+            prop_assert_eq!(joined, input.into_bytes());
         }
     }
 }
