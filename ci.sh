@@ -8,11 +8,12 @@
 #   2. the full test suite (unit + integration + doctests);
 #   3. example smoke build;
 #   4. compile (but don't run) all criterion benches;
-#   5. dataplane bench smoke: run at a small size and check the
-#      emitted BENCH_dataplane.json parses;
+#   5. dataplane bench smoke: run at a small size, check the emitted
+#      BENCH_dataplane.json parses, and assert the simulated r_split
+#      speedup over the skewed general split;
 #   6. regex bench smoke: tiered-vs-PikeVM suite at a small size,
 #      check the emitted BENCH_regex.json parses;
-#   7. plan-determinism smoke;
+#   7. plan-determinism smoke (segment split and r_split plans);
 #   8. process-backend smoke: one corpus script as real children over
 #      FIFOs, byte-compared against the shell backend's output;
 #   9. rustfmt check.
@@ -41,6 +42,16 @@ else
     grep -q '"bench":"dataplane"' target/bench-smoke/BENCH_dataplane.json
 fi
 
+echo "==> r_split speedup smoke (skewed corpus, simulated width 8)"
+# The simulator is deterministic, so this is a stable gate: the
+# streaming round-robin split must beat the blocking, skew-prone
+# general split on the line-length-skewed corpus.
+rr_speedup=$(sed -n 's/.*"rr_vs_general_split_speedup":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_dataplane.json)
+test -n "$rr_speedup"
+awk "BEGIN { exit !($rr_speedup > 1.05) }"
+echo "    r_split vs general split on skewed input: ${rr_speedup}x"
+
 echo "==> regex bench smoke (BENCH_regex.json well-formed)"
 # Also re-asserts (inside run_suite) that the tiered engine and the
 # Pike VM agree on every benchmark corpus before timing them.
@@ -67,6 +78,14 @@ grep -c z summary.txt > count.txt && sort count.txt'
     > target/bench-smoke/plan_b.txt 2>/dev/null
 cmp target/bench-smoke/plan_a.txt target/bench-smoke/plan_b.txt
 test -s target/bench-smoke/plan_a.txt
+# Same property over the round-robin plan shapes (rr split nodes,
+# framed workers, the reorder aggregator).
+./target/release/plandump --width 8 --split rr -e "$PLAN_SCRIPT" \
+    > target/bench-smoke/plan_rr_a.txt 2>/dev/null
+./target/release/plandump --width 8 --split rr -e "$PLAN_SCRIPT" \
+    > target/bench-smoke/plan_rr_b.txt 2>/dev/null
+cmp target/bench-smoke/plan_rr_a.txt target/bench-smoke/plan_rr_b.txt
+grep -q 'split rr' target/bench-smoke/plan_rr_a.txt
 
 echo "==> process backend smoke (cmp against the shell backend)"
 # The same script, same generated corpus, executed twice: once as an

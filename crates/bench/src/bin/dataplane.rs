@@ -10,6 +10,7 @@
 use std::io::Write;
 
 use pash_bench::dataplane::{fmt_throughput, run_suite};
+use pash_bench::rsplitbench;
 
 fn main() {
     let mut size = "default".to_string();
@@ -32,7 +33,9 @@ fn main() {
     };
 
     println!("dataplane microbench: {bytes} bytes/iter, {runs} runs\n");
-    let samples = run_suite(bytes, runs);
+    let mut samples = run_suite(bytes, runs);
+    samples.extend(rsplitbench::run_series(bytes, runs));
+    let speedup = rsplitbench::rr_speedup(&samples).expect("rsplit sim samples");
     println!(
         "{:<20} {:>12} {:>12} {:>12} {:>14}",
         "bench", "min", "median", "mean", "throughput"
@@ -48,10 +51,13 @@ fn main() {
         );
     }
 
+    println!("\nr_split vs skewed general split (simulated, width 8): {speedup:.2}x");
+
     let json = format!(
-        "{{\"bench\":\"dataplane\",\"bytes_per_iter\":{},\"runs\":{},\"results\":[{}]}}\n",
+        "{{\"bench\":\"dataplane\",\"bytes_per_iter\":{},\"runs\":{},\"rr_vs_general_split_speedup\":{:.2},\"results\":[{}]}}\n",
         bytes,
         runs,
+        speedup,
         samples
             .iter()
             .map(|s| s.to_json())

@@ -5,7 +5,7 @@
 //! input and asserts byte-identical output — the property the
 //! compile-result cache key relies on.
 //!
-//! Usage: `plandump [--width N] [--split off|general|sized]
+//! Usage: `plandump [--width N] [--split off|general|sized|rr]
 //!                  [--eager off|blocking|full] [--flat-agg]
 //!                  (-e SCRIPT | FILE)`
 
@@ -29,6 +29,7 @@ fn main() {
                     Some("off") => SplitPolicy::Off,
                     Some("general") => SplitPolicy::General,
                     Some("sized") => SplitPolicy::Sized,
+                    Some("rr") => SplitPolicy::RoundRobin,
                     _ => usage(),
                 };
             }
@@ -62,7 +63,7 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: plandump [--width N] [--split off|general|sized] \
+        "usage: plandump [--width N] [--split off|general|sized|rr] \
          [--eager off|blocking|full] [--flat-agg] (-e SCRIPT | FILE)"
     );
     std::process::exit(2);

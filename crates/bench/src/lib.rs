@@ -21,6 +21,7 @@ pub mod baseline;
 pub mod dataplane;
 pub mod fixtures;
 pub mod regexbench;
+pub mod rsplitbench;
 pub mod suites {
     //! Benchmark script collections.
     pub mod oneliners;

@@ -59,6 +59,55 @@ impl ParClass {
     }
 }
 
+/// How a command may consume a round-robin (`r_split`) stream.
+///
+/// Round-robin distribution hands each parallel copy an arbitrary
+/// subset of the input's line-aligned blocks, so a copy sees neither a
+/// contiguous prefix nor the stream's global order. The capability is
+/// derived from the parallelizability class plus the aggregator:
+///
+/// * **Framed** — stateless per-line maps/filters. Copies process
+///   tagged blocks independently and emit one output block per input
+///   block; a reordering aggregator restores tag order downstream.
+/// * **Raw** — pure commands whose aggregator is *commutative*
+///   (order-insensitive sums like `wc` and `grep -c`). Blocks flow to
+///   copies untagged; the normal aggregation network combines.
+/// * **No** — everything else (order-sensitive aggregators like
+///   `sort -m`, boundary-condition combiners like `uniq`): the
+///   compiler falls back to contiguous-segment splitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrMode {
+    /// Cannot consume round-robin streams; use segment splits.
+    No,
+    /// Consumes tagged blocks; order restored by `pash-agg-reorder`.
+    Framed,
+    /// Consumes untagged blocks; the aggregator commutes.
+    Raw,
+}
+
+/// Aggregators whose combine step is commutative: the result does not
+/// depend on which blocks each parallel copy saw.
+const COMMUTATIVE_AGGS: &[&str] = &["pash-agg-wc", "pash-agg-sum"];
+
+/// The round-robin capability of an invocation, given its class and
+/// (for class P) its aggregator argv.
+///
+/// Deliberately conservative: `sort` is excluded from `Raw` even
+/// though merging is order-insensitive *between* runs, because lines
+/// comparing equal under the sort key tie-break by input partition —
+/// a round-robin partition would make the output depend on block
+/// assignment.
+pub fn rr_mode(class: ParClass, agg: Option<&[String]>) -> RrMode {
+    match class {
+        ParClass::Stateless => RrMode::Framed,
+        ParClass::Pure => match agg.and_then(|a| a.first()) {
+            Some(name) if COMMUTATIVE_AGGS.contains(&name.as_str()) => RrMode::Raw,
+            _ => RrMode::No,
+        },
+        _ => RrMode::No,
+    }
+}
+
 impl std::fmt::Display for ParClass {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let name = match self {
@@ -101,6 +150,28 @@ mod tests {
         assert!(ParClass::Pure.is_data_parallel());
         assert!(!ParClass::NonParallelizable.is_data_parallel());
         assert!(!ParClass::SideEffectful.is_data_parallel());
+    }
+
+    #[test]
+    fn rr_capability_from_class_and_agg() {
+        let agg = |s: &str| vec![s.to_string()];
+        assert_eq!(rr_mode(ParClass::Stateless, None), RrMode::Framed);
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg("pash-agg-wc"))),
+            RrMode::Raw
+        );
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg("pash-agg-sum"))),
+            RrMode::Raw
+        );
+        // Order-sensitive merge: must not consume round-robin blocks.
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg("pash-agg-sort"))),
+            RrMode::No
+        );
+        assert_eq!(rr_mode(ParClass::Pure, None), RrMode::No);
+        assert_eq!(rr_mode(ParClass::NonParallelizable, None), RrMode::No);
+        assert_eq!(rr_mode(ParClass::SideEffectful, None), RrMode::No);
     }
 
     #[test]

@@ -57,6 +57,18 @@ impl PashConfig {
         }
     }
 
+    /// The order-aware round-robin configuration (`--r_split`):
+    /// capable stages consume tagged round-robin blocks with order
+    /// restored by `pash-agg-reorder`; the rest keep the `best`
+    /// (input-aware segment) behaviour.
+    pub fn round_robin(width: usize) -> Self {
+        PashConfig {
+            width,
+            split: SplitPolicy::RoundRobin,
+            ..Default::default()
+        }
+    }
+
     /// A deterministic textual key for this configuration — combined
     /// with the source text it identifies a compilation (the plan
     /// lowering is deterministic, so equal keys mean equal plans).

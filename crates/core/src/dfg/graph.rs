@@ -64,6 +64,16 @@ pub enum SplitKind {
     General,
     /// Input size known beforehand: streams without a pre-pass.
     Sized,
+    /// Round-robin block distribution (`r_split`): streams fixed-size
+    /// line-aligned blocks to outputs in rotation, with no pre-pass and
+    /// balanced load regardless of line-length skew. `framed` output
+    /// stamps each block with a sequence tag (magic + tag + length) so
+    /// a downstream `pash-agg-reorder` can restore global order; raw
+    /// output sends bare bytes for commutative consumers.
+    RoundRobin {
+        /// Emit tagged frames (true) or bare blocks (false).
+        framed: bool,
+    },
 }
 
 /// Node kinds.
@@ -129,6 +139,8 @@ impl Node {
             NodeKind::Cat => "cat".to_string(),
             NodeKind::Split(SplitKind::General) => "split".to_string(),
             NodeKind::Split(SplitKind::Sized) => "split -sized".to_string(),
+            NodeKind::Split(SplitKind::RoundRobin { framed: true }) => "split -rr".to_string(),
+            NodeKind::Split(SplitKind::RoundRobin { framed: false }) => "split -rr-raw".to_string(),
             NodeKind::Relay(EagerKind::Full) => "eager".to_string(),
             NodeKind::Relay(EagerKind::Blocking) => "eager -blocking".to_string(),
             NodeKind::Aggregate { argv } => argv.join(" "),

@@ -8,6 +8,7 @@
 //! map/aggregate law `f(x·x') = agg(m(x)·m(x'))` (both property-tested
 //! against the real command implementations in the runtime crate).
 
+use crate::classes::{rr_mode, RrMode};
 use crate::dfg::graph::{
     Dfg, EagerKind, Edge, EdgeId, Node, NodeId, NodeKind, SplitKind, StreamSpec,
 };
@@ -24,6 +25,13 @@ pub enum SplitPolicy {
     /// Like `General`, but inputs of known size use the streaming
     /// input-aware splitter (`B.Split`).
     Sized,
+    /// Order-aware round-robin distribution (`r_split`): capable nodes
+    /// (see [`crate::classes::rr_mode`]) read tagged or raw blocks from
+    /// a streaming round-robin splitter — no cut-point probing, and
+    /// balanced regardless of line-length skew. Stateless copies emit
+    /// tagged frames that a `pash-agg-reorder` aggregator restores to
+    /// input order; incapable nodes fall back to the `Sized` behaviour.
+    RoundRobin,
 }
 
 /// Eager-relay insertion policy (the Fig. 7 `Eager` axis, §5.2).
@@ -98,8 +106,17 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
         insert_cat_before(g, id);
     }
     let input_edge = g.node(id).expect("live node").inputs[0];
-    // Find (or create) the parallel sources feeding this node.
-    let sources: Vec<EdgeId> = match g.edge(input_edge).from {
+    // Round-robin capability of this node under the RoundRobin policy.
+    let rr = if cfg.split == SplitPolicy::RoundRobin {
+        node_rr_mode(g.node(id).expect("live node"))
+    } else {
+        RrMode::No
+    };
+    // Find (or create) the parallel sources feeding this node. The
+    // `framed` flag records whether the sources carry tagged blocks
+    // (round-robin frames) rather than contiguous byte streams; framed
+    // copies are recombined with a reordering aggregator.
+    let (sources, framed): (Vec<EdgeId>, bool) = match g.edge(input_edge).from {
         // A preceding cat: commute with it (consume its inputs).
         Some(p) if matches!(g.node(p).expect("live node").kind, NodeKind::Cat) => {
             let srcs = g.node(p).expect("live node").inputs.clone();
@@ -115,18 +132,33 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
                 g.node_mut(id).expect("live node").inputs = vec![srcs[0]];
                 return try_parallelize_node(g, id, cfg);
             }
-            srcs
+            (srcs, false)
         }
-        // A whole file at the graph boundary: divide into segments.
+        // A preceding reorder aggregator and a frame-capable node:
+        // commute through it (consume the still-framed streams), the
+        // round-robin analogue of the cat commute. A fresh reorder is
+        // built over this node's copies below.
+        Some(p) if rr == RrMode::Framed && is_reorder(&g.node(p).expect("live node").kind) => {
+            let srcs = g.node(p).expect("live node").inputs.clone();
+            g.remove_node(p);
+            g.edge_mut(input_edge).from = None;
+            g.edge_mut(input_edge).to = None;
+            (srcs, true)
+        }
+        // A whole file at the graph boundary: round-robin-capable
+        // nodes stream it through `r_split`; others divide it into
+        // byte-range segments (no process needed).
         None => match g.edge(input_edge).spec.clone() {
-            StreamSpec::File(path) => segment_file_edge(g, input_edge, &path, cfg.width),
-            _ => match split_sources(g, id, input_edge, cfg) {
+            StreamSpec::File(path) if rr == RrMode::No => {
+                (segment_file_edge(g, input_edge, &path, cfg.width), false)
+            }
+            _ => match split_sources(g, id, input_edge, cfg, rr) {
                 Some(s) => s,
                 None => return,
             },
         },
         // A pipe from a non-cat producer: needs a split node (t2).
-        Some(_) => match split_sources(g, id, input_edge, cfg) {
+        Some(_) => match split_sources(g, id, input_edge, cfg, rr) {
             Some(s) => s,
             None => return,
         },
@@ -165,6 +197,16 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
         _ => None,
     };
     let combined = match agg {
+        // Framed copies emit tagged blocks; a flat reordering
+        // aggregator restores global input order (binary trees would
+        // strip the frames an outer reorder still needs, so the shape
+        // is always flat — see `aggregator_associative`).
+        None if framed => build_agg_network(
+            g,
+            &copy_outputs,
+            &[REORDER_AGG.to_string()],
+            AggTreeShape::Flat,
+        ),
         None => {
             let cat_id = g.add_node(Node {
                 kind: NodeKind::Cat,
@@ -204,12 +246,35 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
     g.remove_node(id);
 }
 
+/// The reordering aggregator's argv head.
+pub const REORDER_AGG: &str = "pash-agg-reorder";
+
+/// True when `kind` is the reordering aggregator.
+fn is_reorder(kind: &NodeKind) -> bool {
+    matches!(kind, NodeKind::Aggregate { argv }
+        if argv.first().map(|s| s == REORDER_AGG).unwrap_or(false))
+}
+
+/// The round-robin capability of a node.
+fn node_rr_mode(node: &Node) -> RrMode {
+    match &node.kind {
+        NodeKind::Command { class, agg, .. } => rr_mode(*class, agg.as_deref()),
+        _ => RrMode::No,
+    }
+}
+
 /// True when an aggregator's output format equals its input format,
 /// making binary reduction trees equivalent to one k-ary application.
 fn aggregator_associative(argv: &[String]) -> bool {
     // The bigram aggregator consumes *marked* map output but produces
-    // clean pairs — a projection, not a monoid operation.
-    argv.first().map(|s| s != "pash-agg-bigram").unwrap_or(true)
+    // clean pairs — a projection, not a monoid operation. The reorder
+    // aggregator likewise consumes tagged frames but emits bare
+    // payloads, so an inner reorder would strip the frames an outer
+    // one still needs.
+    match argv.first() {
+        Some(s) => s != "pash-agg-bigram" && s != REORDER_AGG,
+        None => true,
+    }
 }
 
 /// Builds the argv parallel copies execute: the declared map command
@@ -289,18 +354,27 @@ fn segment_file_edge(g: &mut Dfg, edge: EdgeId, path: &str, width: usize) -> Vec
 }
 
 /// t2: inserts a split node feeding `width` streams.
+///
+/// Returns the split's output edges plus whether they carry tagged
+/// round-robin frames.
 fn split_sources(
     g: &mut Dfg,
     consumer: NodeId,
     input_edge: EdgeId,
     cfg: &TransformConfig,
-) -> Option<Vec<EdgeId>> {
-    let kind = match (cfg.split, &g.edge(input_edge).spec) {
-        (SplitPolicy::Off, _) => return None,
-        (SplitPolicy::Sized, StreamSpec::File(_) | StreamSpec::FileSegment { .. }) => {
-            SplitKind::Sized
-        }
-        (SplitPolicy::Sized, _) | (SplitPolicy::General, _) => SplitKind::General,
+    rr: RrMode,
+) -> Option<(Vec<EdgeId>, bool)> {
+    let kind = match rr {
+        RrMode::Framed => SplitKind::RoundRobin { framed: true },
+        RrMode::Raw => SplitKind::RoundRobin { framed: false },
+        RrMode::No => match (cfg.split, &g.edge(input_edge).spec) {
+            (SplitPolicy::Off, _) => return None,
+            (
+                SplitPolicy::Sized | SplitPolicy::RoundRobin,
+                StreamSpec::File(_) | StreamSpec::FileSegment { .. },
+            ) => SplitKind::Sized,
+            _ => SplitKind::General,
+        },
     };
     let split_id = g.add_node(Node {
         kind: NodeKind::Split(kind),
@@ -323,7 +397,7 @@ fn split_sources(
         .expect("consumer")
         .inputs
         .retain(|&e| e != input_edge);
-    Some(out)
+    Some((out, matches!(kind, SplitKind::RoundRobin { framed: true })))
 }
 
 /// Builds the aggregation network over ordered partial outputs.
@@ -750,6 +824,113 @@ mod tests {
             },
         );
         assert_eq!(s.total(), 1);
+    }
+
+    #[test]
+    fn round_robin_chains_stateless_through_one_reorder() {
+        // Under the RoundRobin policy a 3-stage stateless chain gets
+        // one framed r_split at the file boundary, the downstream
+        // stages commute through the intermediate reorders, and one
+        // flat reorder restores order at the end.
+        let mut g = grep_pipeline();
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        g.validate().expect("valid");
+        let s = g.stats();
+        assert_eq!(s.commands, 12);
+        assert_eq!(s.cats, 0);
+        assert_eq!(s.splits, 1);
+        assert_eq!(s.aggregates, 1);
+        // width relays on the reorder inputs + width-1 on split outputs.
+        assert_eq!(s.relays, 4 + 3);
+        let has_rr = g.node_ids().any(|id| {
+            matches!(
+                g.node(id).expect("live").kind,
+                NodeKind::Split(SplitKind::RoundRobin { framed: true })
+            )
+        });
+        assert!(has_rr, "expected a framed round-robin split");
+        let reorders = g
+            .node_ids()
+            .filter(|&id| is_reorder(&g.node(id).expect("live").kind))
+            .count();
+        assert_eq!(reorders, 1);
+    }
+
+    #[test]
+    fn round_robin_raw_for_commutative_aggregator() {
+        // `wc` aggregates with the commutative pash-agg-wc: blocks may
+        // flow untagged and the normal aggregation network combines.
+        let mut g = linear_pipeline(
+            vec![command_node(
+                &["wc", "-l"],
+                ParClass::Pure,
+                Some(vec!["pash-agg-wc".to_string()]),
+            )],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        g.validate().expect("valid");
+        let has_raw = g.node_ids().any(|id| {
+            matches!(
+                g.node(id).expect("live").kind,
+                NodeKind::Split(SplitKind::RoundRobin { framed: false })
+            )
+        });
+        assert!(has_raw, "expected a raw round-robin split");
+        let reorders = g
+            .node_ids()
+            .filter(|&id| is_reorder(&g.node(id).expect("live").kind))
+            .count();
+        assert_eq!(reorders, 0, "commutative agg needs no reorder");
+        assert_eq!(g.stats().aggregates, 3, "binary pash-agg-wc tree");
+    }
+
+    #[test]
+    fn round_robin_order_sensitive_falls_back_to_segments() {
+        // `sort` merges order-sensitively (equal keys tie-break by
+        // partition), so under RoundRobin it must keep the segment
+        // path: tr commutes into an r_split+reorder chain only when
+        // capable — sort itself gets no round-robin split.
+        let mut g = sort_pipeline();
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        g.validate().expect("valid");
+        for id in g.node_ids() {
+            if let NodeKind::Split(kind) = g.node(id).expect("live").kind {
+                if matches!(kind, SplitKind::RoundRobin { .. }) {
+                    // Only the stateless `tr` may sit behind it.
+                    for &e in &g.node(id).expect("live").outputs {
+                        let consumer = g.edge(e).to.expect("consumed");
+                        let label = g.node(consumer).expect("live").label();
+                        assert!(
+                            label.starts_with("eager") || label.starts_with("tr"),
+                            "round-robin split feeds {label}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,22 @@ impl Arg {
     }
 }
 
+/// Which splitter implementation a [`PlanOp::Split`] node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitMode {
+    /// Count-then-scatter: consumes the whole input, splits evenly.
+    General,
+    /// Input size known beforehand: streams without a pre-pass.
+    Sized,
+    /// Round-robin block distribution (`r_split`): streams fixed-size
+    /// line-aligned blocks to outputs in rotation. `framed` stamps
+    /// each block with a sequence tag for downstream reordering.
+    RoundRobin {
+        /// Emit tagged frames (true) or bare blocks (false).
+        framed: bool,
+    },
+}
+
 /// What a plan node executes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanOp {
@@ -110,14 +126,18 @@ pub enum PlanOp {
     Exec {
         /// Resolved argv (command name first).
         argv: Vec<Arg>,
+        /// The node consumes and produces tagged round-robin frames:
+        /// the executor runs the command once per input frame and
+        /// emits one output frame per input frame under the same tag
+        /// (stateless law: per-block outputs concatenate).
+        framed: bool,
     },
     /// Ordered concatenation of all inputs.
     Cat,
-    /// Scatter the single input across all outputs, contiguously and
-    /// near-evenly by line count.
+    /// Scatter the single input across all outputs.
     Split {
-        /// Input size known beforehand: stream without a pre-pass.
-        sized: bool,
+        /// Which splitter implementation runs.
+        mode: SplitMode,
     },
     /// Identity relay (the paper's `eager`).
     Relay {
@@ -136,7 +156,7 @@ impl PlanOp {
     /// (for display and cost modelling). `None` for non-exec ops.
     pub fn exec_argv_lossy(&self) -> Option<Vec<String>> {
         match self {
-            PlanOp::Exec { argv } => Some(
+            PlanOp::Exec { argv, .. } => Some(
                 argv.iter()
                     .map(|a| match a {
                         Arg::Lit(s) => s.clone(),
@@ -153,8 +173,18 @@ impl PlanOp {
         match self {
             PlanOp::Exec { .. } => self.exec_argv_lossy().expect("exec").join(" "),
             PlanOp::Cat => "cat".to_string(),
-            PlanOp::Split { sized: false } => "split".to_string(),
-            PlanOp::Split { sized: true } => "split -sized".to_string(),
+            PlanOp::Split {
+                mode: SplitMode::General,
+            } => "split".to_string(),
+            PlanOp::Split {
+                mode: SplitMode::Sized,
+            } => "split -sized".to_string(),
+            PlanOp::Split {
+                mode: SplitMode::RoundRobin { framed: true },
+            } => "r_split".to_string(),
+            PlanOp::Split {
+                mode: SplitMode::RoundRobin { framed: false },
+            } => "r_split -raw".to_string(),
             PlanOp::Relay { blocking: false } => "eager".to_string(),
             PlanOp::Relay { blocking: true } => "eager -blocking".to_string(),
             PlanOp::Aggregate { argv } => argv.join(" "),
@@ -230,14 +260,18 @@ impl PlanNode {
     pub fn spawn_spec(&self) -> SpawnSpec {
         let stdin_input = self.stdin_inputs.first().copied();
         match &self.op {
-            PlanOp::Exec { argv } => SpawnSpec {
+            PlanOp::Exec { argv, framed } => SpawnSpec {
                 bin: SpawnBin::Coreutils,
-                argv: argv
-                    .iter()
-                    .map(|a| match a {
+                // `--framed` rides ahead of the command name: the
+                // multicall strips it as a leading redirection-style
+                // flag and wraps the command in a per-frame loop.
+                argv: framed
+                    .then(|| SpawnWord::Lit("--framed".to_string()))
+                    .into_iter()
+                    .chain(argv.iter().map(|a| match a {
                         Arg::Lit(w) => SpawnWord::Lit(w.clone()),
                         Arg::Stream(k) => SpawnWord::In(*k),
-                    })
+                    }))
                     .collect(),
                 stdin_input,
                 stdout_output: Some(0),
@@ -250,11 +284,21 @@ impl PlanNode {
                 stdin_input: None,
                 stdout_output: Some(0),
             },
-            PlanOp::Split { sized } => {
-                let mut argv = vec![SpawnWord::Lit("split".to_string())];
-                if *sized {
-                    argv.push(SpawnWord::Lit("--sized".to_string()));
-                }
+            PlanOp::Split { mode } => {
+                let mut argv = match mode {
+                    SplitMode::General => vec![SpawnWord::Lit("split".to_string())],
+                    SplitMode::Sized => vec![
+                        SpawnWord::Lit("split".to_string()),
+                        SpawnWord::Lit("--sized".to_string()),
+                    ],
+                    SplitMode::RoundRobin { framed: true } => {
+                        vec![SpawnWord::Lit("r_split".to_string())]
+                    }
+                    SplitMode::RoundRobin { framed: false } => vec![
+                        SpawnWord::Lit("r_split".to_string()),
+                        SpawnWord::Lit("--raw".to_string()),
+                    ],
+                };
                 argv.extend((0..self.outputs.len()).map(SpawnWord::Out));
                 SpawnSpec {
                     bin: SpawnBin::Runtime,
@@ -338,6 +382,82 @@ impl RegionPlan {
             .map(|(i, _)| i)
     }
 
+    /// The nodes whose exit statuses determine the region's status
+    /// (folded with [`fold_statuses`]).
+    ///
+    /// Parallelization replaces a region's output producer with a
+    /// synthetic combiner (cat-merge, relay, `pash-agg-*` network), so
+    /// the producer's own status says nothing about the user's
+    /// command. This walks back from the last output producer through
+    /// synthetic nodes to the command copies whose statuses the
+    /// sequential script would have reported. The walk stops at `Exec`
+    /// nodes and at *re-applied command* aggregators (e.g. `head` used
+    /// as its own combiner): those carry real command semantics —
+    /// which also keeps `head`-style early-exit teardowns (upstream
+    /// copies killed by SIGPIPE) out of the fold.
+    pub fn status_sources(&self) -> Vec<PlanNodeId> {
+        let Some(producer) = self.output_producers().last() else {
+            return Vec::new();
+        };
+        let synthetic = |op: &PlanOp| match op {
+            PlanOp::Cat | PlanOp::Relay { .. } => true,
+            PlanOp::Aggregate { argv } => argv
+                .first()
+                .map(|a| a.starts_with("pash-agg-"))
+                .unwrap_or(false),
+            _ => false,
+        };
+        let mut out = Vec::new();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![producer];
+        while let Some(n) = stack.pop() {
+            if std::mem::replace(&mut seen[n], true) {
+                continue;
+            }
+            if !synthetic(&self.nodes[n].op) {
+                out.push(n);
+                continue;
+            }
+            let mut any_input = false;
+            for &e in &self.nodes[n].inputs {
+                if let Some(p) = self.edges[e].from {
+                    any_input = true;
+                    stack.push(p);
+                }
+            }
+            if !any_input {
+                // A synthetic node over boundary inputs only (e.g. a
+                // cat of file segments): its own status stands in.
+                out.push(n);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Paths of files (and file segments) the region reads.
+    pub fn reads_files(&self) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EndpointKind::InputFile(p) => Some(p.clone()),
+                EndpointKind::InputSegment { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Paths of files the region writes.
+    pub fn writes_files(&self) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EndpointKind::OutputFile(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Checks structural invariants, so executors can reject a
     /// hand-built or corrupted plan with an error instead of an
     /// out-of-bounds panic (plans will eventually arrive over the
@@ -364,7 +484,7 @@ impl RegionPlan {
                     return Err(format!("node {i}: stdin input {k} out of range"));
                 }
             }
-            if let PlanOp::Exec { argv } = &node.op {
+            if let PlanOp::Exec { argv, .. } = &node.op {
                 for a in argv {
                     if let Arg::Stream(k) = a {
                         if *k >= node.inputs.len() {
@@ -382,6 +502,22 @@ impl RegionPlan {
             }
         }
         Ok(())
+    }
+}
+
+/// Folds the statuses of a region's [`RegionPlan::status_sources`]
+/// into the status the sequential script would have reported.
+///
+/// Hard errors dominate: any status ≥ 2 yields the largest such
+/// status (a copy that failed to open a file fails the whole
+/// command). Otherwise the minimum wins: a command that "succeeds if
+/// any part succeeds" (`grep`'s found-a-match contract) reports 0
+/// when any copy reports 0, and 1 only when every copy missed —
+/// exactly the sequential semantics at any width.
+pub fn fold_statuses(statuses: &[i32]) -> i32 {
+    match statuses.iter().copied().filter(|&s| s >= 2).max() {
+        Some(err) => err,
+        None => statuses.iter().copied().min().unwrap_or(0),
     }
 }
 
@@ -481,7 +617,7 @@ impl ExecutionPlan {
                     }
                     for (i, n) in r.nodes.iter().enumerate() {
                         let op = match &n.op {
-                            PlanOp::Exec { argv } => {
+                            PlanOp::Exec { argv, framed } => {
                                 let words: Vec<String> = argv
                                     .iter()
                                     .map(|a| match a {
@@ -489,10 +625,20 @@ impl ExecutionPlan {
                                         Arg::Stream(k) => format!("<in{k}>"),
                                     })
                                     .collect();
-                                format!("exec {}", words.join(" "))
+                                format!(
+                                    "exec {}{}",
+                                    words.join(" "),
+                                    if *framed { " framed" } else { "" }
+                                )
                             }
                             PlanOp::Cat => "cat".to_string(),
-                            PlanOp::Split { sized } => format!("split sized={sized}"),
+                            PlanOp::Split { mode } => match mode {
+                                SplitMode::General => "split sized=false".to_string(),
+                                SplitMode::Sized => "split sized=true".to_string(),
+                                SplitMode::RoundRobin { framed } => {
+                                    format!("split rr framed={framed}")
+                                }
+                            },
                             PlanOp::Relay { blocking } => format!("relay blocking={blocking}"),
                             PlanOp::Aggregate { argv } => {
                                 let words: Vec<String> =
@@ -523,6 +669,76 @@ impl ExecutionPlan {
     pub fn fingerprint(&self) -> u64 {
         fnv1a(self.dump().as_bytes())
     }
+
+    /// Groups step indices into *waves*: steps within a wave are
+    /// mutually independent and may execute concurrently; waves run in
+    /// order, each starting after the previous completes.
+    ///
+    /// Conservative rules: `Guard`/`Shell` steps are singleton waves
+    /// (barriers), the step guarded by a `Guard` is a singleton (its
+    /// execution is conditional), and two regions share a wave only
+    /// when they touch disjoint files, at most one reads the
+    /// program's stdin, and at most one writes the program's stdout
+    /// (so executors need not re-order captured output).
+    pub fn parallel_waves(&self) -> Vec<Vec<usize>> {
+        let mut waves: Vec<Vec<usize>> = Vec::new();
+        let mut current: Vec<usize> = Vec::new();
+        let mut after_guard = false;
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                PlanStep::Guard(_) | PlanStep::Shell { .. } => {
+                    if !current.is_empty() {
+                        waves.push(std::mem::take(&mut current));
+                    }
+                    waves.push(vec![i]);
+                    after_guard = matches!(step, PlanStep::Guard(_));
+                }
+                PlanStep::Region(r) => {
+                    if after_guard {
+                        if !current.is_empty() {
+                            waves.push(std::mem::take(&mut current));
+                        }
+                        waves.push(vec![i]);
+                        after_guard = false;
+                        continue;
+                    }
+                    let conflicts = current.iter().any(|&j| match &self.steps[j] {
+                        PlanStep::Region(prev) => regions_conflict(prev, r),
+                        _ => true,
+                    });
+                    if conflicts && !current.is_empty() {
+                        waves.push(std::mem::take(&mut current));
+                    }
+                    current.push(i);
+                }
+            }
+        }
+        if !current.is_empty() {
+            waves.push(current);
+        }
+        waves
+    }
+}
+
+/// Whether two regions must not run concurrently: overlapping file
+/// footprints (any write against any touch), both consuming stdin, or
+/// both emitting to stdout.
+fn regions_conflict(a: &RegionPlan, b: &RegionPlan) -> bool {
+    if a.reads_stdin() && b.reads_stdin() {
+        return true;
+    }
+    let emits = |r: &RegionPlan| {
+        r.edges
+            .iter()
+            .any(|e| matches!(e.kind, EndpointKind::StdoutPipe))
+    };
+    if emits(a) && emits(b) {
+        return true;
+    }
+    let (ar, aw) = (a.reads_files(), a.writes_files());
+    let (br, bw) = (b.reads_files(), b.writes_files());
+    let hits = |xs: &[String], ys: &[String]| xs.iter().any(|x| ys.contains(x));
+    hits(&aw, &br) || hits(&aw, &bw) || hits(&ar, &bw)
 }
 
 /// FNV-1a over a byte string (the workspace has no hashing crates).
@@ -625,6 +841,12 @@ fn lower_region(g: &Dfg) -> RegionPlan {
         edge_index[e].expect("edge referenced by a live node")
     };
     let mut nodes = Vec::with_capacity(order.len());
+    // Frame tracking: an edge carries tagged round-robin frames when
+    // its producer is a framed `r_split`, a framed command copy, or a
+    // relay forwarding a framed stream. Reorder aggregators consume
+    // frames and emit bare payloads. Topological order guarantees a
+    // producer's framing is known before its consumers lower.
+    let mut edge_framed = vec![false; edges.len()];
     for &id in &order {
         let node = g.node(id).expect("live node");
         let inputs: Vec<PlanEdgeId> = node.inputs.iter().map(|&e| remap(e)).collect();
@@ -646,29 +868,52 @@ fn lower_region(g: &Dfg) -> RegionPlan {
                     })
                     .collect();
                 let stdin: Vec<usize> = (0..inputs.len()).filter(|k| !marked.contains(k)).collect();
-                (PlanOp::Exec { argv: args }, stdin)
+                let framed = !inputs.is_empty() && inputs.iter().all(|&e| edge_framed[e]);
+                if framed {
+                    for &e in &outputs {
+                        edge_framed[e] = true;
+                    }
+                }
+                (PlanOp::Exec { argv: args, framed }, stdin)
             }
             NodeKind::Cat => (PlanOp::Cat, Vec::new()),
-            NodeKind::Split(kind) => (
-                PlanOp::Split {
-                    sized: *kind == SplitKind::Sized,
-                },
-                if inputs.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![0]
-                },
-            ),
-            NodeKind::Relay(kind) => (
-                PlanOp::Relay {
-                    blocking: *kind == EagerKind::Blocking,
-                },
-                if inputs.is_empty() {
-                    Vec::new()
-                } else {
-                    vec![0]
-                },
-            ),
+            NodeKind::Split(kind) => {
+                let mode = match kind {
+                    SplitKind::General => SplitMode::General,
+                    SplitKind::Sized => SplitMode::Sized,
+                    SplitKind::RoundRobin { framed } => SplitMode::RoundRobin { framed: *framed },
+                };
+                if matches!(mode, SplitMode::RoundRobin { framed: true }) {
+                    for &e in &outputs {
+                        edge_framed[e] = true;
+                    }
+                }
+                (
+                    PlanOp::Split { mode },
+                    if inputs.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![0]
+                    },
+                )
+            }
+            NodeKind::Relay(kind) => {
+                if inputs.iter().any(|&e| edge_framed[e]) {
+                    for &e in &outputs {
+                        edge_framed[e] = true;
+                    }
+                }
+                (
+                    PlanOp::Relay {
+                        blocking: *kind == EagerKind::Blocking,
+                    },
+                    if inputs.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![0]
+                    },
+                )
+            }
             NodeKind::Aggregate { argv } => (PlanOp::Aggregate { argv: argv.clone() }, Vec::new()),
         };
         let output_producer = outputs.iter().any(|&e| edges[e].to.is_none());
@@ -788,11 +1033,11 @@ mod tests {
         let comm = r
             .nodes
             .iter()
-            .find(|n| matches!(&n.op, PlanOp::Exec { argv } if argv.first() == Some(&Arg::Lit("comm".into()))))
+            .find(|n| matches!(&n.op, PlanOp::Exec { argv, .. } if argv.first() == Some(&Arg::Lit("comm".into()))))
             .expect("comm node");
         // `-` stays literal (stdin-routed); the static dict stays too.
         match &comm.op {
-            PlanOp::Exec { argv } => {
+            PlanOp::Exec { argv, .. } => {
                 assert!(argv.contains(&Arg::Lit("dict.txt".into())));
                 assert!(argv.contains(&Arg::Lit("-".into())));
             }
@@ -970,7 +1215,7 @@ mod tests {
         let comm = r
             .nodes
             .iter()
-            .find(|n| matches!(&n.op, PlanOp::Exec { argv } if argv.first() == Some(&Arg::Lit("comm".into()))))
+            .find(|n| matches!(&n.op, PlanOp::Exec { argv, .. } if argv.first() == Some(&Arg::Lit("comm".into()))))
             .expect("comm node");
         let spec = comm.spawn_spec();
         // `-` is stdin-routed, so the spec carries a stdin input and no

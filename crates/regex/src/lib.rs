@@ -134,11 +134,20 @@ impl Regex {
         case_insensitive: bool,
     ) -> Result<Regex, Error> {
         let mut hir = parser::parse(pattern, syntax)?;
+        // Literal extraction sees the *unfolded* parse: folding turns
+        // every letter into a two-branch class, which would discard
+        // the literals that make `grep -i` prefilterable. The
+        // extracted literals are lowercased and matched caselessly
+        // instead.
+        let lits = if case_insensitive {
+            literal::analyze_caseless(&hir)
+        } else {
+            literal::analyze(&hir)
+        };
         if case_insensitive {
             fold_hir(&mut hir);
         }
         let prog = compile::compile(&hir)?;
-        let lits = literal::analyze(&hir);
         let plan = Self::pick_plan(&lits);
         let (fwd, rev) = match plan {
             // The literal tier never needs an automaton for spans.
@@ -158,8 +167,13 @@ impl Regex {
 
     fn pick_plan(lits: &Literals) -> Plan {
         if let Some(exact) = &lits.exact {
+            let finder = if lits.caseless {
+                memmem::Finder::new_caseless(exact)
+            } else {
+                memmem::Finder::new(exact)
+            };
             return Plan::Literal {
-                finder: memmem::Finder::new(exact),
+                finder,
                 anchored_start: lits.anchored_start,
                 anchored_end: lits.anchored_end,
             };
@@ -442,11 +456,11 @@ impl Matcher {
         };
         let n = finder.needle().len();
         match (anchored_start, anchored_end) {
-            (true, true) => (start == 0 && hay == finder.needle()).then_some((0, n)),
+            (true, true) => (start == 0 && finder.matches(hay)).then_some((0, n)),
             (true, false) => {
-                (start == 0 && hay.len() >= n && &hay[..n] == finder.needle()).then_some((0, n))
+                (start == 0 && hay.len() >= n && finder.matches(&hay[..n])).then_some((0, n))
             }
-            (false, true) => (hay.len() >= n + start && &hay[hay.len() - n..] == finder.needle())
+            (false, true) => (hay.len() >= n + start && finder.matches(&hay[hay.len() - n..]))
                 .then(|| (hay.len() - n, hay.len())),
             (false, false) => finder
                 .find(&hay[start..])
@@ -510,6 +524,31 @@ mod tests {
         assert!(re.is_match(b"xAbCx"));
         let re = Regex::with_flags("[a-z]+", Syntax::Ere, true).expect("compile");
         assert_eq!(re.find(b"HELLO"), Some((0, 5)));
+    }
+
+    #[test]
+    fn case_insensitive_keeps_literal_tier() {
+        let re = Regex::with_flags("abc", Syntax::Ere, true).expect("compile");
+        assert!(matches!(re.inner.plan, Plan::Literal { .. }));
+        assert_eq!(re.find(b"xxABCyy"), Some((2, 5)));
+        assert_eq!(re.find(b"xxAbCyy"), Some((2, 5)));
+        assert_eq!(re.find(b"xxAbXyy"), None);
+        let re = Regex::with_flags("^Foo$", Syntax::Ere, true).expect("compile");
+        assert!(re.is_match(b"FOO"));
+        assert!(re.is_match(b"foo"));
+        assert!(!re.is_match(b"fooo"));
+    }
+
+    #[test]
+    fn case_insensitive_keeps_prefilter() {
+        // The point of the caseless literal path: `grep -i` patterns
+        // still prune non-candidate haystacks at memchr speed.
+        let re = Regex::with_flags("foo[0-9]+bar", Syntax::Ere, true).expect("compile");
+        let m = re.matcher();
+        assert!(m.has_candidate_filter());
+        assert_eq!(m.candidate(b"nothing here"), None);
+        assert!(m.candidate(b"xx FOO1BAR yy").is_some());
+        assert_eq!(re.find(b"xx FoO42bAr yy"), Some((3, 11)));
     }
 
     #[test]

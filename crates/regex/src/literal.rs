@@ -35,6 +35,9 @@ pub struct Literals {
     pub prefix: Vec<u8>,
     /// Maximal byte runs contained in every match.
     pub required: Vec<Vec<u8>>,
+    /// Literals are ASCII case-insensitive (stored lowercased): every
+    /// match contains some case-variant of each required run.
+    pub caseless: bool,
 }
 
 /// Per-subexpression facts, composed bottom-up.
@@ -65,10 +68,34 @@ impl Lits {
     }
 }
 
-/// Analyzes a (case-folded, if applicable) pattern.
+/// Analyzes a case-sensitive pattern.
 pub fn analyze(hir: &Hir) -> Literals {
+    analyze_with(hir, false)
+}
+
+/// Analyzes a pattern that will be matched ASCII case-insensitively.
+///
+/// Pass the **unfolded** parse: folding rewrites every letter into a
+/// two-branch class, which destroys the literal structure this pass
+/// extracts. The returned literals are lowercased and flagged
+/// `caseless`, so downstream prefilters compare case-insensitively —
+/// this is what keeps a prefilter on `grep -i` patterns.
+pub fn analyze_caseless(hir: &Hir) -> Literals {
+    analyze_with(hir, true)
+}
+
+fn analyze_with(hir: &Hir, caseless: bool) -> Literals {
     let (anchored_start, anchored_end, body) = strip_anchors(hir);
-    let l = lits(body.as_ref().unwrap_or(&Hir::Empty));
+    let mut l = lits(body.as_ref().unwrap_or(&Hir::Empty));
+    if caseless {
+        if let Some(e) = l.exact.as_mut() {
+            e.make_ascii_lowercase();
+        }
+        l.prefix.make_ascii_lowercase();
+        for r in l.required.iter_mut() {
+            r.make_ascii_lowercase();
+        }
+    }
     let mut required = l.required;
     if !l.prefix.is_empty() {
         required.push(l.prefix.clone());
@@ -82,6 +109,7 @@ pub fn analyze(hir: &Hir) -> Literals {
         anchored_end,
         prefix: l.prefix,
         required,
+        caseless,
     }
 }
 
@@ -275,8 +303,10 @@ impl Prefilter {
             return None;
         }
         let is_prefix = !lit.prefix.is_empty() && best.as_slice() == lit.prefix.as_slice();
-        let pf = if best.len() == 1 {
+        let pf = if best.len() == 1 && !(lit.caseless && best[0].is_ascii_alphabetic()) {
             Prefilter::Byte(best[0])
+        } else if lit.caseless {
+            Prefilter::Lit(Finder::new_caseless(best))
         } else {
             Prefilter::Lit(Finder::new(best))
         };
@@ -429,12 +459,41 @@ mod tests {
     }
 
     #[test]
-    fn case_folded_pattern_loses_alpha_literals() {
-        let mut hir = parse("abc", Syntax::Ere).expect("parse");
-        super::super::fold_hir(&mut hir);
-        let l = analyze(&hir);
-        assert_eq!(l.exact, None);
-        assert!(l.required.is_empty());
+    fn caseless_analysis_keeps_alpha_literals() {
+        // The folded HIR turns letters into two-branch classes, so
+        // folding *before* analysis would lose these literals; the
+        // caseless analysis runs on the unfolded parse instead.
+        let hir = parse("abc[0-9]+TAIL", Syntax::Ere).expect("parse");
+        let l = analyze_caseless(&hir);
+        assert!(l.caseless);
+        assert_eq!(l.prefix, b"abc");
+        assert!(l.required.iter().any(|r| r == b"tail"));
+        let (pf, _) = Prefilter::from_literals(&l).expect("prefilter");
+        assert_eq!(pf.len(), 4);
+        assert!(pf.find(b"xx TaIl yy").is_some());
+        assert_eq!(pf.find(b"nothing of note"), None);
+    }
+
+    #[test]
+    fn caseless_exact_pattern_stays_exact() {
+        let hir = parse("FooBar", Syntax::Ere).expect("parse");
+        let l = analyze_caseless(&hir);
+        assert_eq!(l.exact.as_deref(), Some(&b"foobar"[..]));
+    }
+
+    #[test]
+    fn caseless_single_letter_avoids_plain_memchr() {
+        // A one-letter caseless literal must probe both cases.
+        let hir = parse("x[0-9]*", Syntax::Ere).expect("parse");
+        let l = analyze_caseless(&hir);
+        let (pf, _) = Prefilter::from_literals(&l).expect("prefilter");
+        assert!(matches!(pf, Prefilter::Lit(_)));
+        assert_eq!(pf.find(b"aaXbb"), Some(2));
+        // Non-alphabetic single bytes keep the plain memchr tier.
+        let hir = parse("%[0-9]*", Syntax::Ere).expect("parse");
+        let l = analyze_caseless(&hir);
+        let (pf, _) = Prefilter::from_literals(&l).expect("prefilter");
+        assert!(matches!(pf, Prefilter::Byte(b'%')));
     }
 
     #[test]

@@ -52,6 +52,32 @@ pub fn memchr(b: u8, hay: &[u8]) -> Option<usize> {
     hay[i..].iter().position(|&h| h == b).map(|j| i + j)
 }
 
+/// Finds the first occurrence of either byte in `hay` (one pass, two
+/// SWAR tests per word). The caseless prefilter's probe: scan for
+/// both cases of an ASCII letter at `memchr` speed.
+#[inline]
+pub fn memchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let pa = splat(a);
+    let pb = splat(b);
+    let mut i = 0;
+    while i + WORD <= hay.len() {
+        let w = load_word(hay, i);
+        if has_zero_byte(w ^ pa) || has_zero_byte(w ^ pb) {
+            for (j, &h) in hay[i..i + WORD].iter().enumerate() {
+                if h == a || h == b {
+                    return Some(i + j);
+                }
+            }
+            unreachable!("word test claimed a match");
+        }
+        i += WORD;
+    }
+    hay[i..]
+        .iter()
+        .position(|&h| h == a || h == b)
+        .map(|j| i + j)
+}
+
 /// Finds the last occurrence of byte `b` in `hay`.
 #[inline]
 pub fn memrchr(b: u8, hay: &[u8]) -> Option<usize> {
@@ -124,6 +150,11 @@ fn rarity(b: u8) -> u8 {
 /// probe byte, then verify the full needle. On mismatch-dominated
 /// haystacks (the `grep` common case) the word-at-a-time `memchr`
 /// does nearly all the work.
+///
+/// A *caseless* finder (see [`Finder::new_caseless`]) stores the
+/// needle lowercased, probes for both cases of an ASCII letter via
+/// [`memchr2`], and verifies windows with `eq_ignore_ascii_case` —
+/// so `grep -i` patterns keep a word-at-a-time prefilter.
 #[derive(Debug, Clone)]
 pub struct Finder {
     needle: Vec<u8>,
@@ -131,11 +162,23 @@ pub struct Finder {
     rare1: usize,
     /// Offset of the second-rarest byte (the confirm probe).
     rare2: usize,
+    /// Match ASCII case-insensitively.
+    caseless: bool,
 }
 
 impl Finder {
     /// Builds a searcher for `needle`.
     pub fn new(needle: &[u8]) -> Finder {
+        Finder::build(needle.to_vec(), false)
+    }
+
+    /// Builds an ASCII case-insensitive searcher (the needle is
+    /// normalized to lowercase).
+    pub fn new_caseless(needle: &[u8]) -> Finder {
+        Finder::build(needle.to_ascii_lowercase(), true)
+    }
+
+    fn build(needle: Vec<u8>, caseless: bool) -> Finder {
         let mut rare1 = 0usize;
         let mut rare2 = 0usize;
         for (i, &b) in needle.iter().enumerate() {
@@ -147,15 +190,47 @@ impl Finder {
             }
         }
         Finder {
-            needle: needle.to_vec(),
+            needle,
             rare1,
             rare2,
+            caseless,
         }
     }
 
-    /// The needle being searched for.
+    /// The needle being searched for (lowercased when caseless).
     pub fn needle(&self) -> &[u8] {
         &self.needle
+    }
+
+    /// Whether this finder matches ASCII case-insensitively.
+    pub fn is_caseless(&self) -> bool {
+        self.caseless
+    }
+
+    /// Whether `window` equals the needle under this finder's
+    /// comparison (used by the anchored literal tier).
+    #[inline]
+    pub fn matches(&self, window: &[u8]) -> bool {
+        if self.caseless {
+            window.eq_ignore_ascii_case(&self.needle)
+        } else {
+            window == self.needle.as_slice()
+        }
+    }
+
+    /// Scans for the probe byte, honoring caselessness.
+    #[inline]
+    fn probe(&self, b: u8, hay: &[u8]) -> Option<usize> {
+        if self.caseless && b.is_ascii_lowercase() {
+            memchr2(b, b.to_ascii_uppercase(), hay)
+        } else {
+            memchr(b, hay)
+        }
+    }
+
+    #[inline]
+    fn byte_eq(&self, h: u8, n: u8) -> bool {
+        h == n || (self.caseless && h.eq_ignore_ascii_case(&n))
     }
 
     /// Finds the first occurrence of the needle in `hay`.
@@ -166,7 +241,7 @@ impl Finder {
             return Some(0);
         }
         if n.len() == 1 {
-            return memchr(n[0], hay);
+            return self.probe(n[0], hay);
         }
         if n.len() > hay.len() {
             return None;
@@ -179,12 +254,14 @@ impl Finder {
         let mut at = self.rare1;
         let last = hay.len() - n.len() + self.rare1;
         while at <= last {
-            match memchr(probe1, &hay[at..=last]) {
+            match self.probe(probe1, &hay[at..=last]) {
                 None => return None,
                 Some(off) => {
                     let i = at + off;
                     let start = i - self.rare1;
-                    if hay[start + self.rare2] == probe2 && &hay[start..start + n.len()] == n {
+                    if self.byte_eq(hay[start + self.rare2], probe2)
+                        && self.matches(&hay[start..start + n.len()])
+                    {
                         return Some(start);
                     }
                     at = i + 1;
@@ -309,6 +386,44 @@ mod tests {
             let hay = b"eeeeeeeee%eeeeeeeee";
             let expect = hay.windows(needle.len()).position(|w| w == needle);
             assert_eq!(f.find(hay), expect, "needle {needle:?}");
+        }
+    }
+
+    #[test]
+    fn memchr2_finds_either_byte() {
+        let hay = b"xxxxxxxxxxxxXyxxxxx";
+        assert_eq!(memchr2(b'X', b'y', hay), Some(12));
+        assert_eq!(memchr2(b'y', b'X', hay), Some(12));
+        assert_eq!(memchr2(b'q', b'Q', hay), None);
+        assert_eq!(memchr2(b'a', b'b', b""), None);
+        // Tail (sub-word) path.
+        assert_eq!(memchr2(b'c', b'C', b"abC"), Some(2));
+    }
+
+    #[test]
+    fn caseless_finder_matches_any_case() {
+        let f = Finder::new_caseless(b"NeEdLe");
+        assert!(f.is_caseless());
+        assert_eq!(f.needle(), b"needle");
+        assert_eq!(f.find(b"haystack with a NEEDLE in it"), Some(16));
+        assert_eq!(f.find(b"haystack with a needle in it"), Some(16));
+        assert_eq!(f.find(b"haystack with a nEeDlE in it"), Some(16));
+        assert_eq!(f.find(b"no such thing"), None);
+        assert!(f.matches(b"NEEDLE"));
+        assert!(!f.matches(b"NEEDLES"));
+    }
+
+    #[test]
+    fn caseless_finder_agrees_with_naive_fold() {
+        let hay: Vec<u8> = (0..500u32)
+            .map(|i| b"aBcDeFg \n"[(i * 7 % 9) as usize])
+            .collect();
+        for needle in [&b"ab"[..], b"CDEF", b"g \nA", b"zzz", b"A", b"%"] {
+            let f = Finder::new_caseless(needle);
+            let naive = hay
+                .windows(needle.len())
+                .position(|w| w.eq_ignore_ascii_case(&needle.to_ascii_lowercase()));
+            assert_eq!(f.find(&hay), naive, "needle {needle:?}");
         }
     }
 

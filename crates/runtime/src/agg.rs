@@ -10,6 +10,7 @@
 //! in bulk with borrowed line slices — instead of per-line `BufRead`
 //! calls (the `agg` series in the dataplane bench tracks this path).
 
+use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
@@ -19,6 +20,7 @@ use pash_coreutils::fs::Fs;
 use pash_coreutils::lines::write_line;
 use pash_coreutils::Registry;
 
+use crate::frame::FrameReader;
 use crate::scan::LineScanner;
 
 /// A boxed ordered input stream.
@@ -46,6 +48,7 @@ pub fn run_aggregator(
         "pash-agg-sum" => agg_sum(inputs, output),
         "pash-agg-tac" => agg_tac(inputs, output),
         "pash-agg-bigram" => agg_bigram(inputs, output),
+        "pash-agg-reorder" => agg_reorder(inputs, output),
         // Re-applied commands (e.g. `head -n 1`) run over the ordered
         // concatenation of the inputs.
         _ => {
@@ -386,6 +389,62 @@ fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> 
     Ok(0)
 }
 
+/// `pash-agg-reorder`: strips `r_split` frames and writes payloads
+/// back in tag order.
+///
+/// The splitter deals tag `t` to worker `t mod k` and framed workers
+/// emit exactly one output frame per input frame, so input `i`
+/// carries tags `i, i+k, i+2k, …` in order. Reading by rotation keeps
+/// the reorder buffer bounded: at most `k − 1` blocks are pending at
+/// any time on a conforming stream. Off-contract arrivals (any tag
+/// permutation, early EOFs) still produce tag-sorted output — they
+/// just buffer more.
+fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    let mut readers: Vec<Option<FrameReader<AggInput>>> = inputs
+        .into_iter()
+        .map(|i| Some(FrameReader::new(i)))
+        .collect();
+    let k = readers.len();
+    if k == 0 {
+        return Ok(0);
+    }
+    let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut next: u64 = 0;
+    let mut live = k;
+    while live > 0 {
+        // Pull from the input that owns the next expected tag; once
+        // it is exhausted, drain whichever input is still live.
+        let owner = (next % k as u64) as usize;
+        let pick = if readers[owner].is_some() {
+            owner
+        } else {
+            readers
+                .iter()
+                .position(|r| r.is_some())
+                .expect("a live reader while live > 0")
+        };
+        match readers[pick].as_mut().expect("picked live").next_frame()? {
+            Some((tag, payload)) => {
+                pending.insert(tag, payload);
+            }
+            None => {
+                readers[pick] = None;
+                live -= 1;
+            }
+        }
+        while let Some(payload) = pending.remove(&next) {
+            output.write_all(&payload)?;
+            next += 1;
+        }
+    }
+    // Tags with gaps before them (off-contract) flush at EOF, still
+    // in order — bytes are never dropped silently.
+    for payload in pending.into_values() {
+        output.write_all(&payload)?;
+    }
+    Ok(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -558,6 +617,108 @@ mod tests {
             run(&["pash-agg-sort"], &["x\nx\n", "x\n", "x\nx\n"]),
             "x\nx\nx\nx\nx\n"
         );
+    }
+
+    /// Builds one framed input from (tag, payload) pairs in the given
+    /// arrival order.
+    fn framed_input(frames: &[(u64, &str)]) -> AggInput {
+        let mut buf = Vec::new();
+        for (tag, payload) in frames {
+            crate::frame::write_frame(&mut buf, *tag, payload.as_bytes()).expect("frame");
+        }
+        Box::new(io::Cursor::new(buf))
+    }
+
+    fn run_reorder(inputs: Vec<AggInput>) -> String {
+        let mut out = Vec::new();
+        let reg = Registry::standard();
+        run_aggregator(
+            &["pash-agg-reorder".to_string()],
+            inputs,
+            &mut out,
+            &reg,
+            Arc::new(MemFs::new()),
+        )
+        .expect("reorder");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn reorder_restores_rotation_order() {
+        // The conforming shape: tag t on input t % k.
+        let inputs = vec![
+            framed_input(&[(0, "a\n"), (3, "d\n")]),
+            framed_input(&[(1, "b\n"), (4, "e\n")]),
+            framed_input(&[(2, "c\n")]),
+        ];
+        assert_eq!(run_reorder(inputs), "a\nb\nc\nd\ne\n");
+    }
+
+    #[test]
+    fn reorder_handles_uneven_and_empty_inputs() {
+        let inputs = vec![
+            framed_input(&[(0, "a\n"), (2, "c\n"), (4, "e\n")]),
+            framed_input(&[]),
+            framed_input(&[(1, "b\n"), (3, "d\n")]),
+        ];
+        assert_eq!(run_reorder(inputs), "a\nb\nc\nd\ne\n");
+    }
+
+    #[test]
+    fn reorder_empty_payloads_vanish() {
+        // A worker that filtered everything out still emits its frame.
+        let inputs = vec![
+            framed_input(&[(0, ""), (2, "c\n")]),
+            framed_input(&[(1, "b\n")]),
+        ];
+        assert_eq!(run_reorder(inputs), "b\nc\n");
+    }
+
+    #[test]
+    fn reorder_no_inputs_is_empty() {
+        assert_eq!(run_reorder(Vec::new()), "");
+    }
+
+    mod reorder_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            // For ANY arrival permutation of tags across any fan-in,
+            // the reorderer emits payloads in tag order.
+            #[test]
+            fn prop_reorder_restores_any_permutation(
+                n in 0usize..40,
+                k in 1usize..6,
+                seed in 0u64..(1u64 << 48),
+            ) {
+                // Seeded Fisher–Yates over the tag sequence.
+                let mut order: Vec<u64> = (0..n as u64).collect();
+                let mut s = seed | 1;
+                for i in (1..order.len()).rev() {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let j = (s >> 33) as usize % (i + 1);
+                    order.swap(i, j);
+                }
+                // Deal the permuted arrivals round-robin to k inputs.
+                let mut per_input: Vec<Vec<(u64, String)>> = vec![Vec::new(); k];
+                for (j, &tag) in order.iter().enumerate() {
+                    per_input[j % k].push((tag, format!("line-{tag}\n")));
+                }
+                let inputs: Vec<AggInput> = per_input
+                    .iter()
+                    .map(|frames| {
+                        let refs: Vec<(u64, &str)> =
+                            frames.iter().map(|(t, p)| (*t, p.as_str())).collect();
+                        framed_input(&refs)
+                    })
+                    .collect();
+                let expected: String = (0..n as u64).map(|t| format!("line-{t}\n")).collect();
+                prop_assert_eq!(run_reorder(inputs), expected);
+            }
+        }
     }
 
     mod merge_props {

@@ -27,13 +27,15 @@
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
+use pash_core::plan::fold_statuses;
 use pash_coreutils::fs::{Fs, RealFs};
 use pash_coreutils::{run_standalone, Registry};
 
 use crate::agg::run_aggregator;
 use crate::fileseg::read_segment;
+use crate::frame::{write_frame, FrameReader};
 use crate::relay::{run_relay, RelayMode};
-use crate::split::split_general;
+use crate::split::{split_general, split_round_robin};
 
 /// Which name table wins when a name exists in both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,13 +46,17 @@ pub enum Personality {
     Runtime,
 }
 
-/// Leading `--stdin PATH` / `--stdout PATH` / `--in PATH` redirections.
+/// Leading `--stdin PATH` / `--stdout PATH` / `--in PATH` redirections
+/// plus the valueless `--framed` worker-mode flag.
 #[derive(Debug, Default)]
 struct Redirections {
     stdin: Option<String>,
     stdout: Option<String>,
     /// Ordered input operands for the `agg` subcommand.
     ins: Vec<String>,
+    /// Run the command once per tagged input block, re-framing its
+    /// output under the same tag (the `r_split` worker mode).
+    framed: bool,
 }
 
 impl Redirections {
@@ -60,6 +66,11 @@ impl Redirections {
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
+            if flag == "--framed" {
+                redir.framed = true;
+                i += 1;
+                continue;
+            }
             if !matches!(flag, "--stdin" | "--stdout" | "--in") {
                 break;
             }
@@ -96,7 +107,8 @@ impl Redirections {
 
 /// Whether `name` is a runtime primitive.
 fn is_runtime_name(name: &str) -> bool {
-    matches!(name, "eager" | "split" | "fileseg" | "agg") || name.starts_with("pash-agg-")
+    matches!(name, "eager" | "split" | "r_split" | "fileseg" | "agg")
+        || name.starts_with("pash-agg-")
 }
 
 /// Runs one multi-call invocation; returns the exit status.
@@ -110,7 +122,7 @@ pub fn run_multicall(personality: Personality, args: &[String]) -> io::Result<i3
         None => {
             eprintln!("usage: pashc|pash-rt [--stdin PATH] [--stdout PATH] COMMAND [ARGS…]");
             eprintln!(
-                "commands: {} + eager split fileseg pash-agg-*",
+                "commands: {} + eager split r_split fileseg pash-agg-*",
                 Registry::standard().names().join(" ")
             );
             return Ok(2);
@@ -124,11 +136,53 @@ pub fn run_multicall(personality: Personality, args: &[String]) -> io::Result<i3
     let registry_hit = registry.get(name).is_some();
     if runtime_hit && (runtime_first || !registry_hit) {
         run_runtime(name, rest, &redir, &registry, fs)
+    } else if redir.framed {
+        run_framed_command(name, rest, &redir, &registry, fs)
     } else {
         let mut stdin = io::BufReader::new(redir.open_stdin()?);
         let mut stdout = redir.open_stdout()?;
         run_standalone(&registry, fs, name, rest, &mut stdin, &mut stdout)
     }
+}
+
+/// The `--framed` worker mode: run the command once per tagged input
+/// block, emitting its output as one same-tagged block, so order
+/// survives to the downstream `pash-agg-reorder`. The exit status
+/// folds the per-block statuses like a parallel region does.
+fn run_framed_command(
+    name: &str,
+    rest: &[String],
+    redir: &Redirections,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+) -> io::Result<i32> {
+    let mut frames = FrameReader::new(redir.open_stdin()?);
+    let mut out = redir.open_stdout()?;
+    let mut statuses = Vec::new();
+    while let Some((tag, payload)) = frames.next_frame()? {
+        let mut stdin = io::Cursor::new(payload);
+        let mut buf = Vec::new();
+        statuses.push(run_standalone(
+            registry,
+            fs.clone(),
+            name,
+            rest,
+            &mut stdin,
+            &mut buf,
+        )?);
+        write_frame(&mut out, tag, &buf)?;
+    }
+    if statuses.is_empty() {
+        // No blocks reached this worker: run once on empty input for
+        // the status, emit nothing.
+        let mut stdin = io::empty();
+        let mut sink = Vec::new();
+        statuses.push(run_standalone(
+            registry, fs, name, rest, &mut stdin, &mut sink,
+        )?);
+    }
+    out.flush()?;
+    Ok(fold_statuses(&statuses))
 }
 
 /// Runs a runtime primitive.
@@ -166,6 +220,23 @@ fn run_runtime(
             }
             let mut input = io::BufReader::new(redir.open_stdin()?);
             split_general(&mut input, &mut writers)?;
+            Ok(0)
+        }
+        "r_split" => {
+            let raw = rest.iter().any(|a| a == "--raw");
+            let outputs: Vec<&String> = rest.iter().filter(|a| !a.starts_with("--")).collect();
+            if outputs.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "r_split needs output paths",
+                ));
+            }
+            let mut writers: Vec<Box<dyn Write + Send>> = Vec::new();
+            for o in &outputs {
+                writers.push(fs.create(o)?);
+            }
+            let mut input = io::BufReader::new(redir.open_stdin()?);
+            split_round_robin(&mut input, &mut writers, !raw)?;
             Ok(0)
         }
         "fileseg" => {
@@ -327,12 +398,34 @@ mod tests {
 
     #[test]
     fn runtime_names_recognized() {
-        for n in ["eager", "split", "fileseg", "pash-agg-sort", "pash-agg-wc"] {
+        for n in [
+            "eager",
+            "split",
+            "r_split",
+            "fileseg",
+            "pash-agg-sort",
+            "pash-agg-wc",
+            "pash-agg-reorder",
+        ] {
             assert!(is_runtime_name(n), "{n}");
         }
         for n in ["cat", "sort", "head", "pashagg", "split2"] {
             assert!(!is_runtime_name(n), "{n}");
         }
+    }
+
+    #[test]
+    fn framed_flag_parses_with_redirections() {
+        let args = s(&["--framed", "--stdin", "a", "--stdout", "b", "grep", "x"]);
+        let (redir, rest) = Redirections::parse(&args).expect("parse");
+        assert!(redir.framed);
+        assert_eq!(redir.stdin.as_deref(), Some("a"));
+        assert_eq!(rest, &s(&["grep", "x"])[..]);
+        // Redirections first, flag after — order must not matter.
+        let args = s(&["--stdin", "a", "--framed", "grep", "x"]);
+        let (redir, rest) = Redirections::parse(&args).expect("parse");
+        assert!(redir.framed);
+        assert_eq!(rest, &s(&["grep", "x"])[..]);
     }
 
     #[test]

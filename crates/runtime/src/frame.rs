@@ -1,0 +1,133 @@
+//! The tagged-block stream format behind `r_split` (order-aware
+//! round-robin distribution).
+//!
+//! A framed stream is a sequence of records:
+//!
+//! ```text
+//! +------+----------------+----------------+---------------+
+//! | \x01RSB | tag: u64 LE | len: u32 LE    | payload (len) |
+//! +------+----------------+----------------+---------------+
+//! ```
+//!
+//! Tags are assigned by the splitter in input order (0, 1, 2, …) and
+//! travel with the block through any number of stateless stages; the
+//! reordering aggregator (`pash-agg-reorder`) strips the frames and
+//! writes payloads back in tag order. The 4-byte magic guards against
+//! a raw stream being fed to a frame consumer (or vice versa): the
+//! first byte is `\x01`, which never starts a text line produced by
+//! the supported commands.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: `\x01RSB` ("round-robin split block").
+pub const MAGIC: [u8; 4] = [0x01, b'R', b'S', b'B'];
+/// Fixed header length: magic + u64 tag + u32 payload length.
+pub const HEADER_LEN: usize = 16;
+
+/// Writes one frame. A broken pipe is reported as such (callers that
+/// tolerate early-exiting consumers map it to "abandoned").
+pub fn write_frame(out: &mut dyn Write, tag: u64, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&MAGIC);
+    header[4..12].copy_from_slice(&tag.to_le_bytes());
+    header[12..16].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.write_all(&header)?;
+    out.write_all(payload)
+}
+
+/// Reads frames off a byte stream.
+pub struct FrameReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a reader.
+    pub fn new(inner: R) -> Self {
+        FrameReader { inner }
+    }
+
+    /// Reads the next frame, `None` at a clean end-of-stream. A
+    /// truncated header or payload, or a bad magic, is an
+    /// `InvalidData` error — silent tail loss would corrupt the
+    /// reordered output undetectably.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u64, Vec<u8>)>> {
+        let mut header = [0u8; HEADER_LEN];
+        let mut got = 0;
+        while got < HEADER_LEN {
+            let n = self.inner.read(&mut header[got..])?;
+            if n == 0 {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "truncated frame header",
+                ));
+            }
+            got += n;
+        }
+        if header[..4] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad frame magic (raw bytes on a framed stream?)",
+            ));
+        }
+        let tag = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        let mut payload = vec![0u8; len];
+        self.inner.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                io::Error::new(io::ErrorKind::InvalidData, "truncated frame payload")
+            } else {
+                e
+            }
+        })?;
+        Ok(Some((tag, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_tags_and_payloads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, b"alpha\n").expect("write");
+        write_frame(&mut buf, 7, b"").expect("write");
+        write_frame(&mut buf, 2, b"beta\ngamma\n").expect("write");
+        let mut r = FrameReader::new(io::Cursor::new(buf));
+        assert_eq!(
+            r.next_frame().expect("frame"),
+            Some((0, b"alpha\n".to_vec()))
+        );
+        assert_eq!(r.next_frame().expect("frame"), Some((7, Vec::new())));
+        assert_eq!(
+            r.next_frame().expect("frame"),
+            Some((2, b"beta\ngamma\n".to_vec()))
+        );
+        assert_eq!(r.next_frame().expect("eof"), None);
+    }
+
+    #[test]
+    fn bad_magic_is_invalid_data() {
+        let mut r = FrameReader::new(io::Cursor::new(b"hello world, not a frame".to_vec()));
+        let err = r.next_frame().expect_err("bad magic");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"full payload").expect("write");
+        buf.truncate(buf.len() - 3);
+        let mut r = FrameReader::new(io::Cursor::new(buf));
+        let err = r.next_frame().expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let mut half_header = vec![0x01, b'R', b'S'];
+        half_header.truncate(3);
+        let mut r = FrameReader::new(io::Cursor::new(half_header));
+        let err = r.next_frame().expect_err("truncated header");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

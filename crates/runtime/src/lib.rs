@@ -41,6 +41,7 @@ pub mod cli;
 pub mod edge;
 pub mod exec;
 pub mod fileseg;
+pub mod frame;
 pub mod pipe;
 pub mod proc;
 pub mod relay;

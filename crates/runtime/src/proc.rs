@@ -31,8 +31,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pash_core::plan::{
-    Backend, EndpointKind, ExecutionPlan, PlanEdgeId, PlanNodeId, PlanStep, RegionPlan, SpawnBin,
-    SpawnWord,
+    fold_statuses, Backend, EndpointKind, ExecutionPlan, PlanEdgeId, PlanNodeId, PlanStep,
+    RegionPlan, SpawnBin, SpawnWord,
 };
 
 use crate::edge::FifoDir;
@@ -51,6 +51,11 @@ pub struct ProcConfig {
     /// How long to wait after `SIGPIPE` before escalating teardown to
     /// `SIGKILL`.
     pub kill_grace: Duration,
+    /// Maximum number of independent regions in flight at once. The
+    /// default of 1 executes steps strictly in plan order; larger
+    /// values let non-conflicting regions (per
+    /// [`ExecutionPlan::parallel_waves`]) overlap.
+    pub max_inflight: usize,
 }
 
 impl ProcConfig {
@@ -63,6 +68,7 @@ impl ProcConfig {
             pash_rt: locate_bin("pash-rt", "PASH_RT")?,
             scratch: None,
             kill_grace: Duration::from_secs(2),
+            max_inflight: 1,
         })
     }
 }
@@ -157,53 +163,139 @@ pub fn run_plan(
     root: &Path,
     stdin: Vec<u8>,
 ) -> io::Result<ProgramOutput> {
-    let mut stdout = Vec::new();
-    let mut status = 0;
-    let mut stdin = Some(stdin);
-    let mut skip_next = false;
-    for step in &plan.steps {
-        match step {
-            PlanStep::Guard(cond) => {
-                skip_next = !cond.admits(status);
-            }
-            PlanStep::Region(r) => {
-                if std::mem::take(&mut skip_next) {
-                    continue;
+    let mut st = PlanState {
+        stdout: Vec::new(),
+        status: 0,
+        stdin: Some(stdin),
+        skip_next: false,
+    };
+    if cfg.max_inflight > 1 {
+        for wave in plan.parallel_waves() {
+            if wave.len() > 1 && !st.skip_next {
+                run_plan_wave(plan, &wave, cfg, root, &mut st)?;
+            } else {
+                for &i in &wave {
+                    run_plan_step(&plan.steps[i], cfg, root, &mut st)?;
                 }
-                // Only a stdin-consuming region takes the bytes; the
-                // emitted script keeps real stdin on a saved fd, so a
-                // later reader still sees it.
-                let feed = if r.reads_stdin() {
-                    stdin.take().unwrap_or_default()
-                } else {
-                    Vec::new()
-                };
-                let out = run_region(r, cfg, root, feed)?;
-                status = out.status();
-                stdout.extend_from_slice(&out.stdout);
-            }
-            PlanStep::Shell { text, data_noop } => {
-                if std::mem::take(&mut skip_next) {
-                    continue;
-                }
-                if *data_noop {
-                    // Folded into the compile-time environment already.
-                    status = 0;
-                    continue;
-                }
-                let out = Command::new("/bin/sh")
-                    .arg("-c")
-                    .arg(text)
-                    .current_dir(root)
-                    .stdin(Stdio::null())
-                    .output()?;
-                stdout.extend_from_slice(&out.stdout);
-                io::stderr().write_all(&out.stderr)?;
-                status = exit_code(out.status);
             }
         }
+    } else {
+        for step in &plan.steps {
+            run_plan_step(step, cfg, root, &mut st)?;
+        }
     }
-    Ok(ProgramOutput { stdout, status })
+    Ok(ProgramOutput {
+        stdout: st.stdout,
+        status: st.status,
+    })
+}
+
+/// Mutable interpreter state threaded through steps.
+struct PlanState {
+    stdout: Vec<u8>,
+    status: i32,
+    stdin: Option<Vec<u8>>,
+    skip_next: bool,
+}
+
+/// Executes one plan step sequentially.
+fn run_plan_step(
+    step: &PlanStep,
+    cfg: &ProcConfig,
+    root: &Path,
+    st: &mut PlanState,
+) -> io::Result<()> {
+    match step {
+        PlanStep::Guard(cond) => {
+            st.skip_next = !cond.admits(st.status);
+        }
+        PlanStep::Region(r) => {
+            if std::mem::take(&mut st.skip_next) {
+                return Ok(());
+            }
+            // Only a stdin-consuming region takes the bytes; the
+            // emitted script keeps real stdin on a saved fd, so a
+            // later reader still sees it.
+            let feed = if r.reads_stdin() {
+                st.stdin.take().unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            let out = run_region(r, cfg, root, feed)?;
+            st.status = out.status();
+            st.stdout.extend_from_slice(&out.stdout);
+        }
+        PlanStep::Shell { text, data_noop } => {
+            if std::mem::take(&mut st.skip_next) {
+                return Ok(());
+            }
+            if *data_noop {
+                // Folded into the compile-time environment already.
+                st.status = 0;
+                return Ok(());
+            }
+            let out = Command::new("/bin/sh")
+                .arg("-c")
+                .arg(text)
+                .current_dir(root)
+                .stdin(Stdio::null())
+                .output()?;
+            st.stdout.extend_from_slice(&out.stdout);
+            io::stderr().write_all(&out.stderr)?;
+            st.status = exit_code(out.status);
+        }
+    }
+    Ok(())
+}
+
+/// Runs a wave of mutually independent regions as concurrent process
+/// trees, at most `max_inflight` at a time, applying outputs and the
+/// final status in step order (see
+/// [`crate::exec`]'s threaded equivalent for the ordering argument).
+fn run_plan_wave(
+    plan: &ExecutionPlan,
+    wave: &[usize],
+    cfg: &ProcConfig,
+    root: &Path,
+    st: &mut PlanState,
+) -> io::Result<()> {
+    for chunk in wave.chunks(cfg.max_inflight.max(1)) {
+        let mut jobs: Vec<(usize, &RegionPlan, Vec<u8>)> = Vec::with_capacity(chunk.len());
+        for &i in chunk {
+            let PlanStep::Region(r) = &plan.steps[i] else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "non-region step in a parallel wave",
+                ));
+            };
+            let feed = if r.reads_stdin() {
+                st.stdin.take().unwrap_or_default()
+            } else {
+                Vec::new()
+            };
+            jobs.push((i, r, feed));
+        }
+        let mut results: Vec<(usize, io::Result<RegionOutput>)> = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(i, r, feed)| {
+                    let cfg = cfg.clone();
+                    scope.spawn(move || (i, run_region(r, &cfg, root, feed)))
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("region thread"));
+            }
+        });
+        results.sort_by_key(|(i, _)| *i);
+        for (_, res) in results {
+            let out = res?;
+            st.status = out.status();
+            st.stdout.extend_from_slice(&out.stdout);
+        }
+    }
+    Ok(())
 }
 
 /// The name a plan edge gets when it appears in a child's argv.
@@ -406,6 +498,28 @@ fn spawn_and_reap(
         }
     }
 
+    // Then the status sources — the real commands behind the output,
+    // whose folded statuses reproduce the sequential verdict (the
+    // emitted script's `pash_spids` loop). Producers finishing
+    // implies their upstream sources have finished, so these waits
+    // cannot block on a still-streaming child.
+    let sources = r.status_sources();
+    let mut source_statuses: Vec<(PlanNodeId, i32)> = Vec::new();
+    for &id in &sources {
+        if waited[id] {
+            let s = producer_statuses
+                .iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, s)| *s)
+                .unwrap_or(0);
+            source_statuses.push((id, s));
+        } else {
+            let st = children[id].wait()?;
+            waited[id] = true;
+            source_statuses.push((id, exit_code(st)));
+        }
+    }
+
     // Deliver PIPE to everything still running (`kill -s PIPE`, the
     // §5.2 dangling-FIFO fix), then reap with a bounded grace.
     for (id, child) in children.iter().enumerate() {
@@ -449,10 +563,16 @@ fn spawn_and_reap(
         stdout.extend_from_slice(&d.join().unwrap_or_default());
     }
 
-    // A region's status is its final producer's status, matching
-    // `wait $pash_out_pids`.
-    let status = producer_statuses.last().map(|(_, s)| *s).unwrap_or(0);
+    // A region's status folds its source statuses — exactly what the
+    // emitted script computes after `wait $pash_out_pids`.
+    let folded: Vec<i32> = source_statuses.iter().map(|(_, s)| *s).collect();
+    let status = fold_statuses(&folded);
     let mut statuses = other_statuses;
+    for (id, s) in source_statuses {
+        if !producer_statuses.iter().any(|(n, _)| *n == id) {
+            statuses.push((id, s));
+        }
+    }
     statuses.extend(producer_statuses);
     Ok(RegionOutput {
         stdout,
@@ -585,6 +705,101 @@ mod tests {
         };
         assert_eq!(out.stdout, b"some words\n");
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn round_robin_pipeline_over_fifos() {
+        // End-to-end over real children: `r_split` deals tagged
+        // blocks, `--framed` workers re-frame, `pash-agg-reorder`
+        // restores order.
+        let cfg = match ProcConfig::locate() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("skipping: multicall binaries not built");
+                return;
+            }
+        };
+        let corpus: Vec<u8> = (0..500)
+            .flat_map(|i| format!("Line {i} of the Corpus\n").into_bytes())
+            .collect();
+        for width in [2usize, 4] {
+            let root = scratch_with(&[("in.txt", &corpus)]);
+            let compiled = compile(
+                "cat in.txt | tr A-Z a-z | grep corpus > out.txt",
+                &PashConfig::round_robin(width),
+            )
+            .expect("compile");
+            let out = run_plan(&compiled.plan, &cfg, &root, Vec::new()).expect("run");
+            assert_eq!(out.status, 0, "width {width}");
+            let got = std::fs::read(root.join("out.txt")).expect("out.txt");
+            let want: Vec<u8> = (0..500)
+                .flat_map(|i| format!("line {i} of the corpus\n").into_bytes())
+                .collect();
+            assert_eq!(got, want, "width {width}");
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+
+    #[test]
+    fn round_robin_grep_miss_status_folds() {
+        // A guarded miss must gate the next step identically at any
+        // width: the folded worker statuses report 1, not the
+        // reorderer's 0.
+        let cfg = match ProcConfig::locate() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("skipping: multicall binaries not built");
+                return;
+            }
+        };
+        let root = scratch_with(&[("in.txt", b"some words here\nand more\n")]);
+        let compiled = compile(
+            "cat in.txt | grep zzz > miss.txt && cat in.txt",
+            &PashConfig::round_robin(4),
+        )
+        .expect("compile");
+        let out = run_plan(&compiled.plan, &cfg, &root, Vec::new()).expect("run");
+        assert!(out.stdout.is_empty(), "guard must skip the cat region");
+        assert_eq!(out.status, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn parallel_waves_match_sequential() {
+        let cfg = match ProcConfig::locate() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("skipping: multicall binaries not built");
+                return;
+            }
+        };
+        let input = b"apple pie\nbanana split\nanother apple\n";
+        let src = "grep apple in.txt > a.txt\ngrep -c an in.txt > b.txt";
+        let mut runs = Vec::new();
+        for max_inflight in [1usize, 4] {
+            let cfg = ProcConfig {
+                max_inflight,
+                ..cfg.clone()
+            };
+            let root = scratch_with(&[("in.txt", input)]);
+            let compiled = compile(
+                src,
+                &PashConfig {
+                    width: 2,
+                    ..Default::default()
+                },
+            )
+            .expect("compile");
+            let out = run_plan(&compiled.plan, &cfg, &root, Vec::new()).expect("run");
+            runs.push((
+                out.status,
+                std::fs::read(root.join("a.txt")).expect("a.txt"),
+                std::fs::read(root.join("b.txt")).expect("b.txt"),
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0].1, b"apple pie\nanother apple\n");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! Profiles are computed from [`PlanOp`]s — the simulator consumes the
 //! lowered execution plan, never the compiler's DFG.
 
-use pash_core::plan::PlanOp;
+use pash_core::plan::{PlanOp, SplitMode};
 
 /// Which resource a node's work draws on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,13 +97,31 @@ impl CostModel {
                 ..Profile::streaming(400.0, 1.0)
             },
             PlanOp::Relay { .. } => Profile::streaming(300.0, 1.0),
-            PlanOp::Split { sized: false } => Profile::blocking(200.0, 1.0),
-            PlanOp::Split { sized: true } => Profile::streaming(300.0, 1.0),
+            // The general splitter must see the whole input before it
+            // can place cut points; the sized and round-robin
+            // splitters stream (r_split needs no up-front probing —
+            // that is its point).
+            PlanOp::Split {
+                mode: SplitMode::General,
+            } => Profile::blocking(200.0, 1.0),
+            PlanOp::Split {
+                mode: SplitMode::Sized,
+            } => Profile::streaming(300.0, 1.0),
+            PlanOp::Split {
+                mode: SplitMode::RoundRobin { .. },
+            } => Profile::streaming(300.0, 1.0),
             PlanOp::Aggregate { argv } => self.aggregator_profile(argv),
         }
     }
 
     fn command_profile(&self, argv: &[String]) -> Profile {
+        // Framed workers carry a leading `--framed` mode flag that is
+        // not part of the command itself.
+        let argv = if argv.first().map(|s| s.as_str()) == Some("--framed") {
+            &argv[1..]
+        } else {
+            argv
+        };
         let name = argv.first().map(|s| s.as_str()).unwrap_or("");
         let args: Vec<&str> = argv.iter().skip(1).map(|s| s.as_str()).collect();
         match name {
@@ -192,6 +210,9 @@ impl CostModel {
             "pash-agg-wc" | "pash-agg-sum" => Profile::streaming(200.0, 1.0),
             "pash-agg-tac" => Profile::streaming(250.0, 1.0),
             "pash-agg-bigram" => Profile::streaming(150.0, 1.0),
+            // Frame stripping plus a bounded (k−1 block) reorder
+            // buffer: cheap and streaming.
+            "pash-agg-reorder" => Profile::streaming(250.0, 1.0),
             "head" => Profile {
                 close_after_out: Some(head_tail_bytes(
                     &argv.iter().skip(1).map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -229,6 +250,7 @@ mod tests {
     fn cmd(argv: &[&str]) -> PlanOp {
         PlanOp::Exec {
             argv: argv.iter().map(|s| Arg::Lit(s.to_string())).collect(),
+            framed: false,
         }
     }
 
@@ -266,13 +288,43 @@ mod tests {
     fn sized_split_streams_general_blocks() {
         let cm = CostModel::default();
         assert_eq!(
-            cm.profile_for(&PlanOp::Split { sized: false }).discipline,
+            cm.profile_for(&PlanOp::Split {
+                mode: SplitMode::General
+            })
+            .discipline,
             Discipline::Blocking
         );
         assert_eq!(
-            cm.profile_for(&PlanOp::Split { sized: true }).discipline,
+            cm.profile_for(&PlanOp::Split {
+                mode: SplitMode::Sized
+            })
+            .discipline,
             Discipline::Streaming
         );
+    }
+
+    #[test]
+    fn round_robin_split_streams() {
+        let cm = CostModel::default();
+        for framed in [false, true] {
+            assert_eq!(
+                cm.profile_for(&PlanOp::Split {
+                    mode: SplitMode::RoundRobin { framed }
+                })
+                .discipline,
+                Discipline::Streaming
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_aggregator_streams() {
+        let cm = CostModel::default();
+        let p = cm.profile_for(&PlanOp::Aggregate {
+            argv: vec!["pash-agg-reorder".to_string()],
+        });
+        assert_eq!(p.discipline, Discipline::Streaming);
+        assert_eq!(p.out_ratio, 1.0);
     }
 
     #[test]
@@ -284,6 +336,7 @@ mod tests {
                 Arg::Lit("-13".into()),
                 Arg::Stream(0),
             ],
+            framed: false,
         };
         let p = cm.profile_for(&with_stream);
         let q = cm.profile_for(&cmd(&["comm", "-13", "-"]));

@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 
 use pash_core::plan::{
-    Backend, EndpointKind, ExecutionPlan, PlanNode, PlanOp, PlanStep, RegionPlan,
+    Backend, EndpointKind, ExecutionPlan, PlanNode, PlanOp, PlanStep, RegionPlan, SplitMode,
 };
 
 use crate::cost::{CostModel, Discipline, Profile, Resource};
@@ -51,6 +51,16 @@ pub struct SimConfig {
     pub tick: f64,
     /// Give up after this much simulated time.
     pub max_time: f64,
+    /// Byte-share each *general* split output receives (models the
+    /// worker imbalance a line-count-based segmenter suffers on a
+    /// corpus with skewed line lengths). `None` or a length mismatch
+    /// means uniform. The round-robin split always deals uniformly —
+    /// that balance is its point.
+    pub split_shares: Option<Vec<f64>>,
+    /// How many independent plan regions may run concurrently
+    /// (parallel pipelines). 1 reproduces strictly sequential
+    /// region-at-a-time execution.
+    pub max_inflight: usize,
 }
 
 impl Default for SimConfig {
@@ -65,6 +75,8 @@ impl Default for SimConfig {
             setup_cost: 0.08,
             tick: 0.004,
             max_time: 40_000.0,
+            split_shares: None,
+            max_inflight: 1,
         }
     }
 }
@@ -104,6 +116,34 @@ struct NodeState {
     current_input: usize,
     /// Blocking-split emission cursor.
     emit_cursor: usize,
+    /// Per-output byte shares for split nodes. The round-robin split
+    /// scatters *while streaming*; the general split uses these to
+    /// size its sequential chunks. `None` keeps the historical
+    /// uniform/funnel behaviour.
+    shares: Option<Vec<f64>>,
+}
+
+/// Byte shares a split node deals to its outputs.
+fn split_shares_for(cfg: &SimConfig, op: &PlanOp, k: usize) -> Option<Vec<f64>> {
+    if k == 0 {
+        return None;
+    }
+    match op {
+        PlanOp::Split {
+            mode: SplitMode::RoundRobin { .. },
+        } => Some(vec![1.0 / k as f64; k]),
+        PlanOp::Split {
+            mode: SplitMode::General,
+        } => {
+            let raw = cfg.split_shares.as_ref()?;
+            if raw.len() != k || raw.iter().any(|&s| !(s > 0.0)) {
+                return None;
+            }
+            let total: f64 = raw.iter().sum();
+            Some(raw.iter().map(|&s| s / total).collect())
+        }
+        _ => None,
+    }
 }
 
 enum EdgeKind {
@@ -203,6 +243,7 @@ pub fn simulate_region(
             stash: 0.0,
             current_input: 0,
             emit_cursor: 0,
+            shares: split_shares_for(cfg, &node.op, node.outputs.len()),
         });
     }
 
@@ -455,7 +496,15 @@ fn step_node(
                     st.stash += consumed_now; // Into the relay buffer.
                 } else {
                     let out = consumed_now * st.profile.out_ratio;
-                    if let Some(&oe) = node.outputs.first() {
+                    if let Some(shares) = &st.shares {
+                        // Streaming split (round-robin): scatter
+                        // across every output as bytes arrive, so all
+                        // workers run while the input is still being
+                        // read.
+                        for (j, &oe) in node.outputs.iter().enumerate() {
+                            fill_output(&mut edges[oe], out * shares[j]);
+                        }
+                    } else if let Some(&oe) = node.outputs.first() {
                         fill_output(&mut edges[oe], out);
                     }
                     st.produced += out;
@@ -480,12 +529,23 @@ fn step_node(
     // --- Emit (blocking stash or relay buffer) ---------------------
     if st.phase == Phase::Emitting || st.relay_cap > 0.0 {
         if is_split {
-            // Blocking split scatters chunks to outputs in order.
+            // Blocking split scatters chunks to outputs in order;
+            // chunk sizes follow the configured shares (uniform by
+            // default, skewed to model line-count segmentation over
+            // uneven line lengths).
+            let k = node.outputs.len() as f64;
+            let total = st.consumed * st.profile.out_ratio;
             while *emit_budget > 0.0 && st.stash > 0.0 && st.emit_cursor < node.outputs.len() {
                 let oe = node.outputs[st.emit_cursor];
-                let per_chunk = st.consumed * st.profile.out_ratio / node.outputs.len() as f64;
-                let chunk_written = st.produced - st.emit_cursor as f64 * per_chunk;
-                let left_in_chunk = (per_chunk - chunk_written).max(0.0);
+                let (chunk, cum_before) = match &st.shares {
+                    Some(s) => (
+                        total * s[st.emit_cursor],
+                        total * s[..st.emit_cursor].iter().sum::<f64>(),
+                    ),
+                    None => (total / k, st.emit_cursor as f64 * total / k),
+                };
+                let chunk_written = st.produced - cum_before;
+                let left_in_chunk = (chunk - chunk_written).max(0.0);
                 if left_in_chunk <= 0.5 {
                     st.emit_cursor += 1;
                     continue;
@@ -539,6 +599,20 @@ fn space_for_consumption(st: &NodeState, node: &PlanNode, edges: &[EdgeState]) -
         Discipline::Streaming => {
             if st.relay_cap > 0.0 {
                 (st.relay_cap - st.stash).max(0.0)
+            } else if let Some(shares) = &st.shares {
+                // Streaming split: the fullest output gates intake
+                // (r_split blocks on whichever worker pipe is full).
+                let mut space = f64::INFINITY;
+                for (j, &oe) in node.outputs.iter().enumerate() {
+                    if shares[j] > 1e-12 {
+                        space = space.min(output_space(&edges[oe]) / shares[j]);
+                    }
+                }
+                if st.profile.out_ratio <= 1e-12 {
+                    f64::INFINITY
+                } else {
+                    space / st.profile.out_ratio
+                }
             } else if let Some(&oe) = node.outputs.first() {
                 let space = output_space(&edges[oe]);
                 if st.profile.out_ratio <= 1e-12 {
@@ -595,7 +669,10 @@ fn propagate_closures(r: &RegionPlan, nodes: &mut [NodeState], edges: &mut [Edge
     }
 }
 
-/// Simulates a whole lowered program (regions in sequence).
+/// Simulates a whole lowered program. Independent regions in the
+/// same wave overlap up to `cfg.max_inflight` at a time (parallel
+/// pipelines): a batch costs its *slowest* member, not the sum.
+/// `max_inflight == 1` reproduces strictly sequential execution.
 pub fn simulate_program(
     plan: &ExecutionPlan,
     sizes: &InputSizes,
@@ -606,17 +683,24 @@ pub fn simulate_program(
     let mut total = 0.0;
     let mut processes = 0;
     let mut output_bytes = 0.0;
-    for step in &plan.steps {
-        match step {
-            PlanStep::Region(r) => {
-                let report = simulate_region(r, sizes, stdin_bytes, cm, cfg);
-                total += report.seconds;
-                processes += report.processes;
-                output_bytes += report.output_bytes;
+    let inflight = cfg.max_inflight.max(1);
+    for wave in plan.parallel_waves() {
+        for batch in wave.chunks(inflight) {
+            let mut batch_seconds = 0.0f64;
+            for &idx in batch {
+                match &plan.steps[idx] {
+                    PlanStep::Region(r) => {
+                        let report = simulate_region(r, sizes, stdin_bytes, cm, cfg);
+                        batch_seconds = batch_seconds.max(report.seconds);
+                        processes += report.processes;
+                        output_bytes += report.output_bytes;
+                    }
+                    PlanStep::Shell { .. } | PlanStep::Guard(_) => {
+                        // Assignments/barriers: negligible.
+                    }
+                }
             }
-            PlanStep::Shell { .. } | PlanStep::Guard(_) => {
-                // Assignments/barriers: negligible.
-            }
+            total += batch_seconds;
         }
     }
     SimReport {
@@ -826,6 +910,107 @@ mod tests {
             20.0,
         );
         assert!(t < SimConfig::default().max_time / 2.0);
+    }
+
+    #[test]
+    fn round_robin_split_streams_past_general() {
+        // Post-aggregation re-parallelization: the general split must
+        // ingest the whole stream before dealing chunks, while
+        // r_split scatters tagged blocks as they arrive, so the heavy
+        // downstream stage overlaps with the split's intake.
+        let src = "cat in.txt | sort | grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' > out.txt";
+        let general = sim(
+            src,
+            &PashConfig {
+                width: 8,
+                split: SplitPolicy::General,
+                ..Default::default()
+            },
+            100.0,
+        );
+        let rr = sim(
+            src,
+            &PashConfig {
+                width: 8,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+            100.0,
+        );
+        assert!(
+            rr < general,
+            "r_split {rr:.1}s should beat general split {general:.1}s"
+        );
+    }
+
+    #[test]
+    fn skewed_shares_slow_the_general_split() {
+        // A line-count segmenter over skewed line lengths hands one
+        // worker far more bytes; the straggler sets the finish line.
+        let src = "cat in.txt | sort | grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' > out.txt";
+        let cfg = PashConfig {
+            width: 8,
+            split: SplitPolicy::General,
+            ..Default::default()
+        };
+        let compiled = compile(src, &cfg).expect("compile");
+        let uniform = simulate_program(
+            &compiled.plan,
+            &sizes(100.0),
+            0.0,
+            &CostModel::default(),
+            &SimConfig::default(),
+        )
+        .seconds;
+        let skewed_cfg = SimConfig {
+            split_shares: Some(vec![0.44, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08, 0.08]),
+            ..Default::default()
+        };
+        let skewed = simulate_program(
+            &compiled.plan,
+            &sizes(100.0),
+            0.0,
+            &CostModel::default(),
+            &skewed_cfg,
+        )
+        .seconds;
+        assert!(
+            skewed > uniform * 1.3,
+            "skewed shares {skewed:.1}s should lag uniform {uniform:.1}s"
+        );
+    }
+
+    #[test]
+    fn inflight_overlaps_independent_regions() {
+        let src = "grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' a.txt > o1.txt\n\
+                   grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' b.txt > o2.txt";
+        let cfg = PashConfig {
+            width: 2,
+            ..Default::default()
+        };
+        let compiled = compile(src, &cfg).expect("compile");
+        let file_sizes: InputSizes = [("a.txt".to_string(), 50e6), ("b.txt".to_string(), 50e6)]
+            .into_iter()
+            .collect();
+        let run = |inflight: usize| {
+            simulate_program(
+                &compiled.plan,
+                &file_sizes,
+                0.0,
+                &CostModel::default(),
+                &SimConfig {
+                    max_inflight: inflight,
+                    ..Default::default()
+                },
+            )
+            .seconds
+        };
+        let sequential = run(1);
+        let overlapped = run(2);
+        assert!(
+            overlapped < sequential * 0.7,
+            "inflight=2 {overlapped:.1}s should overlap inflight=1 {sequential:.1}s"
+        );
     }
 
     #[test]

@@ -126,6 +126,10 @@ pub struct ProcSettings {
     /// `pash-rt` override (default: `$PASH_RT`, else a sibling of the
     /// current executable).
     pub pash_rt: Option<PathBuf>,
+    /// Maximum independent regions in flight at once (0 or 1 =
+    /// strictly sequential steps; see
+    /// [`core::plan::ExecutionPlan::parallel_waves`]).
+    pub max_inflight: usize,
 }
 
 /// Everything a backend might need to run a plan; construct with
@@ -288,6 +292,7 @@ fn run_processes(compiled: &Compiled, env: &RunEnv) -> std::io::Result<ProgramOu
         },
         scratch: None,
         kill_grace: std::time::Duration::from_secs(2),
+        max_inflight: env.proc.max_inflight.max(1),
     };
     let (root, ephemeral) = match &env.proc.root {
         Some(r) => (r.clone(), None),

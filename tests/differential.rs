@@ -10,6 +10,11 @@
 //! per node, one rendered to POSIX text — with OS semantics (FIFO
 //! blocking, SIGPIPE teardown, wait status) in the loop for two of
 //! the three.
+//!
+//! Both split strategies are exercised: the input-aware segment split
+//! (`ParBSplit`) and the order-aware round-robin split (`r_split`,
+//! tagged blocks restored by `pash-agg-reorder`), each at several
+//! widths, plus concurrent independent regions (`max_inflight`).
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
@@ -30,6 +35,36 @@ struct Observed {
     out_file: Option<Vec<u8>>,
 }
 
+/// How to run one differential comparison.
+struct Setup<'a> {
+    /// The parallel configuration under test.
+    cfg: PashConfig,
+    /// Bytes fed to the program's stdin.
+    stdin: &'a [u8],
+    /// `max_inflight` for the `threads` and `processes` executors
+    /// (the shell backend's emitted script stays sequential — that
+    /// asymmetry is exactly what the comparison checks).
+    inflight: usize,
+}
+
+impl<'a> Setup<'a> {
+    fn split(width: usize) -> Setup<'a> {
+        Setup {
+            cfg: cfg(width),
+            stdin: b"",
+            inflight: 1,
+        }
+    }
+
+    fn round_robin(width: usize) -> Setup<'a> {
+        Setup {
+            cfg: PashConfig::round_robin(width),
+            stdin: b"",
+            inflight: 1,
+        }
+    }
+}
+
 fn cfg(width: usize) -> PashConfig {
     Fig7Config::ParBSplit.pash_config(width)
 }
@@ -43,13 +78,14 @@ fn harness() -> Option<(PathBuf, PathBuf)> {
     runtime_binaries()
 }
 
-fn observe_threads(script: &str, fs: Arc<MemFs>, width: usize, stdin: &[u8]) -> Observed {
-    let env = RunEnv {
+fn observe_threads(script: &str, fs: Arc<MemFs>, setup: &Setup, cfg: &PashConfig) -> Observed {
+    let mut env = RunEnv {
         fs,
-        stdin: stdin.to_vec(),
+        stdin: setup.stdin.to_vec(),
         ..Default::default()
     };
-    match run(script, &cfg(width), "threads", &env) {
+    env.exec.max_inflight = setup.inflight;
+    match run(script, cfg, "threads", &env) {
         Ok(BackendOutput::Execution(o)) => Observed {
             stdout: o.stdout,
             status: o.status,
@@ -62,21 +98,21 @@ fn observe_threads(script: &str, fs: Arc<MemFs>, width: usize, stdin: &[u8]) -> 
 fn observe_processes(
     script: &str,
     fs: Arc<MemFs>,
-    width: usize,
-    stdin: &[u8],
+    setup: &Setup,
     bins: &(PathBuf, PathBuf),
 ) -> Observed {
     let env = RunEnv {
         fs,
-        stdin: stdin.to_vec(),
+        stdin: setup.stdin.to_vec(),
         proc: ProcSettings {
             root: None,
             pashc: Some(bins.0.clone()),
             pash_rt: Some(bins.1.clone()),
+            max_inflight: setup.inflight,
         },
         ..Default::default()
     };
-    match run(script, &cfg(width), "processes", &env) {
+    match run(script, &setup.cfg, "processes", &env) {
         Ok(BackendOutput::Execution(o)) => Observed {
             stdout: o.stdout,
             status: o.status,
@@ -101,14 +137,13 @@ fn materialize(fs: &MemFs, dir: &Path) {
 fn observe_shell(
     script: &str,
     fs: Arc<MemFs>,
-    width: usize,
-    stdin: &[u8],
+    setup: &Setup,
     bins: &(PathBuf, PathBuf),
 ) -> Observed {
     use std::io::Write;
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
-    let compiled = pash::compile(script, &cfg(width)).expect("compile");
+    let compiled = pash::compile(script, &setup.cfg).expect("compile");
     let dir = std::env::temp_dir().join(format!(
         "pash-diff-{}-{}",
         std::process::id(),
@@ -131,7 +166,7 @@ fn observe_shell(
         .stdin
         .take()
         .expect("piped stdin")
-        .write_all(stdin)
+        .write_all(setup.stdin)
         .ok();
     let out = child.wait_with_output().expect("wait sh");
     let status = out.status.code().unwrap_or_else(|| {
@@ -153,21 +188,26 @@ fn observe_shell(
     observed
 }
 
-/// Runs `script` under all three backends at `width` and asserts
-/// pairwise equality (plus agreement with the sequential `threads`
-/// reference on data, where statuses are also expected to match).
+/// Runs `script` under all three backends and asserts pairwise
+/// equality — including exit statuses, which the status fold keeps
+/// identical to the sequential verdict at any width — plus agreement
+/// with the sequential `threads` reference.
 fn assert_backends_agree(
     label: &str,
     script: &str,
     make_fs: &dyn Fn() -> Arc<MemFs>,
-    width: usize,
-    stdin: &[u8],
+    setup: &Setup,
     bins: &(PathBuf, PathBuf),
 ) {
-    let seq = observe_threads(script, make_fs(), 1, stdin);
-    let t = observe_threads(script, make_fs(), width, stdin);
-    let p = observe_processes(script, make_fs(), width, stdin, bins);
-    let s = observe_shell(script, make_fs(), width, stdin, bins);
+    let width = setup.cfg.width;
+    let seq_cfg = PashConfig {
+        width: 1,
+        ..setup.cfg.clone()
+    };
+    let seq = observe_threads(script, make_fs(), setup, &seq_cfg);
+    let t = observe_threads(script, make_fs(), setup, &setup.cfg);
+    let p = observe_processes(script, make_fs(), setup, bins);
+    let s = observe_shell(script, make_fs(), setup, bins);
     assert_eq!(
         t, p,
         "{label}: threads vs processes diverged at width {width}\nscript: {script}"
@@ -176,15 +216,17 @@ fn assert_backends_agree(
         t, s,
         "{label}: threads vs shell diverged at width {width}\nscript: {script}"
     );
-    // The sequential reference pins the *data*; statuses are only
-    // comparable at equal width (parallelization replaces a region's
-    // output producer — e.g. a missing-match `grep` reports 1, but
-    // the aggregator over its copies reports 0 — identically in all
-    // three backends, which the pairwise asserts above pin down).
+    // The sequential reference pins the data.
     assert_eq!(
         (&t.stdout, &t.out_file),
         (&seq.stdout, &seq.out_file),
         "{label}: parallel vs sequential data diverged at width {width}\nscript: {script}"
+    );
+    // The status fold makes the parallel status the sequential
+    // verdict too, independent of width or split strategy.
+    assert_eq!(
+        t.status, seq.status,
+        "{label}: parallel vs sequential status diverged at width {width}\nscript: {script}"
     );
 }
 
@@ -201,7 +243,30 @@ fn oneliners_differential_across_backends() {
                 |fs| oneliners::setup_fs(&bench, 30_000, fs),
             )
         };
-        assert_backends_agree(bench.name, &bench.script, &make_fs, 4, b"", &bins);
+        assert_backends_agree(bench.name, &bench.script, &make_fs, &Setup::split(4), &bins);
+    }
+}
+
+#[test]
+fn oneliners_round_robin_across_backends() {
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+    for bench in oneliners::all() {
+        let make_fs = || {
+            cached_fs(
+                format!("differential/oneliners/{}/10000", bench.name),
+                |fs| oneliners::setup_fs(&bench, 10_000, fs),
+            )
+        };
+        assert_backends_agree(
+            bench.name,
+            &bench.script,
+            &make_fs,
+            &Setup::round_robin(4),
+            &bins,
+        );
     }
 }
 
@@ -221,10 +286,94 @@ fn unix50_differential_across_backends() {
             &format!("unix50 #{}", p.idx),
             p.script,
             &make_fs,
-            4,
-            b"",
+            &Setup::split(4),
             &bins,
         );
+    }
+}
+
+#[test]
+fn unix50_round_robin_across_backends() {
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+    let make_fs = || {
+        cached_fs("differential/unix50/8000".to_string(), |fs| {
+            unix50::setup_fs(8_000, fs)
+        })
+    };
+    for p in unix50::all() {
+        assert_backends_agree(
+            &format!("unix50-rr #{}", p.idx),
+            p.script,
+            &make_fs,
+            &Setup::round_robin(4),
+            &bins,
+        );
+    }
+}
+
+#[test]
+fn width_sweep_both_split_strategies() {
+    // Widths 2, 4, and 8 for both the segment split and `r_split`,
+    // over pipelines covering the framed path (stateless chain), the
+    // raw commutative path (wc), and the segment fallback (sort).
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+    let make_fs = || {
+        cached_fs("differential/sweep/10000".to_string(), |fs| {
+            // Line-length-skewed corpus: the shape `r_split`'s
+            // adaptive block sizing targets.
+            let mut data = Vec::new();
+            for i in 0..10_000u32 {
+                match i % 5 {
+                    0 => data.extend_from_slice(b"The quick brown fox\n"),
+                    1 => data.extend_from_slice(format!("id {i} ok\n").as_bytes()),
+                    2 => {
+                        data.extend_from_slice(format!("row {i} ").as_bytes());
+                        data.extend_from_slice("lorem ipsum dolor sit amet ".repeat(12).as_bytes());
+                        data.push(b'\n');
+                    }
+                    3 => data.extend_from_slice(b"x\n"),
+                    _ => data.extend_from_slice(format!("THE END {}\n", i % 97).as_bytes()),
+                }
+            }
+            fs.add("in.txt", data);
+        })
+    };
+    for (label, script) in [
+        (
+            "stateless-chain",
+            "cat in.txt | tr A-Z a-z | grep the > out.txt",
+        ),
+        (
+            "commutative-wc",
+            "cat in.txt | grep -v qqq | wc -l > out.txt",
+        ),
+        (
+            "order-sensitive-sort",
+            "cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt",
+        ),
+    ] {
+        for width in [2usize, 4, 8] {
+            assert_backends_agree(
+                &format!("{label}@{width}"),
+                script,
+                &make_fs,
+                &Setup::split(width),
+                &bins,
+            );
+            assert_backends_agree(
+                &format!("{label}-rr@{width}"),
+                script,
+                &make_fs,
+                &Setup::round_robin(width),
+                &bins,
+            );
+        }
     }
 }
 
@@ -251,25 +400,67 @@ fn statuses_and_guards_agree_across_backends() {
             "cat in.txt | sort -rn | head -n 1 > out.txt",
         ),
     ] {
-        assert_backends_agree(label, script, &make_fs, 4, b"", &bins);
+        assert_backends_agree(label, script, &make_fs, &Setup::split(4), &bins);
     }
-    // Guard chains run at width 1: parallelization swaps a region's
-    // output producer for an aggregator, so a guarded `grep` miss
-    // stops gating the next step — identically in all three backends,
-    // but differently from the sequential plan (ROADMAP: status
-    // plumbing through aggregation trees).
+    // Guard chains at parallel widths: the status fold over the
+    // region's real commands keeps a guarded `grep` miss gating the
+    // next step exactly as the sequential script would, for both
+    // split strategies.
     for (label, script) in [
         (
             "guard-or",
             "grep zzz in.txt > miss.txt || cat in.txt > out.txt",
         ),
-        ("guard-and", "grep the in.txt > out.txt && wc -l out.txt"),
+        (
+            "guard-and",
+            "grep the in.txt > out.txt && cat out.txt | wc -l",
+        ),
         (
             "guard-and-skipped",
             "grep zzz in.txt > miss.txt && cat in.txt > out.txt",
         ),
     ] {
-        assert_backends_agree(label, script, &make_fs, 1, b"", &bins);
+        for setup in [Setup::split(1), Setup::split(4), Setup::round_robin(4)] {
+            assert_backends_agree(
+                &format!("{label}@{}", setup.cfg.width),
+                script,
+                &make_fs,
+                &setup,
+                &bins,
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_regions_agree_across_backends() {
+    // Independent regions overlap under `max_inflight > 1`; results
+    // must match the strictly sequential plan and the (sequential)
+    // emitted script.
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+    let make_fs = || {
+        cached_fs("differential/inflight/basic".to_string(), |fs| {
+            fs.add(
+                "in.txt",
+                b"the quick brown fox\njumps over the lazy dog\nthe end\n".to_vec(),
+            );
+        })
+    };
+    let script = "grep the in.txt > a.txt\ngrep -c o in.txt > b.txt\ngrep lazy in.txt > out.txt";
+    for inflight in [1usize, 4] {
+        for mut setup in [Setup::split(2), Setup::round_robin(2)] {
+            setup.inflight = inflight;
+            assert_backends_agree(
+                &format!("inflight-{inflight}"),
+                script,
+                &make_fs,
+                &setup,
+                &bins,
+            );
+        }
     }
 }
 
@@ -280,14 +471,22 @@ fn stdin_feeds_all_backends_identically() {
         return;
     };
     let make_fs = || cached_fs("differential/stdin/empty".to_string(), |_| {});
-    assert_backends_agree(
-        "stdin-pipeline",
-        "tr a-z A-Z | sort",
-        &make_fs,
-        2,
-        b"delta\nalpha\ncharlie\n",
-        &bins,
-    );
+    let stdin_setup = |mut setup: Setup<'static>| {
+        setup.stdin = b"delta\nalpha\ncharlie\n";
+        setup
+    };
+    for setup in [
+        stdin_setup(Setup::split(2)),
+        stdin_setup(Setup::round_robin(2)),
+    ] {
+        assert_backends_agree(
+            "stdin-pipeline",
+            "tr a-z A-Z | sort",
+            &make_fs,
+            &setup,
+            &bins,
+        );
+    }
     // The stdin consumer is the *second* region: the emitted script
     // keeps real stdin on a saved fd across regions, so executors
     // must not hand the bytes to a region that has no stdin edge.
@@ -296,12 +495,13 @@ fn stdin_feeds_all_backends_identically() {
             fs.add("in.txt", b"the quick brown fox\n".to_vec());
         })
     };
+    let mut setup = Setup::split(2);
+    setup.stdin = b"abc\n";
     assert_backends_agree(
         "stdin-second-region",
         "grep the in.txt > out.txt && tr a-z A-Z",
         &make_fs,
-        2,
-        b"abc\n",
+        &setup,
         &bins,
     );
 }
