@@ -16,7 +16,10 @@
 #   7. plan-determinism smoke (segment split and r_split plans);
 #   8. process-backend smoke: one corpus script as real children over
 #      FIFOs, byte-compared against the shell backend's output;
-#   9. rustfmt check.
+#   9. fault-injection sweep: every fault kind at widths 2/4/8 must
+#      leave output byte-identical to the sequential run, and the
+#      simulated fallback overhead must stay a small constant;
+#  10. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -102,6 +105,24 @@ done
 cmp target/bench-smoke/backend-shell/out.txt \
     target/bench-smoke/backend-processes/out.txt
 test -s target/bench-smoke/backend-processes/out.txt
+
+echo "==> fault-injection sweep (every kind, widths 2/4/8, vs sequential)"
+# Deterministic seeded faults — worker death, spawn/mkfifo failure,
+# frame truncation/corruption, edge stall — with the supervisor
+# recovering via retry, deadline kill, or sequential fallback. The
+# binary exits nonzero if any cell's output diverges or a recovery
+# path never fired.
+./target/release/faultsweep
+
+echo "==> fault fallback overhead gate (simulated)"
+# A persistent fault burns the retry budget and reruns sequentially;
+# the simulated episode must stay a small constant over the
+# never-parallelized baseline (detection + backoff + one seq rerun).
+fault_overhead=$(sed -n 's/.*"fault_fallback_overhead_x":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_dataplane.json)
+test -n "$fault_overhead"
+awk "BEGIN { exit !($fault_overhead > 1.0 && $fault_overhead < 2.5) }"
+echo "    persistent-fault fallback vs sequential: ${fault_overhead}x"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,193 @@
+//! `faultsweep` — the differential fault-injection smoke gate.
+//!
+//! Runs a two-region pipeline under every [`FaultKind`] at several
+//! widths on the `threads` backend, and requires the observable
+//! behaviour — stdout bytes, output-file bytes, exit status — to be
+//! byte-identical to an undisturbed width-1 sequential run. Two
+//! dedicated episodes additionally pin the recovery paths: a
+//! persistent fault must end in the sequential fallback, and a stalled
+//! edge must be cut by the region deadline.
+//!
+//! This is the quick CI face of `tests/fault_injection.rs`: seconds,
+//! hermetic (MemFs), exit status 0/1. Usage: `faultsweep`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pash_core::compile::{compile_cached, PashConfig};
+use pash_coreutils::fs::MemFs;
+use pash_coreutils::Registry;
+use pash_runtime::exec::{run_program_with_fallback, ExecConfig};
+use pash_runtime::fault::{FaultKind, FaultPlan};
+use pash_runtime::supervise::SupervisorSettings;
+
+/// Two regions — one redirected to a file, one on stdout — so both
+/// observable channels are checked.
+const SCRIPT: &str = "cat in.txt | tr A-Z a-z | grep the > out.txt\n\
+                      cat in.txt | tr a-z A-Z | grep THE";
+
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// ~1 MiB: the round-robin splitter's smallest adaptive block is
+/// 16 KiB, so anything smaller leaves width-8 workers idle and a
+/// fault aimed at them lands on a dead stream.
+fn corpus() -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 << 20);
+    let mut i = 0u32;
+    while out.len() < 1 << 20 {
+        if i % 3 == 0 {
+            out.extend_from_slice(format!("line {i} over the lazy dog\n").as_bytes());
+        } else {
+            out.extend_from_slice(format!("Record {i} without a match {i:04x}\n").as_bytes());
+        }
+        i += 1;
+    }
+    out
+}
+
+struct Observed {
+    stdout: Vec<u8>,
+    status: i32,
+    out_file: Option<Vec<u8>>,
+}
+
+/// One run under the supervisor settings, returning what a caller can
+/// observe plus the counter totals for the gate summary.
+fn run(width: usize, sup: SupervisorSettings) -> (Observed, [u64; 4]) {
+    let counters = sup.counters.clone();
+    let cfg = PashConfig::round_robin(width);
+    let compiled = compile_cached(SCRIPT, &cfg).expect("compile sweep script");
+    let fallback = compile_cached(SCRIPT, &PashConfig::round_robin(1)).expect("compile fallback");
+    let fs = Arc::new(MemFs::new());
+    fs.add("in.txt", corpus());
+    let exec = ExecConfig {
+        supervisor: sup,
+        ..Default::default()
+    };
+    let out = run_program_with_fallback(
+        &compiled.plan,
+        (width != 1).then_some(&fallback.plan),
+        &Registry::standard(),
+        fs.clone(),
+        Vec::new(),
+        &exec,
+    )
+    .expect("threads run");
+    (
+        Observed {
+            stdout: out.stdout,
+            status: out.status,
+            out_file: fs.read("out.txt").ok(),
+        },
+        [
+            counters.injected(),
+            counters.retries(),
+            counters.deadline_kills(),
+            counters.fallbacks(),
+        ],
+    )
+}
+
+fn check(label: &str, got: &Observed, expect: &Observed, failures: &mut u32) {
+    let ok = got.stdout == expect.stdout
+        && got.status == expect.status
+        && got.out_file == expect.out_file;
+    if ok {
+        println!("ok   {label}");
+    } else {
+        println!(
+            "FAIL {label}: stdout {}B/{}B status {}/{} out.txt {:?}B/{:?}B",
+            got.stdout.len(),
+            expect.stdout.len(),
+            got.status,
+            expect.status,
+            got.out_file.as_ref().map(Vec::len),
+            expect.out_file.as_ref().map(Vec::len),
+        );
+        *failures += 1;
+    }
+}
+
+fn main() {
+    let (expect, _) = run(1, SupervisorSettings::default());
+    let mut failures = 0u32;
+    let mut totals = [0u64; 4];
+
+    // The sweep: one seeded single-shot fault per (kind, width) cell.
+    for kind in FaultKind::ALL {
+        for width in WIDTHS {
+            let seed = FaultKind::ALL.iter().position(|&k| k == kind).unwrap() as u64 * 131
+                + width as u64 * 7
+                + 1;
+            let sup = SupervisorSettings {
+                fault: Some(FaultPlan::new(kind, seed)),
+                ..Default::default()
+            };
+            let (got, c) = run(width, sup);
+            check(
+                &format!("{} width {width}", kind.name()),
+                &got,
+                &expect,
+                &mut failures,
+            );
+            for (t, v) in totals.iter_mut().zip(c) {
+                *t += v;
+            }
+        }
+    }
+
+    // A persistent fault must burn the retry budget and degrade to the
+    // sequential fallback — with the reference output.
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::KillWorker, 5).budget(u32::MAX)),
+        max_retries: 1,
+        ..Default::default()
+    };
+    let (got, c) = run(4, sup);
+    check(
+        "persistent kill-worker (fallback)",
+        &got,
+        &expect,
+        &mut failures,
+    );
+    if c[3] == 0 {
+        println!("FAIL persistent fault never reached the sequential fallback");
+        failures += 1;
+    }
+    for (t, v) in totals.iter_mut().zip(c) {
+        *t += v;
+    }
+
+    // A wedged edge must be cut by the region deadline, not waited out.
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::Stall, 9).stall(Duration::from_secs(30))),
+        region_deadline: Some(Duration::from_millis(400)),
+        ..Default::default()
+    };
+    let (got, c) = run(4, sup);
+    check(
+        "30s stall under 400ms deadline",
+        &got,
+        &expect,
+        &mut failures,
+    );
+    if c[2] == 0 {
+        println!("FAIL the deadline watchdog never fired on a wedged edge");
+        failures += 1;
+    }
+    for (t, v) in totals.iter_mut().zip(c) {
+        *t += v;
+    }
+
+    let [injected, retries, kills, fallbacks] = totals;
+    println!(
+        "\nfaultsweep: {} cells, {injected} injected, {retries} retries, \
+         {kills} deadline kills, {fallbacks} fallbacks, {failures} failures",
+        FaultKind::ALL.len() * WIDTHS.len() + 2,
+    );
+    if injected < FaultKind::ALL.len() as u64 {
+        println!("FAIL only {injected} faults armed — injection plane inert");
+        failures += 1;
+    }
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

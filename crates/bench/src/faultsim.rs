@@ -1,0 +1,131 @@
+//! Fault-recovery cost series: what surviving an injected fault costs
+//! on the simulated 64-core testbed.
+//!
+//! The runtime's supervisor retries a failed parallel region with
+//! exponential backoff and, once the retry budget is exhausted,
+//! re-executes the aligned width-1 sequential plan. The series prices
+//! that state machine with the same fluid engine as the rest of the
+//! bench suite, recording four deterministic points:
+//!
+//! * the fault-free sequential and parallel runtimes (the endpoints);
+//! * a transient fault cleared by one retry;
+//! * a persistent fault that burns the whole retry budget and falls
+//!   back to sequential.
+//!
+//! The headline number, [`fallback_overhead`], is the persistent-fault
+//! episode relative to the *sequential* baseline: the supervisor's
+//! guarantee is that even when parallelism is hostile, the user pays
+//! only a bounded premium over never having parallelized at all.
+
+use std::time::Duration;
+
+use pash_core::compile::PashConfig;
+use pash_sim::{simulate_recovery_compiled, CostModel, FaultProfile, InputSizes, SimConfig};
+
+use crate::dataplane::Sample;
+
+/// The priced pipeline: a stateless three-stage one-liner, the shape
+/// the compiler parallelizes best (and thus the shape where a fault
+/// hurts most).
+const SCRIPT: &str =
+    "cat in.txt | tr A-Z a-z | grep '(a|b|c|d|e)+(f|g|h)*(ij|kl)+xyz' | tr -d q > out.txt";
+
+/// Parallel width for the faulted run.
+const WIDTH: usize = 4;
+
+/// Simulated input size: large enough that compute dominates the
+/// per-region setup constants.
+const SIM_INPUT_BYTES: f64 = 64e6;
+
+fn price(fp: &FaultProfile) -> pash_sim::RecoveryReport {
+    let cfg = PashConfig {
+        width: WIDTH,
+        ..Default::default()
+    };
+    let sizes: InputSizes = [("in.txt".to_string(), SIM_INPUT_BYTES)]
+        .into_iter()
+        .collect();
+    simulate_recovery_compiled(
+        SCRIPT,
+        &cfg,
+        &sizes,
+        &CostModel::default(),
+        &SimConfig::default(),
+        fp,
+    )
+    .expect("compile fault sim script")
+}
+
+fn sim_sample(name: &str, secs: f64) -> Sample {
+    Sample {
+        name: name.to_string(),
+        bytes: SIM_INPUT_BYTES as usize,
+        runs: 1,
+        min: Duration::from_secs_f64(secs),
+        median: Duration::from_secs_f64(secs),
+        mean: Duration::from_secs_f64(secs),
+    }
+}
+
+/// The fault-recovery series (all simulator points; deterministic).
+pub fn run_series() -> Vec<Sample> {
+    let transient = price(&FaultProfile {
+        retries: 1,
+        fallback: false,
+        ..Default::default()
+    });
+    let persistent = price(&FaultProfile::default());
+    vec![
+        sim_sample("sim_fault_free_seq", persistent.sequential_seconds),
+        sim_sample("sim_fault_free_par4", persistent.parallel_seconds),
+        sim_sample("sim_fault_transient_retry", transient.total_seconds),
+        sim_sample("sim_fault_persistent_fallback", persistent.total_seconds),
+    ]
+}
+
+/// Persistent-fault episode cost relative to the sequential baseline,
+/// from a [`run_series`] result. The CI gate asserts this stays a
+/// small constant: detection plus backoff plus one sequential rerun.
+pub fn fallback_overhead(samples: &[Sample]) -> Option<f64> {
+    let secs = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median.as_secs_f64())
+    };
+    Some(secs("sim_fault_persistent_fallback")? / secs("sim_fault_free_seq")?.max(1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_prices_the_recovery_ladder() {
+        let samples = run_series();
+        assert_eq!(samples.len(), 4);
+        let secs = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.median.as_secs_f64())
+                .expect("sample present")
+        };
+        let seq = secs("sim_fault_free_seq");
+        let par = secs("sim_fault_free_par4");
+        let transient = secs("sim_fault_transient_retry");
+        let persistent = secs("sim_fault_persistent_fallback");
+        assert!(par < seq, "width-{WIDTH} run {par:.1}s !< seq {seq:.1}s");
+        // One retry costs less than burning the budget and rerunning
+        // sequentially; both cost more than the undisturbed run.
+        assert!(par < transient && transient < persistent);
+        // The fallback guarantee: a persistent fault costs the doomed
+        // attempts plus one sequential rerun — bounded relative to
+        // having never parallelized.
+        let overhead = fallback_overhead(&samples).expect("sim samples present");
+        assert!(
+            overhead > 1.0 && overhead < 2.5,
+            "fallback overhead {overhead:.2}x out of expected band"
+        );
+    }
+}

@@ -71,20 +71,21 @@ fn build_runtime_binaries() -> Option<(PathBuf, PathBuf)> {
     let dir = target_dir();
     let pashc = dir.join("pashc");
     let pash_rt = dir.join("pash-rt");
-    if !pashc.exists() || !pash_rt.exists() {
-        let profile_flag: &[&str] = if dir.ends_with("release") {
-            &["--release"]
-        } else {
-            &[]
-        };
-        let status = Command::new(env!("CARGO"))
-            .args(["build", "-p", "pash-runtime", "--bins"])
-            .args(profile_flag)
-            .status()
-            .ok()?;
-        if !status.success() || !pashc.exists() || !pash_rt.exists() {
-            return None;
-        }
+    // Always invoke cargo: an up-to-date build is a fast no-op, and
+    // skipping it when the files merely *exist* let suites run against
+    // stale binaries from before the change under test.
+    let profile_flag: &[&str] = if dir.ends_with("release") {
+        &["--release"]
+    } else {
+        &[]
+    };
+    let status = Command::new(env!("CARGO"))
+        .args(["build", "-p", "pash-runtime", "--bins"])
+        .args(profile_flag)
+        .status()
+        .ok()?;
+    if !status.success() || !pashc.exists() || !pash_rt.exists() {
+        return None;
     }
     Some((pashc, pash_rt))
 }

@@ -19,6 +19,7 @@
 
 pub mod baseline;
 pub mod dataplane;
+pub mod faultsim;
 pub mod fixtures;
 pub mod regexbench;
 pub mod rsplitbench;

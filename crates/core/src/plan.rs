@@ -351,6 +351,14 @@ pub struct RegionPlan {
     pub nodes: Vec<PlanNode>,
     /// Edges, densely indexed.
     pub edges: Vec<PlanEdge>,
+    /// Whether a failed execution of this region may be re-run from
+    /// scratch: every node is a pure stream transformation, so a
+    /// retry that re-applies the region's outputs (stdout buffer,
+    /// truncated output files) observes no state from the failed
+    /// attempt. Lowering sets this; hand-built plans default to
+    /// `false` (the conservative choice — the supervisor then never
+    /// retries them).
+    pub replayable: bool,
 }
 
 impl RegionPlan {
@@ -594,9 +602,10 @@ impl ExecutionPlan {
                 PlanStep::Guard(GuardCond::IfFailure) => out.push_str("guard if-failure\n"),
                 PlanStep::Region(r) => {
                     out.push_str(&format!(
-                        "region nodes={} edges={}\n",
+                        "region nodes={} edges={} replayable={}\n",
                         r.nodes.len(),
-                        r.edges.len()
+                        r.edges.len(),
+                        r.replayable
                     ));
                     for (i, e) in r.edges.iter().enumerate() {
                         let kind = match &e.kind {
@@ -925,7 +934,27 @@ fn lower_region(g: &Dfg) -> RegionPlan {
             output_producer,
         });
     }
-    RegionPlan { nodes, edges }
+    let replayable = nodes.iter().all(|n| node_is_replayable(&n.op));
+    RegionPlan {
+        nodes,
+        edges,
+        replayable,
+    }
+}
+
+/// Whether an op may be safely re-executed after a failed attempt.
+/// Synthetic ops (cat, split, relay, `pash-agg-*`) are pure stream
+/// transforms by construction; exec/aggregate commands are checked
+/// against a denylist of heads whose output is nondeterministic or
+/// whose effects outlive the attempt.
+fn node_is_replayable(op: &PlanOp) -> bool {
+    const IMPURE: [&str; 4] = ["shuf", "mktemp", "tee", "date"];
+    let head_ok = |head: Option<&str>| head.map(|h| !IMPURE.contains(&h)).unwrap_or(false);
+    match op {
+        PlanOp::Exec { argv, .. } => head_ok(argv.first().and_then(|a| a.as_lit())),
+        PlanOp::Aggregate { argv } => head_ok(argv.first().map(|s| s.as_str())),
+        PlanOp::Cat | PlanOp::Split { .. } | PlanOp::Relay { .. } => true,
+    }
 }
 
 /// True when a shell step has no data-path effect (assignments only) —

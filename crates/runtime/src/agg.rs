@@ -396,10 +396,22 @@ fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> 
 /// emit exactly one output frame per input frame, so input `i`
 /// carries tags `i, i+k, i+2k, …` in order. Reading by rotation keeps
 /// the reorder buffer bounded: at most `k − 1` blocks are pending at
-/// any time on a conforming stream. Off-contract arrivals (any tag
-/// permutation, early EOFs) still produce tag-sorted output — they
-/// just buffer more.
+/// any time on a conforming stream.
+///
+/// A tag that arrives twice, or a stream that can no longer deliver
+/// the next expected tag (its owner hit EOF while later tags are
+/// already buffered), is an `InvalidData` error: a missing or
+/// duplicated block means a worker or edge failed, and emitting the
+/// remainder would silently reorder or drop bytes. Failing fast here
+/// — instead of blocking on inputs that will never produce the gap —
+/// is what lets the supervisor detect a lost block and recover.
 fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    fn missing_tag(next: u64) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("r_split stream ended with tag {next} missing"),
+        )
+    }
     let mut readers: Vec<Option<FrameReader<AggInput>>> = inputs
         .into_iter()
         .map(|i| Some(FrameReader::new(i)))
@@ -418,6 +430,13 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
         let pick = if readers[owner].is_some() {
             owner
         } else {
+            // Tags are dense and owner-exclusive, so with the owner
+            // exhausted, `next` can only already be buffered; a
+            // buffered tag beyond it proves the stream lost a block.
+            if !pending.contains_key(&next) && pending.keys().next_back().is_some_and(|&t| t > next)
+            {
+                return Err(missing_tag(next));
+            }
             readers
                 .iter()
                 .position(|r| r.is_some())
@@ -425,7 +444,14 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
         };
         match readers[pick].as_mut().expect("picked live").next_frame()? {
             Some((tag, payload)) => {
-                pending.insert(tag, payload);
+                // `tag < next` means the tag was already emitted;
+                // both shapes are one lost-or-replayed block.
+                if tag < next || pending.insert(tag, payload).is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("duplicate r_split tag {tag}"),
+                    ));
+                }
             }
             None => {
                 readers[pick] = None;
@@ -437,10 +463,10 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
             next += 1;
         }
     }
-    // Tags with gaps before them (off-contract) flush at EOF, still
-    // in order — bytes are never dropped silently.
-    for payload in pending.into_values() {
-        output.write_all(&payload)?;
+    if !pending.is_empty() {
+        // Every input ended but a gap remains before the buffered
+        // tail: the block tagged `next` never arrived.
+        return Err(missing_tag(next));
     }
     Ok(0)
 }
@@ -629,7 +655,7 @@ mod tests {
         Box::new(io::Cursor::new(buf))
     }
 
-    fn run_reorder(inputs: Vec<AggInput>) -> String {
+    fn try_run_reorder(inputs: Vec<AggInput>) -> io::Result<String> {
         let mut out = Vec::new();
         let reg = Registry::standard();
         run_aggregator(
@@ -638,9 +664,12 @@ mod tests {
             &mut out,
             &reg,
             Arc::new(MemFs::new()),
-        )
-        .expect("reorder");
-        String::from_utf8(out).expect("utf8")
+        )?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    fn run_reorder(inputs: Vec<AggInput>) -> String {
+        try_run_reorder(inputs).expect("reorder")
     }
 
     #[test]
@@ -656,12 +685,42 @@ mod tests {
 
     #[test]
     fn reorder_handles_uneven_and_empty_inputs() {
+        // Conforming deal (tag t on input t % k) with uneven counts.
         let inputs = vec![
-            framed_input(&[(0, "a\n"), (2, "c\n"), (4, "e\n")]),
-            framed_input(&[]),
-            framed_input(&[(1, "b\n"), (3, "d\n")]),
+            framed_input(&[(0, "a\n"), (3, "d\n"), (6, "g\n")]),
+            framed_input(&[(1, "b\n"), (4, "e\n")]),
+            framed_input(&[(2, "c\n"), (5, "f\n")]),
         ];
-        assert_eq!(run_reorder(inputs), "a\nb\nc\nd\ne\n");
+        assert_eq!(run_reorder(inputs), "a\nb\nc\nd\ne\nf\ng\n");
+        // A short stream leaves later inputs with nothing at all.
+        let inputs = vec![
+            framed_input(&[(0, "a\n")]),
+            framed_input(&[(1, "b\n")]),
+            framed_input(&[]),
+        ];
+        assert_eq!(run_reorder(inputs), "a\nb\n");
+    }
+
+    #[test]
+    fn reorder_duplicate_tag_fails_fast() {
+        let inputs = vec![
+            framed_input(&[(0, "a\n"), (1, "b\n")]),
+            framed_input(&[(1, "b\n")]),
+        ];
+        let err = try_run_reorder(inputs).expect_err("duplicate tag");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn reorder_missing_tag_fails_fast() {
+        // Tag 1's owner ends empty while tag 2 is in flight: the gap
+        // can never fill, and the reorderer must not hang or silently
+        // emit the tail.
+        let inputs = vec![framed_input(&[(0, "a\n"), (2, "c\n")]), framed_input(&[])];
+        let err = try_run_reorder(inputs).expect_err("missing tag");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("missing"), "{err}");
     }
 
     #[test]
@@ -686,8 +745,9 @@ mod tests {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
 
-            // For ANY arrival permutation of tags across any fan-in,
-            // the reorderer emits payloads in tag order.
+            // For ANY within-input arrival permutation under the
+            // conforming deal (tag t on input t % k — what r_split
+            // guarantees), the reorderer emits payloads in tag order.
             #[test]
             fn prop_reorder_restores_any_permutation(
                 n in 0usize..40,
@@ -702,10 +762,11 @@ mod tests {
                     let j = (s >> 33) as usize % (i + 1);
                     order.swap(i, j);
                 }
-                // Deal the permuted arrivals round-robin to k inputs.
+                // Deal each tag to its owning input, preserving the
+                // permuted relative order within each input.
                 let mut per_input: Vec<Vec<(u64, String)>> = vec![Vec::new(); k];
-                for (j, &tag) in order.iter().enumerate() {
-                    per_input[j % k].push((tag, format!("line-{tag}\n")));
+                for &tag in &order {
+                    per_input[(tag % k as u64) as usize].push((tag, format!("line-{tag}\n")));
                 }
                 let inputs: Vec<AggInput> = per_input
                     .iter()

@@ -32,6 +32,7 @@ use pash_coreutils::fs::{Fs, RealFs};
 use pash_coreutils::{run_standalone, Registry};
 
 use crate::agg::run_aggregator;
+use crate::fault::{parse_env_spec, FaultyWriter, INFRA_STATUS};
 use crate::fileseg::read_segment;
 use crate::frame::{write_frame, FrameReader};
 use crate::relay::{run_relay, RelayMode};
@@ -96,12 +97,25 @@ impl Redirections {
         })
     }
 
-    /// Opens the output side, buffered.
+    /// Opens the output side, buffered. When the parent armed this
+    /// child with a stream fault (`PASH_FAULT`, set by the process
+    /// backend on exactly one node per attempt), the writer is
+    /// wrapped so the fault fires at its byte offset — an injected
+    /// death aborts the whole process (SIGABRT, status 134).
     fn open_stdout(&self) -> io::Result<Box<dyn Write + Send>> {
-        Ok(match &self.stdout {
+        let raw: Box<dyn Write + Send> = match &self.stdout {
             Some(p) => Box::new(io::BufWriter::new(std::fs::File::create(p)?)),
             None => Box::new(io::BufWriter::new(io::stdout())),
-        })
+        };
+        Ok(
+            match std::env::var("PASH_FAULT")
+                .ok()
+                .and_then(|s| parse_env_spec(&s))
+            {
+                Some(mode) => Box::new(FaultyWriter::new_abort(raw, mode)),
+                None => raw,
+            },
+        )
     }
 }
 
@@ -365,6 +379,14 @@ pub fn multicall_main(tool: &str, personality: Personality) -> ! {
     let code = match run_multicall(personality, &args) {
         Ok(c) => c,
         Err(e) if e.kind() == io::ErrorKind::BrokenPipe => pash_coreutils::SIGPIPE_STATUS,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            // A corrupted or truncated frame crossed this process:
+            // report the reserved infrastructure status so the parent
+            // backend retries or falls back instead of trusting the
+            // region's output.
+            eprintln!("{tool}: {e}");
+            INFRA_STATUS
+        }
         Err(e) => {
             eprintln!("{tool}: {e}");
             1

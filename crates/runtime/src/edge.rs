@@ -25,8 +25,9 @@ use std::sync::{Arc, Mutex};
 use pash_core::plan::{EndpointKind, PlanEdgeId, PlanNode, RegionPlan};
 use pash_coreutils::fs::Fs;
 
+use crate::fault::{ArmedFault, FaultKind, FaultMode, FaultyWriter};
 use crate::fileseg::read_segment;
-use crate::pipe::pipe;
+use crate::pipe::{pipe_monitored, PipeMonitor};
 
 /// Buffer in front of every edge writer: commands emit line-sized
 /// writes, and each unbuffered write on a pipe edge is a lock
@@ -62,6 +63,7 @@ pub struct MemEdges {
     readers: HashMap<PlanEdgeId, Box<dyn Read + Send>>,
     writers: HashMap<PlanEdgeId, Box<dyn Write + Send>>,
     stdout: Arc<Mutex<Vec<u8>>>,
+    monitors: Vec<PipeMonitor>,
 }
 
 impl MemEdges {
@@ -74,15 +76,51 @@ impl MemEdges {
         stdin: Vec<u8>,
         pipe_capacity: usize,
     ) -> io::Result<MemEdges> {
+        MemEdges::wire_with(r, fs, stdin, pipe_capacity, None)
+    }
+
+    /// [`MemEdges::wire`] with an armed fault: the fault's target
+    /// edge gets a [`FaultyWriter`] wrapper (stream faults) or fails
+    /// to wire at all (the in-process analogue of a `mkfifo` error).
+    pub fn wire_with(
+        r: &RegionPlan,
+        fs: &Arc<dyn Fs>,
+        stdin: Vec<u8>,
+        pipe_capacity: usize,
+        fault: Option<&ArmedFault>,
+    ) -> io::Result<MemEdges> {
         let stdout: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
         let mut readers: HashMap<PlanEdgeId, Box<dyn Read + Send>> = HashMap::new();
         let mut writers: HashMap<PlanEdgeId, Box<dyn Write + Send>> = HashMap::new();
+        let mut monitors: Vec<PipeMonitor> = Vec::new();
         let mut stdin = Some(stdin);
+        let fault_mode = |e: PlanEdgeId| -> Option<FaultMode> {
+            fault.and_then(|a| {
+                if a.edge == Some(e) && a.is_stream_fault() {
+                    a.writer_mode()
+                } else {
+                    None
+                }
+            })
+        };
         for (e, edge) in r.edges.iter().enumerate() {
+            if let Some(a) = fault {
+                if a.kind == FaultKind::MkfifoFail && a.edge == Some(e) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected edge wiring failure",
+                    ));
+                }
+            }
             match &edge.kind {
                 EndpointKind::Pipe => {
-                    let (w, rd) = pipe(pipe_capacity);
-                    writers.insert(e, buffered(w));
+                    let (w, rd, m) = pipe_monitored(pipe_capacity);
+                    monitors.push(m);
+                    let w = match fault_mode(e) {
+                        Some(mode) => buffered(FaultyWriter::new(w, mode)),
+                        None => buffered(w),
+                    };
+                    writers.insert(e, w);
                     readers.insert(e, Box::new(rd));
                 }
                 EndpointKind::StdinPipe { primary } => {
@@ -94,13 +132,23 @@ impl MemEdges {
                     readers.insert(e, Box::new(io::Cursor::new(data)));
                 }
                 EndpointKind::StdoutPipe => {
-                    writers.insert(e, buffered(SharedVecWriter(stdout.clone())));
+                    let w = SharedVecWriter(stdout.clone());
+                    let w = match fault_mode(e) {
+                        Some(mode) => buffered(FaultyWriter::new(w, mode)),
+                        None => buffered(w),
+                    };
+                    writers.insert(e, w);
                 }
                 EndpointKind::InputFile(path) => {
                     readers.insert(e, fs.open(path)?);
                 }
                 EndpointKind::OutputFile(path) => {
-                    writers.insert(e, buffered(fs.create(path)?));
+                    let w = fs.create(path)?;
+                    let w = match fault_mode(e) {
+                        Some(mode) => buffered(FaultyWriter::new(w, mode)),
+                        None => buffered(w),
+                    };
+                    writers.insert(e, w);
                 }
                 EndpointKind::InputSegment { path, part, of } => {
                     let data = read_segment(fs, path, *part, *of)?;
@@ -114,7 +162,14 @@ impl MemEdges {
             readers,
             writers,
             stdout,
+            monitors,
         })
+    }
+
+    /// Takes the monitor handles of every internal pipe (for the
+    /// region-deadline watchdog).
+    pub fn take_monitors(&mut self) -> Vec<PipeMonitor> {
+        std::mem::take(&mut self.monitors)
     }
 
     /// Takes the consumer endpoints of `node`'s inputs, in input
@@ -191,12 +246,39 @@ impl FifoDir {
     /// concurrent regions/processes cannot collide) and a FIFO for
     /// every internal pipe edge of `r`.
     pub fn create(r: &RegionPlan, scratch_root: &Path, tag: &str) -> io::Result<FifoDir> {
+        FifoDir::create_with(r, scratch_root, tag, None)
+    }
+
+    /// [`FifoDir::create`] with an armed fault: a
+    /// [`FaultKind::MkfifoFail`] targeting one of the region's pipe
+    /// edges makes that edge's `mkfifo` fail. The scratch directory
+    /// is removed on any error, so a failed attempt leaks nothing.
+    pub fn create_with(
+        r: &RegionPlan,
+        scratch_root: &Path,
+        tag: &str,
+        fault: Option<&ArmedFault>,
+    ) -> io::Result<FifoDir> {
         let dir = scratch_root.join(format!("pash-fifo-{}-{tag}", std::process::id()));
         std::fs::create_dir_all(&dir)?;
         let mut paths = HashMap::new();
         for e in r.internal_pipes() {
+            let injected = fault
+                .map(|a| a.kind == FaultKind::MkfifoFail && a.edge == Some(e))
+                .unwrap_or(false);
             let p = dir.join(format!("p{e}"));
-            mkfifo(&p)?;
+            let res = if injected {
+                Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected mkfifo failure",
+                ))
+            } else {
+                mkfifo(&p)
+            };
+            if let Err(err) = res {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(err);
+            }
             paths.insert(e, p);
         }
         Ok(FifoDir { dir, paths })

@@ -12,7 +12,9 @@
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use pash_core::compile::PashConfig;
 use pash_core::plan::{
@@ -25,10 +27,12 @@ use pash_coreutils::{CmdIo, Registry, SIGPIPE_STATUS};
 
 use crate::agg::run_aggregator;
 use crate::edge::MemEdges;
+use crate::fault::{ArmedFault, ExecError, FaultKind};
 use crate::frame::{write_frame, FrameReader};
 use crate::pipe::{MultiReader, DEFAULT_PIPE_CAPACITY};
 use crate::relay::{run_relay, RelayMode};
 use crate::split::{split_general, split_round_robin};
+use crate::supervise::{supervise_region, SupervisorSettings};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -42,6 +46,9 @@ pub struct ExecConfig {
     /// values let non-conflicting regions (per
     /// [`ExecutionPlan::parallel_waves`]) overlap.
     pub max_inflight: usize,
+    /// The execution supervisor: retries, region deadlines, fault
+    /// injection, sequential fallback (see [`crate::supervise`]).
+    pub supervisor: SupervisorSettings,
 }
 
 impl Default for ExecConfig {
@@ -50,8 +57,15 @@ impl Default for ExecConfig {
             pipe_capacity: DEFAULT_PIPE_CAPACITY,
             blocking_relay_chunks: 8,
             max_inflight: 1,
+            supervisor: SupervisorSettings::default(),
         }
     }
+}
+
+/// Locks a mutex, tolerating poison: a panicking node thread must not
+/// cascade into every other thread that shares the status table.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Result of executing one region plan.
@@ -127,6 +141,8 @@ impl Fs for StreamFs {
 /// Executes one region plan.
 ///
 /// `stdin` feeds the region's primary boundary pipe input (if any).
+/// This is a single unsupervised attempt; retries, deadlines, and
+/// fallback live in [`run_program`]'s per-step supervision.
 pub fn run_region(
     r: &RegionPlan,
     registry: &Registry,
@@ -134,17 +150,68 @@ pub fn run_region(
     stdin: Vec<u8>,
     cfg: &ExecConfig,
 ) -> io::Result<RegionOutput> {
+    run_region_attempt(r, registry, fs, stdin, cfg, None, None).map_err(io::Error::from)
+}
+
+/// One attempt at a region, with optional fault injection and an
+/// optional deadline (taken from `settings`).
+///
+/// The deadline is enforced by a watchdog thread: on expiry it poisons
+/// every in-memory pipe (unblocking parked readers and writers with
+/// `TimedOut`) and cancels any injected stall, so wedged node threads
+/// unwind promptly instead of hanging the scope. The thread-backend
+/// analogue of SIGKILL-after-grace.
+fn run_region_attempt(
+    r: &RegionPlan,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    cfg: &ExecConfig,
+    fault: Option<&ArmedFault>,
+    settings: Option<&SupervisorSettings>,
+) -> Result<RegionOutput, ExecError> {
     r.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
-    let mut edges = MemEdges::wire(r, &fs, stdin, cfg.pipe_capacity)?;
+        .map_err(|e| ExecError::fatal("plan", io::Error::new(io::ErrorKind::InvalidInput, e)))?;
+    let mut edges = MemEdges::wire_with(r, &fs, stdin, cfg.pipe_capacity, fault)
+        .map_err(|e| ExecError::classify("edge wiring", e))?;
     let stdout_buf = edges.stdout_handle();
+    let monitors = edges.take_monitors();
+    let deadline = settings.and_then(|s| s.region_deadline);
+    let deadline_hit = Arc::new(AtomicBool::new(false));
+    let remaining = Arc::new(AtomicUsize::new(r.nodes.len()));
 
     // Spawn one thread per node in plan (topological) order — order is
     // not semantically required (pipes synchronize) but makes teardown
     // deterministic in tests.
     let statuses: Arc<Mutex<Vec<(PlanNodeId, i32)>>> = Arc::new(Mutex::new(Vec::new()));
-    let hard_error: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
+    let hard_error: Arc<Mutex<Option<ExecError>>> = Arc::new(Mutex::new(None));
     std::thread::scope(|scope| {
+        if let Some(limit) = deadline {
+            let remaining = remaining.clone();
+            let deadline_hit = deadline_hit.clone();
+            let monitors = &monitors;
+            let cancel = fault.map(|a| a.cancel.clone());
+            scope.spawn(move || {
+                let end = Instant::now() + limit;
+                loop {
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now >= end {
+                        deadline_hit.store(true, Ordering::Release);
+                        if let Some(c) = &cancel {
+                            c.cancel();
+                        }
+                        for m in monitors {
+                            m.poison();
+                        }
+                        return;
+                    }
+                    std::thread::sleep((end - now).min(Duration::from_millis(5)));
+                }
+            });
+        }
         for (id, node) in r.nodes.iter().enumerate() {
             let ins = edges.take_inputs(node);
             let outs = edges.take_outputs(node);
@@ -152,32 +219,62 @@ pub fn run_region(
             let fs = fs.clone();
             let statuses = statuses.clone();
             let hard_error = hard_error.clone();
+            let remaining = remaining.clone();
             let ecfg = cfg.clone();
+            let spawn_fault = fault
+                .filter(|a| {
+                    a.node == Some(id)
+                        && matches!(a.kind, FaultKind::SpawnFail | FaultKind::SpawnDelay)
+                })
+                .cloned();
             scope.spawn(move || {
-                let res = run_node(node, ins, outs, &registry, fs, &ecfg);
+                let res = (|| {
+                    if let Some(a) = &spawn_fault {
+                        match a.kind {
+                            FaultKind::SpawnFail => {
+                                // Dropping ins/outs closes the node's
+                                // edges, so neighbours tear down.
+                                return Err(io::Error::new(
+                                    io::ErrorKind::Interrupted,
+                                    "injected spawn failure",
+                                ));
+                            }
+                            FaultKind::SpawnDelay => std::thread::sleep(a.delay),
+                            _ => {}
+                        }
+                    }
+                    run_node(node, ins, outs, &registry, fs, &ecfg)
+                })();
                 match res {
-                    Ok(s) => statuses.lock().expect("status lock").push((id, s)),
+                    Ok(s) => lock(&statuses).push((id, s)),
                     Err(e) if e.kind() == io::ErrorKind::BrokenPipe => {
                         // SIGPIPE-style death: normal early-exit
                         // teardown, not an error.
-                        statuses
-                            .lock()
-                            .expect("status lock")
-                            .push((id, SIGPIPE_STATUS));
+                        lock(&statuses).push((id, SIGPIPE_STATUS));
                     }
                     Err(e) => {
-                        statuses.lock().expect("status lock").push((id, 127));
-                        hard_error.lock().expect("error lock").get_or_insert(e);
+                        lock(&statuses).push((id, 127));
+                        lock(&hard_error).get_or_insert(ExecError::classify("node", e).at_node(id));
                     }
                 }
+                remaining.fetch_sub(1, Ordering::AcqRel);
             });
         }
     });
-    if let Some(e) = hard_error.lock().expect("error lock").take() {
+    if deadline_hit.load(Ordering::Acquire) {
+        if let Some(s) = settings {
+            s.note_deadline_kill();
+        }
+        return Err(ExecError::transient(
+            "region deadline",
+            io::Error::new(io::ErrorKind::TimedOut, "region deadline exceeded"),
+        ));
+    }
+    if let Some(e) = lock(&hard_error).take() {
         return Err(e);
     }
-    let stdout = std::mem::take(&mut *stdout_buf.lock().expect("stdout lock"));
-    let statuses = std::mem::take(&mut *statuses.lock().expect("status lock"));
+    let stdout = std::mem::take(&mut *lock(&stdout_buf));
+    let statuses = std::mem::take(&mut *lock(&statuses));
     // The sequential pipeline's verdict: fold the statuses of the
     // real commands behind the output (the emitted script does the
     // same with its `pash_spids` wait loop).
@@ -377,6 +474,44 @@ pub fn run_program(
     stdin: Vec<u8>,
     cfg: &ExecConfig,
 ) -> io::Result<ProgramOutput> {
+    run_program_with_fallback(plan, None, registry, fs, stdin, cfg)
+}
+
+/// Two plans compiled from the same source at different widths have
+/// the same step skeleton (lowering maps source steps 1:1 regardless
+/// of width); anything else means the fallback plan is not a
+/// re-execution of the same program and must not be used.
+fn plans_align(a: &ExecutionPlan, b: &ExecutionPlan) -> bool {
+    a.steps.len() == b.steps.len()
+        && a.steps.iter().zip(&b.steps).all(|(x, y)| match (x, y) {
+            (PlanStep::Region(_), PlanStep::Region(_)) => true,
+            (PlanStep::Guard(g), PlanStep::Guard(h)) => g == h,
+            (PlanStep::Shell { text: t, .. }, PlanStep::Shell { text: u, .. }) => t == u,
+            _ => false,
+        })
+}
+
+/// [`run_program`] with an optional sequential fallback plan: the same
+/// program compiled at width 1. When a region exhausts its retries
+/// under the supervisor, the aligned fallback region re-executes it
+/// through the sequential path — by construction that output is the
+/// reference output, so a fault can degrade performance but never
+/// correctness.
+pub fn run_program_with_fallback(
+    plan: &ExecutionPlan,
+    fallback: Option<&ExecutionPlan>,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    cfg: &ExecConfig,
+) -> io::Result<ProgramOutput> {
+    let fallback = fallback.filter(|f| plans_align(plan, f));
+    let fb_step = |i: usize| -> Option<&RegionPlan> {
+        match fallback.map(|f| &f.steps[i]) {
+            Some(PlanStep::Region(r)) => Some(r),
+            _ => None,
+        }
+    };
     let mut st = StepState {
         stdout: Vec::new(),
         status: 0,
@@ -386,22 +521,66 @@ pub fn run_program(
     if cfg.max_inflight > 1 {
         for wave in plan.parallel_waves() {
             if wave.len() > 1 && !st.skip_next {
-                run_wave(plan, &wave, registry, &fs, cfg, &mut st)?;
+                run_wave(plan, fallback, &wave, registry, &fs, cfg, &mut st)?;
             } else {
                 for &i in &wave {
-                    run_step(&plan.steps[i], registry, &fs, cfg, &mut st)?;
+                    run_step(&plan.steps[i], fb_step(i), registry, &fs, cfg, &mut st)?;
                 }
             }
         }
     } else {
-        for step in &plan.steps {
-            run_step(step, registry, &fs, cfg, &mut st)?;
+        for (i, step) in plan.steps.iter().enumerate() {
+            run_step(step, fb_step(i), registry, &fs, cfg, &mut st)?;
         }
     }
     Ok(ProgramOutput {
         stdout: st.stdout,
         status: st.status,
     })
+}
+
+/// Runs one region under the supervisor: bounded retries with backoff
+/// for replayable regions, a per-attempt fault arm, and (when retries
+/// are exhausted) re-execution through the width-1 `fallback` region.
+fn run_supervised(
+    r: &RegionPlan,
+    fallback: Option<&RegionPlan>,
+    registry: &Registry,
+    fs: &Arc<dyn Fs>,
+    feed: Vec<u8>,
+    cfg: &ExecConfig,
+) -> io::Result<RegionOutput> {
+    let sup = &cfg.supervisor;
+    let mut attempt = |armed: Option<ArmedFault>| {
+        run_region_attempt(
+            r,
+            registry,
+            fs.clone(),
+            feed.clone(),
+            cfg,
+            armed.as_ref(),
+            Some(sup),
+        )
+    };
+    let out = match fallback {
+        Some(fb) => supervise_region(
+            r,
+            sup,
+            &mut attempt,
+            Some(|| {
+                // The fallback attempt runs the sequential region with no
+                // injection and no deadline: it is the reference run.
+                run_region_attempt(fb, registry, fs.clone(), feed.clone(), cfg, None, None)
+            }),
+        ),
+        None => supervise_region(
+            r,
+            sup,
+            &mut attempt,
+            None::<fn() -> Result<RegionOutput, ExecError>>,
+        ),
+    };
+    out.map_err(io::Error::from)
 }
 
 /// Mutable interpreter state threaded through steps.
@@ -415,6 +594,7 @@ struct StepState {
 /// Executes one plan step sequentially.
 fn run_step(
     step: &PlanStep,
+    fallback: Option<&RegionPlan>,
     registry: &Registry,
     fs: &Arc<dyn Fs>,
     cfg: &ExecConfig,
@@ -436,7 +616,7 @@ fn run_step(
             } else {
                 Vec::new()
             };
-            let out = run_region(r, registry, fs.clone(), feed, cfg)?;
+            let out = run_supervised(r, fallback, registry, fs, feed, cfg)?;
             st.status = out.status();
             st.stdout.extend_from_slice(&out.stdout);
         }
@@ -463,6 +643,7 @@ fn run_step(
 /// stdin, and no stdout).
 fn run_wave(
     plan: &ExecutionPlan,
+    fallback: Option<&ExecutionPlan>,
     wave: &[usize],
     registry: &Registry,
     fs: &Arc<dyn Fs>,
@@ -470,7 +651,8 @@ fn run_wave(
     st: &mut StepState,
 ) -> io::Result<()> {
     for chunk in wave.chunks(cfg.max_inflight.max(1)) {
-        let mut jobs: Vec<(usize, &RegionPlan, Vec<u8>)> = Vec::with_capacity(chunk.len());
+        let mut jobs: Vec<(usize, &RegionPlan, Option<&RegionPlan>, Vec<u8>)> =
+            Vec::with_capacity(chunk.len());
         for &i in chunk {
             let PlanStep::Region(r) = &plan.steps[i] else {
                 // The wave builder only groups regions; anything else
@@ -480,22 +662,26 @@ fn run_wave(
                     "non-region step in a parallel wave",
                 ));
             };
+            let fb = match fallback.map(|f| &f.steps[i]) {
+                Some(PlanStep::Region(fr)) => Some(fr),
+                _ => None,
+            };
             let feed = if r.reads_stdin() {
                 st.stdin.take().unwrap_or_default()
             } else {
                 Vec::new()
             };
-            jobs.push((i, r, feed));
+            jobs.push((i, r, fb, feed));
         }
         let mut results: Vec<(usize, io::Result<RegionOutput>)> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
-                .map(|(i, r, feed)| {
+                .map(|(i, r, fb, feed)| {
                     let registry = registry.clone();
                     let fs = fs.clone();
                     let cfg = cfg.clone();
-                    scope.spawn(move || (i, run_region(r, &registry, fs, feed, &cfg)))
+                    scope.spawn(move || (i, run_supervised(r, fb, &registry, &fs, feed, &cfg)))
                 })
                 .collect();
             for h in handles {
@@ -558,7 +744,29 @@ pub fn run_script(
 ) -> io::Result<ProgramOutput> {
     let compiled = pash_core::compile::compile_cached(src, pash_cfg)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-    run_program(&compiled.plan, registry, fs, stdin, exec_cfg)
+    // The sequential fallback plan: the same source at width 1. Only
+    // compiled when the supervisor could use it; compile_cached makes
+    // repeat runs free.
+    let fallback = if exec_cfg.supervisor.fallback && pash_cfg.width != 1 {
+        pash_core::compile::compile_cached(
+            src,
+            &PashConfig {
+                width: 1,
+                ..pash_cfg.clone()
+            },
+        )
+        .ok()
+    } else {
+        None
+    };
+    run_program_with_fallback(
+        &compiled.plan,
+        fallback.as_deref().map(|c| &c.plan),
+        registry,
+        fs,
+        stdin,
+        exec_cfg,
+    )
 }
 
 #[cfg(test)]

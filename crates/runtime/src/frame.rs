@@ -23,6 +23,15 @@ use std::io::{self, Read, Write};
 pub const MAGIC: [u8; 4] = [0x01, b'R', b'S', b'B'];
 /// Fixed header length: magic + u64 tag + u32 payload length.
 pub const HEADER_LEN: usize = 16;
+/// Largest payload a reader accepts (256 MiB). Splitters deal blocks
+/// orders of magnitude smaller; a length beyond this is corruption,
+/// and rejecting it up front keeps a flipped length bit from turning
+/// into a giant allocation.
+pub const MAX_FRAME_LEN: usize = 1 << 28;
+/// Largest tag a reader accepts. Tags count blocks from zero, so a
+/// tag needing more than 48 bits means the header bytes were damaged
+/// (e.g. a corrupted stream where the magic happened to survive).
+pub const MAX_FRAME_TAG: u64 = 1 << 48;
 
 /// Writes one frame. A broken pipe is reported as such (callers that
 /// tolerate early-exiting consumers map it to "abandoned").
@@ -73,7 +82,19 @@ impl<R: Read> FrameReader<R> {
             ));
         }
         let tag = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        if tag > MAX_FRAME_TAG {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame tag {tag} out of range (corrupted header?)"),
+            ));
+        }
         let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} out of range (corrupted header?)"),
+            ));
+        }
         let mut payload = vec![0u8; len];
         self.inner.read_exact(&mut payload).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
@@ -129,5 +150,58 @@ mod tests {
         let mut r = FrameReader::new(io::Cursor::new(half_header));
         let err = r.next_frame().expect_err("truncated header");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Asserts the stream fails with `InvalidData` whose message
+    /// contains `what`.
+    fn expect_invalid(bytes: Vec<u8>, what: &str) {
+        let mut r = FrameReader::new(io::Cursor::new(bytes));
+        let err = r.next_frame().expect_err(what);
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{what}");
+        assert!(err.to_string().contains(what), "{what}: got {err}");
+    }
+
+    #[test]
+    fn truncated_magic_is_classified() {
+        // EOF two bytes into the magic: "truncated frame header".
+        expect_invalid(MAGIC[..2].to_vec(), "truncated frame header");
+    }
+
+    #[test]
+    fn truncated_length_word_is_classified() {
+        // The magic and tag arrive, the length word does not.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.extend_from_slice(&7u32.to_le_bytes()[..2]);
+        expect_invalid(buf, "truncated frame header");
+    }
+
+    #[test]
+    fn short_payload_at_eof_is_classified() {
+        // A full header promising 8 bytes, only 3 delivered.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 0, b"12345678").expect("write");
+        buf.truncate(HEADER_LEN + 3);
+        expect_invalid(buf, "truncated frame payload");
+    }
+
+    #[test]
+    fn tag_out_of_range_is_classified() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        expect_invalid(buf, "tag");
+    }
+
+    #[test]
+    fn oversized_length_is_classified() {
+        // A corrupted length word must be rejected before allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        expect_invalid(buf, "length");
     }
 }

@@ -40,6 +40,7 @@ pub mod agg;
 pub mod cli;
 pub mod edge;
 pub mod exec;
+pub mod fault;
 pub mod fileseg;
 pub mod frame;
 pub mod pipe;
@@ -47,9 +48,15 @@ pub mod proc;
 pub mod relay;
 pub mod scan;
 pub mod split;
+pub mod supervise;
 
 pub use exec::{
-    run_program, run_region, run_script, ExecConfig, ProgramOutput, RegionOutput, ThreadedBackend,
+    run_program, run_program_with_fallback, run_region, run_script, ExecConfig, ProgramOutput,
+    RegionOutput, ThreadedBackend,
 };
-pub use pipe::{pipe, MultiReader, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY};
+pub use fault::{ExecError, FaultClass, FaultKind, FaultPlan, INFRA_STATUS};
+pub use pipe::{
+    pipe, pipe_monitored, MultiReader, PipeMonitor, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY,
+};
 pub use scan::LineScanner;
+pub use supervise::{supervise_region, SupervisorCounters, SupervisorSettings};

@@ -53,6 +53,9 @@ struct Inner {
     len: usize,
     writer_closed: bool,
     reader_closed: bool,
+    /// Set by [`PipeMonitor::poison`] (the region-deadline watchdog):
+    /// both ends fail with `TimedOut` instead of blocking further.
+    poisoned: bool,
     /// The reader is parked on `data_available` (set under the lock
     /// just before waiting; a notifier clears it).
     reader_parked: bool,
@@ -109,6 +112,13 @@ struct Shared {
 
 /// Creates a bounded pipe with the given capacity in bytes.
 pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
+    let (w, r, _) = pipe_monitored(capacity);
+    (w, r)
+}
+
+/// Creates a bounded pipe plus a [`PipeMonitor`] handle that can
+/// poison it from outside (the region-deadline watchdog).
+pub fn pipe_monitored(capacity: usize) -> (PipeWriter, PipeReader, PipeMonitor) {
     let capacity = capacity.max(1);
     let shared = Arc::new(Shared {
         inner: Mutex::new(Inner {
@@ -117,6 +127,7 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
             len: 0,
             writer_closed: false,
             reader_closed: false,
+            poisoned: false,
             reader_parked: false,
             writer_parked: false,
         }),
@@ -127,8 +138,36 @@ pub fn pipe(capacity: usize) -> (PipeWriter, PipeReader) {
         PipeWriter {
             shared: shared.clone(),
         },
-        PipeReader { shared },
+        PipeReader {
+            shared: shared.clone(),
+        },
+        PipeMonitor { shared },
     )
+}
+
+/// An out-of-band handle on a pipe, held by the deadline watchdog.
+pub struct PipeMonitor {
+    shared: Arc<Shared>,
+}
+
+impl PipeMonitor {
+    /// Poisons the pipe: both ends — including ones currently parked
+    /// on a condvar — fail with `TimedOut` instead of blocking. This
+    /// is how a region deadline unwedges node threads stuck on a
+    /// stalled edge.
+    pub fn poison(&self) {
+        let mut inner = self.shared.inner.lock();
+        inner.poisoned = true;
+        inner.reader_parked = false;
+        inner.writer_parked = false;
+        self.shared.data_available.notify_all();
+        self.shared.space_available.notify_all();
+    }
+}
+
+/// The error both ends report once poisoned.
+fn poisoned_error() -> io::Error {
+    io::Error::new(io::ErrorKind::TimedOut, "pipe poisoned by region deadline")
 }
 
 /// The writing end of a [`pipe`].
@@ -149,6 +188,9 @@ impl Write for PipeWriter {
         let mut spins = 0;
         let mut inner = self.shared.inner.lock();
         loop {
+            if inner.poisoned {
+                return Err(poisoned_error());
+            }
             if inner.reader_closed {
                 return Err(io::Error::new(
                     io::ErrorKind::BrokenPipe,
@@ -199,6 +241,9 @@ impl Read for PipeReader {
         let mut spins = 0;
         let mut inner = self.shared.inner.lock();
         loop {
+            if inner.poisoned {
+                return Err(poisoned_error());
+            }
             if inner.len > 0 {
                 let n = inner.pop(out);
                 if inner.writer_parked {
@@ -351,6 +396,22 @@ mod tests {
         let mut buf = [0u8; 7];
         r.read_exact(&mut buf).expect("wrapping read");
         assert_eq!(&buf, b"0123456");
+    }
+
+    #[test]
+    fn poison_unblocks_parked_ends() {
+        let (mut w, mut r, m) = pipe_monitored(4);
+        // Park the reader on an empty pipe, then poison from outside.
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 4];
+            r.read(&mut buf)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        m.poison();
+        let err = t.join().expect("join").expect_err("poisoned read");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let err = w.write(b"x").expect_err("poisoned write");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]

@@ -37,6 +37,15 @@ use pash_core::plan::{
 
 use crate::edge::FifoDir;
 use crate::exec::{ProgramOutput, RegionOutput};
+use crate::fault::{ArmedFault, ExecError, FaultKind, INFRA_STATUS};
+use crate::supervise::{supervise_region, SupervisorSettings};
+
+/// Exit status of a child killed by `SIGABRT` (128 + 6): how an
+/// injected in-child worker death ([`crate::fault::FaultMode::Die`])
+/// reports itself. Together with [`INFRA_STATUS`] these are the two
+/// reaped statuses the backend classifies as infrastructure failures
+/// rather than command verdicts.
+const ABORT_STATUS: i32 = 134;
 
 /// Process-backend configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +65,9 @@ pub struct ProcConfig {
     /// values let non-conflicting regions (per
     /// [`ExecutionPlan::parallel_waves`]) overlap.
     pub max_inflight: usize,
+    /// The execution supervisor: retries, region deadlines, fault
+    /// injection, sequential fallback (see [`crate::supervise`]).
+    pub supervisor: SupervisorSettings,
 }
 
 impl ProcConfig {
@@ -69,6 +81,7 @@ impl ProcConfig {
             scratch: None,
             kill_grace: Duration::from_secs(2),
             max_inflight: 1,
+            supervisor: SupervisorSettings::default(),
         })
     }
 }
@@ -163,6 +176,38 @@ pub fn run_plan(
     root: &Path,
     stdin: Vec<u8>,
 ) -> io::Result<ProgramOutput> {
+    run_plan_with_fallback(plan, None, cfg, root, stdin)
+}
+
+/// Two plans compiled from the same source at different widths have
+/// the same step skeleton; anything else disqualifies the fallback.
+fn plans_align(a: &ExecutionPlan, b: &ExecutionPlan) -> bool {
+    a.steps.len() == b.steps.len()
+        && a.steps.iter().zip(&b.steps).all(|(x, y)| match (x, y) {
+            (PlanStep::Region(_), PlanStep::Region(_)) => true,
+            (PlanStep::Guard(g), PlanStep::Guard(h)) => g == h,
+            (PlanStep::Shell { text: t, .. }, PlanStep::Shell { text: u, .. }) => t == u,
+            _ => false,
+        })
+}
+
+/// [`run_plan`] with an optional width-1 fallback plan for the
+/// supervisor's graceful-degradation path (see
+/// [`crate::exec::run_program_with_fallback`] for the contract).
+pub fn run_plan_with_fallback(
+    plan: &ExecutionPlan,
+    fallback: Option<&ExecutionPlan>,
+    cfg: &ProcConfig,
+    root: &Path,
+    stdin: Vec<u8>,
+) -> io::Result<ProgramOutput> {
+    let fallback = fallback.filter(|f| plans_align(plan, f));
+    let fb_step = |i: usize| -> Option<&RegionPlan> {
+        match fallback.map(|f| &f.steps[i]) {
+            Some(PlanStep::Region(r)) => Some(r),
+            _ => None,
+        }
+    };
     let mut st = PlanState {
         stdout: Vec::new(),
         status: 0,
@@ -172,22 +217,56 @@ pub fn run_plan(
     if cfg.max_inflight > 1 {
         for wave in plan.parallel_waves() {
             if wave.len() > 1 && !st.skip_next {
-                run_plan_wave(plan, &wave, cfg, root, &mut st)?;
+                run_plan_wave(plan, fallback, &wave, cfg, root, &mut st)?;
             } else {
                 for &i in &wave {
-                    run_plan_step(&plan.steps[i], cfg, root, &mut st)?;
+                    run_plan_step(&plan.steps[i], fb_step(i), cfg, root, &mut st)?;
                 }
             }
         }
     } else {
-        for step in &plan.steps {
-            run_plan_step(step, cfg, root, &mut st)?;
+        for (i, step) in plan.steps.iter().enumerate() {
+            run_plan_step(step, fb_step(i), cfg, root, &mut st)?;
         }
     }
     Ok(ProgramOutput {
         stdout: st.stdout,
         status: st.status,
     })
+}
+
+/// Runs one region under the supervisor (retries with backoff,
+/// per-attempt fault arm, sequential fallback) — the process-tree
+/// sibling of the threaded executor's `run_supervised`.
+fn run_supervised(
+    r: &RegionPlan,
+    fallback: Option<&RegionPlan>,
+    cfg: &ProcConfig,
+    root: &Path,
+    feed: Vec<u8>,
+) -> io::Result<RegionOutput> {
+    let sup = &cfg.supervisor;
+    let mut attempt = |armed: Option<ArmedFault>| {
+        run_region_attempt(r, cfg, root, feed.clone(), armed.as_ref(), Some(sup))
+    };
+    let out = match fallback {
+        Some(fb) => supervise_region(
+            r,
+            sup,
+            &mut attempt,
+            Some(|| {
+                // The sequential reference run: no injection, no deadline.
+                run_region_attempt(fb, cfg, root, feed.clone(), None, None)
+            }),
+        ),
+        None => supervise_region(
+            r,
+            sup,
+            &mut attempt,
+            None::<fn() -> Result<RegionOutput, ExecError>>,
+        ),
+    };
+    out.map_err(io::Error::from)
 }
 
 /// Mutable interpreter state threaded through steps.
@@ -201,6 +280,7 @@ struct PlanState {
 /// Executes one plan step sequentially.
 fn run_plan_step(
     step: &PlanStep,
+    fallback: Option<&RegionPlan>,
     cfg: &ProcConfig,
     root: &Path,
     st: &mut PlanState,
@@ -221,7 +301,7 @@ fn run_plan_step(
             } else {
                 Vec::new()
             };
-            let out = run_region(r, cfg, root, feed)?;
+            let out = run_supervised(r, fallback, cfg, root, feed)?;
             st.status = out.status();
             st.stdout.extend_from_slice(&out.stdout);
         }
@@ -254,13 +334,15 @@ fn run_plan_step(
 /// [`crate::exec`]'s threaded equivalent for the ordering argument).
 fn run_plan_wave(
     plan: &ExecutionPlan,
+    fallback: Option<&ExecutionPlan>,
     wave: &[usize],
     cfg: &ProcConfig,
     root: &Path,
     st: &mut PlanState,
 ) -> io::Result<()> {
     for chunk in wave.chunks(cfg.max_inflight.max(1)) {
-        let mut jobs: Vec<(usize, &RegionPlan, Vec<u8>)> = Vec::with_capacity(chunk.len());
+        let mut jobs: Vec<(usize, &RegionPlan, Option<&RegionPlan>, Vec<u8>)> =
+            Vec::with_capacity(chunk.len());
         for &i in chunk {
             let PlanStep::Region(r) = &plan.steps[i] else {
                 return Err(io::Error::new(
@@ -268,20 +350,24 @@ fn run_plan_wave(
                     "non-region step in a parallel wave",
                 ));
             };
+            let fb = match fallback.map(|f| &f.steps[i]) {
+                Some(PlanStep::Region(fr)) => Some(fr),
+                _ => None,
+            };
             let feed = if r.reads_stdin() {
                 st.stdin.take().unwrap_or_default()
             } else {
                 Vec::new()
             };
-            jobs.push((i, r, feed));
+            jobs.push((i, r, fb, feed));
         }
         let mut results: Vec<(usize, io::Result<RegionOutput>)> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
-                .map(|(i, r, feed)| {
+                .map(|(i, r, fb, feed)| {
                     let cfg = cfg.clone();
-                    scope.spawn(move || (i, run_region(r, &cfg, root, feed)))
+                    scope.spawn(move || (i, run_supervised(r, fb, &cfg, root, feed)))
                 })
                 .collect();
             for h in handles {
@@ -316,57 +402,140 @@ fn edge_name(r: &RegionPlan, fifos: &FifoDir, e: PlanEdgeId) -> io::Result<std::
 }
 
 /// Executes one region as a process tree; `stdin` feeds the primary
-/// boundary input.
+/// boundary input. A single unsupervised attempt; retries, deadlines,
+/// and fallback live in [`run_plan`]'s per-step supervision.
 pub fn run_region(
     r: &RegionPlan,
     cfg: &ProcConfig,
     root: &Path,
     stdin: Vec<u8>,
 ) -> io::Result<RegionOutput> {
+    run_region_attempt(r, cfg, root, stdin, None, None).map_err(io::Error::from)
+}
+
+/// One attempt at a region, with optional fault injection and an
+/// optional deadline (taken from `settings`). Parent-side faults
+/// (spawn failure/delay, mkfifo failure) are injected here; stream
+/// faults travel to the armed child via the `PASH_FAULT` environment
+/// variable, which the multicall wraps around its stdout.
+fn run_region_attempt(
+    r: &RegionPlan,
+    cfg: &ProcConfig,
+    root: &Path,
+    stdin: Vec<u8>,
+    fault: Option<&ArmedFault>,
+    settings: Option<&SupervisorSettings>,
+) -> Result<RegionOutput, ExecError> {
     r.validate()
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        .map_err(|e| ExecError::fatal("plan", io::Error::new(io::ErrorKind::InvalidInput, e)))?;
     static SEQ: AtomicU64 = AtomicU64::new(0);
     let scratch = cfg.scratch.clone().unwrap_or_else(std::env::temp_dir);
     let tag = format!("r{}", SEQ.fetch_add(1, Ordering::Relaxed));
-    let fifos = FifoDir::create(r, &scratch, &tag)?;
+    let fifos = FifoDir::create_with(r, &scratch, &tag, fault)
+        .map_err(|e| ExecError::classify("edge wiring", e))?;
+    let deadline = settings
+        .and_then(|s| s.region_deadline)
+        .map(|d| Instant::now() + d);
 
     let mut children: Vec<Child> = Vec::with_capacity(r.nodes.len());
     let mut helpers: Vec<Child> = Vec::new();
-    let result = spawn_and_reap(r, cfg, root, stdin, &fifos, &mut children, &mut helpers);
+    let result = spawn_and_reap(
+        r,
+        cfg,
+        root,
+        stdin,
+        &fifos,
+        fault,
+        deadline,
+        &mut children,
+        &mut helpers,
+    );
     if result.is_err() {
         // A failure partway through spawning (a missing binary, an
         // unreadable input) must not leak the children already
         // spawned: blocked in a FIFO open, they would outlive the
         // FIFOs' unlink forever. SIGKILL — not PIPE, which an open(2)
-        // does not observe — and reap everything still running.
+        // does not observe — and reap everything still running. A
+        // deadline expiry lands here too: this is the escalation from
+        // `kill_grace` to an unconditional SIGKILL of the region.
         for child in children.iter_mut().chain(helpers.iter_mut()) {
             if !matches!(child.try_wait(), Ok(Some(_))) {
                 let _ = child.kill();
                 let _ = child.wait();
             }
         }
+        if let (Some(s), Err(e)) = (settings, &result) {
+            if e.is_deadline() {
+                s.note_deadline_kill();
+            }
+        }
     }
     result
+}
+
+/// Waits for one child, polling so an optional region deadline can
+/// interrupt the wait. Expiry reports a transient `TimedOut` error —
+/// the caller's error path SIGKILLs the whole region.
+fn wait_deadline(
+    child: &mut Child,
+    id: PlanNodeId,
+    deadline: Option<Instant>,
+) -> Result<i32, ExecError> {
+    loop {
+        if let Some(st) = child
+            .try_wait()
+            .map_err(|e| ExecError::classify("wait", e).at_node(id))?
+        {
+            return Ok(exit_code(st));
+        }
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                return Err(ExecError::transient(
+                    "region deadline",
+                    io::Error::new(io::ErrorKind::TimedOut, "region deadline exceeded"),
+                )
+                .at_node(id));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
 }
 
 /// The fallible body of [`run_region`]: spawns every node, waits on
 /// the output producers, and tears the region down. Children are
 /// pushed into the caller's vectors as they spawn, so an early `?`
 /// return leaves the caller holding everything that needs killing.
+#[allow(clippy::too_many_arguments)]
 fn spawn_and_reap(
     r: &RegionPlan,
     cfg: &ProcConfig,
     root: &Path,
     stdin: Vec<u8>,
     fifos: &FifoDir,
+    fault: Option<&ArmedFault>,
+    deadline: Option<Instant>,
     children: &mut Vec<Child>,
     helpers: &mut Vec<Child>,
-) -> io::Result<RegionOutput> {
+) -> Result<RegionOutput, ExecError> {
     let mut feeders = Vec::new();
     let mut drains: Vec<std::thread::JoinHandle<Vec<u8>>> = Vec::new();
     let mut stdin = Some(stdin);
 
-    for node in &r.nodes {
+    for (id, node) in r.nodes.iter().enumerate() {
+        // Parent-side spawn faults for the armed node.
+        if let Some(a) = fault.filter(|a| a.node == Some(id)) {
+            match a.kind {
+                FaultKind::SpawnFail => {
+                    return Err(ExecError::transient(
+                        "spawn",
+                        io::Error::new(io::ErrorKind::Interrupted, "injected spawn failure"),
+                    )
+                    .at_node(id));
+                }
+                FaultKind::SpawnDelay => std::thread::sleep(a.delay),
+                _ => {}
+            }
+        }
         let spec = node.spawn_spec();
         let bin = match spec.bin {
             SpawnBin::Coreutils => &cfg.pashc,
@@ -374,6 +543,15 @@ fn spawn_and_reap(
         };
         let mut cmd = Command::new(bin);
         cmd.current_dir(root);
+        // Stream faults ride to the armed child in the environment;
+        // the multicall wraps its stdout in the corresponding
+        // FaultyWriter (see `cli.rs`). Everything else must run clean.
+        if let Some(spec) = fault
+            .filter(|a| a.node == Some(id))
+            .and_then(|a| a.env_spec())
+        {
+            cmd.env("PASH_FAULT", spec);
+        }
 
         // Standard-input routing. FIFO endpoints are passed by path
         // (`--stdin`) and opened by the child itself — a parent-side
@@ -390,7 +568,9 @@ fn spawn_and_reap(
                     cmd.stdin(Stdio::null());
                 }
                 EndpointKind::InputFile(p) => {
-                    cmd.stdin(Stdio::from(std::fs::File::open(root.join(p))?));
+                    let f = std::fs::File::open(root.join(p))
+                        .map_err(|e| ExecError::classify("open input file", e).at_node(id))?;
+                    cmd.stdin(Stdio::from(f));
                 }
                 EndpointKind::InputSegment { path, part, of } => {
                     // A fileseg producer pipes straight into the node,
@@ -403,8 +583,16 @@ fn spawn_and_reap(
                         .arg(of.to_string())
                         .stdin(Stdio::null())
                         .stdout(Stdio::piped());
-                    let mut helper = h.spawn()?;
-                    let out = helper.stdout.take().expect("piped helper stdout");
+                    let mut helper = h
+                        .spawn()
+                        .map_err(|e| ExecError::classify("spawn fileseg helper", e).at_node(id))?;
+                    let out = helper.stdout.take().ok_or_else(|| {
+                        ExecError::fatal(
+                            "spawn fileseg helper",
+                            io::Error::other("piped helper stdout missing"),
+                        )
+                        .at_node(id)
+                    })?;
                     cmd.stdin(Stdio::from(out));
                     helpers.push(helper);
                 }
@@ -435,9 +623,13 @@ fn spawn_and_reap(
                 EndpointKind::OutputFile(p) => {
                     let path = root.join(p);
                     if let Some(parent) = path.parent() {
-                        std::fs::create_dir_all(parent)?;
+                        std::fs::create_dir_all(parent).map_err(|e| {
+                            ExecError::classify("create output directory", e).at_node(id)
+                        })?;
                     }
-                    cmd.stdout(Stdio::from(std::fs::File::create(path)?));
+                    let f = std::fs::File::create(path)
+                        .map_err(|e| ExecError::classify("create output file", e).at_node(id))?;
+                    cmd.stdout(Stdio::from(f));
                 }
                 EndpointKind::StdoutPipe => {
                     cmd.stdout(Stdio::piped());
@@ -456,19 +648,31 @@ fn spawn_and_reap(
                     cmd.arg(s);
                 }
                 SpawnWord::In(k) => {
-                    cmd.arg(edge_name(r, fifos, node.inputs[*k])?);
+                    cmd.arg(
+                        edge_name(r, fifos, node.inputs[*k])
+                            .map_err(|e| ExecError::fatal("edge naming", e).at_node(id))?,
+                    );
                 }
                 SpawnWord::Out(j) => {
-                    cmd.arg(edge_name(r, fifos, node.outputs[*j])?);
+                    cmd.arg(
+                        edge_name(r, fifos, node.outputs[*j])
+                            .map_err(|e| ExecError::fatal("edge naming", e).at_node(id))?,
+                    );
                 }
             }
         }
 
         let mut child = cmd.spawn().map_err(|e| {
-            io::Error::new(e.kind(), format!("spawning {:?} for a plan node: {e}", bin))
+            ExecError::classify(
+                "spawn",
+                io::Error::new(e.kind(), format!("spawning {bin:?} for a plan node: {e}")),
+            )
+            .at_node(id)
         })?;
         if let Some(bytes) = feed {
-            let mut si = child.stdin.take().expect("piped child stdin");
+            let mut si = child.stdin.take().ok_or_else(|| {
+                ExecError::fatal("spawn", io::Error::other("piped child stdin missing")).at_node(id)
+            })?;
             feeders.push(std::thread::spawn(move || {
                 // A consumer that exits early breaks this pipe; that
                 // is normal teardown, not an error.
@@ -476,7 +680,10 @@ fn spawn_and_reap(
             }));
         }
         if drain {
-            let mut so = child.stdout.take().expect("piped child stdout");
+            let mut so = child.stdout.take().ok_or_else(|| {
+                ExecError::fatal("spawn", io::Error::other("piped child stdout missing"))
+                    .at_node(id)
+            })?;
             drains.push(std::thread::spawn(move || {
                 let mut buf = Vec::new();
                 let _ = so.read_to_end(&mut buf);
@@ -487,14 +694,15 @@ fn spawn_and_reap(
     }
 
     // Wait on the region's output producers, in node order — the
-    // emitted script's `wait $pash_out_pids`.
+    // emitted script's `wait $pash_out_pids`. Polling waits so a
+    // region deadline can interrupt (the error path SIGKILLs).
     let mut waited = vec![false; children.len()];
     let mut producer_statuses: Vec<(PlanNodeId, i32)> = Vec::new();
     for (id, node) in r.nodes.iter().enumerate() {
         if node.output_producer {
-            let st = children[id].wait()?;
+            let s = wait_deadline(&mut children[id], id, deadline)?;
             waited[id] = true;
-            producer_statuses.push((id, exit_code(st)));
+            producer_statuses.push((id, s));
         }
     }
 
@@ -514,9 +722,9 @@ fn spawn_and_reap(
                 .unwrap_or(0);
             source_statuses.push((id, s));
         } else {
-            let st = children[id].wait()?;
+            let s = wait_deadline(&mut children[id], id, deadline)?;
             waited[id] = true;
-            source_statuses.push((id, exit_code(st)));
+            source_statuses.push((id, s));
         }
     }
 
@@ -530,14 +738,14 @@ fn spawn_and_reap(
     for h in helpers.iter() {
         kill_pipe(h.id());
     }
-    let deadline = Instant::now() + cfg.kill_grace;
+    let grace = Instant::now() + cfg.kill_grace;
     let mut other_statuses: Vec<(PlanNodeId, i32)> = Vec::new();
     let reap = |child: &mut Child| -> io::Result<i32> {
         loop {
             if let Some(st) = child.try_wait()? {
                 return Ok(exit_code(st));
             }
-            if Instant::now() >= deadline {
+            if Instant::now() >= grace {
                 // A child ignoring PIPE while blocked in a FIFO open
                 // would hang the backend; SIGKILL is the backstop.
                 child.kill()?;
@@ -549,11 +757,14 @@ fn spawn_and_reap(
     };
     for (id, child) in children.iter_mut().enumerate() {
         if !waited[id] {
-            other_statuses.push((id, reap(child)?));
+            other_statuses.push((
+                id,
+                reap(child).map_err(|e| ExecError::classify("reap", e).at_node(id))?,
+            ));
         }
     }
     for h in helpers.iter_mut() {
-        reap(h)?;
+        reap(h).map_err(|e| ExecError::classify("reap helper", e))?;
     }
     for f in feeders {
         let _ = f.join();
@@ -574,6 +785,27 @@ fn spawn_and_reap(
         }
     }
     statuses.extend(producer_statuses);
+
+    // Reserved statuses signal infrastructure death, not a command
+    // verdict: 120 is the multicall's InvalidData report (a corrupted
+    // or truncated frame crossed a child), 134 is SIGABRT (an injected
+    // worker death). Surface them as transient errors so the
+    // supervisor retries or falls back instead of letting a damaged
+    // region report success. A graceless SIGKILL reports 137 and a
+    // teardown SIGPIPE 141 — both normal, neither matches.
+    if let Some(&(id, s)) = statuses
+        .iter()
+        .find(|(_, s)| *s == INFRA_STATUS || *s == ABORT_STATUS)
+    {
+        return Err(ExecError::transient(
+            "worker",
+            io::Error::new(
+                io::ErrorKind::Interrupted,
+                format!("worker exited with infrastructure status {s}"),
+            ),
+        )
+        .at_node(id));
+    }
     Ok(RegionOutput {
         stdout,
         statuses,

@@ -1,0 +1,294 @@
+//! The execution supervisor: retries, deadlines, and graceful
+//! fallback to the sequential baseline.
+//!
+//! Both backends execute a region as one *attempt* closure returning
+//! [`ExecError`] on failure. [`supervise_region`] wraps that closure
+//! in the recovery state machine:
+//!
+//! ```text
+//!            ┌────────────┐ transient error,
+//!            │  attempt   │ region replayable,
+//!       ┌───▶│ (injected  │ retries left
+//!       │    │   fault?)  │──────────────┐
+//!       │    └─────┬──────┘              │ backoff
+//!       │          │ ok                  │ (2^i × base)
+//!       │          ▼                     │
+//!       │      success                   │
+//!       └────────────────────────────────┘
+//!                  │ transient error, retries spent
+//!                  ▼
+//!            ┌────────────┐
+//!            │  fallback  │  width-1 sequential re-execution,
+//!            │ (width 1,  │  injection disabled — its output IS
+//!            │  no fault) │  the definition of correct
+//!            └─────┬──────┘
+//!                  │ fatal error at any point: give up — the
+//!                  ▼ sequential run would fail identically
+//!                error
+//! ```
+//!
+//! Retrying is sound because attempts are *replayable*: a region's
+//! outputs (stdout buffer, output files) are applied from scratch on
+//! every attempt — nothing downstream observes a failed attempt —
+//! and the plan marks regions whose commands are pure
+//! ([`RegionPlan::replayable`]). Non-replayable regions go straight
+//! to the error.
+//!
+//! Counters record which recovery path ran, so tests can assert "this
+//! sweep case exercised a retry / a deadline kill / the fallback"
+//! instead of trusting the output alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use pash_core::plan::RegionPlan;
+
+use crate::fault::{ArmedFault, ExecError, FaultPlan};
+
+/// Recovery counters, shared across a program run (and its clones).
+#[derive(Debug, Default)]
+pub struct SupervisorCounters {
+    retries: AtomicU64,
+    deadline_kills: AtomicU64,
+    fallbacks: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl SupervisorCounters {
+    /// Region attempts re-run after a transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Attempts killed by the region deadline.
+    pub fn deadline_kills(&self) -> u64 {
+        self.deadline_kills.load(Ordering::Relaxed)
+    }
+
+    /// Regions re-executed through the sequential fallback.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Faults armed and delivered into attempts.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// Supervisor knobs. Cloning shares the counters (and the fault
+/// plan's budget), so per-region clones report into one place.
+#[derive(Debug, Clone)]
+pub struct SupervisorSettings {
+    /// Retries after the first failed attempt of a replayable region.
+    pub max_retries: u32,
+    /// Backoff before retry `i` is `backoff_base × 2^(i-1)`.
+    pub backoff_base: Duration,
+    /// Wall-clock budget per region attempt; `None` disables the
+    /// watchdog (the default — deadlines are opt-in because a fair
+    /// deadline depends on input size).
+    pub region_deadline: Option<Duration>,
+    /// Whether exhausted retries degrade to the sequential fallback
+    /// (when the caller can provide one).
+    pub fallback: bool,
+    /// The fault to inject, if any (test plane).
+    pub fault: Option<FaultPlan>,
+    /// Shared recovery counters.
+    pub counters: Arc<SupervisorCounters>,
+}
+
+impl Default for SupervisorSettings {
+    fn default() -> Self {
+        SupervisorSettings {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            region_deadline: None,
+            fallback: true,
+            fault: None,
+            counters: Arc::new(SupervisorCounters::default()),
+        }
+    }
+}
+
+impl SupervisorSettings {
+    /// Counts one deadline kill (backends call this when their
+    /// watchdog fires; the supervisor itself cannot see inside an
+    /// attempt).
+    pub fn note_deadline_kill(&self) {
+        self.counters.deadline_kills.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one region under supervision.
+///
+/// `attempt` executes the region once, with the given armed fault (if
+/// any) injected; it is invoked up to `1 + max_retries` times for
+/// replayable regions. `fallback` — when provided and enabled — runs
+/// the region's width-1 sequential form with injection disabled, the
+/// last resort that restores the `sh` baseline byte-for-byte.
+pub fn supervise_region<T>(
+    r: &RegionPlan,
+    settings: &SupervisorSettings,
+    mut attempt: impl FnMut(Option<ArmedFault>) -> Result<T, ExecError>,
+    fallback: Option<impl FnOnce() -> Result<T, ExecError>>,
+) -> Result<T, ExecError> {
+    let attempts = if r.replayable {
+        1 + settings.max_retries
+    } else {
+        1
+    };
+    let mut last: Option<ExecError> = None;
+    for i in 0..attempts {
+        if i > 0 {
+            settings.counters.retries.fetch_add(1, Ordering::Relaxed);
+            let backoff = settings.backoff_base.saturating_mul(1 << (i - 1).min(16));
+            std::thread::sleep(backoff);
+        }
+        let armed = settings.fault.as_ref().and_then(|f| f.arm(r));
+        if armed.is_some() {
+            settings.counters.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        match attempt(armed) {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => last = Some(e),
+            // Fatal: the sequential run would fail identically;
+            // neither retry nor fallback can help.
+            Err(e) => return Err(e),
+        }
+    }
+    let last = last.expect("at least one attempt ran");
+    if settings.fallback && r.replayable {
+        if let Some(run_fallback) = fallback {
+            settings.counters.fallbacks.fetch_add(1, Ordering::Relaxed);
+            return run_fallback();
+        }
+    }
+    Err(last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultClass;
+    use std::io;
+
+    fn replayable_region() -> RegionPlan {
+        RegionPlan {
+            replayable: true,
+            ..Default::default()
+        }
+    }
+
+    fn transient() -> ExecError {
+        ExecError::transient("node", io::Error::new(io::ErrorKind::Interrupted, "boom"))
+    }
+
+    #[test]
+    fn first_success_needs_no_recovery() {
+        let s = SupervisorSettings::default();
+        let out = supervise_region(
+            &replayable_region(),
+            &s,
+            |_| Ok::<_, ExecError>(7),
+            None::<fn() -> Result<i32, ExecError>>,
+        )
+        .expect("ok");
+        assert_eq!(out, 7);
+        assert_eq!(s.counters.retries(), 0);
+        assert_eq!(s.counters.fallbacks(), 0);
+    }
+
+    #[test]
+    fn transient_failure_retries_then_succeeds() {
+        let s = SupervisorSettings {
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let out = supervise_region(
+            &replayable_region(),
+            &s,
+            |_| {
+                calls += 1;
+                if calls < 3 {
+                    Err(transient())
+                } else {
+                    Ok(42)
+                }
+            },
+            None::<fn() -> Result<i32, ExecError>>,
+        )
+        .expect("ok");
+        assert_eq!(out, 42);
+        assert_eq!(s.counters.retries(), 2);
+        assert_eq!(s.counters.fallbacks(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back() {
+        let s = SupervisorSettings {
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let out = supervise_region(
+            &replayable_region(),
+            &s,
+            |_| Err::<i32, _>(transient()),
+            Some(|| Ok(99)),
+        )
+        .expect("fallback");
+        assert_eq!(out, 99);
+        assert_eq!(s.counters.retries(), 1);
+        assert_eq!(s.counters.fallbacks(), 1);
+    }
+
+    #[test]
+    fn fatal_errors_do_not_retry_or_fall_back() {
+        let s = SupervisorSettings {
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let err = supervise_region(
+            &replayable_region(),
+            &s,
+            |_| {
+                calls += 1;
+                Err::<i32, _>(ExecError::fatal(
+                    "node",
+                    io::Error::new(io::ErrorKind::NotFound, "no such file"),
+                ))
+            },
+            Some(|| Ok(1)),
+        )
+        .expect_err("fatal");
+        assert_eq!(calls, 1);
+        assert_eq!(err.class, FaultClass::Fatal);
+        assert_eq!(s.counters.fallbacks(), 0);
+    }
+
+    #[test]
+    fn non_replayable_regions_fail_on_first_transient() {
+        let s = SupervisorSettings {
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let r = RegionPlan::default(); // replayable: false
+        let mut calls = 0;
+        supervise_region(
+            &r,
+            &s,
+            |_| {
+                calls += 1;
+                Err::<i32, _>(transient())
+            },
+            Some(|| Ok(1)),
+        )
+        .expect_err("no retry");
+        assert_eq!(calls, 1);
+        assert_eq!(s.counters.retries(), 0);
+        assert_eq!(s.counters.fallbacks(), 0);
+    }
+}

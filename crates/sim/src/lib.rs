@@ -31,7 +31,10 @@ pub mod cost;
 pub mod engine;
 
 pub use cost::{CostModel, Discipline, Profile, Resource};
-pub use engine::{simulate_program, simulate_region, InputSizes, SimBackend, SimConfig, SimReport};
+pub use engine::{
+    simulate_program, simulate_recovery, simulate_region, FaultProfile, InputSizes, RecoveryReport,
+    SimBackend, SimConfig, SimReport,
+};
 
 use pash_core::compile::{compile_cached, PashConfig};
 
@@ -46,6 +49,29 @@ pub fn simulate_compiled(
 ) -> Result<SimReport, pash_core::Error> {
     let compiled = compile_cached(src, cfg)?;
     Ok(simulate_program(&compiled.plan, sizes, 0.0, cm, sim))
+}
+
+/// Compiles a script at its configured width and at width 1, then
+/// prices a fault-recovery episode between the two plans.
+pub fn simulate_recovery_compiled(
+    src: &str,
+    cfg: &PashConfig,
+    sizes: &InputSizes,
+    cm: &CostModel,
+    sim: &SimConfig,
+    fp: &FaultProfile,
+) -> Result<RecoveryReport, pash_core::Error> {
+    let par = compile_cached(src, cfg)?;
+    let seq = compile_cached(
+        src,
+        &PashConfig {
+            width: 1,
+            ..cfg.clone()
+        },
+    )?;
+    Ok(simulate_recovery(
+        &par.plan, &seq.plan, sizes, 0.0, cm, sim, fp,
+    ))
 }
 
 /// Simulated speedup of a configuration over sequential execution.

@@ -83,8 +83,9 @@ use crate::core::compile::{compile_cached, Compiled, PashConfig};
 use crate::core::plan::Backend;
 use crate::coreutils::fs::{Fs, MemFs};
 use crate::coreutils::Registry;
-use crate::runtime::exec::{ExecConfig, ProgramOutput, ThreadedBackend};
-use crate::runtime::proc::{locate_bin, ProcConfig, ProcessBackend};
+use crate::runtime::exec::{run_program_with_fallback, ExecConfig, ProgramOutput};
+use crate::runtime::proc::{locate_bin, run_plan_with_fallback, ProcConfig};
+use crate::runtime::supervise::SupervisorSettings;
 use crate::sim::{CostModel, InputSizes, SimBackend, SimConfig, SimReport};
 
 /// Compiles a script with the standard annotation library (shorthand
@@ -130,6 +131,12 @@ pub struct ProcSettings {
     /// strictly sequential steps; see
     /// [`core::plan::ExecutionPlan::parallel_waves`]).
     pub max_inflight: usize,
+    /// How long teardown waits after `SIGPIPE` before escalating to
+    /// `SIGKILL` (default 2 s).
+    pub kill_grace: Option<std::time::Duration>,
+    /// The execution supervisor: retries, region deadlines, fault
+    /// injection, sequential fallback (see [`runtime::supervise`]).
+    pub supervisor: SupervisorSettings,
 }
 
 /// Everything a backend might need to run a plan; construct with
@@ -240,6 +247,22 @@ pub fn run(
     env: &RunEnv,
 ) -> Result<BackendOutput, RunError> {
     let compiled = compile_cached(src, cfg).map_err(RunError::Compile)?;
+    // The width-1 plan backing the supervisor's sequential fallback
+    // (execution backends only; compile_cached makes repeats free).
+    let seq_fallback = |enabled: bool| {
+        if enabled && cfg.width != 1 {
+            compile_cached(
+                src,
+                &PashConfig {
+                    width: 1,
+                    ..cfg.clone()
+                },
+            )
+            .ok()
+        } else {
+            None
+        }
+    };
     match backend {
         "shell" => {
             let mut be = ShellEmitter {
@@ -250,19 +273,24 @@ pub fn run(
                 .map_err(RunError::Io)
         }
         "threads" => {
-            let mut be = ThreadedBackend {
-                registry: &env.registry,
-                fs: env.fs.clone() as Arc<dyn Fs>,
-                stdin: env.stdin.clone(),
-                cfg: env.exec.clone(),
-            };
-            be.run(&compiled.plan)
+            let fallback = seq_fallback(env.exec.supervisor.fallback);
+            run_program_with_fallback(
+                &compiled.plan,
+                fallback.as_deref().map(|c| &c.plan),
+                &env.registry,
+                env.fs.clone() as Arc<dyn Fs>,
+                env.stdin.clone(),
+                &env.exec,
+            )
+            .map(BackendOutput::Execution)
+            .map_err(RunError::Io)
+        }
+        "processes" => {
+            let fallback = seq_fallback(env.proc.supervisor.fallback);
+            run_processes(&compiled, fallback.as_deref(), env)
                 .map(BackendOutput::Execution)
                 .map_err(RunError::Io)
         }
-        "processes" => run_processes(&compiled, env)
-            .map(BackendOutput::Execution)
-            .map_err(RunError::Io),
         "sim" => {
             let mut be = SimBackend {
                 sizes: &env.sizes,
@@ -280,7 +308,11 @@ pub fn run(
 
 /// Runs a compiled plan on the process backend, providing the
 /// tempdir/read-back story when the caller gave no real root.
-fn run_processes(compiled: &Compiled, env: &RunEnv) -> std::io::Result<ProgramOutput> {
+fn run_processes(
+    compiled: &Compiled,
+    fallback: Option<&Compiled>,
+    env: &RunEnv,
+) -> std::io::Result<ProgramOutput> {
     let cfg = ProcConfig {
         pashc: match &env.proc.pashc {
             Some(p) => p.clone(),
@@ -291,8 +323,12 @@ fn run_processes(compiled: &Compiled, env: &RunEnv) -> std::io::Result<ProgramOu
             None => locate_bin("pash-rt", "PASH_RT")?,
         },
         scratch: None,
-        kill_grace: std::time::Duration::from_secs(2),
+        kill_grace: env
+            .proc
+            .kill_grace
+            .unwrap_or(std::time::Duration::from_secs(2)),
         max_inflight: env.proc.max_inflight.max(1),
+        supervisor: env.proc.supervisor.clone(),
     };
     let (root, ephemeral) = match &env.proc.root {
         Some(r) => (r.clone(), None),
@@ -308,12 +344,13 @@ fn run_processes(compiled: &Compiled, env: &RunEnv) -> std::io::Result<ProgramOu
             (dir, Some(manifest))
         }
     };
-    let mut be = ProcessBackend {
-        cfg,
-        root: root.clone(),
-        stdin: env.stdin.clone(),
-    };
-    let mut result = be.run(&compiled.plan);
+    let mut result = run_plan_with_fallback(
+        &compiled.plan,
+        fallback.map(|c| &c.plan),
+        &cfg,
+        &root,
+        env.stdin.clone(),
+    );
     if let Some(manifest) = ephemeral {
         if result.is_ok() {
             if let Err(e) = read_back_fs(&env.fs, &root, &manifest) {

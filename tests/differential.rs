@@ -109,6 +109,7 @@ fn observe_processes(
             pashc: Some(bins.0.clone()),
             pash_rt: Some(bins.1.clone()),
             max_inflight: setup.inflight,
+            ..Default::default()
         },
         ..Default::default()
     };
