@@ -19,7 +19,10 @@
 #   9. fault-injection sweep: every fault kind at widths 2/4/8 must
 #      leave output byte-identical to the sequential run, and the
 #      simulated fallback overhead must stay a small constant;
-#  10. rustfmt check.
+#  10. service smoke: pashd + load generator — both plan-cache tiers
+#      must fire, warm latency must undercut cold, warm request rate
+#      must clear the floor (gates on BENCH_service.json);
+#  11. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -123,6 +126,36 @@ fault_overhead=$(sed -n 's/.*"fault_fallback_overhead_x":\([0-9.]*\).*/\1/p' \
 test -n "$fault_overhead"
 awk "BEGIN { exit !($fault_overhead > 1.0 && $fault_overhead < 2.5) }"
 echo "    persistent-fault fallback vs sequential: ${fault_overhead}x"
+
+echo "==> service smoke (pashd + load generator, BENCH_service.json gates)"
+# Start a daemon, replay the corpus cold / warm-in-memory /
+# warm-across-restart (disk tier), sweep concurrency, and gate:
+# both cache tiers must have fired, a warm request's p50 must come in
+# below cold (the compile component collapses on a hit), and the warm
+# request rate must clear the floor.
+./target/release/pash-bench --out target/bench-smoke/BENCH_service.json \
+    --pashd ./target/release/pashd
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool target/bench-smoke/BENCH_service.json >/dev/null
+else
+    grep -q '"bench":"service"' target/bench-smoke/BENCH_service.json
+fi
+tier1=$(sed -n 's/.*"tier1_hits":\([0-9]*\).*/\1/p' target/bench-smoke/BENCH_service.json)
+tier2=$(sed -n 's/.*"tier2_hits":\([0-9]*\).*/\1/p' target/bench-smoke/BENCH_service.json)
+test -n "$tier1" && test "$tier1" -ge 1
+test -n "$tier2" && test "$tier2" -ge 1
+warm_ratio=$(sed -n 's/.*"warm_vs_cold_paired_median":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_service.json)
+test -n "$warm_ratio"
+awk "BEGIN { exit !($warm_ratio < 0.97) }"
+compile_ratio=$(sed -n 's/.*"compile_warm_vs_cold_p50_ratio":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_service.json)
+test -n "$compile_ratio"
+awk "BEGIN { exit !($compile_ratio < 0.5) }"
+warm_rps=$(sed -n 's/.*"warm_rps":\([0-9.]*\).*/\1/p' target/bench-smoke/BENCH_service.json)
+test -n "$warm_rps"
+awk "BEGIN { exit !($warm_rps > 10.0) }"
+echo "    tier1 hits: $tier1, tier2 hits: $tier2, warm/cold p50: ${warm_ratio}x, warm rate: ${warm_rps} req/s"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,551 @@
+//! `pash-bench` — load generator for the `pashd` compile-and-run
+//! service.
+//!
+//! ```text
+//! pash-bench --out BENCH_service.json [--pashd PATH] [--size small|full]
+//!            [--concurrency 1,2,4] [--repeats N]
+//! ```
+//!
+//! Replays a corpus drawn from the oneliners and Unix50 suites
+//! (output redirections stripped so results stream back over the
+//! socket) against a live daemon, in four phases:
+//!
+//! 1. **cold** — fresh daemon, fresh cache directory: every request
+//!    pays the full front-end (tier misses, disk writes);
+//! 2. **warm-mem** — the same process again: tier-1 (in-memory LRU)
+//!    hits;
+//! 3. **throughput** — C client threads round-robin over the warm
+//!    corpus, measuring requests/sec at each concurrency;
+//! 4. **warm-disk** — the daemon is shut down and a *new process*
+//!    started over the same cache directory: tier-2 (disk) hits,
+//!    proving restart warm-starts.
+//!
+//! The simulator then prices the amortization curve: measured compile
+//! seconds vs simulated execution seconds for a representative
+//! script, giving the predicted speedup of cached over uncached
+//! service at K requests — the single-core container still tells the
+//! perf story. Everything lands in one JSON file; ci.sh gates the
+//! tier hit counters, the warm-vs-cold latency ratio, and the warm
+//! requests/sec.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pash_bench::suites::{oneliners, unix50};
+use pash_core::compile::{compile, PashConfig};
+use pash_core::dfg::SplitPolicy;
+use pash_core::plan::Backend as _;
+use pash_coreutils::fs::MemFs;
+use pash_runtime::service::{CacheTier, Client, RunRequest};
+use pash_sim::{CostModel, SimBackend, SimConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pash-bench --out PATH [--pashd PATH] [--size small|full] \
+         [--concurrency 1,2,4] [--repeats N]"
+    );
+    std::process::exit(2);
+}
+
+/// The service corpus: single-region suite scripts with their
+/// trailing `> out.txt` stripped, so results stream back on stdout.
+fn service_corpus() -> Vec<(String, String)> {
+    let mut v = Vec::new();
+    for name in [
+        "Sort",
+        "Top-n",
+        "Wf",
+        "Grep-light",
+        "Spell",
+        "Sort-sort",
+        "Bi-grams-opt",
+    ] {
+        let o = oneliners::by_name(name).expect("known oneliner");
+        v.push((format!("oneliners:{name}"), strip_redirect(&o.script)));
+    }
+    // Plain-pipeline Unix50 entries (no unknown commands, no
+    // pipelines that need `out.txt` as an intermediate).
+    for u in unix50::all() {
+        if [0usize, 1, 3, 4, 6, 11, 14, 15, 17, 18, 21, 27, 30].contains(&u.idx) {
+            v.push((format!("unix50:{}", u.idx), strip_redirect(u.script)));
+        }
+    }
+    v
+}
+
+fn strip_redirect(script: &str) -> String {
+    let s = script.trim_end();
+    s.strip_suffix("> out.txt")
+        .unwrap_or(s)
+        .trim_end()
+        .to_string()
+}
+
+fn request(script: &str, width: u32) -> RunRequest {
+    RunRequest {
+        script: script.to_string(),
+        backend: "threads".to_string(),
+        width,
+        split: SplitPolicy::Sized,
+        stdin: Vec::new(),
+    }
+}
+
+/// Latency-series summary (microseconds).
+struct Series {
+    count: usize,
+    mean_us: u64,
+    p50_us: u64,
+    p95_us: u64,
+    max_us: u64,
+}
+
+fn summarize(mut samples: Vec<u64>) -> Series {
+    assert!(!samples.is_empty(), "empty latency series");
+    samples.sort_unstable();
+    let count = samples.len();
+    let pick = |q: f64| samples[((count as f64 * q) as usize).min(count - 1)];
+    Series {
+        count,
+        mean_us: samples.iter().sum::<u64>() / count as u64,
+        p50_us: pick(0.50),
+        p95_us: pick(0.95),
+        max_us: *samples.last().expect("nonempty"),
+    }
+}
+
+fn series_json(s: &Series) -> String {
+    format!(
+        "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p95_us\":{},\"max_us\":{}}}",
+        s.count, s.mean_us, s.p50_us, s.p95_us, s.max_us
+    )
+}
+
+fn metric(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} missing from metrics {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+struct Daemon {
+    child: std::process::Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn spawn(pashd: &PathBuf, dir: &PathBuf, cache: &PathBuf, max_concurrent: usize) -> Daemon {
+        let socket = dir.join("pashd.sock");
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(pashd)
+            .arg("--socket")
+            .arg(&socket)
+            .arg("--cache-dir")
+            .arg(cache)
+            .arg("--max-concurrent")
+            .arg(max_concurrent.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("pash-bench: cannot spawn {}: {e}", pashd.display());
+                std::process::exit(2);
+            });
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if Client::connect(&socket).is_ok() {
+                return Daemon { child, socket };
+            }
+            if Instant::now() >= deadline {
+                eprintln!("pash-bench: daemon never came up on {}", socket.display());
+                std::process::exit(2);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.socket).expect("connect to daemon")
+    }
+
+    fn seed(&self, bytes: usize) {
+        // Reuse the suites' own input builders, then ship every file
+        // over the wire.
+        let fs = MemFs::new();
+        oneliners::setup_fs(
+            &oneliners::by_name("Spell").expect("Spell exists"),
+            bytes,
+            &fs,
+        );
+        unix50::setup_fs(bytes, &fs);
+        let mut client = self.client();
+        for (path, contents) in fs.entries() {
+            client
+                .put_file(&path, contents.as_ref().clone())
+                .expect("seed corpus file");
+        }
+    }
+
+    /// One untimed request so the timed passes don't absorb
+    /// fresh-process costs (page-in, first thread spawns) that have
+    /// nothing to do with the plan caches.
+    fn warmup(&self) {
+        let mut client = self.client();
+        client
+            .put_file("warmup.txt", b"warm\nup\n".to_vec())
+            .expect("seed warmup");
+        client
+            .run(request("cat warmup.txt | wc -l", 2))
+            .expect("warmup run");
+    }
+
+    fn stop(mut self) {
+        let _ = self.client().shutdown();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One pass over the corpus; returns per-request (end-to-end,
+/// compile-component) latencies and asserts every response came from
+/// `want_tier`.
+fn pass(
+    daemon: &Daemon,
+    corpus: &[(String, String)],
+    width: u32,
+    want_tier: CacheTier,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut client = daemon.client();
+    let mut lat = Vec::with_capacity(corpus.len());
+    let mut compile_lat = Vec::with_capacity(corpus.len());
+    for (name, script) in corpus {
+        let resp = client
+            .run(request(script, width))
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(resp.tier, want_tier, "{name}: unexpected cache tier");
+        lat.push(resp.total_micros.max(1));
+        compile_lat.push(resp.compile_micros.max(1));
+    }
+    (lat, compile_lat)
+}
+
+/// C threads round-robin over the warm corpus until `total` requests
+/// have been served; returns (wall seconds, requests/sec).
+fn throughput(
+    daemon: &Daemon,
+    corpus: &Arc<Vec<(String, String)>>,
+    width: u32,
+    concurrency: usize,
+    total: usize,
+) -> (f64, f64) {
+    let next = Arc::new(AtomicUsize::new(0));
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..concurrency {
+        let corpus = corpus.clone();
+        let next = next.clone();
+        let mut client = daemon.client();
+        threads.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                return;
+            }
+            let (name, script) = &corpus[i % corpus.len()];
+            client
+                .run(request(script, width))
+                .unwrap_or_else(|e| panic!("{name} failed under load: {e}"));
+        }));
+    }
+    for t in threads {
+        t.join().expect("load thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, total as f64 / wall)
+}
+
+/// Measured compile seconds + simulated execution seconds for a
+/// representative script → predicted speedup of plan-cached service
+/// over per-request compilation at K requests.
+fn amortization(width: u32, bytes: usize) -> (f64, f64, Vec<(u64, f64)>) {
+    let bench = oneliners::by_name("Wf").expect("Wf exists");
+    let cfg = PashConfig {
+        width: width as usize,
+        split: SplitPolicy::Sized,
+        ..Default::default()
+    };
+    // Median-of-5 wall-clock compile (parse + expand + DFG + lower).
+    let mut times: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            compile(&bench.script, &cfg).expect("compile Wf");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let compile_s = times[times.len() / 2];
+    let compiled = compile(&bench.script, &cfg).expect("compile Wf");
+    let sizes = oneliners::sim_sizes(&bench, bytes as f64);
+    let cost = CostModel::default();
+    let sim_cfg = SimConfig::default();
+    let mut be = SimBackend {
+        sizes: &sizes,
+        stdin_bytes: 0.0,
+        cost: &cost,
+        cfg: &sim_cfg,
+    };
+    let exec_s = be.run(&compiled.plan).expect("simulate Wf").seconds;
+    let points = [1u64, 10, 100, 1000]
+        .into_iter()
+        .map(|k| {
+            let uncached = k as f64 * (compile_s + exec_s);
+            let cached = compile_s + k as f64 * exec_s;
+            (k, uncached / cached)
+        })
+        .collect();
+    (compile_s, exec_s, points)
+}
+
+fn locate_pashd() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let cand = exe.parent()?.join("pashd");
+    cand.exists().then_some(cand)
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut pashd: Option<PathBuf> = None;
+    let mut size = "small".to_string();
+    let mut concurrency = vec![1usize, 2, 4];
+    let mut repeats = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--pashd" => pashd = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--size" => size = args.next().unwrap_or_else(|| usage()),
+            "--concurrency" => {
+                concurrency = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|c| c.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let out = out.unwrap_or_else(|| usage());
+    let pashd = pashd.or_else(locate_pashd).unwrap_or_else(|| {
+        eprintln!("pash-bench: pashd binary not found (build it or pass --pashd)");
+        std::process::exit(2);
+    });
+    // Small inputs on purpose: a service amortizes *compilation*, so
+    // the corpus is sized for request-rate workloads (many small
+    // scripts), not batch throughput, and the width is high enough
+    // that plan lowering is a visible share of a cold request.
+    let bytes = match size.as_str() {
+        "small" => 16 * 1024,
+        "full" => 4 << 20,
+        _ => usage(),
+    };
+    let width = 8u32;
+    let corpus = Arc::new(service_corpus());
+    let max_concurrent = concurrency.iter().copied().max().unwrap_or(1);
+
+    let dir = std::env::temp_dir().join(format!("pash-servicebench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let cache = dir.join("plan-cache");
+
+    // Phase 1+2: paired cold/warm pass, then more warm passes. Each
+    // script's cold request is immediately followed by three warm
+    // repeats; the headline ratio is the median over scripts of
+    // best-warm / cold. Back-to-back pairs cancel machine drift
+    // (separated passes pick it up), and best-of-three on the warm
+    // side suppresses the scheduler jitter a single warm sample
+    // carries — the cache saving itself is deterministic.
+    eprintln!(
+        "pash-bench: paired cold/warm pass ({} scripts)",
+        corpus.len()
+    );
+    let daemon = Daemon::spawn(&pashd, &dir, &cache, max_concurrent);
+    daemon.seed(bytes);
+    daemon.warmup();
+    let mut client = daemon.client();
+    let mut cold = Vec::new();
+    let mut cold_compile = Vec::new();
+    let mut warm_mem = Vec::new();
+    let mut warm_mem_compile = Vec::new();
+    let mut pair_ratios = Vec::new();
+    for (name, script) in corpus.iter() {
+        let first = client
+            .run(request(script, width))
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(first.tier, CacheTier::Cold, "{name}: expected a cold miss");
+        let mut best_warm = u64::MAX;
+        for _ in 0..3 {
+            let rep = client
+                .run(request(script, width))
+                .unwrap_or_else(|e| panic!("{name} failed warm: {e}"));
+            assert_eq!(rep.tier, CacheTier::Memory, "{name}: expected a warm hit");
+            best_warm = best_warm.min(rep.total_micros.max(1));
+            warm_mem.push(rep.total_micros.max(1));
+            warm_mem_compile.push(rep.compile_micros.max(1));
+        }
+        cold.push(first.total_micros.max(1));
+        cold_compile.push(first.compile_micros.max(1));
+        pair_ratios.push(best_warm as f64 / first.total_micros.max(1) as f64);
+    }
+    drop(client);
+    pair_ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let warm_vs_cold_paired = pair_ratios[pair_ratios.len() / 2];
+    eprintln!("pash-bench: warm in-memory passes (x{repeats})");
+    for _ in 0..repeats {
+        let (lat, compile_lat) = pass(&daemon, &corpus, width, CacheTier::Memory);
+        warm_mem.extend(lat);
+        warm_mem_compile.extend(compile_lat);
+    }
+
+    // Phase 3: throughput sweep on the warm daemon.
+    let total = (corpus.len() * repeats.max(2)).max(24);
+    let mut sweep = Vec::new();
+    for &c in &concurrency {
+        let (wall, rps) = throughput(&daemon, &corpus, width, c, total);
+        eprintln!("pash-bench: concurrency {c}: {rps:.1} req/s ({total} requests in {wall:.2}s)");
+        sweep.push((c, total, wall, rps));
+    }
+    let tier1_metrics = daemon.client().metrics().expect("metrics");
+    daemon.stop();
+
+    // Phase 4: a fresh process over the same cache directory — the
+    // disk tier carries the warm start across the restart.
+    eprintln!("pash-bench: restart, warm disk pass");
+    let daemon = Daemon::spawn(&pashd, &dir, &cache, max_concurrent);
+    daemon.seed(bytes);
+    daemon.warmup();
+    let (warm_disk, warm_disk_compile) = pass(&daemon, &corpus, width, CacheTier::Disk);
+    let tier2_metrics = daemon.client().metrics().expect("metrics");
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_s = summarize(cold);
+    let warm_mem_s = summarize(warm_mem);
+    let warm_disk_s = summarize(warm_disk);
+    let cold_compile_s = summarize(cold_compile);
+    let warm_mem_compile_s = summarize(warm_mem_compile);
+    let warm_disk_compile_s = summarize(warm_disk_compile);
+    let warm_rps = sweep
+        .iter()
+        .map(|&(_, _, _, rps)| rps)
+        .fold(0.0f64, f64::max);
+    let (compile_s, exec_s, points) = amortization(width, bytes);
+
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"bench\":\"service\",\"size\":{size:?},\"scripts\":{},\"width\":{width},",
+        corpus.len()
+    ));
+    json.push_str(&format!("\"cold\":{},", series_json(&cold_s)));
+    json.push_str(&format!("\"warm_mem\":{},", series_json(&warm_mem_s)));
+    json.push_str(&format!("\"warm_disk\":{},", series_json(&warm_disk_s)));
+    json.push_str(&format!(
+        "\"cold_compile\":{},",
+        series_json(&cold_compile_s)
+    ));
+    json.push_str(&format!(
+        "\"warm_mem_compile\":{},",
+        series_json(&warm_mem_compile_s)
+    ));
+    json.push_str(&format!(
+        "\"warm_disk_compile\":{},",
+        series_json(&warm_disk_compile_s)
+    ));
+    json.push_str(&format!(
+        "\"warm_vs_cold_p50_ratio\":{:.4},",
+        warm_mem_s.p50_us as f64 / cold_s.p50_us as f64
+    ));
+    json.push_str(&format!(
+        "\"warm_vs_cold_paired_median\":{warm_vs_cold_paired:.4},"
+    ));
+    // The cache-attributable component in isolation: what a hit
+    // skips. This is the robust warm-vs-cold signal — end-to-end
+    // latency also carries execution, which no cache can remove.
+    json.push_str(&format!(
+        "\"compile_warm_vs_cold_p50_ratio\":{:.4},",
+        warm_mem_compile_s.p50_us as f64 / cold_compile_s.p50_us as f64
+    ));
+    json.push_str("\"throughput\":[");
+    for (i, (c, total, wall, rps)) in sweep.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"concurrency\":{c},\"requests\":{total},\"wall_s\":{wall:.4},\"rps\":{rps:.2}}}"
+        ));
+    }
+    json.push_str("],");
+    json.push_str(&format!("\"warm_rps\":{warm_rps:.2},"));
+    json.push_str(&format!(
+        "\"tier1_hits\":{},\"tier2_hits\":{},\"compile_misses\":{},",
+        metric(&tier1_metrics, "tier1_hits"),
+        metric(&tier2_metrics, "tier2_hits"),
+        metric(&tier1_metrics, "compile_misses"),
+    ));
+    json.push_str(&format!(
+        "\"amortization\":{{\"script\":\"Wf\",\"compile_s\":{compile_s:.6},\
+         \"exec_s_sim\":{exec_s:.6},\"points\":["
+    ));
+    for (i, (k, speedup)) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{{\"requests\":{k},\"speedup\":{speedup:.4}}}"));
+    }
+    // The measured counterpart: K requests against this daemon, first
+    // one cold, the rest tier-1 warm — the amortization the cache
+    // actually delivered on this machine, converging on
+    // cold_p50/warm_p50.
+    json.push_str("],\"measured_points\":[");
+    let (cold_p50, warm_p50) = (cold_s.p50_us as f64, warm_mem_s.p50_us as f64);
+    for (i, k) in [1u64, 10, 100, 1000].into_iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let speedup = (k as f64 * cold_p50) / (cold_p50 + (k - 1) as f64 * warm_p50);
+        json.push_str(&format!("{{\"requests\":{k},\"speedup\":{speedup:.4}}}"));
+    }
+    json.push_str("]}}");
+
+    let mut f = std::fs::File::create(&out).expect("create output");
+    f.write_all(json.as_bytes()).expect("write output");
+    f.write_all(b"\n").expect("write output");
+    eprintln!(
+        "pash-bench: wrote {} (cold p50 {}us, warm-mem p50 {}us, warm-disk p50 {}us, {warm_rps:.1} req/s warm)",
+        out.display(),
+        cold_s.p50_us,
+        warm_mem_s.p50_us,
+        warm_disk_s.p50_us,
+    );
+}

@@ -66,15 +66,18 @@ impl ParClass {
 /// contiguous prefix nor the stream's global order. The capability is
 /// derived from the parallelizability class plus the aggregator:
 ///
-/// * **Framed** — stateless per-line maps/filters. Copies process
-///   tagged blocks independently and emit one output block per input
-///   block; a reordering aggregator restores tag order downstream.
+/// * **Framed** — copies process tagged blocks independently and emit
+///   one output block per input block. Stateless maps/filters are
+///   recombined by a reordering aggregator; pure commands whose
+///   aggregator folds only at block boundaries (`uniq`, `uniq -c`)
+///   are recombined by a tag-ordered `pash-agg-frame-merge`.
 /// * **Raw** — pure commands whose aggregator is *commutative*
-///   (order-insensitive sums like `wc` and `grep -c`). Blocks flow to
-///   copies untagged; the normal aggregation network combines.
-/// * **No** — everything else (order-sensitive aggregators like
-///   `sort -m`, boundary-condition combiners like `uniq`): the
-///   compiler falls back to contiguous-segment splitting.
+///   (order-insensitive sums like `wc` and `grep -c`, total-order
+///   merges like plain `sort`). Blocks flow to copies untagged; the
+///   normal aggregation network combines.
+/// * **No** — everything else (projection-keyed sorts whose ties
+///   break by partition, custom stitchers like the bigram
+///   aggregator): the compiler falls back to segment splitting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RrMode {
     /// Cannot consume round-robin streams; use segment splits.
@@ -85,23 +88,52 @@ pub enum RrMode {
     Raw,
 }
 
-/// Aggregators whose combine step is commutative: the result does not
-/// depend on which blocks each parallel copy saw.
-const COMMUTATIVE_AGGS: &[&str] = &["pash-agg-wc", "pash-agg-sum"];
+/// True when an aggregator's combine step is commutative: the result
+/// does not depend on which blocks each parallel copy saw.
+///
+/// `wc` and `grep -c` sum count vectors, which commutes regardless of
+/// flags. `sort` is commutative exactly when its comparison is a total
+/// order on whole lines — plain `sort` and `sort -r` — because lines
+/// comparing equal are then byte-identical and the merge output cannot
+/// depend on which worker sorted which block. Keyed, numeric, and
+/// stable variants compare a *projection* of the line: equal-key lines
+/// tie-break by input partition, so they stay on the segment path.
+pub fn aggregator_commutes(argv: &[String]) -> bool {
+    match argv.split_first() {
+        Some((name, args)) => match name.as_str() {
+            "pash-agg-wc" | "pash-agg-sum" => true,
+            "pash-agg-sort" => args.iter().all(|a| a == "-r"),
+            _ => false,
+        },
+        None => false,
+    }
+}
+
+/// True when an aggregator folds adjacent per-block outputs purely at
+/// block boundaries (`f(x·x') = fold(f(x), f(x'))`), so parallel
+/// copies may run once per tagged round-robin block and a tag-ordered
+/// `pash-agg-frame-merge` wrapper recovers the sequential output.
+pub fn aggregator_frame_folds(argv: &[String]) -> bool {
+    matches!(
+        argv.first().map(String::as_str),
+        Some("pash-agg-uniq" | "pash-agg-uniq-c")
+    )
+}
 
 /// The round-robin capability of an invocation, given its class and
 /// (for class P) its aggregator argv.
 ///
-/// Deliberately conservative: `sort` is excluded from `Raw` even
-/// though merging is order-insensitive *between* runs, because lines
-/// comparing equal under the sort key tie-break by input partition —
-/// a round-robin partition would make the output depend on block
-/// assignment.
+/// Class-P commands qualify two ways: a commutative aggregator lets
+/// blocks flow untagged ([`aggregator_commutes`]), and a boundary-fold
+/// aggregator lets copies consume tagged blocks one at a time with the
+/// fold re-applied in tag order ([`aggregator_frame_folds`]). Anything
+/// else — keyed sorts, the bigram stitcher — keeps the segment path.
 pub fn rr_mode(class: ParClass, agg: Option<&[String]>) -> RrMode {
     match class {
         ParClass::Stateless => RrMode::Framed,
-        ParClass::Pure => match agg.and_then(|a| a.first()) {
-            Some(name) if COMMUTATIVE_AGGS.contains(&name.as_str()) => RrMode::Raw,
+        ParClass::Pure => match agg {
+            Some(argv) if aggregator_commutes(argv) => RrMode::Raw,
+            Some(argv) if aggregator_frame_folds(argv) => RrMode::Framed,
             _ => RrMode::No,
         },
         _ => RrMode::No,
@@ -154,19 +186,51 @@ mod tests {
 
     #[test]
     fn rr_capability_from_class_and_agg() {
-        let agg = |s: &str| vec![s.to_string()];
+        let agg = |parts: &[&str]| -> Vec<String> { parts.iter().map(|s| s.to_string()).collect() };
         assert_eq!(rr_mode(ParClass::Stateless, None), RrMode::Framed);
         assert_eq!(
-            rr_mode(ParClass::Pure, Some(&agg("pash-agg-wc"))),
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-wc"]))),
             RrMode::Raw
         );
         assert_eq!(
-            rr_mode(ParClass::Pure, Some(&agg("pash-agg-sum"))),
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-wc", "-lw"]))),
             RrMode::Raw
         );
-        // Order-sensitive merge: must not consume round-robin blocks.
         assert_eq!(
-            rr_mode(ParClass::Pure, Some(&agg("pash-agg-sort"))),
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-sum"]))),
+            RrMode::Raw
+        );
+        // Whole-line comparisons are total orders: ties are
+        // byte-identical, so the merge commutes.
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-sort"]))),
+            RrMode::Raw
+        );
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-sort", "-r"]))),
+            RrMode::Raw
+        );
+        // Projection keys tie-break by partition: segment path only.
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-sort", "-n"]))),
+            RrMode::No
+        );
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-sort", "-k", "2"]))),
+            RrMode::No
+        );
+        // Boundary folds consume tagged blocks via frame-merge.
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-uniq"]))),
+            RrMode::Framed
+        );
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-uniq-c"]))),
+            RrMode::Framed
+        );
+        // The bigram stitcher relies on split-boundary markers.
+        assert_eq!(
+            rr_mode(ParClass::Pure, Some(&agg(&["pash-agg-bigram"]))),
             RrMode::No
         );
         assert_eq!(rr_mode(ParClass::Pure, None), RrMode::No);

@@ -289,6 +289,25 @@ pub fn cache_stats() -> CacheStats {
 /// transformations. Errors are not cached. Hit/miss/eviction counters
 /// are surfaced via [`cache_stats`] and embedded in every
 /// [`CompileStats`].
+/// Looks a compilation up in the [`compile_cached`] LRU without
+/// compiling on a miss. A hit counts toward the hit counter (and
+/// freshens the entry); a miss counts nothing — the caller is expected
+/// to consult a colder tier (e.g. the service's on-disk plan cache)
+/// before paying for a compile, at which point [`compile_cached`]
+/// records the miss.
+pub fn compile_cache_peek(src: &str, cfg: &PashConfig) -> Option<Arc<Compiled>> {
+    let key = format!("{}\u{0}{src}", cfg.cache_key());
+    let hit = cache()
+        .lock()
+        .expect("compile cache lock")
+        .get(&key)
+        .cloned();
+    if hit.is_some() {
+        CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+    }
+    hit
+}
+
 pub fn compile_cached(src: &str, cfg: &PashConfig) -> Result<Arc<Compiled>, Error> {
     let key = format!("{}\u{0}{src}", cfg.cache_key());
     // Fast path: serve a hit without compiling.

@@ -218,6 +218,16 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
             }
             cat_id
         }
+        // Framed class-P copies (uniq, uniq -c) emit one output block
+        // per tagged input block; the frame-merge wrapper restores tag
+        // order and re-applies the boundary fold incrementally. It
+        // consumes frames but emits bare lines, so the network must be
+        // one flat node.
+        Some(agg_argv) if framed => {
+            let mut argv = vec![FRAME_MERGE_AGG.to_string()];
+            argv.extend(agg_argv.iter().cloned());
+            build_agg_network(g, &copy_outputs, &argv, AggTreeShape::Flat)
+        }
         Some(agg_argv) => {
             // The paper's aggregators are k-ary ("they work with more
             // than two inputs", §5.2); a binary tree is an equivalent
@@ -249,6 +259,10 @@ fn try_parallelize_node(g: &mut Dfg, id: NodeId, cfg: &TransformConfig) {
 /// The reordering aggregator's argv head.
 pub const REORDER_AGG: &str = "pash-agg-reorder";
 
+/// The frame-merge wrapper's argv head: restores tag order over framed
+/// class-P copy outputs and re-applies the wrapped boundary fold.
+pub const FRAME_MERGE_AGG: &str = "pash-agg-frame-merge";
+
 /// True when `kind` is the reordering aggregator.
 fn is_reorder(kind: &NodeKind) -> bool {
     matches!(kind, NodeKind::Aggregate { argv }
@@ -268,11 +282,11 @@ fn node_rr_mode(node: &Node) -> RrMode {
 fn aggregator_associative(argv: &[String]) -> bool {
     // The bigram aggregator consumes *marked* map output but produces
     // clean pairs — a projection, not a monoid operation. The reorder
-    // aggregator likewise consumes tagged frames but emits bare
-    // payloads, so an inner reorder would strip the frames an outer
-    // one still needs.
+    // and frame-merge aggregators likewise consume tagged frames but
+    // emit bare payloads, so an inner copy would strip the frames an
+    // outer one still needs.
     match argv.first() {
-        Some(s) => s != "pash-agg-bigram" && s != REORDER_AGG,
+        Some(s) => s != "pash-agg-bigram" && s != REORDER_AGG && s != FRAME_MERGE_AGG,
         None => true,
     }
 }
@@ -902,11 +916,27 @@ mod tests {
 
     #[test]
     fn round_robin_order_sensitive_falls_back_to_segments() {
-        // `sort` merges order-sensitively (equal keys tie-break by
-        // partition), so under RoundRobin it must keep the segment
-        // path: tr commutes into an r_split+reorder chain only when
-        // capable — sort itself gets no round-robin split.
-        let mut g = sort_pipeline();
+        // A keyed sort compares a projection of the line, so equal
+        // keys tie-break by input partition; under RoundRobin it must
+        // keep the segment path: tr commutes into an r_split+reorder
+        // chain only when capable — the sort gets no round-robin split.
+        let mut g = linear_pipeline(
+            vec![
+                command_node(&["tr", "A-Z", "a-z"], ParClass::Stateless, None),
+                command_node(
+                    &["sort", "-k", "2"],
+                    ParClass::Pure,
+                    Some(
+                        ["pash-agg-sort", "-k", "2"]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    ),
+                ),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::File("out.txt".into()),
+        );
         parallelize(
             &mut g,
             &TransformConfig {
@@ -931,6 +961,94 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn round_robin_raw_for_total_order_sort() {
+        // Plain `sort` compares whole lines — a total order, so equal
+        // lines are byte-identical and the merge commutes: blocks may
+        // flow untagged straight into the usual aggregation tree.
+        let mut g = sort_pipeline();
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        g.validate().expect("valid");
+        // tr commutes through a framed chain; sort consumes a raw
+        // split of the reorder output.
+        let has_raw = g.node_ids().any(|id| {
+            matches!(
+                g.node(id).expect("live").kind,
+                NodeKind::Split(SplitKind::RoundRobin { framed: false })
+            )
+        });
+        assert!(has_raw, "expected a raw round-robin split for sort");
+        let sort_aggs = g
+            .node_ids()
+            .filter(|&id| {
+                matches!(&g.node(id).expect("live").kind, NodeKind::Aggregate { argv }
+                    if argv.first().map(|s| s == "pash-agg-sort").unwrap_or(false))
+            })
+            .count();
+        assert_eq!(sort_aggs, 3, "binary pash-agg-sort tree at width 4");
+    }
+
+    #[test]
+    fn round_robin_framed_pure_wraps_fold_in_frame_merge() {
+        // `uniq -c` folds only at block boundaries, so its copies may
+        // consume tagged blocks; the combiner is one flat frame-merge
+        // wrapping the boundary fold, not a reorder.
+        let mut g = linear_pipeline(
+            vec![
+                command_node(&["tr", "A-Z", "a-z"], ParClass::Stateless, None),
+                command_node(
+                    &["uniq", "-c"],
+                    ParClass::Pure,
+                    Some(vec!["pash-agg-uniq-c".to_string()]),
+                ),
+            ],
+            StreamSpec::File("in.txt".into()),
+            StreamSpec::Pipe,
+        );
+        parallelize(
+            &mut g,
+            &TransformConfig {
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                ..Default::default()
+            },
+        );
+        g.validate().expect("valid");
+        // The uniq copies commute through tr's reorder: one framed
+        // split feeds both stages, no reorder survives, and the only
+        // aggregator is the frame-merge wrapper.
+        let s = g.stats();
+        assert_eq!(s.commands, 8);
+        assert_eq!(s.splits, 1);
+        assert_eq!(s.aggregates, 1);
+        let reorders = g
+            .node_ids()
+            .filter(|&id| is_reorder(&g.node(id).expect("live").kind))
+            .count();
+        assert_eq!(reorders, 0, "frame-merge subsumes the reorder");
+        let merge = g
+            .node_ids()
+            .find_map(|id| match &g.node(id).expect("live").kind {
+                NodeKind::Aggregate { argv }
+                    if argv.first().map(|s| s == FRAME_MERGE_AGG).unwrap_or(false) =>
+                {
+                    Some(argv.clone())
+                }
+                _ => None,
+            });
+        assert_eq!(
+            merge.expect("frame-merge aggregator"),
+            vec![FRAME_MERGE_AGG.to_string(), "pash-agg-uniq-c".to_string()]
+        );
     }
 
     #[test]

@@ -106,6 +106,24 @@ impl MemFs {
             .ok_or_else(|| not_found(path))
     }
 
+    /// Lists every file with its shared contents, sorted by path.
+    ///
+    /// The `Arc`s are the storage cells themselves, so a caller can
+    /// detect "this file changed since the snapshot was taken" by
+    /// pointer comparison — no byte reads — which is how the service
+    /// diffs a run's filesystem against its template.
+    pub fn entries(&self) -> Vec<(String, Arc<Vec<u8>>)> {
+        let mut v: Vec<(String, Arc<Vec<u8>>)> = self
+            .files
+            .lock()
+            .expect("MemFs lock poisoned")
+            .iter()
+            .map(|(k, a)| (k.clone(), a.clone()))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
     /// Lists all paths, sorted.
     pub fn paths(&self) -> Vec<String> {
         let mut v: Vec<String> = self

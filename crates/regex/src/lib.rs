@@ -95,9 +95,12 @@ enum Plan {
     /// pattern admits one, Pike VM otherwise and as fallback.
     General {
         prefilter: Option<Prefilter>,
-        /// The prefilter literal is a required prefix: a hit is the
-        /// earliest possible match start.
-        prefilter_is_prefix: bool,
+        /// Maximum offset from the match start at which the prefilter
+        /// literal's guaranteed occurrence can begin: a hit at `h`
+        /// proves no match starts before `h - max_start`, so the scan
+        /// starts there instead of rescanning from the beginning. A
+        /// required prefix is `Some(0)`; `None` = containment only.
+        prefilter_max_start: Option<usize>,
     },
 }
 
@@ -179,13 +182,13 @@ impl Regex {
             };
         }
         match Prefilter::from_literals(lits) {
-            Some((pf, is_prefix)) => Plan::General {
+            Some((pf, max_start)) => Plan::General {
                 prefilter: Some(pf),
-                prefilter_is_prefix: is_prefix,
+                prefilter_max_start: max_start,
             },
             None => Plan::General {
                 prefilter: None,
-                prefilter_is_prefix: false,
+                prefilter_max_start: None,
             },
         }
     }
@@ -429,15 +432,18 @@ impl Matcher {
         match &self.inner.plan {
             Plan::General {
                 prefilter: Some(pf),
-                prefilter_is_prefix,
+                prefilter_max_start,
             } => {
-                let off = pf.find(&hay[start..])?;
-                // A required *prefix* literal pins the earliest match
-                // start; an inner literal only proves containment.
-                if *prefilter_is_prefix {
-                    Some(start + off)
-                } else {
-                    Some(start)
+                let hit = start + pf.find(&hay[start..])?;
+                // The literal's guaranteed occurrence starts at most
+                // `max_start` bytes into its match, and the leftmost
+                // occurrence at-or-after `start` is at `hit`, so no
+                // match starts before `hit - max_start`. The scan
+                // proceeds forward from there — one pass even for
+                // inner literals (when the bound exists).
+                match prefilter_max_start {
+                    Some(b) => Some(hit.saturating_sub(*b).max(start)),
+                    None => Some(start),
                 }
             }
             _ => Some(start),
@@ -669,6 +675,52 @@ mod tests {
             assert!(!m.is_match(b"zz abbac zz"));
             assert_eq!(m.find(b"xac3"), Some((1, 4)));
         }
+    }
+
+    #[test]
+    fn inner_literal_bound_is_one_pass() {
+        // "ERROR" can start at most one byte into a match, so a
+        // prefilter hit bounds the scan start instead of forcing a
+        // rescan from the haystack beginning.
+        let re = Regex::new("[0-9]ERROR", Syntax::Ere).expect("compile");
+        assert!(matches!(
+            re.inner.plan,
+            Plan::General {
+                prefilter_max_start: Some(1),
+                ..
+            }
+        ));
+        let mut hay = vec![b'x'; 1 << 16];
+        hay.extend_from_slice(b"7ERROR tail");
+        assert!(re.is_match(&hay));
+        assert_eq!(re.find(&hay), Some((1 << 16, (1 << 16) + 6)));
+        assert!(!re.is_match(b"xERROR only"));
+    }
+
+    #[test]
+    fn inner_literal_bound_keeps_later_matches() {
+        // The first literal occurrence is not part of a match; the
+        // bounded scan must still reach the later one.
+        let re = Regex::new("[0-9]ERROR", Syntax::Ere).expect("compile");
+        let hay = b"xERROR noise 5ERROR end";
+        assert_eq!(re.find(hay), Some((13, 19)));
+        assert_eq!(re.find_at(hay, 2), Some((13, 19)));
+        let caps = re.captures(hay).expect("match");
+        assert_eq!(caps[0], Some((13, 19)));
+    }
+
+    #[test]
+    fn unbounded_inner_literal_keeps_containment_only() {
+        let re = Regex::new("x+needle", Syntax::Ere).expect("compile");
+        assert!(matches!(
+            re.inner.plan,
+            Plan::General {
+                prefilter_max_start: None,
+                ..
+            }
+        ));
+        assert_eq!(re.find(b"aaxxxneedle"), Some((2, 11)));
+        assert!(!re.is_match(b"no nee dle"));
     }
 
     #[test]

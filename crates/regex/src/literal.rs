@@ -22,6 +22,21 @@ use crate::memmem::{memchr, Finder};
 /// (a truncated prefix/required literal is still sound).
 const MAX_LIT: usize = 64;
 
+/// A byte run contained in every match, with a bound on where inside
+/// the match it can begin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequiredLit {
+    /// The run's bytes.
+    pub bytes: Vec<u8>,
+    /// Maximum offset from the match start at which the guaranteed
+    /// occurrence of this run can begin; `None` when an unbounded
+    /// element (a `*`/`+` repeat) precedes it. A prefilter hit at
+    /// haystack position `h` therefore proves no match starts before
+    /// `h - max_start` — the one-pass bound the DFA scan uses. A
+    /// required prefix has `max_start == Some(0)`.
+    pub max_start: Option<usize>,
+}
+
 /// The literal facts extracted from one pattern.
 #[derive(Debug, Clone)]
 pub struct Literals {
@@ -34,7 +49,7 @@ pub struct Literals {
     /// Every match starts with these bytes (possibly empty).
     pub prefix: Vec<u8>,
     /// Maximal byte runs contained in every match.
-    pub required: Vec<Vec<u8>>,
+    pub required: Vec<RequiredLit>,
     /// Literals are ASCII case-insensitive (stored lowercased): every
     /// match contains some case-variant of each required run.
     pub caseless: bool,
@@ -46,8 +61,9 @@ struct Lits {
     exact: Option<Vec<u8>>,
     /// Every match of the subexpression starts with these bytes.
     prefix: Vec<u8>,
-    /// Byte runs contained in every match of the subexpression.
-    required: Vec<Vec<u8>>,
+    /// Byte runs contained in every match of the subexpression, with
+    /// start offsets relative to the subexpression's own match start.
+    required: Vec<RequiredLit>,
 }
 
 impl Lits {
@@ -64,6 +80,28 @@ impl Lits {
             prefix: bytes.clone(),
             exact: Some(bytes),
             required: Vec::new(),
+        }
+    }
+}
+
+/// Maximum number of bytes a match of `hir` can span; `None` when
+/// unbounded. Used to bound where a required run can start inside a
+/// match — conservative in the same direction as the rest of the
+/// analysis (overestimating is sound, underestimating is not).
+fn max_len(hir: &Hir) -> Option<usize> {
+    match hir {
+        Hir::Empty | Hir::Assert(_) => Some(0),
+        Hir::Class(_) => Some(1),
+        Hir::Group { inner, .. } => max_len(inner),
+        Hir::Concat(parts) => parts
+            .iter()
+            .try_fold(0usize, |acc, p| Some(acc.saturating_add(max_len(p)?))),
+        Hir::Alt(parts) => parts
+            .iter()
+            .try_fold(0usize, |acc, p| Some(acc.max(max_len(p)?))),
+        Hir::Repeat { inner, max, .. } => {
+            let m = (*max)? as usize;
+            Some(max_len(inner)?.saturating_mul(m))
         }
     }
 }
@@ -93,16 +131,25 @@ fn analyze_with(hir: &Hir, caseless: bool) -> Literals {
         }
         l.prefix.make_ascii_lowercase();
         for r in l.required.iter_mut() {
-            r.make_ascii_lowercase();
+            r.bytes.make_ascii_lowercase();
         }
     }
     let mut required = l.required;
     if !l.prefix.is_empty() {
-        required.push(l.prefix.clone());
+        required.push(RequiredLit {
+            bytes: l.prefix.clone(),
+            max_start: Some(0),
+        });
     }
-    required.retain(|r| !r.is_empty());
-    required.sort();
-    required.dedup();
+    required.retain(|r| !r.bytes.is_empty());
+    // Duplicate byte runs keep the tighter bound: both bounds are
+    // true statements about every match, so the minimum is sound.
+    required.sort_by(|a, b| {
+        a.bytes
+            .cmp(&b.bytes)
+            .then_with(|| bound_rank(a.max_start).cmp(&bound_rank(b.max_start)))
+    });
+    required.dedup_by(|a, b| a.bytes == b.bytes);
     Literals {
         exact: l.exact,
         anchored_start,
@@ -211,12 +258,21 @@ fn lits(hir: &Hir) -> Lits {
 
 /// Folds a concatenation left to right, growing the prefix while all
 /// elements are exact and collecting maximal required runs.
+///
+/// Alongside each run it tracks `max_start`: the most bytes any match
+/// can consume before the run begins, accumulated from [`max_len`] of
+/// the elements crossed so far. The bound goes to `None` (unbounded)
+/// once a `*`/`+` repeat is crossed and stays there.
 fn concat_lits(parts: &[Hir]) -> Lits {
     let mut exact: Option<Vec<u8>> = Some(Vec::new());
     let mut prefix = Vec::new();
     let mut prefix_open = true;
     let mut run: Vec<u8> = Vec::new();
-    let mut runs: Vec<Vec<u8>> = Vec::new();
+    let mut runs: Vec<RequiredLit> = Vec::new();
+    // Max bytes a match can consume before the current element, and
+    // its value at the moment the current run began.
+    let mut pos: Option<usize> = Some(0);
+    let mut run_start: Option<usize> = Some(0);
     for p in parts {
         if matches!(p, Hir::Assert(_)) {
             // Zero-width: contributes no bytes and does not break the
@@ -228,6 +284,9 @@ fn concat_lits(parts: &[Hir]) -> Lits {
         let l = lits(p);
         match l.exact {
             Some(e) => {
+                if run.is_empty() {
+                    run_start = pos;
+                }
                 run.extend_from_slice(&e);
                 run.truncate(MAX_LIT);
                 if prefix_open {
@@ -239,11 +298,15 @@ fn concat_lits(parts: &[Hir]) -> Lits {
                     // pattern is still a pure substring search.
                     acc.extend_from_slice(&e);
                 }
+                pos = pos.map(|x| x.saturating_add(e.len()));
             }
             None => {
                 // The element's own prefix extends the current run
                 // (those bytes still appear contiguously here), then
                 // the run breaks.
+                if run.is_empty() {
+                    run_start = pos;
+                }
                 run.extend_from_slice(&l.prefix);
                 run.truncate(MAX_LIT);
                 if prefix_open {
@@ -252,21 +315,44 @@ fn concat_lits(parts: &[Hir]) -> Lits {
                     prefix_open = false;
                 }
                 if !run.is_empty() {
-                    runs.push(std::mem::take(&mut run));
+                    runs.push(RequiredLit {
+                        bytes: std::mem::take(&mut run),
+                        max_start: run_start,
+                    });
                 }
-                runs.extend(l.required);
+                // Inner required runs shift by the width consumed
+                // before this element begins.
+                for mut r in l.required {
+                    r.max_start = match (pos, r.max_start) {
+                        (Some(p0), Some(b)) => Some(p0.saturating_add(b)),
+                        _ => None,
+                    };
+                    runs.push(r);
+                }
                 exact = None;
+                pos = match (pos, max_len(p)) {
+                    (Some(p0), Some(m)) => Some(p0.saturating_add(m)),
+                    _ => None,
+                };
             }
         }
     }
     if !run.is_empty() {
-        runs.push(run);
+        runs.push(RequiredLit {
+            bytes: run,
+            max_start: run_start,
+        });
     }
     Lits {
         exact,
         prefix,
         required: runs,
     }
+}
+
+/// Orders bounds for "prefer the tighter": `None` (unbounded) last.
+fn bound_rank(b: Option<usize>) -> usize {
+    b.unwrap_or(usize::MAX)
 }
 
 fn common_prefix(a: &[u8], b: &[u8]) -> Vec<u8> {
@@ -289,28 +375,29 @@ pub enum Prefilter {
 
 impl Prefilter {
     /// Builds the best prefilter from the analysis, preferring the
-    /// longest required literal (ties broken toward the prefix, whose
-    /// hits also bound the match start).
+    /// longest required literal (ties broken toward the tightest
+    /// `max_start` bound — a required prefix has bound 0).
     ///
-    /// Returns the filter and whether the chosen literal is a required
-    /// prefix of every match.
-    pub fn from_literals(lit: &Literals) -> Option<(Prefilter, bool)> {
+    /// Returns the filter and the chosen literal's `max_start` bound:
+    /// a hit at haystack position `h` proves no match starts before
+    /// `h - max_start` (`None` = the hit only proves containment).
+    pub fn from_literals(lit: &Literals) -> Option<(Prefilter, Option<usize>)> {
         let best = lit
             .required
             .iter()
-            .max_by_key(|r| (r.len(), usize::from(r.as_slice() == lit.prefix.as_slice())))?;
-        if best.is_empty() {
+            .max_by_key(|r| (r.bytes.len(), std::cmp::Reverse(bound_rank(r.max_start))))?;
+        let bytes = &best.bytes;
+        if bytes.is_empty() {
             return None;
         }
-        let is_prefix = !lit.prefix.is_empty() && best.as_slice() == lit.prefix.as_slice();
-        let pf = if best.len() == 1 && !(lit.caseless && best[0].is_ascii_alphabetic()) {
-            Prefilter::Byte(best[0])
+        let pf = if bytes.len() == 1 && !(lit.caseless && bytes[0].is_ascii_alphabetic()) {
+            Prefilter::Byte(bytes[0])
         } else if lit.caseless {
-            Prefilter::Lit(Finder::new_caseless(best))
+            Prefilter::Lit(Finder::new_caseless(bytes))
         } else {
-            Prefilter::Lit(Finder::new(best))
+            Prefilter::Lit(Finder::new(bytes))
         };
-        Some((pf, is_prefix))
+        Some((pf, best.max_start))
     }
 
     /// Finds the first candidate position in `hay`, or proves there is
@@ -375,9 +462,16 @@ mod tests {
         let l = an("foo[0-9]+bar");
         assert_eq!(l.exact, None);
         assert_eq!(l.prefix, b"foo");
-        // "foo" and "bar" are both required runs.
-        assert!(l.required.iter().any(|r| r == b"foo"));
-        assert!(l.required.iter().any(|r| r == b"bar"));
+        // "foo" and "bar" are both required runs. "foo" is the
+        // prefix (bound 0); "bar" sits past an unbounded repeat.
+        assert!(l
+            .required
+            .iter()
+            .any(|r| r.bytes == b"foo" && r.max_start == Some(0)));
+        assert!(l
+            .required
+            .iter()
+            .any(|r| r.bytes == b"bar" && r.max_start.is_none()));
     }
 
     #[test]
@@ -385,15 +479,18 @@ mod tests {
         let l = an("(ab)+x");
         assert_eq!(l.prefix, b"ab");
         let l = an("x(ab){2,}");
-        assert!(l.required.iter().any(|r| r == b"xabab"));
+        assert!(l.required.iter().any(|r| r.bytes == b"xabab"));
     }
 
     #[test]
     fn star_breaks_runs() {
         let l = an("foo(xy)*bar");
         assert_eq!(l.prefix, b"foo");
-        assert!(l.required.iter().any(|r| r == b"bar"));
-        assert!(!l.required.iter().any(|r| r.windows(2).any(|w| w == b"ob")));
+        assert!(l.required.iter().any(|r| r.bytes == b"bar"));
+        assert!(!l
+            .required
+            .iter()
+            .any(|r| r.bytes.windows(2).any(|w| w == b"ob")));
     }
 
     #[test]
@@ -409,7 +506,7 @@ mod tests {
     #[test]
     fn word_boundaries_do_not_break_runs() {
         let l = an(r"\bcat\b");
-        assert!(l.required.iter().any(|r| r == b"cat"));
+        assert!(l.required.iter().any(|r| r.bytes == b"cat"));
         assert_eq!(l.prefix, b"cat");
     }
 
@@ -424,9 +521,10 @@ mod tests {
     #[test]
     fn prefilter_picks_longest_run() {
         let l = an("ab[0-9]+longneedle");
-        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
+        let (pf, max_start) = Prefilter::from_literals(&l).expect("prefilter");
         assert_eq!(pf.len(), "longneedle".len());
-        assert!(!is_prefix);
+        // The needle follows an unbounded repeat: containment only.
+        assert_eq!(max_start, None);
         assert!(!pf.is_empty());
         let hay = b"xx ab42longneedle yy";
         assert!(pf.find(hay).is_some());
@@ -436,19 +534,19 @@ mod tests {
     #[test]
     fn prefilter_prefers_prefix_on_tie() {
         let l = an("foo[0-9]+bar");
-        // "foo" and "bar" tie at 3 bytes; the prefix wins so hits
-        // bound the match start.
-        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
-        assert!(is_prefix);
+        // "foo" and "bar" tie at 3 bytes; the prefix wins (tighter
+        // bound) so hits pin the match start.
+        let (pf, max_start) = Prefilter::from_literals(&l).expect("prefilter");
+        assert_eq!(max_start, Some(0));
         assert_eq!(pf.find(b"xfoo1bar"), Some(1));
     }
 
     #[test]
     fn single_byte_prefilter_is_memchr() {
         let l = an("x[0-9]*");
-        let (pf, is_prefix) = Prefilter::from_literals(&l).expect("prefilter");
+        let (pf, max_start) = Prefilter::from_literals(&l).expect("prefilter");
         assert!(matches!(pf, Prefilter::Byte(b'x')));
-        assert!(is_prefix);
+        assert_eq!(max_start, Some(0));
         assert_eq!(pf.find(b"aaxbb"), Some(2));
     }
 
@@ -467,7 +565,7 @@ mod tests {
         let l = analyze_caseless(&hir);
         assert!(l.caseless);
         assert_eq!(l.prefix, b"abc");
-        assert!(l.required.iter().any(|r| r == b"tail"));
+        assert!(l.required.iter().any(|r| r.bytes == b"tail"));
         let (pf, _) = Prefilter::from_literals(&l).expect("prefilter");
         assert_eq!(pf.len(), 4);
         assert!(pf.find(b"xx TaIl yy").is_some());
@@ -502,5 +600,45 @@ mod tests {
         assert_eq!(l.exact, None);
         assert_eq!(l.prefix.len(), MAX_LIT);
         assert!(l.prefix.iter().all(|&b| b == b'a'));
+    }
+
+    #[test]
+    fn inner_literal_bound_counts_class_widths() {
+        // One class byte before the run: it starts at offset ≤ 1.
+        let l = an("[0-9]ERROR");
+        let r = l.required.iter().find(|r| r.bytes == b"ERROR").unwrap();
+        assert_eq!(r.max_start, Some(1));
+        // Two dots: offset ≤ 2.
+        let l = an("..fatal");
+        let r = l.required.iter().find(|r| r.bytes == b"fatal").unwrap();
+        assert_eq!(r.max_start, Some(2));
+    }
+
+    #[test]
+    fn inner_literal_bound_counts_bounded_repeats() {
+        let l = an("[0-9]{0,3}ERROR");
+        let r = l.required.iter().find(|r| r.bytes == b"ERROR").unwrap();
+        assert_eq!(r.max_start, Some(3));
+        // An alternation contributes its longest branch.
+        let l = an("(cat|zebra)=[0-9]+tail");
+        let r = l.required.iter().find(|r| r.bytes == b"tail").unwrap();
+        assert_eq!(r.max_start, None);
+        let r = l.required.iter().find(|r| r.bytes == b"=").unwrap();
+        assert_eq!(r.max_start, Some(5));
+    }
+
+    #[test]
+    fn unbounded_repeat_voids_the_bound() {
+        let l = an("x*fatal");
+        let r = l.required.iter().find(|r| r.bytes == b"fatal").unwrap();
+        assert_eq!(r.max_start, None);
+    }
+
+    #[test]
+    fn prefilter_reports_inner_bound() {
+        let l = an("[0-9][0-9]needle");
+        let (pf, max_start) = Prefilter::from_literals(&l).expect("prefilter");
+        assert_eq!(pf.len(), "needle".len());
+        assert_eq!(max_start, Some(2));
     }
 }

@@ -49,6 +49,7 @@ pub fn run_aggregator(
         "pash-agg-tac" => agg_tac(inputs, output),
         "pash-agg-bigram" => agg_bigram(inputs, output),
         "pash-agg-reorder" => agg_reorder(inputs, output),
+        "pash-agg-frame-merge" => agg_frame_merge(args, inputs, output),
         // Re-applied commands (e.g. `head -n 1`) run over the ordered
         // concatenation of the inputs.
         _ => {
@@ -192,11 +193,29 @@ fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> i
     // For `sort -u`, duplicates may also straddle input boundaries.
     let mut last_emitted: Vec<u8> = Vec::new();
     let mut have_last = false;
+    // Merged lines collect into a local staging buffer flushed in
+    // large chunks, keeping the per-line cost off the dyn writer (at
+    // high fan-in the writer call dominated the replay itself).
+    const FLUSH: usize = 64 * 1024;
+    let mut staged: Vec<u8> = Vec::with_capacity(FLUSH + 4096);
+    // Run fast path: in a tournament, the second-best lost directly
+    // to the winner, so it sits among the losers on the winner's
+    // root path. When the same stream wins twice running, cache the
+    // best of those losers and keep emitting from the winner with
+    // one comparison per line — no tree replay — until its head
+    // stops beating the cached challenger. Computed lazily (only on
+    // a repeat win) so interleaved streams pay nothing extra.
+    let mut challenger = EMPTY;
     while tree.winner != EMPTY && heads[tree.winner].live {
         let b = tree.winner;
         let suppress = unique && have_last && spec.key_equal(&last_emitted, &heads[b].buf);
         if !suppress {
-            write_line(output, &heads[b].buf)?;
+            staged.extend_from_slice(&heads[b].buf);
+            staged.push(b'\n');
+            if staged.len() >= FLUSH {
+                output.write_all(&staged)?;
+                staged.clear();
+            }
             if unique {
                 last_emitted.clear();
                 last_emitted.extend_from_slice(&heads[b].buf);
@@ -204,8 +223,27 @@ fn agg_sort(args: &[String], inputs: Vec<AggInput>, output: &mut dyn Write) -> i
             }
         }
         advance(&mut scanners[b], &mut heads[b])?;
+        if challenger != EMPTY {
+            if heads[b].live && beats(&heads, b, challenger) {
+                continue;
+            }
+            challenger = EMPTY;
+        }
         tree.replay(b, &mut |a, b| beats(&heads, a, b));
+        if tree.winner == b && k >= 2 {
+            let mut best = EMPTY;
+            let mut slot = (b + k) / 2;
+            while slot > 0 {
+                let held = tree.tree[slot];
+                if held != EMPTY && (best == EMPTY || beats(&heads, held, best)) {
+                    best = held;
+                }
+                slot /= 2;
+            }
+            challenger = best;
+        }
     }
+    output.write_all(&staged)?;
     Ok(0)
 }
 
@@ -389,8 +427,8 @@ fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> 
     Ok(0)
 }
 
-/// `pash-agg-reorder`: strips `r_split` frames and writes payloads
-/// back in tag order.
+/// Reads `r_split` frames from `k` inputs and hands each payload to
+/// `sink` in tag order.
 ///
 /// The splitter deals tag `t` to worker `t mod k` and framed workers
 /// emit exactly one output frame per input frame, so input `i`
@@ -405,7 +443,10 @@ fn agg_bigram(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> 
 /// remainder would silently reorder or drop bytes. Failing fast here
 /// — instead of blocking on inputs that will never produce the gap —
 /// is what lets the supervisor detect a lost block and recover.
-fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+fn for_each_frame_in_tag_order(
+    inputs: Vec<AggInput>,
+    sink: &mut impl FnMut(&[u8]) -> io::Result<()>,
+) -> io::Result<()> {
     fn missing_tag(next: u64) -> io::Error {
         io::Error::new(
             io::ErrorKind::InvalidData,
@@ -418,7 +459,7 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
         .collect();
     let k = readers.len();
     if k == 0 {
-        return Ok(0);
+        return Ok(());
     }
     let mut pending: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut next: u64 = 0;
@@ -459,7 +500,7 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
             }
         }
         while let Some(payload) = pending.remove(&next) {
-            output.write_all(&payload)?;
+            sink(&payload)?;
             next += 1;
         }
     }
@@ -468,6 +509,105 @@ fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32>
         // tail: the block tagged `next` never arrived.
         return Err(missing_tag(next));
     }
+    Ok(())
+}
+
+/// `pash-agg-reorder`: strips `r_split` frames and writes payloads
+/// back in tag order (see [`for_each_frame_in_tag_order`]).
+fn agg_reorder(inputs: Vec<AggInput>, output: &mut dyn Write) -> io::Result<i32> {
+    for_each_frame_in_tag_order(inputs, &mut |payload| output.write_all(payload))?;
+    Ok(0)
+}
+
+/// The lines of one frame payload (final line with or without `\n`).
+fn payload_lines(payload: &[u8]) -> impl Iterator<Item = &[u8]> {
+    payload
+        .split_inclusive(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\n").unwrap_or(l))
+}
+
+/// The incremental boundary folds `pash-agg-frame-merge` can wrap:
+/// each consumes per-block command output one tag-ordered line at a
+/// time and keeps only the open group, so memory stays bounded no
+/// matter how many blocks the splitter dealt.
+enum FrameFold {
+    /// `uniq`: drop a line equal to the previously emitted one.
+    Uniq { last: Option<Vec<u8>> },
+    /// `uniq -c`: merge counts of equal adjacent groups.
+    UniqCount { open: Option<(u64, Vec<u8>)> },
+}
+
+impl FrameFold {
+    fn for_inner(argv: &[String]) -> io::Result<FrameFold> {
+        match argv.first().map(String::as_str) {
+            Some("pash-agg-uniq") => Ok(FrameFold::Uniq { last: None }),
+            Some("pash-agg-uniq-c") => Ok(FrameFold::UniqCount { open: None }),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("pash-agg-frame-merge cannot wrap {other:?}"),
+            )),
+        }
+    }
+
+    fn feed(&mut self, line: &[u8], output: &mut dyn Write) -> io::Result<()> {
+        match self {
+            FrameFold::Uniq { last } => {
+                if last.as_deref() != Some(line) {
+                    write_line(output, line)?;
+                }
+                match last {
+                    Some(buf) => {
+                        buf.clear();
+                        buf.extend_from_slice(line);
+                    }
+                    None => *last = Some(line.to_vec()),
+                }
+            }
+            FrameFold::UniqCount { open } => {
+                let (count, text) = parse_count_line(line)?;
+                match open {
+                    Some((c, t)) if t.as_slice() == text => *c += count,
+                    _ => {
+                        if let Some((c, t)) = open.take() {
+                            write_count_line(output, c, &t)?;
+                        }
+                        *open = Some((count, text.to_vec()));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, output: &mut dyn Write) -> io::Result<()> {
+        if let FrameFold::UniqCount { open: Some((c, t)) } = self {
+            write_count_line(output, c, &t)?;
+        }
+        Ok(())
+    }
+}
+
+/// `pash-agg-frame-merge INNER…`: the framed-pure combiner.
+///
+/// Parallel class-P copies ran the command once per tagged round-robin
+/// block, so each output frame is the command's result on one block.
+/// Restoring tag order and re-applying the command's boundary fold
+/// over *every* adjacent frame pair — including frames from the same
+/// worker — reconstructs the sequential output, because the wrapped
+/// aggregators satisfy `f(x·x') = fold(f(x), f(x'))` exactly.
+fn agg_frame_merge(
+    args: &[String],
+    inputs: Vec<AggInput>,
+    output: &mut dyn Write,
+) -> io::Result<i32> {
+    let mut fold = FrameFold::for_inner(args)?;
+    for_each_frame_in_tag_order(inputs, &mut |payload| {
+        for line in payload_lines(payload) {
+            fold.feed(line, output)?;
+        }
+        Ok(())
+    })?;
+    fold.finish(output)?;
     Ok(0)
 }
 
@@ -736,6 +876,72 @@ mod tests {
     #[test]
     fn reorder_no_inputs_is_empty() {
         assert_eq!(run_reorder(Vec::new()), "");
+    }
+
+    fn try_run_frame_merge(inner: &[&str], inputs: Vec<AggInput>) -> io::Result<String> {
+        let mut argv = vec!["pash-agg-frame-merge".to_string()];
+        argv.extend(inner.iter().map(|s| s.to_string()));
+        let mut out = Vec::new();
+        let reg = Registry::standard();
+        run_aggregator(&argv, inputs, &mut out, &reg, Arc::new(MemFs::new()))?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    fn run_frame_merge(inner: &[&str], inputs: Vec<AggInput>) -> String {
+        try_run_frame_merge(inner, inputs).expect("frame-merge")
+    }
+
+    #[test]
+    fn frame_merge_uniq_folds_every_tag_boundary() {
+        // Per-block uniq output with duplicates straddling boundaries
+        // between frames of *different* workers (tags 0→1) and frames
+        // of the *same* worker (tags 1→3 live on input 1): both fold.
+        let inputs = vec![
+            framed_input(&[(0, "a\nb\n"), (2, "b\nc\n")]),
+            framed_input(&[(1, "b\n"), (3, "c\nd\n")]),
+        ];
+        assert_eq!(run_frame_merge(&["pash-agg-uniq"], inputs), "a\nb\nc\nd\n");
+    }
+
+    #[test]
+    fn frame_merge_uniq_count_sums_boundary_groups() {
+        // `uniq -c` per block; the group `b` spans three blocks and
+        // its counts must sum, while distinct groups pass through.
+        let inputs = vec![
+            framed_input(&[(0, "      2 a\n      1 b\n"), (2, "      3 b\n")]),
+            framed_input(&[(1, "      4 b\n"), (3, "      1 c\n")]),
+        ];
+        assert_eq!(
+            run_frame_merge(&["pash-agg-uniq-c"], inputs),
+            "      2 a\n      8 b\n      1 c\n"
+        );
+    }
+
+    #[test]
+    fn frame_merge_empty_blocks_are_neutral() {
+        // A block the worker filtered to nothing contributes no lines
+        // and must not break an open group around it.
+        let inputs = vec![
+            framed_input(&[(0, "      2 x\n"), (2, "      1 x\n")]),
+            framed_input(&[(1, "")]),
+        ];
+        assert_eq!(run_frame_merge(&["pash-agg-uniq-c"], inputs), "      3 x\n");
+    }
+
+    #[test]
+    fn frame_merge_missing_tag_fails_fast() {
+        // Same fail-fast contract as the reorderer: a gap in the tag
+        // sequence is a lost block, not something to paper over.
+        let inputs = vec![framed_input(&[(0, "a\n"), (2, "c\n")]), framed_input(&[])];
+        let err = try_run_frame_merge(&["pash-agg-uniq"], inputs).expect_err("missing tag");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn frame_merge_rejects_unwrappable_inner() {
+        let err = try_run_frame_merge(&["pash-agg-sort"], Vec::new()).expect_err("bad inner");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
     }
 
     mod reorder_props {

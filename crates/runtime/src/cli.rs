@@ -339,6 +339,15 @@ fn split_agg_args(agg: &str, rest: &[String]) -> (Vec<String>, Vec<String>) {
             }
             (args, files)
         }
+        "pash-agg-frame-merge" => {
+            // The first operand names the wrapped boundary-fold
+            // aggregator (it has no flags of its own); everything
+            // after it is an input path.
+            match rest.split_first() {
+                Some((inner, files)) => (vec![inner.clone()], files.to_vec()),
+                None => (Vec::new(), Vec::new()),
+            }
+        }
         _ => {
             let (args, files): (Vec<String>, Vec<String>) = rest
                 .iter()
@@ -455,5 +464,13 @@ mod tests {
         let (args, files) = split_agg_args("pash-agg-sort", &s(&["-k", "2", "-n", "f1", "f2"]));
         assert_eq!(args, s(&["-k", "2", "-n"]));
         assert_eq!(files, s(&["f1", "f2"]));
+    }
+
+    #[test]
+    fn agg_arg_splitting_frame_merge_inner_is_not_a_file() {
+        let (args, files) =
+            split_agg_args("pash-agg-frame-merge", &s(&["pash-agg-uniq-c", "w0", "w1"]));
+        assert_eq!(args, s(&["pash-agg-uniq-c"]));
+        assert_eq!(files, s(&["w0", "w1"]));
     }
 }

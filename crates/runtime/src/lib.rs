@@ -47,6 +47,7 @@ pub mod pipe;
 pub mod proc;
 pub mod relay;
 pub mod scan;
+pub mod service;
 pub mod split;
 pub mod supervise;
 
@@ -59,4 +60,8 @@ pub use pipe::{
     pipe, pipe_monitored, MultiReader, PipeMonitor, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY,
 };
 pub use scan::LineScanner;
+pub use service::{
+    CacheTier, Client, DiskPlanCache, Request, Response, RunRequest, RunResponse, Semaphore,
+    ServiceMetrics, ServiceSettings,
+};
 pub use supervise::{supervise_region, SupervisorCounters, SupervisorSettings};

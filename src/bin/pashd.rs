@@ -1,0 +1,104 @@
+//! `pashd` — the persistent compile-and-run daemon.
+//!
+//! ```text
+//! pashd --socket PATH [--cache-dir DIR] [--max-concurrent N]
+//!       [--retries N] [--no-fallback]
+//! ```
+//!
+//! Listens on a Unix-domain socket for length-prefixed requests
+//! (script + config + backend + stdin bytes), compiles through the
+//! two-tier plan cache, runs on the requested backend, and replies
+//! with stdout/status. `--cache-dir` enables the on-disk tier so a
+//! restarted daemon warm-starts. Stop it with a `Shutdown` request
+//! (`pash::runtime::service::Client::shutdown`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pash::daemon::{serve, DaemonConfig};
+use pash::runtime::fault::{FaultKind, FaultPlan};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pashd --socket PATH [--cache-dir DIR] [--max-concurrent N] \
+         [--retries N] [--no-fallback] [--fault KIND:SEED[:BUDGET]]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses a `KIND:SEED[:BUDGET]` fault spec (test plane; kinds are the
+/// [`FaultKind::name`] strings, e.g. `kill-worker:5:100`).
+fn parse_fault(spec: &str) -> Option<FaultPlan> {
+    let mut parts = spec.split(':');
+    let kind_name = parts.next()?;
+    let kind = FaultKind::ALL.into_iter().find(|k| k.name() == kind_name)?;
+    let seed: u64 = parts.next()?.parse().ok()?;
+    let plan = FaultPlan::new(kind, seed);
+    match parts.next() {
+        Some(budget) => {
+            let budget: u32 = budget.parse().ok()?;
+            parts.next().is_none().then(|| plan.budget(budget))
+        }
+        None => Some(plan),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = DaemonConfig::default();
+    let mut socket = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("pashd: {name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(PathBuf::from(value("--socket"))),
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir"))),
+            "--max-concurrent" => {
+                cfg.max_concurrent_runs = value("--max-concurrent").parse().unwrap_or_else(|_| {
+                    eprintln!("pashd: --max-concurrent needs a number");
+                    usage()
+                })
+            }
+            "--retries" => {
+                cfg.supervisor.max_retries = value("--retries").parse().unwrap_or_else(|_| {
+                    eprintln!("pashd: --retries needs a number");
+                    usage()
+                })
+            }
+            "--no-fallback" => cfg.supervisor.fallback = false,
+            "--fault" => {
+                let spec = value("--fault");
+                cfg.supervisor.fault = Some(parse_fault(&spec).unwrap_or_else(|| {
+                    eprintln!("pashd: bad --fault spec {spec} (want KIND:SEED[:BUDGET])");
+                    usage()
+                }))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("pashd: unknown argument {other}");
+                usage()
+            }
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    cfg.socket = socket;
+    eprintln!(
+        "pashd: listening on {} (cache: {}, max concurrent runs: {})",
+        cfg.socket.display(),
+        cfg.cache_dir
+            .as_ref()
+            .map_or("tier 1 only".to_string(), |d| d.display().to_string()),
+        cfg.max_concurrent_runs,
+    );
+    match serve(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pashd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -70,6 +70,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+pub mod daemon;
+
 pub use pash_core as core;
 pub use pash_coreutils as coreutils;
 pub use pash_parser as parser;
@@ -80,7 +82,7 @@ pub use pash_workloads as workloads;
 
 use crate::core::backend::ShellEmitter;
 use crate::core::compile::{compile_cached, Compiled, PashConfig};
-use crate::core::plan::Backend;
+use crate::core::plan::{Backend, ExecutionPlan};
 use crate::coreutils::fs::{Fs, MemFs};
 use crate::coreutils::Registry;
 use crate::runtime::exec::{run_program_with_fallback, ExecConfig, ProgramOutput};
@@ -231,26 +233,46 @@ impl std::fmt::Display for RunError {
 
 impl std::error::Error for RunError {}
 
-/// Compiles `src` (through the memoized cache) and runs the lowered
-/// [`core::plan::ExecutionPlan`] on the backend named `backend` —
-/// `"shell"`, `"threads"`, `"processes"`, or `"sim"`.
+/// Where a [`RunHandle`]'s plan came from.
+enum PlanSource {
+    /// A tier-1 (in-memory) compile result: plan plus front-end view.
+    Compiled(Arc<Compiled>),
+    /// A bare plan — deserialized from the on-disk cache tier or
+    /// handed over a wire; no [`Compiled`] exists for it.
+    Plan(Arc<ExecutionPlan>),
+}
+
+impl PlanSource {
+    fn plan(&self) -> &ExecutionPlan {
+        match self {
+            PlanSource::Compiled(c) => &c.plan,
+            PlanSource::Plan(p) => p,
+        }
+    }
+}
+
+/// One run's compiled state: the execution plan plus the optional
+/// width-1 plan backing the supervisor's sequential fallback.
 ///
-/// This is the multi-backend entry point the plan layer exists for:
-/// every backend consumes the same lowered artifact — the `processes`
-/// arm (real children over FIFOs) landed exactly by implementing
-/// [`core::plan::Backend`] and adding an arm here; a `remote` backend
-/// would do the same.
-pub fn run(
-    src: &str,
-    cfg: &PashConfig,
-    backend: &str,
-    env: &RunEnv,
-) -> Result<BackendOutput, RunError> {
-    let compiled = compile_cached(src, cfg).map_err(RunError::Compile)?;
-    // The width-1 plan backing the supervisor's sequential fallback
-    // (execution backends only; compile_cached makes repeats free).
-    let seq_fallback = |enabled: bool| {
-        if enabled && cfg.width != 1 {
+/// A handle owns everything [`run`] needs besides the per-run
+/// [`RunEnv`], independent of where the plans came from — a fresh
+/// compile, the process-wide memo ([`RunHandle::compile`]), or a
+/// deserialized `dump()` from the service's disk cache
+/// ([`RunHandle::from_plans`]). The `pashd` service keeps handles warm
+/// across requests and constructs one `RunEnv` per request, so
+/// concurrent runs share nothing but the immutable plans.
+pub struct RunHandle {
+    plan: PlanSource,
+    seq_fallback: Option<PlanSource>,
+}
+
+impl RunHandle {
+    /// Compiles `src` through the memoized cache. With `fallback` set
+    /// (and `cfg.width != 1`), the width-1 plan for the supervisor's
+    /// sequential-fallback path is compiled (and memoized) alongside.
+    pub fn compile(src: &str, cfg: &PashConfig, fallback: bool) -> Result<RunHandle, RunError> {
+        let compiled = compile_cached(src, cfg).map_err(RunError::Compile)?;
+        let seq_fallback = if fallback && cfg.width != 1 {
             compile_cached(
                 src,
                 &PashConfig {
@@ -259,58 +281,140 @@ pub fn run(
                 },
             )
             .ok()
+            .map(PlanSource::Compiled)
         } else {
             None
+        };
+        Ok(RunHandle {
+            plan: PlanSource::Compiled(compiled),
+            seq_fallback,
+        })
+    }
+
+    /// Wraps already-compiled results (no extra work).
+    pub fn from_compiled(
+        compiled: Arc<Compiled>,
+        seq_fallback: Option<Arc<Compiled>>,
+    ) -> RunHandle {
+        RunHandle {
+            plan: PlanSource::Compiled(compiled),
+            seq_fallback: seq_fallback.map(PlanSource::Compiled),
         }
-    };
-    match backend {
-        "shell" => {
-            let mut be = ShellEmitter {
-                cfg: env.emit.clone(),
-            };
-            be.run(&compiled.plan)
-                .map(BackendOutput::Script)
-                .map_err(RunError::Io)
+    }
+
+    /// Builds a handle from bare plans — the disk-cache / wire path,
+    /// where no front-end artifacts exist.
+    pub fn from_plans(
+        plan: Arc<ExecutionPlan>,
+        seq_fallback: Option<Arc<ExecutionPlan>>,
+    ) -> RunHandle {
+        RunHandle {
+            plan: PlanSource::Plan(plan),
+            seq_fallback: seq_fallback.map(PlanSource::Plan),
         }
-        "threads" => {
-            let fallback = seq_fallback(env.exec.supervisor.fallback);
-            run_program_with_fallback(
-                &compiled.plan,
-                fallback.as_deref().map(|c| &c.plan),
-                &env.registry,
-                env.fs.clone() as Arc<dyn Fs>,
-                env.stdin.clone(),
-                &env.exec,
-            )
-            .map(BackendOutput::Execution)
-            .map_err(RunError::Io)
-        }
-        "processes" => {
-            let fallback = seq_fallback(env.proc.supervisor.fallback);
-            run_processes(&compiled, fallback.as_deref(), env)
+    }
+
+    /// The execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        self.plan.plan()
+    }
+
+    /// The width-1 fallback plan, when one was compiled or attached.
+    pub fn fallback_plan(&self) -> Option<&ExecutionPlan> {
+        self.seq_fallback.as_ref().map(|p| p.plan())
+    }
+
+    /// Runs the plan on the backend named `backend` — `"shell"`,
+    /// `"threads"`, `"processes"`, or `"sim"` — against `env`. The
+    /// fallback plan is handed to the executor only when the backend's
+    /// supervisor has fallback enabled, mirroring what [`run`] always
+    /// did.
+    pub fn execute(&self, backend: &str, env: &RunEnv) -> Result<BackendOutput, RunError> {
+        let plan = self.plan.plan();
+        match backend {
+            "shell" => {
+                let mut be = ShellEmitter {
+                    cfg: env.emit.clone(),
+                };
+                be.run(plan)
+                    .map(BackendOutput::Script)
+                    .map_err(RunError::Io)
+            }
+            "threads" => {
+                let fallback = if env.exec.supervisor.fallback {
+                    self.fallback_plan()
+                } else {
+                    None
+                };
+                run_program_with_fallback(
+                    plan,
+                    fallback,
+                    &env.registry,
+                    env.fs.clone() as Arc<dyn Fs>,
+                    env.stdin.clone(),
+                    &env.exec,
+                )
                 .map(BackendOutput::Execution)
                 .map_err(RunError::Io)
+            }
+            "processes" => {
+                let fallback = if env.proc.supervisor.fallback {
+                    self.fallback_plan()
+                } else {
+                    None
+                };
+                run_processes(plan, fallback, env)
+                    .map(BackendOutput::Execution)
+                    .map_err(RunError::Io)
+            }
+            "sim" => {
+                let mut be = SimBackend {
+                    sizes: &env.sizes,
+                    stdin_bytes: env.stdin_bytes,
+                    cost: &env.cost,
+                    cfg: &env.sim,
+                };
+                be.run(plan)
+                    .map(BackendOutput::Simulation)
+                    .map_err(RunError::Io)
+            }
+            other => Err(RunError::UnknownBackend(other.to_string())),
         }
-        "sim" => {
-            let mut be = SimBackend {
-                sizes: &env.sizes,
-                stdin_bytes: env.stdin_bytes,
-                cost: &env.cost,
-                cfg: &env.sim,
-            };
-            be.run(&compiled.plan)
-                .map(BackendOutput::Simulation)
-                .map_err(RunError::Io)
-        }
-        other => Err(RunError::UnknownBackend(other.to_string())),
     }
 }
 
-/// Runs a compiled plan on the process backend, providing the
+/// Compiles `src` (through the memoized cache) and runs the lowered
+/// [`core::plan::ExecutionPlan`] on the backend named `backend` —
+/// `"shell"`, `"threads"`, `"processes"`, or `"sim"`.
+///
+/// This is the multi-backend entry point the plan layer exists for:
+/// every backend consumes the same lowered artifact — the `processes`
+/// arm (real children over FIFOs) landed exactly by implementing
+/// [`core::plan::Backend`] and adding an arm here; a `remote` backend
+/// would do the same. Long-lived callers (the `pashd` service) keep
+/// the intermediate [`RunHandle`] instead of re-entering here.
+pub fn run(
+    src: &str,
+    cfg: &PashConfig,
+    backend: &str,
+    env: &RunEnv,
+) -> Result<BackendOutput, RunError> {
+    // The width-1 fallback is only worth compiling when the selected
+    // backend's supervisor would use it (compile_cached makes repeats
+    // free either way).
+    let want_fallback = match backend {
+        "threads" => env.exec.supervisor.fallback,
+        "processes" => env.proc.supervisor.fallback,
+        _ => false,
+    };
+    RunHandle::compile(src, cfg, want_fallback)?.execute(backend, env)
+}
+
+/// Runs a lowered plan on the process backend, providing the
 /// tempdir/read-back story when the caller gave no real root.
 fn run_processes(
-    compiled: &Compiled,
-    fallback: Option<&Compiled>,
+    plan: &ExecutionPlan,
+    fallback: Option<&ExecutionPlan>,
     env: &RunEnv,
 ) -> std::io::Result<ProgramOutput> {
     let cfg = ProcConfig {
@@ -344,13 +448,7 @@ fn run_processes(
             (dir, Some(manifest))
         }
     };
-    let mut result = run_plan_with_fallback(
-        &compiled.plan,
-        fallback.map(|c| &c.plan),
-        &cfg,
-        &root,
-        env.stdin.clone(),
-    );
+    let mut result = run_plan_with_fallback(plan, fallback, &cfg, &root, env.stdin.clone());
     if let Some(manifest) = ephemeral {
         if result.is_ok() {
             if let Err(e) = read_back_fs(&env.fs, &root, &manifest) {

@@ -318,8 +318,11 @@ fn unix50_round_robin_across_backends() {
 #[test]
 fn width_sweep_both_split_strategies() {
     // Widths 2, 4, and 8 for both the segment split and `r_split`,
-    // over pipelines covering the framed path (stateless chain), the
-    // raw commutative path (wc), and the segment fallback (sort).
+    // over pipelines covering the framed stateless path, the raw
+    // commutative path (wc, plain and reversed sort — whole-line
+    // comparisons are total orders, so their merges commute), the
+    // framed class-P path (uniq/uniq -c via frame-merge), and the
+    // segment fallback (keyed sort, whose ties break by partition).
     let Some(bins) = harness() else {
         eprintln!("skipping: no /bin/sh or binaries unavailable");
         return;
@@ -355,8 +358,21 @@ fn width_sweep_both_split_strategies() {
             "cat in.txt | grep -v qqq | wc -l > out.txt",
         ),
         (
-            "order-sensitive-sort",
+            "raw-total-order-sort",
+            "cat in.txt | tr A-Z a-z | sort > out.txt",
+        ),
+        (
+            "raw-reverse-sort",
+            "cat in.txt | tr A-Z a-z | sort -r > out.txt",
+        ),
+        ("framed-uniq", "cat in.txt | tr A-Z a-z | uniq > out.txt"),
+        (
+            "framed-uniq-count",
             "cat in.txt | tr A-Z a-z | sort | uniq -c > out.txt",
+        ),
+        (
+            "segment-keyed-sort",
+            "cat in.txt | grep -v qqq | sort -k 2 > out.txt",
         ),
     ] {
         for width in [2usize, 4, 8] {

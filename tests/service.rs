@@ -1,0 +1,428 @@
+//! `pashd` end-to-end: a real daemon process (spawned from the built
+//! binary, so restarts cross a true process boundary and the
+//! in-memory compile memo genuinely dies), driven over its
+//! Unix-domain socket.
+//!
+//! * concurrent differential — N client threads firing mixed corpus
+//!   scripts get byte-identical stdout/status/output-files to direct
+//!   `pash::run`;
+//! * warm restart — a fresh daemon process over the same cache
+//!   directory serves tier-2 (disk) hits with identical results;
+//! * crash safety — truncated/corrupted cache entries fall back to
+//!   recompilation, never wrong output;
+//! * the same differential holds under the fault-injection
+//!   supervisor, cold and disk-warm.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pash::core::compile::PashConfig;
+use pash::core::dfg::SplitPolicy;
+use pash::coreutils::fs::MemFs;
+use pash::runtime::service::{CacheTier, Client, RunRequest};
+use pash::workloads as wl;
+use pash::{run, BackendOutput, RunEnv};
+
+/// Mixed corpus: stateless, pure-with-aggregator, file-writing, and
+/// multi-region scripts, at several widths and split policies.
+fn corpus() -> Vec<(&'static str, u32, SplitPolicy)> {
+    vec![
+        ("cat in.txt | tr A-Z a-z | sort", 4, SplitPolicy::Sized),
+        ("cat in.txt | grep the | wc -l", 2, SplitPolicy::RoundRobin),
+        (
+            "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn | head -n 10",
+            4,
+            SplitPolicy::Sized,
+        ),
+        ("cat in.txt | tr A-Z a-z | grep the > out.txt", 2, SplitPolicy::Sized),
+        ("cat in.txt | tr a-z A-Z | sort | uniq > out.txt\ncat in.txt | wc -lw", 4, SplitPolicy::RoundRobin),
+        ("cat in.txt | sort", 1, SplitPolicy::Off),
+    ]
+}
+
+fn corpus_input() -> Vec<u8> {
+    wl::text_corpus(11, 96 * 1024)
+}
+
+/// What a run left behind, on either path.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    stdout: Vec<u8>,
+    status: i32,
+    out_file: Option<Vec<u8>>,
+}
+
+/// The ground truth: direct `pash::run` on a fresh filesystem.
+fn direct(script: &str, width: u32, split: SplitPolicy) -> Observed {
+    let fs = Arc::new(MemFs::new());
+    fs.add("in.txt", corpus_input());
+    let env = RunEnv {
+        fs,
+        ..Default::default()
+    };
+    let cfg = PashConfig {
+        width: width.max(1) as usize,
+        split,
+        ..Default::default()
+    };
+    match run(script, &cfg, "threads", &env).expect("direct run") {
+        BackendOutput::Execution(o) => Observed {
+            stdout: o.stdout,
+            status: o.status,
+            out_file: env.fs.read("out.txt").ok(),
+        },
+        other => panic!("direct run produced {other:?}"),
+    }
+}
+
+/// A daemon child process; killed on drop so failed tests don't leak.
+struct DaemonProc {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl DaemonProc {
+    fn client(&self) -> Client {
+        Client::connect(&self.socket).expect("connect")
+    }
+
+    fn stop(mut self) {
+        let _ = self.client().shutdown();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "pash-service-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Spawns `pashd` and waits until its socket accepts connections.
+fn spawn_daemon(dir: &Path, extra_args: &[&str]) -> DaemonProc {
+    let socket = dir.join("pashd.sock");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pashd"));
+    cmd.arg("--socket")
+        .arg(&socket)
+        .args(extra_args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let child = cmd.spawn().expect("spawn pashd");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if Client::connect(&socket).is_ok() {
+            return DaemonProc { child, socket };
+        }
+        assert!(Instant::now() < deadline, "pashd never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn seed_corpus(daemon: &DaemonProc) {
+    daemon
+        .client()
+        .put_file("in.txt", corpus_input())
+        .expect("seed in.txt");
+}
+
+fn request(script: &str, width: u32, split: SplitPolicy) -> RunRequest {
+    RunRequest {
+        script: script.to_string(),
+        backend: "threads".to_string(),
+        width,
+        split,
+        stdin: Vec::new(),
+    }
+}
+
+fn observe_response(resp: pash::runtime::service::RunResponse) -> (Observed, CacheTier) {
+    let out_file = resp
+        .files
+        .iter()
+        .find(|(p, _)| p == "out.txt")
+        .map(|(_, b)| b.clone());
+    (
+        Observed {
+            stdout: resp.stdout,
+            status: resp.status,
+            out_file,
+        },
+        resp.tier,
+    )
+}
+
+/// Pulls an integer counter out of the metrics JSON (hand-rolled, like
+/// the rest of the repo's JSON handling).
+fn metric(json: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = json
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key} in {json}"));
+    json[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+#[test]
+fn concurrent_clients_match_direct_runs() {
+    let dir = scratch_dir("diff");
+    let daemon = spawn_daemon(&dir, &["--max-concurrent", "3"]);
+    seed_corpus(&daemon);
+    let cases: Vec<_> = corpus()
+        .into_iter()
+        .map(|(script, width, split)| {
+            let expect = direct(script, width, split);
+            (script, width, split, expect)
+        })
+        .collect();
+    let cases = Arc::new(cases);
+    let daemon = Arc::new(daemon);
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let cases = cases.clone();
+        let daemon = daemon.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut client = daemon.client();
+            for round in 0..2 {
+                for i in 0..cases.len() {
+                    // Each thread walks the corpus at a different
+                    // phase so distinct scripts overlap in flight.
+                    let (script, width, split, expect) = &cases[(i + t + round) % cases.len()];
+                    let resp = client
+                        .run(request(script, *width, *split))
+                        .expect("daemon run");
+                    let (got, _tier) = observe_response(resp);
+                    assert_eq!(&got, expect, "thread {t} diverged on {script:?}");
+                }
+            }
+        }));
+    }
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let json = daemon.client().metrics().expect("metrics");
+    let total = 4 * 2 * cases.len() as u64;
+    assert_eq!(metric(&json, "run_requests"), total);
+    assert!(
+        metric(&json, "tier1_hits") > 0,
+        "warm requests must hit the in-memory tier: {json}"
+    );
+    assert_eq!(metric(&json, "errors"), 0, "{json}");
+    Arc::try_unwrap(daemon)
+        .ok()
+        .expect("all clients joined")
+        .stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_serves_disk_tier_with_identical_results() {
+    let dir = scratch_dir("warm");
+    let cache = dir.join("plan-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+    let cases: Vec<_> = corpus()
+        .into_iter()
+        .map(|(script, width, split)| {
+            let expect = direct(script, width, split);
+            (script, width, split, expect)
+        })
+        .collect();
+
+    // Cold process: populates both tiers.
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let mut client = daemon.client();
+    for (script, width, split, expect) in &cases {
+        let (got, tier) = observe_response(
+            client
+                .run(request(script, *width, *split))
+                .expect("cold run"),
+        );
+        assert_eq!(&got, expect, "cold {script:?}");
+        assert_eq!(tier, CacheTier::Cold, "first sight of {script:?}");
+        // Same process again: the in-memory tier serves it.
+        let (again, tier) = observe_response(
+            client
+                .run(request(script, *width, *split))
+                .expect("memory run"),
+        );
+        assert_eq!(&again, expect);
+        assert_eq!(tier, CacheTier::Memory, "repeat of {script:?}");
+    }
+    drop(client);
+    daemon.stop();
+
+    // Fresh process, same cache dir: the in-memory memo is gone, the
+    // disk tier must serve every script — byte-identically.
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let mut client = daemon.client();
+    for (script, width, split, expect) in &cases {
+        let (got, tier) = observe_response(
+            client
+                .run(request(script, *width, *split))
+                .expect("warm run"),
+        );
+        assert_eq!(&got, expect, "disk-warm {script:?}");
+        assert_eq!(tier, CacheTier::Disk, "restart must warm-start {script:?}");
+    }
+    let json = client.metrics().expect("metrics");
+    assert_eq!(metric(&json, "tier2_hits"), cases.len() as u64, "{json}");
+    assert_eq!(metric(&json, "compile_misses"), 0, "{json}");
+    drop(client);
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entries_recompile_never_corrupt_output() {
+    let dir = scratch_dir("crash");
+    let cache = dir.join("plan-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+    let (script, width, split) = ("cat in.txt | tr A-Z a-z | sort", 4, SplitPolicy::Sized);
+    let expect = direct(script, width, split);
+
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let (got, tier) = observe_response(
+        daemon
+            .client()
+            .run(request(script, width, split))
+            .expect("cold run"),
+    );
+    assert_eq!(got, expect);
+    assert_eq!(tier, CacheTier::Cold);
+    daemon.stop();
+
+    // Simulate a crash mid-write / disk corruption: truncate every
+    // plan file and scribble over every key file in turn.
+    let mangle = |f: &dyn Fn(&Path, Vec<u8>)| {
+        for sub in ["plans", "keys"] {
+            for entry in std::fs::read_dir(cache.join(sub)).expect("cache dir") {
+                let path = entry.expect("entry").path();
+                let bytes = std::fs::read(&path).expect("read entry");
+                f(&path, bytes);
+            }
+        }
+    };
+    mangle(&|path, bytes| {
+        std::fs::write(path, &bytes[..bytes.len() / 3]).expect("truncate");
+    });
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let (got, tier) = observe_response(
+        daemon
+            .client()
+            .run(request(script, width, split))
+            .expect("run over truncated cache"),
+    );
+    assert_eq!(got, expect, "truncated cache must not change output");
+    assert_eq!(tier, CacheTier::Cold, "truncated entry must recompile");
+    daemon.stop();
+
+    mangle(&|path, mut bytes| {
+        for b in bytes.iter_mut() {
+            *b ^= 0x5a;
+        }
+        std::fs::write(path, bytes).expect("scramble");
+    });
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let (got, tier) = observe_response(
+        daemon
+            .client()
+            .run(request(script, width, split))
+            .expect("run over scrambled cache"),
+    );
+    assert_eq!(got, expect, "scrambled cache must not change output");
+    assert_eq!(tier, CacheTier::Cold);
+    // The recompile heals the cache: a further restart disk-hits.
+    daemon.stop();
+    let daemon = spawn_daemon(&dir, &["--cache-dir", &cache_arg]);
+    seed_corpus(&daemon);
+    let (got, tier) = observe_response(
+        daemon
+            .client()
+            .run(request(script, width, split))
+            .expect("run over healed cache"),
+    );
+    assert_eq!(got, expect);
+    assert_eq!(tier, CacheTier::Disk, "rewrite must heal the entry");
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_injected_daemon_stays_byte_identical() {
+    let dir = scratch_dir("fault");
+    let cache = dir.join("plan-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+    // A persistent kill-worker fault: every attempt dies, so the
+    // supervisor must exhaust retries and take the sequential
+    // fallback — on plans from either tier.
+    let fault_args = [
+        "--cache-dir",
+        cache_arg.as_str(),
+        "--retries",
+        "1",
+        "--fault",
+        "kill-worker:5:4294967295",
+    ];
+    let (script, width, split) = (
+        "cat in.txt | tr A-Z a-z | grep the > out.txt",
+        4,
+        SplitPolicy::RoundRobin,
+    );
+    let expect = direct(script, width, split);
+
+    let daemon = spawn_daemon(&dir, &fault_args);
+    seed_corpus(&daemon);
+    let mut client = daemon.client();
+    for round in 0..2 {
+        let (got, _tier) = observe_response(
+            client
+                .run(request(script, width, split))
+                .expect("faulted run"),
+        );
+        assert_eq!(
+            got, expect,
+            "fault-injected daemon diverged (round {round})"
+        );
+    }
+    drop(client);
+    daemon.stop();
+
+    // Restart under the same fault: the disk-tier plan (and its
+    // sequential-fallback plan) must carry the supervisor too.
+    let daemon = spawn_daemon(&dir, &fault_args);
+    seed_corpus(&daemon);
+    let (got, tier) = observe_response(
+        daemon
+            .client()
+            .run(request(script, width, split))
+            .expect("disk-warm faulted run"),
+    );
+    assert_eq!(got, expect, "disk-warm fault-injected daemon diverged");
+    assert_eq!(tier, CacheTier::Disk);
+    daemon.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
