@@ -22,7 +22,12 @@
 #  10. service smoke: pashd + load generator — both plan-cache tiers
 #      must fire, warm latency must undercut cold, warm request rate
 #      must clear the floor (gates on BENCH_service.json);
-#  11. rustfmt check.
+#  11. adaptive-parallelism gate: the optimizer replays the NLP corpus
+#      through the simulator under skew and must beat the worst fixed
+#      width while staying within noise of the best fixed width
+#      (gates on BENCH_adaptive.json); plus a profile warm-start
+#      smoke over the daemon's disk tier;
+#  12. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -156,6 +161,38 @@ warm_rps=$(sed -n 's/.*"warm_rps":\([0-9.]*\).*/\1/p' target/bench-smoke/BENCH_s
 test -n "$warm_rps"
 awk "BEGIN { exit !($warm_rps > 10.0) }"
 echo "    tier1 hits: $tier1, tier2 hits: $tier2, warm/cold p50: ${warm_ratio}x, warm rate: ${warm_rps} req/s"
+
+echo "==> profile warm-start smoke (daemon restart resumes measured rates)"
+# Phase 5 of the service bench sends adaptive (width 0) requests,
+# restarts the daemon over the same cache dir, and sends one more: the
+# fresh process must serve it from profiles read back off disk.
+restart_hits=$(sed -n 's/.*"restart_profile_hits":\([0-9]*\).*/\1/p' \
+    target/bench-smoke/BENCH_service.json)
+test -n "$restart_hits" && test "$restart_hits" -ge 1
+restart_width=$(sed -n 's/.*"restart_adaptive_width":\([0-9]*\).*/\1/p' \
+    target/bench-smoke/BENCH_service.json)
+test -n "$restart_width" && test "$restart_width" -ge 1
+echo "    profile hits after restart: $restart_hits, adaptive width: $restart_width"
+
+echo "==> adaptive parallelism gate (simulated NLP corpus under skew)"
+# Deterministic simulator replay: per-region profile-guided choices
+# must beat the worst global fixed (width, split) by >= 1.1x and stay
+# within 1.05x of the best global fixed configuration.
+./target/release/adaptive --out target/bench-smoke/BENCH_adaptive.json
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool target/bench-smoke/BENCH_adaptive.json >/dev/null
+else
+    grep -q '"bench":"adaptive"' target/bench-smoke/BENCH_adaptive.json
+fi
+vs_worst=$(sed -n 's/.*"adaptive_vs_worst_fixed_speedup":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_adaptive.json)
+test -n "$vs_worst"
+awk "BEGIN { exit !($vs_worst >= 1.1) }"
+vs_best=$(sed -n 's/.*"adaptive_vs_best_fixed_ratio":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_adaptive.json)
+test -n "$vs_best"
+awk "BEGIN { exit !($vs_best <= 1.05) }"
+echo "    adaptive vs worst fixed: ${vs_worst}x, vs best fixed: ${vs_best}"
 
 echo "==> cargo fmt --check"
 cargo fmt --check

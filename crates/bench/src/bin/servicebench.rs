@@ -448,6 +448,50 @@ fn main() {
     let (warm_disk, warm_disk_compile) = pass(&daemon, &corpus, width, CacheTier::Disk);
     let tier2_metrics = daemon.client().metrics().expect("metrics");
     daemon.stop();
+
+    // Phase 5: profile convergence. Adaptive requests (width 0) ask
+    // the daemon to choose per-region shapes from its measured
+    // profiles. The first choice prices on cost-model priors (the
+    // profile store has observations from earlier phases on disk, but
+    // this asserts the *in-session* loop too); repeated requests must
+    // settle on one choice. Then a restart proves the profile tier
+    // warm-starts: the fresh process's first adaptive request already
+    // finds measured rates.
+    eprintln!("pash-bench: adaptive profile-convergence phase");
+    let conv_script = strip_redirect(&oneliners::by_name("Wf").expect("Wf exists").script);
+    let daemon = Daemon::spawn(&pashd, &dir, &cache, max_concurrent);
+    daemon.seed(bytes);
+    daemon.warmup();
+    let mut client = daemon.client();
+    let mut chosen_widths = Vec::new();
+    for i in 0..6 {
+        client
+            .run(request(&conv_script, 0))
+            .unwrap_or_else(|e| panic!("adaptive request {i} failed: {e}"));
+        let m = client.metrics().expect("metrics");
+        chosen_widths.push(metric(&m, "last_chosen_width"));
+    }
+    drop(client);
+    let adaptive_metrics = daemon.client().metrics().expect("metrics");
+    daemon.stop();
+    let converged = chosen_widths[chosen_widths.len() - 1];
+    let stable_tail = chosen_widths[chosen_widths.len() - 2] == converged;
+    eprintln!(
+        "pash-bench: adaptive widths {:?} (converged {converged})",
+        chosen_widths
+    );
+
+    eprintln!("pash-bench: restart, profile warm-start smoke");
+    let daemon = Daemon::spawn(&pashd, &dir, &cache, max_concurrent);
+    daemon.seed(bytes);
+    daemon.warmup();
+    let mut client = daemon.client();
+    client
+        .run(request(&conv_script, 0))
+        .unwrap_or_else(|e| panic!("post-restart adaptive request failed: {e}"));
+    let restart_metrics = client.metrics().expect("metrics");
+    drop(client);
+    daemon.stop();
     let _ = std::fs::remove_dir_all(&dir);
 
     let cold_s = summarize(cold);
@@ -512,6 +556,18 @@ fn main() {
         metric(&tier1_metrics, "tier1_hits"),
         metric(&tier2_metrics, "tier2_hits"),
         metric(&tier1_metrics, "compile_misses"),
+    ));
+    json.push_str(&format!(
+        "\"adaptive\":{{\"runs\":{},\"chosen_widths\":{chosen_widths:?},\
+         \"converged_width\":{converged},\"stable_tail\":{},\
+         \"profile_hits\":{},\"profile_misses\":{},\
+         \"restart_profile_hits\":{},\"restart_adaptive_width\":{}}},",
+        metric(&adaptive_metrics, "adaptive_runs"),
+        u64::from(stable_tail),
+        metric(&adaptive_metrics, "profile_hits"),
+        metric(&adaptive_metrics, "profile_misses"),
+        metric(&restart_metrics, "profile_hits"),
+        metric(&restart_metrics, "last_chosen_width"),
     ));
     json.push_str(&format!(
         "\"amortization\":{{\"script\":\"Wf\",\"compile_s\":{compile_s:.6},\

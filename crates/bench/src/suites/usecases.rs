@@ -50,6 +50,7 @@ pub fn noaa_cost_model() -> pash_sim::CostModel {
     pash_sim::CostModel {
         fetch_expansion: 5.1e5,
         unrle_expansion: 3.0,
+        ..Default::default()
     }
 }
 

@@ -16,6 +16,18 @@ use crate::frontend::{translate, FrontendOptions, TranslatedProgram};
 use crate::plan::{lower, ExecutionPlan};
 use crate::Error;
 
+/// A per-region parallelization shape: the two axes the adaptive
+/// optimizer chooses per data-flow region (eager policy and
+/// aggregation-tree shape stay global — they do not change the
+/// region's data semantics, only its buffering and merge fan-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionShape {
+    /// Parallelism width for this region.
+    pub width: usize,
+    /// Split policy for this region.
+    pub split: SplitPolicy,
+}
+
 /// Compiler configuration (one per PaSh invocation).
 #[derive(Debug, Clone)]
 pub struct PashConfig {
@@ -31,6 +43,13 @@ pub struct PashConfig {
     pub unroll_for: bool,
     /// Compile-time-known variables.
     pub env: StaticEnv,
+    /// Per-region overrides of `width`/`split`, indexed by region
+    /// position (the order `TranslatedProgram::regions_mut` yields,
+    /// which is also plan-step order). Regions beyond the vector's
+    /// length — and all regions when it is empty, the default — use
+    /// the global `width`/`split`. Filled in by the adaptive
+    /// optimizer; hand-set configs normally leave it empty.
+    pub per_region: Vec<RegionShape>,
 }
 
 impl Default for PashConfig {
@@ -42,6 +61,7 @@ impl Default for PashConfig {
             agg_tree: AggTreeShape::Binary,
             unroll_for: true,
             env: StaticEnv::new(),
+            per_region: Vec::new(),
         }
     }
 }
@@ -81,6 +101,11 @@ impl PashConfig {
             // Both sides escaped: an unescaped name could smuggle the
             // `;env ` separator and collide two distinct configs.
             key.push_str(&format!(";env {name:?}={value:?}"));
+        }
+        // Appended only when present so every pre-existing key stays
+        // byte-stable (the on-disk plan cache outlives releases).
+        for (i, shape) in self.per_region.iter().enumerate() {
+            key.push_str(&format!(";r{i}=w{}:{:?}", shape.width, shape.split));
         }
         key
     }
@@ -143,15 +168,16 @@ pub fn compile_with_library(
             unroll_for: cfg.unroll_for,
         },
     )?;
-    let tcfg = TransformConfig {
-        width: cfg.width,
-        split: cfg.split,
-        eager: cfg.eager,
-        agg_tree: cfg.agg_tree,
-    };
     let mut nodes = DfgStats::default();
     let mut regions = 0;
-    for g in tp.regions_mut() {
+    for (i, g) in tp.regions_mut().enumerate() {
+        let shape = cfg.per_region.get(i);
+        let tcfg = TransformConfig {
+            width: shape.map_or(cfg.width, |s| s.width),
+            split: shape.map_or(cfg.split, |s| s.split),
+            eager: cfg.eager,
+            agg_tree: cfg.agg_tree,
+        };
         parallelize(g, &tcfg);
         g.validate()?;
         let s = g.stats();

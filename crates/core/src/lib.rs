@@ -38,6 +38,7 @@ pub mod classes;
 pub mod compile;
 pub mod dfg;
 pub mod frontend;
+pub mod optimize;
 pub mod plan;
 pub mod study;
 

@@ -362,6 +362,93 @@ pub struct RegionPlan {
 }
 
 impl RegionPlan {
+    /// Renders this region in the [`ExecutionPlan::dump`] text format
+    /// (the `region …` header plus edge and node lines). Factored out
+    /// so a region has a dump — and therefore a fingerprint — of its
+    /// own: profile observations are keyed by `(region fingerprint,
+    /// node id)`, which must not shift when unrelated steps of the
+    /// surrounding plan change.
+    pub fn dump_into(&self, out: &mut String) {
+        out.push_str(&format!(
+            "region nodes={} edges={} replayable={}\n",
+            self.nodes.len(),
+            self.edges.len(),
+            self.replayable
+        ));
+        for (i, e) in self.edges.iter().enumerate() {
+            let kind = match &e.kind {
+                EndpointKind::Pipe => "pipe".to_string(),
+                EndpointKind::StdinPipe { primary: true } => "stdin*".to_string(),
+                EndpointKind::StdinPipe { primary: false } => "stdin".to_string(),
+                EndpointKind::StdoutPipe => "stdout".to_string(),
+                EndpointKind::InputFile(p) => format!("in:{p:?}"),
+                EndpointKind::OutputFile(p) => format!("out:{p:?}"),
+                EndpointKind::InputSegment { path, part, of } => {
+                    format!("seg:{path:?}[{part}/{of}]")
+                }
+                EndpointKind::Detached => "detached".to_string(),
+            };
+            let from = e.from.map(|n| n.to_string()).unwrap_or_default();
+            let to = e.to.map(|n| n.to_string()).unwrap_or_default();
+            out.push_str(&format!("  e{i}: {kind} {from}->{to}\n"));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            let op = match &n.op {
+                PlanOp::Exec { argv, framed } => {
+                    let words: Vec<String> = argv
+                        .iter()
+                        .map(|a| match a {
+                            Arg::Lit(s) => format!("{s:?}"),
+                            Arg::Stream(k) => format!("<in{k}>"),
+                        })
+                        .collect();
+                    format!(
+                        "exec {}{}",
+                        words.join(" "),
+                        if *framed { " framed" } else { "" }
+                    )
+                }
+                PlanOp::Cat => "cat".to_string(),
+                PlanOp::Split { mode } => match mode {
+                    SplitMode::General => "split sized=false".to_string(),
+                    SplitMode::Sized => "split sized=true".to_string(),
+                    SplitMode::RoundRobin { framed } => {
+                        format!("split rr framed={framed}")
+                    }
+                },
+                PlanOp::Relay { blocking } => format!("relay blocking={blocking}"),
+                PlanOp::Aggregate { argv } => {
+                    let words: Vec<String> = argv.iter().map(|a| format!("{a:?}")).collect();
+                    format!("agg {}", words.join(" "))
+                }
+            };
+            let ins: Vec<String> = n.inputs.iter().map(|e| format!("e{e}")).collect();
+            let outs: Vec<String> = n.outputs.iter().map(|e| format!("e{e}")).collect();
+            let stdin: Vec<String> = n.stdin_inputs.iter().map(|k| k.to_string()).collect();
+            out.push_str(&format!(
+                "  n{i}: {op} [{}] stdin=[{}] -> [{}]{}\n",
+                ins.join(","),
+                stdin.join(","),
+                outs.join(","),
+                if n.output_producer { " producer" } else { "" }
+            ));
+        }
+    }
+
+    /// This region's slice of the deterministic dump text.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    /// A 64-bit FNV-1a fingerprint of this region alone — stable
+    /// across changes to other steps of the surrounding plan. Profile
+    /// observations are keyed by `(region fingerprint, node id)`.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.dump().as_bytes())
+    }
+
     /// Node ids that produce region outputs.
     pub fn output_producers(&self) -> impl Iterator<Item = PlanNodeId> + '_ {
         self.nodes
@@ -600,74 +687,7 @@ impl ExecutionPlan {
                 }
                 PlanStep::Guard(GuardCond::IfSuccess) => out.push_str("guard if-success\n"),
                 PlanStep::Guard(GuardCond::IfFailure) => out.push_str("guard if-failure\n"),
-                PlanStep::Region(r) => {
-                    out.push_str(&format!(
-                        "region nodes={} edges={} replayable={}\n",
-                        r.nodes.len(),
-                        r.edges.len(),
-                        r.replayable
-                    ));
-                    for (i, e) in r.edges.iter().enumerate() {
-                        let kind = match &e.kind {
-                            EndpointKind::Pipe => "pipe".to_string(),
-                            EndpointKind::StdinPipe { primary: true } => "stdin*".to_string(),
-                            EndpointKind::StdinPipe { primary: false } => "stdin".to_string(),
-                            EndpointKind::StdoutPipe => "stdout".to_string(),
-                            EndpointKind::InputFile(p) => format!("in:{p:?}"),
-                            EndpointKind::OutputFile(p) => format!("out:{p:?}"),
-                            EndpointKind::InputSegment { path, part, of } => {
-                                format!("seg:{path:?}[{part}/{of}]")
-                            }
-                            EndpointKind::Detached => "detached".to_string(),
-                        };
-                        let from = e.from.map(|n| n.to_string()).unwrap_or_default();
-                        let to = e.to.map(|n| n.to_string()).unwrap_or_default();
-                        out.push_str(&format!("  e{i}: {kind} {from}->{to}\n"));
-                    }
-                    for (i, n) in r.nodes.iter().enumerate() {
-                        let op = match &n.op {
-                            PlanOp::Exec { argv, framed } => {
-                                let words: Vec<String> = argv
-                                    .iter()
-                                    .map(|a| match a {
-                                        Arg::Lit(s) => format!("{s:?}"),
-                                        Arg::Stream(k) => format!("<in{k}>"),
-                                    })
-                                    .collect();
-                                format!(
-                                    "exec {}{}",
-                                    words.join(" "),
-                                    if *framed { " framed" } else { "" }
-                                )
-                            }
-                            PlanOp::Cat => "cat".to_string(),
-                            PlanOp::Split { mode } => match mode {
-                                SplitMode::General => "split sized=false".to_string(),
-                                SplitMode::Sized => "split sized=true".to_string(),
-                                SplitMode::RoundRobin { framed } => {
-                                    format!("split rr framed={framed}")
-                                }
-                            },
-                            PlanOp::Relay { blocking } => format!("relay blocking={blocking}"),
-                            PlanOp::Aggregate { argv } => {
-                                let words: Vec<String> =
-                                    argv.iter().map(|a| format!("{a:?}")).collect();
-                                format!("agg {}", words.join(" "))
-                            }
-                        };
-                        let ins: Vec<String> = n.inputs.iter().map(|e| format!("e{e}")).collect();
-                        let outs: Vec<String> = n.outputs.iter().map(|e| format!("e{e}")).collect();
-                        let stdin: Vec<String> =
-                            n.stdin_inputs.iter().map(|k| k.to_string()).collect();
-                        out.push_str(&format!(
-                            "  n{i}: {op} [{}] stdin=[{}] -> [{}]{}\n",
-                            ins.join(","),
-                            stdin.join(","),
-                            outs.join(","),
-                            if n.output_producer { " producer" } else { "" }
-                        ));
-                    }
-                }
+                PlanStep::Region(r) => r.dump_into(&mut out),
             }
         }
         out

@@ -30,6 +30,7 @@ use crate::edge::MemEdges;
 use crate::fault::{ArmedFault, ExecError, FaultKind};
 use crate::frame::{write_frame, FrameReader};
 use crate::pipe::{MultiReader, DEFAULT_PIPE_CAPACITY};
+use crate::profile::{CountingReader, CountingWriter, ProfileStore, RegionProfile};
 use crate::relay::{run_relay, RelayMode};
 use crate::split::{split_general, split_round_robin};
 use crate::supervise::{supervise_region, SupervisorSettings};
@@ -49,6 +50,11 @@ pub struct ExecConfig {
     /// The execution supervisor: retries, region deadlines, fault
     /// injection, sequential fallback (see [`crate::supervise`]).
     pub supervisor: SupervisorSettings,
+    /// When set, successful region attempts record per-node
+    /// bytes-in/bytes-out and busy-time here (the adaptive
+    /// optimizer's measurement plane; see [`crate::profile`]). `None`
+    /// (the default) skips all instrumentation.
+    pub profile: Option<Arc<ProfileStore>>,
 }
 
 impl Default for ExecConfig {
@@ -58,6 +64,7 @@ impl Default for ExecConfig {
             blocking_relay_chunks: 8,
             max_inflight: 1,
             supervisor: SupervisorSettings::default(),
+            profile: None,
         }
     }
 }
@@ -179,6 +186,7 @@ fn run_region_attempt(
     let deadline = settings.and_then(|s| s.region_deadline);
     let deadline_hit = Arc::new(AtomicBool::new(false));
     let remaining = Arc::new(AtomicUsize::new(r.nodes.len()));
+    let profile = cfg.profile.as_ref().map(|_| RegionProfile::for_region(r));
 
     // Spawn one thread per node in plan (topological) order — order is
     // not semantically required (pipes synchronize) but makes teardown
@@ -213,8 +221,19 @@ fn run_region_attempt(
             });
         }
         for (id, node) in r.nodes.iter().enumerate() {
-            let ins = edges.take_inputs(node);
-            let outs = edges.take_outputs(node);
+            let mut ins = edges.take_inputs(node);
+            let mut outs = edges.take_outputs(node);
+            if let Some(p) = &profile {
+                ins = ins
+                    .into_iter()
+                    .map(|r| Box::new(CountingReader::new(r, p.clone(), id)) as _)
+                    .collect();
+                outs = outs
+                    .into_iter()
+                    .map(|w| Box::new(CountingWriter::new(w, p.clone(), id)) as _)
+                    .collect();
+            }
+            let profile = profile.clone();
             let registry = registry.clone();
             let fs = fs.clone();
             let statuses = statuses.clone();
@@ -243,7 +262,12 @@ fn run_region_attempt(
                             _ => {}
                         }
                     }
-                    run_node(node, ins, outs, &registry, fs, &ecfg)
+                    let started = Instant::now();
+                    let res = run_node(node, ins, outs, &registry, fs, &ecfg);
+                    if let Some(p) = &profile {
+                        p.add_busy(id, started.elapsed());
+                    }
+                    res
                 })();
                 match res {
                     Ok(s) => lock(&statuses).push((id, s)),
@@ -272,6 +296,12 @@ fn run_region_attempt(
     }
     if let Some(e) = lock(&hard_error).take() {
         return Err(e);
+    }
+    // The attempt completed without infrastructure failure: its byte
+    // counts and timings describe a full run, so fold them into the
+    // store. (Failed attempts would under-report bytes.)
+    if let (Some(store), Some(p)) = (&cfg.profile, &profile) {
+        store.record(p);
     }
     let stdout = std::mem::take(&mut *lock(&stdout_buf));
     let statuses = std::mem::take(&mut *lock(&statuses));
@@ -805,6 +835,49 @@ mod tests {
     fn sequential_pipeline() {
         let out = run("cat in.txt | tr A-Z a-z | sort", 1);
         assert_eq!(out, "apple\napple\napple\nbanana\nbanana\ncherry\n");
+    }
+
+    #[test]
+    fn profiling_hooks_record_bytes_and_derive_rates() {
+        let (reg, fs) = fixture();
+        let store = Arc::new(ProfileStore::in_memory());
+        let ecfg = ExecConfig {
+            profile: Some(store.clone()),
+            ..Default::default()
+        };
+        let cfg = PashConfig {
+            width: 2,
+            ..Default::default()
+        };
+        let out = run_script(
+            "cat in.txt | tr A-Z a-z | sort > s.txt",
+            &cfg,
+            &reg,
+            fs.clone(),
+            Vec::new(),
+            &ecfg,
+        )
+        .expect("run");
+        assert_eq!(out.status, 0);
+        assert!(store.regions() >= 1, "region profile recorded");
+        let rates = store.rates();
+        let tr = rates.get("tr").expect("tr observed");
+        assert!(tr.mb_per_s > 0.0 && tr.weight > 0.0);
+        // tr is byte-preserving: measured ratio must be ~1.
+        assert!((tr.out_ratio - 1.0).abs() < 0.01, "{tr:?}");
+        // Profiling must not change the output.
+        let plain = run("cat in.txt | tr A-Z a-z | sort", 1);
+        let (reg2, fs2) = fixture();
+        let profiled = run_script(
+            "cat in.txt | tr A-Z a-z | sort",
+            &cfg,
+            &reg2,
+            fs2,
+            Vec::new(),
+            &ecfg,
+        )
+        .expect("run");
+        assert_eq!(String::from_utf8(profiled.stdout).expect("utf8"), plain);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod fileseg;
 pub mod frame;
 pub mod pipe;
 pub mod proc;
+pub mod profile;
 pub mod relay;
 pub mod scan;
 pub mod service;
@@ -59,6 +60,7 @@ pub use fault::{ExecError, FaultClass, FaultKind, FaultPlan, INFRA_STATUS};
 pub use pipe::{
     pipe, pipe_monitored, MultiReader, PipeMonitor, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY,
 };
+pub use profile::{ProfileStore, RegionProfile};
 pub use scan::LineScanner;
 pub use service::{
     CacheTier, Client, DiskPlanCache, Request, Response, RunRequest, RunResponse, Semaphore,

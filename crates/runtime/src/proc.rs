@@ -28,6 +28,7 @@ use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pash_core::plan::{
@@ -38,6 +39,7 @@ use pash_core::plan::{
 use crate::edge::FifoDir;
 use crate::exec::{ProgramOutput, RegionOutput};
 use crate::fault::{ArmedFault, ExecError, FaultKind, INFRA_STATUS};
+use crate::profile::{ProfileStore, RegionProfile};
 use crate::supervise::{supervise_region, SupervisorSettings};
 
 /// Exit status of a child killed by `SIGABRT` (128 + 6): how an
@@ -68,6 +70,12 @@ pub struct ProcConfig {
     /// The execution supervisor: retries, region deadlines, fault
     /// injection, sequential fallback (see [`crate::supervise`]).
     pub supervisor: SupervisorSettings,
+    /// When set, successful region attempts record what the parent
+    /// can observe from the process boundary — per-node spawn-to-reap
+    /// wall time, plus bytes at file/stdin/stdout endpoints (FIFO
+    /// interiors are invisible to the parent and stay zero; the rate
+    /// index skips zero-byte nodes). See [`crate::profile`].
+    pub profile: Option<Arc<ProfileStore>>,
 }
 
 impl ProcConfig {
@@ -82,6 +90,7 @@ impl ProcConfig {
             kill_grace: Duration::from_secs(2),
             max_inflight: 1,
             supervisor: SupervisorSettings::default(),
+            profile: None,
         })
     }
 }
@@ -518,8 +527,13 @@ fn spawn_and_reap(
     helpers: &mut Vec<Child>,
 ) -> Result<RegionOutput, ExecError> {
     let mut feeders = Vec::new();
-    let mut drains: Vec<std::thread::JoinHandle<Vec<u8>>> = Vec::new();
+    let mut drains: Vec<(PlanNodeId, std::thread::JoinHandle<Vec<u8>>)> = Vec::new();
     let mut stdin = Some(stdin);
+    let profile = cfg.profile.as_ref().map(|_| RegionProfile::for_region(r));
+    // Spawn instants (busy = spawn-to-reap wall) and output files to
+    // stat after completion — the byte signals a parent can see.
+    let mut spawned_at: Vec<Instant> = Vec::with_capacity(r.nodes.len());
+    let mut out_files: Vec<(PlanNodeId, PathBuf)> = Vec::new();
 
     for (id, node) in r.nodes.iter().enumerate() {
         // Parent-side spawn faults for the armed node.
@@ -570,6 +584,11 @@ fn spawn_and_reap(
                 EndpointKind::InputFile(p) => {
                     let f = std::fs::File::open(root.join(p))
                         .map_err(|e| ExecError::classify("open input file", e).at_node(id))?;
+                    if let Some(prof) = &profile {
+                        if let Ok(md) = f.metadata() {
+                            prof.add_in(id, md.len());
+                        }
+                    }
                     cmd.stdin(Stdio::from(f));
                 }
                 EndpointKind::InputSegment { path, part, of } => {
@@ -622,6 +641,9 @@ fn spawn_and_reap(
                 }
                 EndpointKind::OutputFile(p) => {
                     let path = root.join(p);
+                    if profile.is_some() {
+                        out_files.push((id, path.clone()));
+                    }
                     if let Some(parent) = path.parent() {
                         std::fs::create_dir_all(parent).map_err(|e| {
                             ExecError::classify("create output directory", e).at_node(id)
@@ -673,6 +695,9 @@ fn spawn_and_reap(
             let mut si = child.stdin.take().ok_or_else(|| {
                 ExecError::fatal("spawn", io::Error::other("piped child stdin missing")).at_node(id)
             })?;
+            if let Some(prof) = &profile {
+                prof.add_in(id, bytes.len() as u64);
+            }
             feeders.push(std::thread::spawn(move || {
                 // A consumer that exits early breaks this pipe; that
                 // is normal teardown, not an error.
@@ -684,12 +709,16 @@ fn spawn_and_reap(
                 ExecError::fatal("spawn", io::Error::other("piped child stdout missing"))
                     .at_node(id)
             })?;
-            drains.push(std::thread::spawn(move || {
-                let mut buf = Vec::new();
-                let _ = so.read_to_end(&mut buf);
-                buf
-            }));
+            drains.push((
+                id,
+                std::thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    let _ = so.read_to_end(&mut buf);
+                    buf
+                }),
+            ));
         }
+        spawned_at.push(Instant::now());
         children.push(child);
     }
 
@@ -702,6 +731,9 @@ fn spawn_and_reap(
         if node.output_producer {
             let s = wait_deadline(&mut children[id], id, deadline)?;
             waited[id] = true;
+            if let Some(prof) = &profile {
+                prof.add_busy(id, spawned_at[id].elapsed());
+            }
             producer_statuses.push((id, s));
         }
     }
@@ -724,6 +756,9 @@ fn spawn_and_reap(
         } else {
             let s = wait_deadline(&mut children[id], id, deadline)?;
             waited[id] = true;
+            if let Some(prof) = &profile {
+                prof.add_busy(id, spawned_at[id].elapsed());
+            }
             source_statuses.push((id, s));
         }
     }
@@ -761,6 +796,9 @@ fn spawn_and_reap(
                 id,
                 reap(child).map_err(|e| ExecError::classify("reap", e).at_node(id))?,
             ));
+            if let Some(prof) = &profile {
+                prof.add_busy(id, spawned_at[id].elapsed());
+            }
         }
     }
     for h in helpers.iter_mut() {
@@ -770,8 +808,12 @@ fn spawn_and_reap(
         let _ = f.join();
     }
     let mut stdout = Vec::new();
-    for d in drains {
-        stdout.extend_from_slice(&d.join().unwrap_or_default());
+    for (id, d) in drains {
+        let buf = d.join().unwrap_or_default();
+        if let Some(prof) = &profile {
+            prof.add_out(id, buf.len() as u64);
+        }
+        stdout.extend_from_slice(&buf);
     }
 
     // A region's status folds its source statuses — exactly what the
@@ -805,6 +847,14 @@ fn spawn_and_reap(
             ),
         )
         .at_node(id));
+    }
+    if let (Some(store), Some(prof)) = (&cfg.profile, &profile) {
+        for (id, path) in &out_files {
+            if let Ok(md) = std::fs::metadata(path) {
+                prof.add_out(*id, md.len());
+            }
+        }
+        store.record(prof);
     }
     Ok(RegionOutput {
         stdout,
@@ -857,6 +907,40 @@ mod tests {
         .expect("compile");
         let out = run_plan(&compiled.plan, &cfg, &root, stdin.to_vec()).expect("run");
         Some((out, root))
+    }
+
+    #[test]
+    fn profiling_records_boundary_bytes_and_busy() {
+        let mut cfg = match ProcConfig::locate() {
+            Ok(c) => c,
+            Err(_) => {
+                eprintln!("skipping: multicall binaries not built");
+                return;
+            }
+        };
+        let store = Arc::new(ProfileStore::in_memory());
+        cfg.profile = Some(store.clone());
+        let input = b"Banana\napple\nCherry\napple\nbanana\nAPPLE\n";
+        let root = scratch_with(&[("in.txt", input)]);
+        let compiled = compile(
+            "tr A-Z a-z < in.txt > low.txt",
+            &PashConfig {
+                width: 1,
+                ..Default::default()
+            },
+        )
+        .expect("compile");
+        let out = run_plan(&compiled.plan, &cfg, &root, Vec::new()).expect("run");
+        assert_eq!(out.status, 0);
+        assert_eq!(store.regions(), 1);
+        let r = compiled.plan.regions().next().expect("region");
+        let rs = store.region_stats(r.fingerprint()).expect("stats");
+        let tr = rs.nodes.iter().find(|n| n.label == "tr").expect("tr node");
+        // Input file and output file are both parent-visible.
+        assert_eq!(tr.bytes_in, input.len() as f64);
+        assert_eq!(tr.bytes_out, input.len() as f64);
+        assert!(tr.busy_s > 0.0);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -52,9 +52,10 @@ pub struct RunRequest {
     pub script: String,
     /// Backend selection name (`shell`, `threads`, `processes`, `sim`).
     pub backend: String,
-    /// Parallelism width.
+    /// Parallelism width; `0` asks the daemon to choose per region
+    /// from its measured profiles (adaptive).
     pub width: u32,
-    /// Split-node policy.
+    /// Split-node policy (ignored for adaptive requests).
     pub split: SplitPolicy,
     /// Bytes fed to the program's stdin.
     pub stdin: Vec<u8>,
@@ -563,6 +564,18 @@ pub struct ServiceMetrics {
     pub queue_depth: AtomicU64,
     /// Runs currently holding an admission permit (gauge).
     pub inflight: AtomicU64,
+    /// Runs that went through the profile-guided optimizer
+    /// (`width == 0` requests).
+    pub adaptive_runs: AtomicU64,
+    /// Profile-store lookups that found measured rates for at least
+    /// one of the script's commands (mirrors [`ProfileStore::hits`]).
+    pub profile_hits: AtomicU64,
+    /// Profile-store lookups that found nothing (cold priors used).
+    pub profile_misses: AtomicU64,
+    /// Width the optimizer chose for the most recent adaptive run.
+    pub last_chosen_width: AtomicU64,
+    /// Split policy of that run, encoded 0=off 1=sized 2=round-robin.
+    pub last_chosen_split: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -577,6 +590,11 @@ impl Default for ServiceMetrics {
             errors: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            adaptive_runs: AtomicU64::new(0),
+            profile_hits: AtomicU64::new(0),
+            profile_misses: AtomicU64::new(0),
+            last_chosen_width: AtomicU64::new(0),
+            last_chosen_split: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -588,13 +606,36 @@ impl ServiceMetrics {
         self.latency.record(us);
     }
 
+    /// Records the optimizer's decision for an adaptive run.
+    pub fn record_choice(&self, width: usize, split: SplitPolicy) {
+        self.adaptive_runs.fetch_add(1, Ordering::Relaxed);
+        self.last_chosen_width
+            .store(width as u64, Ordering::Relaxed);
+        let code = match split {
+            SplitPolicy::Off => 0,
+            SplitPolicy::Sized => 1,
+            SplitPolicy::RoundRobin => 2,
+            SplitPolicy::General => 3,
+        };
+        self.last_chosen_split.store(code, Ordering::Relaxed);
+    }
+
     /// Renders the surface as a single-line JSON object.
     pub fn to_json(&self) -> String {
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let split = match g(&self.last_chosen_split) {
+            1 => "sized",
+            2 => "round-robin",
+            3 => "general",
+            _ => "off",
+        };
         format!(
             "{{\"requests_served\":{},\"run_requests\":{},\"tier1_hits\":{},\
              \"tier2_hits\":{},\"compile_misses\":{},\"errors\":{},\
-             \"queue_depth\":{},\"inflight\":{},\"latency\":{{\"count\":{},\
+             \"queue_depth\":{},\"inflight\":{},\"adaptive_runs\":{},\
+             \"profile_hits\":{},\"profile_misses\":{},\
+             \"last_chosen_width\":{},\"last_chosen_split\":\"{}\",\
+             \"latency\":{{\"count\":{},\
              \"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}}}",
             g(&self.requests),
             g(&self.runs),
@@ -604,6 +645,11 @@ impl ServiceMetrics {
             g(&self.errors),
             g(&self.queue_depth),
             g(&self.inflight),
+            g(&self.adaptive_runs),
+            g(&self.profile_hits),
+            g(&self.profile_misses),
+            g(&self.last_chosen_width),
+            split,
             self.latency.count(),
             self.latency.quantile(0.50),
             self.latency.quantile(0.90),
@@ -648,10 +694,17 @@ pub struct DiskPlanCache {
     /// Parsed-plan memo keyed by request key (bounded; cleared when
     /// it outgrows [`Self::MEMO_CAP`]).
     memo: Mutex<HashMap<String, (Arc<ExecutionPlan>, Option<Arc<ExecutionPlan>>)>>,
+    /// On-disk footprint bound; least-recently-written entries are
+    /// evicted after each store once the tree exceeds this.
+    max_bytes: u64,
 }
 
 impl DiskPlanCache {
     const MEMO_CAP: usize = 512;
+
+    /// Default on-disk footprint bound (plan dumps are a few KiB each,
+    /// so this holds thousands of entries).
+    pub const DEFAULT_MAX_BYTES: u64 = 16 * 1024 * 1024;
 
     /// Opens (creating if needed) a cache rooted at `root`.
     pub fn open(root: &Path) -> io::Result<DiskPlanCache> {
@@ -660,7 +713,14 @@ impl DiskPlanCache {
         Ok(DiskPlanCache {
             root: root.to_path_buf(),
             memo: Mutex::new(HashMap::new()),
+            max_bytes: Self::DEFAULT_MAX_BYTES,
         })
+    }
+
+    /// Overrides the on-disk footprint bound.
+    pub fn with_disk_cap(mut self, max_bytes: u64) -> DiskPlanCache {
+        self.max_bytes = max_bytes;
+        self
     }
 
     fn key_path(&self, key: &str) -> PathBuf {
@@ -702,7 +762,16 @@ impl DiskPlanCache {
             None => "-".to_string(),
         };
         let entry = format!("pash-key v1\nplan {fp:016x}\nfallback {fb}\nkey {key:?}\n");
-        Self::write_atomic(&self.key_path(key), entry.as_bytes())
+        Self::write_atomic(&self.key_path(key), entry.as_bytes())?;
+        // Bound the on-disk footprint, sweeping only this cache's own
+        // subtrees (the daemon nests its profile store under the same
+        // root). Eviction may orphan a key file whose plan was removed
+        // (or vice versa); `load` treats either as a plain miss, so a
+        // failed or partial sweep is harmless.
+        for sub in ["plans", "keys"] {
+            let _ = crate::profile::evict_lru_by_mtime(&self.root.join(sub), self.max_bytes / 2);
+        }
+        Ok(())
     }
 
     /// Reads and re-verifies one plan file by fingerprint.
@@ -1081,6 +1150,47 @@ mod tests {
         let tampered = text.replace("\"honest\"", "\"tampered\"");
         std::fs::write(&forged, tampered).expect("tamper");
         assert!(cache.load("honest", false).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_cache_evicts_oldest_entries_past_cap() {
+        let root = std::env::temp_dir().join(format!("pash-dpc-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        // A cap small enough that a handful of entries overflow it.
+        let cache = DiskPlanCache::open(&root).expect("open").with_disk_cap(512);
+        let now = std::time::SystemTime::now();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..8u64 {
+            let plan = tiny_plan(&format!("echo entry-{i} with some padding text"));
+            cache.store(&format!("k{i}"), &plan, None).expect("store");
+            // Backdate each entry's files once, in store order, so the
+            // mtime-LRU sweep sees an unambiguous write sequence.
+            for dir in ["plans", "keys"] {
+                for f in std::fs::read_dir(root.join(dir)).expect("ls") {
+                    let path = f.expect("entry").path();
+                    if seen.insert(path.clone()) {
+                        let _ = std::fs::File::options()
+                            .write(true)
+                            .open(&path)
+                            .and_then(|h| {
+                                h.set_modified(now - std::time::Duration::from_secs(100 - i))
+                            });
+                    }
+                }
+            }
+        }
+        let tree_size: u64 = ["plans", "keys"]
+            .iter()
+            .flat_map(|d| std::fs::read_dir(root.join(d)).expect("ls"))
+            .map(|f| f.expect("entry").metadata().expect("meta").len())
+            .sum();
+        assert!(tree_size <= 512, "cap not enforced: {tree_size}");
+        // Early entries were evicted; the newest still loads (a fresh
+        // instance, so the hit comes from disk, not the memo).
+        let fresh = DiskPlanCache::open(&root).expect("open");
+        assert!(fresh.load("k0", false).is_none(), "oldest should be gone");
+        assert!(fresh.load("k7", false).is_some(), "newest should survive");
         let _ = std::fs::remove_dir_all(&root);
     }
 }

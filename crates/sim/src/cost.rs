@@ -10,6 +10,7 @@
 //! Profiles are computed from [`PlanOp`]s — the simulator consumes the
 //! lowered execution plan, never the compiler's DFG.
 
+use pash_core::optimize::{MeasuredRate, MeasuredRates};
 use pash_core::plan::{PlanOp, SplitMode};
 
 /// Which resource a node's work draws on.
@@ -73,6 +74,14 @@ pub struct CostModel {
     pub fetch_expansion: f64,
     /// Expansion factor of `unrle` decompression.
     pub unrle_expansion: f64,
+    /// Profile-measured rates by command name, from the runtime's
+    /// profile store. These *calibrate* the static priors: the
+    /// measured rate and out-ratio are blended in proportionally to
+    /// their observation weight, while discipline, resource, and
+    /// early-close behaviour stay model-defined (the runtime cannot
+    /// observe those from byte counters). Empty by default (cold
+    /// start: pure priors).
+    pub measured: MeasuredRates,
 }
 
 impl Default for CostModel {
@@ -80,11 +89,41 @@ impl Default for CostModel {
         CostModel {
             fetch_expansion: 200.0,
             unrle_expansion: 3.0,
+            measured: MeasuredRates::new(),
         }
     }
 }
 
 impl CostModel {
+    /// A cost model calibrated with measured command rates.
+    pub fn calibrated(measured: MeasuredRates) -> CostModel {
+        CostModel {
+            measured,
+            ..Default::default()
+        }
+    }
+
+    /// Blends a measured observation into a prior profile. Trust grows
+    /// with observation weight: weight 1 moves halfway to the
+    /// measurement, heavy evidence converges on it. Non-finite or
+    /// non-positive measurements are ignored.
+    fn apply_measurement(prior: Profile, m: &MeasuredRate) -> Profile {
+        if !(m.mb_per_s.is_finite() && m.mb_per_s > 0.0 && m.weight > 0.0) {
+            return prior;
+        }
+        let trust = m.weight / (m.weight + 1.0);
+        let rate = prior.rate * (1.0 - trust) + m.mb_per_s * 1e6 * trust;
+        let out_ratio = if m.out_ratio.is_finite() && m.out_ratio >= 0.0 {
+            prior.out_ratio * (1.0 - trust) + m.out_ratio * trust
+        } else {
+            prior.out_ratio
+        };
+        Profile {
+            rate,
+            out_ratio,
+            ..prior
+        }
+    }
     /// The profile of a plan node's operation.
     pub fn profile_for(&self, op: &PlanOp) -> Profile {
         match op {
@@ -124,7 +163,7 @@ impl CostModel {
         };
         let name = argv.first().map(|s| s.as_str()).unwrap_or("");
         let args: Vec<&str> = argv.iter().skip(1).map(|s| s.as_str()).collect();
-        match name {
+        let prior = match name {
             "tr" => Profile::streaming(250.0, 1.0),
             "grep" => {
                 // Pattern complexity dominates: a long alternation/
@@ -199,6 +238,10 @@ impl CostModel {
             "seq" | "echo" => Profile::streaming(200.0, 1.0),
             // Unknown commands: a middling CPU-bound stage.
             _ => Profile::streaming(30.0, 1.0),
+        };
+        match self.measured.get(name) {
+            Some(m) => Self::apply_measurement(prior, m),
+            None => prior,
         }
     }
 
@@ -325,6 +368,59 @@ mod tests {
         });
         assert_eq!(p.discipline, Discipline::Streaming);
         assert_eq!(p.out_ratio, 1.0);
+    }
+
+    #[test]
+    fn measured_rate_calibrates_prior() {
+        let mut rates = MeasuredRates::new();
+        rates.insert(
+            "tr".to_string(),
+            MeasuredRate {
+                mb_per_s: 50.0,
+                out_ratio: 1.0,
+                weight: 9.0,
+            },
+        );
+        let cold = CostModel::default();
+        let warm = CostModel::calibrated(rates);
+        let p_cold = cold.profile_for(&cmd(&["tr", "A-Z", "a-z"]));
+        let p_warm = warm.profile_for(&cmd(&["tr", "A-Z", "a-z"]));
+        // Weight 9 → trust 0.9: 250 * 0.1 + 50 * 0.9 = 70 MB/s.
+        assert!(p_warm.rate < p_cold.rate);
+        assert!((p_warm.rate - 70e6).abs() < 1e3);
+        // Discipline and resource stay model-defined.
+        assert_eq!(p_warm.discipline, p_cold.discipline);
+        assert_eq!(p_warm.resource, p_cold.resource);
+    }
+
+    #[test]
+    fn degenerate_measurements_are_ignored() {
+        for m in [
+            MeasuredRate {
+                mb_per_s: 0.0,
+                out_ratio: 1.0,
+                weight: 5.0,
+            },
+            MeasuredRate {
+                mb_per_s: f64::NAN,
+                out_ratio: 1.0,
+                weight: 5.0,
+            },
+            MeasuredRate {
+                mb_per_s: 80.0,
+                out_ratio: 1.0,
+                weight: 0.0,
+            },
+        ] {
+            let mut rates = MeasuredRates::new();
+            rates.insert("wc".to_string(), m);
+            let warm = CostModel::calibrated(rates);
+            let p = warm.profile_for(&cmd(&["wc", "-l"]));
+            assert_eq!(
+                p.rate,
+                CostModel::default().profile_for(&cmd(&["wc", "-l"])).rate
+            );
+        }
     }
 
     #[test]

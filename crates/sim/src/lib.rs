@@ -37,6 +37,43 @@ pub use engine::{
 };
 
 use pash_core::compile::{compile_cached, PashConfig};
+use pash_core::optimize::CandidatePricer;
+use pash_core::plan::RegionPlan;
+
+/// The simulator as a candidate pricer for the adaptive optimizer
+/// (`pash_core::optimize`): a region candidate's price is its
+/// simulated wall-clock seconds under this pricer's cost model and
+/// machine. Calibrate the [`CostModel`] with measured rates from the
+/// runtime's profile store to make the pricing profile-guided.
+#[derive(Debug, Clone)]
+pub struct SimPricer {
+    /// Command cost model (priors, optionally calibrated).
+    pub cost: CostModel,
+    /// Simulated machine.
+    pub sim: SimConfig,
+    /// Input file sizes in bytes, by path.
+    pub sizes: InputSizes,
+    /// Bytes arriving on the program's stdin.
+    pub stdin_bytes: f64,
+}
+
+impl SimPricer {
+    /// A pricer over the default 64-core machine.
+    pub fn new(cost: CostModel, sizes: InputSizes) -> SimPricer {
+        SimPricer {
+            cost,
+            sim: SimConfig::default(),
+            sizes,
+            stdin_bytes: 0.0,
+        }
+    }
+}
+
+impl CandidatePricer for SimPricer {
+    fn price_region(&self, r: &RegionPlan) -> f64 {
+        simulate_region(r, &self.sizes, self.stdin_bytes, &self.cost, &self.sim).seconds
+    }
+}
 
 /// Compiles a script (through the memoized compile cache) and
 /// simulates its execution plan.

@@ -6,6 +6,7 @@
 //! statistically similar inputs locally (see DESIGN.md §2 for the
 //! substitution table). All generators are seeded and reproducible.
 
+pub mod nlp;
 pub mod rng;
 
 use pash_coreutils::fs::MemFs;

@@ -32,14 +32,16 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::core::compile::{compile_cache_peek, compile_cached, PashConfig};
+use crate::core::optimize::{optimize, OptimizerConfig};
 use crate::coreutils::fs::MemFs;
 use crate::coreutils::Registry;
+use crate::runtime::profile::{node_label, ProfileStore};
 use crate::runtime::service::{
     self, CacheTier, DiskPlanCache, Request, Response, RunRequest, RunResponse, ServiceMetrics,
     ServiceSettings,
 };
 use crate::runtime::supervise::SupervisorSettings;
-use crate::sim::InputSizes;
+use crate::sim::{CostModel, InputSizes, SimPricer};
 use crate::{BackendOutput, RunEnv, RunError, RunHandle};
 
 /// Daemon construction parameters.
@@ -76,6 +78,10 @@ pub struct Daemon {
     disk: Option<DiskPlanCache>,
     supervisor: SupervisorSettings,
     metrics: Arc<ServiceMetrics>,
+    /// Measured per-command rates, recorded by every run and consulted
+    /// by adaptive (`width == 0`) requests. Disk-backed beside the plan
+    /// cache so profiles survive restarts.
+    profile: Arc<ProfileStore>,
 }
 
 impl Daemon {
@@ -85,12 +91,17 @@ impl Daemon {
             Some(dir) => Some(DiskPlanCache::open(dir)?),
             None => None,
         };
+        let profile = match &cfg.cache_dir {
+            Some(dir) => ProfileStore::open(&dir.join("profiles"))?,
+            None => ProfileStore::in_memory(),
+        };
         Ok(Daemon {
             template: MemFs::new(),
             registry: Registry::standard(),
             disk,
             supervisor: cfg.supervisor.clone(),
             metrics: Arc::new(ServiceMetrics::default()),
+            profile: Arc::new(profile),
         })
     }
 
@@ -129,6 +140,7 @@ impl Daemon {
                     script,
                     &PashConfig {
                         width: 1,
+                        per_region: Vec::new(),
                         ..cfg.clone()
                     },
                 )
@@ -153,36 +165,89 @@ impl Daemon {
         Ok((handle, CacheTier::Cold))
     }
 
+    /// Chooses a per-region configuration for an adaptive
+    /// (`width == 0`) request: measured command rates from the profile
+    /// store calibrate the simulator's cost model, and the optimizer
+    /// prices each candidate shape through it.
+    fn adaptive_config(&self, script: &str, sizes: &InputSizes) -> Result<PashConfig, RunError> {
+        // The sequential compile (memoized) names the script's
+        // commands; the profile lookup is scoped to them so the
+        // hit/miss counters reflect *this* script's coverage.
+        let narrow = compile_cached(
+            script,
+            &PashConfig {
+                width: 1,
+                ..Default::default()
+            },
+        )
+        .map_err(RunError::Compile)?;
+        let mut commands: Vec<String> = Vec::new();
+        for region in narrow.plan.regions() {
+            for node in &region.nodes {
+                let label = node_label(&node.op);
+                if !label.starts_with('<') && !commands.contains(&label) {
+                    commands.push(label);
+                }
+            }
+        }
+        let rates = self.profile.rates_for(&commands);
+        let pricer = SimPricer::new(CostModel::calibrated(rates), sizes.clone());
+        let opt = optimize(
+            script,
+            &PashConfig::default(),
+            &pricer,
+            &OptimizerConfig::default(),
+        )
+        .map_err(RunError::Compile)?;
+        self.metrics
+            .record_choice(opt.chosen_width(), opt.chosen_split());
+        let m = |a: &std::sync::atomic::AtomicU64, v: u64| {
+            a.store(v, std::sync::atomic::Ordering::Relaxed)
+        };
+        m(&self.metrics.profile_hits, self.profile.hits());
+        m(&self.metrics.profile_misses, self.profile.misses());
+        Ok(opt.config)
+    }
+
     fn handle_run(&self, req: RunRequest) -> Response {
-        let cfg = PashConfig {
-            width: (req.width.max(1)) as usize,
-            split: req.split,
-            ..Default::default()
-        };
-        let want_fallback = cfg.width != 1
-            && self.supervisor.fallback
-            && matches!(req.backend.as_str(), "threads" | "processes");
-        let t0 = Instant::now();
-        let (handle, tier) = match self.lookup(&req.script, &cfg, want_fallback) {
-            Ok(x) => x,
-            Err(e) => return Response::Error(e.to_string()),
-        };
-        let compile_micros = t0.elapsed().as_micros() as u64;
         let snapshot = Arc::new(self.template.snapshot());
         let mut sizes = InputSizes::new();
         for (path, bytes) in snapshot.entries() {
             sizes.insert(path, bytes.len() as f64);
         }
+        let t0 = Instant::now();
+        let cfg = if req.width == 0 {
+            match self.adaptive_config(&req.script, &sizes) {
+                Ok(cfg) => cfg,
+                Err(e) => return Response::Error(e.to_string()),
+            }
+        } else {
+            PashConfig {
+                width: req.width as usize,
+                split: req.split,
+                ..Default::default()
+            }
+        };
+        let want_fallback = cfg.width != 1
+            && self.supervisor.fallback
+            && matches!(req.backend.as_str(), "threads" | "processes");
+        let (handle, tier) = match self.lookup(&req.script, &cfg, want_fallback) {
+            Ok(x) => x,
+            Err(e) => return Response::Error(e.to_string()),
+        };
+        let compile_micros = t0.elapsed().as_micros() as u64;
         let env = RunEnv {
             registry: self.registry.clone(),
             fs: snapshot,
             stdin: req.stdin,
             exec: crate::runtime::exec::ExecConfig {
                 supervisor: self.supervisor.clone(),
+                profile: Some(self.profile.clone()),
                 ..Default::default()
             },
             proc: crate::ProcSettings {
                 supervisor: self.supervisor.clone(),
+                profile: Some(self.profile.clone()),
                 ..Default::default()
             },
             sizes,

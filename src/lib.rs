@@ -139,6 +139,9 @@ pub struct ProcSettings {
     /// The execution supervisor: retries, region deadlines, fault
     /// injection, sequential fallback (see [`runtime::supervise`]).
     pub supervisor: SupervisorSettings,
+    /// Profile sink: when set, successful regions record per-node
+    /// byte/busy observations here (see [`runtime::profile`]).
+    pub profile: Option<Arc<runtime::ProfileStore>>,
 }
 
 /// Everything a backend might need to run a plan; construct with
@@ -273,10 +276,13 @@ impl RunHandle {
     pub fn compile(src: &str, cfg: &PashConfig, fallback: bool) -> Result<RunHandle, RunError> {
         let compiled = compile_cached(src, cfg).map_err(RunError::Compile)?;
         let seq_fallback = if fallback && cfg.width != 1 {
+            // The fallback must be truly sequential: clear any
+            // per-region shapes along with the global width.
             compile_cached(
                 src,
                 &PashConfig {
                     width: 1,
+                    per_region: Vec::new(),
                     ..cfg.clone()
                 },
             )
@@ -433,6 +439,7 @@ fn run_processes(
             .unwrap_or(std::time::Duration::from_secs(2)),
         max_inflight: env.proc.max_inflight.max(1),
         supervisor: env.proc.supervisor.clone(),
+        profile: env.proc.profile.clone(),
     };
     let (root, ephemeral) = match &env.proc.root {
         Some(r) => (r.clone(), None),

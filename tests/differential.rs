@@ -203,6 +203,7 @@ fn assert_backends_agree(
     let width = setup.cfg.width;
     let seq_cfg = PashConfig {
         width: 1,
+        per_region: Vec::new(),
         ..setup.cfg.clone()
     };
     let seq = observe_threads(script, make_fs(), setup, &seq_cfg);
@@ -388,6 +389,109 @@ fn width_sweep_both_split_strategies() {
                 script,
                 &make_fs,
                 &Setup::round_robin(width),
+                &bins,
+            );
+        }
+    }
+}
+
+#[test]
+fn nlp_differential_across_backends() {
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+    let make_fs = || {
+        cached_fs("differential/nlp/24000".to_string(), |fs| {
+            pash::workloads::nlp::setup_fs(24_000, fs)
+        })
+    };
+    for bench in pash::workloads::nlp::scripts() {
+        assert_backends_agree(bench.name, bench.script, &make_fs, &Setup::split(4), &bins);
+        assert_backends_agree(
+            &format!("{}-rr", bench.name),
+            bench.script,
+            &make_fs,
+            &Setup::round_robin(4),
+            &bins,
+        );
+    }
+}
+
+/// The optimizer only re-shapes plans; it must never change bytes. For
+/// a sweep of scripts × synthetic pricers (each a different stand-in
+/// for a measured profile, from "serial always wins" to "wider always
+/// wins" to byte-rate mixes), the adaptively chosen plan must match
+/// the width-1 sequential run on both real executors and the emitted
+/// script.
+#[test]
+fn optimizer_choice_is_byte_identical_to_sequential() {
+    use pash::core::optimize::{optimize, CandidatePricer, OptimizerConfig};
+    use pash::core::plan::RegionPlan;
+
+    let Some(bins) = harness() else {
+        eprintln!("skipping: no /bin/sh or binaries unavailable");
+        return;
+    };
+
+    /// Prices a region from its own dump bytes — deterministic,
+    /// seed-varied, and intentionally arbitrary: whatever shape it
+    /// prefers, the output contract must hold.
+    struct HashPricer {
+        seed: u64,
+        favor_wide: bool,
+    }
+    impl CandidatePricer for HashPricer {
+        fn price_region(&self, r: &RegionPlan) -> f64 {
+            let h = r.fingerprint() ^ self.seed;
+            let jitter = 1.0 + (h % 1000) as f64 / 1000.0;
+            if self.favor_wide {
+                jitter / (1.0 + r.nodes.len() as f64)
+            } else {
+                jitter * (1.0 + r.nodes.len() as f64)
+            }
+        }
+    }
+
+    let make_fs = || {
+        cached_fs("differential/optimizer/12000".to_string(), |fs| {
+            pash::workloads::nlp::setup_fs(12_000, fs)
+        })
+    };
+    let scripts: Vec<String> = pash::workloads::nlp::scripts()
+        .into_iter()
+        .take(6)
+        .map(|s| s.script.to_string())
+        .chain(std::iter::once(
+            "cat in.txt | tr A-Z a-z | sort | uniq -c | sort -rn > out.txt".to_string(),
+        ))
+        .collect();
+    for (i, script) in scripts.iter().enumerate() {
+        for favor_wide in [false, true] {
+            let pricer = HashPricer {
+                seed: 0x9e37_79b9 * (i as u64 + 1),
+                favor_wide,
+            };
+            let opt = optimize(
+                script,
+                &PashConfig::default(),
+                &pricer,
+                &OptimizerConfig {
+                    max_width: 8,
+                    ..Default::default()
+                },
+            )
+            .expect("optimize");
+            let setup = Setup {
+                cfg: opt.config.clone(),
+                stdin: b"",
+                inflight: 1,
+            };
+            assert_backends_agree(
+                &format!("optimizer[{i}]-wide={favor_wide}-w{}", opt.chosen_width()),
+                script,
+                &make_fs,
+                &setup,
                 &bins,
             );
         }
