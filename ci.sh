@@ -16,18 +16,21 @@
 #   7. plan-determinism smoke (segment split and r_split plans);
 #   8. process-backend smoke: one corpus script as real children over
 #      FIFOs, byte-compared against the shell backend's output;
-#   9. fault-injection sweep: every fault kind at widths 2/4/8 must
+#   9. remote-backend smoke: two pash-worker daemons on localhost
+#      sockets, the corpus at width 4, byte-compared against the shell
+#      backend; plus the simulated remote-recovery overhead band;
+#  10. fault-injection sweep: every fault kind at widths 2/4/8 must
 #      leave output byte-identical to the sequential run, and the
 #      simulated fallback overhead must stay a small constant;
-#  10. service smoke: pashd + load generator — both plan-cache tiers
+#  11. service smoke: pashd + load generator — both plan-cache tiers
 #      must fire, warm latency must undercut cold, warm request rate
 #      must clear the floor (gates on BENCH_service.json);
-#  11. adaptive-parallelism gate: the optimizer replays the NLP corpus
+#  12. adaptive-parallelism gate: the optimizer replays the NLP corpus
 #      through the simulator under skew and must beat the worst fixed
 #      width while staying within noise of the best fixed width
 #      (gates on BENCH_adaptive.json); plus a profile warm-start
 #      smoke over the daemon's disk tier;
-#  12. rustfmt check.
+#  13. rustfmt check.
 set -eu
 
 cd "$(dirname "$0")"
@@ -114,6 +117,33 @@ cmp target/bench-smoke/backend-shell/out.txt \
     target/bench-smoke/backend-processes/out.txt
 test -s target/bench-smoke/backend-processes/out.txt
 
+echo "==> remote backend smoke (2 localhost workers, cmp against shell)"
+# The same corpus script again, this time with every parallel region
+# shipped to two pash-worker daemons over Unix sockets (per-attempt
+# placement under the supervised recovery ladder). The output must be
+# byte-identical to the shell backend's.
+rm -rf target/bench-smoke/backend-remote
+mkdir -p target/bench-smoke/backend-remote
+W1=target/bench-smoke/worker-1.sock
+W2=target/bench-smoke/worker-2.sock
+rm -f "$W1" "$W2"
+./target/release/pash-worker --socket "$W1" & WPID1=$!
+./target/release/pash-worker --socket "$W2" & WPID2=$!
+trap 'kill $WPID1 $WPID2 2>/dev/null || true' EXIT
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    [ -S "$W1" ] && [ -S "$W2" ] && break
+    sleep 0.2
+done
+./target/release/backendrun --backend remote --width 4 \
+    --dir target/bench-smoke/backend-remote --gen in.txt:200000 \
+    --worker "$W1" --worker "$W2" -e "$SMOKE_SCRIPT"
+cmp target/bench-smoke/backend-shell/out.txt \
+    target/bench-smoke/backend-remote/out.txt
+test -s target/bench-smoke/backend-remote/out.txt
+kill $WPID1 $WPID2 2>/dev/null || true
+wait $WPID1 $WPID2 2>/dev/null || true
+trap - EXIT
+
 echo "==> fault-injection sweep (every kind, widths 2/4/8, vs sequential)"
 # Deterministic seeded faults — worker death, spawn/mkfifo failure,
 # frame truncation/corruption, edge stall — with the supervisor
@@ -131,6 +161,16 @@ fault_overhead=$(sed -n 's/.*"fault_fallback_overhead_x":\([0-9.]*\).*/\1/p' \
 test -n "$fault_overhead"
 awk "BEGIN { exit !($fault_overhead > 1.0 && $fault_overhead < 2.5) }"
 echo "    persistent-fault fallback vs sequential: ${fault_overhead}x"
+
+echo "==> remote recovery overhead gate (simulated)"
+# Losing a worker mid-region must cost a bounded constant — the
+# partial doomed attempt plus one backoff plus a clean retry on the
+# other worker — not a rerun-from-scratch cliff.
+remote_overhead=$(sed -n 's/.*"remote_reroute_overhead_x":\([0-9.]*\).*/\1/p' \
+    target/bench-smoke/BENCH_dataplane.json)
+test -n "$remote_overhead"
+awk "BEGIN { exit !($remote_overhead > 1.0 && $remote_overhead < 2.0) }"
+echo "    remote reroute vs undisturbed remote run: ${remote_overhead}x"
 
 echo "==> service smoke (pashd + load generator, BENCH_service.json gates)"
 # Start a daemon, replay the corpus cold / warm-in-memory /

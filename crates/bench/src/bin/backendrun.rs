@@ -10,7 +10,9 @@
 //!
 //! Backends: `shell` (emit + run under `/bin/sh`), `processes` (real
 //! children over FIFOs), `threads` (in-process; directory contents are
-//! loaded into a `MemFs` and outputs written back). The multi-call
+//! loaded into a `MemFs` and outputs written back), and `remote`
+//! (regions shipped to `pash-worker` daemons named by `--worker PATH`,
+//! repeatable; directory handling as for `threads`). The multi-call
 //! binaries are found next to this executable (or via
 //! `$PASHC`/`$PASH_RT`). Exits with the program's status.
 
@@ -29,6 +31,7 @@ fn main() {
     let mut width = 4usize;
     let mut dir = PathBuf::from("backendrun-work");
     let mut gens: Vec<(String, usize)> = Vec::new();
+    let mut workers: Vec<PathBuf> = Vec::new();
     let mut script: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -47,6 +50,7 @@ fn main() {
                 let bytes = bytes.parse().unwrap_or_else(|_| usage());
                 gens.push((name.to_string(), bytes));
             }
+            "--worker" => workers.push(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
             "-e" => script = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
@@ -98,8 +102,15 @@ fn main() {
             out.status
         }
         "threads" => run_threads(&compiled.plan, &dir, read_stdin()),
+        "remote" => {
+            if workers.is_empty() {
+                eprintln!("backendrun: the remote backend needs at least one --worker PATH");
+                std::process::exit(2);
+            }
+            run_remote(&compiled.plan, &dir, read_stdin(), &workers)
+        }
         other => {
-            eprintln!("backendrun: unknown backend `{other}` (shell|processes|threads)");
+            eprintln!("backendrun: unknown backend `{other}` (shell|processes|threads|remote)");
             std::process::exit(2);
         }
     };
@@ -150,6 +161,44 @@ fn run_threads(plan: &pash_core::plan::ExecutionPlan, dir: &Path, stdin: Vec<u8>
     out.status
 }
 
+fn run_remote(
+    plan: &pash_core::plan::ExecutionPlan,
+    dir: &Path,
+    stdin: Vec<u8>,
+    workers: &[PathBuf],
+) -> i32 {
+    // Same MemFs bridge as `threads`; the regions themselves execute
+    // on the worker daemons.
+    let fs = MemFs::new();
+    for entry in std::fs::read_dir(dir).expect("read work dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_type().expect("file type").is_file() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            fs.add(name, std::fs::read(entry.path()).expect("read input"));
+        }
+    }
+    let fs = Arc::new(fs);
+    let pool = pash_runtime::WorkerPool::new(workers.to_vec());
+    let out = pash_runtime::run_program_remote(
+        plan,
+        None,
+        &Registry::standard(),
+        fs.clone() as Arc<dyn Fs>,
+        stdin,
+        &ExecConfig::default(),
+        &pool,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("backendrun: remote: {e}");
+        std::process::exit(2);
+    });
+    for path in fs.paths() {
+        std::fs::write(dir.join(&path), fs.read(&path).expect("fs file")).expect("write output");
+    }
+    print_bytes(&out.stdout);
+    out.status
+}
+
 fn print_bytes(bytes: &[u8]) {
     use std::io::Write;
     std::io::stdout().write_all(bytes).expect("stdout");
@@ -162,8 +211,8 @@ fn die<T>(e: std::io::Error) -> T {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: backendrun [--backend shell|processes|threads] [--width N] [--dir DIR] \
-         [--gen NAME:BYTES]… -e SCRIPT"
+        "usage: backendrun [--backend shell|processes|threads|remote] [--width N] [--dir DIR] \
+         [--gen NAME:BYTES]… [--worker PATH]… -e SCRIPT"
     );
     std::process::exit(2);
 }

@@ -1,16 +1,21 @@
 //! `faultsweep` — the differential fault-injection smoke gate.
 //!
 //! Runs a two-region pipeline under every [`FaultKind`] at several
-//! widths on the `threads` backend, and requires the observable
-//! behaviour — stdout bytes, output-file bytes, exit status — to be
-//! byte-identical to an undisturbed width-1 sequential run. Two
-//! dedicated episodes additionally pin the recovery paths: a
-//! persistent fault must end in the sequential fallback, and a stalled
-//! edge must be cut by the region deadline.
+//! widths on the `threads` backend *and* on the `remote` backend (two
+//! in-process workers on localhost sockets), and requires the
+//! observable behaviour — stdout bytes, output-file bytes, exit
+//! status — to be byte-identical to an undisturbed width-1 sequential
+//! run. Dedicated episodes additionally pin the recovery paths: a
+//! persistent fault must end in the sequential fallback, a stalled
+//! edge must be cut by the region deadline, a dropped worker
+//! connection must reroute its retry to the other worker, and a dead
+//! worker pool must degrade to the local backend.
 //!
 //! This is the quick CI face of `tests/fault_injection.rs`: seconds,
 //! hermetic (MemFs), exit status 0/1. Usage: `faultsweep`.
 
+use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -19,6 +24,8 @@ use pash_coreutils::fs::MemFs;
 use pash_coreutils::Registry;
 use pash_runtime::exec::{run_program_with_fallback, ExecConfig};
 use pash_runtime::fault::{FaultKind, FaultPlan};
+use pash_runtime::remote::{bind_worker, serve_worker, shutdown_worker, WorkerPool};
+use pash_runtime::run_program_remote;
 use pash_runtime::supervise::SupervisorSettings;
 
 /// Two regions — one redirected to a file, one on stdout — so both
@@ -84,6 +91,84 @@ fn run(width: usize, sup: SupervisorSettings) -> (Observed, [u64; 4]) {
             counters.retries(),
             counters.deadline_kills(),
             counters.fallbacks(),
+        ],
+    )
+}
+
+/// In-process `pash-worker` loops on temp sockets; shut down on drop.
+struct Workers {
+    sockets: Vec<PathBuf>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Workers {
+    fn spawn(n: usize) -> Workers {
+        let mut sockets = Vec::new();
+        let mut handles = Vec::new();
+        for i in 0..n {
+            let socket = std::env::temp_dir()
+                .join(format!("pash-faultsweep-worker-{}-{i}", std::process::id()));
+            let listener = bind_worker(&socket).expect("bind worker");
+            let s = socket.clone();
+            handles.push(std::thread::spawn(move || {
+                serve_worker(listener, &s, Arc::new(AtomicBool::new(false))).expect("serve");
+            }));
+            sockets.push(socket);
+        }
+        Workers { sockets, handles }
+    }
+}
+
+impl Drop for Workers {
+    fn drop(&mut self) {
+        for s in &self.sockets {
+            shutdown_worker(s);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One remote-backend run: regions ship to the pool under the full
+/// recovery ladder. Returns the observables plus
+/// `[injected, retries, deadline kills, sequential fallbacks,
+/// reroutes, local fallbacks]`.
+fn run_remote(width: usize, sup: SupervisorSettings, sockets: &[PathBuf]) -> (Observed, [u64; 6]) {
+    let counters = sup.counters.clone();
+    let cfg = PashConfig::round_robin(width);
+    let compiled = compile_cached(SCRIPT, &cfg).expect("compile sweep script");
+    let fallback = compile_cached(SCRIPT, &PashConfig::round_robin(1)).expect("compile fallback");
+    let fs = Arc::new(MemFs::new());
+    fs.add("in.txt", corpus());
+    let exec = ExecConfig {
+        supervisor: sup,
+        ..Default::default()
+    };
+    let pool = WorkerPool::new(sockets.to_vec());
+    let out = run_program_remote(
+        &compiled.plan,
+        (width != 1).then_some(&fallback.plan),
+        &Registry::standard(),
+        fs.clone(),
+        Vec::new(),
+        &exec,
+        &pool,
+    )
+    .expect("remote run");
+    (
+        Observed {
+            stdout: out.stdout,
+            status: out.status,
+            out_file: fs.read("out.txt").ok(),
+        },
+        [
+            counters.injected(),
+            counters.retries(),
+            counters.deadline_kills(),
+            counters.fallbacks(),
+            counters.reroutes(),
+            counters.local_fallbacks(),
         ],
     )
 }
@@ -181,12 +266,104 @@ fn main() {
 
     let [injected, retries, kills, fallbacks] = totals;
     println!(
-        "\nfaultsweep: {} cells, {injected} injected, {retries} retries, \
+        "\nfaultsweep(threads): {} cells, {injected} injected, {retries} retries, \
          {kills} deadline kills, {fallbacks} fallbacks, {failures} failures",
         FaultKind::ALL.len() * WIDTHS.len() + 2,
     );
     if injected < FaultKind::ALL.len() as u64 {
         println!("FAIL only {injected} faults armed — injection plane inert");
+        failures += 1;
+    }
+
+    // --- the remote backend: the same sweep, regions shipped to two
+    // localhost workers under the remote recovery ladder ---------------
+    let workers = Workers::spawn(2);
+    let mut rtotals = [0u64; 6];
+    for kind in FaultKind::ALL {
+        for width in WIDTHS {
+            let seed = FaultKind::ALL.iter().position(|&k| k == kind).unwrap() as u64 * 131
+                + width as u64 * 7
+                + 1;
+            let sup = SupervisorSettings {
+                fault: Some(FaultPlan::new(kind, seed)),
+                ..Default::default()
+            };
+            let (got, c) = run_remote(width, sup, &workers.sockets);
+            check(
+                &format!("remote {} width {width}", kind.name()),
+                &got,
+                &expect,
+                &mut failures,
+            );
+            for (t, v) in rtotals.iter_mut().zip(c) {
+                *t += v;
+            }
+        }
+    }
+
+    // A dropped connection must reroute its retry to the other worker.
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::ConnDrop, 7)),
+        ..Default::default()
+    };
+    let (got, c) = run_remote(4, sup, &workers.sockets);
+    check("remote conn-drop (reroute)", &got, &expect, &mut failures);
+    if c[4] == 0 {
+        println!("FAIL the conn-drop retry never rerouted to the other worker");
+        failures += 1;
+    }
+    for (t, v) in rtotals.iter_mut().zip(c) {
+        *t += v;
+    }
+
+    // A stalled worker must be torn down by the region deadline.
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::SlowWorker, 3).stall(Duration::from_secs(30))),
+        region_deadline: Some(Duration::from_millis(400)),
+        ..Default::default()
+    };
+    let (got, c) = run_remote(4, sup, &workers.sockets);
+    check(
+        "remote 30s stall under 400ms deadline",
+        &got,
+        &expect,
+        &mut failures,
+    );
+    if c[2] == 0 {
+        println!("FAIL the region deadline never tore down the slow worker");
+        failures += 1;
+    }
+    for (t, v) in rtotals.iter_mut().zip(c) {
+        *t += v;
+    }
+
+    // A dead pool must degrade to the clean local rung.
+    let dead = [std::env::temp_dir().join("pash-faultsweep-nobody")];
+    let (got, c) = run_remote(4, SupervisorSettings::default(), &dead);
+    check(
+        "remote dead pool (local rung)",
+        &got,
+        &expect,
+        &mut failures,
+    );
+    if c[5] == 0 {
+        println!("FAIL a dead worker pool never reached the local rung");
+        failures += 1;
+    }
+    for (t, v) in rtotals.iter_mut().zip(c) {
+        *t += v;
+    }
+    drop(workers);
+
+    let [rinjected, rretries, rkills, rfallbacks, rreroutes, rlocal] = rtotals;
+    println!(
+        "\nfaultsweep(remote): {} cells, {rinjected} injected, {rretries} retries, \
+         {rkills} deadline kills, {rfallbacks} fallbacks, {rreroutes} reroutes, \
+         {rlocal} local fallbacks, {failures} total failures",
+        FaultKind::ALL.len() * WIDTHS.len() + 3,
+    );
+    if rinjected < FaultKind::ALL.len() as u64 {
+        println!("FAIL only {rinjected} remote faults armed — injection plane inert");
         failures += 1;
     }
     std::process::exit(if failures == 0 { 0 } else { 1 });

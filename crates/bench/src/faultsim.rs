@@ -10,17 +10,25 @@
 //! * the fault-free sequential and parallel runtimes (the endpoints);
 //! * a transient fault cleared by one retry;
 //! * a persistent fault that burns the whole retry budget and falls
-//!   back to sequential.
+//!   back to sequential;
+//! * the remote backend's ladder: a clean shipped run, a reroute after
+//!   one dropped worker, and a dead pool degrading to the local rung.
 //!
-//! The headline number, [`fallback_overhead`], is the persistent-fault
-//! episode relative to the *sequential* baseline: the supervisor's
+//! The headline numbers: [`fallback_overhead`] is the persistent-fault
+//! episode relative to the *sequential* baseline — the supervisor's
 //! guarantee is that even when parallelism is hostile, the user pays
 //! only a bounded premium over never having parallelized at all.
+//! [`remote_reroute_overhead`] is the dropped-worker episode relative
+//! to the undisturbed remote run — losing a worker mid-region costs a
+//! bounded constant, not a rerun-from-scratch cliff.
 
 use std::time::Duration;
 
 use pash_core::compile::PashConfig;
-use pash_sim::{simulate_recovery_compiled, CostModel, FaultProfile, InputSizes, SimConfig};
+use pash_sim::{
+    simulate_recovery_compiled, simulate_remote_recovery_compiled, CostModel, FaultProfile,
+    InputSizes, RemoteProfile, SimConfig,
+};
 
 use crate::dataplane::Sample;
 
@@ -56,6 +64,25 @@ fn price(fp: &FaultProfile) -> pash_sim::RecoveryReport {
     .expect("compile fault sim script")
 }
 
+fn price_remote(rp: &RemoteProfile) -> pash_sim::RemoteRecoveryReport {
+    let cfg = PashConfig {
+        width: WIDTH,
+        ..Default::default()
+    };
+    let sizes: InputSizes = [("in.txt".to_string(), SIM_INPUT_BYTES)]
+        .into_iter()
+        .collect();
+    simulate_remote_recovery_compiled(
+        SCRIPT,
+        &cfg,
+        &sizes,
+        &CostModel::default(),
+        &SimConfig::default(),
+        rp,
+    )
+    .expect("compile fault sim script")
+}
+
 fn sim_sample(name: &str, secs: f64) -> Sample {
     Sample {
         name: name.to_string(),
@@ -75,11 +102,15 @@ pub fn run_series() -> Vec<Sample> {
         ..Default::default()
     });
     let persistent = price(&FaultProfile::default());
+    let remote = price_remote(&RemoteProfile::default());
     vec![
         sim_sample("sim_fault_free_seq", persistent.sequential_seconds),
         sim_sample("sim_fault_free_par4", persistent.parallel_seconds),
         sim_sample("sim_fault_transient_retry", transient.total_seconds),
         sim_sample("sim_fault_persistent_fallback", persistent.total_seconds),
+        sim_sample("sim_remote_clean_par4", remote.remote_seconds),
+        sim_sample("sim_remote_reroute", remote.reroute_seconds),
+        sim_sample("sim_remote_dead_pool_local", remote.local_degraded_seconds),
     ]
 }
 
@@ -96,6 +127,20 @@ pub fn fallback_overhead(samples: &[Sample]) -> Option<f64> {
     Some(secs("sim_fault_persistent_fallback")? / secs("sim_fault_free_seq")?.max(1e-9))
 }
 
+/// Remote reroute episode cost relative to the undisturbed remote run,
+/// from a [`run_series`] result. The CI gate asserts this stays a
+/// small constant: surviving one dropped worker costs the partial
+/// doomed attempt plus one backoff plus a clean retry elsewhere.
+pub fn remote_reroute_overhead(samples: &[Sample]) -> Option<f64> {
+    let secs = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median.as_secs_f64())
+    };
+    Some(secs("sim_remote_reroute")? / secs("sim_remote_clean_par4")?.max(1e-9))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,7 +148,7 @@ mod tests {
     #[test]
     fn series_prices_the_recovery_ladder() {
         let samples = run_series();
-        assert_eq!(samples.len(), 4);
+        assert_eq!(samples.len(), 7);
         let secs = |name: &str| {
             samples
                 .iter()
@@ -126,6 +171,39 @@ mod tests {
         assert!(
             overhead > 1.0 && overhead < 2.5,
             "fallback overhead {overhead:.2}x out of expected band"
+        );
+    }
+
+    #[test]
+    fn series_prices_the_remote_ladder() {
+        let samples = run_series();
+        let secs = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.median.as_secs_f64())
+                .expect("sample present")
+        };
+        let par = secs("sim_fault_free_par4");
+        let clean = secs("sim_remote_clean_par4");
+        let reroute = secs("sim_remote_reroute");
+        let dead = secs("sim_remote_dead_pool_local");
+        // Shipping over loopback adds a small constant; it must not
+        // dwarf the work itself.
+        assert!(clean > par && clean < 1.5 * par, "ship cost out of band");
+        // One dropped worker costs the partial attempt plus a clean
+        // retry; a dead pool costs every doomed attempt plus the local
+        // run — strictly worse, still bounded.
+        assert!(clean < reroute && reroute < dead);
+        let overhead = remote_reroute_overhead(&samples).expect("sim samples present");
+        assert!(
+            overhead > 1.0 && overhead < 2.0,
+            "remote reroute overhead {overhead:.2}x out of expected band"
+        );
+        let dead_x = dead / clean.max(1e-9);
+        assert!(
+            dead_x > overhead && dead_x < 3.5,
+            "dead-pool overhead {dead_x:.2}x out of expected band"
         );
     }
 }

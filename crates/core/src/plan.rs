@@ -449,6 +449,21 @@ impl RegionPlan {
         fnv1a(self.dump().as_bytes())
     }
 
+    /// Parses one region's [`RegionPlan::dump`] text back into a
+    /// region — the wire format the remote backend ships a region
+    /// over. Delegates to [`ExecutionPlan::parse_dump`] (so the text
+    /// gets the same structural checks and [`RegionPlan::validate`]
+    /// pass as a full plan) and requires the text to be exactly one
+    /// region step.
+    pub fn parse_dump(text: &str) -> Result<RegionPlan, String> {
+        let plan = ExecutionPlan::parse_dump(&format!("plan v1\n{text}"))?;
+        match <[PlanStep; 1]>::try_from(plan.steps) {
+            Ok([PlanStep::Region(r)]) => Ok(r),
+            Ok(_) => Err("expected a region step".to_string()),
+            Err(steps) => Err(format!("expected exactly one region, got {}", steps.len())),
+        }
+    }
+
     /// Node ids that produce region outputs.
     pub fn output_producers(&self) -> impl Iterator<Item = PlanNodeId> + '_ {
         self.nodes
@@ -1424,6 +1439,27 @@ mod tests {
 
     fn first_region(plan: &ExecutionPlan) -> &RegionPlan {
         plan.regions().next().expect("region")
+    }
+
+    #[test]
+    fn region_dump_round_trips_alone() {
+        let plan = lowered_with(
+            "cat in.txt | tr A-Z a-z | sort > out.txt",
+            4,
+            SplitPolicy::RoundRobin,
+        );
+        let r = first_region(&plan);
+        let parsed = RegionPlan::parse_dump(&r.dump()).expect("parse");
+        assert_eq!(&parsed, r);
+        assert_eq!(parsed.fingerprint(), r.fingerprint());
+        // Structural damage surfaces as Err, never a bad region.
+        assert!(RegionPlan::parse_dump("").is_err());
+        assert!(RegionPlan::parse_dump("shell noop=true \"x\"\n").is_err());
+        let mut two = r.dump();
+        two.push_str(&r.dump());
+        assert!(RegionPlan::parse_dump(&two).is_err());
+        let truncated = &r.dump()[..r.dump().len() / 2];
+        assert!(RegionPlan::parse_dump(truncated).is_err());
     }
 
     #[test]

@@ -160,6 +160,21 @@ pub fn run_region(
     run_region_attempt(r, registry, fs, stdin, cfg, None, None).map_err(io::Error::from)
 }
 
+/// One unsupervised attempt with an optional armed fault — the remote
+/// worker's entry point. The coordinator owns retries, deadlines, and
+/// the fallback ladder; a worker only ever runs a single faithful (or
+/// faithfully faulted) attempt and reports the classified outcome.
+pub fn run_region_faulted(
+    r: &RegionPlan,
+    registry: &Registry,
+    fs: Arc<dyn Fs>,
+    stdin: Vec<u8>,
+    cfg: &ExecConfig,
+    fault: Option<&ArmedFault>,
+) -> Result<RegionOutput, ExecError> {
+    run_region_attempt(r, registry, fs, stdin, cfg, fault, None)
+}
+
 /// One attempt at a region, with optional fault injection and an
 /// optional deadline (taken from `settings`).
 ///
@@ -535,6 +550,12 @@ pub fn run_program_with_fallback(
     stdin: Vec<u8>,
     cfg: &ExecConfig,
 ) -> io::Result<ProgramOutput> {
+    // Each program run gets a fresh total-retry budget: one flaky
+    // region cannot starve later regions of another run's retries.
+    let cfg = &ExecConfig {
+        supervisor: cfg.supervisor.fresh_run(),
+        ..cfg.clone()
+    };
     let fallback = fallback.filter(|f| plans_align(plan, f));
     let fb_step = |i: usize| -> Option<&RegionPlan> {
         match fallback.map(|f| &f.steps[i]) {

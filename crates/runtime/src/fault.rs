@@ -107,6 +107,7 @@ impl ExecError {
             | io::ErrorKind::TimedOut
             | io::ErrorKind::Interrupted
             | io::ErrorKind::WouldBlock
+            | io::ErrorKind::ConnectionAborted
             | io::ErrorKind::UnexpectedEof => FaultClass::Transient,
             _ => FaultClass::Fatal,
         };
@@ -196,11 +197,24 @@ pub enum FaultKind {
     /// a duration — the wedged-child scenario the region deadline
     /// must catch.
     Stall,
+    /// The coordinator→worker connection drops mid-request: the
+    /// length-prefixed request is cut after a few bytes and the
+    /// socket closed (remote backend only).
+    ConnDrop,
+    /// The worker is slow: it sleeps for the stall duration before
+    /// streaming results (remote backend only). On its own this
+    /// exercises the supervisor's patience; with a region deadline it
+    /// becomes the wedged-worker socket-teardown scenario.
+    SlowWorker,
+    /// The worker's framed response stream is cut mid-frame and the
+    /// socket closed — the half-written-frame shape the frame header
+    /// checks must catch end-to-end (remote backend only).
+    TornFrame,
 }
 
 impl FaultKind {
     /// Every kind, for sweep suites.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::KillWorker,
         FaultKind::SpawnFail,
         FaultKind::SpawnDelay,
@@ -208,6 +222,9 @@ impl FaultKind {
         FaultKind::Truncate,
         FaultKind::Corrupt,
         FaultKind::Stall,
+        FaultKind::ConnDrop,
+        FaultKind::SlowWorker,
+        FaultKind::TornFrame,
     ];
 
     /// A stable display/parse name.
@@ -220,7 +237,26 @@ impl FaultKind {
             FaultKind::Truncate => "truncate",
             FaultKind::Corrupt => "corrupt",
             FaultKind::Stall => "stall",
+            FaultKind::ConnDrop => "conn-drop",
+            FaultKind::SlowWorker => "slow-worker",
+            FaultKind::TornFrame => "torn-frame",
         }
+    }
+
+    /// Parses a stable name back into a kind.
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Whether this kind targets the coordinator↔worker connection
+    /// (remote backend only). Remote kinds have no eligible site on
+    /// the local backends, so arming them there is a no-op and local
+    /// sweeps over [`FaultKind::ALL`] stay byte-clean.
+    pub fn is_remote(self) -> bool {
+        matches!(
+            self,
+            FaultKind::ConnDrop | FaultKind::SlowWorker | FaultKind::TornFrame
+        )
     }
 }
 
@@ -324,25 +360,11 @@ impl FaultPlan {
     /// Arms the fault against one region attempt: decrements the
     /// budget and picks the target site by seeded hash. `None` when
     /// the budget is spent or the region has no eligible site (e.g. a
-    /// corruption fault on a plan with no framed edges).
+    /// corruption fault on a plan with no framed edges, or a remote
+    /// kind on a local backend).
     pub fn arm(&self, r: &RegionPlan) -> Option<ArmedFault> {
         let (node, edge) = pick_site(self.kind, self.seed, r)?;
-        // Claim one unit of budget without underflowing concurrent
-        // arms.
-        let mut cur = self.budget.load(Ordering::Relaxed);
-        loop {
-            if cur == 0 {
-                return None;
-            }
-            let next = if cur == u32::MAX { cur } else { cur - 1 };
-            match self
-                .budget
-                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => break,
-                Err(v) => cur = v,
-            }
-        }
+        self.claim_budget()?;
         let sm = splitmix64(self.seed);
         let offset = self.offset.unwrap_or(match self.kind {
             // Mid-header: a truncated frame header is always detected.
@@ -361,10 +383,76 @@ impl FaultPlan {
             cancel: self.cancel.clone(),
         })
     }
+
+    /// Arms the fault against one *remote* region attempt. Remote-only
+    /// kinds (connection drop, slow worker, torn frame) target the
+    /// coordinator↔worker connection and are eligible on any region
+    /// with an `Exec` node; local kinds arm exactly as
+    /// [`FaultPlan::arm`] does, and the coordinator ships the armed
+    /// form to the worker for in-attempt delivery.
+    pub fn arm_remote(&self, r: &RegionPlan) -> Option<ArmedFault> {
+        if !self.kind.is_remote() {
+            return self.arm(r);
+        }
+        // Attribute the connection fault to a seeded Exec node, the
+        // same family worker-death faults target.
+        let nodes: Vec<PlanNodeId> = r
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, PlanOp::Exec { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if nodes.is_empty() {
+            return None;
+        }
+        self.claim_budget()?;
+        let sm = splitmix64(self.seed);
+        let node = nodes[(sm % nodes.len() as u64) as usize];
+        let offset = self.offset.unwrap_or(match self.kind {
+            // Cut inside the request's 4-byte length prefix or just
+            // past it: the worker always sees a malformed request.
+            FaultKind::ConnDrop => (sm % 64).max(1),
+            // Mid-frame-header: a torn response frame is always
+            // detected by the reader's magic/length checks.
+            FaultKind::TornFrame => (sm % 12).max(2),
+            _ => 1 + sm % 64,
+        });
+        Some(ArmedFault {
+            kind: self.kind,
+            node: Some(node),
+            edge: None,
+            offset,
+            delay: self.delay.unwrap_or(Duration::from_millis(20)),
+            stall: self.stall.unwrap_or(Duration::from_millis(50)),
+            cancel: self.cancel.clone(),
+        })
+    }
+
+    /// Claims one unit of budget without underflowing concurrent
+    /// arms. `None` when the budget is spent.
+    fn claim_budget(&self) -> Option<()> {
+        let mut cur = self.budget.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            let next = if cur == u32::MAX { cur } else { cur - 1 };
+            match self
+                .budget
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(v) => cur = v,
+            }
+        }
+        Some(())
+    }
 }
 
-/// SplitMix64: the seeded hash behind site choice and offsets.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: the seeded hash behind site choice, offsets, and the
+/// supervisor's backoff jitter.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e3779b97f4a7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -445,6 +533,11 @@ fn pick_site(
             let e = edges[(splitmix64(seed) % edges.len() as u64) as usize];
             Some((None, Some(e)))
         }
+        // Remote kinds target the coordinator↔worker connection; the
+        // local backends have no such site, so sweeping them over
+        // `FaultKind::ALL` is a clean no-op (see
+        // [`FaultPlan::arm_remote`]).
+        FaultKind::ConnDrop | FaultKind::SlowWorker | FaultKind::TornFrame => None,
     }
 }
 
@@ -572,6 +665,7 @@ pub struct FaultyWriter<W> {
     mode: FaultMode,
     written: u64,
     stalled: bool,
+    died: bool,
     /// `abort` on trigger instead of returning an error — the
     /// multicall (child-process) delivery of [`FaultMode::Die`].
     abort_on_die: bool,
@@ -586,6 +680,7 @@ impl<W: Write> FaultyWriter<W> {
             mode,
             written: 0,
             stalled: false,
+            died: false,
             abort_on_die: false,
         }
     }
@@ -599,6 +694,7 @@ impl<W: Write> FaultyWriter<W> {
             mode,
             written: 0,
             stalled: false,
+            died: false,
             abort_on_die: true,
         }
     }
@@ -608,15 +704,28 @@ impl<W: Write> Write for FaultyWriter<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         match &self.mode {
             FaultMode::Die { at } => {
+                // The death is sticky and must NOT be `Interrupted`:
+                // `write_all`/`io::copy` transparently retry that
+                // kind, which would both spin forever and re-write
+                // the pre-death prefix once per retry (unbounded
+                // growth on Vec-backed edges).
+                if self.died {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "injected worker death",
+                    ));
+                }
                 if self.written + buf.len() as u64 > *at {
                     let room = (*at - self.written) as usize;
                     self.inner.write_all(&buf[..room])?;
+                    self.written += room as u64;
                     let _ = self.inner.flush();
+                    self.died = true;
                     if self.abort_on_die {
                         std::process::abort();
                     }
                     return Err(io::Error::new(
-                        io::ErrorKind::Interrupted,
+                        io::ErrorKind::ConnectionAborted,
                         "injected worker death",
                     ));
                 }
@@ -742,6 +851,35 @@ mod tests {
     }
 
     #[test]
+    fn remote_kinds_arm_only_remotely() {
+        let r = region("cat in.txt | tr A-Z a-z | grep x > out.txt", 4);
+        for kind in [
+            FaultKind::ConnDrop,
+            FaultKind::SlowWorker,
+            FaultKind::TornFrame,
+        ] {
+            // No eligible site on the local backends.
+            assert!(FaultPlan::new(kind, 3).arm(&r).is_none());
+            let a = FaultPlan::new(kind, 3).arm_remote(&r).expect("armed");
+            assert_eq!(a.kind, kind);
+            assert!(a.node.is_some(), "connection fault attributes a node");
+        }
+        // The torn-frame default offset lands mid-frame-header.
+        let a = FaultPlan::new(FaultKind::TornFrame, 5)
+            .arm_remote(&r)
+            .expect("armed");
+        assert!((2..16).contains(&a.offset), "offset {}", a.offset);
+        // Local kinds pass through arm(), sharing the budget.
+        let p = FaultPlan::new(FaultKind::KillWorker, 7);
+        assert!(p.arm_remote(&r).is_some());
+        assert!(p.arm_remote(&r).is_none());
+        // Name round-trip covers the new kinds.
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::from_name(kind.name()), Some(kind));
+        }
+    }
+
+    #[test]
     fn faulty_writer_truncates_and_corrupts() {
         let mut buf = Vec::new();
         {
@@ -766,7 +904,11 @@ mod tests {
         let mut buf = Vec::new();
         let mut w = FaultyWriter::new(&mut buf, FaultMode::Die { at: 3 });
         let err = w.write(b"abcdef").expect_err("must die");
-        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        // A retrying caller (`write_all` semantics) sees the sticky
+        // death, and the prefix is NOT re-written.
+        let err = w.write(b"abcdef").expect_err("stays dead");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
         drop(w);
         assert_eq!(buf, b"abc");
     }

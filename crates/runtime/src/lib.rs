@@ -47,6 +47,7 @@ pub mod pipe;
 pub mod proc;
 pub mod profile;
 pub mod relay;
+pub mod remote;
 pub mod scan;
 pub mod service;
 pub mod split;
@@ -61,6 +62,7 @@ pub use pipe::{
     pipe, pipe_monitored, MultiReader, PipeMonitor, PipeReader, PipeWriter, DEFAULT_PIPE_CAPACITY,
 };
 pub use profile::{ProfileStore, RegionProfile};
+pub use remote::{run_program_remote, serve_worker, shutdown_worker, WorkerPool};
 pub use scan::LineScanner;
 pub use service::{
     CacheTier, Client, DiskPlanCache, Request, Response, RunRequest, RunResponse, Semaphore,

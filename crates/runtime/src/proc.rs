@@ -210,6 +210,12 @@ pub fn run_plan_with_fallback(
     root: &Path,
     stdin: Vec<u8>,
 ) -> io::Result<ProgramOutput> {
+    // Fresh total-retry budget per program run (see
+    // `SupervisorSettings::fresh_run`).
+    let cfg = &ProcConfig {
+        supervisor: cfg.supervisor.fresh_run(),
+        ..cfg.clone()
+    };
     let fallback = fallback.filter(|f| plans_align(plan, f));
     let fb_step = |i: usize| -> Option<&RegionPlan> {
         match fallback.map(|f| &f.steps[i]) {

@@ -146,35 +146,44 @@ pub enum Response {
 
 // --- codec ----------------------------------------------------------
 
-fn bad_data(msg: String) -> io::Error {
+pub(crate) fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u32(out, b.len() as u32);
     out.extend_from_slice(b);
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_bytes(out, s.as_bytes());
 }
 
 /// A cursor over a decoded frame.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes left in the frame (bounds untrusted element counts).
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.buf.len() - self.pos < n {
             return Err(bad_data("truncated frame".to_string()));
         }
@@ -183,19 +192,19 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> io::Result<u8> {
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
-    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+    pub(crate) fn bytes(&mut self) -> io::Result<Vec<u8>> {
         let len = self.u32()? as usize;
         if len > MAX_FRAME {
             return Err(bad_data(format!("field length {len} out of range")));
@@ -203,11 +212,11 @@ impl<'a> Cursor<'a> {
         Ok(self.take(len)?.to_vec())
     }
 
-    fn string(&mut self) -> io::Result<String> {
+    pub(crate) fn string(&mut self) -> io::Result<String> {
         String::from_utf8(self.bytes()?).map_err(|_| bad_data("non-UTF-8 string".to_string()))
     }
 
-    fn done(&self) -> io::Result<()> {
+    pub(crate) fn done(&self) -> io::Result<()> {
         if self.pos != self.buf.len() {
             return Err(bad_data("trailing bytes in frame".to_string()));
         }
@@ -235,14 +244,14 @@ fn split_from_u8(v: u8) -> io::Result<SplitPolicy> {
 }
 
 /// Writes one length-prefixed frame.
-fn write_frame(w: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
+pub(crate) fn write_frame(w: &mut dyn Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
 /// Reads one length-prefixed frame; `None` at clean end-of-stream.
-fn read_frame(r: &mut dyn Read) -> io::Result<Option<Vec<u8>>> {
+pub(crate) fn read_frame(r: &mut dyn Read) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
@@ -364,7 +373,10 @@ pub fn read_response(r: &mut dyn Read) -> io::Result<Response> {
             let total_micros = c.u64()?;
             let stdout = c.bytes()?;
             let nfiles = c.u32()? as usize;
-            if nfiles > MAX_FRAME / 8 {
+            // Each file needs at least two length prefixes (8 bytes),
+            // so a count the remaining frame cannot hold is corruption
+            // — reject before allocating for it.
+            if nfiles > c.remaining() / 8 {
                 return Err(bad_data(format!("file count {nfiles} out of range")));
             }
             let mut files = Vec::with_capacity(nfiles);
@@ -839,12 +851,18 @@ impl DiskPlanCache {
 pub struct ServiceSettings {
     /// Admission-control width: how many runs may execute at once.
     pub max_concurrent_runs: usize,
+    /// How long shutdown waits for in-flight requests to finish
+    /// writing their responses before force-closing connections. The
+    /// drain guarantees no client whose request was already being
+    /// served sees a torn (half-written) response.
+    pub drain_deadline: std::time::Duration,
 }
 
 impl Default for ServiceSettings {
     fn default() -> Self {
         ServiceSettings {
             max_concurrent_runs: 2,
+            drain_deadline: std::time::Duration::from_secs(5),
         }
     }
 }
@@ -865,11 +883,22 @@ pub fn bind(path: &Path) -> io::Result<UnixListener> {
     UnixListener::bind(path)
 }
 
+/// The live-connection registry shutdown drains: each entry is a
+/// handle to the connection's socket plus its busy flag (set while a
+/// request is being served and its response written).
+type ConnRegistry = Arc<Mutex<HashMap<u64, (UnixStream, Arc<AtomicBool>)>>>;
+
 /// The accept loop: one thread per connection, requests served in
 /// order per connection, `Run` requests gated by the admission
-/// semaphore and timed into the latency histogram. Returns after a
-/// [`Request::Shutdown`] is acknowledged and every connection thread
-/// has drained; the socket file is removed on the way out.
+/// semaphore and timed into the latency histogram.
+///
+/// Returns after a [`Request::Shutdown`] is acknowledged and every
+/// connection has drained: in-flight requests get up to
+/// [`ServiceSettings::drain_deadline`] to finish writing their
+/// responses, then remaining connections are force-closed (waking
+/// readers blocked on idle clients) and the threads joined — so a
+/// client whose request was already being served never sees a torn
+/// response. The socket file is removed on the way out.
 pub fn serve(
     listener: UnixListener,
     socket_path: &Path,
@@ -879,7 +908,9 @@ pub fn serve(
 ) -> io::Result<()> {
     let running = Arc::new(AtomicBool::new(true));
     let admission = Arc::new(Semaphore::new(settings.max_concurrent_runs));
+    let conns: ConnRegistry = Arc::new(Mutex::new(HashMap::new()));
     let mut workers = Vec::new();
+    let mut next_id: u64 = 0;
     while running.load(Ordering::SeqCst) {
         let (stream, _) = match listener.accept() {
             Ok(s) => s,
@@ -893,14 +924,45 @@ pub fn serve(
         if !running.load(Ordering::SeqCst) {
             break;
         }
+        let id = next_id;
+        next_id += 1;
+        let busy = Arc::new(AtomicBool::new(false));
+        if let Ok(handle) = stream.try_clone() {
+            conns
+                .lock()
+                .expect("conn registry lock")
+                .insert(id, (handle, busy.clone()));
+        }
         let metrics = metrics.clone();
         let handler = handler.clone();
         let admission = admission.clone();
         let running = running.clone();
+        let conns = conns.clone();
         let wake_path = socket_path.to_path_buf();
         workers.push(std::thread::spawn(move || {
-            serve_connection(stream, &metrics, &handler, &admission, &running, &wake_path);
+            serve_connection(
+                stream, &metrics, &handler, &admission, &running, &wake_path, &busy,
+            );
+            conns.lock().expect("conn registry lock").remove(&id);
         }));
+    }
+    // Drain: wait (bounded) for busy connections to finish their
+    // response writes, then force-close whatever is left so readers
+    // blocked on idle clients wake up and the joins below terminate.
+    let deadline = Instant::now() + settings.drain_deadline;
+    loop {
+        let any_busy = conns
+            .lock()
+            .expect("conn registry lock")
+            .values()
+            .any(|(_, busy)| busy.load(Ordering::SeqCst));
+        if !any_busy || Instant::now() >= deadline {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    for (_, (stream, _)) in conns.lock().expect("conn registry lock").drain() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
     }
     for w in workers {
         let _ = w.join();
@@ -909,6 +971,7 @@ pub fn serve(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     mut stream: UnixStream,
     metrics: &ServiceMetrics,
@@ -916,17 +979,20 @@ fn serve_connection(
     admission: &Semaphore,
     running: &AtomicBool,
     wake_path: &Path,
+    busy: &AtomicBool,
 ) {
     loop {
         let req = match read_request(&mut stream) {
             Ok(Some(req)) => req,
             Ok(None) | Err(_) => return,
         };
+        busy.store(true, Ordering::SeqCst);
         metrics.requests.fetch_add(1, Ordering::Relaxed);
         let resp = match req {
             Request::Metrics => Response::Text(metrics.to_json()),
             Request::Shutdown => {
                 let _ = write_response(&mut stream, &Response::Ack);
+                busy.store(false, Ordering::SeqCst);
                 running.store(false, Ordering::SeqCst);
                 // Unblock the accept loop (a failed connect means the
                 // listener is already past accept).
@@ -964,7 +1030,12 @@ fn serve_connection(
         if matches!(resp, Response::Error(_)) {
             metrics.errors.fetch_add(1, Ordering::Relaxed);
         }
-        if write_response(&mut stream, &resp).is_err() {
+        let wrote = write_response(&mut stream, &resp);
+        busy.store(false, Ordering::SeqCst);
+        // A drain in progress: this response is complete, and the
+        // connection closes cleanly instead of reading another
+        // request the dying daemon could not honour.
+        if wrote.is_err() || !running.load(Ordering::SeqCst) {
             return;
         }
     }
@@ -1052,6 +1123,106 @@ mod tests {
         write_frame(&mut buf, &[99]).expect("frame");
         let err = read_request(&mut io::Cursor::new(buf)).expect_err("bad op");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        // Arbitrary garbage fed to the decoders: a structured
+        // io::Error or a clean EOF, never a panic — and transparently
+        // never a hang, since decoding is a pure function of the
+        // bytes. Random payloads can legitimately decode (op byte 3 =
+        // Metrics), so only the error *kind* is constrained.
+        #[test]
+        fn prop_decoders_survive_garbage(
+            data in proptest::collection::vec(0u8..255, 0..2048),
+        ) {
+            for result in [
+                read_request(&mut io::Cursor::new(data.clone())).map(|_| ()),
+                read_response(&mut io::Cursor::new(data.clone())).map(|_| ()),
+            ] {
+                if let Err(e) = result {
+                    prop_assert!(
+                        matches!(
+                            e.kind(),
+                            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                        ),
+                        "unstructured error: {e:?}"
+                    );
+                }
+            }
+        }
+
+        // A valid request truncated at every possible point: byte-
+        // identical round-trip when whole, clean EOF when cut at zero,
+        // a structured error anywhere in between — never a panic and
+        // never a partial decode passed off as success.
+        #[test]
+        fn prop_truncated_requests_error_cleanly(
+            script in "[a-z |.><&;-]{0,64}",
+            stdin in proptest::collection::vec(0u8..255, 0..256),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let req = Request::Run(RunRequest {
+                script,
+                backend: "threads".to_string(),
+                width: 4,
+                split: SplitPolicy::RoundRobin,
+                stdin,
+            });
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).expect("encode");
+            let whole = read_request(&mut io::Cursor::new(buf.clone()))
+                .expect("decode")
+                .expect("some");
+            prop_assert_eq!(&whole, &req);
+            let cut = ((buf.len() as f64) * cut_frac) as usize;
+            if cut < buf.len() {
+                match read_request(&mut io::Cursor::new(buf[..cut].to_vec())) {
+                    Ok(None) => prop_assert_eq!(cut, 0, "partial frame decoded as EOF"),
+                    Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+                    Err(e) => prop_assert!(matches!(
+                        e.kind(),
+                        io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+                    )),
+                }
+            }
+        }
+
+        // Oversized length prefixes are rejected before allocation,
+        // whatever follows them.
+        #[test]
+        fn prop_oversized_frames_are_rejected(
+            extra in 1u64..u32::MAX as u64 - MAX_FRAME as u64,
+            tail in proptest::collection::vec(0u8..255, 0..64),
+        ) {
+            let len = (MAX_FRAME as u64 + extra) as u32;
+            let mut buf = len.to_le_bytes().to_vec();
+            buf.extend_from_slice(&tail);
+            let err = read_request(&mut io::Cursor::new(buf)).expect_err("oversized");
+            prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+
+        // A run-response frame whose claimed file count exceeds what
+        // the frame could physically hold is rejected up front (no
+        // attacker-sized allocation).
+        #[test]
+        fn prop_inflated_file_counts_are_rejected(nfiles in 1u32..u32::MAX) {
+            let mut p = Vec::new();
+            p.push(1u8); // Response::Run
+            put_u32(&mut p, 0); // status
+            p.push(0); // tier
+            put_u64(&mut p, 0);
+            put_u64(&mut p, 0);
+            put_bytes(&mut p, b""); // stdout
+            put_u32(&mut p, nfiles);
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &p).expect("frame");
+            let err = read_response(&mut io::Cursor::new(buf)).expect_err("inflated");
+            prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
     }
 
     #[test]

@@ -800,6 +800,102 @@ pub fn simulate_recovery(
     }
 }
 
+/// Cost parameters of the remote worker backend: what shipping a
+/// region to a `pash-worker` and recovering from a dropped worker
+/// costs on top of the work itself.
+#[derive(Debug, Clone)]
+pub struct RemoteProfile {
+    /// Socket throughput for shipping the serialized region plus its
+    /// input files and streaming results back, bytes/second.
+    pub ship_bytes_per_s: f64,
+    /// Per-attempt constant: connect, frame, and decode overhead,
+    /// seconds.
+    pub connect_seconds: f64,
+    /// Fraction of a remote attempt's wall-clock that elapses before
+    /// the coordinator detects a dropped connection or torn stream.
+    pub detect_frac: f64,
+    /// Remote attempts before the ladder degrades to the local rung
+    /// (1 initial + `retries` rerouted retries).
+    pub retries: u32,
+    /// Base backoff slept before retry `i` (doubles each retry),
+    /// seconds.
+    pub backoff_base: f64,
+}
+
+impl Default for RemoteProfile {
+    fn default() -> Self {
+        RemoteProfile {
+            // A loopback Unix socket moves GB/s; a LAN would be ~100×
+            // slower. The default prices the testbed CI measures.
+            ship_bytes_per_s: 2e9,
+            connect_seconds: 0.0005,
+            detect_frac: 0.5,
+            retries: 2,
+            backoff_base: 0.025,
+        }
+    }
+}
+
+/// Cost breakdown of the remote recovery ladder's episodes.
+#[derive(Debug, Clone)]
+pub struct RemoteRecoveryReport {
+    /// A clean remote run: ship + execute + stream back.
+    pub remote_seconds: f64,
+    /// One dropped connection, detected mid-attempt, retried on a
+    /// different worker after backoff.
+    pub reroute_seconds: f64,
+    /// `reroute / remote`: the price of surviving one dropped worker
+    /// relative to the undisturbed remote run.
+    pub reroute_overhead_x: f64,
+    /// Every remote attempt fails; the ladder degrades to the clean
+    /// local run at full width.
+    pub local_degraded_seconds: f64,
+    /// `local_degraded / remote`: the price of a dead worker pool.
+    pub local_degraded_overhead_x: f64,
+}
+
+/// Closed-form cost of the remote backend's recovery ladder over
+/// already-lowered plans, using the same fluid engine for the work
+/// itself: a remote attempt costs connect + shipping (inputs over the
+/// socket, results back) + the parallel runtime; a dropped worker
+/// burns `detect_frac` of that before the supervisor reroutes; a dead
+/// pool burns every attempt and lands on the local rung.
+pub fn simulate_remote_recovery(
+    par: &ExecutionPlan,
+    sizes: &InputSizes,
+    stdin_bytes: f64,
+    cm: &CostModel,
+    cfg: &SimConfig,
+    rp: &RemoteProfile,
+) -> RemoteRecoveryReport {
+    let t_par = simulate_program(par, sizes, stdin_bytes, cm, cfg).seconds;
+    // Bytes crossing the socket: every input the plan reads, the
+    // stdin feed, and (conservatively) the same volume streaming back.
+    let input_bytes: f64 = sizes.values().sum::<f64>() + stdin_bytes;
+    let ship = rp.connect_seconds + 2.0 * input_bytes / rp.ship_bytes_per_s.max(1.0);
+    let attempt = ship + t_par;
+    let remote = attempt;
+    // One drop: detect mid-attempt, back off, succeed on the other
+    // worker.
+    let reroute = rp.detect_frac.clamp(0.0, 1.0) * attempt + rp.backoff_base + attempt;
+    // Dead pool: 1 + retries doomed attempts (each detected at
+    // `detect_frac`, connect cost always paid) plus the backoff
+    // ladder, then the clean local run.
+    let mut wasted = rp.detect_frac.clamp(0.0, 1.0) * attempt;
+    for i in 1..=rp.retries {
+        wasted += rp.detect_frac.clamp(0.0, 1.0) * attempt
+            + rp.backoff_base * (1u64 << (i - 1).min(62)) as f64;
+    }
+    let local_degraded = wasted + t_par;
+    RemoteRecoveryReport {
+        remote_seconds: remote,
+        reroute_seconds: reroute,
+        reroute_overhead_x: reroute / remote.max(1e-12),
+        local_degraded_seconds: local_degraded,
+        local_degraded_overhead_x: local_degraded / remote.max(1e-12),
+    }
+}
+
 /// The performance-prediction backend over execution plans.
 pub struct SimBackend<'a> {
     /// Sizes of the input files the plan reads.

@@ -32,8 +32,9 @@ pub mod engine;
 
 pub use cost::{CostModel, Discipline, Profile, Resource};
 pub use engine::{
-    simulate_program, simulate_recovery, simulate_region, FaultProfile, InputSizes, RecoveryReport,
-    SimBackend, SimConfig, SimReport,
+    simulate_program, simulate_recovery, simulate_region, simulate_remote_recovery, FaultProfile,
+    InputSizes, RecoveryReport, RemoteProfile, RemoteRecoveryReport, SimBackend, SimConfig,
+    SimReport,
 };
 
 use pash_core::compile::{compile_cached, PashConfig};
@@ -109,6 +110,20 @@ pub fn simulate_recovery_compiled(
     Ok(simulate_recovery(
         &par.plan, &seq.plan, sizes, 0.0, cm, sim, fp,
     ))
+}
+
+/// Compiles a script at its configured width and prices the remote
+/// backend's recovery ladder over the resulting plan.
+pub fn simulate_remote_recovery_compiled(
+    src: &str,
+    cfg: &PashConfig,
+    sizes: &InputSizes,
+    cm: &CostModel,
+    sim: &SimConfig,
+    rp: &RemoteProfile,
+) -> Result<RemoteRecoveryReport, pash_core::Error> {
+    let par = compile_cached(src, cfg)?;
+    Ok(simulate_remote_recovery(&par.plan, sizes, 0.0, cm, sim, rp))
 }
 
 /// Simulated speedup of a configuration over sequential execution.

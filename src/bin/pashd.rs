@@ -2,26 +2,43 @@
 //!
 //! ```text
 //! pashd --socket PATH [--cache-dir DIR] [--max-concurrent N]
-//!       [--retries N] [--no-fallback]
+//!       [--retries N] [--no-fallback] [--worker PATH]...
 //! ```
 //!
 //! Listens on a Unix-domain socket for length-prefixed requests
 //! (script + config + backend + stdin bytes), compiles through the
 //! two-tier plan cache, runs on the requested backend, and replies
 //! with stdout/status. `--cache-dir` enables the on-disk tier so a
-//! restarted daemon warm-starts. Stop it with a `Shutdown` request
-//! (`pash::runtime::service::Client::shutdown`).
+//! restarted daemon warm-starts. `--worker` (repeatable) names the
+//! `pash-worker` sockets the `remote` backend ships regions to. Stop
+//! it with a `Shutdown` request
+//! (`pash::runtime::service::Client::shutdown`) or SIGTERM — both
+//! drain in-flight connections (bounded by the drain deadline) so no
+//! client sees a torn response.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use pash::daemon::{serve, DaemonConfig};
 use pash::runtime::fault::{FaultKind, FaultPlan};
+use pash::runtime::service::Client;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    #[link_name = "signal"]
+    fn libc_signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: pashd --socket PATH [--cache-dir DIR] [--max-concurrent N] \
-         [--retries N] [--no-fallback] [--fault KIND:SEED[:BUDGET]]"
+         [--retries N] [--no-fallback] [--fault KIND:SEED[:BUDGET]] [--worker PATH]..."
     );
     std::process::exit(2);
 }
@@ -70,6 +87,7 @@ fn main() -> ExitCode {
                 })
             }
             "--no-fallback" => cfg.supervisor.fallback = false,
+            "--worker" => cfg.workers.push(PathBuf::from(value("--worker"))),
             "--fault" => {
                 let spec = value("--fault");
                 cfg.supervisor.fault = Some(parse_fault(&spec).unwrap_or_else(|| {
@@ -87,13 +105,32 @@ fn main() -> ExitCode {
     let Some(socket) = socket else { usage() };
     cfg.socket = socket;
     eprintln!(
-        "pashd: listening on {} (cache: {}, max concurrent runs: {})",
+        "pashd: listening on {} (cache: {}, max concurrent runs: {}, workers: {})",
         cfg.socket.display(),
         cfg.cache_dir
             .as_ref()
             .map_or("tier 1 only".to_string(), |d| d.display().to_string()),
         cfg.max_concurrent_runs,
+        cfg.workers.len(),
     );
+    // SIGTERM/SIGINT route through the same graceful path a `Shutdown`
+    // request takes: the poller sends one to our own socket, the serve
+    // loop stops accepting, drains in-flight connections under the
+    // drain deadline, and returns — no client sees a torn response.
+    unsafe {
+        libc_signal(15, on_term); // SIGTERM
+        libc_signal(2, on_term); // SIGINT
+    }
+    let self_socket = cfg.socket.clone();
+    std::thread::spawn(move || loop {
+        if STOP.load(Ordering::SeqCst) {
+            if let Ok(mut c) = Client::connect(&self_socket) {
+                let _ = c.shutdown();
+            }
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
     match serve(cfg) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

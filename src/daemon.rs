@@ -57,6 +57,10 @@ pub struct DaemonConfig {
     /// per-request: recovery policy belongs to the operator, not the
     /// client.
     pub supervisor: SupervisorSettings,
+    /// `pash-worker` sockets for requests selecting the `remote`
+    /// backend. Daemon-level for the same reason the supervisor is:
+    /// placement is operator topology, not client input.
+    pub workers: Vec<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -66,6 +70,7 @@ impl Default for DaemonConfig {
             cache_dir: None,
             max_concurrent_runs: 2,
             supervisor: SupervisorSettings::default(),
+            workers: Vec::new(),
         }
     }
 }
@@ -77,6 +82,7 @@ pub struct Daemon {
     registry: Registry,
     disk: Option<DiskPlanCache>,
     supervisor: SupervisorSettings,
+    workers: Vec<PathBuf>,
     metrics: Arc<ServiceMetrics>,
     /// Measured per-command rates, recorded by every run and consulted
     /// by adaptive (`width == 0`) requests. Disk-backed beside the plan
@@ -100,6 +106,7 @@ impl Daemon {
             registry: Registry::standard(),
             disk,
             supervisor: cfg.supervisor.clone(),
+            workers: cfg.workers.clone(),
             metrics: Arc::new(ServiceMetrics::default()),
             profile: Arc::new(profile),
         })
@@ -230,7 +237,7 @@ impl Daemon {
         };
         let want_fallback = cfg.width != 1
             && self.supervisor.fallback
-            && matches!(req.backend.as_str(), "threads" | "processes");
+            && matches!(req.backend.as_str(), "threads" | "processes" | "remote");
         let (handle, tier) = match self.lookup(&req.script, &cfg, want_fallback) {
             Ok(x) => x,
             Err(e) => return Response::Error(e.to_string()),
@@ -240,6 +247,7 @@ impl Daemon {
             registry: self.registry.clone(),
             fs: snapshot,
             stdin: req.stdin,
+            workers: self.workers.clone(),
             exec: crate::runtime::exec::ExecConfig {
                 supervisor: self.supervisor.clone(),
                 profile: Some(self.profile.clone()),
@@ -306,6 +314,7 @@ pub fn serve(cfg: DaemonConfig) -> io::Result<()> {
         metrics,
         ServiceSettings {
             max_concurrent_runs: cfg.max_concurrent_runs,
+            ..Default::default()
         },
         Arc::new(move |req| handler_daemon.handle(req)),
     )

@@ -87,6 +87,7 @@ use crate::coreutils::fs::{Fs, MemFs};
 use crate::coreutils::Registry;
 use crate::runtime::exec::{run_program_with_fallback, ExecConfig, ProgramOutput};
 use crate::runtime::proc::{locate_bin, run_plan_with_fallback, ProcConfig};
+use crate::runtime::remote::{run_program_remote, WorkerPool};
 use crate::runtime::supervise::SupervisorSettings;
 use crate::sim::{CostModel, InputSizes, SimBackend, SimConfig, SimReport};
 
@@ -109,7 +110,7 @@ pub fn compile_cached_script(
 }
 
 /// The registered execution backends, by selection name.
-pub const BACKENDS: &[&str] = &["shell", "threads", "processes", "sim"];
+pub const BACKENDS: &[&str] = &["shell", "threads", "processes", "remote", "sim"];
 
 /// Settings for the `processes` backend (real child processes over
 /// FIFOs; see [`runtime::proc`]).
@@ -153,8 +154,13 @@ pub struct RunEnv {
     /// and the materialization source/sink for `processes` when no
     /// real root is given.
     pub fs: Arc<MemFs>,
-    /// Bytes fed to the program's stdin (`threads`, `processes`).
+    /// Bytes fed to the program's stdin (`threads`, `processes`,
+    /// `remote`).
     pub stdin: Vec<u8>,
+    /// Worker socket paths (`remote`). Regions ship to these
+    /// `pash-worker` daemons under the supervisor's recovery ladder;
+    /// the list must be non-empty to select the `remote` backend.
+    pub workers: Vec<PathBuf>,
     /// Executor tuning (`threads`).
     pub exec: ExecConfig,
     /// Real-filesystem and binary settings (`processes`).
@@ -177,6 +183,7 @@ impl Default for RunEnv {
             registry: Registry::standard(),
             fs: Arc::new(MemFs::new()),
             stdin: Vec::new(),
+            workers: Vec::new(),
             exec: ExecConfig::default(),
             proc: ProcSettings::default(),
             sizes: InputSizes::new(),
@@ -331,7 +338,8 @@ impl RunHandle {
     }
 
     /// Runs the plan on the backend named `backend` — `"shell"`,
-    /// `"threads"`, `"processes"`, or `"sim"` — against `env`. The
+    /// `"threads"`, `"processes"`, `"remote"`, or `"sim"` — against
+    /// `env`. The
     /// fallback plan is handed to the executor only when the backend's
     /// supervisor has fallback enabled, mirroring what [`run`] always
     /// did.
@@ -373,6 +381,34 @@ impl RunHandle {
                     .map(BackendOutput::Execution)
                     .map_err(RunError::Io)
             }
+            "remote" => {
+                if env.workers.is_empty() {
+                    return Err(RunError::Io(std::io::Error::new(
+                        std::io::ErrorKind::NotConnected,
+                        "remote backend needs worker sockets (RunEnv::workers)",
+                    )));
+                }
+                let fallback = if env.exec.supervisor.fallback {
+                    self.fallback_plan()
+                } else {
+                    None
+                };
+                // No up-front probe: a worker that fails to answer is
+                // discovered by the attempt itself, which the ladder
+                // treats as transient (reroute, then local fallback).
+                let pool = WorkerPool::new(env.workers.clone());
+                run_program_remote(
+                    plan,
+                    fallback,
+                    &env.registry,
+                    env.fs.clone() as Arc<dyn Fs>,
+                    env.stdin.clone(),
+                    &env.exec,
+                    &pool,
+                )
+                .map(BackendOutput::Execution)
+                .map_err(RunError::Io)
+            }
             "sim" => {
                 let mut be = SimBackend {
                     sizes: &env.sizes,
@@ -391,14 +427,15 @@ impl RunHandle {
 
 /// Compiles `src` (through the memoized cache) and runs the lowered
 /// [`core::plan::ExecutionPlan`] on the backend named `backend` —
-/// `"shell"`, `"threads"`, `"processes"`, or `"sim"`.
+/// `"shell"`, `"threads"`, `"processes"`, `"remote"`, or `"sim"`.
 ///
 /// This is the multi-backend entry point the plan layer exists for:
 /// every backend consumes the same lowered artifact — the `processes`
-/// arm (real children over FIFOs) landed exactly by implementing
-/// [`core::plan::Backend`] and adding an arm here; a `remote` backend
-/// would do the same. Long-lived callers (the `pashd` service) keep
-/// the intermediate [`RunHandle`] instead of re-entering here.
+/// arm (real children over FIFOs) and the `remote` arm (plan regions
+/// shipped to `pash-worker` daemons over sockets) each landed exactly
+/// by implementing the execution contract and adding an arm here.
+/// Long-lived callers (the `pashd` service) keep the intermediate
+/// [`RunHandle`] instead of re-entering here.
 pub fn run(
     src: &str,
     cfg: &PashConfig,
@@ -409,7 +446,7 @@ pub fn run(
     // backend's supervisor would use it (compile_cached makes repeats
     // free either way).
     let want_fallback = match backend {
-        "threads" => env.exec.supervisor.fallback,
+        "threads" | "remote" => env.exec.supervisor.fallback,
         "processes" => env.proc.supervisor.fallback,
         _ => false,
     };
@@ -543,7 +580,20 @@ mod tests {
 
     #[test]
     fn all_backends_run_the_same_plan() {
-        let env = RunEnv::default();
+        use crate::runtime::remote::{bind_worker, serve_worker, shutdown_worker};
+        use std::sync::atomic::AtomicBool;
+
+        let socket =
+            std::env::temp_dir().join(format!("pash-facade-worker-{}", std::process::id()));
+        let listener = bind_worker(&socket).expect("bind worker");
+        let worker_socket = socket.clone();
+        let worker = std::thread::spawn(move || {
+            serve_worker(listener, &worker_socket, Arc::new(AtomicBool::new(false)))
+                .expect("serve worker");
+        });
+
+        let mut env = RunEnv::default();
+        env.workers = vec![socket.clone()];
         env.fs_mem().add("in.txt", b"b\na\nc\n".to_vec());
         let cfg = PashConfig {
             width: 2,
@@ -558,13 +608,15 @@ mod tests {
             let out = run(src, &cfg, name, &env).expect("backend runs");
             match (name, out) {
                 ("shell", BackendOutput::Script(s)) => assert!(s.contains("#!/bin/sh")),
-                ("threads" | "processes", BackendOutput::Execution(o)) => {
+                ("threads" | "processes" | "remote", BackendOutput::Execution(o)) => {
                     assert_eq!(o.stdout, b"a\nb\nc\n", "{name} stdout")
                 }
                 ("sim", BackendOutput::Simulation(r)) => assert!(r.seconds > 0.0),
                 (name, other) => panic!("{name} produced {other:?}"),
             }
         }
+        shutdown_worker(&socket);
+        worker.join().expect("worker thread");
     }
 
     #[test]

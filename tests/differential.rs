@@ -1,15 +1,17 @@
 //! Cross-backend differential suite: every corpus script must produce
 //! byte-identical stdout, byte-identical output files, and the same
 //! exit status under the `shell` backend (emitted script on a real
-//! `/bin/sh`), the `threads` backend (in-process), and the
-//! `processes` backend (real children over FIFOs).
+//! `/bin/sh`), the `threads` backend (in-process), the `processes`
+//! backend (real children over FIFOs), and the `remote` backend
+//! (plan regions shipped to `pash-worker` daemons over sockets).
 //!
 //! This is the strongest fidelity check the reproduction has: the
-//! same lowered `ExecutionPlan` executed by three unrelated engines —
+//! same lowered `ExecutionPlan` executed by four unrelated engines —
 //! one interpreting it in-process, one forking the multi-call binary
-//! per node, one rendered to POSIX text — with OS semantics (FIFO
-//! blocking, SIGPIPE teardown, wait status) in the loop for two of
-//! the three.
+//! per node, one rendered to POSIX text, one serializing regions to
+//! worker daemons — with OS semantics (FIFO blocking, SIGPIPE
+//! teardown, wait status) in the loop for two of the four and wire
+//! semantics (framed sockets, connection teardown) for a third.
 //!
 //! Both split strategies are exercised: the input-aware segment split
 //! (`ParBSplit`) and the order-aware round-robin split (`r_split`,
@@ -123,6 +125,71 @@ fn observe_processes(
     }
 }
 
+/// A pair of in-process `pash-worker` serve loops on temp sockets —
+/// multi-worker-on-localhost, so remote runs exercise real placement.
+struct RemoteWorkers {
+    sockets: Vec<PathBuf>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RemoteWorkers {
+    fn spawn(n: usize) -> RemoteWorkers {
+        use pash::runtime::remote::{bind_worker, serve_worker};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut sockets = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let socket = std::env::temp_dir().join(format!(
+                "pash-diff-worker-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let listener = bind_worker(&socket).expect("bind worker");
+            let s = socket.clone();
+            handles.push(std::thread::spawn(move || {
+                serve_worker(listener, &s, Arc::new(AtomicBool::new(false))).expect("serve");
+            }));
+            sockets.push(socket);
+        }
+        RemoteWorkers { sockets, handles }
+    }
+}
+
+impl Drop for RemoteWorkers {
+    fn drop(&mut self) {
+        for s in &self.sockets {
+            pash::runtime::remote::shutdown_worker(s);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn observe_remote(
+    script: &str,
+    fs: Arc<MemFs>,
+    setup: &Setup,
+    workers: &RemoteWorkers,
+) -> Observed {
+    let mut env = RunEnv {
+        fs,
+        stdin: setup.stdin.to_vec(),
+        workers: workers.sockets.clone(),
+        ..Default::default()
+    };
+    env.exec.max_inflight = setup.inflight;
+    match run(script, &setup.cfg, "remote", &env) {
+        Ok(BackendOutput::Execution(o)) => Observed {
+            stdout: o.stdout,
+            status: o.status,
+            out_file: env.fs.read("out.txt").ok(),
+        },
+        other => panic!("remote produced {other:?} for `{script}`"),
+    }
+}
+
 /// Materializes `fs` into `dir` (the `MemFs` → real-files bridge the
 /// shell run needs).
 fn materialize(fs: &MemFs, dir: &Path) {
@@ -210,6 +277,9 @@ fn assert_backends_agree(
     let t = observe_threads(script, make_fs(), setup, &setup.cfg);
     let p = observe_processes(script, make_fs(), setup, bins);
     let s = observe_shell(script, make_fs(), setup, bins);
+    let workers = RemoteWorkers::spawn(2);
+    let r = observe_remote(script, make_fs(), setup, &workers);
+    drop(workers);
     assert_eq!(
         t, p,
         "{label}: threads vs processes diverged at width {width}\nscript: {script}"
@@ -217,6 +287,10 @@ fn assert_backends_agree(
     assert_eq!(
         t, s,
         "{label}: threads vs shell diverged at width {width}\nscript: {script}"
+    );
+    assert_eq!(
+        t, r,
+        "{label}: threads vs remote diverged at width {width}\nscript: {script}"
     );
     // The sequential reference pins the data.
     assert_eq!(

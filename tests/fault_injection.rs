@@ -1,13 +1,15 @@
-//! Differential fault sweep: every injected fault kind, on both
-//! execution backends, at several widths, must leave the program's
-//! observable behaviour — stdout bytes, output-file bytes, exit
-//! status — identical to an undisturbed width-1 sequential run.
+//! Differential fault sweep: every injected fault kind, on all three
+//! execution backends (threads, processes, remote workers over
+//! sockets), at several widths, must leave the program's observable
+//! behaviour — stdout bytes, output-file bytes, exit status —
+//! identical to an undisturbed width-1 sequential run.
 //!
 //! That is the supervisor's contract: faults may cost retries,
 //! deadline kills, or a sequential re-execution, but they can never
 //! corrupt output. The dedicated cases below additionally pin *which*
 //! recovery path fired, via the supervisor counters.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -111,6 +113,64 @@ fn run_processes(
     Some((observe(&env, out, "processes"), counters))
 }
 
+/// Two in-process `pash-worker` serve loops, so the remote sweep
+/// exercises real placement (and rerouting) on localhost.
+struct RemoteWorkers {
+    sockets: Vec<PathBuf>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RemoteWorkers {
+    fn spawn(n: usize) -> RemoteWorkers {
+        use pash::runtime::remote::{bind_worker, serve_worker};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let mut sockets = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let socket = std::env::temp_dir().join(format!(
+                "pash-fault-worker-{}-{}",
+                std::process::id(),
+                SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let listener = bind_worker(&socket).expect("bind worker");
+            let s = socket.clone();
+            handles.push(std::thread::spawn(move || {
+                serve_worker(listener, &s, Arc::new(AtomicBool::new(false))).expect("serve");
+            }));
+            sockets.push(socket);
+        }
+        RemoteWorkers { sockets, handles }
+    }
+}
+
+impl Drop for RemoteWorkers {
+    fn drop(&mut self) {
+        for s in &self.sockets {
+            pash::runtime::remote::shutdown_worker(s);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_remote(
+    width: usize,
+    sup: SupervisorSettings,
+    workers: &RemoteWorkers,
+) -> (Observed, Arc<SupervisorCounters>) {
+    let counters = sup.counters.clone();
+    let mut env = RunEnv {
+        fs: fresh_fs(),
+        workers: workers.sockets.clone(),
+        ..Default::default()
+    };
+    env.exec.supervisor = sup;
+    let out = run(SCRIPT, &cfg(width), "remote", &env).expect("remote run");
+    (observe(&env, out, "remote"), counters)
+}
+
 /// One deterministic seed per (kind, width) cell.
 fn seed(kind: FaultKind, width: usize) -> u64 {
     FaultKind::ALL.iter().position(|&k| k == kind).unwrap() as u64 * 131 + width as u64 * 7 + 1
@@ -169,6 +229,85 @@ fn fault_sweep_processes_is_byte_identical_to_sequential() {
     assert!(
         injected >= FaultKind::ALL.len() as u64,
         "sweep armed only {injected} faults — injection plane inert"
+    );
+}
+
+#[test]
+fn fault_sweep_remote_is_byte_identical_to_sequential() {
+    let workers = RemoteWorkers::spawn(2);
+    let expect = reference();
+    let mut injected = 0u64;
+    for kind in FaultKind::ALL {
+        for width in [2usize, 4, 8] {
+            let (got, counters) = run_remote(width, single_shot(kind, width), &workers);
+            assert_eq!(
+                got,
+                expect,
+                "remote diverged under {} at width {width}",
+                kind.name()
+            );
+            injected += counters.injected();
+        }
+    }
+    assert!(
+        injected >= FaultKind::ALL.len() as u64,
+        "sweep armed only {injected} faults — injection plane inert"
+    );
+}
+
+#[test]
+fn remote_conn_drop_reroutes_to_the_other_worker() {
+    let workers = RemoteWorkers::spawn(2);
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::ConnDrop, 7)),
+        ..Default::default()
+    };
+    let (got, counters) = run_remote(4, sup, &workers);
+    assert_eq!(got, reference());
+    assert!(counters.injected() >= 1, "conn drop never armed");
+    assert!(counters.retries() >= 1, "recovery did not use a retry");
+    assert!(
+        counters.reroutes() >= 1,
+        "the retry stayed on the dropped worker"
+    );
+}
+
+#[test]
+fn remote_slow_worker_is_torn_down_by_the_region_deadline() {
+    let workers = RemoteWorkers::spawn(2);
+    let sup = SupervisorSettings {
+        fault: Some(FaultPlan::new(FaultKind::SlowWorker, 3).stall(Duration::from_secs(30))),
+        region_deadline: Some(Duration::from_millis(400)),
+        ..Default::default()
+    };
+    let (got, counters) = run_remote(4, sup, &workers);
+    assert_eq!(got, reference());
+    assert!(
+        counters.deadline_kills() >= 1,
+        "a 30s stall under a 400ms deadline must be torn down"
+    );
+}
+
+#[test]
+fn dead_worker_pool_degrades_to_the_local_backend() {
+    // Nobody listens on this socket: every remote attempt fails to
+    // connect, and the ladder's middle rung (clean local run at full
+    // width) must produce the reference bytes.
+    let env_workers = vec![std::env::temp_dir().join("pash-fault-worker-nobody")];
+    let sup = SupervisorSettings::default();
+    let counters = sup.counters.clone();
+    let mut env = RunEnv {
+        fs: fresh_fs(),
+        workers: env_workers,
+        ..Default::default()
+    };
+    env.exec.supervisor = sup;
+    let out = run(SCRIPT, &cfg(4), "remote", &env).expect("degraded remote run");
+    let got = observe(&env, out, "remote");
+    assert_eq!(got, reference());
+    assert!(
+        counters.local_fallbacks() >= 1,
+        "the local rung never fired"
     );
 }
 

@@ -371,6 +371,78 @@ fn corrupt_cache_entries_recompile_never_corrupt_output() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+extern "C" {
+    fn kill(pid: i32, sig: i32) -> i32;
+}
+
+#[test]
+fn sigterm_drains_in_flight_requests_without_torn_responses() {
+    let dir = scratch_dir("drain");
+    let daemon = spawn_daemon(&dir, &["--max-concurrent", "1"]);
+    // A big enough corpus that four serialized width-4 runs are still
+    // in flight when the signal lands.
+    let input = wl::text_corpus(11, 1 << 20);
+    daemon
+        .client()
+        .put_file("in.txt", input.clone())
+        .expect("seed in.txt");
+    let script =
+        "cat in.txt | tr -cs A-Za-z '\\n' | tr A-Z a-z | sort | uniq -c | sort -rn | head -n 10";
+    let expect = {
+        let fs = Arc::new(MemFs::new());
+        fs.add("in.txt", input);
+        let env = RunEnv {
+            fs,
+            ..Default::default()
+        };
+        let cfg = PashConfig {
+            width: 4,
+            split: SplitPolicy::RoundRobin,
+            ..Default::default()
+        };
+        match run(script, &cfg, "threads", &env).expect("direct run") {
+            BackendOutput::Execution(o) => o.stdout,
+            other => panic!("direct run produced {other:?}"),
+        }
+    };
+
+    // Four clients send one request each; with admission width 1 they
+    // queue behind each other, so several are mid-service when the
+    // daemon is told to die.
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let mut client = daemon.client();
+        let req = request(script, 4, SplitPolicy::RoundRobin);
+        clients.push(std::thread::spawn(move || client.run(req)));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    let pid = daemon.child.id() as i32;
+    assert_eq!(unsafe { kill(pid, 15) }, 0, "SIGTERM delivered");
+
+    // The drain contract: every request that was already accepted gets
+    // its complete response — correct bytes, never a torn frame.
+    for c in clients {
+        let resp = c
+            .join()
+            .expect("client thread")
+            .expect("in-flight request completes across SIGTERM");
+        assert_eq!(resp.stdout, expect, "drained response diverged");
+        assert_eq!(resp.status, 0);
+    }
+
+    // And the daemon exited the graceful path: serve() returned Ok, so
+    // the process status is success, not a signal death.
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("daemon exit");
+    assert!(status.success(), "graceful SIGTERM exit, got {status:?}");
+    assert!(
+        Client::connect(&daemon.socket).is_err(),
+        "socket is gone after shutdown"
+    );
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn fault_injected_daemon_stays_byte_identical() {
     let dir = scratch_dir("fault");
